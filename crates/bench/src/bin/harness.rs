@@ -1,0 +1,12 @@
+//! Prints every experiment table (markdown) — the source of
+//! EXPERIMENTS.md's measured columns.
+
+fn main() {
+    let start = std::time::Instant::now();
+    println!("# Experiment harness — Kolaitis & Vardi (PODS 1990) reproduction\n");
+    assert!(kv_bench::experiments::smoke_validate_play(), "play smoke test");
+    for table in kv_bench::all_experiments() {
+        print!("{}", table.to_markdown());
+    }
+    println!("\n_total harness time: {:.2?}_", start.elapsed());
+}

@@ -1,0 +1,17 @@
+//! Experiment harness: the experiments (E1–E18) that stand in for
+//! the paper's missing measurement tables, plus shared workloads for the
+//! Criterion benches.
+//!
+//! Run the harness with:
+//!
+//! ```sh
+//! cargo run -p kv-bench --release --bin harness
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::all_experiments;
+pub use table::Table;

@@ -1,0 +1,45 @@
+//! Markdown table rendering for the experiment harness.
+
+use std::fmt::Write as _;
+
+/// One experiment's result table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Experiment id (`E1` … `E16`).
+    pub id: &'static str,
+    /// What the experiment reproduces.
+    pub title: String,
+    /// The paper's claim, in one line.
+    pub claim: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+    /// One-line verdict.
+    pub verdict: String,
+}
+
+impl Table {
+    /// Renders as GitHub-flavoured markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {} — {}\n", self.id, self.title);
+        let _ = writeln!(out, "*Paper claim:* {}\n", self.claim);
+        let _ = writeln!(out, "| {} |", self.header.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        let _ = writeln!(out, "\n**Measured:** {}\n", self.verdict);
+        out
+    }
+}
+
+/// Convenience row builder.
+pub fn row(cells: &[&dyn std::fmt::Display]) -> Vec<String> {
+    cells.iter().map(|c| c.to_string()).collect()
+}

@@ -1,0 +1,230 @@
+//! The end-to-end dichotomy: classify a pattern graph and produce either a
+//! Datalog(≠) program (positive side, Theorems 6.1/6.2) or a
+//! machine-checkable inexpressibility witness (negative side, Theorems
+//! 6.6/6.7 via Lemma 6.3).
+
+use kv_homeo::pattern::{classify, CBarWitness, PatternClass};
+use kv_homeo::{acyclic_game_program, class_c_program, PatternSpec};
+use kv_reduction::thm66::Thm66Witness;
+use kv_reduction::variants::{lift_witness, LiftedWitness, VariantWitness};
+use kv_datalog::Program;
+
+/// Expressibility verdict for a fixed subgraph homeomorphism query.
+#[derive(Debug)]
+pub enum Expressibility {
+    /// `H ∈ C`: expressible in Datalog(≠) on all inputs (Theorem 6.1);
+    /// carries the generated program.
+    ExpressibleEverywhere(Program),
+    /// `H ∈ C̄`: not expressible in `L^ω` (Theorems 6.6/6.7), but
+    /// expressible on acyclic inputs (Theorem 6.2); carries the
+    /// acyclic-input program and the generating sub-pattern witness.
+    InexpressibleGeneral {
+        /// The `H1`/`H2`/`H3` sub-pattern the proof hangs on.
+        generator: CBarWitness,
+        /// The Theorem 6.2 program for acyclic inputs.
+        acyclic_program: Program,
+    },
+    /// Degenerate pattern (empty or self-loops without a root) outside the
+    /// FHW dichotomy.
+    Degenerate,
+}
+
+/// The full report for a pattern.
+#[derive(Debug)]
+pub struct DichotomyReport {
+    /// The pattern.
+    pub pattern: PatternSpec,
+    /// Its class.
+    pub class: PatternClass,
+    /// The verdict with its constructive payload.
+    pub verdict: Expressibility,
+}
+
+/// Classifies `pattern` and assembles the constructive payload for its
+/// side of the dichotomy.
+pub fn classify_and_report(pattern: &PatternSpec) -> DichotomyReport {
+    let class = classify(pattern);
+    let verdict = match &class {
+        PatternClass::InC(root) => {
+            Expressibility::ExpressibleEverywhere(class_c_program(pattern, root))
+        }
+        PatternClass::InCBar(witness) => Expressibility::InexpressibleGeneral {
+            generator: witness.clone(),
+            acyclic_program: acyclic_game_program(pattern),
+        },
+        PatternClass::Empty | PatternClass::DegenerateSelfLoops => Expressibility::Degenerate,
+    };
+    DichotomyReport {
+        pattern: pattern.clone(),
+        class,
+        verdict,
+    }
+}
+
+/// A negative witness for an arbitrary pattern in `C̄`, built per the
+/// paper's recipe: find the embedded `H1`/`H2`/`H3`, take its Theorem
+/// 6.6/6.7 witness for `φ_k`, then lift through Lemma 6.3.
+///
+/// Because Lemma 6.3 assumes the sub-pattern occupies the *first* nodes of
+/// the super-pattern, the witness is produced for a **relabeled** copy of
+/// `pattern` (same graph up to renaming); `relabeling[i]` gives the new
+/// index of original pattern node `i`. The query is invariant under
+/// simultaneous relabeling, so the witness separates the original query as
+/// well.
+pub struct NegativeWitness {
+    /// The lifted structures (and the relabeled pattern).
+    pub lift: LiftedWitness,
+    /// Original pattern node -> relabeled index.
+    pub relabeling: Vec<usize>,
+    /// The base witness the lift starts from (kept alive for strategies).
+    pub base: Thm66Witness,
+    /// Which generator pattern seeds the proof.
+    pub generator: CBarWitness,
+}
+
+/// Builds the negative witness for `pattern ∈ C̄` at pebble budget `k`.
+///
+/// # Panics
+/// Panics if `pattern` is not in `C̄`.
+pub fn negative_witness(pattern: &PatternSpec, k: usize) -> NegativeWitness {
+    let PatternClass::InCBar(generator) = classify(pattern) else {
+        panic!("pattern must be in the complement of C");
+    };
+    // Order the sub-pattern's nodes first.
+    let (front, base_edges_relabeled): (Vec<usize>, Vec<(usize, usize)>) = match &generator {
+        CBarWitness::H1((a, b), (c, d)) => (vec![*a, *b, *c, *d], vec![(0, 1), (2, 3)]),
+        CBarWitness::H2(a, b, c) => (vec![*a, *b, *c], vec![(0, 1), (1, 2)]),
+        CBarWitness::H3(a, b) => (vec![*a, *b], vec![(0, 1), (1, 0)]),
+    };
+    let mut relabeling = vec![usize::MAX; pattern.node_count];
+    for (new, &old) in front.iter().enumerate() {
+        relabeling[old] = new;
+    }
+    let mut next = front.len();
+    for slot in relabeling.iter_mut() {
+        if *slot == usize::MAX {
+            *slot = next;
+            next += 1;
+        }
+    }
+    let relabeled = PatternSpec {
+        node_count: pattern.node_count,
+        edges: pattern
+            .edges
+            .iter()
+            .map(|&(i, j)| (relabeling[i], relabeling[j]))
+            .collect(),
+    };
+    // Base witness for the generator.
+    let base = Thm66Witness::new(k);
+    let lift = match &generator {
+        CBarWitness::H1(_, _) => {
+            lift_witness(&base.a, &base.b, &base_edges_relabeled, &relabeled)
+        }
+        CBarWitness::H2(_, _, _) => {
+            let v = VariantWitness::h2(&base);
+            lift_witness(&v.a, &v.b, &base_edges_relabeled, &relabeled)
+        }
+        CBarWitness::H3(_, _) => {
+            let v = VariantWitness::h3(&base);
+            lift_witness(&v.a, &v.b, &base_edges_relabeled, &relabeled)
+        }
+    };
+    NegativeWitness {
+        lift,
+        relabeling,
+        base,
+        generator,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kv_homeo::brute_force_homeomorphism;
+    use kv_structures::Digraph;
+
+    #[test]
+    fn class_c_report_carries_program() {
+        let star = PatternSpec {
+            node_count: 3,
+            edges: vec![(0, 1), (0, 2)],
+        };
+        let report = classify_and_report(&star);
+        match report.verdict {
+            Expressibility::ExpressibleEverywhere(p) => {
+                assert!(p.idb_count() >= 2);
+            }
+            other => panic!("expected positive verdict, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn c_bar_report_carries_acyclic_program_and_generator() {
+        let h1 = PatternSpec::two_disjoint_edges();
+        let report = classify_and_report(&h1);
+        match report.verdict {
+            Expressibility::InexpressibleGeneral {
+                generator,
+                acyclic_program,
+            } => {
+                assert!(matches!(generator, CBarWitness::H1(_, _)));
+                assert!(acyclic_program.idb_count() >= 4);
+            }
+            other => panic!("expected negative verdict, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_witness_for_h1_separates_query() {
+        let w = negative_witness(&PatternSpec::two_disjoint_edges(), 1);
+        let ga = Digraph::from_structure(&w.lift.a);
+        let da = w.lift.a.constant_values().to_vec();
+        assert!(brute_force_homeomorphism(&w.lift.pattern, &ga, &da));
+        let gb = Digraph::from_structure(&w.lift.b);
+        let db = w.lift.b.constant_values().to_vec();
+        assert!(!brute_force_homeomorphism(&w.lift.pattern, &gb, &db));
+    }
+
+    #[test]
+    fn negative_witness_for_composite_pattern() {
+        // A pattern strictly containing H2: 0 -> 1 -> 2 plus 3 -> 1.
+        let p = PatternSpec {
+            node_count: 4,
+            edges: vec![(0, 1), (1, 2), (3, 1)],
+        };
+        let w = negative_witness(&p, 1);
+        assert_eq!(w.lift.pattern.node_count, 4);
+        assert_eq!(w.lift.pattern.edges.len(), 3);
+        let ga = Digraph::from_structure(&w.lift.a);
+        let da = w.lift.a.constant_values().to_vec();
+        assert!(brute_force_homeomorphism(&w.lift.pattern, &ga, &da));
+        let gb = Digraph::from_structure(&w.lift.b);
+        let db = w.lift.b.constant_values().to_vec();
+        assert!(!brute_force_homeomorphism(&w.lift.pattern, &gb, &db));
+    }
+
+    #[test]
+    fn relabeling_is_a_permutation() {
+        let p = PatternSpec {
+            node_count: 5,
+            edges: vec![(4, 3), (3, 2), (0, 1)],
+        };
+        let w = negative_witness(&p, 1);
+        let mut sorted = w.relabeling.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..5).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "complement of C")]
+    fn negative_witness_rejects_class_c() {
+        negative_witness(
+            &PatternSpec {
+                node_count: 2,
+                edges: vec![(0, 1)],
+            },
+            1,
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! Pattern-based queries (Definition 5.1) and the Proposition 5.4 bridge.
+//!
+//! A query `Q` is *pattern-based* when a polynomial-time generator `α`
+//! maps each structure `B` to a set of pattern structures such that `B`
+//! satisfies `Q` iff some pattern of `α(B)` embeds into `B` by a
+//! one-to-one homomorphism. Proposition 5.4 replaces the (NP-hard)
+//! embedding test with the (polynomial, for fixed `k`) existential
+//! k-pebble game — an *exact* procedure when `Q ∈ L^k`, an
+//! overapproximation otherwise. Theorem 5.5 follows: pattern-based ∩
+//! `L^ω` ⊆ PTIME.
+
+use kv_pebble::{ExistentialGame, Winner};
+use kv_structures::hom::find_homomorphism;
+use kv_structures::{HomKind, Structure};
+
+/// A pattern-based query: the generator plus a name.
+pub struct PatternBasedQuery {
+    name: String,
+    #[allow(clippy::type_complexity)]
+    generator: Box<dyn Fn(&Structure) -> Vec<Structure>>,
+}
+
+impl PatternBasedQuery {
+    /// Creates a pattern-based query from its generator `α`.
+    pub fn new(
+        name: impl Into<String>,
+        generator: impl Fn(&Structure) -> Vec<Structure> + 'static,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            generator: Box::new(generator),
+        }
+    }
+
+    /// The query's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The patterns for a given input.
+    pub fn patterns(&self, b: &Structure) -> Vec<Structure> {
+        (self.generator)(b)
+    }
+
+    /// Reference semantics: does some pattern embed one-to-one
+    /// (constant-respecting)? Exponential in pattern size.
+    pub fn eval_by_embedding(&self, b: &Structure) -> bool {
+        self.patterns(b)
+            .iter()
+            .any(|a| find_homomorphism(a, b, HomKind::OneToOne, true).is_some())
+    }
+
+    /// Proposition 5.4's procedure: does the Duplicator win the
+    /// existential k-pebble game from some pattern into `b`? Polynomial
+    /// for fixed `k`; exact iff the query is `L^k`-expressible.
+    pub fn eval_by_games(&self, b: &Structure, k: usize) -> bool {
+        self.patterns(b)
+            .iter()
+            .any(|a| ExistentialGame::solve(a, b, k, HomKind::OneToOne).winner() == Winner::Duplicator)
+    }
+
+    /// The even simple path query as a pattern-based query (Example
+    /// 5.2(1)): patterns are the odd-node directed paths with endpoints
+    /// distinguished; inputs are graphs with two distinguished nodes.
+    pub fn even_simple_path() -> Self {
+        Self::new("even simple path", |b: &Structure| {
+            kv_homeo::even_path::even_path_patterns(b.universe_size())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kv_homeo::even_path::even_simple_path;
+    use kv_structures::generators::random_digraph;
+    use kv_structures::{Digraph, Vocabulary};
+    use std::sync::Arc;
+
+    fn with_st(g: &Digraph, s: u32, t: u32) -> Structure {
+        let mut g = g.clone();
+        g.set_distinguished(vec![s, t]);
+        g.to_structure_with(Arc::new(Vocabulary::graph_with_constants(2)))
+    }
+
+    #[test]
+    fn embedding_semantics_match_brute_force() {
+        let q = PatternBasedQuery::even_simple_path();
+        for seed in 0..8 {
+            let g = random_digraph(6, 0.3, 4000 + seed);
+            let b = with_st(&g, 0, 5);
+            assert_eq!(
+                q.eval_by_embedding(&b),
+                even_simple_path(&g, 0, 5),
+                "seed {}",
+                4000 + seed
+            );
+        }
+    }
+
+    #[test]
+    fn game_procedure_dominates_embedding() {
+        // Proposition 5.4, sound half: embedding ⇒ game win, any k.
+        let q = PatternBasedQuery::even_simple_path();
+        for seed in 0..6 {
+            let g = random_digraph(6, 0.3, 4100 + seed);
+            let b = with_st(&g, 0, 5);
+            if q.eval_by_embedding(&b) {
+                for k in 1..=2 {
+                    assert!(q.eval_by_games(&b, k), "k={k} seed {}", 4100 + seed);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_query_is_pattern_based_trivially() {
+        // Section 5's remark: α(B) = {B} or {} by the query itself.
+        let q = PatternBasedQuery::new("has a 2-cycle", |b: &Structure| {
+            let g = Digraph::from_structure(b);
+            let yes = g.edges().any(|(u, v)| g.has_edge(v, u) && u != v);
+            if yes {
+                vec![b.clone()]
+            } else {
+                vec![]
+            }
+        });
+        let mut g = Digraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        let b = g.to_structure();
+        assert!(q.eval_by_embedding(&b));
+        let mut h = Digraph::new(3);
+        h.add_edge(0, 1);
+        let c = h.to_structure();
+        assert!(!q.eval_by_embedding(&c));
+    }
+}

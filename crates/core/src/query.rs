@@ -1,0 +1,130 @@
+//! Boolean queries on finite structures.
+//!
+//! The paper's objects of study are *queries* — isomorphism-invariant
+//! boolean properties of finite structures over a fixed vocabulary. The
+//! [`BooleanQuery`] trait is the common interface under which Datalog(≠)
+//! programs, the flow/game solvers of the case study, and brute-force
+//! oracles are compared by the experiments.
+
+use kv_datalog::{Evaluator, Program};
+use kv_structures::Structure;
+
+/// A boolean query over structures of a fixed vocabulary.
+pub trait BooleanQuery {
+    /// A short display name.
+    fn name(&self) -> &str;
+    /// Evaluates the query.
+    fn eval(&self, structure: &Structure) -> bool;
+}
+
+/// A Datalog(≠) program used as a boolean query: true iff the goal
+/// relation contains the designated tuple (by default the empty tuple of a
+/// nullary goal).
+pub struct ProgramQuery {
+    name: String,
+    program: Program,
+    goal_tuple: Vec<kv_structures::Element>,
+}
+
+impl ProgramQuery {
+    /// Wraps a program with a nullary goal.
+    pub fn nullary(name: impl Into<String>, program: Program) -> Self {
+        assert_eq!(
+            program.idb_arity(program.goal()),
+            0,
+            "nullary goal expected"
+        );
+        Self {
+            name: name.into(),
+            program,
+            goal_tuple: Vec::new(),
+        }
+    }
+
+    /// Wraps a program, reading the goal relation at a fixed tuple.
+    pub fn at_tuple(
+        name: impl Into<String>,
+        program: Program,
+        goal_tuple: Vec<kv_structures::Element>,
+    ) -> Self {
+        assert_eq!(
+            program.idb_arity(program.goal()),
+            goal_tuple.len(),
+            "tuple arity must match the goal"
+        );
+        Self {
+            name: name.into(),
+            program,
+            goal_tuple,
+        }
+    }
+
+    /// The wrapped program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+}
+
+impl BooleanQuery for ProgramQuery {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn eval(&self, structure: &Structure) -> bool {
+        Evaluator::new(&self.program).holds(structure, &self.goal_tuple)
+    }
+}
+
+/// A query defined by a closure (for oracles and ad-hoc baselines).
+pub struct FnQuery<F> {
+    name: String,
+    f: F,
+}
+
+impl<F: Fn(&Structure) -> bool> FnQuery<F> {
+    /// Wraps a closure.
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        Self {
+            name: name.into(),
+            f,
+        }
+    }
+}
+
+impl<F: Fn(&Structure) -> bool> BooleanQuery for FnQuery<F> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn eval(&self, structure: &Structure) -> bool {
+        (self.f)(structure)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kv_datalog::programs::transitive_closure;
+    use kv_structures::generators::directed_path;
+
+    #[test]
+    fn program_query_at_tuple() {
+        let q = ProgramQuery::at_tuple("0 reaches 3", transitive_closure(), vec![0, 3]);
+        assert!(q.eval(&directed_path(4)));
+        assert!(!q.eval(&directed_path(3)));
+        assert_eq!(q.name(), "0 reaches 3");
+    }
+
+    #[test]
+    fn fn_query_wraps_closures() {
+        let q = FnQuery::new("nonempty", |s: &Structure| s.tuple_count() > 0);
+        assert!(q.eval(&directed_path(3)));
+        assert!(!q.eval(&directed_path(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "tuple arity")]
+    fn arity_mismatch_panics() {
+        ProgramQuery::at_tuple("bad", transitive_closure(), vec![0]);
+    }
+}

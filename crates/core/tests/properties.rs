@@ -1,0 +1,66 @@
+//! Property-based tests for the facade toolkit.
+
+use kv_core::pattern_based::PatternBasedQuery;
+use kv_core::{classify_and_report, Expressibility};
+use kv_core::homeo::PatternSpec;
+use kv_structures::{Digraph, Vocabulary};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn digraph_strategy(max_n: usize) -> impl Strategy<Value = Digraph> {
+    (3usize..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=(n * n / 3).min(12)).prop_map(
+            move |edges| {
+                let mut g = Digraph::new(n);
+                for (u, v) in edges {
+                    g.add_edge(u, v);
+                }
+                g
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Proposition 5.4's sound half on the even-path query: embedding
+    /// acceptance implies game acceptance, for each k.
+    #[test]
+    fn game_procedure_dominates(g in digraph_strategy(6)) {
+        let q = PatternBasedQuery::even_simple_path();
+        let mut gg = g.clone();
+        let n = gg.node_count() as u32;
+        gg.set_distinguished(vec![0, n - 1]);
+        let b = gg.to_structure_with(Arc::new(Vocabulary::graph_with_constants(2)));
+        if q.eval_by_embedding(&b) {
+            prop_assert!(q.eval_by_games(&b, 1));
+            prop_assert!(q.eval_by_games(&b, 2));
+        }
+    }
+
+    /// classify_and_report is total on small loop-free patterns and the
+    /// payload matches the class.
+    #[test]
+    fn report_payload_matches_class(edges in proptest::collection::vec((0usize..4, 0usize..4), 0..6)) {
+        let edges: Vec<(usize, usize)> = {
+            let mut e: Vec<_> = edges.into_iter().filter(|&(i, j)| i != j).collect();
+            e.sort_unstable();
+            e.dedup();
+            e
+        };
+        let p = PatternSpec { node_count: 4, edges };
+        let report = classify_and_report(&p);
+        match report.verdict {
+            Expressibility::ExpressibleEverywhere(prog) => {
+                prop_assert_eq!(prog.idb_arity(prog.goal()), 0);
+            }
+            Expressibility::InexpressibleGeneral { acyclic_program, .. } => {
+                prop_assert_eq!(acyclic_program.idb_arity(acyclic_program.goal()), 0);
+            }
+            Expressibility::Degenerate => {
+                prop_assert!(p.edges.is_empty());
+            }
+        }
+    }
+}

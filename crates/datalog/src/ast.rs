@@ -1,0 +1,173 @@
+//! Abstract syntax of Datalog(≠) rules.
+
+use kv_structures::ConstId;
+use kv_structures::RelId;
+use std::fmt;
+
+/// A rule-local variable, numbered `0, …` within its rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub usize);
+
+/// Index of an IDB predicate within a [`crate::Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IdbId(pub usize);
+
+/// A term: a variable or a constant symbol of the vocabulary.
+///
+/// The paper's programs freely mention the distinguished constants of the
+/// input (e.g. `y ≠ s1` in the program `D` of Theorem 6.2), so constants may
+/// appear both in rule bodies and heads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// A rule-local variable.
+    Var(VarId),
+    /// A constant symbol, resolved against the input structure at
+    /// evaluation time.
+    Const(ConstId),
+}
+
+/// A predicate reference: extensional (interpreted by the input structure)
+/// or intensional (computed by the program).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pred {
+    /// An EDB predicate — a relation symbol of the vocabulary.
+    Edb(RelId),
+    /// An IDB predicate of the program.
+    Idb(IdbId),
+}
+
+/// A body literal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Literal {
+    /// An atomic formula `P(t1, …, tn)`.
+    Atom(Pred, Vec<Term>),
+    /// An equality `t1 = t2`.
+    Eq(Term, Term),
+    /// An inequality `t1 ≠ t2`. Forbidden in plain Datalog.
+    Neq(Term, Term),
+}
+
+/// One rule `Head(args) :- body`.
+///
+/// `var_names` records the source-level names of the rule's variables
+/// (index = [`VarId`]); generated programs synthesize names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// The IDB predicate of the head.
+    pub head: IdbId,
+    /// The head argument terms.
+    pub head_args: Vec<Term>,
+    /// The body literals, in source order.
+    pub body: Vec<Literal>,
+    /// Display names for the rule's variables.
+    pub var_names: Vec<String>,
+}
+
+impl Rule {
+    /// The number of distinct variables in the rule.
+    pub fn var_count(&self) -> usize {
+        self.var_names.len()
+    }
+
+    /// Iterates over the atoms of the body (skipping (in)equalities).
+    pub fn atoms(&self) -> impl Iterator<Item = (&Pred, &[Term])> {
+        self.body.iter().filter_map(|l| match l {
+            Literal::Atom(p, args) => Some((p, args.as_slice())),
+            _ => None,
+        })
+    }
+
+    /// Whether the rule is a plain Datalog rule (no `=`, no `≠`).
+    pub fn is_pure_datalog(&self) -> bool {
+        self.body
+            .iter()
+            .all(|l| matches!(l, Literal::Atom(_, _)))
+    }
+
+    /// Whether the rule uses any inequality.
+    pub fn uses_inequality(&self) -> bool {
+        self.body.iter().any(|l| matches!(l, Literal::Neq(_, _)))
+    }
+
+    /// All variables occurring in body atoms (the "bound" variables; the
+    /// rest range over the whole universe).
+    pub fn atom_bound_vars(&self) -> Vec<VarId> {
+        let mut out: Vec<VarId> = Vec::new();
+        for (_, args) in self.atoms() {
+            for t in args {
+                if let Term::Var(v) = t {
+                    if !out.contains(v) {
+                        out.push(*v);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Pretty-printing helpers shared by `Display` impls in [`crate::program`].
+pub(crate) fn fmt_term(
+    t: &Term,
+    var_names: &[String],
+    const_name: &dyn Fn(ConstId) -> String,
+    f: &mut fmt::Formatter<'_>,
+) -> fmt::Result {
+    match t {
+        Term::Var(v) => write!(f, "{}", var_names[v.0]),
+        Term::Const(c) => write!(f, "{}", const_name(*c)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_rule() -> Rule {
+        // T(x, y, w) :- E(x, z), T(z, y, w), w != x.
+        let (x, y, z, w) = (VarId(0), VarId(1), VarId(2), VarId(3));
+        Rule {
+            head: IdbId(0),
+            head_args: vec![Term::Var(x), Term::Var(y), Term::Var(w)],
+            body: vec![
+                Literal::Atom(Pred::Edb(RelId(0)), vec![Term::Var(x), Term::Var(z)]),
+                Literal::Atom(Pred::Idb(IdbId(0)), vec![Term::Var(z), Term::Var(y), Term::Var(w)]),
+                Literal::Neq(Term::Var(w), Term::Var(x)),
+            ],
+            var_names: vec!["x".into(), "y".into(), "z".into(), "w".into()],
+        }
+    }
+
+    #[test]
+    fn rule_classification() {
+        let r = sample_rule();
+        assert!(!r.is_pure_datalog());
+        assert!(r.uses_inequality());
+        assert_eq!(r.var_count(), 4);
+    }
+
+    #[test]
+    fn atom_bound_vars_excludes_inequality_only() {
+        let r = sample_rule();
+        let bound = r.atom_bound_vars();
+        assert!(bound.contains(&VarId(0)));
+        assert!(bound.contains(&VarId(3))); // w occurs in the recursive atom
+        // A rule where w occurs only in inequalities:
+        let r2 = Rule {
+            head: IdbId(0),
+            head_args: vec![Term::Var(VarId(0)), Term::Var(VarId(1))],
+            body: vec![
+                Literal::Atom(Pred::Edb(RelId(0)), vec![Term::Var(VarId(0)), Term::Var(VarId(1))]),
+                Literal::Neq(Term::Var(VarId(2)), Term::Var(VarId(0))),
+            ],
+            var_names: vec!["x".into(), "y".into(), "w".into()],
+        };
+        assert!(!r2.atom_bound_vars().contains(&VarId(2)));
+    }
+
+    #[test]
+    fn atoms_iterator_skips_constraints() {
+        let r = sample_rule();
+        assert_eq!(r.atoms().count(), 2);
+    }
+}

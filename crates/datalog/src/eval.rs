@@ -1,0 +1,871 @@
+//! Bottom-up evaluation: naive stage iteration and semi-naive evaluation.
+//!
+//! The paper defines the semantics of a program `π` on a structure `A` as
+//! the least fixpoint of the monotone operator system `Θ_A`, reached by
+//! iterating the stages `Θ¹ = Θ(∅)`, `Θ^{n+1} = Θ(Θ^n)` until they
+//! stabilize (Section 2). [`Evaluator`] computes exactly these stages.
+//!
+//! *Naive* mode recomputes every rule against the full stage each round —
+//! literally the paper's definition. *Semi-naive* mode rewrites each rule
+//! into delta variants so that every derivation uses at least one tuple
+//! discovered in the previous stage; both modes produce identical stages
+//! (asserted by tests), semi-naive just avoids rediscovering old tuples.
+//!
+//! Unbound variables — head or inequality variables that occur in no body
+//! atom — range over the whole universe, matching the first-order reading
+//! of the rule bodies as existential formulas over the structure.
+
+use crate::ast::{IdbId, Literal, Pred, Rule, Term, VarId};
+use crate::program::Program;
+use kv_structures::{Element, Structure, Tuple};
+use std::collections::{HashMap, HashSet};
+
+/// Options controlling evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalOptions {
+    /// Use semi-naive (delta) evaluation instead of naive recomputation.
+    pub semi_naive: bool,
+    /// Record a snapshot of every stage (needed by the Theorem 3.6
+    /// stage-formula experiments; costs memory).
+    pub record_stages: bool,
+    /// Abort after this many stages (`None` = run to fixpoint).
+    pub max_stages: Option<usize>,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        Self {
+            semi_naive: true,
+            record_stages: false,
+            max_stages: None,
+        }
+    }
+}
+
+/// Per-stage statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageStats {
+    /// Number of tuples first derived at this stage, per IDB predicate.
+    pub new_tuples: Vec<usize>,
+}
+
+/// The result of evaluating a program on a structure.
+#[derive(Debug, Clone)]
+pub struct EvalResult {
+    /// Final IDB relations (the least fixpoint `π^∞`), per IDB predicate.
+    pub idb: Vec<HashSet<Tuple>>,
+    /// Per-stage statistics. `stats[n]` describes stage `n + 1`.
+    pub stats: Vec<StageStats>,
+    /// If requested, `stages[n][i]` is `Θ^{n+1}` restricted to IDB `i`
+    /// (cumulative snapshot after stage `n + 1`).
+    pub stages: Vec<Vec<HashSet<Tuple>>>,
+    /// Whether the fixpoint was reached (false only if `max_stages` hit).
+    pub converged: bool,
+}
+
+impl EvalResult {
+    /// Number of stages until the fixpoint (the `n₀` of Section 2).
+    pub fn stage_count(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// The goal relation of `program`.
+    pub fn goal_relation<'a>(&'a self, program: &Program) -> &'a HashSet<Tuple> {
+        &self.idb[program.goal().0]
+    }
+}
+
+/// Access mode for an IDB atom inside a semi-naive rule variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum IdbAccess {
+    /// The relation as of the *previous* stage.
+    Old,
+    /// Only the tuples discovered in the previous stage.
+    Delta,
+    /// The full relation (old ∪ delta).
+    Full,
+}
+
+/// A body atom with its access mode resolved.
+#[derive(Debug, Clone)]
+struct JoinAtom {
+    pred: Pred,
+    access: IdbAccess,
+    args: Vec<Term>,
+}
+
+/// A rule pre-processed for joining: equalities eliminated by variable
+/// unification, atoms ordered, constraints collected.
+#[derive(Debug, Clone)]
+struct CompiledRule {
+    head: IdbId,
+    head_args: Vec<Term>,
+    atoms: Vec<JoinAtom>,
+    /// Inequality constraints on canonical terms.
+    neqs: Vec<(Term, Term)>,
+    /// Equality constraints between constants (structure-dependent checks).
+    const_eqs: Vec<(Term, Term)>,
+    /// Number of canonical variables.
+    var_count: usize,
+    /// Canonical variables that occur in no atom and must be enumerated
+    /// over the universe (because the head or an inequality needs them).
+    free_vars: Vec<VarId>,
+}
+
+/// Union-find based equality elimination. Returns a substitution mapping
+/// each original variable to a canonical [`Term`] plus leftover
+/// constant-constant equality checks.
+fn unify_rule(rule: &Rule) -> (Vec<Term>, Vec<(Term, Term)>) {
+    let n = rule.var_count();
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let r = find(parent, parent[x]);
+            parent[x] = r;
+        }
+        parent[x]
+    }
+    // Constant attached to each class, if any; extra const-const checks.
+    let mut class_const: Vec<Option<Term>> = vec![None; n];
+    let mut const_eqs: Vec<(Term, Term)> = Vec::new();
+    for lit in &rule.body {
+        if let Literal::Eq(a, b) = lit {
+            match (a, b) {
+                (Term::Var(x), Term::Var(y)) => {
+                    let (rx, ry) = (find(&mut parent, x.0), find(&mut parent, y.0));
+                    if rx != ry {
+                        parent[rx] = ry;
+                        // Merge constant attachments.
+                        match (class_const[rx].take(), class_const[ry]) {
+                            (Some(c1), Some(c2)) => const_eqs.push((c1, c2)),
+                            (Some(c1), None) => class_const[ry] = Some(c1),
+                            _ => {}
+                        }
+                    }
+                }
+                (Term::Var(x), c @ Term::Const(_)) | (c @ Term::Const(_), Term::Var(x)) => {
+                    let rx = find(&mut parent, x.0);
+                    match class_const[rx] {
+                        Some(existing) => const_eqs.push((existing, *c)),
+                        None => class_const[rx] = Some(*c),
+                    }
+                }
+                (c1 @ Term::Const(_), c2 @ Term::Const(_)) => const_eqs.push((*c1, *c2)),
+            }
+        }
+    }
+    // Build the substitution: class representative or attached constant.
+    let subst: Vec<Term> = (0..n)
+        .map(|x| {
+            let r = find(&mut parent, x);
+            class_const[r].unwrap_or(Term::Var(VarId(r)))
+        })
+        .collect();
+    (subst, const_eqs)
+}
+
+fn apply_subst(t: &Term, subst: &[Term]) -> Term {
+    match t {
+        Term::Var(v) => subst[v.0],
+        c => *c,
+    }
+}
+
+fn compile_rule(rule: &Rule, delta_at: Option<usize>) -> CompiledRule {
+    let (subst, const_eqs) = unify_rule(rule);
+    let head_args: Vec<Term> = rule.head_args.iter().map(|t| apply_subst(t, &subst)).collect();
+    let mut atoms = Vec::new();
+    let mut neqs = Vec::new();
+    let mut idb_occurrence = 0usize;
+    for lit in &rule.body {
+        match lit {
+            Literal::Atom(pred, args) => {
+                let access = match pred {
+                    Pred::Idb(_) => {
+                        let acc = match delta_at {
+                            None => IdbAccess::Full,
+                            Some(d) if idb_occurrence < d => IdbAccess::Old,
+                            Some(d) if idb_occurrence == d => IdbAccess::Delta,
+                            Some(_) => IdbAccess::Full,
+                        };
+                        idb_occurrence += 1;
+                        acc
+                    }
+                    Pred::Edb(_) => IdbAccess::Full,
+                };
+                atoms.push(JoinAtom {
+                    pred: *pred,
+                    access,
+                    args: args.iter().map(|t| apply_subst(t, &subst)).collect(),
+                });
+            }
+            Literal::Neq(a, b) => {
+                neqs.push((apply_subst(a, &subst), apply_subst(b, &subst)));
+            }
+            Literal::Eq(_, _) => {} // consumed by unification
+        }
+    }
+    // Move the delta atom to the front: it seeds the join.
+    if let Some(pos) = atoms.iter().position(|a| a.access == IdbAccess::Delta) {
+        let delta = atoms.remove(pos);
+        atoms.insert(0, delta);
+    }
+    // Variables occurring in atoms.
+    let mut in_atoms: HashSet<VarId> = HashSet::new();
+    for a in &atoms {
+        for t in &a.args {
+            if let Term::Var(v) = t {
+                in_atoms.insert(*v);
+            }
+        }
+    }
+    // Canonical variables needed by head or inequalities but absent from
+    // every atom: enumerate them over the universe.
+    let mut free_vars: Vec<VarId> = Vec::new();
+    let need = |t: &Term, free: &mut Vec<VarId>| {
+        if let Term::Var(v) = t {
+            if !in_atoms.contains(v) && !free.contains(v) {
+                free.push(*v);
+            }
+        }
+    };
+    for t in &head_args {
+        need(t, &mut free_vars);
+    }
+    for (a, b) in &neqs {
+        need(a, &mut free_vars);
+        need(b, &mut free_vars);
+    }
+    CompiledRule {
+        head: rule.head,
+        head_args,
+        atoms,
+        neqs,
+        const_eqs,
+        var_count: rule.var_count(),
+        free_vars,
+    }
+}
+
+/// A tuple store with lazily built single-column indexes.
+#[derive(Debug, Default, Clone)]
+struct Indexed {
+    tuples: Vec<Tuple>,
+    /// `indexes[pos]` maps an element to the tuple indices with that
+    /// element at position `pos`.
+    indexes: HashMap<usize, HashMap<Element, Vec<usize>>>,
+}
+
+impl Indexed {
+    fn from_iter<'a>(it: impl Iterator<Item = &'a Tuple>) -> Self {
+        Self {
+            tuples: it.cloned().collect(),
+            indexes: HashMap::new(),
+        }
+    }
+
+    fn ensure_index(&mut self, pos: usize) {
+        self.indexes.entry(pos).or_insert_with(|| {
+            let mut m: HashMap<Element, Vec<usize>> = HashMap::new();
+            for (i, t) in self.tuples.iter().enumerate() {
+                m.entry(t[pos]).or_default().push(i);
+            }
+            m
+        });
+    }
+}
+
+/// The evaluator. Holds the program and exposes [`run`](Self::run).
+#[derive(Debug)]
+pub struct Evaluator<'p> {
+    program: &'p Program,
+}
+
+impl<'p> Evaluator<'p> {
+    /// Creates an evaluator for `program`.
+    pub fn new(program: &'p Program) -> Self {
+        Self { program }
+    }
+
+    /// Evaluates the program on `structure` with the given options.
+    ///
+    /// # Panics
+    /// Panics if the structure's vocabulary differs from the program's.
+    pub fn run(&self, structure: &Structure, options: EvalOptions) -> EvalResult {
+        assert_eq!(
+            structure.vocabulary(),
+            self.program.vocabulary(),
+            "structure/program vocabulary mismatch"
+        );
+        let idb_count = self.program.idb_count();
+        let universe = structure.universe_size();
+
+        // EDB stores, indexed once.
+        let mut edb: Vec<Indexed> = structure
+            .vocabulary()
+            .relations()
+            .map(|r| Indexed::from_iter(structure.relation(r).iter()))
+            .collect();
+
+        // IDB state.
+        let mut full: Vec<HashSet<Tuple>> = vec![HashSet::new(); idb_count];
+        let mut delta: Vec<HashSet<Tuple>> = vec![HashSet::new(); idb_count];
+        let mut stats: Vec<StageStats> = Vec::new();
+        let mut stages: Vec<Vec<HashSet<Tuple>>> = Vec::new();
+
+        // Compile rule variants.
+        // Stage 1 always evaluates the rules against empty IDBs (naive).
+        let naive_rules: Vec<CompiledRule> = self
+            .program
+            .rules()
+            .iter()
+            .map(|r| compile_rule(r, None))
+            .collect();
+        let semi_variants: Vec<CompiledRule> = if options.semi_naive {
+            let mut v = Vec::new();
+            for rule in self.program.rules() {
+                let idb_atoms = rule
+                    .atoms()
+                    .filter(|(p, _)| matches!(p, Pred::Idb(_)))
+                    .count();
+                for d in 0..idb_atoms {
+                    v.push(compile_rule(rule, Some(d)));
+                }
+            }
+            v
+        } else {
+            Vec::new()
+        };
+
+        let mut converged = false;
+        let mut stage = 0usize;
+        loop {
+            if let Some(max) = options.max_stages {
+                if stage >= max {
+                    break;
+                }
+            }
+            stage += 1;
+            let mut next_delta: Vec<HashSet<Tuple>> = vec![HashSet::new(); idb_count];
+            // Index snapshots for this stage.
+            let mut full_idx: Vec<Indexed> =
+                full.iter().map(|s| Indexed::from_iter(s.iter())).collect();
+            let mut old_idx: Vec<Indexed> = if options.semi_naive && stage > 1 {
+                full.iter()
+                    .zip(&delta)
+                    .map(|(f, d)| Indexed::from_iter(f.iter().filter(|t| !d.contains(*t))))
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let mut delta_idx: Vec<Indexed> =
+                delta.iter().map(|s| Indexed::from_iter(s.iter())).collect();
+
+            let rules_this_stage: &[CompiledRule] = if stage == 1 || !options.semi_naive {
+                &naive_rules
+            } else {
+                &semi_variants
+            };
+            for rule in rules_this_stage {
+                // Skip variants whose delta seed is empty.
+                if let Some(first) = rule.atoms.first() {
+                    if first.access == IdbAccess::Delta {
+                        if let Pred::Idb(i) = first.pred {
+                            if delta[i.0].is_empty() {
+                                continue;
+                            }
+                        }
+                    }
+                }
+                evaluate_rule(
+                    rule,
+                    structure,
+                    universe,
+                    &mut edb,
+                    &mut full_idx,
+                    &mut old_idx,
+                    &mut delta_idx,
+                    &full,
+                    &mut next_delta,
+                );
+            }
+
+            // In naive mode the rules recompute everything; keep only the
+            // genuinely new tuples as the delta.
+            let mut new_count = vec![0usize; idb_count];
+            for i in 0..idb_count {
+                next_delta[i].retain(|t| !full[i].contains(t));
+                new_count[i] = next_delta[i].len();
+                for t in &next_delta[i] {
+                    full[i].insert(t.clone());
+                }
+            }
+            let any_new = new_count.iter().any(|&c| c > 0);
+            if any_new {
+                stats.push(StageStats {
+                    new_tuples: new_count,
+                });
+                if options.record_stages {
+                    stages.push(full.clone());
+                }
+                delta = next_delta;
+            } else {
+                converged = true;
+                break;
+            }
+        }
+
+        EvalResult {
+            idb: full,
+            stats,
+            stages,
+            converged,
+        }
+    }
+
+    /// Convenience: runs with default options and returns the goal relation.
+    pub fn goal(&self, structure: &Structure) -> HashSet<Tuple> {
+        let r = self.run(structure, EvalOptions::default());
+        r.idb[self.program.goal().0].clone()
+    }
+
+    /// Convenience: does `tuple` belong to the goal relation?
+    pub fn holds(&self, structure: &Structure, tuple: &[Element]) -> bool {
+        self.goal(structure).contains(tuple)
+    }
+}
+
+/// Evaluates one compiled rule, inserting derived head tuples into
+/// `next_delta`.
+#[allow(clippy::too_many_arguments)]
+fn evaluate_rule(
+    rule: &CompiledRule,
+    structure: &Structure,
+    universe: usize,
+    edb: &mut [Indexed],
+    full_idx: &mut [Indexed],
+    old_idx: &mut [Indexed],
+    delta_idx: &mut [Indexed],
+    full: &[HashSet<Tuple>],
+    next_delta: &mut [HashSet<Tuple>],
+) {
+    // Structure-dependent constant equality guards.
+    let resolve = |t: &Term, binding: &[Option<Element>]| -> Option<Element> {
+        match t {
+            Term::Var(v) => binding[v.0],
+            Term::Const(c) => Some(structure.constant(*c)),
+        }
+    };
+    let empty_binding = vec![None; rule.var_count];
+    for (a, b) in &rule.const_eqs {
+        if resolve(a, &empty_binding) != resolve(b, &empty_binding) {
+            return;
+        }
+    }
+
+    let mut binding: Vec<Option<Element>> = vec![None; rule.var_count];
+
+    // Recursion over atoms, then free-variable enumeration, then emit.
+    #[allow(clippy::too_many_arguments)]
+    fn join(
+        rule: &CompiledRule,
+        atom_pos: usize,
+        binding: &mut Vec<Option<Element>>,
+        structure: &Structure,
+        universe: usize,
+        edb: &mut [Indexed],
+        full_idx: &mut [Indexed],
+        old_idx: &mut [Indexed],
+        delta_idx: &mut [Indexed],
+        full: &[HashSet<Tuple>],
+        next_delta: &mut [HashSet<Tuple>],
+    ) {
+        // Inequality pruning: any fully bound neq that fails kills branch.
+        for (a, b) in &rule.neqs {
+            let va = match a {
+                Term::Var(v) => binding[v.0],
+                Term::Const(c) => Some(structure.constant(*c)),
+            };
+            let vb = match b {
+                Term::Var(v) => binding[v.0],
+                Term::Const(c) => Some(structure.constant(*c)),
+            };
+            if let (Some(x), Some(y)) = (va, vb) {
+                if x == y {
+                    return;
+                }
+            }
+        }
+        if atom_pos == rule.atoms.len() {
+            // Enumerate free variables, then emit the head tuple.
+            fn enumerate(
+                rule: &CompiledRule,
+                free_pos: usize,
+                binding: &mut Vec<Option<Element>>,
+                structure: &Structure,
+                universe: usize,
+                full: &[HashSet<Tuple>],
+                next_delta: &mut [HashSet<Tuple>],
+            ) {
+                for (a, b) in &rule.neqs {
+                    let va = match a {
+                        Term::Var(v) => binding[v.0],
+                        Term::Const(c) => Some(structure.constant(*c)),
+                    };
+                    let vb = match b {
+                        Term::Var(v) => binding[v.0],
+                        Term::Const(c) => Some(structure.constant(*c)),
+                    };
+                    if let (Some(x), Some(y)) = (va, vb) {
+                        if x == y {
+                            return;
+                        }
+                    }
+                }
+                if free_pos == rule.free_vars.len() {
+                    let head: Option<Vec<Element>> = rule
+                        .head_args
+                        .iter()
+                        .map(|t| match t {
+                            Term::Var(v) => binding[v.0],
+                            Term::Const(c) => Some(structure.constant(*c)),
+                        })
+                        .collect();
+                    let head = head.expect("head variables fully bound");
+                    let boxed = head.into_boxed_slice();
+                    if !full[rule.head.0].contains(&boxed) {
+                        next_delta[rule.head.0].insert(boxed);
+                    }
+                    return;
+                }
+                let v = rule.free_vars[free_pos];
+                for e in 0..universe as Element {
+                    binding[v.0] = Some(e);
+                    enumerate(rule, free_pos + 1, binding, structure, universe, full, next_delta);
+                }
+                binding[v.0] = None;
+            }
+            enumerate(rule, 0, binding, structure, universe, full, next_delta);
+            return;
+        }
+
+        let atom = &rule.atoms[atom_pos];
+        let store: &mut Indexed = match (atom.pred, atom.access) {
+            (Pred::Edb(r), _) => &mut edb[r.0],
+            (Pred::Idb(i), IdbAccess::Full) => &mut full_idx[i.0],
+            (Pred::Idb(i), IdbAccess::Old) => &mut old_idx[i.0],
+            (Pred::Idb(i), IdbAccess::Delta) => &mut delta_idx[i.0],
+        };
+        // Choose a bound position to index on, if any.
+        let mut index_pos: Option<(usize, Element)> = None;
+        for (pos, t) in atom.args.iter().enumerate() {
+            let val = match t {
+                Term::Var(v) => binding[v.0],
+                Term::Const(c) => Some(structure.constant(*c)),
+            };
+            if let Some(e) = val {
+                index_pos = Some((pos, e));
+                break;
+            }
+        }
+        let candidates: Vec<Tuple> = match index_pos {
+            Some((pos, e)) => {
+                store.ensure_index(pos);
+                match store.indexes[&pos].get(&e) {
+                    Some(ids) => ids.iter().map(|&i| store.tuples[i].clone()).collect(),
+                    None => Vec::new(),
+                }
+            }
+            None => store.tuples.clone(),
+        };
+        'cand: for tuple in candidates {
+            // Match and extend binding.
+            let mut newly_bound: Vec<VarId> = Vec::new();
+            for (pos, t) in atom.args.iter().enumerate() {
+                match t {
+                    Term::Const(c) => {
+                        if structure.constant(*c) != tuple[pos] {
+                            for v in newly_bound.drain(..) {
+                                binding[v.0] = None;
+                            }
+                            continue 'cand;
+                        }
+                    }
+                    Term::Var(v) => match binding[v.0] {
+                        Some(e) => {
+                            if e != tuple[pos] {
+                                for v in newly_bound.drain(..) {
+                                    binding[v.0] = None;
+                                }
+                                continue 'cand;
+                            }
+                        }
+                        None => {
+                            binding[v.0] = Some(tuple[pos]);
+                            newly_bound.push(*v);
+                        }
+                    },
+                }
+            }
+            join(
+                rule,
+                atom_pos + 1,
+                binding,
+                structure,
+                universe,
+                edb,
+                full_idx,
+                old_idx,
+                delta_idx,
+                full,
+                next_delta,
+            );
+            for v in newly_bound.drain(..) {
+                binding[v.0] = None;
+            }
+        }
+    }
+
+    join(
+        rule,
+        0,
+        &mut binding,
+        structure,
+        universe,
+        edb,
+        full_idx,
+        old_idx,
+        delta_idx,
+        full,
+        next_delta,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use kv_structures::generators::{directed_cycle, directed_path, random_digraph};
+    use kv_structures::Vocabulary;
+    use std::sync::Arc;
+
+    fn graph_vocab() -> Arc<Vocabulary> {
+        Arc::new(Vocabulary::graph())
+    }
+
+    fn tc() -> Program {
+        parse_program(
+            "S(x, y) :- E(x, y). S(x, y) :- E(x, z), S(z, y). ?- S.",
+            graph_vocab(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn tc_on_path() {
+        let p = tc();
+        let s = directed_path(4);
+        let result = Evaluator::new(&p).goal(&s);
+        // All pairs i < j.
+        assert_eq!(result.len(), 6);
+        assert!(result.contains(&[0u32, 3][..]));
+        assert!(!result.contains(&[3u32, 0][..]));
+    }
+
+    #[test]
+    fn tc_on_cycle_is_complete() {
+        let p = tc();
+        let s = directed_cycle(5);
+        let result = Evaluator::new(&p).goal(&s);
+        assert_eq!(result.len(), 25);
+    }
+
+    #[test]
+    fn naive_and_semi_naive_agree_with_identical_stages() {
+        let p = tc();
+        for seed in 0..5 {
+            let g = random_digraph(12, 0.15, seed);
+            let s = g.to_structure();
+            let naive = Evaluator::new(&p).run(
+                &s,
+                EvalOptions {
+                    semi_naive: false,
+                    record_stages: true,
+                    max_stages: None,
+                },
+            );
+            let semi = Evaluator::new(&p).run(
+                &s,
+                EvalOptions {
+                    semi_naive: true,
+                    record_stages: true,
+                    max_stages: None,
+                },
+            );
+            assert_eq!(naive.idb, semi.idb, "fixpoints differ on seed {seed}");
+            assert_eq!(naive.stats, semi.stats, "stage stats differ on seed {seed}");
+            assert_eq!(naive.stages, semi.stages, "stages differ on seed {seed}");
+        }
+    }
+
+    #[test]
+    fn stage_counts_match_paper_iteration() {
+        // On a directed path with n nodes, stage k of TC adds the pairs at
+        // distance exactly k: Θ¹ = E, Θ² adds distance-2 pairs, etc.
+        let p = tc();
+        let s = directed_path(6);
+        let r = Evaluator::new(&p).run(
+            &s,
+            EvalOptions {
+                semi_naive: true,
+                record_stages: true,
+                max_stages: None,
+            },
+        );
+        assert_eq!(r.stage_count(), 5); // distances 1..=5
+        assert_eq!(
+            r.stats.iter().map(|s| s.new_tuples[0]).collect::<Vec<_>>(),
+            vec![5, 4, 3, 2, 1]
+        );
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn avoiding_path_program_matches_bfs() {
+        let src = "
+            T(x, y, w) :- E(x, y), w != x, w != y.
+            T(x, y, w) :- E(x, z), T(z, y, w), w != x.
+            ?- T.
+        ";
+        let p = parse_program(src, graph_vocab()).unwrap();
+        for seed in 0..5 {
+            let g = random_digraph(8, 0.25, 50 + seed);
+            let s = g.to_structure();
+            let t = Evaluator::new(&p).goal(&s);
+            for x in 0..8u32 {
+                for y in 0..8u32 {
+                    for w in 0..8u32 {
+                        let expected = kv_graphalg::avoiding_path(&g, x, y, &[w]);
+                        let got = t.contains(&[x, y, w][..]);
+                        assert_eq!(
+                            got, expected,
+                            "T({x},{y},{w}) mismatch on seed {}",
+                            50 + seed
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unbound_head_variable_ranges_over_universe() {
+        // P(x, w) :- E(x, x).   [w unconstrained]
+        let p = parse_program("P(x, w) :- E(x, x). ?- P.", graph_vocab()).unwrap();
+        let mut s = Structure::new(graph_vocab(), 4);
+        s.insert(kv_structures::RelId(0), &[2, 2]);
+        let result = Evaluator::new(&p).goal(&s);
+        assert_eq!(result.len(), 4);
+        for w in 0..4u32 {
+            assert!(result.contains(&[2, w][..]));
+        }
+    }
+
+    #[test]
+    fn unbound_variable_with_inequality_excludes() {
+        // The first rule of Example 2.1 on a single edge 0 -> 1 in a
+        // 3-element universe: T(0, 1, w) for w not in {0, 1}.
+        let p = parse_program(
+            "T(x, y, w) :- E(x, y), w != x, w != y. ?- T.",
+            graph_vocab(),
+        )
+        .unwrap();
+        let mut s = Structure::new(graph_vocab(), 3);
+        s.insert(kv_structures::RelId(0), &[0, 1]);
+        let result = Evaluator::new(&p).goal(&s);
+        assert_eq!(result.len(), 1);
+        assert!(result.contains(&[0u32, 1, 2][..]));
+    }
+
+    #[test]
+    fn equality_literal_unifies() {
+        let p = parse_program("P(x, y) :- E(x, z), z = y. ?- P.", graph_vocab()).unwrap();
+        let s = directed_path(3);
+        let result = Evaluator::new(&p).goal(&s);
+        assert_eq!(result.len(), 2);
+        assert!(result.contains(&[0u32, 1][..]));
+        assert!(result.contains(&[1u32, 2][..]));
+    }
+
+    #[test]
+    fn constants_in_rules_resolve_per_structure() {
+        let vocab = Arc::new(Vocabulary::graph_with_constants(1));
+        let p = parse_program("R(x) :- E(s1, x). ?- R.", Arc::clone(&vocab)).unwrap();
+        let mut s = Structure::new(Arc::clone(&vocab), 3);
+        s.insert(kv_structures::RelId(0), &[0, 1]);
+        s.insert(kv_structures::RelId(0), &[1, 2]);
+        s.set_constant(kv_structures::ConstId(0), 1);
+        let result = Evaluator::new(&p).goal(&s);
+        assert_eq!(result.len(), 1);
+        assert!(result.contains(&[2u32][..]));
+    }
+
+    #[test]
+    fn fact_rule_with_constants() {
+        let vocab = Arc::new(Vocabulary::graph_with_constants(2));
+        let p = parse_program("D(s1, s2). ?- D.", Arc::clone(&vocab)).unwrap();
+        let mut s = Structure::new(Arc::clone(&vocab), 5);
+        s.set_constant(kv_structures::ConstId(0), 3);
+        s.set_constant(kv_structures::ConstId(1), 4);
+        let result = Evaluator::new(&p).goal(&s);
+        assert_eq!(result.len(), 1);
+        assert!(result.contains(&[3u32, 4][..]));
+    }
+
+    #[test]
+    fn multiple_idbs_mutual_recursion() {
+        // Even/odd path lengths from node 0 via mutual recursion.
+        let src = "
+            Odd(x, y) :- E(x, y).
+            Odd(x, y) :- Even(x, z), E(z, y).
+            Even(x, y) :- Odd(x, z), E(z, y).
+            ?- Even.
+        ";
+        let p = parse_program(src, graph_vocab()).unwrap();
+        let s = directed_path(5);
+        let even = Evaluator::new(&p).goal(&s);
+        // Even-length (>= 2) paths on a 5-node path: dist 2 and 4.
+        let pairs: HashSet<(u32, u32)> = even.iter().map(|t| (t[0], t[1])).collect();
+        assert_eq!(
+            pairs,
+            HashSet::from([(0, 2), (1, 3), (2, 4), (0, 4)])
+        );
+    }
+
+    #[test]
+    fn max_stages_truncates() {
+        let p = tc();
+        let s = directed_path(10);
+        let r = Evaluator::new(&p).run(
+            &s,
+            EvalOptions {
+                semi_naive: true,
+                record_stages: false,
+                max_stages: Some(2),
+            },
+        );
+        assert!(!r.converged);
+        assert_eq!(r.stage_count(), 2);
+        // Stages 1..=2 derive distances 1..=2: 9 + 8 tuples.
+        assert_eq!(r.idb[0].len(), 17);
+    }
+
+    #[test]
+    fn empty_program_converges_immediately() {
+        let p = parse_program("P(x) :- Qnever(x). ?- P.", graph_vocab()).unwrap();
+        let s = directed_path(3);
+        let r = Evaluator::new(&p).run(&s, EvalOptions::default());
+        assert!(r.converged);
+        assert!(r.idb.iter().all(|rel| rel.is_empty()));
+    }
+}

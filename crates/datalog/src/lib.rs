@@ -1,0 +1,37 @@
+//! Datalog(≠): the query language of the paper (Section 2).
+//!
+//! A Datalog(≠) program is a finite set of rules
+//!
+//! ```text
+//! t0 :- t1, t2, …, tl.
+//! ```
+//!
+//! whose head is an atomic formula over an IDB predicate and whose body
+//! literals are atomic formulas (over EDB or IDB predicates), equalities
+//! `x = y`, or inequalities `x != y`. Negated atoms are not allowed. Plain
+//! Datalog is the fragment without `=`/`≠`.
+//!
+//! Semantics ([`eval`]) are the least fixpoint of the monotone operator
+//! `Θ_A` induced by the rules, computed bottom-up either naively (the
+//! paper's stage iteration `Θ¹ ⊆ Θ² ⊆ …`) or by semi-naive evaluation;
+//! both produce identical stages, which the `kv-logic` crate consumes for
+//! the Theorem 3.6 stage-formula translation.
+//!
+//! An important paper-faithful detail: rules need not be range-restricted.
+//! A head variable that occurs in no body atom (such as `w` in the first
+//! rule of Example 2.1's program) ranges over the **entire universe** of the
+//! input structure, filtered by the rule's (in)equalities.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod eval;
+pub mod monotone;
+pub mod parser;
+pub mod program;
+pub mod programs;
+
+pub use ast::{IdbId, Literal, Pred, Rule, Term, VarId};
+pub use eval::{EvalOptions, EvalResult, Evaluator, StageStats};
+pub use parser::{parse_program, ParseError};
+pub use program::{Program, ProgramError};

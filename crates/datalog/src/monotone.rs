@@ -1,0 +1,184 @@
+//! Empirical monotonicity checks (Section 1 / Section 2 discussion).
+//!
+//! Datalog(≠) programs compute *monotone* queries: preserved when tuples or
+//! fresh elements are added. Datalog programs compute *strongly monotone*
+//! queries: additionally preserved when elements of the universe are
+//! identified (collapsed). These checkers verify the containments on
+//! concrete structure pairs and hunt for counterexamples; experiment E2
+//! uses them to separate the two notions on Example 2.1's query.
+
+use crate::eval::Evaluator;
+use crate::program::Program;
+use kv_structures::{quotient, Element, Structure, Tuple};
+
+/// Verifies that `small`'s relations are contained in `big`'s (tuplewise)
+/// and `small`'s universe is an initial segment of `big`'s, i.e. `big`
+/// extends `small` in the sense of monotonicity.
+pub fn is_extension(small: &Structure, big: &Structure) -> bool {
+    if small.vocabulary() != big.vocabulary() {
+        return false;
+    }
+    if small.universe_size() > big.universe_size() {
+        return false;
+    }
+    if small.constant_values() != big.constant_values() {
+        return false;
+    }
+    small
+        .vocabulary()
+        .relations()
+        .all(|r| small.relation(r).iter().all(|t| big.contains(r, t)))
+}
+
+/// Checks monotonicity on one extension pair: every goal tuple of `small`
+/// must be a goal tuple of `big`. Returns the first violating tuple.
+///
+/// # Panics
+/// Panics if `big` does not extend `small`.
+pub fn extension_preserved(
+    program: &Program,
+    small: &Structure,
+    big: &Structure,
+) -> Result<(), Tuple> {
+    assert!(is_extension(small, big), "big must extend small");
+    let goal_small = Evaluator::new(program).goal(small);
+    let goal_big = Evaluator::new(program).goal(big);
+    for t in goal_small {
+        if !goal_big.contains(&t) {
+            return Err(t);
+        }
+    }
+    Ok(())
+}
+
+/// Checks strong monotonicity under identification: for every goal tuple
+/// `a` of `s`, the classwise image of `a` must be a goal tuple of the
+/// quotient `s / class_of`. Returns the first violating (original) tuple.
+pub fn identification_preserved(
+    program: &Program,
+    s: &Structure,
+    class_of: &[Element],
+) -> Result<(), Tuple> {
+    let q = quotient(s, class_of);
+    let goal_s = Evaluator::new(program).goal(s);
+    let goal_q = Evaluator::new(program).goal(&q);
+    for t in goal_s {
+        let image: Vec<Element> = t.iter().map(|&e| class_of[e as usize]).collect();
+        if !goal_q.contains(image.as_slice()) {
+            return Err(t);
+        }
+    }
+    Ok(())
+}
+
+/// Exhaustively searches all ways of identifying exactly one pair of
+/// elements of `s` for a strong-monotonicity violation. Returns
+/// `Some((merged_a, merged_b, witness_tuple))` for the first violation.
+pub fn find_identification_counterexample(
+    program: &Program,
+    s: &Structure,
+) -> Option<(Element, Element, Tuple)> {
+    let n = s.universe_size();
+    for a in 0..n as Element {
+        for b in (a + 1)..n as Element {
+            // Merge b into a; renumber to keep classes contiguous.
+            let class_of: Vec<Element> = (0..n as Element)
+                .map(|e| {
+                    if e == b {
+                        a
+                    } else if e > b {
+                        e - 1
+                    } else {
+                        e
+                    }
+                })
+                .collect();
+            if let Err(t) = identification_preserved(program, s, &class_of) {
+                return Some((a, b, t));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs::{avoiding_path, transitive_closure};
+    use kv_structures::generators::{directed_path, random_digraph};
+    use kv_structures::RelId;
+
+    #[test]
+    fn tc_is_monotone_under_extension() {
+        let p = transitive_closure();
+        for seed in 0..5 {
+            let g = random_digraph(8, 0.2, seed);
+            let small = g.to_structure();
+            let mut big = small.clone();
+            big.grow(2);
+            big.insert(RelId(0), &[0, 8]);
+            big.insert(RelId(0), &[8, 9]);
+            assert!(extension_preserved(&p, &small, &big).is_ok());
+        }
+    }
+
+    #[test]
+    fn avoiding_path_is_monotone_under_extension() {
+        let p = avoiding_path();
+        let g = random_digraph(7, 0.25, 3);
+        let small = g.to_structure();
+        let mut big = small.clone();
+        big.grow(1);
+        big.insert(RelId(0), &[2, 7]);
+        big.insert(RelId(0), &[7, 4]);
+        assert!(extension_preserved(&p, &small, &big).is_ok());
+    }
+
+    #[test]
+    fn tc_is_strongly_monotone() {
+        // Pure Datalog: preserved under any identification.
+        let p = transitive_closure();
+        for seed in 0..5 {
+            let g = random_digraph(6, 0.3, 10 + seed);
+            let s = g.to_structure();
+            assert!(find_identification_counterexample(&p, &s).is_none());
+        }
+    }
+
+    #[test]
+    fn avoiding_path_is_not_strongly_monotone() {
+        // Example 2.1's query fails identification: take the path
+        // 0 -> 1 -> 2 plus an isolated node 3. T(0, 2, 3) holds. Merging
+        // 3 with 1 puts the forbidden node on the only path.
+        let p = avoiding_path();
+        let mut s = directed_path(3);
+        s.grow(1);
+        let (a, b, witness) =
+            find_identification_counterexample(&p, &s).expect("violation must exist");
+        // The specific merge (1, 3) must be among the violations found on
+        // some search order; check the returned one is genuine.
+        let n = s.universe_size();
+        let class_of: Vec<Element> = (0..n as Element)
+            .map(|e| {
+                if e == b {
+                    a
+                } else if e > b {
+                    e - 1
+                } else {
+                    e
+                }
+            })
+            .collect();
+        assert!(identification_preserved(&p, &s, &class_of).is_err());
+        assert_eq!(witness.len(), 3);
+    }
+
+    #[test]
+    fn is_extension_rejects_constant_changes() {
+        let s = directed_path(3);
+        let mut bigger = s.clone();
+        bigger.grow(1);
+        assert!(is_extension(&s, &bigger));
+        assert!(!is_extension(&bigger, &s));
+    }
+}

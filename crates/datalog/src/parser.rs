@@ -1,0 +1,501 @@
+//! A small text syntax for Datalog(≠) programs.
+//!
+//! ```text
+//! // Example 2.1: is there a w-avoiding path from x to y?
+//! T(x, y, w) :- E(x, y), w != x, w != y.
+//! T(x, y, w) :- E(x, z), T(z, y, w), w != x.
+//! ?- T.
+//! ```
+//!
+//! Conventions:
+//! - `:-` or `<-` separates head from body; every rule ends with `.`;
+//! - an identifier in term position denotes a **constant** iff the
+//!   vocabulary declares a constant of that name, otherwise a rule-local
+//!   variable;
+//! - a predicate name denotes an **EDB** relation iff the vocabulary
+//!   declares it, otherwise an IDB predicate (auto-declared at first use,
+//!   with the arity of that first use);
+//! - `?- P.` selects the goal predicate (defaults to the first IDB);
+//! - `//` starts a line comment.
+
+use crate::ast::{IdbId, Literal, Pred, Rule, Term, VarId};
+use crate::program::{Program, ProgramError};
+use kv_structures::Vocabulary;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors produced while parsing program text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Lexical or syntactic error with a human-readable description.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// Description.
+        message: String,
+    },
+    /// The parsed program failed semantic validation.
+    Invalid(ProgramError),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            Self::Invalid(e) => write!(f, "invalid program: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<ProgramError> for ParseError {
+    fn from(e: ProgramError) -> Self {
+        Self::Invalid(e)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Arrow,  // ":-" or "<-"
+    Eq,     // "="
+    Neq,    // "!="
+    Goal,   // "?-"
+}
+
+fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
+    let mut toks = Vec::new();
+    let mut line = 1usize;
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&'/') => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                toks.push((Tok::LParen, line));
+                i += 1;
+            }
+            ')' => {
+                toks.push((Tok::RParen, line));
+                i += 1;
+            }
+            ',' => {
+                toks.push((Tok::Comma, line));
+                i += 1;
+            }
+            '.' => {
+                toks.push((Tok::Dot, line));
+                i += 1;
+            }
+            '=' => {
+                toks.push((Tok::Eq, line));
+                i += 1;
+            }
+            ':' if bytes.get(i + 1) == Some(&'-') => {
+                toks.push((Tok::Arrow, line));
+                i += 2;
+            }
+            '<' if bytes.get(i + 1) == Some(&'-') => {
+                toks.push((Tok::Arrow, line));
+                i += 2;
+            }
+            '!' if bytes.get(i + 1) == Some(&'=') => {
+                toks.push((Tok::Neq, line));
+                i += 2;
+            }
+            '?' if bytes.get(i + 1) == Some(&'-') => {
+                toks.push((Tok::Goal, line));
+                i += 2;
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_alphanumeric() || bytes[i] == '_' || bytes[i] == '\'')
+                {
+                    i += 1;
+                }
+                toks.push((Tok::Ident(bytes[start..i].iter().collect()), line));
+            }
+            other => {
+                return Err(ParseError::Syntax {
+                    line,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser<'a> {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+    vocab: &'a Vocabulary,
+    idbs: Vec<(String, usize)>,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map_or(0, |&(_, l)| l)
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError::Syntax {
+            line: self.line(),
+            message: message.into(),
+        }
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(ref t) if t == want => Ok(()),
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    /// Resolves a predicate name, auto-declaring IDBs.
+    fn pred(&mut self, name: &str, arity: usize, line: usize) -> Result<Pred, ParseError> {
+        if let Some(r) = self.vocab.relation_by_name(name) {
+            return Ok(Pred::Edb(r));
+        }
+        if let Some(i) = self.idbs.iter().position(|(n, _)| n == name) {
+            if self.idbs[i].1 != arity {
+                return Err(ParseError::Syntax {
+                    line,
+                    message: format!(
+                        "predicate {name} used with arity {arity}, previously {}",
+                        self.idbs[i].1
+                    ),
+                });
+            }
+            return Ok(Pred::Idb(IdbId(i)));
+        }
+        self.idbs.push((name.to_string(), arity));
+        Ok(Pred::Idb(IdbId(self.idbs.len() - 1)))
+    }
+
+    fn term(&mut self, vars: &mut Vec<String>, var_ids: &mut HashMap<String, VarId>) -> Result<Term, ParseError> {
+        let name = self.ident()?;
+        if let Some(c) = self.vocab.constant_by_name(&name) {
+            return Ok(Term::Const(c));
+        }
+        let id = *var_ids.entry(name.clone()).or_insert_with(|| {
+            vars.push(name.clone());
+            VarId(vars.len() - 1)
+        });
+        Ok(Term::Var(id))
+    }
+
+    fn term_list(
+        &mut self,
+        vars: &mut Vec<String>,
+        var_ids: &mut HashMap<String, VarId>,
+    ) -> Result<Vec<Term>, ParseError> {
+        self.expect(&Tok::LParen, "'('")?;
+        let mut args = Vec::new();
+        if self.peek() == Some(&Tok::RParen) {
+            self.next();
+            return Ok(args);
+        }
+        loop {
+            args.push(self.term(vars, var_ids)?);
+            match self.next() {
+                Some(Tok::Comma) => continue,
+                Some(Tok::RParen) => break,
+                other => return Err(self.err(format!("expected ',' or ')', found {other:?}"))),
+            }
+        }
+        Ok(args)
+    }
+}
+
+/// Parses a program from text against the given EDB vocabulary.
+///
+/// ```
+/// use kv_datalog::{parse_program, Evaluator};
+/// use kv_structures::{generators::directed_path, Vocabulary};
+/// use std::sync::Arc;
+///
+/// let program = parse_program(
+///     "S(x, y) :- E(x, y). S(x, y) :- E(x, z), S(z, y). ?- S.",
+///     Arc::new(Vocabulary::graph()),
+/// )?;
+/// let tc = Evaluator::new(&program).goal(&directed_path(4));
+/// assert!(tc.contains(&[0u32, 3][..])); // 0 reaches 3
+/// # Ok::<(), kv_datalog::ParseError>(())
+/// ```
+pub fn parse_program(src: &str, vocabulary: Arc<Vocabulary>) -> Result<Program, ParseError> {
+    let toks = lex(src)?;
+    let vocab_ref = Arc::clone(&vocabulary);
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        vocab: &vocab_ref,
+        idbs: Vec::new(),
+    };
+    let mut rules: Vec<Rule> = Vec::new();
+    let mut goal_name: Option<String> = None;
+    while p.peek().is_some() {
+        if p.peek() == Some(&Tok::Goal) {
+            p.next();
+            let name = p.ident()?;
+            p.expect(&Tok::Dot, "'.'")?;
+            goal_name = Some(name);
+            continue;
+        }
+        // Head.
+        let mut vars: Vec<String> = Vec::new();
+        let mut var_ids: HashMap<String, VarId> = HashMap::new();
+        let head_name = p.ident()?;
+        let line = p.line();
+        let head_args = p.term_list(&mut vars, &mut var_ids)?;
+        let head = match p.pred(&head_name, head_args.len(), line)? {
+            Pred::Idb(i) => i,
+            Pred::Edb(_) => {
+                return Err(ParseError::Syntax {
+                    line,
+                    message: format!("rule head {head_name} is an EDB relation"),
+                })
+            }
+        };
+        // Body (optional).
+        let mut body = Vec::new();
+        match p.next() {
+            Some(Tok::Dot) => {}
+            Some(Tok::Arrow) => loop {
+                // A literal: either ident(...) or term (= | !=) term.
+                let first = p.term(&mut vars, &mut var_ids)?;
+                match p.peek() {
+                    Some(Tok::LParen) => {
+                        // `first` was actually a predicate name: undo the
+                        // variable registration if it created one.
+                        let name = match first {
+                            Term::Var(v) => {
+                                let name = vars[v.0].clone();
+                                // Only remove if it was freshly created and
+                                // is the last one (no other use yet).
+                                if v.0 == vars.len() - 1
+                                    && !body_mentions(&body, v)
+                                    && !head_args.contains(&Term::Var(v))
+                                {
+                                    vars.pop();
+                                    var_ids.remove(&name);
+                                }
+                                name
+                            }
+                            Term::Const(_) => {
+                                return Err(p.err("constant used as predicate name"))
+                            }
+                        };
+                        let line = p.line();
+                        let args = p.term_list(&mut vars, &mut var_ids)?;
+                        let pred = p.pred(&name, args.len(), line)?;
+                        body.push(Literal::Atom(pred, args));
+                    }
+                    Some(Tok::Eq) => {
+                        p.next();
+                        let second = p.term(&mut vars, &mut var_ids)?;
+                        body.push(Literal::Eq(first, second));
+                    }
+                    Some(Tok::Neq) => {
+                        p.next();
+                        let second = p.term(&mut vars, &mut var_ids)?;
+                        body.push(Literal::Neq(first, second));
+                    }
+                    other => {
+                        let msg = format!("expected '(', '=' or '!=', found {other:?}");
+                        return Err(p.err(msg));
+                    }
+                }
+                match p.next() {
+                    Some(Tok::Comma) => continue,
+                    Some(Tok::Dot) => break,
+                    other => return Err(p.err(format!("expected ',' or '.', found {other:?}"))),
+                }
+            },
+            other => return Err(p.err(format!("expected ':-' or '.', found {other:?}"))),
+        }
+        rules.push(Rule {
+            head,
+            head_args,
+            body,
+            var_names: vars,
+        });
+    }
+    let goal = match goal_name {
+        Some(name) => IdbId(
+            p.idbs
+                .iter()
+                .position(|(n, _)| *n == name)
+                .ok_or_else(|| ParseError::Syntax {
+                    line: 0,
+                    message: format!("goal predicate {name} is not an IDB of the program"),
+                })?,
+        ),
+        None => IdbId(0),
+    };
+    Ok(Program::new(vocabulary, p.idbs, rules, goal)?)
+}
+
+fn body_mentions(body: &[Literal], v: VarId) -> bool {
+    body.iter().any(|l| match l {
+        Literal::Atom(_, args) => args.contains(&Term::Var(v)),
+        Literal::Eq(a, b) | Literal::Neq(a, b) => {
+            *a == Term::Var(v) || *b == Term::Var(v)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph_vocab() -> Arc<Vocabulary> {
+        Arc::new(Vocabulary::graph())
+    }
+
+    #[test]
+    fn parses_transitive_closure() {
+        let src = "
+            // Example 2.2
+            S(x, y) :- E(x, y).
+            S(x, y) :- E(x, z), S(z, y).
+            ?- S.
+        ";
+        let p = parse_program(src, graph_vocab()).unwrap();
+        assert_eq!(p.idb_count(), 1);
+        assert!(p.is_pure_datalog());
+        assert_eq!(p.rules().len(), 2);
+        assert_eq!(p.goal(), IdbId(0));
+    }
+
+    #[test]
+    fn parses_avoiding_path_with_inequalities() {
+        let src = "
+            T(x, y, w) :- E(x, y), w != x, w != y.
+            T(x, y, w) :- E(x, z), T(z, y, w), w != x.
+        ";
+        let p = parse_program(src, graph_vocab()).unwrap();
+        assert!(!p.is_pure_datalog());
+        assert_eq!(p.idb_arity(IdbId(0)), 3);
+        assert_eq!(p.max_rule_vars(), 4);
+    }
+
+    #[test]
+    fn parses_constants_from_vocabulary() {
+        let vocab = Arc::new(Vocabulary::graph_with_constants(2));
+        let src = "
+            P(x) :- E(s1, x), x != s2.
+            ?- P.
+        ";
+        let p = parse_program(src, vocab).unwrap();
+        let rule = &p.rules()[0];
+        // The only variable is x; s1 and s2 are constants.
+        assert_eq!(rule.var_names, vec!["x".to_string()]);
+    }
+
+    #[test]
+    fn parses_fact_rules_with_empty_body() {
+        let vocab = Arc::new(Vocabulary::graph_with_constants(2));
+        let src = "D(s1, s2).";
+        let p = parse_program(src, vocab).unwrap();
+        assert!(p.rules()[0].body.is_empty());
+    }
+
+    #[test]
+    fn parses_explicit_equality() {
+        let src = "P(x, y) :- E(x, z), z = y.";
+        let p = parse_program(src, graph_vocab()).unwrap();
+        assert!(matches!(p.rules()[0].body[1], Literal::Eq(_, _)));
+    }
+
+    #[test]
+    fn goal_directive_selects_idb() {
+        let src = "
+            A(x) :- E(x, x).
+            B(x) :- A(x).
+            ?- B.
+        ";
+        let p = parse_program(src, graph_vocab()).unwrap();
+        assert_eq!(p.idb_name(p.goal()), "B");
+    }
+
+    #[test]
+    fn rejects_edb_head() {
+        let src = "E(x, y) :- E(y, x).";
+        let err = parse_program(src, graph_vocab()).unwrap_err();
+        assert!(matches!(err, ParseError::Syntax { .. }));
+    }
+
+    #[test]
+    fn rejects_arity_flip_flop() {
+        let src = "
+            P(x) :- E(x, x).
+            Q(x) :- P(x, x).
+        ";
+        let err = parse_program(src, graph_vocab()).unwrap_err();
+        assert!(matches!(err, ParseError::Syntax { .. }));
+    }
+
+    #[test]
+    fn rejects_unknown_goal() {
+        let src = "P(x) :- E(x, x). ?- Z.";
+        assert!(parse_program(src, graph_vocab()).is_err());
+    }
+
+    #[test]
+    fn arrow_variants_accepted() {
+        let src = "P(x) <- E(x, x).";
+        assert!(parse_program(src, graph_vocab()).is_ok());
+    }
+
+    #[test]
+    fn display_reparses_to_same_program() {
+        let vocab = Arc::new(Vocabulary::graph_with_constants(2));
+        let src = "
+            T(x, y, w) :- E(x, y), w != x, w != y.
+            T(x, y, w) :- E(x, z), T(z, y, w), w != x.
+            Q(x) :- T(s1, x, s2).
+            ?- Q.
+        ";
+        let p1 = parse_program(src, Arc::clone(&vocab)).unwrap();
+        let p2 = parse_program(&p1.to_string(), vocab).unwrap();
+        assert_eq!(p1.rules(), p2.rules());
+        assert_eq!(p1.goal(), p2.goal());
+    }
+}

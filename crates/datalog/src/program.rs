@@ -1,0 +1,366 @@
+//! Programs: rule collections with an IDB signature and a goal predicate.
+
+use crate::ast::{IdbId, Literal, Pred, Rule, Term};
+use kv_structures::Vocabulary;
+use std::fmt;
+use std::sync::Arc;
+
+/// A validated Datalog(≠) program over a fixed EDB vocabulary.
+#[derive(Debug, Clone)]
+pub struct Program {
+    vocabulary: Arc<Vocabulary>,
+    idbs: Vec<(String, usize)>,
+    rules: Vec<Rule>,
+    goal: IdbId,
+}
+
+/// Validation errors for programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// An IDB name collides with an EDB relation name.
+    IdbShadowsEdb(String),
+    /// Two IDB predicates share a name.
+    DuplicateIdb(String),
+    /// A rule refers to an IDB that does not exist.
+    UnknownIdb(usize),
+    /// An atom's argument count disagrees with its predicate's arity.
+    ArityMismatch {
+        /// Offending rule index.
+        rule: usize,
+        /// Predicate name.
+        pred: String,
+        /// Expected arity.
+        expected: usize,
+        /// Actual argument count.
+        got: usize,
+    },
+    /// A rule mentions a variable id with no registered name.
+    UnknownVariable {
+        /// Offending rule index.
+        rule: usize,
+        /// Variable index.
+        var: usize,
+    },
+    /// The goal predicate index is out of range.
+    BadGoal(usize),
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::IdbShadowsEdb(n) => write!(f, "IDB predicate {n:?} shadows an EDB relation"),
+            Self::DuplicateIdb(n) => write!(f, "duplicate IDB predicate {n:?}"),
+            Self::UnknownIdb(i) => write!(f, "rule refers to unknown IDB #{i}"),
+            Self::ArityMismatch {
+                rule,
+                pred,
+                expected,
+                got,
+            } => write!(
+                f,
+                "rule #{rule}: predicate {pred} expects {expected} arguments, got {got}"
+            ),
+            Self::UnknownVariable { rule, var } => {
+                write!(f, "rule #{rule}: variable #{var} has no name entry")
+            }
+            Self::BadGoal(i) => write!(f, "goal IDB #{i} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+impl Program {
+    /// Builds and validates a program.
+    pub fn new(
+        vocabulary: Arc<Vocabulary>,
+        idbs: Vec<(String, usize)>,
+        rules: Vec<Rule>,
+        goal: IdbId,
+    ) -> Result<Self, ProgramError> {
+        for (i, (name, _)) in idbs.iter().enumerate() {
+            if vocabulary.relation_by_name(name).is_some() {
+                return Err(ProgramError::IdbShadowsEdb(name.clone()));
+            }
+            if idbs[..i].iter().any(|(n, _)| n == name) {
+                return Err(ProgramError::DuplicateIdb(name.clone()));
+            }
+        }
+        if goal.0 >= idbs.len() {
+            return Err(ProgramError::BadGoal(goal.0));
+        }
+        let p = Self {
+            vocabulary,
+            idbs,
+            rules,
+            goal,
+        };
+        for (ri, rule) in p.rules.iter().enumerate() {
+            p.validate_rule(ri, rule)?;
+        }
+        Ok(p)
+    }
+
+    fn validate_rule(&self, ri: usize, rule: &Rule) -> Result<(), ProgramError> {
+        let check_term = |t: &Term| -> Result<(), ProgramError> {
+            match t {
+                Term::Var(v) => {
+                    if v.0 >= rule.var_names.len() {
+                        return Err(ProgramError::UnknownVariable { rule: ri, var: v.0 });
+                    }
+                }
+                Term::Const(c) => {
+                    assert!(
+                        c.0 < self.vocabulary.constant_count(),
+                        "constant id out of vocabulary range"
+                    );
+                }
+            }
+            Ok(())
+        };
+        if rule.head.0 >= self.idbs.len() {
+            return Err(ProgramError::UnknownIdb(rule.head.0));
+        }
+        let head_arity = self.idbs[rule.head.0].1;
+        if rule.head_args.len() != head_arity {
+            return Err(ProgramError::ArityMismatch {
+                rule: ri,
+                pred: self.idbs[rule.head.0].0.clone(),
+                expected: head_arity,
+                got: rule.head_args.len(),
+            });
+        }
+        for t in &rule.head_args {
+            check_term(t)?;
+        }
+        for lit in &rule.body {
+            match lit {
+                Literal::Atom(pred, args) => {
+                    let (name, arity) = match pred {
+                        Pred::Edb(r) => (
+                            self.vocabulary.relation_name(*r).to_string(),
+                            self.vocabulary.arity(*r),
+                        ),
+                        Pred::Idb(i) => {
+                            if i.0 >= self.idbs.len() {
+                                return Err(ProgramError::UnknownIdb(i.0));
+                            }
+                            (self.idbs[i.0].0.clone(), self.idbs[i.0].1)
+                        }
+                    };
+                    if args.len() != arity {
+                        return Err(ProgramError::ArityMismatch {
+                            rule: ri,
+                            pred: name,
+                            expected: arity,
+                            got: args.len(),
+                        });
+                    }
+                    for t in args {
+                        check_term(t)?;
+                    }
+                }
+                Literal::Eq(a, b) | Literal::Neq(a, b) => {
+                    check_term(a)?;
+                    check_term(b)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The EDB vocabulary.
+    pub fn vocabulary(&self) -> &Arc<Vocabulary> {
+        &self.vocabulary
+    }
+
+    /// Number of IDB predicates.
+    pub fn idb_count(&self) -> usize {
+        self.idbs.len()
+    }
+
+    /// Name of IDB `i`.
+    pub fn idb_name(&self, i: IdbId) -> &str {
+        &self.idbs[i.0].0
+    }
+
+    /// Arity of IDB `i`.
+    pub fn idb_arity(&self, i: IdbId) -> usize {
+        self.idbs[i.0].1
+    }
+
+    /// Looks up an IDB by name.
+    pub fn idb_by_name(&self, name: &str) -> Option<IdbId> {
+        self.idbs.iter().position(|(n, _)| n == name).map(IdbId)
+    }
+
+    /// The rules.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// The goal predicate.
+    pub fn goal(&self) -> IdbId {
+        self.goal
+    }
+
+    /// Whether this is a plain Datalog program (no equalities or
+    /// inequalities in any rule body).
+    pub fn is_pure_datalog(&self) -> bool {
+        self.rules.iter().all(Rule::is_pure_datalog)
+    }
+
+    /// The maximum number of distinct variables in any rule (the `l` of
+    /// Theorem 3.6's variable accounting).
+    pub fn max_rule_vars(&self) -> usize {
+        self.rules.iter().map(Rule::var_count).max().unwrap_or(0)
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for rule in &self.rules {
+            let const_name =
+                |c: kv_structures::ConstId| self.vocabulary.constant_name(c).to_string();
+            let write_term = |t: &Term, f: &mut fmt::Formatter<'_>| -> fmt::Result {
+                crate::ast::fmt_term(t, &rule.var_names, &const_name, f)
+            };
+            write!(f, "{}(", self.idbs[rule.head.0].0)?;
+            for (i, t) in rule.head_args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write_term(t, f)?;
+            }
+            write!(f, ")")?;
+            if !rule.body.is_empty() {
+                write!(f, " :- ")?;
+                for (i, lit) in rule.body.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    match lit {
+                        Literal::Atom(pred, args) => {
+                            let name = match pred {
+                                Pred::Edb(r) => self.vocabulary.relation_name(*r),
+                                Pred::Idb(i) => &self.idbs[i.0].0,
+                            };
+                            write!(f, "{name}(")?;
+                            for (j, t) in args.iter().enumerate() {
+                                if j > 0 {
+                                    write!(f, ", ")?;
+                                }
+                                write_term(t, f)?;
+                            }
+                            write!(f, ")")?;
+                        }
+                        Literal::Eq(a, b) => {
+                            write_term(a, f)?;
+                            write!(f, " = ")?;
+                            write_term(b, f)?;
+                        }
+                        Literal::Neq(a, b) => {
+                            write_term(a, f)?;
+                            write!(f, " != ")?;
+                            write_term(b, f)?;
+                        }
+                    }
+                }
+            }
+            writeln!(f, ".")?;
+        }
+        writeln!(f, "?- {}.", self.idbs[self.goal.0].0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::VarId;
+    use kv_structures::RelId;
+
+    fn tc_program() -> Program {
+        let vocab = Arc::new(Vocabulary::graph());
+        let (x, y, z) = (VarId(0), VarId(1), VarId(2));
+        let rules = vec![
+            Rule {
+                head: IdbId(0),
+                head_args: vec![Term::Var(x), Term::Var(y)],
+                body: vec![Literal::Atom(Pred::Edb(RelId(0)), vec![Term::Var(x), Term::Var(y)])],
+                var_names: vec!["x".into(), "y".into()],
+            },
+            Rule {
+                head: IdbId(0),
+                head_args: vec![Term::Var(x), Term::Var(y)],
+                body: vec![
+                    Literal::Atom(Pred::Edb(RelId(0)), vec![Term::Var(x), Term::Var(z)]),
+                    Literal::Atom(Pred::Idb(IdbId(0)), vec![Term::Var(z), Term::Var(y)]),
+                ],
+                var_names: vec!["x".into(), "y".into(), "z".into()],
+            },
+        ];
+        Program::new(vocab, vec![("S".into(), 2)], rules, IdbId(0)).unwrap()
+    }
+
+    #[test]
+    fn builds_and_classifies() {
+        let p = tc_program();
+        assert!(p.is_pure_datalog());
+        assert_eq!(p.idb_count(), 1);
+        assert_eq!(p.idb_arity(IdbId(0)), 2);
+        assert_eq!(p.max_rule_vars(), 3);
+        assert_eq!(p.idb_by_name("S"), Some(IdbId(0)));
+    }
+
+    #[test]
+    fn display_roundtrip_text() {
+        let p = tc_program();
+        let text = p.to_string();
+        assert!(text.contains("S(x, y) :- E(x, y)."));
+        assert!(text.contains("S(x, y) :- E(x, z), S(z, y)."));
+        assert!(text.contains("?- S."));
+    }
+
+    #[test]
+    fn rejects_idb_shadowing_edb() {
+        let vocab = Arc::new(Vocabulary::graph());
+        let err = Program::new(vocab, vec![("E".into(), 2)], vec![], IdbId(0)).unwrap_err();
+        assert_eq!(err, ProgramError::IdbShadowsEdb("E".into()));
+    }
+
+    #[test]
+    fn rejects_arity_mismatch() {
+        let vocab = Arc::new(Vocabulary::graph());
+        let bad = Rule {
+            head: IdbId(0),
+            head_args: vec![Term::Var(VarId(0))],
+            body: vec![Literal::Atom(
+                Pred::Edb(RelId(0)),
+                vec![Term::Var(VarId(0))], // E is binary
+            )],
+            var_names: vec!["x".into()],
+        };
+        let err = Program::new(vocab, vec![("P".into(), 1)], vec![bad], IdbId(0)).unwrap_err();
+        assert!(matches!(err, ProgramError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn rejects_bad_goal() {
+        let vocab = Arc::new(Vocabulary::graph());
+        let err = Program::new(vocab, vec![("P".into(), 1)], vec![], IdbId(3)).unwrap_err();
+        assert_eq!(err, ProgramError::BadGoal(3));
+    }
+
+    #[test]
+    fn rejects_unknown_variable() {
+        let vocab = Arc::new(Vocabulary::graph());
+        let bad = Rule {
+            head: IdbId(0),
+            head_args: vec![Term::Var(VarId(5))],
+            body: vec![],
+            var_names: vec!["x".into()],
+        };
+        let err = Program::new(vocab, vec![("P".into(), 1)], vec![bad], IdbId(0)).unwrap_err();
+        assert!(matches!(err, ProgramError::UnknownVariable { .. }));
+    }
+}

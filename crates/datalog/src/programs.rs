@@ -1,0 +1,465 @@
+//! The paper's program library.
+//!
+//! - [`transitive_closure`]: Example 2.2;
+//! - [`avoiding_path`]: Example 2.1's `T(x, y, w)`;
+//! - [`q_prime`]: the warm-up query `Q'(s, s1, s2)` of Theorem 6.1;
+//! - [`q_kl`]: the general program family `Q_{k,l}` of Theorem 6.1 —
+//!   `k` node-disjoint simple paths from `s` to `s1, …, sk`, all avoiding
+//!   the forbidden nodes `t1, …, tl`;
+//! - [`two_disjoint_paths_acyclic`]: the program `D` of Theorem 6.2 for the
+//!   two node-disjoint paths query on acyclic inputs.
+//!
+//! The `Q_{k,l}` construction follows the paper's induction exactly: the
+//! program for `Q_{k,l}` contains one IDB `Q_j` (arity `1 + k + l` for
+//! every `j`) per level `j = 1, …, k`, where level `j` carries
+//! `l + (k - j)` forbidden-node arguments.
+
+use crate::parser::parse_program;
+use crate::program::Program;
+use kv_structures::Vocabulary;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Example 2.2: transitive closure, a pure Datalog program.
+///
+/// ```text
+/// S(x, y) :- E(x, y).
+/// S(x, y) :- E(x, z), S(z, y).
+/// ```
+pub fn transitive_closure() -> Program {
+    parse_program(
+        "S(x, y) :- E(x, y).\nS(x, y) :- E(x, z), S(z, y).\n?- S.",
+        Arc::new(Vocabulary::graph()),
+    )
+    .expect("static program parses")
+}
+
+/// Example 2.1: `T(x, y, w)` — "is there a (nonempty) `w`-avoiding path
+/// from `x` to `y`?". The inequalities make this Datalog(≠) but not
+/// Datalog.
+pub fn avoiding_path() -> Program {
+    parse_program(
+        "T(x, y, w) :- E(x, y), w != x, w != y.\n\
+         T(x, y, w) :- E(x, z), T(z, y, w), w != x.\n\
+         ?- T.",
+        Arc::new(Vocabulary::graph()),
+    )
+    .expect("static program parses")
+}
+
+/// Theorem 6.1's warm-up: `Q'(s, s1, s2)` — "is there a path
+/// `w1 = s, …, wm = s2` such that every `wi` (`i ≥ 2`) admits a
+/// `wi`-avoiding path from `s` to `s1`?", which by Menger's theorem holds
+/// iff there are node-disjoint simple paths from `s` to `s1` and to `s2`.
+///
+/// The paper treats `T` as an EDB for presentation; here the program simply
+/// contains the `T` rules alongside the `Q'` rules.
+pub fn q_prime() -> Program {
+    parse_program(
+        "T(x, y, w) :- E(x, y), w != x, w != y.\n\
+         T(x, y, w) :- E(x, z), T(z, y, w), w != x.\n\
+         Qp(s, s1, s2) :- E(s, s2), T(s, s1, s2).\n\
+         Qp(s, s1, s2) :- Qp(s, s1, w), E(w, s2), T(s, s1, s2).\n\
+         ?- Qp.",
+        Arc::new(Vocabulary::graph()),
+    )
+    .expect("static program parses")
+}
+
+/// The program family of Theorem 6.1: `Q_{k,l}(s, s1, …, sk, t1, …, tl)`
+/// holds iff there are `k` pairwise node-disjoint (sharing only `s`)
+/// nonempty simple paths from `s` to `s1, …, sk`, each avoiding all of
+/// `t1, …, tl`.
+///
+/// The goal predicate is `Qk`, of arity `1 + k + l`.
+///
+/// ```
+/// use kv_datalog::{programs::q_kl, Evaluator};
+/// use kv_structures::Digraph;
+///
+/// // 0 -> 1 -> 2 and 0 -> 3 -> 4: a disjoint 2-fan from 0 to {2, 4}.
+/// let mut g = Digraph::new(5);
+/// for (u, v) in [(0, 1), (1, 2), (0, 3), (3, 4)] {
+///     g.add_edge(u, v);
+/// }
+/// let rel = Evaluator::new(&q_kl(2, 0)).goal(&g.to_structure());
+/// assert!(rel.contains(&[0u32, 2, 4][..]));
+/// assert!(!rel.contains(&[0u32, 1, 2][..])); // 2's path needs node 1
+/// ```
+///
+/// # Panics
+/// Panics if `k == 0`.
+pub fn q_kl(k: usize, l: usize) -> Program {
+    let mut src = q_kl_source(k, l, "Q", false);
+    let _ = writeln!(src, "?- Q{k}.");
+    parse_program(&src, Arc::new(Vocabulary::graph())).expect("generated Q_kl parses")
+}
+
+/// The rule text of the `Q_{k,l}` family with a custom IDB name prefix
+/// (level `j` is named `<prefix><j>`), without a goal directive — the
+/// building block used by `kv-homeo` to assemble class-`C` programs that
+/// need several instantiations side by side. With `reversed` set, every
+/// edge atom `E(a, b)` is emitted as `E(b, a)`, yielding the fan *into*
+/// the source (the class-`C` in-orientation).
+pub fn q_kl_source(k: usize, l: usize, prefix: &str, reversed: bool) -> String {
+    let e = |a: &str, b: &str| -> String {
+        if reversed {
+            format!("E({b}, {a})")
+        } else {
+            format!("E({a}, {b})")
+        }
+    };
+    assert!(k >= 1, "Q_{{k,l}} needs k >= 1");
+    let mut src = String::new();
+    // Level j has j targets and m = l + (k - j) forbidden nodes.
+    for j in 1..=k {
+        let m = l + (k - j);
+        let targets: Vec<String> = (1..=j).map(|i| format!("s{i}")).collect();
+        let avoids: Vec<String> = (1..=m).map(|i| format!("t{i}")).collect();
+        let head_args = |ts: &[String], avs: &[String]| -> String {
+            let mut v = vec!["s".to_string()];
+            v.extend(ts.iter().cloned());
+            v.extend(avs.iter().cloned());
+            v.join(", ")
+        };
+        if j == 1 {
+            // Base: Q1(s, s1, t…) — a t-avoiding nonempty path from s to s1.
+            let args = head_args(&targets, &avoids);
+            let mut base = format!("{prefix}1({args}) :- {}", e("s", "s1"));
+            for t in &avoids {
+                let _ = write!(base, ", s != {t}, s1 != {t}");
+            }
+            let _ = writeln!(src, "{base}.");
+            // Recursive: extend the path by one edge.
+            let mut mid = vec!["s".to_string(), "w".to_string()];
+            mid.extend(avoids.iter().cloned());
+            let mut rec = format!("{prefix}1({args}) :- {prefix}1({}), {}", mid.join(", "), e("w", "s1"));
+            for t in &avoids {
+                let _ = write!(rec, ", s1 != {t}");
+            }
+            let _ = writeln!(src, "{rec}.");
+        } else {
+            // Q_j(s, s1…sj, t…) per the paper's induction. The inner
+            // Q_{j-1} atom receives the current path node as an extra
+            // forbidden node (position t1 of level j-1's avoid list).
+            let args = head_args(&targets, &avoids);
+            // Inner atom args: s, s1..s_{j-1}, <avoid := sj or w>, t…
+            let inner = |extra: &str| -> String {
+                let mut v = vec!["s".to_string()];
+                v.extend(targets[..j - 1].iter().cloned());
+                v.push(extra.to_string());
+                v.extend(avoids.iter().cloned());
+                format!("{}{}({})", prefix, j - 1, v.join(", "))
+            };
+            // Endpoint guards: the new target must avoid the forbidden
+            // nodes (the walk's earlier nodes are guarded inductively by
+            // occupying this same position in the recursive atom).
+            let mut guards = String::new();
+            for t in &avoids {
+                let _ = write!(guards, ", s{j} != {t}");
+            }
+            // Base rule: the path to sj is the single edge s -> sj.
+            let _ = writeln!(
+                src,
+                "{prefix}{j}({args}) :- {}{guards}, {}.",
+                e("s", &format!("s{j}")),
+                inner(&format!("s{j}"))
+            );
+            // Recursive rule: extend the path to sj through w.
+            let mut walk = vec!["s".to_string()];
+            walk.extend(targets[..j - 1].iter().cloned());
+            walk.push("w".to_string());
+            walk.extend(avoids.iter().cloned());
+            let _ = writeln!(
+                src,
+                "{prefix}{j}({args}) :- {prefix}{j}({}), {}{guards}, {}.",
+                walk.join(", "),
+                e("w", &format!("s{j}")),
+                inner(&format!("s{j}")),
+            );
+        }
+    }
+    src
+}
+
+/// The **path systems** query of Cook (the paper's Section 1 reference for
+/// Datalog capturing PTIME-complete problems): over the vocabulary
+/// `{R/3, A/1}` — `R(x, y, z)` says "`x` is derivable from `y` and `z`",
+/// `A(x)` says "`x` is an axiom" — the accessible atoms are the least set
+/// containing the axioms and closed under the rules:
+///
+/// ```text
+/// Acc(x) :- A(x).
+/// Acc(x) :- R(x, y, z), Acc(y), Acc(z).
+/// ```
+///
+/// A pure Datalog program with a nonlinear rule (two recursive atoms).
+pub fn path_systems() -> Program {
+    let mut v = Vocabulary::new();
+    v.add_relation("R", 3);
+    v.add_relation("A", 1);
+    parse_program(
+        "Acc(x) :- A(x).\nAcc(x) :- R(x, y, z), Acc(y), Acc(z).\n?- Acc.",
+        Arc::new(v),
+    )
+    .expect("static program parses")
+}
+
+/// The vocabulary of the Theorem 6.2 programs: `{E/2}` with constants
+/// `s1, t1, s2, t2` (in that order).
+pub fn two_pairs_vocabulary() -> Vocabulary {
+    let mut v = Vocabulary::graph();
+    v.add_constant("s1");
+    v.add_constant("t1");
+    v.add_constant("s2");
+    v.add_constant("t2");
+    v
+}
+
+/// Theorem 6.2's program `D` for the **two node-disjoint paths** query on
+/// acyclic inputs: does `G` contain node-disjoint simple paths from `s1` to
+/// `t1` and from `s2` to `t2` (all four distinguished nodes distinct)?
+///
+/// `D(x, y)` computes the value of the paper's **two-player** pebble game:
+/// the position with pebble 1 on `x` and pebble 2 on `y` is winning for
+/// Player II iff, *whichever pebble Player I points at*, Player II has a
+/// move to a winning position. That "for both pebbles … exists a move" is
+/// an AND of two ORs — expressible in Datalog(≠) because a rule body may
+/// contain **two** recursive `D` atoms (the AND) while the rule set
+/// provides the alternatives (the ORs): four rules cover the
+/// {advance p1 / retire p1} × {advance p2 / retire p2} combinations, with
+/// `W1`/`W2` handling the endgames where one pebble is already removed.
+///
+/// Note: the extended abstract prints a 3-rule program whose rules each
+/// contain a *single* recursive atom; that version computes the
+/// *cooperative* (single-player, undisciplined) game, which
+/// overapproximates — see [`two_disjoint_paths_paper_rules`] and the
+/// 5-node counterexample exercised in `kv-homeo`'s tests. The AND-OR
+/// program here matches the two-player game the paper's proof actually
+/// analyzes.
+pub fn two_disjoint_paths_acyclic() -> Program {
+    parse_program(
+        "W1(x) :- E(x, t1).\n\
+         W1(x) :- E(x, xp), xp != s1, xp != s2, xp != t1, xp != t2, W1(xp).\n\
+         W2(y) :- E(y, t2).\n\
+         W2(y) :- E(y, yp), yp != s1, yp != s2, yp != t1, yp != t2, W2(yp).\n\
+         D(x, y) :- E(x, t1), W2(y), E(y, t2), W1(x).\n\
+         D(x, y) :- E(x, t1), W2(y), E(y, yp), yp != s1, yp != s2, yp != t1, yp != t2, yp != x, D(x, yp).\n\
+         D(x, y) :- E(x, xp), xp != s1, xp != s2, xp != t1, xp != t2, xp != y, D(xp, y), E(y, t2), W1(x).\n\
+         D(x, y) :- E(x, xp), xp != s1, xp != s2, xp != t1, xp != t2, xp != y, D(xp, y), E(y, yp), yp != s1, yp != s2, yp != t1, yp != t2, yp != x, D(x, yp).\n\
+         Result() :- D(s1, s2).\n\
+         ?- Result.",
+        Arc::new(two_pairs_vocabulary()),
+    )
+    .expect("static program parses")
+}
+
+/// The 3-rule program printed in the extended abstract (reconstructed from
+/// the scan). Each rule advances one pebble and carries a *single*
+/// recursive atom, so the least fixpoint is plain reachability in the
+/// *cooperative* game: `D(x, y)` holds iff **some interleaving** of pebble
+/// moves reaches `(t1, t2)`. That is weaker than the two-player value —
+/// a pebble may traverse a node the other pebble merely *used to* occupy.
+/// Kept for the reproduction record; see experiment E13.
+pub fn two_disjoint_paths_paper_rules() -> Program {
+    parse_program(
+        "D(t1, t2).\n\
+         D(x, y) :- E(y, yp), D(x, yp), yp != x, yp != s1, yp != s2, yp != t1.\n\
+         D(x, y) :- E(x, xp), D(xp, y), xp != y, xp != s1, xp != s2, xp != t2.\n\
+         ?- D.",
+        Arc::new(two_pairs_vocabulary()),
+    )
+    .expect("static program parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Evaluator;
+    use kv_structures::generators::random_digraph;
+    use kv_structures::{ConstId, Tuple};
+
+    #[test]
+    fn tc_is_pure_datalog_but_t_is_not() {
+        assert!(transitive_closure().is_pure_datalog());
+        assert!(!avoiding_path().is_pure_datalog());
+        assert!(!q_prime().is_pure_datalog());
+    }
+
+    #[test]
+    fn q_kl_generates_k_levels() {
+        let p = q_kl(3, 1);
+        assert_eq!(p.idb_count(), 3);
+        for j in 1..=3usize {
+            let idb = p.idb_by_name(&format!("Q{j}")).unwrap();
+            assert_eq!(p.idb_arity(idb), 1 + 3 + 1, "all levels share arity");
+        }
+        assert_eq!(p.idb_name(p.goal()), "Q3");
+    }
+
+    #[test]
+    fn q_1_0_is_plain_reachability() {
+        let p = q_kl(1, 0);
+        for seed in 0..4 {
+            let g = random_digraph(7, 0.25, seed);
+            let s = g.to_structure();
+            let rel = Evaluator::new(&p).goal(&s);
+            for x in 0..7u32 {
+                for y in 0..7u32 {
+                    let expected = kv_graphalg::avoiding_path(&g, x, y, &[]);
+                    let got = rel.contains(&[x, y][..]);
+                    assert_eq!(got, expected, "Q1({x},{y}) seed {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn q_1_1_matches_avoiding_path() {
+        let p = q_kl(1, 1);
+        let g = random_digraph(7, 0.3, 11);
+        let s = g.to_structure();
+        let rel = Evaluator::new(&p).goal(&s);
+        for x in 0..7u32 {
+            for y in 0..7u32 {
+                for t in 0..7u32 {
+                    let expected = kv_graphalg::avoiding_path(&g, x, y, &[t]);
+                    let got = rel.contains(&[x, y, t][..]);
+                    assert_eq!(got, expected, "Q1({x},{y}|{t})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn q_2_0_matches_disjoint_fan_on_random_graphs() {
+        let p = q_kl(2, 0);
+        for seed in 0..6 {
+            let g = random_digraph(7, 0.3, 20 + seed);
+            let s = g.to_structure();
+            let rel = Evaluator::new(&p).goal(&s);
+            for src in 0..7u32 {
+                for a in 0..7u32 {
+                    for b in 0..7u32 {
+                        if src == a || src == b || a == b {
+                            continue;
+                        }
+                        let expected = kv_graphalg::disjoint::has_disjoint_fan(&g, src, &[a, b], &[]);
+                        let got = rel.contains(&[src, a, b][..]);
+                        assert_eq!(got, expected, "Q2({src};{a},{b}) seed {}", 20 + seed);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn q_prime_agrees_with_q_2_0() {
+        let qp = q_prime();
+        let q20 = q_kl(2, 0);
+        for seed in 0..4 {
+            let g = random_digraph(6, 0.35, 40 + seed);
+            let s = g.to_structure();
+            let rel_qp = Evaluator::new(&qp).goal(&s);
+            let rel_q2 = Evaluator::new(&q20).goal(&s);
+            for src in 0..6u32 {
+                for a in 0..6u32 {
+                    for b in 0..6u32 {
+                        if src == a || src == b || a == b {
+                            continue;
+                        }
+                        // Q' lists targets as (s, s1, s2) with s2 the
+                        // fan-out via Qp's walk; Q2 as (s, s1, s2).
+                        let t: Tuple = vec![src, a, b].into_boxed_slice();
+                        assert_eq!(rel_qp.contains(&t), rel_q2.contains(&t));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_disjoint_paths_program_parses_with_constants() {
+        let p = two_disjoint_paths_acyclic();
+        assert_eq!(p.idb_count(), 4); // W1, W2, D, Result
+        assert_eq!(p.vocabulary().constant_count(), 4);
+        assert_eq!(p.vocabulary().constant_name(ConstId(0)), "s1");
+        assert_eq!(p.vocabulary().constant_name(ConstId(3)), "t2");
+        assert_eq!(p.idb_name(p.goal()), "Result");
+        let paper = two_disjoint_paths_paper_rules();
+        assert_eq!(paper.idb_count(), 1);
+    }
+
+    #[test]
+    fn and_or_program_on_hand_instances() {
+        use kv_structures::Digraph;
+        let p = two_disjoint_paths_acyclic();
+        // Disjoint routes: s1=0 -> 4 -> t1=1, s2=2 -> 5 -> t2=3.
+        let mut g = Digraph::new(6);
+        g.add_edge(0, 4);
+        g.add_edge(4, 1);
+        g.add_edge(2, 5);
+        g.add_edge(5, 3);
+        g.set_distinguished(vec![0, 1, 2, 3]);
+        let s = g.to_structure_with(Arc::new(two_pairs_vocabulary()));
+        assert!(Evaluator::new(&p).holds(&s, &[]));
+        // Shared midpoint: s1=0 -> 4 -> t1=1, s2=2 -> 4 -> t2=3.
+        let mut h = Digraph::new(5);
+        h.add_edge(0, 4);
+        h.add_edge(4, 1);
+        h.add_edge(2, 4);
+        h.add_edge(4, 3);
+        h.set_distinguished(vec![0, 1, 2, 3]);
+        let sh = h.to_structure_with(Arc::new(two_pairs_vocabulary()));
+        assert!(!Evaluator::new(&p).holds(&sh, &[]));
+        // The scanned 3-rule version wrongly accepts the shared midpoint.
+        let paper = two_disjoint_paths_paper_rules();
+        let goal = Evaluator::new(&paper).goal(&sh);
+        assert!(
+            goal.contains(&[0u32, 2][..]),
+            "cooperative relaxation accepts the counterexample"
+        );
+    }
+
+    #[test]
+    fn path_systems_matches_direct_fixpoint() {
+        use kv_structures::{RelId, Structure};
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let p = path_systems();
+        for seed in 0..6u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = 10u32;
+            let mut s = Structure::new(Arc::clone(p.vocabulary()), n as usize);
+            // Random rules and axioms.
+            for _ in 0..18 {
+                let t = [rng.gen_range(0..n), rng.gen_range(0..n), rng.gen_range(0..n)];
+                s.insert(RelId(0), &t);
+            }
+            for _ in 0..2 {
+                s.insert(RelId(1), &[rng.gen_range(0..n)]);
+            }
+            // Direct least-fixpoint computation.
+            let mut acc = vec![false; n as usize];
+            for t in s.relation(RelId(1)).iter() {
+                acc[t[0] as usize] = true;
+            }
+            loop {
+                let mut changed = false;
+                for t in s.relation(RelId(0)).iter() {
+                    if !acc[t[0] as usize] && acc[t[1] as usize] && acc[t[2] as usize] {
+                        acc[t[0] as usize] = true;
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            let rel = Evaluator::new(&p).goal(&s);
+            for x in 0..n {
+                assert_eq!(rel.contains(&[x][..]), acc[x as usize], "Acc({x}) seed {seed}");
+            }
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests for the Datalog(≠) engine.
+
+use kv_datalog::programs::{avoiding_path, q_kl, transitive_closure};
+use kv_datalog::{parse_program, EvalOptions, Evaluator};
+use kv_structures::{Digraph, RelId};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn digraph_strategy(max_n: usize) -> impl Strategy<Value = Digraph> {
+    (2usize..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=(n * n / 2).min(20)).prop_map(
+            move |edges| {
+                let mut g = Digraph::new(n);
+                for (u, v) in edges {
+                    g.add_edge(u, v);
+                }
+                g
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Naive and semi-naive evaluation produce identical fixpoints AND
+    /// identical stage statistics, for all three library programs.
+    #[test]
+    fn naive_equals_semi_naive(g in digraph_strategy(7)) {
+        let s = g.to_structure();
+        for program in [transitive_closure(), avoiding_path(), q_kl(2, 0)] {
+            let naive = Evaluator::new(&program).run(
+                &s,
+                EvalOptions { semi_naive: false, record_stages: true, max_stages: None },
+            );
+            let semi = Evaluator::new(&program).run(
+                &s,
+                EvalOptions { semi_naive: true, record_stages: true, max_stages: None },
+            );
+            prop_assert_eq!(&naive.idb, &semi.idb);
+            prop_assert_eq!(&naive.stats, &semi.stats);
+            prop_assert_eq!(&naive.stages, &semi.stages);
+        }
+    }
+
+    /// TC is really the transitive closure: agrees with BFS reachability.
+    #[test]
+    fn tc_matches_bfs(g in digraph_strategy(8)) {
+        let s = g.to_structure();
+        let tc = Evaluator::new(&transitive_closure()).goal(&s);
+        for x in 0..s.universe_size() as u32 {
+            for y in 0..s.universe_size() as u32 {
+                // TC's semantics: a *nonempty* path from x to y exists.
+                let expected = kv_graphalg::avoiding_path(&g, x, y, &[]);
+                prop_assert_eq!(tc.contains(&[x, y][..]), expected);
+            }
+        }
+    }
+
+    /// Monotonicity under edge addition: the goal relation only grows.
+    #[test]
+    fn goal_grows_under_edge_addition(g in digraph_strategy(7), extra in (0u32..7, 0u32..7)) {
+        let n = g.node_count() as u32;
+        let (u, v) = (extra.0 % n, extra.1 % n);
+        let s = g.to_structure();
+        let mut g2 = g.clone();
+        g2.add_edge(u, v);
+        let s2 = g2.to_structure();
+        for program in [transitive_closure(), avoiding_path()] {
+            let before = Evaluator::new(&program).goal(&s);
+            let after = Evaluator::new(&program).goal(&s2);
+            for t in &before {
+                prop_assert!(after.contains(t), "tuple {:?} lost", t);
+            }
+        }
+    }
+
+    /// Display → parse is the identity on the library programs (roundtrip
+    /// through the concrete syntax).
+    #[test]
+    fn display_parse_roundtrip(seed in 0u64..100) {
+        let programs = [transitive_closure(), avoiding_path(), q_kl(2, 1)];
+        let program = &programs[(seed % 3) as usize];
+        let text = program.to_string();
+        let reparsed = parse_program(&text, Arc::clone(program.vocabulary())).unwrap();
+        prop_assert_eq!(program.rules(), reparsed.rules());
+        prop_assert_eq!(program.goal(), reparsed.goal());
+    }
+
+    /// The fixpoint is really a fixpoint: one more application of the
+    /// rules (running with the fixpoint as max_stages cut) adds nothing.
+    #[test]
+    fn fixpoint_is_stable(g in digraph_strategy(6)) {
+        let s = g.to_structure();
+        let program = avoiding_path();
+        let full = Evaluator::new(&program).run(&s, EvalOptions::default());
+        prop_assert!(full.converged);
+        let again = Evaluator::new(&program).run(
+            &s,
+            EvalOptions { semi_naive: false, record_stages: false, max_stages: Some(full.stage_count() + 3) },
+        );
+        prop_assert_eq!(full.idb, again.idb);
+    }
+
+    /// Stage count for TC is bounded by the longest shortest-path distance
+    /// (diameter-ish bound), and never exceeds |V|.
+    #[test]
+    fn stage_count_bounded(g in digraph_strategy(8)) {
+        let s = g.to_structure();
+        let r = Evaluator::new(&transitive_closure()).run(&s, EvalOptions::default());
+        prop_assert!(r.stage_count() <= s.universe_size().max(1));
+    }
+
+    /// Equalities in bodies behave as substitution: P(x,y) :- E(x,z), z=y
+    /// is the edge relation.
+    #[test]
+    fn equality_is_substitution(g in digraph_strategy(7)) {
+        let s = g.to_structure();
+        let p = parse_program("P(x, y) :- E(x, z), z = y. ?- P.", Arc::new(
+            kv_structures::Vocabulary::graph(),
+        ))
+        .unwrap();
+        let rel = Evaluator::new(&p).goal(&s);
+        prop_assert_eq!(rel.len(), s.relation(RelId(0)).len());
+        for t in s.relation(RelId(0)).iter() {
+            prop_assert!(rel.contains(t));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The parser never panics: arbitrary input yields Ok or Err.
+    #[test]
+    fn parser_total_on_arbitrary_input(src in ".{0,80}") {
+        let _ = parse_program(&src, Arc::new(kv_structures::Vocabulary::graph()));
+    }
+
+    /// The parser never panics on token-soup built from its own alphabet.
+    #[test]
+    fn parser_total_on_token_soup(
+        tokens in proptest::collection::vec(
+            prop_oneof![
+                Just("P".to_string()), Just("E".to_string()), Just("x".to_string()),
+                Just("(".to_string()), Just(")".to_string()), Just(",".to_string()),
+                Just(".".to_string()), Just(":-".to_string()), Just("!=".to_string()),
+                Just("=".to_string()), Just("?-".to_string()), Just("s1".to_string()),
+            ],
+            0..24,
+        )
+    ) {
+        let src = tokens.join(" ");
+        let _ = parse_program(&src, Arc::new(kv_structures::Vocabulary::graph_with_constants(1)));
+    }
+}

@@ -1,0 +1,109 @@
+//! Acyclicity, topological order, and node levels.
+//!
+//! The proof of Theorem 6.2 defines "the *level* of a node in `G` to be the
+//! length of the longest path in `G` from that node", well-defined precisely
+//! because `G` is acyclic; the Player I strategy there always points to a
+//! pebble on a node of maximal level. [`levels`] computes that function.
+
+use kv_structures::Digraph;
+
+/// Kahn's algorithm. Returns a topological order of the nodes, or `None` if
+/// the graph has a cycle (including self-loops).
+pub fn topological_sort(g: &Digraph) -> Option<Vec<u32>> {
+    let n = g.node_count();
+    let mut indeg: Vec<usize> = (0..n as u32).map(|v| g.in_degree(v)).collect();
+    let mut order = Vec::with_capacity(n);
+    let mut stack: Vec<u32> = (0..n as u32).filter(|&v| indeg[v as usize] == 0).collect();
+    while let Some(u) = stack.pop() {
+        order.push(u);
+        for &v in g.successors(u) {
+            indeg[v as usize] -= 1;
+            if indeg[v as usize] == 0 {
+                stack.push(v);
+            }
+        }
+    }
+    (order.len() == n).then_some(order)
+}
+
+/// Whether the graph is acyclic.
+pub fn is_acyclic(g: &Digraph) -> bool {
+    topological_sort(g).is_some()
+}
+
+/// For an acyclic graph, the level of each node: the length (number of
+/// edges) of the longest path starting at that node. Sinks have level 0.
+///
+/// # Panics
+/// Panics if the graph has a cycle.
+pub fn levels(g: &Digraph) -> Vec<usize> {
+    let order = topological_sort(g).expect("levels are defined only on acyclic graphs");
+    let mut level = vec![0usize; g.node_count()];
+    for &u in order.iter().rev() {
+        for &v in g.successors(u) {
+            level[u as usize] = level[u as usize].max(level[v as usize] + 1);
+        }
+    }
+    level
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kv_structures::generators::{directed_cycle_graph, directed_path_graph, random_dag};
+
+    #[test]
+    fn path_is_acyclic_cycle_is_not() {
+        assert!(is_acyclic(&directed_path_graph(4)));
+        assert!(!is_acyclic(&directed_cycle_graph(4)));
+        let mut loopy = Digraph::new(1);
+        loopy.add_edge(0, 0);
+        assert!(!is_acyclic(&loopy));
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let g = random_dag(30, 0.2, 5);
+        let order = topological_sort(&g).unwrap();
+        let mut pos = vec![0usize; 30];
+        for (i, &v) in order.iter().enumerate() {
+            pos[v as usize] = i;
+        }
+        for (u, v) in g.edges() {
+            assert!(pos[u as usize] < pos[v as usize]);
+        }
+    }
+
+    #[test]
+    fn levels_on_path() {
+        let g = directed_path_graph(4);
+        assert_eq!(levels(&g), vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn levels_on_diamond() {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3, 2 -> 1.
+        let mut g = Digraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 3);
+        g.add_edge(0, 2);
+        g.add_edge(2, 3);
+        g.add_edge(2, 1);
+        assert_eq!(levels(&g), vec![3, 1, 2, 0]);
+    }
+
+    #[test]
+    fn levels_decrease_along_edges() {
+        let g = random_dag(40, 0.15, 11);
+        let l = levels(&g);
+        for (u, v) in g.edges() {
+            assert!(l[u as usize] > l[v as usize]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "acyclic")]
+    fn levels_panic_on_cycle() {
+        levels(&directed_cycle_graph(3));
+    }
+}

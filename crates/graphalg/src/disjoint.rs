@@ -1,0 +1,299 @@
+//! Node-disjoint path *fans*: `k` pairwise node-disjoint simple paths from a
+//! common source to `k` distinct targets.
+//!
+//! This is precisely the query `Q_{k,l}` of Theorem 6.1 (with `l` forbidden
+//! nodes), solvable in polynomial time by max flow with unit node
+//! capacities; Menger's theorem supplies both the path system (when the flow
+//! is `k`) and a vertex cut of fewer than `k` nodes (when it is not).
+
+use crate::flow::NodeCapNetwork;
+use kv_structures::Digraph;
+
+/// The outcome of a fan computation: either a witnessing path system or a
+/// Menger cut explaining its absence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DisjointFan {
+    /// Pairwise node-disjoint simple paths, one per target, in target order.
+    Paths(Vec<Vec<u32>>),
+    /// A set of fewer-than-`k` nodes meeting every source→target path
+    /// (excluding the source itself).
+    Cut(Vec<u32>),
+}
+
+/// Decides whether `g` contains pairwise node-disjoint *nonempty* simple
+/// paths from `source` to each node of `targets` (paths share only
+/// `source`), avoiding every node in `forbidden`.
+///
+/// ```
+/// use kv_graphalg::disjoint::{disjoint_fan, DisjointFan};
+/// use kv_structures::Digraph;
+///
+/// let mut g = Digraph::new(5);
+/// for (u, v) in [(0, 3), (3, 1), (0, 4), (4, 2)] {
+///     g.add_edge(u, v);
+/// }
+/// match disjoint_fan(&g, 0, &[1, 2], &[]) {
+///     DisjointFan::Paths(paths) => assert_eq!(paths.len(), 2),
+///     DisjointFan::Cut(cut) => panic!("unexpected cut {cut:?}"),
+/// }
+/// ```
+///
+/// Requirements: targets are distinct, differ from `source`, and neither
+/// `source` nor any target is forbidden — otherwise the answer is
+/// immediately a trivial cut.
+pub fn disjoint_fan(
+    g: &Digraph,
+    source: u32,
+    targets: &[u32],
+    forbidden: &[u32],
+) -> DisjointFan {
+    let k = targets.len() as i64;
+    // Degenerate inputs: unsatisfiable by definition.
+    let mut sorted = targets.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    if sorted.len() != targets.len()
+        || targets.contains(&source)
+        || forbidden.contains(&source)
+        || targets.iter().any(|t| forbidden.contains(t))
+    {
+        return DisjointFan::Cut(Vec::new());
+    }
+    // Simple paths out of `source` never revisit it, so edges *into* the
+    // source are irrelevant; removing them also prevents the flow from
+    // recirculating through the source's capacity-k splitter, which would
+    // corrupt the path decomposition.
+    let mut pruned = Digraph::new(g.node_count());
+    for (u, v) in g.edges() {
+        if v != source {
+            pruned.add_edge(u, v);
+        }
+    }
+    let g = &pruned;
+    let mut net = NodeCapNetwork::build(g, |v| {
+        if v == source {
+            k
+        } else if forbidden.contains(&v) {
+            0
+        } else {
+            1
+        }
+    });
+    let sink = net.add_unit_sink(targets);
+    let flow = net.run(source, sink);
+    if flow < k {
+        return DisjointFan::Cut(net.min_vertex_cut(source));
+    }
+    let mut paths = net.disjoint_paths(source);
+    // Order the paths by target order.
+    paths.sort_by_key(|p| {
+        targets
+            .iter()
+            .position(|t| t == p.last().unwrap())
+            .expect("path ends at a target")
+    });
+    DisjointFan::Paths(paths)
+}
+
+/// Boolean form of [`disjoint_fan`].
+pub fn has_disjoint_fan(g: &Digraph, source: u32, targets: &[u32], forbidden: &[u32]) -> bool {
+    matches!(
+        disjoint_fan(g, source, targets, forbidden),
+        DisjointFan::Paths(_)
+    )
+}
+
+/// The reverse fan: node-disjoint paths from each of `sources` *to* a common
+/// `target` (the class-`C` case where the root is the **head** of every
+/// edge). Implemented on the reversed graph; returned paths run in original
+/// edge direction, i.e. each starts at a source and ends at `target`.
+pub fn disjoint_fan_into(
+    g: &Digraph,
+    sources: &[u32],
+    target: u32,
+    forbidden: &[u32],
+) -> DisjointFan {
+    let mut rev = Digraph::new(g.node_count());
+    for (u, v) in g.edges() {
+        rev.add_edge(v, u);
+    }
+    match disjoint_fan(&rev, target, sources, forbidden) {
+        DisjointFan::Paths(mut paths) => {
+            for p in &mut paths {
+                p.reverse();
+            }
+            DisjointFan::Paths(paths)
+        }
+        cut => cut,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kv_structures::generators::{layered_dag, random_digraph};
+
+    /// Brute-force reference: try all ways to route the fan by depth-first
+    /// search over joint simple paths. Exponential; small graphs only.
+    fn fan_brute(g: &Digraph, source: u32, targets: &[u32], forbidden: &[u32]) -> bool {
+        fn extend(
+            g: &Digraph,
+            targets: &[u32],
+            forbidden: &[u32],
+            used: &mut Vec<bool>,
+            current: u32,
+            idx: usize,
+            source: u32,
+        ) -> bool {
+            if current == targets[idx] {
+                if idx + 1 == targets.len() {
+                    return true;
+                }
+                return extend(g, targets, forbidden, used, source, idx + 1, source);
+            }
+            let succ: Vec<u32> = g.successors(current).to_vec();
+            for v in succ {
+                if used[v as usize] || forbidden.contains(&v) || v == source {
+                    continue;
+                }
+                // Interior nodes must not be other targets; endpoints only.
+                if v != targets[idx] && targets.contains(&v) {
+                    continue;
+                }
+                used[v as usize] = true;
+                if extend(g, targets, forbidden, used, v, idx, source) {
+                    return true;
+                }
+                used[v as usize] = false;
+            }
+            false
+        }
+        if targets.is_empty() {
+            return true;
+        }
+        let mut used = vec![false; g.node_count()];
+        extend(g, targets, forbidden, &mut used, source, 0, source)
+    }
+
+    #[test]
+    fn simple_split_fan() {
+        // 0 -> 1 -> 2, 0 -> 3 -> 4.
+        let mut g = Digraph::new(5);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(0, 3);
+        g.add_edge(3, 4);
+        match disjoint_fan(&g, 0, &[2, 4], &[]) {
+            DisjointFan::Paths(paths) => {
+                assert_eq!(paths, vec![vec![0, 1, 2], vec![0, 3, 4]]);
+            }
+            DisjointFan::Cut(c) => panic!("expected paths, got cut {c:?}"),
+        }
+    }
+
+    #[test]
+    fn shared_midpoint_is_a_cut() {
+        // Both routes must pass node 1.
+        let mut g = Digraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(1, 3);
+        match disjoint_fan(&g, 0, &[2, 3], &[]) {
+            DisjointFan::Cut(cut) => assert_eq!(cut, vec![1]),
+            DisjointFan::Paths(p) => panic!("expected cut, got {p:?}"),
+        }
+    }
+
+    #[test]
+    fn forbidden_node_blocks_fan() {
+        let mut g = Digraph::new(5);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(0, 3);
+        g.add_edge(3, 4);
+        assert!(has_disjoint_fan(&g, 0, &[2, 4], &[]));
+        assert!(!has_disjoint_fan(&g, 0, &[2, 4], &[3]));
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        let g = Digraph::new(3);
+        assert!(!has_disjoint_fan(&g, 0, &[1, 1], &[]));
+        assert!(!has_disjoint_fan(&g, 0, &[0], &[]));
+        assert!(!has_disjoint_fan(&g, 0, &[1], &[1]));
+    }
+
+    #[test]
+    fn reverse_fan() {
+        // 1 -> 0, 2 -> 3 -> 0 : disjoint paths from 1 and 2 into 0.
+        let mut g = Digraph::new(4);
+        g.add_edge(1, 0);
+        g.add_edge(2, 3);
+        g.add_edge(3, 0);
+        match disjoint_fan_into(&g, &[1, 2], 0, &[]) {
+            DisjointFan::Paths(paths) => {
+                assert_eq!(paths, vec![vec![1, 0], vec![2, 3, 0]]);
+            }
+            DisjointFan::Cut(c) => panic!("expected paths, got {c:?}"),
+        }
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_graphs() {
+        for seed in 0..30 {
+            let g = random_digraph(9, 0.25, seed);
+            let targets = [1u32, 2];
+            let flow = has_disjoint_fan(&g, 0, &targets, &[]);
+            let brute = fan_brute(&g, 0, &targets, &[]);
+            assert_eq!(flow, brute, "mismatch on seed {seed}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_brute_force_three_targets_with_forbidden() {
+        for seed in 0..20 {
+            let g = random_digraph(8, 0.35, 100 + seed);
+            let targets = [1u32, 2, 3];
+            let forbidden = [7u32];
+            let flow = has_disjoint_fan(&g, 0, &targets, &forbidden);
+            let brute = fan_brute(&g, 0, &targets, &forbidden);
+            assert_eq!(flow, brute, "mismatch on seed {seed}");
+        }
+    }
+
+    #[test]
+    fn layered_dag_fan_paths_are_disjoint() {
+        let g = layered_dag(4, 5, 0.6, 3);
+        // Source layer 0 node 0; targets in the last layer.
+        let targets = [15u32, 16, 17];
+        if let DisjointFan::Paths(paths) = disjoint_fan(&g, 0, &targets, &[]) {
+            let mut seen = std::collections::HashSet::new();
+            for p in &paths {
+                for &v in &p[1..] {
+                    assert!(seen.insert(v), "node {v} reused");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn menger_duality_cut_size_bounds_paths() {
+        for seed in 0..15 {
+            let g = random_digraph(10, 0.3, 500 + seed);
+            let targets = [1u32, 2, 3];
+            match disjoint_fan(&g, 0, &targets, &[]) {
+                DisjointFan::Paths(p) => assert_eq!(p.len(), 3),
+                DisjointFan::Cut(cut) => {
+                    assert!(cut.len() < 3, "cut {cut:?} should have < k nodes");
+                    // Removing the cut must disconnect 0 from some target
+                    // (targets in the cut count as disconnected).
+                    let reach = crate::reach::reachable_from(&g, 0, &cut);
+                    let all_reachable = targets
+                        .iter()
+                        .all(|&t| !cut.contains(&t) && reach[t as usize]);
+                    assert!(!all_reachable, "cut {cut:?} does not separate");
+                }
+            }
+        }
+    }
+}

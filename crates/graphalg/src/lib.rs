@@ -1,0 +1,32 @@
+//! Directed-graph algorithms backing the case study of Section 6.
+//!
+//! The positive side of the paper's dichotomy (Theorem 6.1) rests on the
+//! reduction of `H`-subgraph homeomorphism for `H ∈ C` to a **network flow**
+//! question with node capacities, and on the Max-Flow Min-Cut / Menger
+//! theorem. This crate supplies that substrate:
+//!
+//! - [`reach`]: BFS reachability with forbidden-node sets (the `w`-avoiding
+//!   paths of Example 2.1);
+//! - [`dag`]: acyclicity tests, topological sort, and the *level* function
+//!   (length of the longest path out of a node) used by the Theorem 6.2
+//!   game argument;
+//! - [`flow`]: Edmonds–Karp max-flow, node-capacitated networks via node
+//!   splitting, flow decomposition into paths, and minimum vertex cuts;
+//! - [`disjoint`]: Menger-style node-disjoint path systems (fan from a
+//!   source to `k` targets);
+//! - [`simple_paths`]: bounded enumeration of simple paths, the exponential
+//!   baseline for the NP-complete side.
+
+#![warn(missing_docs)]
+
+pub mod dag;
+pub mod disjoint;
+pub mod flow;
+pub mod reach;
+pub mod simple_paths;
+
+pub use dag::{is_acyclic, levels, topological_sort};
+pub use disjoint::{disjoint_fan, DisjointFan};
+pub use flow::{FlowNetwork, NodeCapNetwork};
+pub use reach::{avoiding_path, reachable_from, shortest_path};
+pub use simple_paths::{enumerate_simple_paths, has_simple_path_where};

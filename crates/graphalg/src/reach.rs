@@ -1,0 +1,154 @@
+//! Reachability and shortest paths with forbidden-node sets.
+//!
+//! Example 2.1's query "is there a `w`-avoiding path from `x` to `y`?" is the
+//! seed of the whole positive side of the case study; [`avoiding_path`] is
+//! its direct graph-algorithmic form and the ground truth against which the
+//! Datalog(≠) program `T(x, y, w)` is tested.
+
+use kv_structures::Digraph;
+use std::collections::VecDeque;
+
+/// The set of nodes reachable from `start` (including `start`) without
+/// visiting any node in `forbidden`. If `start` itself is forbidden the
+/// result is empty.
+pub fn reachable_from(g: &Digraph, start: u32, forbidden: &[u32]) -> Vec<bool> {
+    let mut seen = vec![false; g.node_count()];
+    if forbidden.contains(&start) {
+        return seen;
+    }
+    let mut queue = VecDeque::new();
+    seen[start as usize] = true;
+    queue.push_back(start);
+    while let Some(u) = queue.pop_front() {
+        for &v in g.successors(u) {
+            if !seen[v as usize] && !forbidden.contains(&v) {
+                seen[v as usize] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    seen
+}
+
+/// A shortest path from `s` to `t` avoiding `forbidden` nodes, as a node
+/// sequence `s, …, t`, or `None` if `t` is unreachable. A path of length 0
+/// (`s == t`) is returned iff `s` is not forbidden.
+pub fn shortest_path(g: &Digraph, s: u32, t: u32, forbidden: &[u32]) -> Option<Vec<u32>> {
+    if forbidden.contains(&s) || forbidden.contains(&t) {
+        return None;
+    }
+    let mut parent: Vec<Option<u32>> = vec![None; g.node_count()];
+    let mut seen = vec![false; g.node_count()];
+    let mut queue = VecDeque::new();
+    seen[s as usize] = true;
+    queue.push_back(s);
+    while let Some(u) = queue.pop_front() {
+        if u == t {
+            let mut path = vec![t];
+            let mut cur = t;
+            while let Some(p) = parent[cur as usize] {
+                path.push(p);
+                cur = p;
+            }
+            path.reverse();
+            return Some(path);
+        }
+        for &v in g.successors(u) {
+            if !seen[v as usize] && !forbidden.contains(&v) {
+                seen[v as usize] = true;
+                parent[v as usize] = Some(u);
+                queue.push_back(v);
+            }
+        }
+    }
+    None
+}
+
+/// Is there a *nonempty* path from `x` to `y` avoiding all `forbidden`
+/// nodes? Endpoints themselves must avoid the forbidden set. This matches
+/// the semantics of the paper's `T(x, y, w)` program: the path must have at
+/// least one edge, and no node on it (including `x` and `y`) equals a
+/// forbidden node.
+pub fn avoiding_path(g: &Digraph, x: u32, y: u32, forbidden: &[u32]) -> bool {
+    if forbidden.contains(&x) || forbidden.contains(&y) {
+        return false;
+    }
+    // Nonempty: start from the successors of x.
+    let mut seen = vec![false; g.node_count()];
+    let mut queue = VecDeque::new();
+    for &v in g.successors(x) {
+        if !forbidden.contains(&v) && !seen[v as usize] {
+            seen[v as usize] = true;
+            queue.push_back(v);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        if u == y {
+            return true;
+        }
+        for &v in g.successors(u) {
+            if !seen[v as usize] && !forbidden.contains(&v) {
+                seen[v as usize] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kv_structures::generators::{directed_cycle_graph, directed_path_graph};
+
+    #[test]
+    fn reachable_on_path() {
+        let g = directed_path_graph(5);
+        let r = reachable_from(&g, 1, &[]);
+        assert_eq!(r, vec![false, true, true, true, true]);
+    }
+
+    #[test]
+    fn reachable_blocked_by_forbidden() {
+        let g = directed_path_graph(5);
+        let r = reachable_from(&g, 0, &[2]);
+        assert_eq!(r, vec![true, true, false, false, false]);
+    }
+
+    #[test]
+    fn shortest_path_found_and_reconstructed() {
+        let mut g = directed_path_graph(5);
+        g.add_edge(0, 3); // shortcut
+        let p = shortest_path(&g, 0, 4, &[]).unwrap();
+        assert_eq!(p, vec![0, 3, 4]);
+    }
+
+    #[test]
+    fn shortest_path_respects_forbidden() {
+        let mut g = directed_path_graph(5);
+        g.add_edge(0, 3);
+        g.add_edge(2, 4);
+        let p = shortest_path(&g, 0, 4, &[3]).unwrap();
+        assert_eq!(p, vec![0, 1, 2, 4]);
+        assert!(shortest_path(&g, 0, 4, &[3, 2]).is_none());
+    }
+
+    #[test]
+    fn avoiding_path_nonempty_semantics() {
+        let g = directed_cycle_graph(3);
+        // Path from 0 back to 0 exists (around the cycle) and is nonempty.
+        assert!(avoiding_path(&g, 0, 0, &[]));
+        // A single node with no self-loop has no nonempty path to itself.
+        let lone = Digraph::new(1);
+        assert!(!avoiding_path(&lone, 0, 0, &[]));
+    }
+
+    #[test]
+    fn avoiding_path_endpoint_forbidden() {
+        let g = directed_path_graph(3);
+        assert!(avoiding_path(&g, 0, 2, &[]));
+        assert!(!avoiding_path(&g, 0, 2, &[2]));
+        assert!(!avoiding_path(&g, 0, 2, &[0]));
+        assert!(!avoiding_path(&g, 0, 2, &[1]));
+    }
+}

@@ -1,0 +1,164 @@
+//! Bounded enumeration of simple paths — the exponential baseline.
+//!
+//! The NP-complete queries of the case study (two node-disjoint paths, even
+//! simple path) have no known polynomial algorithm; the reproduction uses
+//! exhaustive search over simple paths as ground truth on small instances.
+
+use kv_structures::Digraph;
+
+/// Enumerates simple paths from `s` to `t` (node sequences, including
+/// endpoints), invoking `visit` on each. Enumeration stops early when
+/// `visit` returns `false` or when `max_paths` have been produced. Returns
+/// the number of paths visited.
+///
+/// A "simple path" never repeats a node; the trivial path `[s]` is produced
+/// when `s == t`.
+pub fn enumerate_simple_paths(
+    g: &Digraph,
+    s: u32,
+    t: u32,
+    max_paths: usize,
+    visit: &mut dyn FnMut(&[u32]) -> bool,
+) -> usize {
+    let mut on_path = vec![false; g.node_count()];
+    let mut path = Vec::new();
+    let mut count = 0usize;
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        g: &Digraph,
+        cur: u32,
+        t: u32,
+        on_path: &mut Vec<bool>,
+        path: &mut Vec<u32>,
+        count: &mut usize,
+        max_paths: usize,
+        visit: &mut dyn FnMut(&[u32]) -> bool,
+    ) -> bool {
+        on_path[cur as usize] = true;
+        path.push(cur);
+        let mut keep_going = true;
+        if cur == t {
+            *count += 1;
+            keep_going = visit(path) && *count < max_paths;
+        } else {
+            for &v in g.successors(cur) {
+                if !on_path[v as usize]
+                    && !dfs(g, v, t, on_path, path, count, max_paths, visit) {
+                        keep_going = false;
+                        break;
+                    }
+            }
+        }
+        path.pop();
+        on_path[cur as usize] = false;
+        keep_going
+    }
+    dfs(g, s, t, &mut on_path, &mut path, &mut count, max_paths, visit);
+    count
+}
+
+/// Is there a simple path from `s` to `t` satisfying `pred` (called on the
+/// full node sequence)? Exhaustive — exponential in the worst case.
+pub fn has_simple_path_where(
+    g: &Digraph,
+    s: u32,
+    t: u32,
+    mut pred: impl FnMut(&[u32]) -> bool,
+) -> bool {
+    let mut found = false;
+    enumerate_simple_paths(g, s, t, usize::MAX, &mut |p| {
+        if pred(p) {
+            found = true;
+            false // stop
+        } else {
+            true
+        }
+    });
+    found
+}
+
+/// All simple paths from `s` to `t` (small graphs only).
+pub fn all_simple_paths(g: &Digraph, s: u32, t: u32) -> Vec<Vec<u32>> {
+    let mut out = Vec::new();
+    enumerate_simple_paths(g, s, t, usize::MAX, &mut |p| {
+        out.push(p.to_vec());
+        true
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kv_structures::generators::{directed_cycle_graph, directed_path_graph};
+
+    #[test]
+    fn path_graph_has_one_path() {
+        let g = directed_path_graph(5);
+        assert_eq!(all_simple_paths(&g, 0, 4), vec![vec![0, 1, 2, 3, 4]]);
+    }
+
+    #[test]
+    fn diamond_has_two_paths() {
+        let mut g = Digraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        let mut paths = all_simple_paths(&g, 0, 3);
+        paths.sort();
+        assert_eq!(paths, vec![vec![0, 1, 3], vec![0, 2, 3]]);
+    }
+
+    #[test]
+    fn trivial_path_when_endpoints_equal() {
+        let g = directed_path_graph(3);
+        assert_eq!(all_simple_paths(&g, 1, 1), vec![vec![1]]);
+        // On a cycle, s == t still yields only the trivial path: a simple
+        // path cannot revisit s.
+        let c = directed_cycle_graph(3);
+        assert_eq!(all_simple_paths(&c, 0, 0), vec![vec![0]]);
+    }
+
+    #[test]
+    fn max_paths_truncates() {
+        // Complete bipartite-ish blow-up with many paths.
+        let mut g = Digraph::new(8);
+        for a in 1..4 {
+            g.add_edge(0, a);
+            for b in 4..7 {
+                g.add_edge(a, b);
+                g.add_edge(b, 7);
+            }
+        }
+        let n = enumerate_simple_paths(&g, 0, 7, 5, &mut |_| true);
+        assert_eq!(n, 5);
+        let total = enumerate_simple_paths(&g, 0, 7, usize::MAX, &mut |_| true);
+        assert_eq!(total, 9);
+    }
+
+    #[test]
+    fn predicate_search_even_length() {
+        // Path of length 4 from 0 to 4 (even), plus a shortcut of length 1.
+        let mut g = directed_path_graph(5);
+        g.add_edge(0, 4);
+        assert!(has_simple_path_where(&g, 0, 4, |p| (p.len() - 1) % 2 == 0));
+        assert!(has_simple_path_where(&g, 0, 4, |p| (p.len() - 1) % 2 == 1));
+        assert!(!has_simple_path_where(&g, 0, 4, |p| p.len() > 6));
+    }
+
+    #[test]
+    fn early_stop_visits_once() {
+        let mut g = Digraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        let mut seen = 0;
+        enumerate_simple_paths(&g, 0, 3, usize::MAX, &mut |_| {
+            seen += 1;
+            false
+        });
+        assert_eq!(seen, 1);
+    }
+}

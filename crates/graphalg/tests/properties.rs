@@ -1,0 +1,116 @@
+//! Property-based tests: Menger duality, flow correctness, DAG facts.
+
+use kv_graphalg::disjoint::{disjoint_fan, DisjointFan};
+use kv_graphalg::{is_acyclic, levels, reachable_from, topological_sort};
+use kv_structures::Digraph;
+use proptest::prelude::*;
+
+fn digraph_strategy(max_n: usize) -> impl Strategy<Value = Digraph> {
+    (3usize..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=(2 * n * n / 3).min(30))
+            .prop_map(move |edges| {
+                let mut g = Digraph::new(n);
+                for (u, v) in edges {
+                    if u != v {
+                        g.add_edge(u, v);
+                    }
+                }
+                g
+            })
+    })
+}
+
+proptest! {
+    /// Menger duality: either the fan exists, or the returned cut (of
+    /// fewer than k nodes) actually separates the source from some target.
+    #[test]
+    fn menger_duality(g in digraph_strategy(9)) {
+        let targets = [1u32, 2];
+        match disjoint_fan(&g, 0, &targets, &[]) {
+            DisjointFan::Paths(paths) => {
+                prop_assert_eq!(paths.len(), 2);
+                // Validate edges, endpoints, and disjointness.
+                for (p, &t) in paths.iter().zip(&targets) {
+                    prop_assert_eq!(p[0], 0);
+                    prop_assert_eq!(*p.last().unwrap(), t);
+                    for w in p.windows(2) {
+                        prop_assert!(g.has_edge(w[0], w[1]));
+                    }
+                }
+                for x in &paths[0][1..] {
+                    prop_assert!(!paths[1][1..].contains(x));
+                }
+            }
+            DisjointFan::Cut(cut) => {
+                prop_assert!(cut.len() < 2);
+                let reach = reachable_from(&g, 0, &cut);
+                let all_ok = targets
+                    .iter()
+                    .all(|&t| !cut.contains(&t) && reach[t as usize]);
+                prop_assert!(!all_ok, "cut {:?} fails to separate", cut);
+            }
+        }
+    }
+
+    /// Removing any returned fan path's interior node destroys at least
+    /// that routing (sanity of witness minimality is not required — only
+    /// validity — but interior nodes must be non-distinguished).
+    #[test]
+    fn fan_interiors_avoid_endpoints(g in digraph_strategy(8)) {
+        if let DisjointFan::Paths(paths) = disjoint_fan(&g, 0, &[1, 2], &[]) {
+            for p in &paths {
+                for &x in &p[1..p.len() - 1] {
+                    prop_assert!(x != 0 && x != 1 && x != 2);
+                }
+            }
+        }
+    }
+
+    /// Topological sort exists iff acyclic, and respects all edges.
+    #[test]
+    fn topo_sort_is_consistent(g in digraph_strategy(9)) {
+        match topological_sort(&g) {
+            Some(order) => {
+                prop_assert!(is_acyclic(&g));
+                let mut pos = vec![0usize; g.node_count()];
+                for (i, &v) in order.iter().enumerate() {
+                    pos[v as usize] = i;
+                }
+                for (u, v) in g.edges() {
+                    prop_assert!(pos[u as usize] < pos[v as usize]);
+                }
+            }
+            None => prop_assert!(!is_acyclic(&g)),
+        }
+    }
+
+    /// On DAGs, levels strictly decrease along edges and sinks are 0.
+    #[test]
+    fn level_function_laws(g in digraph_strategy(9)) {
+        if is_acyclic(&g) {
+            let l = levels(&g);
+            for (u, v) in g.edges() {
+                prop_assert!(l[u as usize] > l[v as usize]);
+            }
+            for v in g.nodes() {
+                if g.out_degree(v) == 0 {
+                    prop_assert_eq!(l[v as usize], 0);
+                }
+            }
+        }
+    }
+
+    /// Reachability is monotone in the forbidden set.
+    #[test]
+    fn reachability_antitone_in_forbidden(g in digraph_strategy(8), f in 1u32..8) {
+        let n = g.node_count() as u32;
+        let f = f % n;
+        let base = reachable_from(&g, 0, &[]);
+        let restricted = reachable_from(&g, 0, &[f]);
+        for v in 0..n {
+            if restricted[v as usize] {
+                prop_assert!(base[v as usize]);
+            }
+        }
+    }
+}

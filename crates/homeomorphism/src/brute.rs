@@ -1,0 +1,221 @@
+//! Exhaustive homeomorphism testing — the exponential ground truth.
+
+use kv_pebble::PatternSpec;
+use kv_structures::Digraph;
+
+/// Does `g` contain, for every edge `(i, j)` of `pattern`, a nonempty
+/// simple path from `distinguished[i]` to `distinguished[j]`, all paths
+/// pairwise node-disjoint except for shared endpoints?
+///
+/// This is the literal Definition of "`H` is homeomorphic to the
+/// distinguished subgraph of `G`" (Section 6). Exponential backtracking —
+/// intended for small graphs as the reference oracle.
+///
+/// # Panics
+/// Panics if the pattern is invalid or the distinguished nodes are not
+/// distinct.
+pub fn brute_force_homeomorphism(
+    pattern: &PatternSpec,
+    g: &Digraph,
+    distinguished: &[u32],
+) -> bool {
+    find_homeomorphism(pattern, g, distinguished).is_some()
+}
+
+/// Like [`brute_force_homeomorphism`] but returns the path system (one
+/// node sequence per pattern edge, in pattern-edge order).
+pub fn find_homeomorphism(
+    pattern: &PatternSpec,
+    g: &Digraph,
+    distinguished: &[u32],
+) -> Option<Vec<Vec<u32>>> {
+    pattern.validate_allow_self_loops().expect("valid pattern");
+    assert_eq!(distinguished.len(), pattern.node_count);
+    let mut uniq = distinguished.to_vec();
+    uniq.sort_unstable();
+    uniq.dedup();
+    assert_eq!(uniq.len(), distinguished.len(), "distinguished nodes distinct");
+
+    // `used[v]`: v is an interior node of some chosen path. Endpoints are
+    // handled separately: every distinguished node may serve as an
+    // endpoint of several paths but never as an interior node (the
+    // pattern has no isolated nodes by assumption, so each distinguished
+    // node is an endpoint of some path and interior to none).
+    let mut used = vec![false; g.node_count()];
+    let mut paths: Vec<Vec<u32>> = Vec::with_capacity(pattern.edges.len());
+    if assign(pattern, g, distinguished, 0, &mut used, &mut paths) {
+        Some(paths)
+    } else {
+        None
+    }
+}
+
+fn assign(
+    pattern: &PatternSpec,
+    g: &Digraph,
+    distinguished: &[u32],
+    edge_idx: usize,
+    used: &mut Vec<bool>,
+    paths: &mut Vec<Vec<u32>>,
+) -> bool {
+    let Some(&(i, j)) = pattern.edges.get(edge_idx) else {
+        return true;
+    };
+    let (from, to) = (distinguished[i], distinguished[j]);
+    // Enumerate simple paths from `from` to `to` whose interior avoids
+    // `used` and every distinguished node.
+    let mut path = vec![from];
+    extend(
+        pattern,
+        g,
+        distinguished,
+        edge_idx,
+        used,
+        paths,
+        &mut path,
+        from,
+        to,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn extend(
+    pattern: &PatternSpec,
+    g: &Digraph,
+    distinguished: &[u32],
+    edge_idx: usize,
+    used: &mut Vec<bool>,
+    paths: &mut Vec<Vec<u32>>,
+    path: &mut Vec<u32>,
+    current: u32,
+    target: u32,
+) -> bool {
+    for &v in g.successors(current) {
+        if v == target {
+            // Self-loop patterns ask for a cycle: `from == to` is allowed
+            // and the path from -> ... -> from is a proper cycle.
+            path.push(v);
+            paths.push(path.clone());
+            if assign(pattern, g, distinguished, edge_idx + 1, used, paths) {
+                return true;
+            }
+            paths.pop();
+            path.pop();
+            continue;
+        }
+        if used[v as usize] || distinguished.contains(&v) || path.contains(&v) {
+            continue;
+        }
+        used[v as usize] = true;
+        path.push(v);
+        if extend(
+            pattern,
+            g,
+            distinguished,
+            edge_idx,
+            used,
+            paths,
+            path,
+            v,
+            target,
+        ) {
+            return true;
+        }
+        path.pop();
+        used[v as usize] = false;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn h1_positive_and_negative() {
+        let h1 = PatternSpec::two_disjoint_edges();
+        // Disjoint routes.
+        let mut g = Digraph::new(6);
+        g.add_edge(0, 4);
+        g.add_edge(4, 1);
+        g.add_edge(2, 5);
+        g.add_edge(5, 3);
+        assert!(brute_force_homeomorphism(&h1, &g, &[0, 1, 2, 3]));
+        // Shared midpoint.
+        let mut h = Digraph::new(5);
+        h.add_edge(0, 4);
+        h.add_edge(4, 1);
+        h.add_edge(2, 4);
+        h.add_edge(4, 3);
+        assert!(!brute_force_homeomorphism(&h1, &h, &[0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn paths_may_share_endpoints() {
+        // Pattern: 0 -> 1, 2 -> 1 (in-star): two paths into the same node.
+        let p = PatternSpec {
+            node_count: 3,
+            edges: vec![(0, 1), (2, 1)],
+        };
+        let mut g = Digraph::new(5);
+        g.add_edge(0, 3);
+        g.add_edge(3, 1);
+        g.add_edge(2, 4);
+        g.add_edge(4, 1);
+        assert!(brute_force_homeomorphism(&p, &g, &[0, 1, 2]));
+    }
+
+    #[test]
+    fn interior_cannot_be_distinguished() {
+        // Pattern H2 = 0 -> 1 -> 2; leg 2 forced through distinguished 0.
+        let p = PatternSpec::path_length_two();
+        let mut g = Digraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        g.add_edge(0, 2);
+        // Path 1 -> 2 must be 1 -> 0 -> 2, interior 0 is distinguished.
+        assert!(!brute_force_homeomorphism(&p, &g, &[0, 1, 2]));
+    }
+
+    #[test]
+    fn self_loop_pattern_needs_cycle() {
+        // Pattern: self-loop at 0 plus edge 0 -> 1.
+        let p = PatternSpec {
+            node_count: 2,
+            edges: vec![(0, 0), (0, 1)],
+        };
+        let mut g = Digraph::new(4);
+        g.add_edge(0, 2);
+        g.add_edge(2, 0); // cycle through 0
+        g.add_edge(0, 3);
+        g.add_edge(3, 1);
+        assert!(brute_force_homeomorphism(&p, &g, &[0, 1]));
+        // Remove the cycle: no homeomorphism.
+        let mut g2 = Digraph::new(4);
+        g2.add_edge(0, 2);
+        g2.add_edge(0, 3);
+        g2.add_edge(3, 1);
+        assert!(!brute_force_homeomorphism(&p, &g2, &[0, 1]));
+    }
+
+    #[test]
+    fn witness_paths_are_disjoint() {
+        let h1 = PatternSpec::two_disjoint_edges();
+        let mut g = Digraph::new(8);
+        g.add_edge(0, 4);
+        g.add_edge(4, 5);
+        g.add_edge(5, 1);
+        g.add_edge(2, 6);
+        g.add_edge(6, 7);
+        g.add_edge(7, 3);
+        let paths = find_homeomorphism(&h1, &g, &[0, 1, 2, 3]).unwrap();
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[0].first(), Some(&0));
+        assert_eq!(paths[0].last(), Some(&1));
+        assert_eq!(paths[1].first(), Some(&2));
+        assert_eq!(paths[1].last(), Some(&3));
+        for x in &paths[0] {
+            assert!(!paths[1].contains(x));
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! The even simple path query (Example 5.2(1), Corollary 6.8).
+//!
+//! "Is there a simple path of even (nonzero) length from `s` to `t`?" —
+//! NP-complete, monotone, pattern-based, and (the point of Corollary 6.8)
+//! not expressible in `L^ω`.
+
+use kv_graphalg::simple_paths::has_simple_path_where;
+use kv_pebble::{ExistentialGame, Winner};
+use kv_structures::{Digraph, HomKind, Structure};
+use std::sync::Arc;
+
+/// Brute-force ground truth: is there a simple path of even length `≥ 2`
+/// from `s` to `t`? Exponential.
+pub fn even_simple_path(g: &Digraph, s: u32, t: u32) -> bool {
+    if s == t {
+        return false; // a simple path cannot return to its start
+    }
+    has_simple_path_where(g, s, t, |p| p.len() >= 3 && (p.len() - 1) % 2 == 0)
+}
+
+/// The pattern generator `α` of Example 5.2(1): for an input with `n`
+/// nodes, all directed paths with `k` nodes (`k` odd, `3 ≤ k ≤ n`), with
+/// the endpoints distinguished. A one-to-one homomorphism of a pattern
+/// into `(G, s, t)` mapping its endpoints to `s` and `t` is exactly an
+/// even simple path.
+pub fn even_path_patterns(n: usize) -> Vec<Structure> {
+    let vocab = Arc::new(kv_structures::Vocabulary::graph_with_constants(2));
+    let mut out = Vec::new();
+    let mut k = 3usize;
+    while k <= n {
+        let mut p = kv_structures::generators::directed_path_graph(k);
+        p.set_distinguished(vec![0, (k - 1) as u32]);
+        out.push(p.to_structure_with(Arc::clone(&vocab)));
+        k += 2;
+    }
+    out
+}
+
+/// The "algorithm" of Proposition 5.4: declare the query true iff some
+/// pattern structure `A ∈ α(G)` satisfies `A ≼^k (G, s, t)` (Duplicator
+/// wins the existential k-pebble game).
+///
+/// If the even simple path query *were* expressible in `L^k`, this would
+/// be exact (Theorem 5.5 would put the query in PTIME). Since it is not
+/// (Corollary 6.8), the procedure only **overapproximates**: it never
+/// misses a real even path (the embedding hands the Duplicator a
+/// strategy), but may accept graphs without one. Comparing it against
+/// [`even_simple_path`] is how the reproduction *exhibits* the
+/// inexpressibility concretely.
+pub fn even_path_via_games(g: &Digraph, s: u32, t: u32, k: usize) -> bool {
+    let vocab = Arc::new(kv_structures::Vocabulary::graph_with_constants(2));
+    let mut gg = g.clone();
+    gg.set_distinguished(vec![s, t]);
+    let b = gg.to_structure_with(Arc::clone(&vocab));
+    for a in even_path_patterns(g.node_count()) {
+        if ExistentialGame::solve(&a, &b, k, HomKind::OneToOne).winner() == Winner::Duplicator {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kv_structures::generators::{directed_path_graph, random_digraph};
+
+    #[test]
+    fn brute_force_basics() {
+        let g = directed_path_graph(5);
+        assert!(even_simple_path(&g, 0, 2));
+        assert!(even_simple_path(&g, 0, 4));
+        assert!(!even_simple_path(&g, 0, 1));
+        assert!(!even_simple_path(&g, 0, 3));
+        assert!(!even_simple_path(&g, 0, 0));
+    }
+
+    #[test]
+    fn odd_shortcut_does_not_fool_parity() {
+        // 0 -> 1 -> 2 plus shortcut 0 -> 2: even path exists (length 2).
+        let mut g = directed_path_graph(3);
+        g.add_edge(0, 2);
+        assert!(even_simple_path(&g, 0, 2));
+        // Only the direct edge: no even simple path.
+        let mut h = Digraph::new(2);
+        h.add_edge(0, 1);
+        assert!(!even_simple_path(&h, 0, 1));
+    }
+
+    #[test]
+    fn patterns_are_odd_node_paths() {
+        let pats = even_path_patterns(7);
+        assert_eq!(pats.len(), 3); // k = 3, 5, 7
+        for (idx, p) in pats.iter().enumerate() {
+            let nodes = 3 + 2 * idx;
+            assert_eq!(p.universe_size(), nodes);
+            assert_eq!(p.tuple_count(), nodes - 1);
+        }
+    }
+
+    #[test]
+    fn game_procedure_is_sound_upper_bound() {
+        // Never misses a real even simple path.
+        for seed in 0..6 {
+            let g = random_digraph(6, 0.3, 2700 + seed);
+            for (s, t) in [(0u32, 1u32), (2, 5)] {
+                if even_simple_path(&g, s, t) {
+                    assert!(
+                        even_path_via_games(&g, s, t, 2),
+                        "game procedure missed a real even path, seed {}",
+                        2700 + seed
+                    );
+                }
+            }
+        }
+    }
+}

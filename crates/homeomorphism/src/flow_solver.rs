@@ -1,0 +1,182 @@
+//! The polynomial algorithm for class-`C` patterns (Theorem 6.1's
+//! reduction): fan patterns become node-capacitated max-flow questions;
+//! the self-loop case adds a cycle through the root.
+
+use crate::pattern::{ClassCRoot, Orientation};
+use kv_graphalg::disjoint::{disjoint_fan, DisjointFan};
+use kv_pebble::PatternSpec;
+use kv_structures::Digraph;
+
+/// Solves the `H`-subgraph homeomorphism query for a pattern in class `C`.
+///
+/// `distinguished[i]` interprets pattern node `i`; the classification
+/// `root` must come from [`crate::pattern::class_c_root`] of the same
+/// pattern.
+///
+/// Out-orientation without self-loop: `k` node-disjoint paths from the
+/// root's node to the fan targets — a max-flow of value `k` with unit node
+/// capacities. With a self-loop, additionally a simple cycle through the
+/// root, node-disjoint from the fan: either a literal self-loop edge in
+/// `G`, or an extra fan leg to some non-distinguished `w` with an edge
+/// `w → root` (the paper's case analysis at the end of Theorem 6.1).
+/// In-orientation is the same on the reversed graph.
+pub fn solve_class_c(
+    pattern: &PatternSpec,
+    root: &ClassCRoot,
+    g: &Digraph,
+    distinguished: &[u32],
+) -> bool {
+    assert_eq!(distinguished.len(), pattern.node_count);
+    // Work on the out-orientation; reverse the graph otherwise.
+    let (graph, flipped);
+    match root.orientation {
+        Orientation::Out => {
+            graph = g.clone();
+            flipped = false;
+        }
+        Orientation::In => {
+            let mut rev = Digraph::new(g.node_count());
+            for (u, v) in g.edges() {
+                rev.add_edge(v, u);
+            }
+            graph = rev;
+            flipped = true;
+        }
+    }
+    let s = distinguished[root.root];
+    let targets: Vec<u32> = pattern
+        .edges
+        .iter()
+        .filter(|&&(i, j)| i != j)
+        .map(|&(i, j)| {
+            let other = if flipped { i } else { j };
+            debug_assert_eq!(if flipped { j } else { i }, root.root);
+            distinguished[other]
+        })
+        .collect();
+    debug_assert_eq!(targets.len(), root.fan);
+
+    let plain_fan = |extra: Option<u32>| -> bool {
+        let mut t = targets.clone();
+        if let Some(w) = extra {
+            t.push(w);
+        }
+        matches!(disjoint_fan(&graph, s, &t, &[]), DisjointFan::Paths(_))
+    };
+
+    if !root.self_loop {
+        if targets.is_empty() {
+            return true; // pattern had only isolated nodes / nothing to do
+        }
+        return plain_fan(None);
+    }
+    // Self-loop case. Option 1: G has a literal self-loop at s.
+    if graph.has_edge(s, s) && (targets.is_empty() || plain_fan(None)) {
+        return true;
+    }
+    // Option 2: route the loop through some non-distinguished w with an
+    // edge back to s, as a (k+1)-st fan leg.
+    for w in graph.nodes() {
+        if w == s || distinguished.contains(&w) {
+            continue;
+        }
+        if graph.has_edge(w, s) && plain_fan(Some(w)) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Convenience wrapper: classify and solve, panicking if the pattern is
+/// not in class `C`.
+pub fn solve_class_c_auto(pattern: &PatternSpec, g: &Digraph, distinguished: &[u32]) -> bool {
+    let root = crate::pattern::class_c_root(pattern).expect("pattern must be in class C");
+    solve_class_c(pattern, &root, g, distinguished)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force_homeomorphism;
+    use kv_structures::generators::random_digraph;
+
+    fn out_star(k: usize) -> PatternSpec {
+        PatternSpec {
+            node_count: k + 1,
+            edges: (1..=k).map(|i| (0, i)).collect(),
+        }
+    }
+
+    fn in_star(k: usize) -> PatternSpec {
+        PatternSpec {
+            node_count: k + 1,
+            edges: (1..=k).map(|i| (i, 0)).collect(),
+        }
+    }
+
+    #[test]
+    fn out_star_matches_brute_force() {
+        let p = out_star(2);
+        for seed in 0..10 {
+            let g = random_digraph(8, 0.25, 1000 + seed);
+            let distinguished = [0u32, 1, 2];
+            let flow = solve_class_c_auto(&p, &g, &distinguished);
+            let brute = brute_force_homeomorphism(&p, &g, &distinguished);
+            assert_eq!(flow, brute, "seed {}", 1000 + seed);
+        }
+    }
+
+    #[test]
+    fn out_star_three_targets_matches_brute_force() {
+        let p = out_star(3);
+        for seed in 0..8 {
+            let g = random_digraph(9, 0.3, 1100 + seed);
+            let distinguished = [0u32, 1, 2, 3];
+            let flow = solve_class_c_auto(&p, &g, &distinguished);
+            let brute = brute_force_homeomorphism(&p, &g, &distinguished);
+            assert_eq!(flow, brute, "seed {}", 1100 + seed);
+        }
+    }
+
+    #[test]
+    fn in_star_matches_brute_force() {
+        let p = in_star(2);
+        for seed in 0..10 {
+            let g = random_digraph(8, 0.25, 1200 + seed);
+            let distinguished = [0u32, 1, 2];
+            let flow = solve_class_c_auto(&p, &g, &distinguished);
+            let brute = brute_force_homeomorphism(&p, &g, &distinguished);
+            assert_eq!(flow, brute, "seed {}", 1200 + seed);
+        }
+    }
+
+    #[test]
+    fn self_loop_star_matches_brute_force() {
+        let p = PatternSpec {
+            node_count: 2,
+            edges: vec![(0, 0), (0, 1)],
+        };
+        for seed in 0..12 {
+            let g = random_digraph(7, 0.3, 1300 + seed);
+            let distinguished = [0u32, 1];
+            let flow = solve_class_c_auto(&p, &g, &distinguished);
+            let brute = brute_force_homeomorphism(&p, &g, &distinguished);
+            assert_eq!(flow, brute, "seed {}", 1300 + seed);
+        }
+    }
+
+    #[test]
+    fn pure_self_loop_pattern() {
+        // Pattern: just a self-loop — "is there a simple cycle through s?".
+        let p = PatternSpec {
+            node_count: 1,
+            edges: vec![(0, 0)],
+        };
+        for seed in 0..10 {
+            let g = random_digraph(7, 0.2, 1400 + seed);
+            let flow = solve_class_c_auto(&p, &g, &[0]);
+            let brute = brute_force_homeomorphism(&p, &g, &[0]);
+            assert_eq!(flow, brute, "seed {}", 1400 + seed);
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Fixed subgraph homeomorphism queries — the case study of Section 6.
+//!
+//! For a fixed *pattern graph* `H` with nodes `v1, …, vl`, the
+//! `H`-subgraph homeomorphism query asks whether an input graph `G` with
+//! distinguished nodes `s1, …, sl` contains pairwise node-disjoint simple
+//! paths, one per edge of `H`, routing edge `(i, j)` from `si` to `sj`
+//! (paths may share equal endpoints only).
+//!
+//! Fortune–Hopcroft–Wyllie (1980) classified these queries by the class
+//! **C** of patterns whose root is the head (or the tail) of every edge:
+//! polynomial for `H ∈ C`, NP-complete for `H ∈ C̄`, and polynomial for
+//! every `H` on acyclic inputs. The paper sharpens both dichotomies to
+//! Datalog(≠) expressibility; this crate implements the *positive* side:
+//!
+//! - [`pattern`]: pattern classification (class `C`, the `H1`/`H2`/`H3`
+//!   witnesses generating `C̄`);
+//! - [`brute`]: the exhaustive solver (ground truth, exponential);
+//! - [`flow_solver`]: the polynomial algorithm for `H ∈ C` via
+//!   node-capacitated max flow (Theorem 6.1's reduction);
+//! - [`programs`]: generated Datalog(≠) programs — the class-`C` programs
+//!   of Theorem 6.1 and the acyclic-input game programs `π_H` of
+//!   Theorem 6.2;
+//! - [`even_path`]: the even simple path query of Example 5.2 /
+//!   Corollary 6.8 (brute force and its pattern generator);
+//! - [`solver`]: a dispatching solver choosing the best method.
+
+#![warn(missing_docs)]
+
+pub mod brute;
+pub mod even_path;
+pub mod flow_solver;
+pub mod named;
+pub mod pattern;
+pub mod programs;
+pub mod solver;
+
+pub use brute::brute_force_homeomorphism;
+pub use flow_solver::solve_class_c;
+pub use named::{cycle_through_two, path_through_intermediate, two_disjoint_paths_query};
+pub use pattern::{classify, CBarWitness, ClassCRoot, Orientation, PatternClass};
+pub use programs::{acyclic_game_program, class_c_program};
+pub use solver::{solve, Method};
+
+pub use kv_pebble::PatternSpec;

@@ -1,0 +1,324 @@
+//! Generated Datalog(≠) programs for the positive side of the case study.
+//!
+//! - [`class_c_program`]: Theorem 6.1 — for every pattern `H ∈ C`, a
+//!   Datalog(≠) program computing the `H`-subgraph homeomorphism query on
+//!   **arbitrary** inputs, assembled from the `Q_{k,l}` family (plus the
+//!   self-loop case analysis).
+//! - [`acyclic_game_program`]: Theorem 6.2 — for **every** pattern `H`, a
+//!   Datalog(≠) program computing the query on **acyclic** inputs, by
+//!   evaluating the two-player pebble game: one IDB per subset of still
+//!   alive pebbles, and one rule per combination of "advance/retire" moves
+//!   (the AND over pebbles is the multiple recursive atoms in a body; the
+//!   OR over moves is the rule alternatives).
+//!
+//! Both take graphs over the vocabulary `{E/2}` with constants
+//! `n0, …, n{l-1}` interpreting the pattern nodes; [`pattern_vocabulary`]
+//! builds it and [`eval_on`] runs a program on a concrete `(G, s⃗)`.
+
+use crate::pattern::{ClassCRoot, Orientation};
+use kv_datalog::programs::q_kl_source;
+use kv_datalog::{parse_program, Evaluator, Program};
+use kv_pebble::PatternSpec;
+use kv_structures::{Digraph, Vocabulary};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// The vocabulary for a pattern with `l` nodes: `{E/2, n0, …, n{l-1}}`.
+pub fn pattern_vocabulary(l: usize) -> Vocabulary {
+    let mut v = Vocabulary::graph();
+    for i in 0..l {
+        v.add_constant(format!("n{i}"));
+    }
+    v
+}
+
+/// Runs a boolean (nullary-goal) program on `(g, distinguished)`.
+///
+/// # Panics
+/// Panics if the goal predicate is not nullary or the constants don't
+/// match `distinguished`.
+pub fn eval_on(program: &Program, g: &Digraph, distinguished: &[u32]) -> bool {
+    assert_eq!(program.idb_arity(program.goal()), 0, "goal must be nullary");
+    let mut g = g.clone();
+    g.set_distinguished(distinguished.to_vec());
+    let s = g.to_structure_with(Arc::clone(program.vocabulary()));
+    Evaluator::new(program).holds(&s, &[])
+}
+
+/// Theorem 6.1: the Datalog(≠) program for a class-`C` pattern.
+///
+/// # Panics
+/// Panics if `root` does not classify `pattern`.
+pub fn class_c_program(pattern: &PatternSpec, root: &ClassCRoot) -> Program {
+    let l = pattern.node_count;
+    let reversed = root.orientation == Orientation::In;
+    let k = root.fan;
+    let root_const = format!("n{}", root.root);
+    let fan_consts: Vec<String> = pattern
+        .edges
+        .iter()
+        .filter(|&&(i, j)| i != j)
+        .map(|&(i, j)| {
+            let other = if reversed { i } else { j };
+            format!("n{other}")
+        })
+        .collect();
+    let mut src = String::new();
+    if k >= 1 {
+        src.push_str(&q_kl_source(k, 0, "Q", reversed));
+    }
+    let fan_args = fan_consts.join(", ");
+    if !root.self_loop {
+        if k == 0 {
+            // Pattern had no edges; vacuously true.
+            let _ = writeln!(src, "Result().");
+        } else {
+            let _ = writeln!(src, "Result() :- Q{k}({root_const}, {fan_args}).");
+        }
+    } else {
+        // Self-loop case analysis (end of Theorem 6.1's proof).
+        // Option 1: a literal self-loop at the root.
+        if k == 0 {
+            let _ = writeln!(src, "Result() :- E({root_const}, {root_const}).");
+        } else {
+            let _ = writeln!(
+                src,
+                "Result() :- E({root_const}, {root_const}), Q{k}({root_const}, {fan_args})."
+            );
+        }
+        // Option 2: a (k+1)-fan whose extra leg w closes a cycle.
+        src.push_str(&q_kl_source(k + 1, 0, "P", reversed));
+        let mut extra_args: Vec<String> = fan_consts.clone();
+        extra_args.push("w".to_string());
+        let closing = if reversed {
+            format!("E({root_const}, w)")
+        } else {
+            format!("E(w, {root_const})")
+        };
+        let mut rule = format!(
+            "Result() :- P{}({root_const}, {}), {closing}",
+            k + 1,
+            extra_args.join(", ")
+        );
+        for i in 0..l {
+            let _ = write!(rule, ", w != n{i}");
+        }
+        let _ = writeln!(src, "{rule}.");
+    }
+    let _ = writeln!(src, "?- Result.");
+    parse_program(&src, Arc::new(pattern_vocabulary(l))).expect("generated class-C program parses")
+}
+
+/// Theorem 6.2: the Datalog(≠) program `π_H` computing the `H`-subgraph
+/// homeomorphism query on acyclic inputs, for an arbitrary (self-loop
+/// free) pattern `H`.
+///
+/// One IDB `G<mask>` per subset of pattern edges (`mask` over edge
+/// indices, arity = number of live pebbles), with the AND-OR game rules;
+/// `Result()` queries the full set at the initial pebble placement.
+///
+/// Patterns **with** a self-loop yield the constantly-false program (an
+/// acyclic input has no cycle through the root), with a lone unsatisfiable
+/// rule.
+pub fn acyclic_game_program(pattern: &PatternSpec) -> Program {
+    let l = pattern.node_count;
+    let vocab = Arc::new(pattern_vocabulary(l));
+    if pattern.edges.iter().any(|&(i, j)| i == j) {
+        // Constantly false: Result depends on an underivable predicate.
+        return parse_program("Result() :- Never().\n?- Result.", vocab)
+            .expect("static program parses");
+    }
+    pattern.validate().expect("valid pattern");
+    let m = pattern.edges.len();
+    assert!(m <= 6, "subset construction limited to patterns with <= 6 edges");
+    let mut src = String::new();
+    // Base: the empty pebble set.
+    let _ = writeln!(src, "G0().");
+    let members = |mask: usize| -> Vec<usize> { (0..m).filter(|&e| mask & (1 << e) != 0).collect() };
+    for mask in 1usize..(1 << m) {
+        let live = members(mask);
+        let head_args: Vec<String> = live.iter().map(|&e| format!("x{e}")).collect();
+        let head = format!("G{mask}({})", head_args.join(", "));
+        // All move combinations: each live pebble advances (0) or retires (1).
+        for combo in 0usize..(1 << live.len()) {
+            let mut body: Vec<String> = Vec::new();
+            for (pos, &e) in live.iter().enumerate() {
+                let (_, j) = pattern.edges[e];
+                if combo & (1 << pos) == 0 {
+                    // Advance pebble e to a fresh non-distinguished node.
+                    body.push(format!("E(x{e}, y{e})"));
+                    for t in 0..l {
+                        body.push(format!("y{e} != n{t}"));
+                    }
+                    for &f in &live {
+                        if f != e {
+                            body.push(format!("y{e} != x{f}"));
+                        }
+                    }
+                    let args: Vec<String> = live
+                        .iter()
+                        .map(|&f| {
+                            if f == e {
+                                format!("y{e}")
+                            } else {
+                                format!("x{f}")
+                            }
+                        })
+                        .collect();
+                    body.push(format!("G{mask}({})", args.join(", ")));
+                } else {
+                    // Retire pebble e onto its target.
+                    body.push(format!("E(x{e}, n{j})"));
+                    let smaller = mask & !(1 << e);
+                    let args: Vec<String> = live
+                        .iter()
+                        .filter(|&&f| f != e)
+                        .map(|&f| format!("x{f}"))
+                        .collect();
+                    body.push(format!("G{smaller}({})", args.join(", ")));
+                }
+            }
+            let _ = writeln!(src, "{head} :- {}.", body.join(", "));
+        }
+    }
+    // Initial placement: pebble e = (i, j) on n{i}.
+    let full = (1usize << m) - 1;
+    let init: Vec<String> = pattern
+        .edges
+        .iter()
+        .map(|&(i, _)| format!("n{i}"))
+        .collect();
+    let _ = writeln!(src, "Result() :- G{full}({}).", init.join(", "));
+    let _ = writeln!(src, "?- Result.");
+    parse_program(&src, vocab).expect("generated acyclic game program parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force_homeomorphism;
+    use crate::flow_solver::solve_class_c_auto;
+    use crate::pattern::class_c_root;
+    use kv_pebble::acyclic::AcyclicGame;
+    use kv_structures::generators::{random_dag, random_digraph};
+
+    fn out_star(k: usize) -> PatternSpec {
+        PatternSpec {
+            node_count: k + 1,
+            edges: (1..=k).map(|i| (0, i)).collect(),
+        }
+    }
+
+    #[test]
+    fn class_c_program_matches_flow_out_star() {
+        let p = out_star(2);
+        let root = class_c_root(&p).unwrap();
+        let program = class_c_program(&p, &root);
+        for seed in 0..8 {
+            let g = random_digraph(7, 0.3, 2000 + seed);
+            let distinguished = [0u32, 1, 2];
+            let by_program = eval_on(&program, &g, &distinguished);
+            let by_flow = solve_class_c_auto(&p, &g, &distinguished);
+            assert_eq!(by_program, by_flow, "seed {}", 2000 + seed);
+        }
+    }
+
+    #[test]
+    fn class_c_program_matches_flow_in_star() {
+        let p = PatternSpec {
+            node_count: 3,
+            edges: vec![(1, 0), (2, 0)],
+        };
+        let root = class_c_root(&p).unwrap();
+        let program = class_c_program(&p, &root);
+        for seed in 0..8 {
+            let g = random_digraph(7, 0.3, 2100 + seed);
+            let distinguished = [0u32, 1, 2];
+            let by_program = eval_on(&program, &g, &distinguished);
+            let by_flow = solve_class_c_auto(&p, &g, &distinguished);
+            assert_eq!(by_program, by_flow, "seed {}", 2100 + seed);
+        }
+    }
+
+    #[test]
+    fn class_c_program_self_loop_case() {
+        let p = PatternSpec {
+            node_count: 2,
+            edges: vec![(0, 0), (0, 1)],
+        };
+        let root = class_c_root(&p).unwrap();
+        let program = class_c_program(&p, &root);
+        for seed in 0..10 {
+            let g = random_digraph(6, 0.3, 2200 + seed);
+            let distinguished = [0u32, 1];
+            let by_program = eval_on(&program, &g, &distinguished);
+            let by_brute = brute_force_homeomorphism(&p, &g, &distinguished);
+            assert_eq!(by_program, by_brute, "seed {}", 2200 + seed);
+        }
+    }
+
+    #[test]
+    fn acyclic_program_h1_matches_game_and_brute() {
+        let p = PatternSpec::two_disjoint_edges();
+        let program = acyclic_game_program(&p);
+        for seed in 0..15 {
+            let g = random_dag(8, 0.3, 2300 + seed);
+            let distinguished = [0u32, 6, 1, 7];
+            let by_program = eval_on(&program, &g, &distinguished);
+            let by_game =
+                AcyclicGame::solve(p.clone(), &g, &distinguished).duplicator_wins();
+            let by_brute = brute_force_homeomorphism(&p, &g, &distinguished);
+            assert_eq!(by_program, by_game, "game mismatch seed {}", 2300 + seed);
+            assert_eq!(by_program, by_brute, "brute mismatch seed {}", 2300 + seed);
+        }
+    }
+
+    #[test]
+    fn acyclic_program_h2_matches_brute() {
+        let p = PatternSpec::path_length_two();
+        let program = acyclic_game_program(&p);
+        for seed in 0..15 {
+            let g = random_dag(8, 0.3, 2400 + seed);
+            let distinguished = [0u32, 4, 7];
+            let by_program = eval_on(&program, &g, &distinguished);
+            let by_brute = brute_force_homeomorphism(&p, &g, &distinguished);
+            assert_eq!(by_program, by_brute, "seed {}", 2400 + seed);
+        }
+    }
+
+    #[test]
+    fn acyclic_program_h3_always_false_on_dags() {
+        let p = PatternSpec::two_cycle();
+        let program = acyclic_game_program(&p);
+        for seed in 0..5 {
+            let g = random_dag(7, 0.4, 2500 + seed);
+            assert!(!eval_on(&program, &g, &[0, 6]));
+            assert!(!brute_force_homeomorphism(&p, &g, &[0, 6]));
+        }
+    }
+
+    #[test]
+    fn self_loop_pattern_constantly_false_on_acyclic() {
+        let p = PatternSpec {
+            node_count: 2,
+            edges: vec![(0, 0), (0, 1)],
+        };
+        let program = acyclic_game_program(&p);
+        let g = random_dag(6, 0.5, 2600);
+        assert!(!eval_on(&program, &g, &[0, 5]));
+    }
+
+    #[test]
+    fn shared_midpoint_counterexample_rejected_by_acyclic_program() {
+        // The 5-node instance that fools the cooperative 3-rule program of
+        // the extended abstract: the AND-OR program gets it right.
+        let p = PatternSpec::two_disjoint_edges();
+        let program = acyclic_game_program(&p);
+        let mut g = Digraph::new(5);
+        g.add_edge(0, 4);
+        g.add_edge(4, 1);
+        g.add_edge(2, 4);
+        g.add_edge(4, 3);
+        assert!(!eval_on(&program, &g, &[0, 1, 2, 3]));
+    }
+}

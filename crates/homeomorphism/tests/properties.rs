@@ -1,0 +1,84 @@
+//! Property-based tests: the dispatching solver always agrees with brute
+//! force; classification is total and consistent.
+
+use kv_homeo::pattern::{c_bar_witness, class_c_root, classify, PatternClass};
+use kv_homeo::{brute_force_homeomorphism, solve, PatternSpec};
+use kv_structures::Digraph;
+use proptest::prelude::*;
+
+fn digraph_strategy(max_n: usize) -> impl Strategy<Value = Digraph> {
+    (4usize..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=(n * n / 3).min(16)).prop_map(
+            move |edges| {
+                let mut g = Digraph::new(n);
+                for (u, v) in edges {
+                    if u != v {
+                        g.add_edge(u, v);
+                    }
+                }
+                g
+            },
+        )
+    })
+}
+
+fn pattern_strategy() -> impl Strategy<Value = PatternSpec> {
+    prop_oneof![
+        Just(PatternSpec::two_disjoint_edges()),
+        Just(PatternSpec::path_length_two()),
+        Just(PatternSpec::two_cycle()),
+        Just(PatternSpec {
+            node_count: 3,
+            edges: vec![(0, 1), (0, 2)],
+        }),
+        Just(PatternSpec {
+            node_count: 3,
+            edges: vec![(1, 0), (2, 0)],
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Whatever method the dispatcher picks, the answer equals brute force
+    /// (when the distinguished nodes fit the pattern arity).
+    #[test]
+    fn solver_always_agrees_with_brute_force(
+        g in digraph_strategy(7),
+        pattern in pattern_strategy(),
+    ) {
+        let l = pattern.node_count;
+        let distinguished: Vec<u32> = (0..l as u32).collect();
+        let (answer, _method) = solve(&pattern, &g, &distinguished);
+        prop_assert_eq!(
+            answer,
+            brute_force_homeomorphism(&pattern, &g, &distinguished)
+        );
+    }
+
+    /// Classification is total and the two sides are mutually exclusive on
+    /// loop-free patterns.
+    #[test]
+    fn classification_is_consistent(edges in proptest::collection::vec((0usize..4, 0usize..4), 1..6)) {
+        let edges: Vec<(usize, usize)> = edges
+            .into_iter()
+            .filter(|&(i, j)| i != j)
+            .collect();
+        let mut dedup = edges.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        if dedup.is_empty() {
+            return Ok(());
+        }
+        let p = PatternSpec { node_count: 4, edges: dedup };
+        let in_c = class_c_root(&p).is_some();
+        let witness = c_bar_witness(&p).is_some();
+        prop_assert_eq!(in_c, !witness, "classification must partition loop-free patterns");
+        match classify(&p) {
+            PatternClass::InC(_) => prop_assert!(in_c),
+            PatternClass::InCBar(_) => prop_assert!(witness),
+            other => prop_assert!(false, "unexpected class {:?}", other),
+        }
+    }
+}

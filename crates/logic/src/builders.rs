@@ -1,0 +1,243 @@
+//! The paper's example formulas (Examples 3.3 and 3.4).
+
+use crate::formula::{Formula, Var};
+use kv_structures::Digraph;
+use kv_structures::RelId;
+use std::collections::VecDeque;
+
+/// Example 3.4: `p_n(v0, v1)` — "there is a path (walk) of length `n` from
+/// `v0` to `v1`" — written with only **three** distinct variables
+/// `v0, v1, v2` by the Immerman recycling trick:
+///
+/// ```text
+/// p_1(x, y) ≡ E(x, y)
+/// p_n(x, y) ≡ ∃z (E(x, z) ∧ ∃x (x = z ∧ p_{n-1}(x, y)))
+/// ```
+///
+/// ```
+/// use kv_logic::builders::path_formula;
+/// use kv_logic::eval::eval_with;
+/// use kv_structures::{generators::directed_path, RelId};
+///
+/// let p3 = path_formula(RelId(0), 3);
+/// assert!(p3.width() <= 3); // the point of the example
+/// let s = directed_path(5);
+/// assert!(eval_with(&p3, &s, &[Some(0), Some(3)]));
+/// assert!(!eval_with(&p3, &s, &[Some(0), Some(2)]));
+/// ```
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn path_formula(edge: RelId, n: usize) -> Formula {
+    assert!(n >= 1, "p_n defined for n >= 1");
+    let (x, y, z) = (Var(0), Var(1), Var(2));
+    let mut p = Formula::edge(edge, x, y);
+    for _ in 1..n {
+        // p_{k+1}(x,y) = ∃z (E(x,z) ∧ ∃x (x = z ∧ p_k(x,y)))
+        let rebind = Formula::exists(
+            x,
+            Formula::and([Formula::Eq(x.into(), z.into()), p]),
+        );
+        p = Formula::exists(z, Formula::and([Formula::edge(edge, x, z), rebind]));
+    }
+    p
+}
+
+/// Example 3.3: `τ_n` — "there are at least `n` elements" — on **total
+/// orders**, written with only **two** distinct variables:
+///
+/// ```text
+/// τ_1 ≡ ∃x (x = x)
+/// τ_{n+1} ≡ ∃x χ_n(x)   where   χ_1(x) ≡ ⊤,  χ_{m+1}(x) ≡ ∃y (x < y ∧ χ_m(y))
+/// ```
+///
+/// (the chain alternates the two variable slots, as in the paper's `τ_4`).
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn at_least_formula(less_than: RelId, n: usize) -> Formula {
+    assert!(n >= 1);
+    let slots = [Var(0), Var(1)];
+    // Build the chain from the inside out: χ with m remaining hops, whose
+    // free variable is `slots[(n - 1 - m) % 2]`… easier: build outward.
+    // chain(m, cur): "there are m more elements above `cur`".
+    fn chain(less_than: RelId, m: usize, cur: usize, slots: [Var; 2]) -> Formula {
+        if m == 0 {
+            return Formula::True;
+        }
+        let nxt = 1 - cur;
+        Formula::exists(
+            slots[nxt],
+            Formula::and([
+                Formula::edge(less_than, slots[cur], slots[nxt]),
+                chain(less_than, m - 1, nxt, slots),
+            ]),
+        )
+    }
+    Formula::exists(
+        slots[0],
+        Formula::and([
+            Formula::Eq(slots[0].into(), slots[0].into()),
+            chain(less_than, n - 1, 0, slots),
+        ]),
+    )
+}
+
+/// Example 3.3: `ρ_n ≡ τ_n ∧ ¬τ_{n+1}` — "there are exactly `n` elements"
+/// on total orders. Uses negation, so it lives in `L²_{∞ω}` but **not** in
+/// the existential fragment `L²`.
+pub fn exactly_formula(less_than: RelId, n: usize) -> Formula {
+    Formula::and([
+        at_least_formula(less_than, n),
+        Formula::Not(std::rc::Rc::new(at_least_formula(less_than, n + 1))),
+    ])
+}
+
+/// Ground truth for infinitary walk-length disjunctions: is there a walk
+/// from `x` to `y` of length `≥ 1` congruent to `residue` mod `modulus`?
+/// Exact, via reachability in the product graph `G × Z_modulus`.
+pub fn has_walk_mod(g: &Digraph, x: u32, y: u32, residue: usize, modulus: usize) -> bool {
+    assert!(modulus >= 1);
+    let n = g.node_count();
+    let mut seen = vec![false; n * modulus];
+    let mut queue = VecDeque::new();
+    // Start states: successors of x at length 1.
+    for &v in g.successors(x) {
+        let st = v as usize * modulus + 1 % modulus;
+        if !seen[st] {
+            seen[st] = true;
+            queue.push_back((v, 1 % modulus));
+        }
+    }
+    while let Some((u, r)) = queue.pop_front() {
+        if u == y && r == residue % modulus {
+            return true;
+        }
+        for &v in g.successors(u) {
+            let nr = (r + 1) % modulus;
+            let st = v as usize * modulus + nr;
+            if !seen[st] {
+                seen[st] = true;
+                queue.push_back((v, nr));
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{eval_closed, eval_with};
+    use kv_structures::generators::{
+        directed_cycle, directed_cycle_graph, directed_path, directed_path_graph, random_digraph,
+        total_order,
+    };
+
+    const E: RelId = RelId(0);
+
+    #[test]
+    fn path_formula_width_is_three() {
+        for n in 1..6 {
+            let p = path_formula(E, n);
+            assert!(p.width() <= 3, "p_{n} uses more than 3 variables");
+            assert!(p.is_existential_positive());
+            assert!(p.is_inequality_free());
+        }
+    }
+
+    #[test]
+    fn path_formula_semantics_on_path_graph() {
+        let s = directed_path(6);
+        for n in 1..6 {
+            let p = path_formula(E, n);
+            for a in 0..6u32 {
+                for b in 0..6u32 {
+                    let expected = b >= a && (b - a) as usize == n;
+                    assert_eq!(
+                        eval_with(&p, &s, &[Some(a), Some(b)]),
+                        expected,
+                        "p_{n}({a},{b})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn path_formula_counts_walks_not_simple_paths() {
+        // On a 3-cycle, a walk of length 4 from 0 exists (to node 1).
+        let s = directed_cycle(3);
+        let p4 = path_formula(E, 4);
+        assert!(eval_with(&p4, &s, &[Some(0), Some(1)]));
+        assert!(!eval_with(&p4, &s, &[Some(0), Some(0)]));
+    }
+
+    #[test]
+    fn path_formula_matches_walk_mod_ground_truth() {
+        for seed in 0..5 {
+            let g = random_digraph(6, 0.3, seed);
+            let s = g.to_structure();
+            // Even-length walks: ⋁ {p_n : n even, n <= 2 * |V|^2} is exact
+            // because the product graph G × Z2 has 2|V| states.
+            let bound = 2 * 6 * 6;
+            for a in 0..6u32 {
+                for b in 0..6u32 {
+                    let family: bool = (2..=bound).step_by(2).any(|n| {
+                        eval_with(&path_formula(E, n), &s, &[Some(a), Some(b)])
+                    });
+                    let exact = has_walk_mod(&g, a, b, 0, 2);
+                    assert_eq!(family, exact, "even-walk({a},{b}) seed {seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn at_least_formula_on_orders() {
+        for size in 1..6usize {
+            let s = total_order(size);
+            for n in 1..8usize {
+                let f = at_least_formula(E, n);
+                assert!(f.width() <= 2, "τ_{n} must use 2 variables");
+                assert_eq!(eval_closed(&f, &s), size >= n, "τ_{n} on order of {size}");
+            }
+        }
+    }
+
+    #[test]
+    fn exactly_formula_on_orders() {
+        for size in 1..6usize {
+            let s = total_order(size);
+            for n in 1..8usize {
+                let f = exactly_formula(E, n);
+                assert!(f.width() <= 2);
+                assert_eq!(eval_closed(&f, &s), size == n, "ρ_{n} on order of {size}");
+            }
+        }
+    }
+
+    #[test]
+    fn even_cardinality_on_orders_via_family() {
+        // ⋁_n ρ_{2n} expresses "even number of elements" on total orders.
+        for size in 1..7usize {
+            let s = total_order(size);
+            let even = (1..=4).any(|n| eval_closed(&exactly_formula(E, 2 * n), &s));
+            assert_eq!(even, size % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn has_walk_mod_basics() {
+        let p = directed_path_graph(5);
+        assert!(has_walk_mod(&p, 0, 4, 0, 2));
+        assert!(!has_walk_mod(&p, 0, 3, 0, 2));
+        assert!(has_walk_mod(&p, 0, 3, 1, 2));
+        let c = directed_cycle_graph(3);
+        // Walks 0 -> 0 have lengths 3, 6, 9, …
+        assert!(has_walk_mod(&c, 0, 0, 0, 3));
+        assert!(!has_walk_mod(&c, 0, 0, 1, 3));
+        assert!(has_walk_mod(&c, 0, 0, 0, 2)); // length 6
+        assert!(has_walk_mod(&c, 0, 0, 1, 2)); // length 3
+    }
+}

@@ -1,0 +1,246 @@
+//! Formula evaluation on finite structures, with per-node memoization.
+//!
+//! Stage formulas (Theorem 3.6) are DAGs whose tree expansion is
+//! exponential; naive recursive evaluation would re-evaluate shared nodes
+//! under the same assignment over and over. [`Evaluator`] memoizes on
+//! `(node identity, restriction of the assignment to the node's free
+//! variables)`, which makes evaluation polynomial in the DAG size times the
+//! number of relevant assignments.
+
+use crate::formula::{Formula, LTerm, Var};
+use kv_structures::{Element, Structure};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A variable assignment: `asg[i]` interprets `Var(i)`.
+pub type Assignment = Vec<Option<Element>>;
+
+/// Evaluates a closed formula (sentence) on a structure.
+pub fn eval_closed(f: &Formula, s: &Structure) -> bool {
+    let mut ev = Evaluator::new(s);
+    ev.eval(f, &mut vec![None; max_var(f) + 1])
+}
+
+/// Evaluates a formula under the given assignment of its free variables.
+/// The assignment vector must be long enough for every variable index used
+/// anywhere in the formula.
+pub fn eval_with(f: &Formula, s: &Structure, asg: &[Option<Element>]) -> bool {
+    let mut ev = Evaluator::new(s);
+    let mut asg = asg.to_vec();
+    let need = max_var(f) + 1;
+    if asg.len() < need {
+        asg.resize(need, None);
+    }
+    ev.eval(f, &mut asg)
+}
+
+fn max_var(f: &Formula) -> usize {
+    f.all_vars().iter().map(|v| v.0).max().unwrap_or(0)
+}
+
+/// A memoizing evaluator bound to one structure.
+///
+/// Reuse a single evaluator across many queries on the same structure to
+/// share the memo table (entries are keyed by node identity and free-variable
+/// values, so they remain valid across calls).
+pub struct Evaluator<'s> {
+    structure: &'s Structure,
+    /// Free variables per shared node (cached).
+    free_cache: HashMap<*const Formula, Rc<Vec<Var>>>,
+    /// Memo: (node, values of its free vars) -> truth.
+    memo: HashMap<(*const Formula, Vec<Option<Element>>), bool>,
+}
+
+impl<'s> Evaluator<'s> {
+    /// Creates an evaluator for `structure`.
+    pub fn new(structure: &'s Structure) -> Self {
+        Self {
+            structure,
+            free_cache: HashMap::new(),
+            memo: HashMap::new(),
+        }
+    }
+
+    fn term_value(&self, t: &LTerm, asg: &[Option<Element>]) -> Element {
+        match t {
+            LTerm::Var(v) => asg[v.0].expect("free variable left unassigned"),
+            LTerm::Const(c) => self.structure.constant(*c),
+        }
+    }
+
+    fn free_vars_of(&mut self, f: &Rc<Formula>) -> Rc<Vec<Var>> {
+        let key = Rc::as_ptr(f);
+        if let Some(v) = self.free_cache.get(&key) {
+            return Rc::clone(v);
+        }
+        let vars = Rc::new(f.free_vars().into_iter().collect::<Vec<_>>());
+        self.free_cache.insert(key, Rc::clone(&vars));
+        vars
+    }
+
+    /// Evaluates `f` under `asg` (which must cover every variable index in
+    /// `f`; entries for bound variables are scratch space).
+    pub fn eval(&mut self, f: &Formula, asg: &mut Assignment) -> bool {
+        match f {
+            Formula::True => true,
+            Formula::False => false,
+            Formula::Atom(rel, ts) => {
+                let tuple: Vec<Element> = ts.iter().map(|t| self.term_value(t, asg)).collect();
+                self.structure.contains(*rel, &tuple)
+            }
+            Formula::Eq(a, b) => self.term_value(a, asg) == self.term_value(b, asg),
+            Formula::Neq(a, b) => self.term_value(a, asg) != self.term_value(b, asg),
+            Formula::Not(g) => !self.eval_shared(g, asg),
+            Formula::And(fs) => {
+                for g in fs {
+                    if !self.eval_shared(g, asg) {
+                        return false;
+                    }
+                }
+                true
+            }
+            Formula::Or(fs) => {
+                for g in fs {
+                    if self.eval_shared(g, asg) {
+                        return true;
+                    }
+                }
+                false
+            }
+            Formula::Exists(v, g) => {
+                let saved = asg[v.0];
+                let mut found = false;
+                for e in self.structure.elements() {
+                    asg[v.0] = Some(e);
+                    if self.eval_shared(g, asg) {
+                        found = true;
+                        break;
+                    }
+                }
+                asg[v.0] = saved;
+                found
+            }
+            Formula::Forall(v, g) => {
+                let saved = asg[v.0];
+                let mut all = true;
+                for e in self.structure.elements() {
+                    asg[v.0] = Some(e);
+                    if !self.eval_shared(g, asg) {
+                        all = false;
+                        break;
+                    }
+                }
+                asg[v.0] = saved;
+                all
+            }
+        }
+    }
+
+    fn eval_shared(&mut self, g: &Rc<Formula>, asg: &mut Assignment) -> bool {
+        // Only memoize interior nodes with some weight; leaves are cheap.
+        let heavy = matches!(
+            **g,
+            Formula::And(_) | Formula::Or(_) | Formula::Exists(_, _) | Formula::Forall(_, _)
+        );
+        if !heavy {
+            return self.eval(g, asg);
+        }
+        let free = self.free_vars_of(g);
+        let key_vals: Vec<Option<Element>> = free.iter().map(|v| asg[v.0]).collect();
+        let key = (Rc::as_ptr(g), key_vals);
+        if let Some(&v) = self.memo.get(&key) {
+            return v;
+        }
+        let result = self.eval(g, asg);
+        self.memo.insert(key, result);
+        result
+    }
+
+    /// Number of memoized entries (introspection for tests/benches).
+    pub fn memo_size(&self) -> usize {
+        self.memo.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::{Formula, Var};
+    use kv_structures::generators::{directed_cycle, directed_path};
+    use kv_structures::RelId;
+
+    const E: RelId = RelId(0);
+
+    #[test]
+    fn atoms_and_equality() {
+        let s = directed_path(3);
+        let f = Formula::edge(E, Var(0), Var(1));
+        assert!(eval_with(&f, &s, &[Some(0), Some(1)]));
+        assert!(!eval_with(&f, &s, &[Some(1), Some(0)]));
+        let eq = Formula::Eq(Var(0).into(), Var(1).into());
+        assert!(eval_with(&eq, &s, &[Some(2), Some(2)]));
+        assert!(!eval_with(&eq, &s, &[Some(1), Some(2)]));
+    }
+
+    #[test]
+    fn exists_scans_universe() {
+        let s = directed_path(3);
+        // ∃v1 E(v0, v1): out-degree > 0.
+        let f = Formula::exists(Var(1), Formula::edge(E, Var(0), Var(1)));
+        assert!(eval_with(&f, &s, &[Some(0)]));
+        assert!(eval_with(&f, &s, &[Some(1)]));
+        assert!(!eval_with(&f, &s, &[Some(2)]));
+    }
+
+    #[test]
+    fn closed_sentence_on_cycle() {
+        // ∃v0 ∃v1 (E(v0,v1) ∧ E(v1,v0)) — 2-cycle present?
+        let f = Formula::exists_many(
+            [Var(0), Var(1)],
+            Formula::and([
+                Formula::edge(E, Var(0), Var(1)),
+                Formula::edge(E, Var(1), Var(0)),
+            ]),
+        );
+        assert!(eval_closed(&f, &directed_cycle(2)));
+        assert!(!eval_closed(&f, &directed_cycle(3)));
+    }
+
+    #[test]
+    fn negation_and_forall() {
+        // ∀v0 ∃v1 E(v0, v1): every node has a successor (cycle yes, path no).
+        let f = Formula::Forall(
+            Var(0),
+            std::rc::Rc::new(Formula::exists(Var(1), Formula::edge(E, Var(0), Var(1)))),
+        );
+        assert!(eval_closed(&f, &directed_cycle(4)));
+        assert!(!eval_closed(&f, &directed_path(4)));
+        let neg = Formula::Not(std::rc::Rc::new(f));
+        assert!(eval_closed(&neg, &directed_path(4)));
+    }
+
+    #[test]
+    fn memoization_reuses_shared_nodes() {
+        // A shared subformula under two conjuncts should be evaluated once
+        // per assignment of its free variables.
+        let shared = std::rc::Rc::new(Formula::exists(
+            Var(1),
+            Formula::edge(E, Var(0), Var(1)),
+        ));
+        let f = Formula::And(vec![std::rc::Rc::clone(&shared), shared]);
+        let s = directed_path(5);
+        let mut ev = Evaluator::new(&s);
+        assert!(ev.eval(&f, &mut vec![Some(0), None]));
+        assert!(ev.memo_size() >= 1);
+    }
+
+    #[test]
+    fn bound_variable_scratch_is_restored() {
+        let s = directed_path(3);
+        let f = Formula::exists(Var(1), Formula::edge(E, Var(0), Var(1)));
+        let mut ev = Evaluator::new(&s);
+        let mut asg = vec![Some(0), Some(2)]; // v1 pre-assigned
+        assert!(ev.eval(&f, &mut asg));
+        assert_eq!(asg[1], Some(2), "quantifier must restore the slot");
+    }
+}

@@ -1,0 +1,165 @@
+//! Formula families: finite stand-ins for infinitary disjunctions.
+//!
+//! An `L^k_{∞ω}` sentence like `⋁_{n ∈ P} p_n` has infinitely many
+//! disjuncts, but on any *fixed finite structure* only finitely many matter.
+//! A [`FormulaFamily`] packages the generator `n ↦ φ_n` together with a
+//! *bound policy*: a function of the structure that returns an index `N`
+//! such that `⋁_{n ≤ N} φ_n ≡ ⋁_n φ_n` on that structure (e.g. `|A| · m`
+//! for walk-length-mod-`m` families, from the product-graph argument).
+
+use crate::eval::eval_with;
+use crate::formula::Formula;
+use kv_structures::{Element, Structure};
+
+/// A lazily generated family `φ_1, φ_2, …` with a per-structure sufficient
+/// bound.
+pub struct FormulaFamily {
+    name: String,
+    gen: Box<dyn Fn(usize) -> Formula>,
+    bound: Box<dyn Fn(&Structure) -> usize>,
+}
+
+impl FormulaFamily {
+    /// Creates a family from a generator and a bound policy.
+    pub fn new(
+        name: impl Into<String>,
+        gen: impl Fn(usize) -> Formula + 'static,
+        bound: impl Fn(&Structure) -> usize + 'static,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            gen: Box::new(gen),
+            bound: Box::new(bound),
+        }
+    }
+
+    /// The family's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The `n`-th member formula.
+    pub fn member(&self, n: usize) -> Formula {
+        (self.gen)(n)
+    }
+
+    /// The sufficient disjunction bound for `structure`.
+    pub fn bound_for(&self, structure: &Structure) -> usize {
+        (self.bound)(structure)
+    }
+
+    /// Evaluates the infinitary disjunction `⋁_{n ∈ selector} φ_n` on
+    /// `structure` under `asg`, using the family's bound.
+    pub fn eval_disjunction(
+        &self,
+        structure: &Structure,
+        asg: &[Option<Element>],
+        selector: impl Fn(usize) -> bool,
+    ) -> bool {
+        let bound = self.bound_for(structure);
+        (1..=bound)
+            .filter(|&n| selector(n))
+            .any(|n| eval_with(&self.member(n), structure, asg))
+    }
+
+    /// The maximum variable width over the first `bound` members — the `k`
+    /// for which the infinitary disjunction lies in `L^k_{∞ω}`.
+    pub fn width_upto(&self, bound: usize) -> usize {
+        (1..=bound).map(|n| self.member(n).width()).max().unwrap_or(0)
+    }
+}
+
+impl std::fmt::Debug for FormulaFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FormulaFamily({})", self.name)
+    }
+}
+
+/// The family of Example 3.4: `p_n(v0, v1)` (walk of length `n`), with the
+/// product-graph bound `|A| · modulus` sufficient for any modulus-periodic
+/// selector with period dividing `modulus`.
+pub fn walk_length_family(edge: kv_structures::RelId, modulus: usize) -> FormulaFamily {
+    FormulaFamily::new(
+        format!("p_n (walks, periodic mod {modulus})"),
+        move |n| crate::builders::path_formula(edge, n),
+        move |s| s.universe_size() * modulus.max(1),
+    )
+}
+
+/// The family of Example 3.3: `ρ_n` ("exactly n elements") on total orders;
+/// bound `|A| + 1` suffices since `ρ_n` fails for all `n > |A|`.
+pub fn cardinality_family(less_than: kv_structures::RelId) -> FormulaFamily {
+    FormulaFamily::new(
+        "rho_n (exact cardinality on orders)",
+        move |n| crate::builders::exactly_formula(less_than, n),
+        |s| s.universe_size() + 1,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::has_walk_mod;
+    use kv_structures::generators::{random_digraph, total_order};
+    use kv_structures::{Digraph, RelId};
+
+    const E: RelId = RelId(0);
+
+    #[test]
+    fn even_walk_family_matches_product_graph() {
+        let fam = walk_length_family(E, 2);
+        for seed in 0..4 {
+            let g = random_digraph(6, 0.25, 70 + seed);
+            let s = g.to_structure();
+            for a in 0..6u32 {
+                for b in 0..6u32 {
+                    let via_family =
+                        fam.eval_disjunction(&s, &[Some(a), Some(b)], |n| n % 2 == 0);
+                    let exact = has_walk_mod(&g, a, b, 0, 2);
+                    assert_eq!(via_family, exact, "({a},{b}) seed {}", 70 + seed);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn walk_family_width_is_three() {
+        let fam = walk_length_family(E, 2);
+        assert!(fam.width_upto(10) <= 3);
+    }
+
+    #[test]
+    fn cardinality_family_expresses_parity() {
+        let fam = cardinality_family(E);
+        for size in 1..8usize {
+            let s = total_order(size);
+            let even = fam.eval_disjunction(&s, &[], |n| n % 2 == 0);
+            assert_eq!(even, size % 2 == 0, "order of {size}");
+        }
+    }
+
+    #[test]
+    fn nonrecursive_selectors_work() {
+        // "Cardinality is a perfect square" — the kind of nonrecursive
+        // query the paper uses to show L^ω ⊄ PTIME-queries.
+        let fam = cardinality_family(E);
+        let squares = |n: usize| {
+            let r = (n as f64).sqrt() as usize;
+            r * r == n || (r + 1) * (r + 1) == n
+        };
+        for size in 1..10usize {
+            let s = total_order(size);
+            let got = fam.eval_disjunction(&s, &[], squares);
+            assert_eq!(got, squares(size));
+        }
+    }
+
+    #[test]
+    fn bound_policy_scales_with_structure() {
+        let fam = walk_length_family(E, 2);
+        let small = Digraph::new(3).to_structure();
+        let large = Digraph::new(9).to_structure();
+        assert_eq!(fam.bound_for(&small), 6);
+        assert_eq!(fam.bound_for(&large), 18);
+    }
+}

@@ -1,0 +1,420 @@
+//! Fixpoint logic: first-order logic with the least fixpoint operator.
+//!
+//! Section 2 of the paper frames Datalog(≠) as "the negation-free
+//! existential fragment of fixpoint logic" (after Chandra–Harel): the
+//! operator `Θ_A` of a program is uniformly defined by an existential
+//! first-order formula `φ(w⃗, S)` with only positive occurrences of `S`,
+//! and the program's semantics is `lfp(φ)`. This module supplies that
+//! frame:
+//!
+//! - [`FpFormula`]: first-order syntax extended with relation variables
+//!   and an `lfp` binder;
+//! - positivity checking (the monotonicity precondition);
+//! - evaluation by naive fixpoint iteration;
+//! - [`program_to_lfp`]: the Chandra–Harel translation for single-IDB
+//!   Datalog(≠) programs, tested equivalent to the bottom-up engine.
+//!
+//! The full logic is strictly stronger than Datalog(≠) — it has negation
+//! and universal quantification — which is exactly the gap the paper's
+//! Theorem 6.2 discussion walks along (the single-player game algorithm is
+//! fixpoint-expressible but seemingly not Datalog(≠)-expressible).
+
+use crate::formula::{LTerm, Var};
+use kv_datalog::{IdbId, Literal, Pred, Program, Term};
+use kv_structures::{Element, RelId, Structure, Tuple};
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+/// A second-order (relation) variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelVar(pub usize);
+
+/// Fixpoint-logic formulas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FpFormula {
+    /// Constant true.
+    True,
+    /// Constant false.
+    False,
+    /// An EDB atom `R(t⃗)`.
+    Edb(RelId, Vec<LTerm>),
+    /// A relation-variable atom `S(t⃗)`.
+    Rel(RelVar, Vec<LTerm>),
+    /// `t1 = t2`.
+    Eq(LTerm, LTerm),
+    /// `t1 ≠ t2`.
+    Neq(LTerm, LTerm),
+    /// Negation.
+    Not(Rc<FpFormula>),
+    /// Conjunction.
+    And(Vec<Rc<FpFormula>>),
+    /// Disjunction.
+    Or(Vec<Rc<FpFormula>>),
+    /// `∃v φ`.
+    Exists(Var, Rc<FpFormula>),
+    /// `∀v φ`.
+    Forall(Var, Rc<FpFormula>),
+    /// `lfp[S, (v⃗)](body)(args)`: the least fixpoint of
+    /// `S ↦ {v⃗ : body}` applied to `args`. `body` must be positive in
+    /// `rel`.
+    Lfp {
+        /// The bound relation variable.
+        rel: RelVar,
+        /// The tuple variables the fixpoint abstracts.
+        vars: Vec<Var>,
+        /// The body formula.
+        body: Rc<FpFormula>,
+        /// The arguments the fixpoint relation is applied to.
+        args: Vec<LTerm>,
+    },
+}
+
+impl FpFormula {
+    /// Is `rel` positive (under an even number of negations) everywhere it
+    /// occurs free in this formula? (The `lfp` well-formedness condition.)
+    pub fn is_positive_in(&self, rel: RelVar) -> bool {
+        self.polarity_ok(rel, true)
+    }
+
+    fn polarity_ok(&self, rel: RelVar, positive: bool) -> bool {
+        match self {
+            FpFormula::True
+            | FpFormula::False
+            | FpFormula::Edb(_, _)
+            | FpFormula::Eq(_, _)
+            | FpFormula::Neq(_, _) => true,
+            FpFormula::Rel(r, _) => *r != rel || positive,
+            FpFormula::Not(g) => g.polarity_ok(rel, !positive),
+            FpFormula::And(gs) | FpFormula::Or(gs) => {
+                gs.iter().all(|g| g.polarity_ok(rel, positive))
+            }
+            FpFormula::Exists(_, g) | FpFormula::Forall(_, g) => g.polarity_ok(rel, positive),
+            FpFormula::Lfp { rel: inner, body, args, .. } => {
+                // Args are terms (no polarity); body polarity continues
+                // unless the inner binder shadows `rel`.
+                let _ = args;
+                *inner == rel || body.polarity_ok(rel, positive)
+            }
+        }
+    }
+
+    /// Whether the formula lies in the **negation-free existential**
+    /// fragment (the Datalog(≠) image): no `¬`, no `∀`.
+    pub fn is_existential_positive(&self) -> bool {
+        match self {
+            FpFormula::Not(_) | FpFormula::Forall(_, _) => false,
+            FpFormula::And(gs) | FpFormula::Or(gs) => {
+                gs.iter().all(|g| g.is_existential_positive())
+            }
+            FpFormula::Exists(_, g) => g.is_existential_positive(),
+            FpFormula::Lfp { body, .. } => body.is_existential_positive(),
+            _ => true,
+        }
+    }
+}
+
+/// Evaluation environment: first-order assignment plus relation bindings.
+#[derive(Debug, Default, Clone)]
+pub struct FpEnv {
+    /// `vars[i]` interprets `Var(i)`.
+    pub vars: Vec<Option<Element>>,
+    /// Relation-variable bindings.
+    pub rels: HashMap<RelVar, HashSet<Tuple>>,
+}
+
+/// Evaluates a fixpoint-logic formula.
+///
+/// # Panics
+/// Panics on unbound first-order or relation variables, or on an `lfp`
+/// whose body is not positive in its bound relation variable.
+pub fn fp_eval(f: &FpFormula, s: &Structure, env: &mut FpEnv) -> bool {
+    let term = |t: &LTerm, env: &FpEnv| -> Element {
+        match t {
+            LTerm::Var(v) => env.vars[v.0].expect("unbound variable"),
+            LTerm::Const(c) => s.constant(*c),
+        }
+    };
+    match f {
+        FpFormula::True => true,
+        FpFormula::False => false,
+        FpFormula::Edb(rel, ts) => {
+            let tuple: Vec<Element> = ts.iter().map(|t| term(t, env)).collect();
+            s.contains(*rel, &tuple)
+        }
+        FpFormula::Rel(rv, ts) => {
+            let tuple: Vec<Element> = ts.iter().map(|t| term(t, env)).collect();
+            env.rels
+                .get(rv)
+                .expect("unbound relation variable")
+                .contains(tuple.as_slice())
+        }
+        FpFormula::Eq(a, b) => term(a, env) == term(b, env),
+        FpFormula::Neq(a, b) => term(a, env) != term(b, env),
+        FpFormula::Not(g) => !fp_eval(g, s, env),
+        FpFormula::And(gs) => gs.iter().all(|g| fp_eval(g, s, &mut env.clone())),
+        FpFormula::Or(gs) => gs.iter().any(|g| fp_eval(g, s, &mut env.clone())),
+        FpFormula::Exists(v, g) => {
+            let saved = env.vars[v.0];
+            let mut found = false;
+            for e in s.elements() {
+                env.vars[v.0] = Some(e);
+                if fp_eval(g, s, env) {
+                    found = true;
+                    break;
+                }
+            }
+            env.vars[v.0] = saved;
+            found
+        }
+        FpFormula::Forall(v, g) => {
+            let saved = env.vars[v.0];
+            let mut all = true;
+            for e in s.elements() {
+                env.vars[v.0] = Some(e);
+                if !fp_eval(g, s, env) {
+                    all = false;
+                    break;
+                }
+            }
+            env.vars[v.0] = saved;
+            all
+        }
+        FpFormula::Lfp { rel, vars, body, args } => {
+            assert!(
+                body.is_positive_in(*rel),
+                "lfp body must be positive in the bound relation variable"
+            );
+            let fixpoint = compute_lfp(*rel, vars, body, s, env);
+            let tuple: Vec<Element> = args.iter().map(|t| term(t, env)).collect();
+            fixpoint.contains(tuple.as_slice())
+        }
+    }
+}
+
+/// Computes the least fixpoint relation of an `lfp` binder under `env`.
+pub fn compute_lfp(
+    rel: RelVar,
+    vars: &[Var],
+    body: &FpFormula,
+    s: &Structure,
+    env: &FpEnv,
+) -> HashSet<Tuple> {
+    let mut current: HashSet<Tuple> = HashSet::new();
+    loop {
+        let mut inner_env = env.clone();
+        let max_var = vars.iter().map(|v| v.0).max().unwrap_or(0);
+        if inner_env.vars.len() <= max_var {
+            inner_env.vars.resize(max_var + 1, None);
+        }
+        inner_env.rels.insert(rel, current.clone());
+        let mut next: HashSet<Tuple> = HashSet::new();
+        let mut tuple = vec![0 as Element; vars.len()];
+        enumerate_tuples(s.universe_size() as Element, &mut tuple, 0, &mut |t| {
+            for (i, v) in vars.iter().enumerate() {
+                inner_env.vars[v.0] = Some(t[i]);
+            }
+            if fp_eval(body, s, &mut inner_env) {
+                next.insert(t.to_vec().into_boxed_slice());
+            }
+        });
+        if next == current {
+            return current;
+        }
+        current = next;
+    }
+}
+
+fn enumerate_tuples(
+    n: Element,
+    tuple: &mut Vec<Element>,
+    pos: usize,
+    visit: &mut impl FnMut(&[Element]),
+) {
+    if pos == tuple.len() {
+        visit(tuple);
+        return;
+    }
+    for e in 0..n {
+        tuple[pos] = e;
+        enumerate_tuples(n, tuple, pos + 1, visit);
+    }
+}
+
+/// The Chandra–Harel translation (Section 2): a **single-IDB** Datalog(≠)
+/// program becomes `lfp[S, w⃗](⋁_rules ∃z⃗ (⋀ wᵢ = tᵢ ∧ body))(w⃗)` —
+/// an existential negation-free fixpoint formula. Returns the formula with
+/// free variables `Var(0), …, Var(r-1)` standing for the goal tuple.
+///
+/// # Panics
+/// Panics if the program has more than one IDB predicate (the paper's
+/// simultaneous-system case; use the bottom-up engine for those).
+pub fn program_to_lfp(program: &Program) -> FpFormula {
+    assert_eq!(
+        program.idb_count(),
+        1,
+        "translation implemented for single-IDB programs"
+    );
+    let idb = IdbId(0);
+    let arity = program.idb_arity(idb);
+    let rel = RelVar(0);
+    // Variable layout: w-slots 0..arity, rule vars arity..arity+L.
+    let rule_slot = |v: usize| Var(arity + v);
+    let to_lterm = |t: &Term| -> LTerm {
+        match t {
+            Term::Var(v) => LTerm::Var(rule_slot(v.0)),
+            Term::Const(c) => LTerm::Const(*c),
+        }
+    };
+    let mut disjuncts: Vec<Rc<FpFormula>> = Vec::new();
+    for rule in program.rules() {
+        let mut conjuncts: Vec<Rc<FpFormula>> = Vec::new();
+        for (p, t) in rule.head_args.iter().enumerate() {
+            conjuncts.push(Rc::new(FpFormula::Eq(LTerm::Var(Var(p)), to_lterm(t))));
+        }
+        for lit in &rule.body {
+            conjuncts.push(Rc::new(match lit {
+                Literal::Atom(Pred::Edb(r), args) => {
+                    FpFormula::Edb(*r, args.iter().map(to_lterm).collect())
+                }
+                Literal::Atom(Pred::Idb(_), args) => {
+                    FpFormula::Rel(rel, args.iter().map(to_lterm).collect())
+                }
+                Literal::Eq(a, b) => FpFormula::Eq(to_lterm(a), to_lterm(b)),
+                Literal::Neq(a, b) => FpFormula::Neq(to_lterm(a), to_lterm(b)),
+            }));
+        }
+        let mut disjunct = FpFormula::And(conjuncts);
+        for v in (0..rule.var_count()).rev() {
+            disjunct = FpFormula::Exists(rule_slot(v), Rc::new(disjunct));
+        }
+        disjuncts.push(Rc::new(disjunct));
+    }
+    let body = FpFormula::Or(disjuncts);
+    FpFormula::Lfp {
+        rel,
+        vars: (0..arity).map(Var).collect(),
+        body: Rc::new(body),
+        args: (0..arity).map(|i| LTerm::Var(Var(i))).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kv_datalog::programs::{avoiding_path, transitive_closure};
+    use kv_datalog::Evaluator;
+    use kv_structures::generators::{directed_path, random_digraph};
+
+    fn eval_at(f: &FpFormula, s: &Structure, args: &[Element]) -> bool {
+        let mut env = FpEnv {
+            vars: args.iter().map(|&e| Some(e)).collect(),
+            rels: HashMap::new(),
+        };
+        // Pad generously for bound variables.
+        env.vars.resize(16, None);
+        fp_eval(f, s, &mut env)
+    }
+
+    #[test]
+    fn lfp_translation_matches_engine_tc() {
+        let program = transitive_closure();
+        let f = program_to_lfp(&program);
+        assert!(f.is_existential_positive());
+        for seed in 0..4 {
+            let s = random_digraph(5, 0.3, 16_000 + seed).to_structure();
+            let engine = Evaluator::new(&program).goal(&s);
+            for x in 0..5u32 {
+                for y in 0..5u32 {
+                    assert_eq!(
+                        eval_at(&f, &s, &[x, y]),
+                        engine.contains(&[x, y][..]),
+                        "TC({x},{y}) seed {seed}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lfp_translation_matches_engine_avoiding_path() {
+        let program = avoiding_path();
+        let f = program_to_lfp(&program);
+        assert!(f.is_existential_positive());
+        let s = random_digraph(4, 0.35, 17_000).to_structure();
+        let engine = Evaluator::new(&program).goal(&s);
+        for x in 0..4u32 {
+            for y in 0..4u32 {
+                for w in 0..4u32 {
+                    assert_eq!(
+                        eval_at(&f, &s, &[x, y, w]),
+                        engine.contains(&[x, y, w][..]),
+                        "T({x},{y},{w})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn positivity_checker() {
+        let s_atom = FpFormula::Rel(RelVar(0), vec![LTerm::Var(Var(0))]);
+        assert!(s_atom.is_positive_in(RelVar(0)));
+        let negated = FpFormula::Not(Rc::new(s_atom.clone()));
+        assert!(!negated.is_positive_in(RelVar(0)));
+        let double = FpFormula::Not(Rc::new(negated.clone()));
+        assert!(double.is_positive_in(RelVar(0)));
+        // A different relation variable is unaffected.
+        assert!(negated.is_positive_in(RelVar(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn lfp_rejects_negative_bodies() {
+        // lfp[S, x](¬S(x))(x) — not monotone.
+        let body = FpFormula::Not(Rc::new(FpFormula::Rel(
+            RelVar(0),
+            vec![LTerm::Var(Var(0))],
+        )));
+        let f = FpFormula::Lfp {
+            rel: RelVar(0),
+            vars: vec![Var(0)],
+            body: Rc::new(body),
+            args: vec![LTerm::Var(Var(0))],
+        };
+        let s = directed_path(2);
+        eval_at(&f, &s, &[0]);
+    }
+
+    #[test]
+    fn fixpoint_logic_expresses_complement_of_tc() {
+        // ¬ lfp(TC)(x, y): expressible in fixpoint logic (with negation
+        // outside), NOT in Datalog(≠) — the paper's Section 1 example of
+        // the monotonicity gap.
+        let program = transitive_closure();
+        let tc = program_to_lfp(&program);
+        let not_tc = FpFormula::Not(Rc::new(tc));
+        assert!(!not_tc.is_existential_positive());
+        let s = directed_path(3);
+        assert!(eval_at(&not_tc, &s, &[2, 0])); // no path 2 -> 0
+        assert!(!eval_at(&not_tc, &s, &[0, 2]));
+    }
+
+    #[test]
+    fn universal_quantification_available() {
+        // ∀x ∃y E(x, y): total out-degree — fixpoint logic's FO part.
+        let f = FpFormula::Forall(
+            Var(0),
+            Rc::new(FpFormula::Exists(
+                Var(1),
+                Rc::new(FpFormula::Edb(
+                    RelId(0),
+                    vec![LTerm::Var(Var(0)), LTerm::Var(Var(1))],
+                )),
+            )),
+        );
+        let cycle = kv_structures::generators::directed_cycle(4);
+        let path = directed_path(4);
+        assert!(eval_at(&f, &cycle, &[]));
+        assert!(!eval_at(&f, &path, &[]));
+    }
+}

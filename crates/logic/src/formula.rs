@@ -1,0 +1,358 @@
+//! Formula syntax for `L^k_{∞ω}` fragments.
+//!
+//! Variables are global indices `v0, v1, …`; a formula of `L^k` uses
+//! indices `< k`. Children are [`Rc`]-shared: the Theorem 3.6 stage
+//! formulas reuse the previous stage at every IDB-atom occurrence, so the
+//! same node may have many parents — sharing keeps them polynomial-sized
+//! (as DAGs) and lets evaluation memoize per node.
+
+use kv_structures::{ConstId, RelId};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::rc::Rc;
+
+/// A logical variable `v_i`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub usize);
+
+/// A term in an atom: a variable or a constant symbol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LTerm {
+    /// A variable.
+    Var(Var),
+    /// A constant symbol of the vocabulary.
+    Const(ConstId),
+}
+
+impl From<Var> for LTerm {
+    fn from(v: Var) -> Self {
+        LTerm::Var(v)
+    }
+}
+
+/// A formula. The existential negation-free fragment (`L^k` of Definition
+/// 3.5) uses only [`Atom`](Formula::Atom), [`Eq`](Formula::Eq),
+/// [`Neq`](Formula::Neq), [`And`](Formula::And), [`Or`](Formula::Or) and
+/// [`Exists`](Formula::Exists); [`Not`](Formula::Not) and
+/// [`Forall`](Formula::Forall) are provided for the full `L^k_{∞ω}`
+/// contrast examples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Formula {
+    /// The constant true (empty conjunction).
+    True,
+    /// The constant false (empty disjunction).
+    False,
+    /// `R(t1, …, tn)`.
+    Atom(RelId, Vec<LTerm>),
+    /// `t1 = t2`.
+    Eq(LTerm, LTerm),
+    /// `t1 ≠ t2`.
+    Neq(LTerm, LTerm),
+    /// Negation (not in `L^k`).
+    Not(Rc<Formula>),
+    /// Finite conjunction.
+    And(Vec<Rc<Formula>>),
+    /// Finite disjunction.
+    Or(Vec<Rc<Formula>>),
+    /// `∃v φ`.
+    Exists(Var, Rc<Formula>),
+    /// `∀v φ` (not in `L^k`).
+    Forall(Var, Rc<Formula>),
+}
+
+impl Formula {
+    /// Convenience: conjunction of owned formulas.
+    pub fn and(parts: impl IntoIterator<Item = Formula>) -> Formula {
+        Formula::And(parts.into_iter().map(Rc::new).collect())
+    }
+
+    /// Convenience: disjunction of owned formulas.
+    pub fn or(parts: impl IntoIterator<Item = Formula>) -> Formula {
+        Formula::Or(parts.into_iter().map(Rc::new).collect())
+    }
+
+    /// Convenience: `∃v φ`.
+    pub fn exists(v: Var, f: Formula) -> Formula {
+        Formula::Exists(v, Rc::new(f))
+    }
+
+    /// Convenience: nested `∃v1 ∃v2 … φ`.
+    pub fn exists_many(vs: impl IntoIterator<Item = Var>, f: Formula) -> Formula {
+        let vs: Vec<Var> = vs.into_iter().collect();
+        vs.into_iter()
+            .rev()
+            .fold(f, |acc, v| Formula::Exists(v, Rc::new(acc)))
+    }
+
+    /// Convenience: binary atom `R(a, b)`.
+    pub fn edge(rel: RelId, a: impl Into<LTerm>, b: impl Into<LTerm>) -> Formula {
+        Formula::Atom(rel, vec![a.into(), b.into()])
+    }
+
+    /// The set of free variables.
+    pub fn free_vars(&self) -> BTreeSet<Var> {
+        fn term(t: &LTerm, out: &mut BTreeSet<Var>) {
+            if let LTerm::Var(v) = t {
+                out.insert(*v);
+            }
+        }
+        match self {
+            Formula::True | Formula::False => BTreeSet::new(),
+            Formula::Atom(_, ts) => {
+                let mut out = BTreeSet::new();
+                for t in ts {
+                    term(t, &mut out);
+                }
+                out
+            }
+            Formula::Eq(a, b) | Formula::Neq(a, b) => {
+                let mut out = BTreeSet::new();
+                term(a, &mut out);
+                term(b, &mut out);
+                out
+            }
+            Formula::Not(f) => f.free_vars(),
+            Formula::And(fs) | Formula::Or(fs) => {
+                let mut out = BTreeSet::new();
+                for f in fs {
+                    out.extend(f.free_vars());
+                }
+                out
+            }
+            Formula::Exists(v, f) | Formula::Forall(v, f) => {
+                let mut out = f.free_vars();
+                out.remove(v);
+                out
+            }
+        }
+    }
+
+    /// All distinct variables occurring (free or bound) — the quantity the
+    /// `L^k` hierarchy counts.
+    pub fn all_vars(&self) -> BTreeSet<Var> {
+        fn walk(f: &Formula, out: &mut BTreeSet<Var>, seen: &mut BTreeSet<*const Formula>) {
+            // DAG-aware: visit each shared node once.
+            let ptr = f as *const Formula;
+            if !seen.insert(ptr) {
+                return;
+            }
+            let mut term = |t: &LTerm| {
+                if let LTerm::Var(v) = t {
+                    out.insert(*v);
+                }
+            };
+            match f {
+                Formula::True | Formula::False => {}
+                Formula::Atom(_, ts) => ts.iter().for_each(term),
+                Formula::Eq(a, b) | Formula::Neq(a, b) => {
+                    term(a);
+                    term(b);
+                }
+                Formula::Not(g) => walk(g, out, seen),
+                Formula::And(fs) | Formula::Or(fs) => {
+                    for g in fs {
+                        walk(g, out, seen);
+                    }
+                }
+                Formula::Exists(v, g) | Formula::Forall(v, g) => {
+                    out.insert(*v);
+                    walk(g, out, seen);
+                }
+            }
+        }
+        let mut out = BTreeSet::new();
+        let mut seen = BTreeSet::new();
+        walk(self, &mut out, &mut seen);
+        out
+    }
+
+    /// The number of distinct variables: the least `k` with `φ ∈ L^k_{∞ω}`
+    /// (assuming variables are densely numbered; otherwise use
+    /// `all_vars().len()` semantics, which this returns).
+    pub fn width(&self) -> usize {
+        self.all_vars().len()
+    }
+
+    /// Whether the formula lies in the existential negation-free fragment
+    /// `L^k` of Definition 3.5 (no `¬`, no `∀`).
+    pub fn is_existential_positive(&self) -> bool {
+        fn walk(f: &Formula, seen: &mut BTreeSet<*const Formula>) -> bool {
+            if !seen.insert(f as *const Formula) {
+                return true;
+            }
+            match f {
+                Formula::Not(_) | Formula::Forall(_, _) => false,
+                Formula::And(fs) | Formula::Or(fs) => fs.iter().all(|g| walk(g, seen)),
+                Formula::Exists(_, g) => walk(g, seen),
+                _ => true,
+            }
+        }
+        walk(self, &mut BTreeSet::new())
+    }
+
+    /// Whether the formula avoids `≠` (the Datalog fragment of Theorem 3.6's
+    /// second claim).
+    pub fn is_inequality_free(&self) -> bool {
+        fn walk(f: &Formula, seen: &mut BTreeSet<*const Formula>) -> bool {
+            if !seen.insert(f as *const Formula) {
+                return true;
+            }
+            match f {
+                Formula::Neq(_, _) => false,
+                Formula::Not(g) | Formula::Exists(_, g) | Formula::Forall(_, g) => walk(g, seen),
+                Formula::And(fs) | Formula::Or(fs) => fs.iter().all(|g| walk(g, seen)),
+                _ => true,
+            }
+        }
+        walk(self, &mut BTreeSet::new())
+    }
+
+    /// DAG node count (shared nodes counted once) — the honest size measure
+    /// for stage formulas.
+    pub fn dag_size(&self) -> usize {
+        fn walk(f: &Formula, seen: &mut BTreeSet<*const Formula>) -> usize {
+            if !seen.insert(f as *const Formula) {
+                return 0;
+            }
+            1 + match f {
+                Formula::Not(g) | Formula::Exists(_, g) | Formula::Forall(_, g) => walk(g, seen),
+                Formula::And(fs) | Formula::Or(fs) => fs.iter().map(|g| walk(g, seen)).sum(),
+                _ => 0,
+            }
+        }
+        walk(self, &mut BTreeSet::new())
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn term(t: &LTerm, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match t {
+                LTerm::Var(v) => write!(f, "v{}", v.0),
+                LTerm::Const(c) => write!(f, "c{}", c.0),
+            }
+        }
+        match self {
+            Formula::True => write!(f, "⊤"),
+            Formula::False => write!(f, "⊥"),
+            Formula::Atom(r, ts) => {
+                write!(f, "R{}(", r.0)?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    term(t, f)?;
+                }
+                write!(f, ")")
+            }
+            Formula::Eq(a, b) => {
+                term(a, f)?;
+                write!(f, "=")?;
+                term(b, f)
+            }
+            Formula::Neq(a, b) => {
+                term(a, f)?;
+                write!(f, "≠")?;
+                term(b, f)
+            }
+            Formula::Not(g) => write!(f, "¬({g})"),
+            Formula::And(fs) => {
+                write!(f, "(")?;
+                for (i, g) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Or(fs) => {
+                write!(f, "(")?;
+                for (i, g) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∨ ")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Exists(v, g) => write!(f, "∃v{} ({g})", v.0),
+            Formula::Forall(v, g) => write!(f, "∀v{} ({g})", v.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kv_structures::RelId;
+
+    const E: RelId = RelId(0);
+
+    #[test]
+    fn free_vs_all_vars() {
+        // ∃v2 (E(v0, v2) ∧ E(v2, v1))
+        let f = Formula::exists(
+            Var(2),
+            Formula::and([
+                Formula::edge(E, Var(0), Var(2)),
+                Formula::edge(E, Var(2), Var(1)),
+            ]),
+        );
+        assert_eq!(f.free_vars(), BTreeSet::from([Var(0), Var(1)]));
+        assert_eq!(f.all_vars(), BTreeSet::from([Var(0), Var(1), Var(2)]));
+        assert_eq!(f.width(), 3);
+    }
+
+    #[test]
+    fn variable_reuse_keeps_width_small() {
+        // ∃v1 (E(v0, v1) ∧ ∃v0 (v0 = v1 ∧ E(v0, v0))) : width 2.
+        let inner = Formula::exists(
+            Var(0),
+            Formula::and([
+                Formula::Eq(Var(0).into(), Var(1).into()),
+                Formula::edge(E, Var(0), Var(0)),
+            ]),
+        );
+        let f = Formula::exists(
+            Var(1),
+            Formula::and([Formula::edge(E, Var(0), Var(1)), inner]),
+        );
+        assert_eq!(f.width(), 2);
+    }
+
+    #[test]
+    fn fragment_classification() {
+        let pos = Formula::exists(Var(0), Formula::edge(E, Var(0), Var(0)));
+        assert!(pos.is_existential_positive());
+        assert!(pos.is_inequality_free());
+        let with_neq = Formula::and([
+            pos.clone(),
+            Formula::Neq(Var(0).into(), Var(1).into()),
+        ]);
+        assert!(with_neq.is_existential_positive());
+        assert!(!with_neq.is_inequality_free());
+        let neg = Formula::Not(Rc::new(pos.clone()));
+        assert!(!neg.is_existential_positive());
+        let univ = Formula::Forall(Var(0), Rc::new(Formula::True));
+        assert!(!univ.is_existential_positive());
+    }
+
+    #[test]
+    fn dag_size_counts_shared_once() {
+        let shared = Rc::new(Formula::edge(E, Var(0), Var(1)));
+        let f = Formula::And(vec![
+            Rc::clone(&shared),
+            Rc::clone(&shared),
+            Rc::new(Formula::Or(vec![Rc::clone(&shared)])),
+        ]);
+        // Nodes: And, Or, shared-atom = 3.
+        assert_eq!(f.dag_size(), 3);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let f = Formula::exists(Var(1), Formula::edge(E, Var(0), Var(1)));
+        assert_eq!(f.to_string(), "∃v1 (R0(v0,v1))");
+    }
+}

@@ -1,0 +1,40 @@
+//! The infinitary logics with finitely many variables (Section 3).
+//!
+//! `L^k_{∞ω}` is first-order logic with at most `k` distinct variables,
+//! closed under *infinitary* conjunctions and disjunctions; `L^k` is its
+//! existential negation-free fragment (atoms, `=`, `≠`, `∧`, `∨`, `∃`), and
+//! `L^ω = ⋃_k L^k` (Definition 3.5). Datalog(≠) ⊆ `L^ω` by Theorem 3.6.
+//!
+//! On a *fixed finite structure* every infinitary combination collapses to
+//! a finite one (the paper's own stage argument: `Θ^∞ = Θ^{n₀}` for
+//! `n₀ ≤ s^r`), so this crate represents:
+//!
+//! - concrete formulas ([`formula`]) with finite connectives, shared via
+//!   [`std::rc::Rc`] so that the Theorem 3.6 stage formulas stay small as
+//!   DAGs even when their tree expansion is exponential;
+//! - *formula families* ([`family`]) — lazily generated sequences
+//!   `φ_1, φ_2, …` standing for infinitary disjunctions `⋁_n φ_n`, with
+//!   structure-dependent sufficient bounds;
+//! - the paper's example formulas ([`builders`]): `p_n(x, y)` with three
+//!   variables (Example 3.4) and `τ_n` / `ρ_n` with two variables on total
+//!   orders (Example 3.3);
+//! - the Theorem 3.6 translation ([`stage`]): stage formulas `φ^n`
+//!   equivalent to the Datalog(≠) stages `Θ^n`, built with the
+//!   variable-recycling substitution so the variable count never grows.
+
+#![warn(missing_docs)]
+
+pub mod builders;
+pub mod eval;
+pub mod family;
+pub mod fixpoint;
+pub mod formula;
+pub mod simplify;
+pub mod stage;
+
+pub use eval::{eval_closed, eval_with, Evaluator};
+pub use family::FormulaFamily;
+pub use fixpoint::{fp_eval, program_to_lfp, FpEnv, FpFormula, RelVar};
+pub use formula::{Formula, LTerm, Var};
+pub use simplify::{simplify, simplify_rc};
+pub use stage::{stage_formula, StageTranslation};

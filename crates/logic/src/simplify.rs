@@ -1,0 +1,227 @@
+//! Boolean simplification of formulas.
+//!
+//! Stage formulas accumulate structural noise (`⊥` leaves from stage 0,
+//! single-element conjunctions from the bridging construction).
+//! [`simplify`] performs sound constant folding and flattening without
+//! changing the variable set semantics:
+//!
+//! - `∧` with a `⊥` conjunct → `⊥`; `⊤` conjuncts dropped; nested `∧`
+//!   flattened; singleton unwrapped;
+//! - dually for `∨`;
+//! - `∃v ⊥ → ⊥`, `∃v ⊤ → ⊤` (universes are nonempty), `∀` dually;
+//! - `¬⊤ → ⊥`, `¬⊥ → ⊤`, double negation removed;
+//! - trivial `t = t` → `⊤`, `t ≠ t` → `⊥` (for identical terms).
+//!
+//! Shared nodes are simplified once (memoized on node identity), so the
+//! result preserves the DAG-sharing that keeps stage formulas small.
+
+use crate::formula::{Formula, LTerm};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Simplifies a formula (see module docs). Equivalence is preserved on all
+/// structures with nonempty universes — which is every [`kv_structures::Structure`]
+/// this workspace builds (constants need interpretations).
+pub fn simplify(f: &Formula) -> Formula {
+    let mut memo: HashMap<*const Formula, Rc<Formula>> = HashMap::new();
+    simplify_rc_inner(f, &mut memo)
+}
+
+/// Simplifies through an `Rc`, reusing shared results.
+pub fn simplify_rc(f: &Rc<Formula>) -> Rc<Formula> {
+    let mut memo: HashMap<*const Formula, Rc<Formula>> = HashMap::new();
+    shared(f, &mut memo)
+}
+
+fn shared(f: &Rc<Formula>, memo: &mut HashMap<*const Formula, Rc<Formula>>) -> Rc<Formula> {
+    let key = Rc::as_ptr(f);
+    if let Some(done) = memo.get(&key) {
+        return Rc::clone(done);
+    }
+    let result = Rc::new(simplify_rc_inner(f, memo));
+    memo.insert(key, Rc::clone(&result));
+    result
+}
+
+fn simplify_rc_inner(f: &Formula, memo: &mut HashMap<*const Formula, Rc<Formula>>) -> Formula {
+    match f {
+        Formula::True | Formula::False | Formula::Atom(_, _) => f.clone(),
+        Formula::Eq(a, b) => {
+            if trivially_same(a, b) {
+                Formula::True
+            } else {
+                f.clone()
+            }
+        }
+        Formula::Neq(a, b) => {
+            if trivially_same(a, b) {
+                Formula::False
+            } else {
+                f.clone()
+            }
+        }
+        Formula::Not(g) => match &*shared(g, memo) as &Formula {
+            Formula::True => Formula::False,
+            Formula::False => Formula::True,
+            Formula::Not(inner) => (**inner).clone(),
+            other => Formula::Not(Rc::new(other.clone())),
+        },
+        Formula::And(parts) => {
+            let mut out: Vec<Rc<Formula>> = Vec::with_capacity(parts.len());
+            for p in parts {
+                let s = shared(p, memo);
+                match &*s as &Formula {
+                    Formula::True => {}
+                    Formula::False => return Formula::False,
+                    Formula::And(inner) => out.extend(inner.iter().cloned()),
+                    _ => out.push(s),
+                }
+            }
+            match out.len() {
+                0 => Formula::True,
+                1 => (*out[0]).clone(),
+                _ => Formula::And(out),
+            }
+        }
+        Formula::Or(parts) => {
+            let mut out: Vec<Rc<Formula>> = Vec::with_capacity(parts.len());
+            for p in parts {
+                let s = shared(p, memo);
+                match &*s as &Formula {
+                    Formula::False => {}
+                    Formula::True => return Formula::True,
+                    Formula::Or(inner) => out.extend(inner.iter().cloned()),
+                    _ => out.push(s),
+                }
+            }
+            match out.len() {
+                0 => Formula::False,
+                1 => (*out[0]).clone(),
+                _ => Formula::Or(out),
+            }
+        }
+        Formula::Exists(v, g) => match &*shared(g, memo) as &Formula {
+            Formula::True => Formula::True,
+            Formula::False => Formula::False,
+            other => Formula::Exists(*v, Rc::new(other.clone())),
+        },
+        Formula::Forall(v, g) => match &*shared(g, memo) as &Formula {
+            Formula::True => Formula::True,
+            Formula::False => Formula::False,
+            other => Formula::Forall(*v, Rc::new(other.clone())),
+        },
+    }
+}
+
+fn trivially_same(a: &LTerm, b: &LTerm) -> bool {
+    a == b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval_with;
+    use crate::formula::Var;
+    use kv_structures::generators::random_digraph;
+    use kv_structures::RelId;
+
+    const E: RelId = RelId(0);
+
+    #[test]
+    fn constant_folding() {
+        let f = Formula::and([
+            Formula::True,
+            Formula::edge(E, Var(0), Var(1)),
+            Formula::or([Formula::False, Formula::True]),
+        ]);
+        assert_eq!(simplify(&f), Formula::edge(E, Var(0), Var(1)));
+        let g = Formula::and([Formula::edge(E, Var(0), Var(1)), Formula::False]);
+        assert_eq!(simplify(&g), Formula::False);
+    }
+
+    #[test]
+    fn quantifier_folding() {
+        let f = Formula::exists(Var(0), Formula::False);
+        assert_eq!(simplify(&f), Formula::False);
+        let g = Formula::exists(Var(0), Formula::True);
+        assert_eq!(simplify(&g), Formula::True);
+    }
+
+    #[test]
+    fn trivial_equalities() {
+        assert_eq!(
+            simplify(&Formula::Eq(Var(3).into(), Var(3).into())),
+            Formula::True
+        );
+        assert_eq!(
+            simplify(&Formula::Neq(Var(3).into(), Var(3).into())),
+            Formula::False
+        );
+        // Distinct variables stay put (they may or may not coincide).
+        assert_eq!(
+            simplify(&Formula::Eq(Var(0).into(), Var(1).into())),
+            Formula::Eq(Var(0).into(), Var(1).into())
+        );
+    }
+
+    #[test]
+    fn negation_folding() {
+        let f = Formula::Not(Rc::new(Formula::Not(Rc::new(Formula::edge(
+            E,
+            Var(0),
+            Var(0),
+        )))));
+        assert_eq!(simplify(&f), Formula::edge(E, Var(0), Var(0)));
+    }
+
+    #[test]
+    fn flattening_nested_connectives() {
+        let inner = Formula::and([
+            Formula::edge(E, Var(0), Var(1)),
+            Formula::edge(E, Var(1), Var(0)),
+        ]);
+        let f = Formula::and([inner, Formula::edge(E, Var(0), Var(0))]);
+        match simplify(&f) {
+            Formula::And(parts) => assert_eq!(parts.len(), 3),
+            other => panic!("expected flat And, got {other}"),
+        }
+    }
+
+    #[test]
+    fn simplification_preserves_semantics_on_stage_formulas() {
+        use crate::stage::StageTranslation;
+        use kv_datalog::programs::avoiding_path;
+        let program = avoiding_path();
+        let s = random_digraph(5, 0.3, 42).to_structure();
+        let mut t = StageTranslation::new(&program);
+        for n in 1..=4 {
+            let f = t.stage(n, program.goal());
+            let simplified = simplify_rc(&f);
+            assert!(simplified.dag_size() <= f.dag_size());
+            for a in 0..5u32 {
+                for b in 0..5u32 {
+                    for w in 0..5u32 {
+                        let asg = [Some(a), Some(b), Some(w)];
+                        assert_eq!(
+                            eval_with(&f, &s, &asg),
+                            eval_with(&simplified, &s, &asg),
+                            "stage {n}, ({a},{b},{w})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stage_zero_shrinks_dramatically() {
+        use crate::stage::stage_formula;
+        use kv_datalog::programs::transitive_closure;
+        let program = transitive_closure();
+        let f1 = stage_formula(&program, program.goal(), 1);
+        let s1 = simplify_rc(&f1);
+        // Stage 1 contains a ⊥ branch from the recursive rule; it folds
+        // away entirely.
+        assert!(s1.dag_size() < f1.dag_size());
+    }
+}

@@ -1,0 +1,336 @@
+//! Theorem 3.6: every Datalog(≠) stage `Θ^n` is definable by an existential
+//! negation-free first-order formula with a **fixed** number of variables.
+//!
+//! The translation follows the paper's proof. Variables are drawn from
+//! three disjoint slot pools that never grow with `n`:
+//!
+//! - `w`-slots `0 … R-1` — the canonical head variables (`R` = max IDB
+//!   arity);
+//! - `y`-slots `R … 2R-1` — the fresh bridge variables of the proof's
+//!   substitution trick;
+//! - rule slots `2R … 2R+L-1` — the body variables of each rule (`L` = max
+//!   variables in any rule).
+//!
+//! Each rule of head predicate `S_i` contributes the disjunct
+//!
+//! ```text
+//! ∃(rule vars) [ ⋀_p (w_p = head-term_p) ∧ body ]
+//! ```
+//!
+//! and each IDB atom `S_j(t⃗)` in a body is replaced, at stage `n+1`, by the
+//! bridge
+//!
+//! ```text
+//! ∃y_1…y_r ( ⋀_q y_q = t_q ∧ ∃w_1…w_r ( ⋀_q w_q = y_q ∧ φ_j^n(w⃗) ) )
+//! ```
+//!
+//! where `φ_j^n` is **shared** (an [`Rc`] node), so stage formulas are
+//! polynomial-sized DAGs. If the program is pure Datalog the result is
+//! inequality-free, giving the theorem's second claim.
+
+use crate::formula::{Formula, LTerm, Var};
+use kv_datalog::{IdbId, Literal, Pred, Program, Term};
+use std::rc::Rc;
+
+/// The stage-formula translation of a program.
+pub struct StageTranslation<'p> {
+    program: &'p Program,
+    /// `stages[n][i]` = `φ_i^n`, the formula defining stage `n` of IDB `i`
+    /// (free variables: `w`-slots `0 … arity_i - 1`). `stages[0]` is the
+    /// empty-relation formula `⊥`.
+    stages: Vec<Vec<Rc<Formula>>>,
+    /// Max IDB arity `R`.
+    r: usize,
+    /// Max rule variable count `L`.
+    l: usize,
+}
+
+impl<'p> StageTranslation<'p> {
+    /// Initializes the translation at stage 0 (`Θ^0 = ∅`).
+    pub fn new(program: &'p Program) -> Self {
+        let r = (0..program.idb_count())
+            .map(|i| program.idb_arity(IdbId(i)))
+            .max()
+            .unwrap_or(0);
+        let l = program.max_rule_vars();
+        let stage0: Vec<Rc<Formula>> = (0..program.idb_count())
+            .map(|_| Rc::new(Formula::False))
+            .collect();
+        Self {
+            program,
+            stages: vec![stage0],
+            r,
+            l,
+        }
+    }
+
+    /// The fixed variable budget: stage formulas only ever use variable
+    /// indices `< var_budget()`, independent of the stage (Theorem 3.6's
+    /// point).
+    pub fn var_budget(&self) -> usize {
+        2 * self.r + self.l
+    }
+
+    /// Number of stages computed so far (`highest n` with `φ^n` available).
+    pub fn computed_stages(&self) -> usize {
+        self.stages.len() - 1
+    }
+
+    fn w_slot(&self, q: usize) -> Var {
+        Var(q)
+    }
+
+    fn y_slot(&self, q: usize) -> Var {
+        Var(self.r + q)
+    }
+
+    fn rule_slot(&self, v: usize) -> Var {
+        Var(2 * self.r + v)
+    }
+
+    fn term_to_lterm(&self, t: &Term) -> LTerm {
+        match t {
+            Term::Var(v) => LTerm::Var(self.rule_slot(v.0)),
+            Term::Const(c) => LTerm::Const(*c),
+        }
+    }
+
+    /// Computes `φ^{n+1}` from `φ^n` for every IDB.
+    pub fn advance(&mut self) {
+        let prev = self.stages.last().expect("stage 0 exists").clone();
+        let mut next = Vec::with_capacity(self.program.idb_count());
+        for i in 0..self.program.idb_count() {
+            next.push(Rc::new(self.idb_stage_formula(IdbId(i), &prev)));
+        }
+        self.stages.push(next);
+    }
+
+    /// Ensures at least `n` stages are computed and returns `φ_idb^n`.
+    pub fn stage(&mut self, n: usize, idb: IdbId) -> Rc<Formula> {
+        while self.computed_stages() < n {
+            self.advance();
+        }
+        Rc::clone(&self.stages[n][idb.0])
+    }
+
+    /// Builds `φ_i` at the next stage, substituting `prev` for IDB atoms.
+    fn idb_stage_formula(&self, idb: IdbId, prev: &[Rc<Formula>]) -> Formula {
+        let mut disjuncts = Vec::new();
+        for rule in self.program.rules() {
+            if rule.head != idb {
+                continue;
+            }
+            let mut conjuncts: Vec<Formula> = Vec::new();
+            // Head bridging: w_p = head-term_p.
+            for (p, t) in rule.head_args.iter().enumerate() {
+                conjuncts.push(Formula::Eq(
+                    self.w_slot(p).into(),
+                    self.term_to_lterm(t),
+                ));
+            }
+            // Body.
+            for lit in &rule.body {
+                conjuncts.push(match lit {
+                    Literal::Atom(Pred::Edb(rel), args) => Formula::Atom(
+                        *rel,
+                        args.iter().map(|t| self.term_to_lterm(t)).collect(),
+                    ),
+                    Literal::Atom(Pred::Idb(j), args) => self.bridge(*j, args, prev),
+                    Literal::Eq(a, b) => {
+                        Formula::Eq(self.term_to_lterm(a), self.term_to_lterm(b))
+                    }
+                    Literal::Neq(a, b) => {
+                        Formula::Neq(self.term_to_lterm(a), self.term_to_lterm(b))
+                    }
+                });
+            }
+            // Quantify the rule variables.
+            let body = Formula::and(conjuncts);
+            let rule_vars = (0..rule.var_count()).map(|v| self.rule_slot(v));
+            disjuncts.push(Formula::exists_many(rule_vars, body));
+        }
+        Formula::or(disjuncts)
+    }
+
+    /// The paper's substitution trick for an IDB atom `S_j(t⃗)`.
+    fn bridge(&self, j: IdbId, args: &[Term], prev: &[Rc<Formula>]) -> Formula {
+        let arity = self.program.idb_arity(j);
+        debug_assert_eq!(args.len(), arity);
+        // ∃w⃗ (⋀ w_q = y_q ∧ φ_j^n)
+        let mut inner: Vec<Rc<Formula>> = Vec::with_capacity(arity + 1);
+        for q in 0..arity {
+            inner.push(Rc::new(Formula::Eq(
+                self.w_slot(q).into(),
+                self.y_slot(q).into(),
+            )));
+        }
+        inner.push(Rc::clone(&prev[j.0]));
+        let mut inner_f = Formula::And(inner);
+        for q in (0..arity).rev() {
+            inner_f = Formula::Exists(self.w_slot(q), Rc::new(inner_f));
+        }
+        // ∃y⃗ (⋀ y_q = t_q ∧ inner)
+        let mut outer: Vec<Formula> = Vec::with_capacity(arity + 1);
+        for (q, t) in args.iter().enumerate() {
+            outer.push(Formula::Eq(self.y_slot(q).into(), self.term_to_lterm(t)));
+        }
+        outer.push(inner_f);
+        Formula::exists_many((0..arity).map(|q| self.y_slot(q)), Formula::and(outer))
+    }
+}
+
+/// Convenience: the stage-`n` formula of `program`'s IDB `idb`.
+pub fn stage_formula(program: &Program, idb: IdbId, n: usize) -> Rc<Formula> {
+    StageTranslation::new(program).stage(n, idb)
+}
+
+/// Convenience: the formula for `π^∞` restricted to the goal predicate, on
+/// structures of at most `universe` elements: the finite disjunction
+/// `⋁_{n ≤ bound} φ^n` where `bound = universe^r` bounds the closure
+/// ordinal (Section 2: `n₀ ≤ s^r`). In practice far fewer stages are
+/// needed; use [`StageTranslation`] directly to track convergence.
+pub fn fixpoint_formula_bound(program: &Program, universe: usize) -> usize {
+    let r_total: usize = (0..program.idb_count())
+        .map(|i| {
+            universe
+                .checked_pow(program.idb_arity(IdbId(i)) as u32)
+                .unwrap_or(usize::MAX / 4)
+        })
+        .fold(0usize, |a, b| a.saturating_add(b));
+    r_total.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Evaluator;
+    use kv_datalog::programs::{avoiding_path, q_kl, transitive_closure};
+    use kv_datalog::{EvalOptions, Evaluator as DatalogEvaluator};
+    use kv_structures::generators::{directed_path, random_digraph};
+    use kv_structures::{Element, Structure};
+
+    /// Checks that φ^n defines Θ^n exactly, for every stage until the
+    /// fixpoint, on the given structure.
+    fn assert_stages_match(program: &Program, s: &Structure) {
+        let result = DatalogEvaluator::new(program).run(
+            s,
+            EvalOptions {
+                semi_naive: true,
+                record_stages: true,
+                max_stages: None,
+            },
+        );
+        let mut translation = StageTranslation::new(program);
+        let budget = translation.var_budget();
+        let n_elems = s.universe_size() as Element;
+        for (stage_idx, snapshot) in result.stages.iter().enumerate() {
+            let n = stage_idx + 1;
+            #[allow(clippy::needless_range_loop)]
+            for i in 0..program.idb_count() {
+                let formula = translation.stage(n, IdbId(i));
+                assert!(
+                    formula.all_vars().iter().all(|v| v.0 < budget),
+                    "stage {n} exceeds variable budget"
+                );
+                let arity = program.idb_arity(IdbId(i));
+                let mut ev = Evaluator::new(s);
+                let mut asg = vec![None; budget.max(1)];
+                for tuple in all_tuples(arity, n_elems) {
+                    for (q, &e) in tuple.iter().enumerate() {
+                        asg[q] = Some(e);
+                    }
+                    let by_formula = ev.eval(&formula, &mut asg);
+                    let by_stages = snapshot[i].contains(tuple.as_slice());
+                    assert_eq!(
+                        by_formula, by_stages,
+                        "stage {n}, IDB {i}, tuple {tuple:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// All tuples of the given arity over `0..n`.
+    fn all_tuples(arity: usize, n: Element) -> Vec<Vec<Element>> {
+        let mut out: Vec<Vec<Element>> = vec![Vec::new()];
+        for _ in 0..arity {
+            out = out
+                .into_iter()
+                .flat_map(|t| {
+                    (0..n).map(move |e| {
+                        let mut t2 = t.clone();
+                        t2.push(e);
+                        t2
+                    })
+                })
+                .collect();
+        }
+        out
+    }
+
+    #[test]
+    fn tc_stage_formulas_match_stages() {
+        let p = transitive_closure();
+        assert_stages_match(&p, &directed_path(5));
+        assert_stages_match(&p, &random_digraph(6, 0.25, 1).to_structure());
+    }
+
+    #[test]
+    fn tc_stage_formulas_are_inequality_free_datalog() {
+        // Theorem 3.6, second claim: Datalog ⇒ inequality-free L formulas.
+        let p = transitive_closure();
+        let f = stage_formula(&p, IdbId(0), 4);
+        assert!(f.is_existential_positive());
+        assert!(f.is_inequality_free());
+    }
+
+    #[test]
+    fn avoiding_path_stage_formulas_match_and_use_inequalities() {
+        let p = avoiding_path();
+        let s = random_digraph(5, 0.3, 2).to_structure();
+        assert_stages_match(&p, &s);
+        let f = stage_formula(&p, IdbId(0), 3);
+        assert!(f.is_existential_positive());
+        assert!(!f.is_inequality_free());
+    }
+
+    #[test]
+    fn multi_idb_program_stages_match() {
+        // Q_{2,0} has two mutually layered IDBs.
+        let p = q_kl(2, 0);
+        let s = random_digraph(4, 0.4, 3).to_structure();
+        assert_stages_match(&p, &s);
+    }
+
+    #[test]
+    fn variable_budget_constant_across_stages() {
+        let p = transitive_closure();
+        let mut t = StageTranslation::new(&p);
+        let budget = t.var_budget();
+        let mut widths = Vec::new();
+        for n in 1..6 {
+            let f = t.stage(n, IdbId(0));
+            widths.push(f.all_vars().len());
+            assert!(f.all_vars().iter().all(|v| v.0 < budget));
+        }
+        // Width stabilizes (does not grow with n).
+        assert_eq!(widths[2], widths[4]);
+    }
+
+    #[test]
+    fn stage_formula_dag_size_grows_linearly() {
+        let p = transitive_closure();
+        let mut t = StageTranslation::new(&p);
+        let s3 = t.stage(3, IdbId(0)).dag_size();
+        let s6 = t.stage(6, IdbId(0)).dag_size();
+        // Sharing keeps growth additive per stage, not multiplicative.
+        let per_stage = (s6 - s3) / 3;
+        assert!(per_stage <= s3, "growth should be linear-ish: {s3} -> {s6}");
+    }
+
+    #[test]
+    fn fixpoint_bound_is_generous() {
+        let p = transitive_closure();
+        assert!(fixpoint_formula_bound(&p, 4) >= 16);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests for the logic layer.
+
+use kv_datalog::programs::{avoiding_path, transitive_closure};
+use kv_datalog::{EvalOptions, Evaluator};
+use kv_logic::builders::path_formula;
+use kv_logic::eval::{eval_with, Evaluator as LogicEvaluator};
+use kv_logic::formula::{Formula, Var};
+use kv_logic::stage::StageTranslation;
+use kv_structures::{Digraph, Element, RelId};
+use proptest::prelude::*;
+
+fn digraph_strategy(max_n: usize) -> impl Strategy<Value = Digraph> {
+    (2usize..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=(n * n / 2).min(12)).prop_map(
+            move |edges| {
+                let mut g = Digraph::new(n);
+                for (u, v) in edges {
+                    g.add_edge(u, v);
+                }
+                g
+            },
+        )
+    })
+}
+
+/// Walks of length exactly n between two nodes, by dynamic programming.
+fn has_walk_of_length(g: &Digraph, from: u32, to: u32, n: usize) -> bool {
+    let mut current = vec![false; g.node_count()];
+    current[from as usize] = true;
+    for _ in 0..n {
+        let mut next = vec![false; g.node_count()];
+        for v in g.nodes() {
+            if current[v as usize] {
+                for &w in g.successors(v) {
+                    next[w as usize] = true;
+                }
+            }
+        }
+        current = next;
+    }
+    current[to as usize]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// p_n (3-variable form) agrees with the walk DP for every pair.
+    #[test]
+    fn path_formula_equals_walk_dp(g in digraph_strategy(5), n in 1usize..6) {
+        let s = g.to_structure();
+        let f = path_formula(RelId(0), n);
+        prop_assert!(f.width() <= 3);
+        for a in 0..s.universe_size() as u32 {
+            for b in 0..s.universe_size() as u32 {
+                prop_assert_eq!(
+                    eval_with(&f, &s, &[Some(a), Some(b)]),
+                    has_walk_of_length(&g, a, b, n),
+                    "p_{}({}, {})", n, a, b
+                );
+            }
+        }
+    }
+
+    /// Memoized evaluation agrees with itself across evaluator reuse.
+    #[test]
+    fn memoization_is_transparent(g in digraph_strategy(5)) {
+        let s = g.to_structure();
+        let f = path_formula(RelId(0), 4);
+        let mut shared = LogicEvaluator::new(&s);
+        for a in 0..s.universe_size() as u32 {
+            for b in 0..s.universe_size() as u32 {
+                let mut asg = vec![Some(a), Some(b), None];
+                let with_shared = shared.eval(&f, &mut asg);
+                let fresh = eval_with(&f, &s, &[Some(a), Some(b)]);
+                prop_assert_eq!(with_shared, fresh);
+            }
+        }
+    }
+
+    /// Theorem 3.6 on random graphs: stage formulas define the stages (TC,
+    /// first three stages — the deep exhaustive check lives in unit tests).
+    #[test]
+    fn stage_formula_matches_stages(g in digraph_strategy(4)) {
+        let s = g.to_structure();
+        for program in [transitive_closure(), avoiding_path()] {
+            let result = Evaluator::new(&program).run(
+                &s,
+                EvalOptions { semi_naive: true, record_stages: true, max_stages: Some(3) },
+            );
+            let mut translation = StageTranslation::new(&program);
+            let goal = program.goal();
+            let arity = program.idb_arity(goal);
+            for (idx, snapshot) in result.stages.iter().enumerate() {
+                let formula = translation.stage(idx + 1, goal);
+                let mut ev = LogicEvaluator::new(&s);
+                let budget = translation.var_budget();
+                // Enumerate all tuples.
+                let n = s.universe_size() as Element;
+                let mut tuple = vec![0 as Element; arity];
+                loop {
+                    let mut asg = vec![None; budget.max(1)];
+                    for (q, &e) in tuple.iter().enumerate() {
+                        asg[q] = Some(e);
+                    }
+                    prop_assert_eq!(
+                        ev.eval(&formula, &mut asg),
+                        snapshot[goal.0].contains(tuple.as_slice()),
+                        "stage {} tuple {:?}", idx + 1, tuple
+                    );
+                    // Odometer.
+                    let mut pos = 0;
+                    while pos < arity {
+                        tuple[pos] += 1;
+                        if tuple[pos] < n {
+                            break;
+                        }
+                        tuple[pos] = 0;
+                        pos += 1;
+                    }
+                    if pos == arity {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Width accounting: exists_many over fresh variables adds exactly
+    /// those variables.
+    #[test]
+    fn width_accounting(extra in 1usize..5) {
+        let base = Formula::edge(RelId(0), Var(0), Var(1));
+        let f = Formula::exists_many((2..2 + extra).map(Var), base);
+        prop_assert_eq!(f.width(), 2 + extra);
+        prop_assert_eq!(f.free_vars().len(), 2);
+    }
+}

@@ -1,0 +1,258 @@
+//! CNF formulas: the combinatorial raw material of Section 6.2.
+//!
+//! Provides literals, clauses, brute-force satisfiability (the exponential
+//! ground truth for the SAT → two-disjoint-paths reduction, experiment
+//! E11), and the **complete formulas** `φ_k` — the only CNF formulas with
+//! `2^k` distinct clauses of `k` distinct literals over `k` variables —
+//! used as the engine of Theorem 6.6.
+
+use std::fmt;
+
+/// A literal: variable index plus polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit {
+    /// Variable index `0, …, m-1`.
+    pub var: usize,
+    /// `true` for the positive literal `x`, `false` for `x̄`.
+    pub positive: bool,
+}
+
+impl Lit {
+    /// The positive literal of `var`.
+    pub fn pos(var: usize) -> Self {
+        Self {
+            var,
+            positive: true,
+        }
+    }
+
+    /// The negative literal of `var`.
+    pub fn neg(var: usize) -> Self {
+        Self {
+            var,
+            positive: false,
+        }
+    }
+
+    /// The complementary literal.
+    pub fn complement(self) -> Self {
+        Self {
+            var: self.var,
+            positive: !self.positive,
+        }
+    }
+
+    /// Dense index `2·var + polarity-bit`, handy for tables.
+    pub fn index(self) -> usize {
+        2 * self.var + usize::from(!self.positive)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.positive {
+            write!(f, "x{}", self.var + 1)
+        } else {
+            write!(f, "~x{}", self.var + 1)
+        }
+    }
+}
+
+/// Convenience constructor for a clause.
+pub fn clause(lits: impl IntoIterator<Item = Lit>) -> Vec<Lit> {
+    lits.into_iter().collect()
+}
+
+/// A CNF formula: a conjunction of clauses over variables `0, …, vars-1`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CnfFormula {
+    vars: usize,
+    clauses: Vec<Vec<Lit>>,
+}
+
+impl CnfFormula {
+    /// Creates a formula; clauses must only mention variables `< vars`.
+    ///
+    /// # Panics
+    /// Panics on out-of-range variables or empty clause lists being fine —
+    /// empty clauses are allowed (and unsatisfiable).
+    pub fn new(vars: usize, clauses: Vec<Vec<Lit>>) -> Self {
+        for c in &clauses {
+            for l in c {
+                assert!(l.var < vars, "literal {l} out of range");
+            }
+        }
+        Self { vars, clauses }
+    }
+
+    /// Number of variables.
+    pub fn var_count(&self) -> usize {
+        self.vars
+    }
+
+    /// Number of clauses.
+    pub fn clause_count(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// The clauses.
+    pub fn clauses(&self) -> &[Vec<Lit>] {
+        &self.clauses
+    }
+
+    /// The number of occurrences of each literal, indexed by
+    /// [`Lit::index`].
+    pub fn occurrence_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; 2 * self.vars];
+        for c in &self.clauses {
+            for l in c {
+                counts[l.index()] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Evaluates under an assignment (`assignment[v]` = value of `x_{v+1}`).
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        assert_eq!(assignment.len(), self.vars);
+        self.clauses.iter().all(|c| {
+            c.iter()
+                .any(|l| assignment[l.var] == l.positive)
+        })
+    }
+
+    /// Brute-force satisfiability; returns a satisfying assignment if one
+    /// exists. Exponential in `vars` — ground truth for small formulas.
+    pub fn brute_force_sat(&self) -> Option<Vec<bool>> {
+        let n = self.vars;
+        assert!(n < 26, "brute force limited to small formulas");
+        for bits in 0u32..(1 << n) {
+            let assignment: Vec<bool> = (0..n).map(|i| bits & (1 << i) != 0).collect();
+            if self.eval(&assignment) {
+                return Some(assignment);
+            }
+        }
+        None
+    }
+
+    /// The **complete formula** `φ_k` on `k` variables: all `2^k` clauses
+    /// with one literal per variable. Unsatisfiable for every `k ≥ 1`, yet
+    /// the Duplicator survives the k-pebble formula game on it
+    /// (Definition 6.5 discussion).
+    pub fn complete(k: usize) -> Self {
+        assert!((1..20).contains(&k));
+        let mut clauses = Vec::with_capacity(1 << k);
+        for bits in 0u32..(1 << k) {
+            let clause: Vec<Lit> = (0..k)
+                .map(|v| Lit {
+                    var: v,
+                    positive: bits & (1 << v) != 0,
+                })
+                .collect();
+            clauses.push(clause);
+        }
+        Self::new(k, clauses)
+    }
+
+    /// The paper's 2-pebble-losable family:
+    /// `x1 ∧ x2 ∧ … ∧ xk ∧ (x̄1 ∨ … ∨ x̄k)`.
+    pub fn units_plus_negated_clause(k: usize) -> Self {
+        let mut clauses: Vec<Vec<Lit>> = (0..k).map(|v| vec![Lit::pos(v)]).collect();
+        clauses.push((0..k).map(Lit::neg).collect());
+        Self::new(k, clauses)
+    }
+}
+
+impl fmt::Display for CnfFormula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, c) in self.clauses.iter().enumerate() {
+            if i > 0 {
+                write!(f, " & ")?;
+            }
+            write!(f, "(")?;
+            for (j, l) in c.iter().enumerate() {
+                if j > 0 {
+                    write!(f, " | ")?;
+                }
+                write!(f, "{l}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_basics() {
+        let x = Lit::pos(2);
+        assert_eq!(x.complement(), Lit::neg(2));
+        assert_eq!(x.index(), 4);
+        assert_eq!(Lit::neg(2).index(), 5);
+        assert_eq!(x.to_string(), "x3");
+        assert_eq!(Lit::neg(0).to_string(), "~x1");
+    }
+
+    #[test]
+    fn eval_simple() {
+        // (x1 | ~x2) & (x2)
+        let f = CnfFormula::new(
+            2,
+            vec![clause([Lit::pos(0), Lit::neg(1)]), clause([Lit::pos(1)])],
+        );
+        assert!(f.eval(&[true, true]));
+        assert!(!f.eval(&[false, true]));
+        assert!(!f.eval(&[true, false]));
+    }
+
+    #[test]
+    fn brute_force_finds_models() {
+        let f = CnfFormula::new(
+            3,
+            vec![
+                clause([Lit::pos(0), Lit::pos(1)]),
+                clause([Lit::neg(0)]),
+                clause([Lit::neg(1), Lit::pos(2)]),
+            ],
+        );
+        let model = f.brute_force_sat().expect("satisfiable");
+        assert!(f.eval(&model));
+    }
+
+    #[test]
+    fn empty_clause_unsatisfiable() {
+        let f = CnfFormula::new(1, vec![vec![]]);
+        assert!(f.brute_force_sat().is_none());
+    }
+
+    #[test]
+    fn complete_formula_shape_and_unsat() {
+        for k in 1..=4usize {
+            let f = CnfFormula::complete(k);
+            assert_eq!(f.clause_count(), 1 << k);
+            assert!(f.clauses().iter().all(|c| c.len() == k));
+            assert!(f.brute_force_sat().is_none(), "φ_{k} must be unsatisfiable");
+            // Every literal occurs in exactly half the clauses.
+            let counts = f.occurrence_counts();
+            assert!(counts.iter().all(|&c| c == (1 << k) / 2 || k == 1 && c == 1));
+        }
+    }
+
+    #[test]
+    fn units_family_unsat() {
+        for k in 1..=4 {
+            assert!(CnfFormula::units_plus_negated_clause(k)
+                .brute_force_sat()
+                .is_none());
+        }
+    }
+
+    #[test]
+    fn display_roundtrip_readable() {
+        let f = CnfFormula::new(2, vec![clause([Lit::pos(0), Lit::neg(1)])]);
+        assert_eq!(f.to_string(), "(x1 | ~x2)");
+    }
+}

@@ -1,0 +1,346 @@
+//! The k-pebble game on Boolean formulas (Definition 6.5).
+//!
+//! Player I pebbles a literal (Player II must assign it a truth value) or a
+//! clause (Player II must pick one of its literals and make it **true**).
+//! Player I wins if some literal ever carries both values; Player II wins
+//! by playing forever. Between rounds Player I may lift pebbles.
+//!
+//! A position is a set of at most `k` pebbled pairs; each pair commits one
+//! literal to **true** (assigning `x := false` is the same commitment as
+//! `x̄ := true`). The solver mirrors [`crate::game`]: the greatest family
+//! of *consistent* positions closed under subsets with the forth property
+//! (every challenge has a surviving response).
+//!
+//! Facts reproduced in tests (all from the paper's Section 6.2 discussion):
+//! satisfiable ⇒ Duplicator wins every `k`; unsatisfiable with `k`
+//! variables ⇒ Spoiler wins with `k + 1` pebbles; Duplicator wins the
+//! `k`-game on the complete formula `φ_k`; Spoiler wins the 2-game on
+//! `x1 ∧ … ∧ xk ∧ (x̄1 ∨ … ∨ x̄k)`.
+
+use crate::cnf::{CnfFormula, Lit};
+use crate::game::Winner;
+use std::collections::HashMap;
+
+/// A Player I challenge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Challenge {
+    /// Pebble a literal: Player II assigns it a value.
+    Literal(Lit),
+    /// Pebble clause `i`: Player II selects a literal of it to satisfy.
+    Clause(usize),
+}
+
+/// A pebbled pair: the challenge plus the literal Player II committed to
+/// **true** (for a literal challenge this is the literal itself or its
+/// complement; for a clause challenge, a member of the clause).
+pub type PebblePair = (Challenge, Lit);
+
+/// A position: sorted set of pebbled pairs.
+pub type CnfPosition = Vec<PebblePair>;
+
+#[derive(Debug)]
+struct Node {
+    position: CnfPosition,
+    alive: bool,
+    /// For each challenge: (alive responses, options).
+    extensions: HashMap<Challenge, (u32, Vec<(Lit, usize)>)>,
+    /// `(parent_id, removed pair)` subset links.
+    parents: Vec<(usize, PebblePair)>,
+}
+
+/// A solved k-pebble game on a CNF formula.
+#[derive(Debug)]
+pub struct CnfGame<'f> {
+    formula: &'f CnfFormula,
+    k: usize,
+    nodes: Vec<Node>,
+    by_position: HashMap<CnfPosition, usize>,
+}
+
+/// Is a set of true-literal commitments consistent (no complementary pair)?
+fn consistent(position: &CnfPosition) -> bool {
+    for (i, &(_, l1)) in position.iter().enumerate() {
+        for &(_, l2) in &position[i + 1..] {
+            if l1 == l2.complement() {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+impl<'f> CnfGame<'f> {
+    /// Builds and solves the game with `k` pebbles.
+    pub fn solve(formula: &'f CnfFormula, k: usize) -> Self {
+        assert!(k >= 1);
+        let challenges: Vec<Challenge> = (0..formula.var_count())
+            .flat_map(|v| [Challenge::Literal(Lit::pos(v)), Challenge::Literal(Lit::neg(v))])
+            .chain((0..formula.clause_count()).map(Challenge::Clause))
+            .collect();
+        let responses = |ch: Challenge| -> Vec<Lit> {
+            match ch {
+                Challenge::Literal(l) => vec![l, l.complement()],
+                Challenge::Clause(i) => formula.clauses()[i].clone(),
+            }
+        };
+
+        let mut nodes: Vec<Node> = vec![Node {
+            position: Vec::new(),
+            alive: true,
+            extensions: HashMap::new(),
+            parents: Vec::new(),
+        }];
+        let mut by_position: HashMap<CnfPosition, usize> = HashMap::new();
+        by_position.insert(Vec::new(), 0);
+        let mut frontier = vec![0usize];
+        for _level in 0..k {
+            let mut next = Vec::new();
+            for &fid in &frontier {
+                let base = nodes[fid].position.clone();
+                for &ch in &challenges {
+                    let mut options = Vec::new();
+                    for resp in responses(ch) {
+                        let pair = (ch, resp);
+                        if base.contains(&pair) {
+                            // Re-pebbling an existing pair is a stutter;
+                            // treat the node itself as the child.
+                            options.push((resp, fid));
+                            continue;
+                        }
+                        let mut pos = base.clone();
+                        let insert_at = pos.partition_point(|p| *p < pair);
+                        pos.insert(insert_at, pair);
+                        if !consistent(&pos) {
+                            continue;
+                        }
+                        let child = *by_position.entry(pos.clone()).or_insert_with(|| {
+                            nodes.push(Node {
+                                position: pos,
+                                alive: true,
+                                extensions: HashMap::new(),
+                                parents: Vec::new(),
+                            });
+                            next.push(nodes.len() - 1);
+                            nodes.len() - 1
+                        });
+                        nodes[child].parents.push((fid, pair));
+                        options.push((resp, child));
+                    }
+                    let count = options.len() as u32;
+                    nodes[fid].extensions.insert(ch, (count, options));
+                }
+            }
+            frontier = next;
+        }
+
+        let mut game = Self {
+            formula,
+            k,
+            nodes,
+            by_position,
+        };
+        game.run_deletion();
+        game
+    }
+
+    fn run_deletion(&mut self) {
+        let mut queue = Vec::new();
+        for id in 0..self.nodes.len() {
+            if !self.nodes[id].extensions.is_empty() {
+                let dead = self.nodes[id]
+                    .extensions
+                    .values()
+                    .any(|(count, _)| *count == 0);
+                if dead {
+                    self.kill(id, &mut queue);
+                }
+            }
+        }
+        while let Some(dead) = queue.pop() {
+            let children: Vec<usize> = self.nodes[dead]
+                .extensions
+                .values()
+                .flat_map(|(_, opts)| opts.iter().map(|&(_, c)| c))
+                .filter(|&c| c != dead)
+                .collect();
+            for child in children {
+                if self.nodes[child].alive {
+                    self.kill(child, &mut queue);
+                }
+            }
+            let parents = self.nodes[dead].parents.clone();
+            for (pid, pair) in parents {
+                if !self.nodes[pid].alive {
+                    continue;
+                }
+                let exhausted = {
+                    let entry = self.nodes[pid]
+                        .extensions
+                        .get_mut(&pair.0)
+                        .expect("extension exists");
+                    // Only decrement if this (response -> dead child) edge
+                    // was counted; stutter edges point to the node itself.
+                    entry.0 -= 1;
+                    entry.0 == 0
+                };
+                if exhausted {
+                    self.kill(pid, &mut queue);
+                }
+            }
+        }
+    }
+
+    fn kill(&mut self, id: usize, queue: &mut Vec<usize>) {
+        if self.nodes[id].alive {
+            self.nodes[id].alive = false;
+            queue.push(id);
+        }
+    }
+
+    /// The winner.
+    pub fn winner(&self) -> Winner {
+        if self.nodes[0].alive {
+            Winner::Duplicator
+        } else {
+            Winner::Spoiler
+        }
+    }
+
+    /// The formula under play.
+    pub fn formula(&self) -> &CnfFormula {
+        self.formula
+    }
+
+    /// Pebble budget.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of generated positions.
+    pub fn arena_size(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Looks up a position id.
+    pub fn position_id(&self, position: &CnfPosition) -> Option<usize> {
+        self.by_position.get(position).copied()
+    }
+
+    /// Is the position in the surviving family?
+    pub fn is_alive(&self, id: usize) -> bool {
+        self.nodes[id].alive
+    }
+
+    /// Duplicator's reply to `challenge` from position `id`: a literal to
+    /// set true whose resulting position survives.
+    pub fn duplicator_reply(&self, id: usize, challenge: Challenge) -> Option<(Lit, usize)> {
+        self.nodes[id]
+            .extensions
+            .get(&challenge)?
+            .1
+            .iter()
+            .find(|&&(_, child)| self.nodes[child].alive)
+            .copied()
+    }
+
+    /// The position reached by dropping `pair` from position `id`.
+    pub fn drop_pair(&self, id: usize, pair: PebblePair) -> Option<usize> {
+        self.nodes[id]
+            .parents
+            .iter()
+            .find(|&&(_, p)| p == pair)
+            .map(|&(pid, _)| pid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::clause;
+
+    #[test]
+    fn satisfiable_formula_duplicator_wins_all_k() {
+        // (x1 | x2) & (~x1 | x2): satisfiable with x2 = true.
+        let f = CnfFormula::new(
+            2,
+            vec![
+                clause([Lit::pos(0), Lit::pos(1)]),
+                clause([Lit::neg(0), Lit::pos(1)]),
+            ],
+        );
+        assert!(f.brute_force_sat().is_some());
+        for k in 1..=4 {
+            assert_eq!(CnfGame::solve(&f, k).winner(), Winner::Duplicator, "k={k}");
+        }
+    }
+
+    #[test]
+    fn unsat_with_m_vars_spoiler_wins_with_m_plus_1() {
+        // x1 & ~x1 — unsat on 1 variable; Spoiler wins with 2 pebbles.
+        let f = CnfFormula::new(1, vec![clause([Lit::pos(0)]), clause([Lit::neg(0)])]);
+        assert_eq!(CnfGame::solve(&f, 2).winner(), Winner::Spoiler);
+        // With a single pebble, positions never conflict: Duplicator wins.
+        assert_eq!(CnfGame::solve(&f, 1).winner(), Winner::Duplicator);
+    }
+
+    #[test]
+    fn complete_formula_duplicator_wins_k_game() {
+        for k in 1..=3usize {
+            let f = CnfFormula::complete(k);
+            assert_eq!(
+                CnfGame::solve(&f, k).winner(),
+                Winner::Duplicator,
+                "Duplicator must win the {k}-game on φ_{k}"
+            );
+        }
+    }
+
+    #[test]
+    fn complete_formula_spoiler_wins_k_plus_1_game() {
+        for k in 1..=2usize {
+            let f = CnfFormula::complete(k);
+            assert_eq!(
+                CnfGame::solve(&f, k + 1).winner(),
+                Winner::Spoiler,
+                "Spoiler must win the {}-game on φ_{k}",
+                k + 1
+            );
+        }
+    }
+
+    #[test]
+    fn units_family_spoiler_wins_with_two_pebbles() {
+        for k in 2..=4usize {
+            let f = CnfFormula::units_plus_negated_clause(k);
+            assert_eq!(
+                CnfGame::solve(&f, 2).winner(),
+                Winner::Spoiler,
+                "2-game on the units formula with k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicator_reply_is_alive_and_consistent() {
+        let f = CnfFormula::complete(2);
+        let g = CnfGame::solve(&f, 2);
+        assert_eq!(g.winner(), Winner::Duplicator);
+        let root = g.position_id(&Vec::new()).unwrap();
+        // Challenge with each clause; the reply must be a member literal.
+        for c in 0..f.clause_count() {
+            let (lit, child) = g
+                .duplicator_reply(root, Challenge::Clause(c))
+                .expect("reply exists");
+            assert!(f.clauses()[c].contains(&lit));
+            assert!(g.is_alive(child));
+        }
+    }
+
+    #[test]
+    fn empty_formula_always_duplicator() {
+        let f = CnfFormula::new(1, vec![]);
+        for k in 1..=3 {
+            assert_eq!(CnfGame::solve(&f, k).winner(), Winner::Duplicator);
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Playing the k-pebble game on Boolean formulas (Definition 6.5) move by
+//! move — the referee, strategy traits, and solver-backed players, mirroring
+//! [`crate::play`] for the structure game.
+
+use crate::cnf::{CnfFormula, Lit};
+use crate::cnf_game::{Challenge, CnfGame, CnfPosition, PebblePair};
+use crate::game::Winner;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A Player I move in the formula game.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CnfMove {
+    /// Place a pebble issuing `challenge` into `slot`.
+    Place {
+        /// Pebble slot `0..k`.
+        slot: usize,
+        /// The challenge (a literal or a clause).
+        challenge: Challenge,
+    },
+    /// Lift the pebble in `slot`.
+    Remove {
+        /// Pebble slot `0..k`.
+        slot: usize,
+    },
+}
+
+/// Player I of the formula game.
+pub trait CnfSpoiler {
+    /// Chooses the next move given the slot contents.
+    fn choose(&mut self, slots: &[Option<PebblePair>]) -> CnfMove;
+}
+
+/// Player II of the formula game: must answer a challenge with a literal
+/// set to **true** (for a literal challenge: the literal or its
+/// complement; for a clause challenge: a member of the clause).
+pub trait CnfDuplicator {
+    /// Answers `challenge`; `None` concedes.
+    fn respond(&mut self, slots: &[Option<PebblePair>], challenge: Challenge) -> Option<Lit>;
+}
+
+/// Referee: plays `rounds` rounds; Player I wins as soon as the commitments
+/// contradict (some literal set both true and false) or a response is
+/// ill-formed; Player II wins by surviving.
+pub fn play_cnf_game(
+    formula: &CnfFormula,
+    k: usize,
+    spoiler: &mut dyn CnfSpoiler,
+    duplicator: &mut dyn CnfDuplicator,
+    rounds: usize,
+) -> Winner {
+    let mut slots: Vec<Option<PebblePair>> = vec![None; k];
+    for _ in 0..rounds {
+        match spoiler.choose(&slots) {
+            CnfMove::Remove { slot } => {
+                assert!(slots[slot].is_some(), "removing an empty slot");
+                slots[slot] = None;
+            }
+            CnfMove::Place { slot, challenge } => {
+                assert!(slots[slot].is_none(), "placing on a full slot");
+                let Some(lit) = duplicator.respond(&slots, challenge) else {
+                    return Winner::Spoiler;
+                };
+                // Well-formedness of the response.
+                let ok = match challenge {
+                    Challenge::Literal(l) => lit == l || lit == l.complement(),
+                    Challenge::Clause(c) => formula.clauses()[c].contains(&lit),
+                };
+                if !ok {
+                    return Winner::Spoiler;
+                }
+                slots[slot] = Some((challenge, lit));
+                // Consistency: no literal both true and false.
+                let commitments: Vec<Lit> =
+                    slots.iter().flatten().map(|&(_, l)| l).collect();
+                for (i, &a) in commitments.iter().enumerate() {
+                    for &b in &commitments[i + 1..] {
+                        if a == b.complement() {
+                            return Winner::Spoiler;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Winner::Duplicator
+}
+
+/// Player II backed by the solved game's surviving family.
+pub struct CnfFamilyDuplicator<'g, 'f> {
+    game: &'g CnfGame<'f>,
+}
+
+impl<'g, 'f> CnfFamilyDuplicator<'g, 'f> {
+    /// Wraps a solved game (the Duplicator should be its winner).
+    pub fn new(game: &'g CnfGame<'f>) -> Self {
+        Self { game }
+    }
+}
+
+impl CnfDuplicator for CnfFamilyDuplicator<'_, '_> {
+    fn respond(&mut self, slots: &[Option<PebblePair>], challenge: Challenge) -> Option<Lit> {
+        let mut position: CnfPosition = slots.iter().flatten().copied().collect();
+        position.sort();
+        position.dedup();
+        let id = self.game.position_id(&position)?;
+        self.game.duplicator_reply(id, challenge).map(|(l, _)| l)
+    }
+}
+
+/// Player II playing a fixed assignment (wins whenever the assignment
+/// satisfies the formula — the easy direction of Definition 6.5's
+/// discussion).
+pub struct AssignmentDuplicator<'f> {
+    /// The assignment (indexed by variable).
+    pub assignment: Vec<bool>,
+    /// The formula (for clause lookups).
+    pub formula: &'f CnfFormula,
+}
+
+impl CnfDuplicator for AssignmentDuplicator<'_> {
+    fn respond(&mut self, _slots: &[Option<PebblePair>], challenge: Challenge) -> Option<Lit> {
+        match challenge {
+            Challenge::Literal(l) => Some(if self.assignment[l.var] == l.positive {
+                l
+            } else {
+                l.complement()
+            }),
+            Challenge::Clause(c) => self.formula.clauses()[c]
+                .iter()
+                .copied()
+                .find(|l| self.assignment[l.var] == l.positive),
+        }
+    }
+}
+
+/// A random Player I.
+pub struct RandomCnfSpoiler {
+    rng: StdRng,
+    challenges: Vec<Challenge>,
+}
+
+impl RandomCnfSpoiler {
+    /// Creates a random Spoiler for `formula`.
+    pub fn new(formula: &CnfFormula, seed: u64) -> Self {
+        let challenges = (0..formula.var_count())
+            .flat_map(|v| [Challenge::Literal(Lit::pos(v)), Challenge::Literal(Lit::neg(v))])
+            .chain((0..formula.clause_count()).map(Challenge::Clause))
+            .collect();
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            challenges,
+        }
+    }
+}
+
+impl CnfSpoiler for RandomCnfSpoiler {
+    fn choose(&mut self, slots: &[Option<PebblePair>]) -> CnfMove {
+        let filled: Vec<usize> = (0..slots.len()).filter(|&i| slots[i].is_some()).collect();
+        let empty: Vec<usize> = (0..slots.len()).filter(|&i| slots[i].is_none()).collect();
+        if !filled.is_empty() && (empty.is_empty() || self.rng.gen_bool(0.3)) {
+            CnfMove::Remove {
+                slot: filled[self.rng.gen_range(0..filled.len())],
+            }
+        } else {
+            CnfMove::Place {
+                slot: empty[self.rng.gen_range(0..empty.len())],
+                challenge: self.challenges[self.rng.gen_range(0..self.challenges.len())],
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::clause;
+
+    #[test]
+    fn assignment_duplicator_wins_on_satisfiable() {
+        let f = CnfFormula::new(
+            2,
+            vec![
+                clause([Lit::pos(0), Lit::pos(1)]),
+                clause([Lit::neg(0), Lit::pos(1)]),
+            ],
+        );
+        let model = f.brute_force_sat().unwrap();
+        for seed in 0..10 {
+            let mut sp = RandomCnfSpoiler::new(&f, seed);
+            let mut dup = AssignmentDuplicator {
+                assignment: model.clone(),
+                formula: &f,
+            };
+            assert_eq!(
+                play_cnf_game(&f, 3, &mut sp, &mut dup, 200),
+                Winner::Duplicator,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn family_duplicator_wins_k_game_on_phi_k() {
+        for k in 1..=3usize {
+            let f = CnfFormula::complete(k);
+            let game = CnfGame::solve(&f, k);
+            assert_eq!(game.winner(), Winner::Duplicator);
+            for seed in 0..8 {
+                let mut sp = RandomCnfSpoiler::new(&f, seed);
+                let mut dup = CnfFamilyDuplicator::new(&game);
+                assert_eq!(
+                    play_cnf_game(&f, k, &mut sp, &mut dup, 150),
+                    Winner::Duplicator,
+                    "k={k} seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scripted_spoiler_beats_units_formula_with_two_pebbles() {
+        // The paper's 2-pebble attack on x1 ∧ … ∧ xk ∧ (¬x1 ∨ … ∨ ¬xk):
+        // pebble the big clause (Duplicator makes some ¬xi true), then
+        // pebble the unit clause (xi) — forced contradiction.
+        let k = 3;
+        let f = CnfFormula::units_plus_negated_clause(k);
+        let game = CnfGame::solve(&f, 2);
+        assert_eq!(game.winner(), Winner::Spoiler);
+        struct PaperSpoiler {
+            unit_of: usize,
+            step: usize,
+            big_clause: usize,
+        }
+        impl CnfSpoiler for PaperSpoiler {
+            fn choose(&mut self, slots: &[Option<PebblePair>]) -> CnfMove {
+                if self.step == 0 {
+                    self.step = 1;
+                    return CnfMove::Place {
+                        slot: 0,
+                        challenge: Challenge::Clause(self.big_clause),
+                    };
+                }
+                // Read which literal the Duplicator satisfied.
+                let (_, lit) = slots[0].expect("first pebble placed");
+                self.unit_of = lit.var;
+                CnfMove::Place {
+                    slot: 1,
+                    challenge: Challenge::Clause(self.unit_of),
+                }
+            }
+        }
+        let mut sp = PaperSpoiler {
+            unit_of: 0,
+            step: 0,
+            big_clause: k, // clauses 0..k are the units; clause k is the big one
+        };
+        let mut dup = CnfFamilyDuplicator::new(&game);
+        assert_eq!(
+            play_cnf_game(&f, 2, &mut sp, &mut dup, 2),
+            Winner::Spoiler,
+            "the paper's scripted 2-pebble attack must land"
+        );
+    }
+
+    #[test]
+    fn referee_rejects_ill_formed_responses() {
+        let f = CnfFormula::new(1, vec![clause([Lit::pos(0)])]);
+        struct Liar;
+        impl CnfDuplicator for Liar {
+            fn respond(&mut self, _: &[Option<PebblePair>], _: Challenge) -> Option<Lit> {
+                Some(Lit::neg(0)) // not a member of the challenged clause
+            }
+        }
+        struct ClauseOnly;
+        impl CnfSpoiler for ClauseOnly {
+            fn choose(&mut self, _: &[Option<PebblePair>]) -> CnfMove {
+                CnfMove::Place {
+                    slot: 0,
+                    challenge: Challenge::Clause(0),
+                }
+            }
+        }
+        assert_eq!(
+            play_cnf_game(&f, 1, &mut ClauseOnly, &mut Liar, 1),
+            Winner::Spoiler
+        );
+    }
+}

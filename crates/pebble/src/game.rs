@@ -1,0 +1,540 @@
+//! The existential k-pebble game solver (Definition 4.3 / Proposition 5.3).
+//!
+//! The Duplicator wins iff there is a nonempty family `H` of partial
+//! one-to-one homomorphisms (each containing the constant pairs) that is
+//! closed under subfunctions and has the forth property up to `k`
+//! (Definition 4.7 / Theorem 4.8). The *greatest* such family is obtained
+//! co-inductively: start from **all** valid configurations (partial
+//! homomorphisms with at most `k` non-constant pairs), then repeatedly
+//! delete
+//!
+//! 1. any configuration of size `< k` for which some element `a` of `A` has
+//!    no surviving extension `f ∪ {(a, b)}` (forth failure), and
+//! 2. any extension of a deleted configuration (closure under
+//!    subfunctions, contrapositive),
+//!
+//! until stable. The Duplicator wins iff the root configuration (the
+//! constants-only map) survives. Deletion reasons are recorded, yielding an
+//! executable Spoiler strategy; the surviving family is an executable
+//! Duplicator strategy ([`crate::play`]).
+//!
+//! For fixed `k` the arena has `O((|A|·|B|)^k)` configurations and the
+//! whole computation is polynomial — this is Proposition 5.3.
+
+use kv_structures::hom::{extension_ok, respects_constants, TupleIndex};
+use kv_structures::{Element, HomKind, PartialMap, Structure};
+use std::collections::HashMap;
+
+/// Who wins the game.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Winner {
+    /// Player I of the paper.
+    Spoiler,
+    /// Player II of the paper.
+    Duplicator,
+}
+
+/// Why a configuration was deleted from the candidate family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeathReason {
+    /// The constant pairs themselves are not a partial homomorphism.
+    InvalidRoot,
+    /// Forth failure: pebbling this element of `A` defeats every reply.
+    Forth(Element),
+    /// A subfunction (the given configuration id) died; removing the
+    /// stored element's pebble exposes it.
+    Subfunction {
+        /// Id of the dead subfunction configuration.
+        parent: usize,
+        /// The domain element whose pebble the Spoiler should pick up.
+        drop: Element,
+    },
+}
+
+/// Arena entry for one configuration.
+#[derive(Debug)]
+struct Config {
+    /// The partial map, including the constant pairs.
+    map: PartialMap,
+    /// Number of non-constant pairs.
+    size: usize,
+    alive: bool,
+    death: Option<DeathReason>,
+    /// For each extension element `a`: (number of alive children, list of
+    /// `(b, child_id)` options). Present only for configs of size `< k`.
+    extensions: HashMap<Element, (u32, Vec<(Element, usize)>)>,
+    /// Edges to subfunction configs: `(parent_id, a)` meaning
+    /// `self = parent ∪ {(a, self.map(a))}`.
+    parents: Vec<(usize, Element)>,
+}
+
+/// A solved existential k-pebble game on a fixed pair of structures.
+#[derive(Debug)]
+pub struct ExistentialGame<'s> {
+    a: &'s Structure,
+    b: &'s Structure,
+    k: usize,
+    kind: HomKind,
+    configs: Vec<Config>,
+    by_map: HashMap<PartialMap, usize>,
+    /// Root configuration id, unless the constant map is already invalid.
+    root: Result<usize, DeathReason>,
+}
+
+impl<'s> ExistentialGame<'s> {
+    /// Builds the arena and solves the game. `kind` selects the one-to-one
+    /// game (Datalog(≠)/`L^ω`, Definition 4.3) or the plain-homomorphism
+    /// variant (Datalog, Remark 4.12(1)).
+    ///
+    /// ```
+    /// use kv_pebble::{ExistentialGame, Winner};
+    /// use kv_structures::generators::{two_crossing_paths, two_disjoint_paths};
+    /// use kv_structures::HomKind;
+    ///
+    /// // Example 4.5: the Spoiler separates disjoint from crossing paths.
+    /// let a = two_disjoint_paths(1);
+    /// let b = two_crossing_paths(1);
+    /// let game = ExistentialGame::solve(&a, &b, 3, HomKind::OneToOne);
+    /// assert_eq!(game.winner(), Winner::Spoiler);
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if the vocabularies differ or `k == 0`.
+    pub fn solve(a: &'s Structure, b: &'s Structure, k: usize, kind: HomKind) -> Self {
+        assert!(k >= 1, "at least one pebble");
+        assert_eq!(a.vocabulary(), b.vocabulary(), "vocabulary mismatch");
+        let index_a = TupleIndex::build(a);
+
+        // Root: the constant pairs.
+        let mut root_map = PartialMap::new();
+        let mut root_ok = true;
+        for (&ca, &cb) in a.constant_values().iter().zip(b.constant_values()) {
+            if let Some(existing) = root_map.get(ca) {
+                if existing != cb {
+                    root_ok = false;
+                    break;
+                }
+                continue;
+            }
+            if !extension_ok(&root_map, ca, cb, &index_a, b, kind) {
+                root_ok = false;
+                break;
+            }
+            root_map.insert(ca, cb);
+        }
+        if !root_ok {
+            return Self {
+                a,
+                b,
+                k,
+                kind,
+                configs: Vec::new(),
+                by_map: HashMap::new(),
+                root: Err(DeathReason::InvalidRoot),
+            };
+        }
+        debug_assert!(respects_constants(&root_map, a, b));
+        let root_size = 0usize; // constant pairs do not count toward k
+
+        let mut configs: Vec<Config> = Vec::new();
+        let mut by_map: HashMap<PartialMap, usize> = HashMap::new();
+        configs.push(Config {
+            map: root_map.clone(),
+            size: root_size,
+            alive: true,
+            death: None,
+            extensions: HashMap::new(),
+            parents: Vec::new(),
+        });
+        by_map.insert(root_map, 0);
+
+        // Level-by-level generation of all valid configurations.
+        let mut frontier: Vec<usize> = vec![0];
+        for level in 0..k {
+            let mut next_frontier: Vec<usize> = Vec::new();
+            for &fid in &frontier {
+                let fmap = configs[fid].map.clone();
+                for ax in a.elements() {
+                    if fmap.contains_domain(ax) {
+                        continue;
+                    }
+                    let mut options: Vec<(Element, usize)> = Vec::new();
+                    for bx in b.elements() {
+                        if !extension_ok(&fmap, ax, bx, &index_a, b, kind) {
+                            continue;
+                        }
+                        let child_map = fmap.extended(ax, bx);
+                        let child_id = *by_map.entry(child_map.clone()).or_insert_with(|| {
+                            configs.push(Config {
+                                map: child_map,
+                                size: level + 1,
+                                alive: true,
+                                death: None,
+                                extensions: HashMap::new(),
+                                parents: Vec::new(),
+                            });
+                            next_frontier.push(configs.len() - 1);
+                            configs.len() - 1
+                        });
+                        configs[child_id].parents.push((fid, ax));
+                        options.push((bx, child_id));
+                    }
+                    let count = options.len() as u32;
+                    configs[fid].extensions.insert(ax, (count, options));
+                }
+            }
+            frontier = next_frontier;
+        }
+
+        let mut game = Self {
+            a,
+            b,
+            k,
+            kind,
+            configs,
+            by_map,
+            root: Ok(0),
+        };
+        game.run_deletion();
+        game
+    }
+
+    /// The deletion fixpoint: kill forth-failures, propagate.
+    fn run_deletion(&mut self) {
+        let mut queue: Vec<usize> = Vec::new();
+        // Seed: size < k configs with an inextensible element.
+        for id in 0..self.configs.len() {
+            if self.configs[id].size < self.k {
+                let bad = self.configs[id]
+                    .extensions
+                    .iter()
+                    .find(|(_, (count, _))| *count == 0)
+                    .map(|(&a, _)| a);
+                if let Some(a) = bad {
+                    self.kill(id, DeathReason::Forth(a), &mut queue);
+                }
+            }
+        }
+        while let Some(dead) = queue.pop() {
+            // Closure: every extension of a dead config dies.
+            let children: Vec<(Element, usize)> = self.configs[dead]
+                .extensions
+                .values()
+                .flat_map(|(_, opts)| opts.iter().copied())
+                .collect();
+            for (_, child) in children {
+                if self.configs[child].alive {
+                    // The child should drop the pebble it has but `dead`
+                    // lacks.
+                    let drop = self.configs[child]
+                        .parents
+                        .iter()
+                        .find(|&&(p, _)| p == dead)
+                        .map(|&(_, a)| a)
+                        .expect("child links back to parent");
+                    self.kill(
+                        child,
+                        DeathReason::Subfunction { parent: dead, drop },
+                        &mut queue,
+                    );
+                }
+            }
+            // Forth bookkeeping: parents lose one option for the element.
+            let parents = self.configs[dead].parents.clone();
+            for (pid, a) in parents {
+                if !self.configs[pid].alive {
+                    continue;
+                }
+                let exhausted = {
+                    let entry = self.configs[pid]
+                        .extensions
+                        .get_mut(&a)
+                        .expect("parent has extension entry");
+                    entry.0 -= 1;
+                    entry.0 == 0
+                };
+                if exhausted {
+                    self.kill(pid, DeathReason::Forth(a), &mut queue);
+                }
+            }
+        }
+    }
+
+    fn kill(&mut self, id: usize, reason: DeathReason, queue: &mut Vec<usize>) {
+        let c = &mut self.configs[id];
+        if !c.alive {
+            return;
+        }
+        c.alive = false;
+        c.death = Some(reason);
+        queue.push(id);
+    }
+
+    /// The winner (Theorem 4.8: Duplicator wins iff the family is
+    /// nonempty, i.e. the root survives).
+    pub fn winner(&self) -> Winner {
+        match self.root {
+            Ok(root) if self.configs[root].alive => Winner::Duplicator,
+            _ => Winner::Spoiler,
+        }
+    }
+
+    /// Pebble budget `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Homomorphism notion in use.
+    pub fn kind(&self) -> HomKind {
+        self.kind
+    }
+
+    /// Left structure.
+    pub fn structure_a(&self) -> &Structure {
+        self.a
+    }
+
+    /// Right structure.
+    pub fn structure_b(&self) -> &Structure {
+        self.b
+    }
+
+    /// Total number of configurations in the arena (benchmark metric).
+    pub fn arena_size(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Number of surviving configurations — the size of the maximal family
+    /// `H` of Definition 4.7 (0 when the Spoiler wins).
+    pub fn family_size(&self) -> usize {
+        self.configs.iter().filter(|c| c.alive).count()
+    }
+
+    /// Looks a configuration up by its partial map (including constant
+    /// pairs). Returns its id if the map is a valid configuration.
+    pub fn config_id(&self, map: &PartialMap) -> Option<usize> {
+        self.by_map.get(map).copied()
+    }
+
+    /// Whether configuration `id` survived (is in the maximal family).
+    pub fn is_alive(&self, id: usize) -> bool {
+        self.configs[id].alive
+    }
+
+    /// The partial map of configuration `id`.
+    pub fn config_map(&self, id: usize) -> &PartialMap {
+        &self.configs[id].map
+    }
+
+    /// Death reason of configuration `id`, if dead. For the root-invalid
+    /// case use [`root_invalid`](Self::root_invalid).
+    pub fn death(&self, id: usize) -> Option<DeathReason> {
+        self.configs[id].death
+    }
+
+    /// Whether the game was lost before it began (constants do not map).
+    pub fn root_invalid(&self) -> bool {
+        self.root.is_err()
+    }
+
+    /// Duplicator's reply from configuration `id` when the Spoiler pebbles
+    /// element `a` of `A`: some `b` whose extension survives, if any.
+    /// Returns the pair `(b, child_id)`.
+    pub fn duplicator_reply(&self, id: usize, a: Element) -> Option<(Element, usize)> {
+        if let Some(b) = self.configs[id].map.get(a) {
+            // Element already pebbled: the only consistent reply.
+            return Some((b, id));
+        }
+        self.configs[id]
+            .extensions
+            .get(&a)?
+            .1
+            .iter()
+            .find(|&&(_, child)| self.configs[child].alive)
+            .copied()
+    }
+
+    /// The child configuration reached by extending `id` with `(a, b)`,
+    /// dead or alive; `None` if the extension is not even a partial
+    /// homomorphism.
+    pub fn child(&self, id: usize, a: Element, b: Element) -> Option<usize> {
+        if self.configs[id].map.get(a) == Some(b) {
+            return Some(id);
+        }
+        self.configs[id]
+            .extensions
+            .get(&a)?
+            .1
+            .iter()
+            .find(|&&(bb, _)| bb == b)
+            .map(|&(_, child)| child)
+    }
+
+    /// The subfunction configuration reached from `id` by removing the
+    /// pebble on domain element `a` (a no-op id if `a` is a constant or
+    /// unpebbled).
+    pub fn drop_pebble(&self, id: usize, a: Element) -> usize {
+        for &(pid, pa) in &self.configs[id].parents {
+            if pa == a {
+                return pid;
+            }
+        }
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kv_structures::generators::{
+        directed_path, two_crossing_paths, two_disjoint_paths,
+    };
+    use kv_structures::HomKind;
+
+    /// Example 4.4: short path into long path — Duplicator wins for all k.
+    #[test]
+    fn example_4_4_short_into_long() {
+        let a = directed_path(4);
+        let b = directed_path(7);
+        for k in 1..=3 {
+            let g = ExistentialGame::solve(&a, &b, k, HomKind::OneToOne);
+            assert_eq!(g.winner(), Winner::Duplicator, "k = {k}");
+            assert!(g.family_size() > 0);
+        }
+    }
+
+    /// Example 4.4: long path into short path — Spoiler wins with 2 pebbles
+    /// (but not with 1).
+    #[test]
+    fn example_4_4_long_into_short() {
+        let a = directed_path(7);
+        let b = directed_path(4);
+        let g1 = ExistentialGame::solve(&a, &b, 1, HomKind::OneToOne);
+        assert_eq!(g1.winner(), Winner::Duplicator, "one pebble is blind");
+        let g2 = ExistentialGame::solve(&a, &b, 2, HomKind::OneToOne);
+        assert_eq!(g2.winner(), Winner::Spoiler);
+        let g3 = ExistentialGame::solve(&a, &b, 3, HomKind::OneToOne);
+        assert_eq!(g3.winner(), Winner::Spoiler);
+    }
+
+    /// Example 4.5: two disjoint paths vs two crossing paths — the paper
+    /// exhibits a Spoiler win with 3 pebbles; the solver confirms it (and
+    /// sharpens the example: 2 pebbles already suffice, because the
+    /// crossing structure has a single node with both in- and out-degree,
+    /// while the disjoint structure has two non-adjacent ones — the
+    /// Spoiler walks a second pebble to the missing neighbour). With a
+    /// single pebble the Duplicator survives.
+    #[test]
+    fn example_4_5_disjoint_vs_crossing() {
+        for n in 1..=2usize {
+            let a = two_disjoint_paths(n);
+            let b = two_crossing_paths(n);
+            let g1 = ExistentialGame::solve(&a, &b, 1, HomKind::OneToOne);
+            assert_eq!(g1.winner(), Winner::Duplicator, "n = {n}, k = 1");
+            let g2 = ExistentialGame::solve(&a, &b, 2, HomKind::OneToOne);
+            assert_eq!(g2.winner(), Winner::Spoiler, "n = {n}, k = 2");
+            let g3 = ExistentialGame::solve(&a, &b, 3, HomKind::OneToOne);
+            assert_eq!(g3.winner(), Winner::Spoiler, "n = {n}, k = 3");
+        }
+    }
+
+    /// The game relation is not symmetric (Example 4.4 discussion).
+    #[test]
+    fn asymmetry() {
+        let a = directed_path(3);
+        let b = directed_path(5);
+        let fwd = ExistentialGame::solve(&a, &b, 2, HomKind::OneToOne);
+        let bwd = ExistentialGame::solve(&b, &a, 2, HomKind::OneToOne);
+        assert_eq!(fwd.winner(), Winner::Duplicator);
+        assert_eq!(bwd.winner(), Winner::Spoiler);
+    }
+
+    /// With constants pinned incompatibly, the Spoiler wins before moving.
+    #[test]
+    fn invalid_root_loses_immediately() {
+        let mut ga = kv_structures::generators::directed_path_graph(2);
+        ga.set_distinguished(vec![0, 1]);
+        let mut gb = kv_structures::generators::directed_path_graph(2);
+        gb.set_distinguished(vec![1, 0]); // edge reversed w.r.t. constants
+        let a = ga.to_structure();
+        let b = gb.to_structure();
+        let g = ExistentialGame::solve(&a, &b, 2, HomKind::OneToOne);
+        assert!(g.root_invalid());
+        assert_eq!(g.winner(), Winner::Spoiler);
+    }
+
+    /// Identity game: Duplicator always wins on identical structures.
+    #[test]
+    fn identity_game() {
+        let a = two_crossing_paths(2);
+        for k in 1..=3 {
+            let g = ExistentialGame::solve(&a, &a, k, HomKind::OneToOne);
+            assert_eq!(g.winner(), Winner::Duplicator, "k = {k}");
+        }
+    }
+
+    /// Datalog variant: a cycle maps homomorphically onto a shorter cycle
+    /// whose length divides it, so the Duplicator survives the plain-hom
+    /// game for every k, while the one-to-one game with 3 pebbles is lost
+    /// (three pebbled cycle nodes need three distinct images in a 2-cycle).
+    /// With only 2 pebbles even the one-to-one game is survivable — the
+    /// Duplicator leapfrogs the two images around the short cycle.
+    #[test]
+    fn homomorphism_variant_collapses_cycles() {
+        let a = kv_structures::generators::directed_cycle(4);
+        let b = kv_structures::generators::directed_cycle(2);
+        let plain = ExistentialGame::solve(&a, &b, 3, HomKind::Homomorphism);
+        assert_eq!(plain.winner(), Winner::Duplicator);
+        let strict2 = ExistentialGame::solve(&a, &b, 2, HomKind::OneToOne);
+        assert_eq!(strict2.winner(), Winner::Duplicator);
+        let strict3 = ExistentialGame::solve(&a, &b, 3, HomKind::OneToOne);
+        assert_eq!(strict3.winner(), Winner::Spoiler);
+    }
+
+    /// Duplicator replies from the solved family are always alive children.
+    #[test]
+    fn duplicator_reply_consistency() {
+        let a = directed_path(3);
+        let b = directed_path(6);
+        let g = ExistentialGame::solve(&a, &b, 2, HomKind::OneToOne);
+        let root = g.config_id(&PartialMap::new()).unwrap();
+        for ax in a.elements() {
+            let (bx, child) = g.duplicator_reply(root, ax).expect("reply exists");
+            assert!(g.is_alive(child));
+            assert_eq!(g.config_map(child).get(ax), Some(bx));
+        }
+    }
+
+    /// Spoiler's recorded death reasons form a coherent winning recipe on a
+    /// lost game: following Forth/Subfunction hints never dead-ends.
+    #[test]
+    fn spoiler_death_reasons_traceable() {
+        let a = directed_path(7);
+        let b = directed_path(4);
+        let g = ExistentialGame::solve(&a, &b, 2, HomKind::OneToOne);
+        let root = g.config_id(&PartialMap::new()).unwrap();
+        assert!(!g.is_alive(root));
+        // Walk one level of the recipe.
+        match g.death(root).unwrap() {
+            DeathReason::Forth(ax) => {
+                // Every reply leads to a dead or invalid config.
+                for bx in b.elements() {
+                    if let Some(child) = g.child(root, ax, bx) {
+                        assert!(!g.is_alive(child));
+                    }
+                }
+            }
+            other => panic!("root of fresh game should die by forth, got {other:?}"),
+        }
+    }
+
+    /// Arena sizes stay polynomial-ish and deterministic.
+    #[test]
+    fn arena_size_reported() {
+        let a = directed_path(4);
+        let b = directed_path(5);
+        let g = ExistentialGame::solve(&a, &b, 2, HomKind::OneToOne);
+        assert!(g.arena_size() > 1);
+        assert!(g.family_size() <= g.arena_size());
+    }
+}

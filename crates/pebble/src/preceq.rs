@@ -1,0 +1,171 @@
+//! The relation `≼^k` (Definition 4.1) and the Theorem 4.8 / 4.10 bridge.
+//!
+//! `A ≼^k B` iff every `L^k` sentence true in `A` is true in `B`, iff the
+//! Duplicator wins the existential k-pebble game on `(A, B)` — which is how
+//! [`preceq`] decides it. Tuple-expanded variants
+//! `(A, a⃗) ≼^k (B, b⃗)` are expressed by adding constants to the
+//! vocabulary (the distinguished-node convention of Section 6).
+
+use crate::game::{ExistentialGame, Winner};
+use kv_structures::{HomKind, Structure};
+
+/// Decides `A ≼^k B` via the existential k-pebble game (Theorem 4.8).
+///
+/// ```
+/// use kv_pebble::preceq;
+/// use kv_structures::generators::directed_path;
+///
+/// // A short path embeds into a long one, so every existential-positive
+/// // sentence transfers (Example 4.4)…
+/// assert!(preceq(&directed_path(3), &directed_path(8), 2));
+/// // …but not the other way: two pebbles walk off the short path's end.
+/// assert!(!preceq(&directed_path(8), &directed_path(3), 2));
+/// ```
+pub fn preceq(a: &Structure, b: &Structure, k: usize) -> bool {
+    ExistentialGame::solve(a, b, k, HomKind::OneToOne).winner() == Winner::Duplicator
+}
+
+/// The inequality-free variant (Remark 4.12(1)): preservation of
+/// inequality-free `L^k` sentences, decided by the plain-homomorphism game.
+pub fn preceq_datalog(a: &Structure, b: &Structure, k: usize) -> bool {
+    ExistentialGame::solve(a, b, k, HomKind::Homomorphism).winner() == Winner::Duplicator
+}
+
+/// An inexpressibility witness in the sense of Theorem 4.10: a pair
+/// `(A_k, B_k)` with `A_k ∈ Q`, `B_k ∉ Q`, and `A_k ≼^k B_k`. Producing
+/// one for every `k` proves `Q ∉ L^ω` (and a fortiori `Q` is not
+/// Datalog(≠)-expressible).
+#[derive(Debug)]
+pub struct Witness {
+    /// The structure satisfying the query.
+    pub yes: Structure,
+    /// The structure violating the query.
+    pub no: Structure,
+    /// The pebble count for which `yes ≼^k no`.
+    pub k: usize,
+}
+
+impl Witness {
+    /// Verifies the game half of the witness: `yes ≼^k no`. (The query
+    /// membership halves are domain-specific and checked by callers.)
+    pub fn verify_game(&self) -> bool {
+        preceq(&self.yes, &self.no, self.k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::game::{ExistentialGame, Winner};
+    use kv_logic::builders::path_formula;
+    use kv_logic::eval::eval_closed;
+    use kv_logic::formula::{Formula, Var};
+    use kv_structures::generators::{
+        directed_cycle, directed_path, random_digraph, two_crossing_paths, two_disjoint_paths,
+    };
+    use kv_structures::RelId;
+
+    const E: RelId = RelId(0);
+
+    #[test]
+    fn preceq_is_reflexive_and_transitive_on_samples() {
+        let structures = [
+            directed_path(3),
+            directed_path(5),
+            directed_cycle(4),
+            two_disjoint_paths(1),
+        ];
+        for s in &structures {
+            assert!(preceq(s, s, 2), "reflexivity");
+        }
+        // Transitivity spot check: path3 ≼² path5 ≼² path8 ⇒ path3 ≼² path8.
+        let (p3, p5, p8) = (directed_path(3), directed_path(5), directed_path(8));
+        assert!(preceq(&p3, &p5, 2));
+        assert!(preceq(&p5, &p8, 2));
+        assert!(preceq(&p3, &p8, 2));
+    }
+
+    #[test]
+    fn preceq_is_not_symmetric() {
+        let (p3, p5) = (directed_path(3), directed_path(5));
+        assert!(preceq(&p3, &p5, 2));
+        assert!(!preceq(&p5, &p3, 2));
+    }
+
+    /// The defining property, sampled: if A ≼^k B then every width-≤k
+    /// existential-positive sentence true in A holds in B (here: closed
+    /// path formulas ∃x∃y p_n(x, y), width 3).
+    #[test]
+    fn sentence_preservation_sampled_k3() {
+        for seed in 0..6 {
+            let a = random_digraph(5, 0.3, 200 + seed).to_structure();
+            let b = random_digraph(5, 0.3, 300 + seed).to_structure();
+            let rel = preceq(&a, &b, 3);
+            let mut all_preserved = true;
+            for n in 1..=6 {
+                // ∃v0 ∃v1 p_n(v0, v1): "some walk of length n exists".
+                let sentence =
+                    Formula::exists_many([Var(0), Var(1)], path_formula(E, n));
+                assert!(sentence.width() <= 3);
+                let in_a = eval_closed(&sentence, &a);
+                let in_b = eval_closed(&sentence, &b);
+                if in_a && !in_b {
+                    all_preserved = false;
+                }
+            }
+            if rel {
+                assert!(
+                    all_preserved,
+                    "A ≼³ B but a width-3 sentence is not preserved (seed {seed})"
+                );
+            }
+            // (The converse need not hold for this small sample of
+            // sentences, so nothing is asserted when `rel` is false.)
+        }
+    }
+
+    /// Proposition 5.4's easy direction: a one-to-one homomorphism from A
+    /// into B hands the Duplicator a win for every k.
+    #[test]
+    fn embedding_implies_preceq_all_k() {
+        let a = directed_path(3);
+        let b = directed_path(9);
+        for k in 1..=3 {
+            assert!(preceq(&a, &b, k), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn datalog_variant_is_coarser() {
+        // C4 -> C2: plain-homomorphism preservation holds for every k,
+        // one-to-one fails from 3 pebbles on.
+        let c4 = directed_cycle(4);
+        let c2 = directed_cycle(2);
+        assert!(preceq_datalog(&c4, &c2, 3));
+        assert!(!preceq(&c4, &c2, 3));
+    }
+
+    #[test]
+    fn witness_object_checks_game_half() {
+        let w = Witness {
+            yes: two_disjoint_paths(1),
+            no: two_crossing_paths(1),
+            k: 1,
+        };
+        assert!(w.verify_game());
+        let w3 = Witness {
+            yes: two_disjoint_paths(1),
+            no: two_crossing_paths(1),
+            k: 3,
+        };
+        assert!(!w3.verify_game(), "Example 4.5: Spoiler wins with 3 pebbles");
+    }
+
+    #[test]
+    fn winner_consistency_between_apis() {
+        let a = directed_path(4);
+        let b = directed_path(6);
+        let g = ExistentialGame::solve(&a, &b, 2, kv_structures::HomKind::OneToOne);
+        assert_eq!(g.winner() == Winner::Duplicator, preceq(&a, &b, 2));
+    }
+}

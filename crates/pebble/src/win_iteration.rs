@@ -1,0 +1,240 @@
+//! Proposition 5.3, literally: the `Win_k(A, B, c, m)` value iteration.
+//!
+//! The paper's proof decides the game by computing, for increasing `m`,
+//! whether Player I can win from configuration `c` within `m` rounds, up
+//! to the configuration-count bound `(n + 1)^{2k}`. This module implements
+//! that algorithm directly (as an *ablation* partner for the
+//! deletion-fixpoint solver in [`crate::game`], which computes the same
+//! winner by running the co-induction the other way). The two are
+//! differential-tested against each other; the fixpoint solver is the one
+//! with strategy extraction and is what everything else uses.
+//!
+//! Configurations are set-based partial maps (the constant pairs are
+//! implicit): a Spoiler move either *removes* one pebbled pair or *places*
+//! a pebble on an element `a` of `A`, whereupon the Duplicator must choose
+//! an image `b`; if no choice yields a valid configuration the Duplicator
+//! loses immediately.
+
+use kv_structures::hom::{extension_ok, TupleIndex};
+use kv_structures::{HomKind, PartialMap, Structure};
+use std::collections::HashMap;
+
+use crate::game::Winner;
+
+/// Decides the existential k-pebble game by the paper's bounded win
+/// recursion. Returns the winner and the number of value-iteration rounds
+/// until stabilization.
+pub fn solve_by_win_iteration(
+    a: &Structure,
+    b: &Structure,
+    k: usize,
+    kind: HomKind,
+) -> (Winner, usize) {
+    let (winner, rounds, _) = solve_with_verdicts(a, b, k, kind);
+    (winner, rounds)
+}
+
+/// Like [`solve_by_win_iteration`], additionally returning the per-position
+/// verdict: `true` iff the **Spoiler** wins from that configuration. The
+/// complement of the Spoiler-won set is exactly the maximal family of
+/// Definition 4.7 — cross-checked against the deletion-fixpoint solver in
+/// integration tests.
+pub fn solve_with_verdicts(
+    a: &Structure,
+    b: &Structure,
+    k: usize,
+    kind: HomKind,
+) -> (Winner, usize, HashMap<PartialMap, bool>) {
+    assert!(k >= 1);
+    assert_eq!(a.vocabulary(), b.vocabulary());
+    let index_a = TupleIndex::build(a);
+
+    // Root configuration from the constants.
+    let mut root = PartialMap::new();
+    for (&ca, &cb) in a.constant_values().iter().zip(b.constant_values()) {
+        if root.get(ca) == Some(cb) {
+            continue;
+        }
+        if !extension_ok(&root, ca, cb, &index_a, b, kind) {
+            return (Winner::Spoiler, 0, HashMap::new());
+        }
+        root.insert(ca, cb);
+    }
+    let constant_count = root.len();
+
+    // Enumerate all valid configurations level by level.
+    let mut all: Vec<PartialMap> = vec![root.clone()];
+    let mut ids: HashMap<PartialMap, usize> = HashMap::new();
+    ids.insert(root.clone(), 0);
+    let mut frontier = vec![0usize];
+    for _ in 0..k {
+        let mut next = Vec::new();
+        for &fid in &frontier {
+            let f = all[fid].clone();
+            for ax in a.elements() {
+                if f.contains_domain(ax) {
+                    continue;
+                }
+                for bx in b.elements() {
+                    if extension_ok(&f, ax, bx, &index_a, b, kind) {
+                        let child = f.extended(ax, bx);
+                        if !ids.contains_key(&child) {
+                            ids.insert(child.clone(), all.len());
+                            next.push(all.len());
+                            all.push(child);
+                        }
+                    }
+                }
+            }
+        }
+        frontier = next;
+    }
+
+    // Value iteration: spoiler_wins[c] = Player I wins from c within the
+    // current round bound. Iterate to stability (bounded by |configs|).
+    let n_configs = all.len();
+    let mut spoiler_wins = vec![false; n_configs];
+    let mut rounds = 0usize;
+    loop {
+        rounds += 1;
+        let mut changed = false;
+        for id in 0..n_configs {
+            if spoiler_wins[id] {
+                continue;
+            }
+            let f = &all[id];
+            let size = f.len() - constant_count;
+            // Move 1: remove a pebble (only helpful if the smaller config
+            // is Spoiler-won).
+            let mut wins = false;
+            for &(ax, _) in f.pairs() {
+                // Skip constant pairs: they are never pebbles. A constant
+                // pair's domain element may coincide with a pebbled one;
+                // removing the pebble then leaves the pair in place, a
+                // no-op we can ignore.
+                if is_constant_pair(a, ax) {
+                    continue;
+                }
+                let smaller = f.without(ax);
+                if spoiler_wins[ids[&smaller]] {
+                    wins = true;
+                    break;
+                }
+            }
+            // Move 2: place a pebble (if one is free): wins if EVERY valid
+            // reply is Spoiler-won (no valid reply = immediate win).
+            if !wins && size < k {
+                'place: for ax in a.elements() {
+                    if f.contains_domain(ax) {
+                        continue;
+                    }
+                    let mut all_bad = true;
+                    for bx in b.elements() {
+                        if extension_ok(f, ax, bx, &index_a, b, kind) {
+                            let child = f.extended(ax, bx);
+                            if !spoiler_wins[ids[&child]] {
+                                all_bad = false;
+                                break;
+                            }
+                        }
+                    }
+                    if all_bad {
+                        wins = true;
+                        break 'place;
+                    }
+                }
+            }
+            if wins {
+                spoiler_wins[id] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let winner = if spoiler_wins[ids[&root]] {
+        Winner::Spoiler
+    } else {
+        Winner::Duplicator
+    };
+    let verdicts = ids
+        .into_iter()
+        .map(|(map, id)| (map, spoiler_wins[id]))
+        .collect();
+    (winner, rounds, verdicts)
+}
+
+fn is_constant_pair(a: &Structure, ax: kv_structures::Element) -> bool {
+    a.constant_values().contains(&ax)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::game::ExistentialGame;
+    use kv_structures::generators::{
+        directed_path, random_digraph, two_crossing_paths, two_disjoint_paths,
+    };
+
+    #[test]
+    fn agrees_with_fixpoint_solver_on_paths() {
+        for (m, n, k) in [(3usize, 6usize, 2usize), (6, 3, 2), (4, 4, 2), (5, 7, 3)] {
+            let a = directed_path(m);
+            let b = directed_path(n);
+            let (winner, _) = solve_by_win_iteration(&a, &b, k, HomKind::OneToOne);
+            let fixpoint = ExistentialGame::solve(&a, &b, k, HomKind::OneToOne).winner();
+            assert_eq!(winner, fixpoint, "P{m} -> P{n}, k={k}");
+        }
+    }
+
+    #[test]
+    fn agrees_on_example_4_5() {
+        let a = two_disjoint_paths(1);
+        let b = two_crossing_paths(1);
+        for k in 1..=3 {
+            let (winner, _) = solve_by_win_iteration(&a, &b, k, HomKind::OneToOne);
+            let fixpoint = ExistentialGame::solve(&a, &b, k, HomKind::OneToOne).winner();
+            assert_eq!(winner, fixpoint, "k={k}");
+        }
+    }
+
+    #[test]
+    fn agrees_on_random_pairs_both_kinds() {
+        for seed in 0..12 {
+            let a = random_digraph(5, 0.3, 5000 + seed).to_structure();
+            let b = random_digraph(5, 0.3, 6000 + seed).to_structure();
+            for kind in [HomKind::OneToOne, HomKind::Homomorphism] {
+                let (winner, _) = solve_by_win_iteration(&a, &b, 2, kind);
+                let fixpoint = ExistentialGame::solve(&a, &b, 2, kind).winner();
+                assert_eq!(winner, fixpoint, "seed {seed}, kind {kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_constants() {
+        for seed in 0..8 {
+            let mut ga = random_digraph(5, 0.3, 7000 + seed);
+            ga.set_distinguished(vec![0, 4]);
+            let mut gb = random_digraph(5, 0.3, 7100 + seed);
+            gb.set_distinguished(vec![1, 3]);
+            let a = ga.to_structure();
+            let b = gb.to_structure();
+            let (winner, _) = solve_by_win_iteration(&a, &b, 2, HomKind::OneToOne);
+            let fixpoint = ExistentialGame::solve(&a, &b, 2, HomKind::OneToOne).winner();
+            assert_eq!(winner, fixpoint, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn round_count_is_small_in_practice() {
+        let a = directed_path(8);
+        let b = directed_path(4);
+        let (winner, rounds) = solve_by_win_iteration(&a, &b, 2, HomKind::OneToOne);
+        assert_eq!(winner, Winner::Spoiler);
+        // The bound in the paper is (n+1)^{2k}; stabilization is far
+        // faster (a handful of sweeps).
+        assert!(rounds <= 16, "rounds = {rounds}");
+    }
+}

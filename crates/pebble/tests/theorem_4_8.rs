@@ -1,0 +1,119 @@
+//! The maximal family of Definition 4.7, two independent ways.
+//!
+//! Theorem 4.8's winning families coincide with the set of positions from
+//! which the Duplicator can survive forever: the survivable set is closed
+//! under subfunctions (the Spoiler may lift pebbles) and has the forth
+//! property (the Spoiler may place one), and conversely any such family is
+//! a survival strategy. The deletion-fixpoint solver computes the family
+//! top-down; the paper's `Win_k` value iteration computes the
+//! Spoiler-winnable set bottom-up. They must be exact complements,
+//! configuration by configuration.
+//!
+//! (Note the subtlety this test originally tripped over: `(A, a⃗) ≼^k
+//! (B, b⃗)` of Definition 4.1 pins the tuple *within* the `k` variables —
+//! it is **not** the same as `≼^k` of the tuple-expanded structures, whose
+//! constants come for free on top of `k` fresh pebbles. A full-size
+//! configuration like `{0↦0, 2↦3}` of `P3 → P4` is survivable with `k = 2`
+//! — the Spoiler must lift a pebble before probing the midpoint — even
+//! though the expanded structures violate a two-variable sentence with
+//! both constants pinned.)
+
+use kv_pebble::win_iteration::solve_with_verdicts;
+use kv_pebble::ExistentialGame;
+use kv_structures::{Digraph, HomKind};
+
+fn families_complement(ga: Digraph, gb: Digraph, k: usize, kind: HomKind) {
+    let a = ga.to_structure();
+    let b = gb.to_structure();
+    let fixpoint = ExistentialGame::solve(&a, &b, k, kind);
+    let (winner, _, verdicts) = solve_with_verdicts(&a, &b, k, kind);
+    assert_eq!(winner, fixpoint.winner());
+    assert!(!verdicts.is_empty());
+    for (map, spoiler_wins) in &verdicts {
+        let id = fixpoint
+            .config_id(map)
+            .expect("both solvers enumerate the same configurations");
+        assert_eq!(
+            fixpoint.is_alive(id),
+            !spoiler_wins,
+            "solvers disagree on {map:?}"
+        );
+    }
+    // Same arena in both directions.
+    assert_eq!(verdicts.len(), fixpoint.arena_size());
+}
+
+#[test]
+fn family_complement_on_paths() {
+    let mut ga = Digraph::new(3);
+    ga.add_edge(0, 1);
+    ga.add_edge(1, 2);
+    let mut gb = Digraph::new(4);
+    gb.add_edge(0, 1);
+    gb.add_edge(1, 2);
+    gb.add_edge(2, 3);
+    families_complement(ga, gb, 2, HomKind::OneToOne);
+}
+
+#[test]
+fn family_complement_on_mixed_graphs() {
+    let mut ga = Digraph::new(3);
+    ga.add_edge(0, 1);
+    ga.add_edge(1, 2);
+    ga.add_edge(2, 0); // a 3-cycle
+    let mut gb = Digraph::new(3);
+    gb.add_edge(0, 1);
+    gb.add_edge(1, 2); // a path
+    families_complement(ga.clone(), gb.clone(), 2, HomKind::OneToOne);
+    families_complement(gb, ga, 2, HomKind::OneToOne);
+}
+
+#[test]
+fn family_complement_on_random_pairs_both_kinds() {
+    for seed in 0..6 {
+        let ga = kv_structures::generators::random_digraph(4, 0.4, 9000 + seed);
+        let gb = kv_structures::generators::random_digraph(4, 0.35, 9100 + seed);
+        for kind in [HomKind::OneToOne, HomKind::Homomorphism] {
+            families_complement(ga.clone(), gb.clone(), 2, kind);
+        }
+    }
+}
+
+#[test]
+fn family_complement_with_constants() {
+    let mut ga = kv_structures::generators::random_digraph(4, 0.4, 9500);
+    ga.set_distinguished(vec![0, 3]);
+    let mut gb = kv_structures::generators::random_digraph(5, 0.35, 9501);
+    gb.set_distinguished(vec![1, 4]);
+    families_complement(ga, gb, 2, HomKind::OneToOne);
+}
+
+/// The concrete subtlety from the module docs, pinned: the full-size
+/// configuration {0↦0, 2↦3} of P3 → P4 is *survivable* with two pebbles.
+#[test]
+fn full_size_configuration_survivable_despite_pinned_violation() {
+    let mut ga = Digraph::new(3);
+    ga.add_edge(0, 1);
+    ga.add_edge(1, 2);
+    let mut gb = Digraph::new(4);
+    gb.add_edge(0, 1);
+    gb.add_edge(1, 2);
+    gb.add_edge(2, 3);
+    let a = ga.to_structure();
+    let b = gb.to_structure();
+    let game = ExistentialGame::solve(&a, &b, 2, HomKind::OneToOne);
+    let map = kv_structures::PartialMap::from_pairs([(0, 0), (2, 3)]);
+    let id = game.config_id(&map).unwrap();
+    assert!(game.is_alive(id));
+    // Yet with the pair pinned as constants and two *fresh* pebbles, the
+    // Spoiler wins (he probes the midpoint with a pebble to spare): the
+    // two relations genuinely differ.
+    let mut ea = ga.clone();
+    ea.set_distinguished(vec![0, 2]);
+    let mut eb = gb.clone();
+    eb.set_distinguished(vec![0, 3]);
+    let sea = ea.to_structure();
+    let seb = eb.to_structure();
+    let expanded = ExistentialGame::solve(&sea, &seb, 2, HomKind::OneToOne);
+    assert_eq!(expanded.winner(), kv_pebble::Winner::Spoiler);
+}

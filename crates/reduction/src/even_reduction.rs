@@ -1,0 +1,343 @@
+//! Corollary 6.8: the even simple path query is not expressible in `L^ω`.
+//!
+//! The proof reduces *two node-disjoint paths* to *even simple path*:
+//! given `(G, s1, s2, s3, s4)`, the graph `G*` doubles every edge (each
+//! `u → v` becomes `u → w → v` with a fresh midpoint `w`), adds the edge
+//! `s2 → s3` and a fresh sink `t` with the edge `s4 → t`. Then `G` has
+//! node-disjoint `s1→s2` / `s3→s4` paths iff `G*` has a simple path of
+//! even length from `s1` to `t` — doubling makes every `G`-path
+//! even-length in `G*`, and the two odd extras (`s2→s3`, `s4→t`) force a
+//! genuine double crossing.
+
+use kv_structures::Digraph;
+
+/// The result of the `G ↦ G*` construction.
+#[derive(Debug, Clone)]
+pub struct EvenPathInstance {
+    /// The doubled graph.
+    pub graph: Digraph,
+    /// The source `s1` (carried over).
+    pub s1: u32,
+    /// The fresh sink `t`.
+    pub t: u32,
+    /// Midpoint node introduced for each original edge.
+    pub midpoints: Vec<(u32, u32, u32)>,
+}
+
+/// Builds `G*` from `(g, s1, s2, s3, s4)`.
+pub fn even_path_instance(g: &Digraph, s: [u32; 4]) -> EvenPathInstance {
+    let mut out = Digraph::new(g.node_count());
+    let mut midpoints = Vec::with_capacity(g.edge_count());
+    for (u, v) in g.edges() {
+        let w = out.add_node();
+        out.add_edge(u, w);
+        out.add_edge(w, v);
+        midpoints.push((u, v, w));
+    }
+    out.add_edge(s[1], s[2]);
+    let t = out.add_node();
+    out.add_edge(s[3], t);
+    EvenPathInstance {
+        graph: out,
+        s1: s[0],
+        t,
+        midpoints,
+    }
+}
+
+/// Transports a disjoint-paths witness of `G` into an even simple path of
+/// `G*` (the constructive direction).
+pub fn transport_witness(
+    instance: &EvenPathInstance,
+    p1: &[u32],
+    p2: &[u32],
+) -> Vec<u32> {
+    let double = |path: &[u32], out: &mut Vec<u32>| {
+        for w in path.windows(2) {
+            let mid = instance
+                .midpoints
+                .iter()
+                .find(|&&(u, v, _)| u == w[0] && v == w[1])
+                .map(|&(_, _, m)| m)
+                .expect("edge exists in the original graph");
+            out.push(mid);
+            out.push(w[1]);
+        }
+    };
+    let mut path = vec![p1[0]];
+    double(p1, &mut path);
+    path.push(p2[0]); // the s2 -> s3 edge
+    double(p2, &mut path);
+    path.push(instance.t); // the s4 -> t edge
+    path
+}
+
+/// The structures of Corollary 6.8's game argument: `(A*, s1, t)` and
+/// `(B*, s1, t)` built from a four-constant witness pair, with the
+/// bookkeeping needed to transport a Duplicator strategy.
+pub struct DoubledWitness {
+    /// `A*` as a structure over `{E/2, s1, t}`.
+    pub a: kv_structures::Structure,
+    /// `B*` likewise.
+    pub b: kv_structures::Structure,
+    a_inst: EvenPathInstance,
+    b_inst: EvenPathInstance,
+    /// Number of original nodes in A (midpoints and t follow).
+    a_old: usize,
+    b_old: usize,
+}
+
+impl DoubledWitness {
+    /// Applies the `G ↦ G*` construction to both sides of a witness pair
+    /// whose structures carry four constants `(s1, s2, s3, s4)`.
+    pub fn build(a: &kv_structures::Structure, b: &kv_structures::Structure) -> Self {
+        assert_eq!(a.constant_values().len(), 4);
+        assert_eq!(b.constant_values().len(), 4);
+        let ga = Digraph::from_structure(a);
+        let gb = Digraph::from_structure(b);
+        let ca: [u32; 4] = a.constant_values().try_into().unwrap();
+        let cb: [u32; 4] = b.constant_values().try_into().unwrap();
+        let a_inst = even_path_instance(&ga, ca);
+        let b_inst = even_path_instance(&gb, cb);
+        let vocab = std::sync::Arc::new(kv_structures::Vocabulary::graph_with_constants(2));
+        let to_structure = |inst: &EvenPathInstance| {
+            let mut g = inst.graph.clone();
+            g.set_distinguished(vec![inst.s1, inst.t]);
+            g.to_structure_with(std::sync::Arc::clone(&vocab))
+        };
+        Self {
+            a: to_structure(&a_inst),
+            b: to_structure(&b_inst),
+            a_old: ga.node_count(),
+            b_old: gb.node_count(),
+            a_inst,
+            b_inst,
+        }
+    }
+
+    fn classify_a(&self, v: u32) -> DoubledNode {
+        classify(&self.a_inst, self.a_old, v)
+    }
+
+    fn classify_b(&self, v: u32) -> DoubledNode {
+        classify(&self.b_inst, self.b_old, v)
+    }
+
+    fn b_midpoint(&self, u: u32, v: u32) -> Option<u32> {
+        self.b_inst
+            .midpoints
+            .iter()
+            .find(|&&(x, y, _)| x == u && y == v)
+            .map(|&(_, _, m)| m)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DoubledNode {
+    /// A node of the original graph.
+    Original(u32),
+    /// The midpoint of original edge `(u, v)`.
+    Midpoint(u32, u32),
+    /// The fresh sink `t`.
+    Sink,
+}
+
+fn classify(inst: &EvenPathInstance, old: usize, v: u32) -> DoubledNode {
+    if v == inst.t {
+        return DoubledNode::Sink;
+    }
+    if (v as usize) < old {
+        return DoubledNode::Original(v);
+    }
+    let (u, w, _) = inst.midpoints[(v as usize) - old];
+    DoubledNode::Midpoint(u, w)
+}
+
+/// Corollary 6.8's strategy transport: a Duplicator for the k-pebble game
+/// on `(A*, B*)` that consults an inner Duplicator for the 2k-pebble game
+/// on `(A, B)` — each `A*`-pebble on an original node costs one auxiliary
+/// pebble, each midpoint pebble costs two (its edge's endpoints), and the
+/// sink is mirrored directly.
+pub struct DoublingDuplicator<'w, D> {
+    /// The doubled structures.
+    pub witness: &'w DoubledWitness,
+    /// The inner strategy on the original pair (playing with `2k` slots).
+    pub inner: D,
+}
+
+impl<D: kv_pebble::play::DuplicatorStrategy> kv_pebble::play::DuplicatorStrategy
+    for DoublingDuplicator<'_, D>
+{
+    fn respond(
+        &mut self,
+        position: &kv_pebble::play::GamePosition,
+        slot: usize,
+        a: u32,
+    ) -> Option<u32> {
+        let w = self.witness;
+        // Reconstruct the auxiliary 2k-position from the doubled pairs.
+        let k = position.slots.len();
+        let mut aux = kv_pebble::play::GamePosition::new(2 * k);
+        for (i, s) in position.slots.iter().enumerate() {
+            let Some((pa, pb)) = s else { continue };
+            match (w.classify_a(*pa), w.classify_b(*pb)) {
+                (DoubledNode::Original(x), DoubledNode::Original(y)) => {
+                    aux.slots[2 * i] = Some((x, y));
+                }
+                (DoubledNode::Midpoint(x1, x2), DoubledNode::Midpoint(y1, y2)) => {
+                    aux.slots[2 * i] = Some((x1, y1));
+                    aux.slots[2 * i + 1] = Some((x2, y2));
+                }
+                (DoubledNode::Sink, DoubledNode::Sink) => {}
+                _ => return None, // incoherent position; concede
+            }
+        }
+        match w.classify_a(a) {
+            DoubledNode::Sink => Some(w.b_inst.t),
+            DoubledNode::Original(x) => {
+                let y = self.inner.respond(&aux, 2 * slot, x)?;
+                Some(y)
+            }
+            DoubledNode::Midpoint(x1, x2) => {
+                let y1 = self.inner.respond(&aux, 2 * slot, x1)?;
+                aux.slots[2 * slot] = Some((x1, y1));
+                let y2 = self.inner.respond(&aux, 2 * slot + 1, x2)?;
+                w.b_midpoint(y1, y2)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kv_homeo::even_path::even_simple_path;
+    use kv_homeo::{brute_force_homeomorphism, PatternSpec};
+    use kv_structures::generators::random_digraph;
+
+    fn two_disjoint(g: &Digraph, s: [u32; 4]) -> bool {
+        brute_force_homeomorphism(&PatternSpec::two_disjoint_edges(), g, &s)
+    }
+
+    #[test]
+    fn reduction_equivalence_on_random_graphs() {
+        for seed in 0..25 {
+            let g = random_digraph(7, 0.25, 3000 + seed);
+            let s = [0u32, 1, 2, 3];
+            let inst = even_path_instance(&g, s);
+            let left = two_disjoint(&g, s);
+            let right = even_simple_path(&inst.graph, inst.s1, inst.t);
+            assert_eq!(left, right, "seed {}", 3000 + seed);
+        }
+    }
+
+    #[test]
+    fn reduction_equivalence_on_denser_graphs() {
+        for seed in 0..10 {
+            let g = random_digraph(6, 0.45, 3100 + seed);
+            let s = [0u32, 1, 2, 3];
+            let inst = even_path_instance(&g, s);
+            assert_eq!(
+                two_disjoint(&g, s),
+                even_simple_path(&inst.graph, inst.s1, inst.t),
+                "seed {}",
+                3100 + seed
+            );
+        }
+    }
+
+    #[test]
+    fn witness_transport_produces_even_simple_path() {
+        // Hand instance with disjoint routes.
+        let mut g = Digraph::new(6);
+        g.add_edge(0, 4);
+        g.add_edge(4, 1);
+        g.add_edge(2, 5);
+        g.add_edge(5, 3);
+        let s = [0u32, 1, 2, 3];
+        let inst = even_path_instance(&g, s);
+        let path = transport_witness(&inst, &[0, 4, 1], &[2, 5, 3]);
+        // Check: simple, even length, endpoints s1 -> t, edges exist.
+        assert_eq!(path.first(), Some(&inst.s1));
+        assert_eq!(path.last(), Some(&inst.t));
+        assert_eq!((path.len() - 1) % 2, 0, "even length");
+        for w in path.windows(2) {
+            assert!(inst.graph.has_edge(w[0], w[1]), "{} -> {}", w[0], w[1]);
+        }
+        let mut sorted = path.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), path.len(), "simple");
+    }
+
+    #[test]
+    fn doubled_witness_separates_even_path_query() {
+        // From the Theorem 6.6 witness at k = 1: A* has an even simple
+        // path s1 → t (transported witness), and the base B has no
+        // disjoint paths so (by the reduction equivalence) B* has none.
+        let w = crate::thm66::Thm66Witness::new(1);
+        let d = DoubledWitness::build(&w.a, &w.b);
+        // A*: transport the trivial disjoint-path witness.
+        let ga = kv_structures::Digraph::from_structure(&w.a);
+        let ca = w.a.constant_values();
+        let top: Vec<u32> = (ca[0]..=ca[1]).collect();
+        let bottom: Vec<u32> = (ca[2]..=ca[3]).collect();
+        let inst = even_path_instance(&ga, [ca[0], ca[1], ca[2], ca[3]]);
+        let path = transport_witness(&inst, &top, &bottom);
+        assert_eq!((path.len() - 1) % 2, 0);
+        for e in path.windows(2) {
+            assert!(inst.graph.has_edge(e[0], e[1]));
+        }
+        let _ = d;
+    }
+
+    #[test]
+    fn doubling_duplicator_survives_random_spoilers() {
+        use kv_pebble::play::{play_game, RandomSpoiler};
+        use kv_pebble::Winner;
+        use kv_structures::HomKind;
+        // Inner: the Theorem 6.6 simulation strategy with 2k auxiliary
+        // pebbles; outer: the k-pebble game on (A*, B*).
+        let w = crate::thm66::Thm66Witness::new(2);
+        let d = DoubledWitness::build(&w.a, &w.b);
+        for (k, seeds) in [(1usize, 10u64), (2, 6)] {
+            for seed in 0..seeds {
+                let mut sp = RandomSpoiler::new(d.a.universe_size(), 77 + seed);
+                let mut dup = DoublingDuplicator {
+                    witness: &d,
+                    inner: w.duplicator(),
+                };
+                let outcome =
+                    play_game(&d.a, &d.b, k, HomKind::OneToOne, &mut sp, &mut dup, 250);
+                assert_eq!(outcome, Winner::Duplicator, "k={k} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn doubled_solver_agreement_small() {
+        // On the k=1 witness, the generic solver can decide the doubled
+        // game directly: the Duplicator must win with one pebble.
+        use kv_pebble::{ExistentialGame, Winner};
+        use kv_structures::HomKind;
+        let w = crate::thm66::Thm66Witness::new(1);
+        let d = DoubledWitness::build(&w.a, &w.b);
+        let g = ExistentialGame::solve(&d.a, &d.b, 1, HomKind::OneToOne);
+        assert_eq!(g.winner(), Winner::Duplicator);
+    }
+
+    #[test]
+    fn doubling_makes_original_edges_two_hops() {
+        let mut g = Digraph::new(2);
+        g.add_edge(0, 1);
+        let inst = even_path_instance(&g, [0, 1, 0, 1]);
+        assert!(!inst.graph.has_edge(0, 1) || {
+            // The only direct 0 -> 1 edge allowed is the s2 -> s3 extra,
+            // which here is 1 -> 0; so 0 -> 1 must be two hops.
+            false
+        });
+        let (_, _, mid) = inst.midpoints[0];
+        assert!(inst.graph.has_edge(0, mid));
+        assert!(inst.graph.has_edge(mid, 1));
+    }
+}

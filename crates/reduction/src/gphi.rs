@@ -1,0 +1,426 @@
+//! The reduction graph `G_φ` (Figures 2–6): SAT ⟶ two node-disjoint paths.
+//!
+//! For a CNF formula `φ`, `G_φ` contains one [`Switch`] per literal
+//! *occurrence*, chained via `d_i → b_{i+1}` and `a_i → c_{i-1}`;
+//! per-variable blocks whose two vertical columns thread the `q(g, h)`
+//! paths of that literal's switches; a clause block `n_0 → … → n_L` whose
+//! `j`-th segments are the `p(e, f)` paths of clause `j`'s switches; and
+//! four distinguished nodes wired so that
+//!
+//! > `φ` is satisfiable ⟺ `G_φ` has node-disjoint simple paths
+//! > `s1 → s2` and `s3 → s4`.
+//!
+//! The constructive direction is implemented exactly
+//! ([`GPhi::witness_paths`] builds the two paths from a satisfying
+//! assignment); the converse is checked by brute force on small formulas
+//! (experiment E11).
+
+use crate::switch::{Switch, SwitchPath};
+use kv_pebble::cnf::{CnfFormula, Lit};
+use kv_structures::Digraph;
+
+/// Metadata for one switch of the construction.
+#[derive(Debug, Clone)]
+pub struct SwitchInfo {
+    /// The embedded gadget.
+    pub switch: Switch,
+    /// The literal whose occurrence this switch realizes.
+    pub lit: Lit,
+    /// The clause containing the occurrence.
+    pub clause: usize,
+}
+
+/// The assembled reduction graph with full bookkeeping.
+#[derive(Debug, Clone)]
+pub struct GPhi {
+    /// The source formula.
+    pub formula: CnfFormula,
+    /// The graph.
+    pub graph: Digraph,
+    /// Distinguished nodes (also set as the graph's distinguished list).
+    pub s1: u32,
+    /// See [`GPhi::s1`].
+    pub s2: u32,
+    /// See [`GPhi::s1`].
+    pub s3: u32,
+    /// See [`GPhi::s1`].
+    pub s4: u32,
+    /// Switches in chain order.
+    pub switches: Vec<SwitchInfo>,
+    /// Top node `T_v` of each variable block.
+    pub var_tops: Vec<u32>,
+    /// Bottom node `B_v` of each variable block.
+    pub var_bottoms: Vec<u32>,
+    /// Clause block nodes `n_0, …, n_L`.
+    pub clause_nodes: Vec<u32>,
+    /// Per literal (indexed by [`Lit::index`]): its column's switch ids,
+    /// top to bottom.
+    pub columns: Vec<Vec<usize>>,
+    /// Per clause: the switch ids of its occurrences, in clause-literal
+    /// order.
+    pub clause_switches: Vec<Vec<usize>>,
+}
+
+impl GPhi {
+    /// Builds `G_φ`.
+    ///
+    /// ```
+    /// use kv_pebble::cnf::{clause, CnfFormula, Lit};
+    /// use kv_reduction::GPhi;
+    ///
+    /// // x1 ∧ ¬x1 — unsatisfiable, so no disjoint path pair exists.
+    /// let phi = CnfFormula::new(1, vec![clause([Lit::pos(0)]), clause([Lit::neg(0)])]);
+    /// let g = GPhi::build(phi);
+    /// assert_eq!(g.switch_count(), 2);
+    /// assert!(!g.has_two_disjoint_paths_brute());
+    /// ```
+    pub fn build(formula: CnfFormula) -> Self {
+        let vars = formula.var_count();
+        let mut graph = Digraph::new(4);
+        let (s1, s2, s3, s4) = (0u32, 1u32, 2u32, 3u32);
+
+        // 1. One switch per occurrence, in (clause, position) order.
+        let mut switches: Vec<SwitchInfo> = Vec::new();
+        let mut clause_switches: Vec<Vec<usize>> = Vec::new();
+        for (j, clause) in formula.clauses().iter().enumerate() {
+            let mut ids = Vec::new();
+            for &lit in clause {
+                let switch = Switch::add_to(&mut graph);
+                ids.push(switches.len());
+                switches.push(SwitchInfo {
+                    switch,
+                    lit,
+                    clause: j,
+                });
+            }
+            clause_switches.push(ids);
+        }
+        let n_switches = switches.len();
+
+        // 2. The switch chain: d_i -> b_{i+1}, a_i -> c_{i-1}.
+        for i in 0..n_switches.saturating_sub(1) {
+            graph.add_edge(switches[i].switch.d(), switches[i + 1].switch.b());
+            graph.add_edge(switches[i + 1].switch.a(), switches[i].switch.c());
+        }
+
+        // 3. Variable blocks with two columns each.
+        let mut var_tops = Vec::with_capacity(vars);
+        let mut var_bottoms = Vec::with_capacity(vars);
+        let mut columns: Vec<Vec<usize>> = vec![Vec::new(); 2 * vars];
+        for (id, info) in switches.iter().enumerate() {
+            columns[info.lit.index()].push(id);
+        }
+        for v in 0..vars {
+            let top = graph.add_node();
+            let bottom = graph.add_node();
+            var_tops.push(top);
+            var_bottoms.push(bottom);
+            for lit in [Lit::pos(v), Lit::neg(v)] {
+                let col = &columns[lit.index()];
+                if col.is_empty() {
+                    graph.add_edge(top, bottom);
+                    continue;
+                }
+                graph.add_edge(top, switches[col[0]].switch.g());
+                for w in col.windows(2) {
+                    graph.add_edge(switches[w[0]].switch.h(), switches[w[1]].switch.g());
+                }
+                graph.add_edge(switches[*col.last().unwrap()].switch.h(), bottom);
+            }
+            if v > 0 {
+                graph.add_edge(var_bottoms[v - 1], top);
+            }
+        }
+
+        // 4. Clause block.
+        let n_clauses = formula.clause_count();
+        let clause_nodes: Vec<u32> = (0..=n_clauses).map(|_| graph.add_node()).collect();
+        for (j, ids) in clause_switches.iter().enumerate() {
+            for &id in ids {
+                graph.add_edge(clause_nodes[j], switches[id].switch.e());
+                graph.add_edge(switches[id].switch.f(), clause_nodes[j + 1]);
+            }
+        }
+
+        // 5. Distinguished wiring.
+        if n_switches > 0 {
+            graph.add_edge(s1, switches[n_switches - 1].switch.c());
+            graph.add_edge(switches[0].switch.a(), s2);
+            graph.add_edge(s3, switches[0].switch.b());
+            if vars > 0 {
+                graph.add_edge(switches[n_switches - 1].switch.d(), var_tops[0]);
+            }
+        }
+        if vars > 0 {
+            graph.add_edge(var_bottoms[vars - 1], clause_nodes[0]);
+        }
+        graph.add_edge(clause_nodes[n_clauses], s4);
+        graph.set_distinguished(vec![s1, s2, s3, s4]);
+
+        Self {
+            formula,
+            graph,
+            s1,
+            s2,
+            s3,
+            s4,
+            switches,
+            var_tops,
+            var_bottoms,
+            clause_nodes,
+            columns,
+            clause_switches,
+        }
+    }
+
+    /// Number of switches.
+    pub fn switch_count(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// Constructs the node-disjoint witness paths from a satisfying
+    /// assignment (the easy direction of the reduction). Returns
+    /// `None` if the assignment does not satisfy the formula.
+    ///
+    /// Top path (`s1 → s2`): through `p(c,a)` of every switch whose
+    /// literal is true under the assignment, `q(c,a)` otherwise.
+    /// Bottom path (`s3 → s4`): `p(b,d)`/`q(b,d)` likewise, then for each
+    /// variable the column of the **false** literal, then each clause
+    /// segment via `p(e, f)` of a **true** occurrence.
+    pub fn witness_paths(&self, assignment: &[bool]) -> Option<(Vec<u32>, Vec<u32>)> {
+        if !self.formula.eval(assignment) {
+            return None;
+        }
+        let lit_true = |l: Lit| assignment[l.var] == l.positive;
+        let n = self.switch_count();
+        // Top path.
+        let mut top = vec![self.s1];
+        for i in (0..n).rev() {
+            let mode = if lit_true(self.switches[i].lit) {
+                SwitchPath::PCA
+            } else {
+                SwitchPath::QCA
+            };
+            top.extend(self.switches[i].switch.path_nodes(mode));
+        }
+        top.push(self.s2);
+        // Bottom path.
+        let mut bottom = vec![self.s3];
+        for info in &self.switches {
+            let mode = if lit_true(info.lit) {
+                SwitchPath::PBD
+            } else {
+                SwitchPath::QBD
+            };
+            bottom.extend(info.switch.path_nodes(mode));
+        }
+        #[allow(clippy::needless_range_loop)]
+        for v in 0..self.formula.var_count() {
+            bottom.push(self.var_tops[v]);
+            // Column of the false literal.
+            let false_lit = if assignment[v] { Lit::neg(v) } else { Lit::pos(v) };
+            for &id in &self.columns[false_lit.index()] {
+                bottom.extend(self.switches[id].switch.path_nodes(SwitchPath::QGH));
+            }
+            bottom.push(self.var_bottoms[v]);
+        }
+        for (j, clause) in self.formula.clauses().iter().enumerate() {
+            bottom.push(self.clause_nodes[j]);
+            let pos = clause.iter().position(|&l| lit_true(l))?;
+            let id = self.clause_switches[j][pos];
+            bottom.extend(self.switches[id].switch.path_nodes(SwitchPath::PEF));
+        }
+        bottom.push(*self.clause_nodes.last().unwrap());
+        bottom.push(self.s4);
+        Some((top, bottom))
+    }
+
+    /// Checks that `(p1, p2)` are node-disjoint simple paths `s1 → s2`
+    /// and `s3 → s4` along edges of the graph.
+    pub fn verify_witness(&self, p1: &[u32], p2: &[u32]) -> Result<(), String> {
+        let check_path = |p: &[u32], from: u32, to: u32| -> Result<(), String> {
+            if p.first() != Some(&from) || p.last() != Some(&to) {
+                return Err(format!("endpoints of {p:?} wrong"));
+            }
+            for w in p.windows(2) {
+                if !self.graph.has_edge(w[0], w[1]) {
+                    return Err(format!("missing edge {} -> {}", w[0], w[1]));
+                }
+            }
+            let mut sorted = p.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            if sorted.len() != p.len() {
+                return Err("path not simple".into());
+            }
+            Ok(())
+        };
+        check_path(p1, self.s1, self.s2)?;
+        check_path(p2, self.s3, self.s4)?;
+        for x in p1 {
+            if p2.contains(x) {
+                return Err(format!("paths share node {x}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Brute-force check for the hard direction: does the graph contain
+    /// two node-disjoint simple paths `s1 → s2`, `s3 → s4`? Exponential —
+    /// small formulas only.
+    pub fn has_two_disjoint_paths_brute(&self) -> bool {
+        kv_homeo::brute_force_homeomorphism(
+            &kv_pebble::PatternSpec::two_disjoint_edges(),
+            &self.graph,
+            &[self.s1, self.s2, self.s3, self.s4],
+        )
+    }
+
+    /// DOT rendering with human-readable switch/block labels (reproduces
+    /// the figures).
+    pub fn to_dot(&self, title: &str) -> String {
+        let names = |v: u32| -> Option<String> {
+            if v == self.s1 {
+                return Some("s1".into());
+            }
+            if v == self.s2 {
+                return Some("s2".into());
+            }
+            if v == self.s3 {
+                return Some("s3".into());
+            }
+            if v == self.s4 {
+                return Some("s4".into());
+            }
+            for (i, t) in self.var_tops.iter().enumerate() {
+                if *t == v {
+                    return Some(format!("T{}", i + 1));
+                }
+            }
+            for (i, b) in self.var_bottoms.iter().enumerate() {
+                if *b == v {
+                    return Some(format!("B{}", i + 1));
+                }
+            }
+            for (i, n) in self.clause_nodes.iter().enumerate() {
+                if *n == v {
+                    return Some(format!("n{i}"));
+                }
+            }
+            for (i, info) in self.switches.iter().enumerate() {
+                if info.switch.contains(v) {
+                    return Some(format!("S{i}:{}", v));
+                }
+            }
+            None
+        };
+        self.graph.to_dot(title, &names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kv_pebble::cnf::clause;
+
+    fn formula_x1_or_x1() -> CnfFormula {
+        // Figure 5's formula: a single clause (x1 ∨ x1)… our CnfFormula
+        // deduplicates nothing, so list the literal twice.
+        CnfFormula::new(1, vec![clause([Lit::pos(0), Lit::pos(0)])])
+    }
+
+    fn formula_x1_and_not_x1() -> CnfFormula {
+        // Figure 6's formula: x1 ∧ x̄1 — unsatisfiable.
+        CnfFormula::new(1, vec![clause([Lit::pos(0)]), clause([Lit::neg(0)])])
+    }
+
+    #[test]
+    fn construction_sizes() {
+        let g = GPhi::build(formula_x1_or_x1());
+        assert_eq!(g.switch_count(), 2);
+        // 4 distinguished + 2 switches + T/B + n0, n1.
+        assert_eq!(g.graph.node_count(), 4 + 64 + 2 + 2);
+        assert_eq!(g.columns[Lit::pos(0).index()].len(), 2);
+        assert_eq!(g.columns[Lit::neg(0).index()].len(), 0);
+    }
+
+    #[test]
+    fn witness_paths_verify_for_satisfiable() {
+        let g = GPhi::build(formula_x1_or_x1());
+        let (p1, p2) = g.witness_paths(&[true]).expect("x1=true satisfies");
+        g.verify_witness(&p1, &p2).expect("witness paths valid");
+        // x1 = false does not satisfy (both literals positive).
+        assert!(g.witness_paths(&[false]).is_none());
+    }
+
+    #[test]
+    fn reduction_forward_and_backward_tiny() {
+        // Satisfiable: brute force finds the disjoint paths.
+        let sat = GPhi::build(formula_x1_or_x1());
+        assert!(sat.has_two_disjoint_paths_brute());
+        // Unsatisfiable: no disjoint paths exist.
+        let unsat = GPhi::build(formula_x1_and_not_x1());
+        assert!(!unsat.has_two_disjoint_paths_brute());
+    }
+
+    #[test]
+    fn reduction_matches_sat_on_small_formulas() {
+        // A satisfiable and an unsatisfiable 2-variable formula.
+        let f_sat = CnfFormula::new(
+            2,
+            vec![clause([Lit::pos(0), Lit::pos(1)]), clause([Lit::neg(0)])],
+        );
+        assert!(f_sat.brute_force_sat().is_some());
+        let g = GPhi::build(f_sat);
+        assert!(g.has_two_disjoint_paths_brute());
+
+        let f_unsat = CnfFormula::new(
+            2,
+            vec![
+                clause([Lit::pos(0)]),
+                clause([Lit::neg(0), Lit::pos(1)]),
+                clause([Lit::neg(1)]),
+            ],
+        );
+        assert!(f_unsat.brute_force_sat().is_none());
+        let g2 = GPhi::build(f_unsat);
+        assert!(!g2.has_two_disjoint_paths_brute());
+    }
+
+    #[test]
+    fn complete_formula_phi_1_unsat_no_paths() {
+        let phi1 = CnfFormula::complete(1);
+        assert!(phi1.brute_force_sat().is_none());
+        let g = GPhi::build(phi1);
+        assert_eq!(g.switch_count(), 2);
+        assert!(!g.has_two_disjoint_paths_brute());
+    }
+
+    #[test]
+    fn witness_paths_for_all_satisfying_assignments() {
+        let f = CnfFormula::new(
+            2,
+            vec![clause([Lit::pos(0), Lit::neg(1)]), clause([Lit::pos(1)])],
+        );
+        let g = GPhi::build(f);
+        let mut found = 0;
+        for bits in 0..4u32 {
+            let assignment = [bits & 1 != 0, bits & 2 != 0];
+            if let Some((p1, p2)) = g.witness_paths(&assignment) {
+                g.verify_witness(&p1, &p2).expect("valid witness");
+                found += 1;
+            }
+        }
+        // (x1 | ~x2) & x2 forces x2 = 1 and then x1 = 1: exactly one model.
+        assert_eq!(found, 1);
+    }
+
+    #[test]
+    fn dot_output_labels_blocks() {
+        let g = GPhi::build(formula_x1_or_x1());
+        let dot = g.to_dot("G_phi");
+        assert!(dot.contains("s1"));
+        assert!(dot.contains("T1"));
+        assert!(dot.contains("n0"));
+    }
+}

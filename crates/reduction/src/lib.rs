@@ -1,0 +1,30 @@
+//! The FHW'80 NP-hardness machinery and the paper's negative results
+//! (Section 6.2).
+//!
+//! - [`switch`]: the switch gadget of Figure 1, reconstructed from the six
+//!   named paths, with an exhaustive Lemma 6.4 checker;
+//! - [`gphi`]: the reduction graph `G_φ` (Figures 2–6): variable blocks,
+//!   clause blocks, the switch chain, and the four distinguished nodes —
+//!   `φ` is satisfiable iff `G_φ` has node-disjoint `s1→s2` and `s3→s4`
+//!   paths;
+//! - [`layout`]: *standard paths* through `G_φ` and the position
+//!   arithmetic (offset → region) that Theorem 6.6's strategy needs;
+//! - [`thm66`]: the witness pair `(A_k, B_k)` and Player II's **simulation
+//!   strategy** (Cases 1–4), playable against arbitrary Spoilers;
+//! - [`variants`]: the `H2`/`H3` modifications (Theorem 6.7) and the
+//!   Lemma 6.3 pattern-lifting construction;
+//! - [`even_reduction`]: the edge-doubling reduction `G ↦ G*` of
+//!   Corollary 6.8 (two disjoint paths ⟶ even simple path).
+
+#![warn(missing_docs)]
+
+pub mod even_reduction;
+pub mod gphi;
+pub mod layout;
+pub mod switch;
+pub mod thm66;
+pub mod variants;
+
+pub use gphi::GPhi;
+pub use switch::{Switch, SwitchPath};
+pub use thm66::{SimulationDuplicator, Thm66Witness};

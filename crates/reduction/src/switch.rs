@@ -1,0 +1,383 @@
+//! The switch gadget (Figure 1).
+//!
+//! The figure itself is a drawing, but Section 6.2 lists the six
+//! distinguished passing paths verbatim, and Lemma 6.4 is the only
+//! property of the switch the proofs use — so the gadget is reconstructed
+//! as exactly the union of those six paths:
+//!
+//! ```text
+//! p(c,a): c → 5 → 4 → 3 → 2 → 1 → a
+//! p(b,d): b → 6' → 2' → 7 → 9 → 12 → d
+//! p(e,f): e → 8' → 9' → 10' → 4' → 11' → f
+//! q(c,a): c → 5' → 4' → 3' → 2' → 1' → a
+//! q(b,d): b → 6 → 2 → 7' → 9' → 12' → d
+//! q(g,h): g → 8 → 9 → 10 → 4 → 11 → h
+//! ```
+//!
+//! The `p`-family and `q`-family are node-disjoint within themselves but
+//! interlock across families (e.g. `p(c,a)` and `q(b,d)` share node 2), so
+//! any two node-disjoint paths through `b` and `a` must commit the whole
+//! switch to one family — that is Lemma 6.4, verified *exhaustively* by
+//! [`Switch::verify_lemma_6_4`] (experiment E10).
+
+use kv_structures::Digraph;
+
+/// Number of nodes a switch adds to a graph.
+pub const SWITCH_SIZE: usize = 32;
+
+/// The six named passing paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SwitchPath {
+    /// `p(c, a)`.
+    PCA,
+    /// `p(b, d)`.
+    PBD,
+    /// `p(e, f)`.
+    PEF,
+    /// `q(c, a)`.
+    QCA,
+    /// `q(b, d)`.
+    QBD,
+    /// `q(g, h)`.
+    QGH,
+}
+
+impl SwitchPath {
+    /// All six paths.
+    pub const ALL: [SwitchPath; 6] = [
+        SwitchPath::PCA,
+        SwitchPath::PBD,
+        SwitchPath::PEF,
+        SwitchPath::QCA,
+        SwitchPath::QBD,
+        SwitchPath::QGH,
+    ];
+}
+
+/// A switch instance embedded in a graph: the global node ids of its 32
+/// nodes.
+///
+/// Local layout: boundary nodes `a b c d e f g h` then internal `1..12`
+/// then `1'..12'`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Switch {
+    base: u32,
+}
+
+impl Switch {
+    /// Adds a fresh switch to `g` and wires its internal edges.
+    pub fn add_to(g: &mut Digraph) -> Switch {
+        let base = g.add_nodes(SWITCH_SIZE);
+        let sw = Switch { base };
+        for path in SwitchPath::ALL {
+            let nodes = sw.path_nodes(path);
+            for w in nodes.windows(2) {
+                g.add_edge(w[0], w[1]);
+            }
+        }
+        sw
+    }
+
+    /// A standalone switch graph (for gadget-level analysis).
+    pub fn standalone() -> (Digraph, Switch) {
+        let mut g = Digraph::new(0);
+        let sw = Switch::add_to(&mut g);
+        (g, sw)
+    }
+
+    fn boundary(&self, i: u32) -> u32 {
+        self.base + i
+    }
+
+    /// Node `a` (sink of the `c→a` paths).
+    pub fn a(&self) -> u32 {
+        self.boundary(0)
+    }
+    /// Node `b` (source of the `b→d` paths).
+    pub fn b(&self) -> u32 {
+        self.boundary(1)
+    }
+    /// Node `c` (source of the `c→a` paths).
+    pub fn c(&self) -> u32 {
+        self.boundary(2)
+    }
+    /// Node `d` (sink of the `b→d` paths).
+    pub fn d(&self) -> u32 {
+        self.boundary(3)
+    }
+    /// Node `e` (source of `p(e,f)`).
+    pub fn e(&self) -> u32 {
+        self.boundary(4)
+    }
+    /// Node `f` (sink of `p(e,f)`).
+    pub fn f(&self) -> u32 {
+        self.boundary(5)
+    }
+    /// Node `g` (source of `q(g,h)`).
+    pub fn g(&self) -> u32 {
+        self.boundary(6)
+    }
+    /// Node `h` (sink of `q(g,h)`).
+    pub fn h(&self) -> u32 {
+        self.boundary(7)
+    }
+
+    /// Internal plain node `1..=12`.
+    pub fn plain(&self, i: u32) -> u32 {
+        debug_assert!((1..=12).contains(&i));
+        self.base + 7 + i
+    }
+
+    /// Internal primed node `1'..=12'`.
+    pub fn primed(&self, i: u32) -> u32 {
+        debug_assert!((1..=12).contains(&i));
+        self.base + 19 + i
+    }
+
+    /// The full node sequence of a named path (boundary to boundary, 7
+    /// nodes).
+    pub fn path_nodes(&self, path: SwitchPath) -> [u32; 7] {
+        match path {
+            SwitchPath::PCA => [
+                self.c(),
+                self.plain(5),
+                self.plain(4),
+                self.plain(3),
+                self.plain(2),
+                self.plain(1),
+                self.a(),
+            ],
+            SwitchPath::PBD => [
+                self.b(),
+                self.primed(6),
+                self.primed(2),
+                self.plain(7),
+                self.plain(9),
+                self.plain(12),
+                self.d(),
+            ],
+            SwitchPath::PEF => [
+                self.e(),
+                self.primed(8),
+                self.primed(9),
+                self.primed(10),
+                self.primed(4),
+                self.primed(11),
+                self.f(),
+            ],
+            SwitchPath::QCA => [
+                self.c(),
+                self.primed(5),
+                self.primed(4),
+                self.primed(3),
+                self.primed(2),
+                self.primed(1),
+                self.a(),
+            ],
+            SwitchPath::QBD => [
+                self.b(),
+                self.plain(6),
+                self.plain(2),
+                self.primed(7),
+                self.primed(9),
+                self.primed(12),
+                self.d(),
+            ],
+            SwitchPath::QGH => [
+                self.g(),
+                self.plain(8),
+                self.plain(9),
+                self.plain(10),
+                self.plain(4),
+                self.plain(11),
+                self.h(),
+            ],
+        }
+    }
+
+    /// Does this switch own global node `v`?
+    pub fn contains(&self, v: u32) -> bool {
+        (self.base..self.base + SWITCH_SIZE as u32).contains(&v)
+    }
+
+    /// Identifies the named path(s) through an *interior* node of this
+    /// switch (boundary nodes belong to several paths and return `None`).
+    /// Interior nodes shared by two paths of the *same family* return the
+    /// first per [`SwitchPath::ALL`] order with a marker; the only shared
+    /// interiors across families are the interlock nodes.
+    pub fn interior_paths(&self, v: u32) -> Vec<SwitchPath> {
+        let mut out = Vec::new();
+        if !self.contains(v) || v < self.base + 8 {
+            return out; // not ours, or a boundary node
+        }
+        for path in SwitchPath::ALL {
+            let nodes = self.path_nodes(path);
+            if nodes[1..6].contains(&v) {
+                out.push(path);
+            }
+        }
+        out
+    }
+
+    /// Exhaustive verification of **Lemma 6.4** on the standalone switch:
+    ///
+    /// 1. for every pair of node-disjoint passing paths `(P, Q)` where `P`
+    ///    ends at `a` and `Q` starts at `b`: `P` starts at `c`, `Q` ends at
+    ///    `d`, and `(P, Q)` is exactly `(p(c,a), p(b,d))` or
+    ///    `(q(c,a), q(b,d))`;
+    /// 2. in the first case `p(e,f)` is the *only* passing path
+    ///    node-disjoint from both, in the second `q(g,h)` is.
+    ///
+    /// Returns an error message describing the first violation.
+    pub fn verify_lemma_6_4() -> Result<(), String> {
+        let (g, sw) = Switch::standalone();
+        // Passing paths: start at in-degree-0, end at out-degree-0 nodes.
+        let sources: Vec<u32> = g.nodes().filter(|&v| g.in_degree(v) == 0).collect();
+        let sinks: Vec<u32> = g.nodes().filter(|&v| g.out_degree(v) == 0).collect();
+        {
+            let mut expect_sources = vec![sw.b(), sw.c(), sw.e(), sw.g()];
+            expect_sources.sort_unstable();
+            let mut got = sources.clone();
+            got.sort_unstable();
+            if got != expect_sources {
+                return Err(format!("unexpected sources {got:?}"));
+            }
+            let mut expect_sinks = vec![sw.a(), sw.d(), sw.f(), sw.h()];
+            expect_sinks.sort_unstable();
+            let mut got = sinks.clone();
+            got.sort_unstable();
+            if got != expect_sinks {
+                return Err(format!("unexpected sinks {got:?}"));
+            }
+        }
+        let mut passing: Vec<Vec<u32>> = Vec::new();
+        for &s in &sources {
+            for &t in &sinks {
+                passing.extend(kv_graphalg::simple_paths::all_simple_paths(&g, s, t));
+            }
+        }
+        let disjoint = |p: &[u32], q: &[u32]| p.iter().all(|x| !q.contains(x));
+        let pca: Vec<u32> = sw.path_nodes(SwitchPath::PCA).to_vec();
+        let pbd: Vec<u32> = sw.path_nodes(SwitchPath::PBD).to_vec();
+        let pef: Vec<u32> = sw.path_nodes(SwitchPath::PEF).to_vec();
+        let qca: Vec<u32> = sw.path_nodes(SwitchPath::QCA).to_vec();
+        let qbd: Vec<u32> = sw.path_nodes(SwitchPath::QBD).to_vec();
+        let qgh: Vec<u32> = sw.path_nodes(SwitchPath::QGH).to_vec();
+        let mut p_case_seen = false;
+        let mut q_case_seen = false;
+        for p in &passing {
+            if *p.last().unwrap() != sw.a() {
+                continue;
+            }
+            for q in &passing {
+                if q[0] != sw.b() || !disjoint(p, q) {
+                    continue;
+                }
+                // Claim 1: committed pair.
+                if p[0] != sw.c() {
+                    return Err(format!("a-path {p:?} does not start at c"));
+                }
+                if *q.last().unwrap() != sw.d() {
+                    return Err(format!("b-path {q:?} does not end at d"));
+                }
+                let is_p_case = *p == pca && *q == pbd;
+                let is_q_case = *p == qca && *q == qbd;
+                if !is_p_case && !is_q_case {
+                    return Err(format!("unexpected disjoint pair {p:?} / {q:?}"));
+                }
+                // Claim 2: the unique third path.
+                let third: Vec<&Vec<u32>> = passing
+                    .iter()
+                    .filter(|r| disjoint(r, p) && disjoint(r, q))
+                    .collect();
+                let expected = if is_p_case { &pef } else { &qgh };
+                if third.len() != 1 || third[0] != expected {
+                    return Err(format!(
+                        "third-path claim fails for {:?} case: {third:?}",
+                        if is_p_case { "p" } else { "q" }
+                    ));
+                }
+                if is_p_case {
+                    p_case_seen = true;
+                } else {
+                    q_case_seen = true;
+                }
+            }
+        }
+        if !p_case_seen || !q_case_seen {
+            return Err("did not observe both switch modes".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn switch_has_32_nodes_and_36_edges() {
+        let (g, _) = Switch::standalone();
+        assert_eq!(g.node_count(), 32);
+        // Six paths of 6 edges each; shared interlock nodes do not merge
+        // any edges.
+        assert_eq!(g.edge_count(), 36);
+    }
+
+    #[test]
+    fn lemma_6_4_holds_exhaustively() {
+        Switch::verify_lemma_6_4().expect("Lemma 6.4");
+    }
+
+    #[test]
+    fn interlock_nodes_are_shared_across_families() {
+        let (_, sw) = Switch::standalone();
+        // Node 2 is on p(c,a) and q(b,d); node 4 on p(c,a)… no: on q(g,h)
+        // and p(c,a); 9 on p(b,d) and q(g,h); 2', 4', 9' mirror them.
+        let shared_pairs = [
+            (sw.plain(2), [SwitchPath::PCA, SwitchPath::QBD]),
+            (sw.plain(4), [SwitchPath::PCA, SwitchPath::QGH]),
+            (sw.plain(9), [SwitchPath::PBD, SwitchPath::QGH]),
+            (sw.primed(2), [SwitchPath::PBD, SwitchPath::QCA]),
+            (sw.primed(4), [SwitchPath::PEF, SwitchPath::QCA]),
+            (sw.primed(9), [SwitchPath::PEF, SwitchPath::QBD]),
+        ];
+        for (node, expected) in shared_pairs {
+            let mut got = sw.interior_paths(node);
+            got.sort_by_key(|p| SwitchPath::ALL.iter().position(|q| q == p));
+            let mut want = expected.to_vec();
+            want.sort_by_key(|p| SwitchPath::ALL.iter().position(|q| q == p));
+            assert_eq!(got, want, "sharing at node {node}");
+        }
+    }
+
+    #[test]
+    fn each_family_is_internally_disjoint() {
+        let (_, sw) = Switch::standalone();
+        let fam =
+            |paths: [SwitchPath; 3]| -> Vec<Vec<u32>> { paths.iter().map(|&p| sw.path_nodes(p).to_vec()).collect() };
+        for family in [
+            fam([SwitchPath::PCA, SwitchPath::PBD, SwitchPath::PEF]),
+            fam([SwitchPath::QCA, SwitchPath::QBD, SwitchPath::QGH]),
+        ] {
+            for i in 0..3 {
+                for j in (i + 1)..3 {
+                    for x in &family[i] {
+                        assert!(!family[j].contains(x), "family overlap at {x}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multiple_switches_do_not_collide() {
+        let mut g = Digraph::new(3);
+        let s1 = Switch::add_to(&mut g);
+        let s2 = Switch::add_to(&mut g);
+        assert_eq!(g.node_count(), 3 + 64);
+        assert!(!s1.contains(s2.a()));
+        assert!(s2.contains(s2.primed(12)));
+        assert!(!s2.contains(s1.plain(1)));
+    }
+}

@@ -1,0 +1,403 @@
+//! Theorem 6.6: the witness structures `(A_k, B_k)` and Player II's
+//! simulation strategy.
+//!
+//! `B_k = G_{φ_k}` for the complete (unsatisfiable) formula `φ_k`, so `B_k`
+//! has **no** pair of node-disjoint `s1→s2` / `s3→s4` paths; `A_k` is the
+//! "idealized" version — two genuinely disjoint paths whose lengths equal
+//! the standard-path lengths of `B_k` — so `A_k` **satisfies** the query.
+//! The Duplicator nevertheless survives the existential k-pebble game on
+//! `(A_k, B_k)` by answering every pebble on `A_k` with the *corresponding
+//! node* on a standard path of `B_k`, consulting an implicit k-pebble game
+//! on the formula `φ_k` to decide which variant (`p`/`q` switch passage,
+//! which column, which clause occurrence) to use — the paper's Cases 1–4.
+//!
+//! [`SimulationDuplicator`] implements the strategy *statelessly*: the
+//! current truth commitments are re-derived from the pebbled pairs on
+//! every move (a pebbled node inside a switch region reveals the switch's
+//! mode and hence its literal's value; a pebbled column node reveals the
+//! variable's value; a pebbled clause node reveals the chosen occurrence).
+//! This matches the paper's bookkeeping — "a truth value is removed from a
+//! literal as soon as no pebbled node forces it to have a truth value" —
+//! by construction.
+
+use crate::gphi::GPhi;
+use crate::layout::{BottomPos, TopPos};
+use crate::switch::SwitchPath;
+use kv_pebble::cnf::{CnfFormula, Lit};
+use kv_pebble::play::{DuplicatorStrategy, GamePosition};
+use kv_structures::{Element, Structure, Vocabulary};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The witness pair of Theorem 6.6 (for `H1`, the two-disjoint-edges
+/// pattern).
+#[derive(Debug)]
+pub struct Thm66Witness {
+    /// The pebble budget the witness is built for (`φ_k`).
+    pub k: usize,
+    /// The reduction graph underlying `B_k`.
+    pub gphi: GPhi,
+    /// `A_k`: two disjoint paths, constants `w1, w2, w3, w4`.
+    pub a: Structure,
+    /// `B_k = (G_{φ_k}, s1, s2, s3, s4)`.
+    pub b: Structure,
+    top_layout: Vec<TopPos>,
+    bottom_layout: Vec<BottomPos>,
+}
+
+/// Where an element of `A_k` sits.
+#[derive(Debug, Clone, Copy)]
+enum Region {
+    Top(TopPos),
+    Bottom(BottomPos),
+}
+
+impl Thm66Witness {
+    /// Builds the witness for `φ_k`.
+    pub fn new(k: usize) -> Self {
+        Self::from_formula(k, CnfFormula::complete(k))
+    }
+
+    /// Builds the witness machinery for an arbitrary formula with uniform
+    /// literal-occurrence counts (`k` is the pebble budget the strategy
+    /// will be asked to survive; the guarantees of Theorem 6.6 hold when
+    /// the Duplicator wins the k-pebble game on the formula).
+    pub fn from_formula(k: usize, formula: CnfFormula) -> Self {
+        let gphi = GPhi::build(formula);
+        let top_layout = gphi.top_layout();
+        let bottom_layout = gphi.bottom_layout();
+        let vocab = Arc::new(Vocabulary::graph_with_constants(4));
+        // A_k: node ids 0..top_len are the first path in order, then the
+        // second path.
+        let top_len = top_layout.len();
+        let bottom_len = bottom_layout.len();
+        let mut a_graph = kv_structures::Digraph::new(top_len + bottom_len);
+        for i in 1..top_len {
+            a_graph.add_edge((i - 1) as u32, i as u32);
+        }
+        for i in 1..bottom_len {
+            a_graph.add_edge((top_len + i - 1) as u32, (top_len + i) as u32);
+        }
+        a_graph.set_distinguished(vec![
+            0,
+            (top_len - 1) as u32,
+            top_len as u32,
+            (top_len + bottom_len - 1) as u32,
+        ]);
+        let a = a_graph.to_structure_with(Arc::clone(&vocab));
+        let b = {
+            let mut g = gphi.graph.clone();
+            g.set_distinguished(vec![gphi.s1, gphi.s2, gphi.s3, gphi.s4]);
+            g.to_structure_with(Arc::clone(&vocab))
+        };
+        Self {
+            k,
+            gphi,
+            a,
+            b,
+            top_layout,
+            bottom_layout,
+        }
+    }
+
+    /// Length of `A_k`'s first path (the `w1 → w2` one).
+    pub fn top_len(&self) -> usize {
+        self.top_layout.len()
+    }
+
+    /// Length of `A_k`'s second path.
+    pub fn bottom_len(&self) -> usize {
+        self.bottom_layout.len()
+    }
+
+    fn region_of(&self, a_elem: Element) -> Region {
+        let i = a_elem as usize;
+        if i < self.top_layout.len() {
+            Region::Top(self.top_layout[i])
+        } else {
+            Region::Bottom(self.bottom_layout[i - self.top_layout.len()])
+        }
+    }
+
+    /// The strategy object.
+    pub fn duplicator(&self) -> SimulationDuplicator<'_> {
+        SimulationDuplicator { witness: self }
+    }
+}
+
+/// Truth commitments derived from the current pebbles.
+#[derive(Debug, Default)]
+struct Commitments {
+    /// Variable values forced by some pebble.
+    values: HashMap<usize, bool>,
+    /// Clause-segment occurrence choices forced by some pebble.
+    clause_choice: HashMap<usize, usize>,
+    /// Derivation was contradictory (should never happen; concede).
+    broken: bool,
+}
+
+impl Commitments {
+    fn set_value(&mut self, var: usize, value: bool) {
+        match self.values.get(&var) {
+            Some(&v) if v != value => self.broken = true,
+            _ => {
+                self.values.insert(var, value);
+            }
+        }
+    }
+
+    fn set_lit_true(&mut self, lit: Lit) {
+        self.set_value(lit.var, lit.positive);
+    }
+
+    fn lit_value(&self, lit: Lit) -> Option<bool> {
+        self.values.get(&lit.var).map(|&v| v == lit.positive)
+    }
+}
+
+/// Player II's simulation strategy (Cases 1–4 of Theorem 6.6).
+pub struct SimulationDuplicator<'w> {
+    witness: &'w Thm66Witness,
+}
+
+impl<'w> SimulationDuplicator<'w> {
+    fn derive_commitments(&self, position: &GamePosition) -> Commitments {
+        let w = self.witness;
+        let g = &w.gphi;
+        let mut c = Commitments::default();
+        for &(a, b) in position.slots.iter().flatten() {
+            match w.region_of(a) {
+                Region::Top(TopPos::Fixed(_)) | Region::Bottom(BottomPos::Fixed(_)) => {}
+                Region::Top(TopPos::SwitchCA { switch, offset }) => {
+                    let info = &g.switches[switch];
+                    if b == info.switch.path_nodes(SwitchPath::PCA)[offset] {
+                        c.set_lit_true(info.lit);
+                    } else if b == info.switch.path_nodes(SwitchPath::QCA)[offset] {
+                        c.set_lit_true(info.lit.complement());
+                    } else {
+                        c.broken = true;
+                    }
+                }
+                Region::Bottom(BottomPos::SwitchBD { switch, offset }) => {
+                    let info = &g.switches[switch];
+                    if b == info.switch.path_nodes(SwitchPath::PBD)[offset] {
+                        c.set_lit_true(info.lit);
+                    } else if b == info.switch.path_nodes(SwitchPath::QBD)[offset] {
+                        c.set_lit_true(info.lit.complement());
+                    } else {
+                        c.broken = true;
+                    }
+                }
+                Region::Bottom(BottomPos::Column { var, occ, offset }) => {
+                    // Which column is the node in? Using the column of a
+                    // literal z means z is false.
+                    if b == g.resolve_column(Lit::pos(var), occ, offset) {
+                        c.set_value(var, false);
+                    } else if b == g.resolve_column(Lit::neg(var), occ, offset) {
+                        c.set_value(var, true);
+                    } else {
+                        c.broken = true;
+                    }
+                }
+                Region::Bottom(BottomPos::Clause { clause, offset }) => {
+                    let arity = g.formula.clauses()[clause].len();
+                    let mut matched = false;
+                    for p in 0..arity {
+                        if b == g.resolve_clause(clause, p, offset) {
+                            c.clause_choice.insert(clause, p);
+                            c.set_lit_true(g.formula.clauses()[clause][p]);
+                            matched = true;
+                            break;
+                        }
+                    }
+                    if !matched {
+                        c.broken = true;
+                    }
+                }
+            }
+        }
+        c
+    }
+}
+
+impl DuplicatorStrategy for SimulationDuplicator<'_> {
+    fn respond(&mut self, position: &GamePosition, _slot: usize, a: Element) -> Option<Element> {
+        // Functionality: a re-pebbled element gets its existing image.
+        for &(pa, pb) in position.slots.iter().flatten() {
+            if pa == a {
+                return Some(pb);
+            }
+        }
+        let w = self.witness;
+        let g = &w.gphi;
+        let c = self.derive_commitments(position);
+        if c.broken {
+            return None;
+        }
+        Some(match w.region_of(a) {
+            Region::Top(TopPos::Fixed(n)) | Region::Bottom(BottomPos::Fixed(n)) => n,
+            Region::Top(pos @ TopPos::SwitchCA { switch, .. }) => {
+                // Case 1: assign the switch's literal (default true).
+                let lit = g.switches[switch].lit;
+                let value = c.lit_value(lit).unwrap_or(true);
+                g.resolve_top(pos, value)
+            }
+            Region::Bottom(BottomPos::SwitchBD { switch, offset }) => {
+                // Case 2.
+                let lit = g.switches[switch].lit;
+                let value = c.lit_value(lit).unwrap_or(true);
+                g.resolve_bd(switch, offset, value)
+            }
+            Region::Bottom(BottomPos::Column { var, occ, offset }) => {
+                // Case 3: use the column of the false literal; default the
+                // variable to true.
+                let value = *c.values.get(&var).unwrap_or(&true);
+                let false_lit = if value { Lit::neg(var) } else { Lit::pos(var) };
+                g.resolve_column(false_lit, occ, offset)
+            }
+            Region::Bottom(BottomPos::Clause { clause, offset }) => {
+                // Case 4: reuse the segment's occurrence if one is pinned;
+                // otherwise pick a literal that is true or unassigned
+                // (never one committed false — its switch's e..f passage
+                // interlocks with the q(b,d) passage already in use).
+                let p = match c.clause_choice.get(&clause) {
+                    Some(&p) => p,
+                    None => {
+                        let lits = &g.formula.clauses()[clause];
+                        let mut choice = None;
+                        for (p, &l) in lits.iter().enumerate() {
+                            match c.lit_value(l) {
+                                Some(true) => {
+                                    choice = Some(p);
+                                    break;
+                                }
+                                None if choice.is_none() => choice = Some(p),
+                                _ => {}
+                            }
+                        }
+                        choice?
+                    }
+                };
+                g.resolve_clause(clause, p, offset)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kv_pebble::play::{play_game, ExhaustiveSpoiler, RandomSpoiler};
+    use kv_pebble::{CnfGame, Winner};
+    use kv_structures::HomKind;
+
+    #[test]
+    fn witness_structures_well_formed() {
+        let w = Thm66Witness::new(1);
+        assert!(w.a.validate().is_ok());
+        assert!(w.b.validate().is_ok());
+        assert_eq!(w.a.universe_size(), w.top_len() + w.bottom_len());
+        // Constants in order w1, w2, w3, w4.
+        assert_eq!(w.a.constant_values().len(), 4);
+    }
+
+    #[test]
+    fn a_k_satisfies_the_query_b_k_does_not() {
+        let w = Thm66Witness::new(1);
+        let a_graph = kv_structures::Digraph::from_structure(&w.a);
+        let d = w.a.constant_values().to_vec();
+        assert!(kv_homeo::brute_force_homeomorphism(
+            &kv_pebble::PatternSpec::two_disjoint_edges(),
+            &a_graph,
+            &d,
+        ));
+        assert!(!w.gphi.has_two_disjoint_paths_brute());
+    }
+
+    #[test]
+    fn duplicator_wins_cnf_game_on_phi_k() {
+        // The bookkeeping device: II wins the k-pebble game on φ_k.
+        for k in 1..=2usize {
+            let f = CnfFormula::complete(k);
+            assert_eq!(CnfGame::solve(&f, k).winner(), Winner::Duplicator);
+        }
+    }
+
+    #[test]
+    fn simulation_strategy_survives_random_spoilers_k1() {
+        let w = Thm66Witness::new(1);
+        for seed in 0..30 {
+            let mut spoiler = RandomSpoiler::new(w.a.universe_size(), seed);
+            let mut dup = w.duplicator();
+            let winner = play_game(
+                &w.a,
+                &w.b,
+                1,
+                HomKind::OneToOne,
+                &mut spoiler,
+                &mut dup,
+                300,
+            );
+            assert_eq!(winner, Winner::Duplicator, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn simulation_strategy_survives_random_spoilers_k2() {
+        let w = Thm66Witness::new(2);
+        for seed in 0..20 {
+            let mut spoiler = RandomSpoiler::new(w.a.universe_size(), seed);
+            let mut dup = w.duplicator();
+            let winner = play_game(
+                &w.a,
+                &w.b,
+                2,
+                HomKind::OneToOne,
+                &mut spoiler,
+                &mut dup,
+                400,
+            );
+            assert_eq!(winner, Winner::Duplicator, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn simulation_strategy_survives_random_spoilers_k3() {
+        // k = 3: B = G_{φ_3} has 24 switches; the generic solver could
+        // never handle this size, the strategy plays it effortlessly.
+        let w = Thm66Witness::new(3);
+        assert!(w.b.universe_size() > 700);
+        for seed in 0..10 {
+            let mut spoiler = RandomSpoiler::new(w.a.universe_size(), seed);
+            let mut dup = w.duplicator();
+            let winner = play_game(
+                &w.a,
+                &w.b,
+                3,
+                HomKind::OneToOne,
+                &mut spoiler,
+                &mut dup,
+                300,
+            );
+            assert_eq!(winner, Winner::Duplicator, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn simulation_strategy_survives_exhaustive_spoiler_k1() {
+        let w = Thm66Witness::new(1);
+        let loss = ExhaustiveSpoiler::refute(&w.a, &w.b, 1, HomKind::OneToOne, 4, || {
+            w.duplicator()
+        });
+        assert!(loss.is_none(), "strategy lost: {loss:?}");
+    }
+
+    #[test]
+    fn simulation_strategy_survives_exhaustive_spoiler_k2_shallow() {
+        let w = Thm66Witness::new(2);
+        let loss = ExhaustiveSpoiler::refute(&w.a, &w.b, 2, HomKind::OneToOne, 2, || {
+            w.duplicator()
+        });
+        assert!(loss.is_none(), "strategy lost: {loss:?}");
+    }
+}

@@ -1,0 +1,391 @@
+//! Theorem 6.7: from `H1` to every pattern in `C̄`.
+//!
+//! The `H2` and `H3` witnesses arise from the `H1` witness `(A_k, B_k)` by
+//! identifying distinguished nodes (`s2 ~ s3` for `H2`; additionally
+//! `s1 ~ s4` for `H3`); Lemma 6.3 lifts a witness for a sub-pattern `F1`
+//! to any super-pattern `F2 ⊇ F1` by soldering the extra edges of `F2`
+//! directly onto fresh (or existing) distinguished nodes of both
+//! structures. In all cases Player II's strategy is the `H1` simulation
+//! strategy composed with the identification/embedding — implemented here
+//! as strategy *wrappers* so the lifted strategies can be played and
+//! attacked like any other.
+
+use crate::thm66::{SimulationDuplicator, Thm66Witness};
+use kv_pebble::play::{DuplicatorStrategy, GamePosition};
+use kv_pebble::PatternSpec;
+use kv_structures::{quotient, Element, Structure, Vocabulary};
+use std::sync::Arc;
+
+/// A quotient-based variant witness: the structures with some
+/// distinguished nodes identified, plus the maps back to the `H1` witness.
+pub struct VariantWitness<'w> {
+    /// The base `H1` witness.
+    pub base: &'w Thm66Witness,
+    /// The quotient of `A_k`.
+    pub a: Structure,
+    /// The quotient of `B_k`.
+    pub b: Structure,
+    /// Class map for `A` (old element -> new element).
+    pub class_a: Vec<Element>,
+    /// Class map for `B`.
+    pub class_b: Vec<Element>,
+    /// Canonical preimages (new element -> an old element).
+    pre_a: Vec<Element>,
+    pre_b: Vec<Element>,
+    /// The pattern this witness separates.
+    pub pattern: PatternSpec,
+}
+
+/// Builds a class map that merges the given groups of elements (each group
+/// collapses to one class) and renumbers contiguously.
+fn merge_classes(n: usize, groups: &[&[Element]]) -> Vec<Element> {
+    let mut representative: Vec<Element> = (0..n as Element).collect();
+    for group in groups {
+        let rep = group[0];
+        for &x in &group[1..] {
+            representative[x as usize] = rep;
+        }
+    }
+    // Renumber: classes in order of first occurrence.
+    let mut class_of = vec![0 as Element; n];
+    let mut next = 0 as Element;
+    let mut assigned: Vec<Option<Element>> = vec![None; n];
+    for x in 0..n {
+        let rep = representative[x] as usize;
+        let class = match assigned[rep] {
+            Some(c) => c,
+            None => {
+                let c = next;
+                next += 1;
+                assigned[rep] = Some(c);
+                c
+            }
+        };
+        class_of[x] = class;
+    }
+    class_of
+}
+
+fn preimages(class_of: &[Element]) -> Vec<Element> {
+    let classes = class_of.iter().copied().max().map_or(0, |m| m as usize + 1);
+    let mut pre = vec![0 as Element; classes];
+    let mut seen = vec![false; classes];
+    for (x, &c) in class_of.iter().enumerate() {
+        if !seen[c as usize] {
+            seen[c as usize] = true;
+            pre[c as usize] = x as Element;
+        }
+    }
+    pre
+}
+
+/// Applies a quotient while *re-declaring* the constants: the quotient
+/// structure gets a fresh vocabulary with `names.len()` constants, set to
+/// the images of `old_constants`.
+fn quotient_with_constants(
+    s: &Structure,
+    class_of: &[Element],
+    names: &[&str],
+    old_constants: &[Element],
+) -> Structure {
+    // Quotient over the bare graph vocabulary, then re-attach constants.
+    let bare = {
+        let mut g = kv_structures::Digraph::from_structure(s);
+        g.set_distinguished(Vec::new());
+        g.to_structure_with(Arc::new(Vocabulary::graph()))
+    };
+    let q = quotient(&bare, class_of);
+    let mut vocab = Vocabulary::graph();
+    for name in names {
+        vocab.add_constant(*name);
+    }
+    let mut g = kv_structures::Digraph::from_structure(&q);
+    g.set_distinguished(
+        old_constants
+            .iter()
+            .map(|&c| class_of[c as usize])
+            .collect(),
+    );
+    g.to_structure_with(Arc::new(vocab))
+}
+
+impl<'w> VariantWitness<'w> {
+    /// The `H2` (path of length two) variant: identify `w2 ~ w3` in `A_k`
+    /// and `s2 ~ s3` in `B_k`; distinguished nodes become
+    /// `(start, middle, end)`.
+    pub fn h2(base: &'w Thm66Witness) -> Self {
+        let ca = base.a.constant_values().to_vec();
+        let cb = base.b.constant_values().to_vec();
+        let class_a = merge_classes(base.a.universe_size(), &[&[ca[1], ca[2]]]);
+        let class_b = merge_classes(base.b.universe_size(), &[&[cb[1], cb[2]]]);
+        let names = ["s1", "s2", "s3"];
+        let a = quotient_with_constants(&base.a, &class_a, &names, &[ca[0], ca[1], ca[3]]);
+        let b = quotient_with_constants(&base.b, &class_b, &names, &[cb[0], cb[1], cb[3]]);
+        let pre_a = preimages(&class_a);
+        let pre_b = preimages(&class_b);
+        Self {
+            base,
+            a,
+            b,
+            class_a,
+            class_b,
+            pre_a,
+            pre_b,
+            pattern: PatternSpec::path_length_two(),
+        }
+    }
+
+    /// The `H3` (2-cycle) variant: identify `w2 ~ w3` and `w4 ~ w1` in
+    /// `A_k`; `s2 ~ s3` and `s4 ~ s1` in `B_k`; distinguished nodes become
+    /// the two cycle endpoints.
+    pub fn h3(base: &'w Thm66Witness) -> Self {
+        let ca = base.a.constant_values().to_vec();
+        let cb = base.b.constant_values().to_vec();
+        let class_a = merge_classes(
+            base.a.universe_size(),
+            &[&[ca[1], ca[2]], &[ca[3], ca[0]]],
+        );
+        let class_b = merge_classes(
+            base.b.universe_size(),
+            &[&[cb[1], cb[2]], &[cb[3], cb[0]]],
+        );
+        let names = ["s1", "s2"];
+        let a = quotient_with_constants(&base.a, &class_a, &names, &[ca[0], ca[1]]);
+        let b = quotient_with_constants(&base.b, &class_b, &names, &[cb[0], cb[1]]);
+        let pre_a = preimages(&class_a);
+        let pre_b = preimages(&class_b);
+        Self {
+            base,
+            a,
+            b,
+            class_a,
+            class_b,
+            pre_a,
+            pre_b,
+            pattern: PatternSpec::two_cycle(),
+        }
+    }
+
+    /// The composed Duplicator: play the base simulation strategy through
+    /// the identification maps.
+    pub fn duplicator(&self) -> VariantDuplicator<'_> {
+        VariantDuplicator {
+            witness: self,
+            inner: self.base.duplicator(),
+        }
+    }
+}
+
+/// Strategy wrapper for [`VariantWitness`].
+pub struct VariantDuplicator<'v> {
+    witness: &'v VariantWitness<'v>,
+    inner: SimulationDuplicator<'v>,
+}
+
+impl DuplicatorStrategy for VariantDuplicator<'_> {
+    fn respond(&mut self, position: &GamePosition, slot: usize, a: Element) -> Option<Element> {
+        let w = self.witness;
+        // Lift the position to the base structures.
+        let mut lifted = GamePosition::new(position.slots.len());
+        for (i, s) in position.slots.iter().enumerate() {
+            if let Some((qa, qb)) = s {
+                lifted.slots[i] = Some((
+                    w.pre_a[*qa as usize],
+                    w.pre_b[*qb as usize],
+                ));
+            }
+        }
+        let base_a = w.pre_a[a as usize];
+        let base_b = self.inner.respond(&lifted, slot, base_a)?;
+        Some(w.class_b[base_b as usize])
+    }
+}
+
+/// Lemma 6.3: lift an inexpressibility witness from a sub-pattern `F1` to
+/// a super-pattern `F2 ⊇ F1` (same first `l` nodes; extra nodes and
+/// edges). The extra edges are realized as *direct edges* between
+/// distinguished nodes in both structures.
+pub struct LiftedWitness {
+    /// The enlarged `A` structure.
+    pub a: Structure,
+    /// The enlarged `B` structure.
+    pub b: Structure,
+    /// The super-pattern.
+    pub pattern: PatternSpec,
+    /// Number of original elements of `A` (new distinguished nodes follow).
+    pub a_old: usize,
+    /// Number of original elements of `B`.
+    pub b_old: usize,
+}
+
+/// Builds the Lemma 6.3 lift. `f2` must contain the base pattern's edges
+/// among its first `base_nodes` nodes; only the *extra* edges are
+/// soldered on.
+pub fn lift_witness(
+    a: &Structure,
+    b: &Structure,
+    base_edges: &[(usize, usize)],
+    f2: &PatternSpec,
+) -> LiftedWitness {
+    let l = a.constant_values().len();
+    assert_eq!(l, b.constant_values().len());
+    let extra_nodes = f2.node_count - l;
+    let grow = |s: &Structure| -> (kv_structures::Digraph, Vec<u32>) {
+        let mut g = kv_structures::Digraph::from_structure(s);
+        let mut consts: Vec<u32> = s.constant_values().to_vec();
+        for _ in 0..extra_nodes {
+            consts.push(g.add_node());
+        }
+        for &(i, j) in &f2.edges {
+            if base_edges.contains(&(i, j)) {
+                continue;
+            }
+            g.add_edge(consts[i], consts[j]);
+        }
+        g.set_distinguished(consts.clone());
+        (g, consts)
+    };
+    let vocab = Arc::new(Vocabulary::graph_with_constants(f2.node_count));
+    let (ga, _) = grow(a);
+    let (gb, _) = grow(b);
+    LiftedWitness {
+        a: ga.to_structure_with(Arc::clone(&vocab)),
+        b: gb.to_structure_with(vocab),
+        pattern: f2.clone(),
+        a_old: a.universe_size(),
+        b_old: b.universe_size(),
+    }
+}
+
+/// Strategy wrapper for a lifted witness: inner strategy on old elements,
+/// identity on the fresh distinguished nodes.
+pub struct LiftedDuplicator<'v, D> {
+    /// The lift.
+    pub lift: &'v LiftedWitness,
+    /// The base strategy.
+    pub inner: D,
+}
+
+impl<D: DuplicatorStrategy> DuplicatorStrategy for LiftedDuplicator<'_, D> {
+    fn respond(&mut self, position: &GamePosition, slot: usize, a: Element) -> Option<Element> {
+        let lw = self.lift;
+        if (a as usize) >= lw.a_old {
+            // A fresh distinguished node: mirror it.
+            let idx = a as usize - lw.a_old;
+            return Some((lw.b_old + idx) as Element);
+        }
+        // Project the position onto the old elements.
+        let mut projected = GamePosition::new(position.slots.len());
+        for (i, s) in position.slots.iter().enumerate() {
+            if let Some((pa, pb)) = s {
+                if (*pa as usize) < lw.a_old && (*pb as usize) < lw.b_old {
+                    projected.slots[i] = Some((*pa, *pb));
+                }
+            }
+        }
+        self.inner.respond(&projected, slot, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kv_homeo::brute_force_homeomorphism;
+    use kv_pebble::play::{play_game, RandomSpoiler};
+    use kv_pebble::Winner;
+    use kv_structures::{Digraph, HomKind};
+
+    #[test]
+    fn h2_witness_query_separation() {
+        let base = Thm66Witness::new(1);
+        let v = VariantWitness::h2(&base);
+        let ga = Digraph::from_structure(&v.a);
+        let da = v.a.constant_values().to_vec();
+        assert!(brute_force_homeomorphism(&v.pattern, &ga, &da));
+        let gb = Digraph::from_structure(&v.b);
+        let db = v.b.constant_values().to_vec();
+        assert!(!brute_force_homeomorphism(&v.pattern, &gb, &db));
+    }
+
+    #[test]
+    fn h3_witness_query_separation() {
+        let base = Thm66Witness::new(1);
+        let v = VariantWitness::h3(&base);
+        let ga = Digraph::from_structure(&v.a);
+        let da = v.a.constant_values().to_vec();
+        assert!(brute_force_homeomorphism(&v.pattern, &ga, &da));
+        let gb = Digraph::from_structure(&v.b);
+        let db = v.b.constant_values().to_vec();
+        assert!(!brute_force_homeomorphism(&v.pattern, &gb, &db));
+    }
+
+    #[test]
+    fn h2_strategy_survives_random_spoilers() {
+        let base = Thm66Witness::new(2);
+        let v = VariantWitness::h2(&base);
+        for seed in 0..10 {
+            let mut sp = RandomSpoiler::new(v.a.universe_size(), seed);
+            let mut dup = v.duplicator();
+            let w = play_game(&v.a, &v.b, 2, HomKind::OneToOne, &mut sp, &mut dup, 300);
+            assert_eq!(w, Winner::Duplicator, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn h3_strategy_survives_random_spoilers() {
+        let base = Thm66Witness::new(2);
+        let v = VariantWitness::h3(&base);
+        for seed in 0..10 {
+            let mut sp = RandomSpoiler::new(v.a.universe_size(), seed);
+            let mut dup = v.duplicator();
+            let w = play_game(&v.a, &v.b, 2, HomKind::OneToOne, &mut sp, &mut dup, 300);
+            assert_eq!(w, Winner::Duplicator, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn lemma_6_3_lift_preserves_everything() {
+        // F2 = H1 plus an edge 1 -> 2 (i.e. w2 -> w3).
+        let f2 = PatternSpec {
+            node_count: 4,
+            edges: vec![(0, 1), (2, 3), (1, 2)],
+        };
+        let base = Thm66Witness::new(1);
+        let lift = lift_witness(&base.a, &base.b, &[(0, 1), (2, 3)], &f2);
+        // Query separation.
+        let ga = Digraph::from_structure(&lift.a);
+        let da = lift.a.constant_values().to_vec();
+        assert!(brute_force_homeomorphism(&f2, &ga, &da));
+        let gb = Digraph::from_structure(&lift.b);
+        let db = lift.b.constant_values().to_vec();
+        assert!(!brute_force_homeomorphism(&f2, &gb, &db));
+        // Game half under play.
+        for seed in 0..10 {
+            let mut sp = RandomSpoiler::new(lift.a.universe_size(), seed);
+            let mut dup = LiftedDuplicator {
+                lift: &lift,
+                inner: base.duplicator(),
+            };
+            let w = play_game(&lift.a, &lift.b, 1, HomKind::OneToOne, &mut sp, &mut dup, 200);
+            assert_eq!(w, Winner::Duplicator, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn lift_with_fresh_pattern_node() {
+        // F2 = H1 plus a fifth node receiving an edge from node 3.
+        let f2 = PatternSpec {
+            node_count: 5,
+            edges: vec![(0, 1), (2, 3), (3, 4)],
+        };
+        let base = Thm66Witness::new(1);
+        let lift = lift_witness(&base.a, &base.b, &[(0, 1), (2, 3)], &f2);
+        assert_eq!(lift.a.constant_values().len(), 5);
+        let ga = Digraph::from_structure(&lift.a);
+        let da = lift.a.constant_values().to_vec();
+        assert!(brute_force_homeomorphism(&f2, &ga, &da));
+        let gb = Digraph::from_structure(&lift.b);
+        let db = lift.b.constant_values().to_vec();
+        assert!(!brute_force_homeomorphism(&f2, &gb, &db));
+    }
+}

@@ -1,0 +1,229 @@
+//! Deterministic generators for the structure families used in the paper's
+//! examples and in the benchmark workloads.
+//!
+//! Everything randomized takes an explicit seed so that tests, experiments
+//! and benchmarks are reproducible.
+
+use crate::graph::Digraph;
+use crate::structure::Structure;
+use crate::vocabulary::Vocabulary;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// A directed path with `n` nodes `0 -> 1 -> … -> n-1` as a structure over
+/// `{E/2}` (Example 4.4's building block).
+pub fn directed_path(n: usize) -> Structure {
+    directed_path_graph(n).to_structure()
+}
+
+/// A directed path with `n` nodes as a [`Digraph`].
+pub fn directed_path_graph(n: usize) -> Digraph {
+    let mut g = Digraph::new(n);
+    for i in 1..n {
+        g.add_edge((i - 1) as u32, i as u32);
+    }
+    g
+}
+
+/// A directed cycle with `n` nodes `0 -> 1 -> … -> n-1 -> 0`.
+pub fn directed_cycle(n: usize) -> Structure {
+    directed_cycle_graph(n).to_structure()
+}
+
+/// A directed cycle with `n` nodes as a [`Digraph`].
+pub fn directed_cycle_graph(n: usize) -> Digraph {
+    let mut g = Digraph::new(n);
+    for i in 0..n {
+        g.add_edge(i as u32, ((i + 1) % n) as u32);
+    }
+    g
+}
+
+/// The structure of Example 4.5's side `A`: two *disjoint* directed paths,
+/// each with `2n + 1` vertices.
+pub fn two_disjoint_paths(n: usize) -> Structure {
+    let len = 2 * n + 1;
+    let mut g = Digraph::new(2 * len);
+    for i in 1..len {
+        g.add_edge((i - 1) as u32, i as u32);
+        g.add_edge((len + i - 1) as u32, (len + i) as u32);
+    }
+    g.to_structure()
+}
+
+/// The structure of Example 4.5's side `B`: two directed paths, each with
+/// `2n + 1` vertices, intersecting only at their `(n+1)`-st vertex.
+pub fn two_crossing_paths(n: usize) -> Structure {
+    let len = 2 * n + 1;
+    // Nodes 0..len is the first path; the second path reuses node `n`
+    // (the (n+1)-st vertex, 0-indexed position n) and has fresh nodes
+    // elsewhere.
+    let mut g = Digraph::new(len);
+    for i in 1..len {
+        g.add_edge((i - 1) as u32, i as u32);
+    }
+    let mut second: Vec<u32> = Vec::with_capacity(len);
+    for i in 0..len {
+        if i == n {
+            second.push(n as u32);
+        } else {
+            second.push(g.add_node());
+        }
+    }
+    for i in 1..len {
+        g.add_edge(second[i - 1], second[i]);
+    }
+    g.to_structure()
+}
+
+/// A strict total order `<` on `n` elements, over the vocabulary `{< / 2}`
+/// (Example 3.3).
+pub fn total_order(n: usize) -> Structure {
+    let mut v = Vocabulary::new();
+    let lt = v.add_relation("<", 2);
+    let mut s = Structure::new(Arc::new(v), n.max(1));
+    for i in 0..n as u32 {
+        for j in (i + 1)..n as u32 {
+            s.insert(lt, &[i, j]);
+        }
+    }
+    s
+}
+
+/// A random digraph on `n` nodes where each ordered pair `(u, v)`, `u != v`,
+/// is an edge independently with probability `p` (G(n, p) for digraphs).
+pub fn random_digraph(n: usize, p: f64, seed: u64) -> Digraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Digraph::new(n);
+    for u in 0..n as u32 {
+        for v in 0..n as u32 {
+            if u != v && rng.gen_bool(p) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// A random DAG on `n` nodes: edges only from lower to higher ids, each
+/// present with probability `p`. Used by the Theorem 6.2 (acyclic input)
+/// experiments.
+pub fn random_dag(n: usize, p: f64, seed: u64) -> Digraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Digraph::new(n);
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            if rng.gen_bool(p) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// A "layered" random DAG: `layers` layers of `width` nodes; edges go from
+/// each layer to the next with probability `p`. Produces graphs where
+/// disjoint-path questions are non-trivial but structured.
+pub fn layered_dag(layers: usize, width: usize, p: f64, seed: u64) -> Digraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Digraph::new(layers * width);
+    for l in 1..layers {
+        for a in 0..width {
+            for b in 0..width {
+                if rng.gen_bool(p) {
+                    g.add_edge(((l - 1) * width + a) as u32, (l * width + b) as u32);
+                }
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vocabulary::RelId;
+
+    #[test]
+    fn path_shape() {
+        let p = directed_path(5);
+        assert_eq!(p.universe_size(), 5);
+        assert_eq!(p.tuple_count(), 4);
+        assert!(p.contains(RelId(0), &[0, 1]));
+        assert!(!p.contains(RelId(0), &[1, 0]));
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let c = directed_cycle(4);
+        assert_eq!(c.tuple_count(), 4);
+        assert!(c.contains(RelId(0), &[3, 0]));
+    }
+
+    #[test]
+    fn disjoint_vs_crossing_paths_counts() {
+        // n = 2: paths of 5 vertices each.
+        let a = two_disjoint_paths(2);
+        let b = two_crossing_paths(2);
+        assert_eq!(a.universe_size(), 10);
+        assert_eq!(b.universe_size(), 9); // one shared vertex
+        assert_eq!(a.tuple_count(), 8);
+        assert_eq!(b.tuple_count(), 8);
+    }
+
+    #[test]
+    fn crossing_paths_share_middle() {
+        let b = two_crossing_paths(1); // paths of 3 vertices sharing vertex 1
+        let g = Digraph::from_structure(&b);
+        // Shared node must have in-degree 2 and out-degree 2.
+        let shared: Vec<u32> = g
+            .nodes()
+            .filter(|&v| g.in_degree(v) == 2 && g.out_degree(v) == 2)
+            .collect();
+        assert_eq!(shared.len(), 1);
+    }
+
+    #[test]
+    fn total_order_is_transitive_and_irreflexive() {
+        let s = total_order(5);
+        let lt = RelId(0);
+        assert_eq!(s.tuple_count(), 10);
+        for i in 0..5u32 {
+            assert!(!s.contains(lt, &[i, i]));
+            for j in 0..5u32 {
+                for k in 0..5u32 {
+                    if s.contains(lt, &[i, j]) && s.contains(lt, &[j, k]) {
+                        assert!(s.contains(lt, &[i, k]));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_digraph_is_seed_deterministic() {
+        let a = random_digraph(10, 0.3, 42);
+        let b = random_digraph(10, 0.3, 42);
+        let c = random_digraph(10, 0.3, 43);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn random_dag_is_acyclic_by_construction() {
+        let g = random_dag(20, 0.4, 7);
+        for (u, v) in g.edges() {
+            assert!(u < v);
+        }
+    }
+
+    #[test]
+    fn layered_dag_edges_respect_layers() {
+        let g = layered_dag(3, 4, 0.8, 1);
+        assert_eq!(g.node_count(), 12);
+        for (u, v) in g.edges() {
+            assert_eq!(v / 4, u / 4 + 1);
+        }
+    }
+}

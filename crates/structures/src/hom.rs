@@ -1,0 +1,573 @@
+//! Partial maps and (one-to-one) homomorphisms between structures.
+//!
+//! The existential pebble games of the paper (Definition 4.3) are won by the
+//! Duplicator exactly as long as the map from pebbled elements of `A`
+//! (together with the constants) to pebbled elements of `B` is a *one-to-one
+//! homomorphism*: an injective map `h` such that every tuple of every relation
+//! of `A` whose components are all in the domain of `h` is mapped to a tuple
+//! of the corresponding relation of `B` (footnote 2 of the paper). The
+//! Datalog variant of the game (Remark 4.12(1)) drops injectivity. The
+//! [`HomKind`] enum selects between the two.
+
+use crate::structure::{Element, Structure};
+use crate::vocabulary::RelId;
+use std::collections::HashMap;
+
+/// Which notion of homomorphism a game or search uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HomKind {
+    /// Plain homomorphism: tuples map to tuples. This is the notion for
+    /// Datalog (no inequalities), per Remark 4.12(1).
+    Homomorphism,
+    /// One-to-one (injective) homomorphism, the notion for Datalog(≠) and
+    /// the existential k-pebble game of Definition 4.3.
+    OneToOne,
+}
+
+impl HomKind {
+    /// Whether this kind requires injectivity.
+    pub fn injective(self) -> bool {
+        matches!(self, HomKind::OneToOne)
+    }
+}
+
+/// A partial function between the universes of two structures, stored as a
+/// domain-sorted list of pairs.
+///
+/// This is the "configuration" object of the pebble games: the set of pairs
+/// `(pebbled element of A, pebbled element of B)` together with the constant
+/// pairs `(c^A, c^B)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct PartialMap {
+    pairs: Vec<(Element, Element)>,
+}
+
+impl PartialMap {
+    /// The empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a map from pairs.
+    ///
+    /// # Panics
+    /// Panics if the same domain element appears twice with different images.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (Element, Element)>) -> Self {
+        let mut m = Self::new();
+        for (a, b) in pairs {
+            assert!(
+                m.insert(a, b),
+                "domain element {a} mapped twice inconsistently"
+            );
+        }
+        m
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Looks up the image of `a`.
+    pub fn get(&self, a: Element) -> Option<Element> {
+        self.pairs
+            .binary_search_by_key(&a, |&(x, _)| x)
+            .ok()
+            .map(|i| self.pairs[i].1)
+    }
+
+    /// Whether `a` is in the domain.
+    pub fn contains_domain(&self, a: Element) -> bool {
+        self.get(a).is_some()
+    }
+
+    /// Whether `b` is in the range.
+    pub fn contains_range(&self, b: Element) -> bool {
+        self.pairs.iter().any(|&(_, y)| y == b)
+    }
+
+    /// Inserts the pair `(a, b)`. Returns `false` (and leaves the map
+    /// unchanged) if `a` is already mapped to a *different* element; returns
+    /// `true` if the pair was inserted or already present.
+    pub fn insert(&mut self, a: Element, b: Element) -> bool {
+        match self.pairs.binary_search_by_key(&a, |&(x, _)| x) {
+            Ok(i) => self.pairs[i].1 == b,
+            Err(i) => {
+                self.pairs.insert(i, (a, b));
+                true
+            }
+        }
+    }
+
+    /// Removes `a` from the domain; returns its image if present.
+    pub fn remove(&mut self, a: Element) -> Option<Element> {
+        match self.pairs.binary_search_by_key(&a, |&(x, _)| x) {
+            Ok(i) => Some(self.pairs.remove(i).1),
+            Err(_) => None,
+        }
+    }
+
+    /// Returns a copy with the pair `(a, b)` added.
+    ///
+    /// # Panics
+    /// Panics if `a` is already mapped to a different element.
+    pub fn extended(&self, a: Element, b: Element) -> Self {
+        let mut m = self.clone();
+        assert!(m.insert(a, b), "extending over existing domain element");
+        m
+    }
+
+    /// Returns a copy with `a` removed from the domain.
+    pub fn without(&self, a: Element) -> Self {
+        let mut m = self.clone();
+        m.remove(a);
+        m
+    }
+
+    /// The pairs, sorted by domain element.
+    pub fn pairs(&self) -> &[(Element, Element)] {
+        &self.pairs
+    }
+
+    /// Whether the map is injective.
+    pub fn is_injective(&self) -> bool {
+        let mut images: Vec<Element> = self.pairs.iter().map(|&(_, b)| b).collect();
+        images.sort_unstable();
+        images.windows(2).all(|w| w[0] != w[1])
+    }
+
+    /// Whether `self` is a subfunction of `other` (as sets of pairs).
+    pub fn is_subfunction_of(&self, other: &Self) -> bool {
+        self.pairs
+            .iter()
+            .all(|&(a, b)| other.get(a) == Some(b))
+    }
+
+    /// Applies the map to a tuple. Returns `None` if some component is
+    /// outside the domain.
+    pub fn apply(&self, tuple: &[Element]) -> Option<Vec<Element>> {
+        tuple.iter().map(|&a| self.get(a)).collect()
+    }
+}
+
+/// Checks that the constant symbols are respected: for every constant `c`,
+/// the map contains the pair `(c^A, c^B)`.
+pub fn respects_constants(map: &PartialMap, a: &Structure, b: &Structure) -> bool {
+    a.constant_values()
+        .iter()
+        .zip(b.constant_values())
+        .all(|(&ca, &cb)| map.get(ca) == Some(cb))
+}
+
+/// Full check: is `map` a partial homomorphism of the given kind from `a`
+/// to `b`? Constants are **not** checked here; callers that need the pebble
+/// game's convention should seed the map with the constant pairs and call
+/// [`respects_constants`] separately.
+pub fn is_partial_hom(map: &PartialMap, a: &Structure, b: &Structure, kind: HomKind) -> bool {
+    if kind.injective() && !map.is_injective() {
+        return false;
+    }
+    for rel in a.vocabulary().relations() {
+        for t in a.relation(rel).iter() {
+            if let Some(image) = map.apply(t) {
+                if !b.contains(rel, &image) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Per-element index of the tuples of a structure: for each element `x`,
+/// the list of `(relation, tuple)` pairs in which `x` occurs. This makes the
+/// incremental homomorphism check [`extension_ok`] touch only the tuples
+/// incident to the newly pebbled element.
+#[derive(Debug, Clone)]
+pub struct TupleIndex {
+    by_element: Vec<Vec<(RelId, Box<[Element]>)>>,
+}
+
+impl TupleIndex {
+    /// Builds the index for a structure.
+    pub fn build(s: &Structure) -> Self {
+        let mut by_element: Vec<Vec<(RelId, Box<[Element]>)>> =
+            vec![Vec::new(); s.universe_size()];
+        for rel in s.vocabulary().relations() {
+            for t in s.relation(rel).iter() {
+                let mut seen: Vec<Element> = Vec::with_capacity(t.len());
+                for &x in t.iter() {
+                    if !seen.contains(&x) {
+                        seen.push(x);
+                        by_element[x as usize].push((rel, t.clone()));
+                    }
+                }
+            }
+        }
+        Self { by_element }
+    }
+
+    /// The tuples incident to element `x`.
+    pub fn incident(&self, x: Element) -> &[(RelId, Box<[Element]>)] {
+        &self.by_element[x as usize]
+    }
+}
+
+/// Incremental check: assuming `map` is already a partial homomorphism of
+/// the given kind from `a` to `b`, is `map ∪ {(x, y)}` one as well?
+///
+/// `index` must be [`TupleIndex::build`] of `a`. The check examines only
+/// tuples incident to `x` whose components all lie in `dom(map) ∪ {x}`.
+pub fn extension_ok(
+    map: &PartialMap,
+    x: Element,
+    y: Element,
+    index: &TupleIndex,
+    b: &Structure,
+    kind: HomKind,
+) -> bool {
+    debug_assert!(!map.contains_domain(x));
+    if kind.injective() && map.contains_range(y) {
+        return false;
+    }
+    let lookup = |e: Element| -> Option<Element> {
+        if e == x {
+            Some(y)
+        } else {
+            map.get(e)
+        }
+    };
+    let mut image: Vec<Element> = Vec::with_capacity(4);
+    for (rel, t) in index.incident(x) {
+        image.clear();
+        let mut total = true;
+        for &e in t.iter() {
+            match lookup(e) {
+                Some(v) => image.push(v),
+                None => {
+                    total = false;
+                    break;
+                }
+            }
+        }
+        if total && !b.contains(*rel, &image) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Searches for a total homomorphism of the given kind from `a` to `b` by
+/// backtracking. If `respect_consts` is set, constants must map to the
+/// corresponding constants. Returns the image vector (indexed by elements of
+/// `a`) if one exists.
+///
+/// This is exponential in the worst case and serves as the brute-force ground
+/// truth for pattern-embedding questions (Definition 5.1's "one-to-one
+/// homomorphism from A into B"). Keep `a` small.
+pub fn find_homomorphism(
+    a: &Structure,
+    b: &Structure,
+    kind: HomKind,
+    respect_consts: bool,
+) -> Option<Vec<Element>> {
+    let n = a.universe_size();
+    let index = TupleIndex::build(a);
+    let mut map = PartialMap::new();
+    if respect_consts {
+        assert_eq!(
+            a.vocabulary().constant_count(),
+            b.vocabulary().constant_count(),
+            "vocabulary mismatch"
+        );
+        for (&ca, &cb) in a.constant_values().iter().zip(b.constant_values()) {
+            if let Some(existing) = map.get(ca) {
+                if existing != cb {
+                    return None;
+                }
+                continue;
+            }
+            if kind.injective() && map.contains_range(cb) {
+                return None;
+            }
+            if !extension_ok(&map, ca, cb, &index, b, kind) {
+                return None;
+            }
+            map.insert(ca, cb);
+        }
+    }
+    // Order the remaining elements by decreasing incidence degree so that
+    // constrained elements are assigned early.
+    let mut order: Vec<Element> = (0..n as Element)
+        .filter(|&x| !map.contains_domain(x))
+        .collect();
+    order.sort_by_key(|&x| std::cmp::Reverse(index.incident(x).len()));
+    fn backtrack(
+        order: &[Element],
+        pos: usize,
+        map: &mut PartialMap,
+        index: &TupleIndex,
+        b: &Structure,
+        kind: HomKind,
+    ) -> bool {
+        let Some(&x) = order.get(pos) else {
+            return true;
+        };
+        for y in b.elements() {
+            if extension_ok(map, x, y, index, b, kind) {
+                map.insert(x, y);
+                if backtrack(order, pos + 1, map, index, b, kind) {
+                    return true;
+                }
+                map.remove(x);
+            }
+        }
+        false
+    }
+    if backtrack(&order, 0, &mut map, &index, b, kind) {
+        Some((0..n as Element).map(|x| map.get(x).unwrap()).collect())
+    } else {
+        None
+    }
+}
+
+/// Searches for an isomorphism between `a` and `b` (a bijection that is a
+/// strong homomorphism in both directions). Exponential; for small
+/// structures and tests only.
+pub fn find_isomorphism(a: &Structure, b: &Structure) -> Option<Vec<Element>> {
+    if a.universe_size() != b.universe_size() {
+        return None;
+    }
+    for rel in a.vocabulary().relations() {
+        if a.relation(rel).len() != b.relation(rel).len() {
+            return None;
+        }
+    }
+    let n = a.universe_size();
+    let index_a = TupleIndex::build(a);
+    let index_b = TupleIndex::build(b);
+    let mut map = PartialMap::new();
+    let mut inverse: HashMap<Element, Element> = HashMap::new();
+    for (&ca, &cb) in a.constant_values().iter().zip(b.constant_values()) {
+        if map.get(ca).is_some_and(|v| v != cb) {
+            return None;
+        }
+        map.insert(ca, cb);
+        inverse.insert(cb, ca);
+    }
+    #[allow(clippy::too_many_arguments)]
+    fn backtrack(
+        n: usize,
+        pos: Element,
+        map: &mut PartialMap,
+        inverse: &mut HashMap<Element, Element>,
+        a: &Structure,
+        b: &Structure,
+        index_a: &TupleIndex,
+        index_b: &TupleIndex,
+    ) -> bool {
+        let x = (0..n as Element).find(|&x| !map.contains_domain(x));
+        let Some(x) = x else {
+            return true;
+        };
+        let _ = pos;
+        for y in b.elements() {
+            if inverse.contains_key(&y) {
+                continue;
+            }
+            // Forward direction: tuples of `a` incident to x map into `b`.
+            if !extension_ok(map, x, y, index_a, b, HomKind::OneToOne) {
+                continue;
+            }
+            // Backward direction: tuples of `b` incident to y whose
+            // components are all matched must pull back into `a`.
+            let back_ok = index_b.incident(y).iter().all(|(rel, t)| {
+                let mut pre = Vec::with_capacity(t.len());
+                for &e in t.iter() {
+                    let p = if e == y { Some(x) } else { inverse.get(&e).copied() };
+                    match p {
+                        Some(v) => pre.push(v),
+                        None => return true, // not yet total; checked later
+                    }
+                }
+                a.contains(*rel, &pre)
+            });
+            if !back_ok {
+                continue;
+            }
+            map.insert(x, y);
+            inverse.insert(y, x);
+            if backtrack(n, pos + 1, map, inverse, a, b, index_a, index_b) {
+                return true;
+            }
+            map.remove(x);
+            inverse.remove(&y);
+        }
+        false
+    }
+    if backtrack(n, 0, &mut map, &mut inverse, a, b, &index_a, &index_b) {
+        Some((0..n as Element).map(|x| map.get(x).unwrap()).collect())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::vocabulary::{RelId, Vocabulary};
+    use std::sync::Arc;
+
+    fn path(n: usize) -> Structure {
+        generators::directed_path(n)
+    }
+
+    #[test]
+    fn partial_map_basics() {
+        let mut m = PartialMap::new();
+        assert!(m.insert(3, 7));
+        assert!(m.insert(1, 5));
+        assert!(m.insert(3, 7)); // re-insert same pair
+        assert!(!m.insert(3, 8)); // conflicting image refused
+        assert_eq!(m.get(3), Some(7));
+        assert_eq!(m.get(1), Some(5));
+        assert_eq!(m.get(0), None);
+        assert_eq!(m.len(), 2);
+        assert!(m.is_injective());
+        assert!(m.contains_range(5));
+        assert_eq!(m.remove(1), Some(5));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn injectivity_detected() {
+        let m = PartialMap::from_pairs([(0, 4), (1, 4)]);
+        assert!(!m.is_injective());
+    }
+
+    #[test]
+    fn subfunction_relation() {
+        let big = PartialMap::from_pairs([(0, 1), (2, 3), (4, 5)]);
+        let small = PartialMap::from_pairs([(2, 3)]);
+        assert!(small.is_subfunction_of(&big));
+        assert!(!big.is_subfunction_of(&small));
+        assert!(PartialMap::new().is_subfunction_of(&small));
+    }
+
+    #[test]
+    fn identity_on_path_is_hom() {
+        let p = path(4);
+        let id = PartialMap::from_pairs((0..4).map(|i| (i, i)));
+        assert!(is_partial_hom(&id, &p, &p, HomKind::OneToOne));
+    }
+
+    #[test]
+    fn edge_reversal_is_not_hom() {
+        let p = path(2); // edge 0 -> 1
+        let rev = PartialMap::from_pairs([(0, 1), (1, 0)]);
+        assert!(!is_partial_hom(&rev, &p, &p, HomKind::OneToOne));
+    }
+
+    #[test]
+    fn shift_into_longer_path_is_hom() {
+        let short = path(3);
+        let long = path(6);
+        let shift = PartialMap::from_pairs([(0, 2), (1, 3), (2, 4)]);
+        assert!(is_partial_hom(&shift, &short, &long, HomKind::OneToOne));
+    }
+
+    #[test]
+    fn extension_ok_matches_full_check() {
+        let a = path(4);
+        let b = path(6);
+        let index = TupleIndex::build(&a);
+        let map = PartialMap::from_pairs([(0, 1), (1, 2)]);
+        assert!(is_partial_hom(&map, &a, &b, HomKind::OneToOne));
+        // Extending 2 -> 3 keeps the edge 1 -> 2 mapped to 2 -> 3: ok.
+        assert!(extension_ok(&map, 2, 3, &index, &b, HomKind::OneToOne));
+        assert!(!extension_ok(&map, 2, 5, &index, &b, HomKind::OneToOne));
+        // Injectivity refusal.
+        assert!(!extension_ok(&map, 2, 1, &index, &b, HomKind::OneToOne));
+        // Without injectivity the same target is fine if edges work out —
+        // 2 -> 2 fails the edge check (edge (1,2) would need (2,2)).
+        assert!(!extension_ok(&map, 2, 2, &index, &b, HomKind::Homomorphism));
+    }
+
+    #[test]
+    fn find_homomorphism_path_into_longer_path() {
+        let a = path(3);
+        let b = path(5);
+        let h = find_homomorphism(&a, &b, HomKind::OneToOne, false).expect("embedding exists");
+        // Must be three consecutive nodes.
+        assert_eq!(h.len(), 3);
+        assert_eq!(h[1], h[0] + 1);
+        assert_eq!(h[2], h[1] + 1);
+    }
+
+    #[test]
+    fn find_homomorphism_longer_into_shorter_fails_one_to_one() {
+        let a = path(5);
+        let b = path(3);
+        assert!(find_homomorphism(&a, &b, HomKind::OneToOne, false).is_none());
+    }
+
+    #[test]
+    fn plain_hom_can_collapse_cycle() {
+        // A 4-cycle maps homomorphically onto a 2-cycle, but not injectively.
+        let c4 = generators::directed_cycle(4);
+        let c2 = generators::directed_cycle(2);
+        assert!(find_homomorphism(&c4, &c2, HomKind::Homomorphism, false).is_some());
+        assert!(find_homomorphism(&c4, &c2, HomKind::OneToOne, false).is_none());
+    }
+
+    #[test]
+    fn constants_respected_in_search() {
+        let v = Arc::new(Vocabulary::graph_with_constants(2));
+        // a: edge s1 -> s2 with s1 = 0, s2 = 1.
+        let mut a = Structure::new(Arc::clone(&v), 2);
+        a.insert(RelId(0), &[0, 1]);
+        a.set_constant(crate::ConstId(0), 0);
+        a.set_constant(crate::ConstId(1), 1);
+        // b: path 0 -> 1 -> 2 with s1 = 1, s2 = 2.
+        let mut b = Structure::new(Arc::clone(&v), 3);
+        b.insert(RelId(0), &[0, 1]);
+        b.insert(RelId(0), &[1, 2]);
+        b.set_constant(crate::ConstId(0), 1);
+        b.set_constant(crate::ConstId(1), 2);
+        let h = find_homomorphism(&a, &b, HomKind::OneToOne, true).expect("constant-respecting");
+        assert_eq!(h, vec![1, 2]);
+        // With constants pinned the other way there is no embedding.
+        b.set_constant(crate::ConstId(1), 0);
+        assert!(find_homomorphism(&a, &b, HomKind::OneToOne, true).is_none());
+    }
+
+    #[test]
+    fn isomorphism_paths() {
+        let a = path(4);
+        let b = path(4);
+        let iso = find_isomorphism(&a, &b).expect("paths are isomorphic");
+        assert_eq!(iso, vec![0, 1, 2, 3]);
+        assert!(find_isomorphism(&a, &path(5)).is_none());
+        // Path vs cycle of same size: not isomorphic (tuple counts differ).
+        assert!(find_isomorphism(&path(3), &generators::directed_cycle(3)).is_none());
+    }
+
+    #[test]
+    fn respects_constants_check() {
+        let v = Arc::new(Vocabulary::graph_with_constants(1));
+        let mut a = Structure::new(Arc::clone(&v), 2);
+        a.set_constant(crate::ConstId(0), 1);
+        let mut b = Structure::new(Arc::clone(&v), 2);
+        b.set_constant(crate::ConstId(0), 0);
+        let good = PartialMap::from_pairs([(1, 0)]);
+        let bad = PartialMap::from_pairs([(1, 1)]);
+        assert!(respects_constants(&good, &a, &b));
+        assert!(!respects_constants(&bad, &a, &b));
+    }
+}

@@ -1,0 +1,132 @@
+//! A tiny text format for digraphs with distinguished nodes.
+//!
+//! ```text
+//! # comment lines start with '#'
+//! nodes 5
+//! 0 1
+//! 1 2
+//! 2 4
+//! distinguished 0 4
+//! ```
+//!
+//! `nodes` must come first; each following bare line is an edge; an
+//! optional `distinguished` line lists the distinguished nodes in order.
+//! Used by the CLI and handy for ad-hoc experiments.
+
+use crate::graph::Digraph;
+use std::fmt::Write as _;
+
+/// Parses the edge-list format.
+pub fn parse_digraph(text: &str) -> Result<Digraph, String> {
+    let mut graph: Option<Digraph> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let head = parts.next().expect("nonempty line");
+        match head {
+            "nodes" => {
+                if graph.is_some() {
+                    return Err(format!("line {}: duplicate 'nodes'", lineno + 1));
+                }
+                let n: usize = parts
+                    .next()
+                    .ok_or_else(|| format!("line {}: missing node count", lineno + 1))?
+                    .parse()
+                    .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                if parts.next().is_some() {
+                    return Err(format!("line {}: trailing tokens", lineno + 1));
+                }
+                graph = Some(Digraph::new(n));
+            }
+            "distinguished" => {
+                let g = graph
+                    .as_mut()
+                    .ok_or_else(|| format!("line {}: 'nodes' must come first", lineno + 1))?;
+                let nodes: Result<Vec<u32>, _> = parts.map(str::parse).collect();
+                let nodes = nodes.map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                let n = g.node_count() as u32;
+                if nodes.iter().any(|&v| v >= n) {
+                    return Err(format!("line {}: distinguished node out of range", lineno + 1));
+                }
+                g.set_distinguished(nodes);
+            }
+            u => {
+                let g = graph
+                    .as_mut()
+                    .ok_or_else(|| format!("line {}: 'nodes' must come first", lineno + 1))?;
+                let u: u32 = u
+                    .parse()
+                    .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                let v: u32 = parts
+                    .next()
+                    .ok_or_else(|| format!("line {}: missing edge head", lineno + 1))?
+                    .parse()
+                    .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                let n = g.node_count() as u32;
+                if u >= n || v >= n {
+                    return Err(format!("line {}: edge ({u},{v}) out of range", lineno + 1));
+                }
+                if parts.next().is_some() {
+                    return Err(format!("line {}: trailing tokens", lineno + 1));
+                }
+                g.add_edge(u, v);
+            }
+        }
+    }
+    graph.ok_or_else(|| "missing 'nodes' line".into())
+}
+
+/// Serializes a digraph to the edge-list format.
+pub fn write_digraph(g: &Digraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "nodes {}", g.node_count());
+    let mut edges: Vec<(u32, u32)> = g.edges().collect();
+    edges.sort_unstable();
+    for (u, v) in edges {
+        let _ = writeln!(out, "{u} {v}");
+    }
+    if !g.distinguished().is_empty() {
+        let parts: Vec<String> = g.distinguished().iter().map(u32::to_string).collect();
+        let _ = writeln!(out, "distinguished {}", parts.join(" "));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut g = Digraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 2);
+        g.set_distinguished(vec![0, 3]);
+        let text = write_digraph(&g);
+        let g2 = parse_digraph(&text).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# header\n\nnodes 3\n0 1\n# middle\n1 2\n";
+        let g = parse_digraph(text).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse_digraph("0 1\n").is_err()); // nodes missing
+        assert!(parse_digraph("nodes 2\n0 5\n").is_err()); // out of range
+        assert!(parse_digraph("nodes 2\n0\n").is_err()); // half an edge
+        assert!(parse_digraph("nodes 2\ndistinguished 7\n").is_err());
+        assert!(parse_digraph("nodes 2\nnodes 3\n").is_err());
+        assert!(parse_digraph("").is_err());
+        assert!(parse_digraph("nodes 2\n0 1 9\n").is_err()); // trailing token
+    }
+}

@@ -1,0 +1,36 @@
+//! Finite relational structures over finite vocabularies.
+//!
+//! This crate provides the model-theoretic substrate for the reproduction of
+//! Kolaitis & Vardi, *On the Expressive Power of Datalog: Tools and a Case
+//! Study* (PODS 1990). Everything in the paper — Datalog(≠) semantics, the
+//! infinitary logics `L^k`, and the existential pebble games — is defined on
+//! finite structures `A = (A, R_1^A, …, R_m^A, c_1^A, …, c_l^A)` over a
+//! vocabulary of relation and constant symbols.
+//!
+//! The main types are:
+//! - [`Vocabulary`]: relation symbols with arities plus constant symbols;
+//! - [`Structure`]: a universe `{0, …, n-1}` together with an interpretation
+//!   of every symbol;
+//! - [`PartialMap`]: a partial function between two universes, with the
+//!   homomorphism checks used by the pebble games ([`hom`]);
+//! - [`Digraph`]: a thin directed-graph view used throughout the case study
+//!   ([`graph`]);
+//! - deterministic generators for the structure families appearing in the
+//!   paper's examples ([`generators`]).
+
+#![warn(missing_docs)]
+
+pub mod generators;
+pub mod graph;
+pub mod io;
+pub mod hom;
+pub mod ops;
+pub mod structure;
+pub mod vocabulary;
+
+pub use graph::Digraph;
+pub use io::{parse_digraph, write_digraph};
+pub use hom::{HomKind, PartialMap};
+pub use ops::{disjoint_union, induced_substructure, quotient};
+pub use structure::{Element, Relation, Structure, Tuple};
+pub use vocabulary::{ConstId, RelId, Vocabulary};

@@ -1,0 +1,172 @@
+//! Structure-level operations: disjoint union, induced substructures, and
+//! quotients (element identification).
+//!
+//! Quotients implement the paper's notion of "identifying elements of the
+//! universe" (Section 1): Datalog queries are preserved under them (strong
+//! monotonicity), while Datalog(≠) queries need not be — the `w`-avoiding
+//! path query of Example 2.1 is the canonical counterexample, exercised in
+//! the `kv-core` monotonicity experiments (E2).
+
+use crate::structure::{Element, Structure};
+
+/// The disjoint union of two structures over the same vocabulary. Elements
+/// of `b` are shifted by `a.universe_size()`. Constants are taken from `a`
+/// (the union keeps `a`'s distinguished elements).
+///
+/// # Panics
+/// Panics if the vocabularies differ.
+pub fn disjoint_union(a: &Structure, b: &Structure) -> Structure {
+    assert_eq!(
+        a.vocabulary(),
+        b.vocabulary(),
+        "disjoint union requires a common vocabulary"
+    );
+    let offset = a.universe_size() as Element;
+    let mut out = Structure::new(
+        a.vocabulary().clone(),
+        a.universe_size() + b.universe_size(),
+    );
+    for rel in a.vocabulary().relations() {
+        for t in a.relation(rel).iter() {
+            out.insert(rel, t);
+        }
+        let mut shifted: Vec<Element> = Vec::new();
+        for t in b.relation(rel).iter() {
+            shifted.clear();
+            shifted.extend(t.iter().map(|&e| e + offset));
+            out.insert(rel, &shifted);
+        }
+    }
+    for c in a.vocabulary().constants() {
+        out.set_constant(c, a.constant(c));
+    }
+    out
+}
+
+/// The substructure of `s` induced by `elements` (order defines the new ids
+/// `0, …, m-1`).
+///
+/// Constants must all be among `elements`; otherwise this panics (a
+/// substructure must still interpret every symbol).
+pub fn induced_substructure(s: &Structure, elements: &[Element]) -> Structure {
+    let mut position = vec![None; s.universe_size()];
+    for (i, &e) in elements.iter().enumerate() {
+        assert!(
+            position[e as usize].is_none(),
+            "duplicate element {e} in substructure selection"
+        );
+        position[e as usize] = Some(i as Element);
+    }
+    let mut out = Structure::new(s.vocabulary().clone(), elements.len().max(1));
+    let mut image: Vec<Element> = Vec::new();
+    for rel in s.vocabulary().relations() {
+        'tuples: for t in s.relation(rel).iter() {
+            image.clear();
+            for &e in t.iter() {
+                match position[e as usize] {
+                    Some(p) => image.push(p),
+                    None => continue 'tuples,
+                }
+            }
+            out.insert(rel, &image);
+        }
+    }
+    for c in s.vocabulary().constants() {
+        let e = s.constant(c);
+        let p = position[e as usize]
+            .unwrap_or_else(|| panic!("constant {} not among selected elements", e));
+        out.set_constant(c, p);
+    }
+    out
+}
+
+/// The quotient of `s` by the equivalence classes induced by `class_of`:
+/// element `e` of the quotient universe is the class `class_of[e]`. The
+/// number of classes is `1 + max(class_of)`; every class id below that bound
+/// must be used by at least one element.
+///
+/// Tuples and constants are mapped classwise. This is the "collapsing
+/// multiple elements into a single element" operation under which Datalog
+/// (but not Datalog(≠)) queries are preserved.
+pub fn quotient(s: &Structure, class_of: &[Element]) -> Structure {
+    assert_eq!(class_of.len(), s.universe_size(), "class map length");
+    let classes = class_of.iter().copied().max().map_or(0, |m| m as usize + 1);
+    let mut seen = vec![false; classes];
+    for &c in class_of {
+        seen[c as usize] = true;
+    }
+    assert!(seen.iter().all(|&b| b), "unused class id in quotient");
+    let mut out = Structure::new(s.vocabulary().clone(), classes.max(1));
+    let mut image: Vec<Element> = Vec::new();
+    for rel in s.vocabulary().relations() {
+        for t in s.relation(rel).iter() {
+            image.clear();
+            image.extend(t.iter().map(|&e| class_of[e as usize]));
+            out.insert(rel, &image);
+        }
+    }
+    for c in s.vocabulary().constants() {
+        out.set_constant(c, class_of[s.constant(c) as usize]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{directed_cycle, directed_path};
+    use crate::vocabulary::RelId;
+
+    #[test]
+    fn disjoint_union_shifts_second() {
+        let a = directed_path(3);
+        let b = directed_path(2);
+        let u = disjoint_union(&a, &b);
+        assert_eq!(u.universe_size(), 5);
+        assert_eq!(u.tuple_count(), 3);
+        assert!(u.contains(RelId(0), &[0, 1]));
+        assert!(u.contains(RelId(0), &[3, 4]));
+        assert!(!u.contains(RelId(0), &[2, 3]));
+    }
+
+    #[test]
+    fn induced_substructure_keeps_internal_edges() {
+        let p = directed_path(5);
+        let sub = induced_substructure(&p, &[1, 2, 3]);
+        assert_eq!(sub.universe_size(), 3);
+        assert_eq!(sub.tuple_count(), 2);
+        assert!(sub.contains(RelId(0), &[0, 1]));
+        assert!(sub.contains(RelId(0), &[1, 2]));
+    }
+
+    #[test]
+    fn induced_substructure_nonconsecutive_drops_edges() {
+        let p = directed_path(5);
+        let sub = induced_substructure(&p, &[0, 2, 4]);
+        assert_eq!(sub.tuple_count(), 0);
+    }
+
+    #[test]
+    fn quotient_collapses_path_to_loop() {
+        // Identify the two endpoints of a 3-path: 0 and 2 become class 0.
+        let p = directed_path(3);
+        let q = quotient(&p, &[0, 1, 0]);
+        assert_eq!(q.universe_size(), 2);
+        assert!(q.contains(RelId(0), &[0, 1]));
+        assert!(q.contains(RelId(0), &[1, 0]));
+    }
+
+    #[test]
+    fn quotient_identity_is_isomorphic() {
+        let c = directed_cycle(4);
+        let q = quotient(&c, &[0, 1, 2, 3]);
+        assert_eq!(q, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "unused class id")]
+    fn quotient_rejects_gaps() {
+        let p = directed_path(2);
+        quotient(&p, &[0, 2]);
+    }
+}

@@ -1,0 +1,210 @@
+//! Vocabularies: finite collections of relation and constant symbols.
+//!
+//! The paper's Proviso (Section 3) restricts attention to finite
+//! vocabularies, so a [`Vocabulary`] is a plain in-memory table. Symbols are
+//! referred to by the dense indices [`RelId`] and [`ConstId`]; names are kept
+//! for parsing and display only.
+
+use std::fmt;
+
+/// Index of a relation symbol within a [`Vocabulary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelId(pub usize);
+
+/// Index of a constant symbol within a [`Vocabulary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConstId(pub usize);
+
+/// A finite vocabulary `σ` of relation symbols (each with an arity) and
+/// constant symbols.
+///
+/// Constant symbols are the vehicle by which the paper equips input graphs
+/// with *distinguished nodes* (e.g. the sources/sinks `s_1, …, s_4` of the
+/// fixed subgraph homeomorphism queries in Section 6).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Vocabulary {
+    relations: Vec<(String, usize)>,
+    constants: Vec<String>,
+}
+
+impl Vocabulary {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a relation symbol with the given `arity` and returns its id.
+    ///
+    /// # Panics
+    /// Panics if a relation with the same name already exists.
+    pub fn add_relation(&mut self, name: impl Into<String>, arity: usize) -> RelId {
+        let name = name.into();
+        assert!(
+            self.relation_by_name(&name).is_none(),
+            "duplicate relation symbol {name:?}"
+        );
+        self.relations.push((name, arity));
+        RelId(self.relations.len() - 1)
+    }
+
+    /// Adds a constant symbol and returns its id.
+    ///
+    /// # Panics
+    /// Panics if a constant with the same name already exists.
+    pub fn add_constant(&mut self, name: impl Into<String>) -> ConstId {
+        let name = name.into();
+        assert!(
+            self.constant_by_name(&name).is_none(),
+            "duplicate constant symbol {name:?}"
+        );
+        self.constants.push(name);
+        ConstId(self.constants.len() - 1)
+    }
+
+    /// Number of relation symbols.
+    pub fn relation_count(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Number of constant symbols.
+    pub fn constant_count(&self) -> usize {
+        self.constants.len()
+    }
+
+    /// The arity of relation symbol `rel`.
+    pub fn arity(&self, rel: RelId) -> usize {
+        self.relations[rel.0].1
+    }
+
+    /// The name of relation symbol `rel`.
+    pub fn relation_name(&self, rel: RelId) -> &str {
+        &self.relations[rel.0].0
+    }
+
+    /// The name of constant symbol `c`.
+    pub fn constant_name(&self, c: ConstId) -> &str {
+        &self.constants[c.0]
+    }
+
+    /// Looks a relation symbol up by name.
+    pub fn relation_by_name(&self, name: &str) -> Option<RelId> {
+        self.relations
+            .iter()
+            .position(|(n, _)| n == name)
+            .map(RelId)
+    }
+
+    /// Looks a constant symbol up by name.
+    pub fn constant_by_name(&self, name: &str) -> Option<ConstId> {
+        self.constants.iter().position(|n| n == name).map(ConstId)
+    }
+
+    /// Iterates over all relation ids.
+    pub fn relations(&self) -> impl Iterator<Item = RelId> + '_ {
+        (0..self.relations.len()).map(RelId)
+    }
+
+    /// Iterates over all constant ids.
+    pub fn constants(&self) -> impl Iterator<Item = ConstId> + '_ {
+        (0..self.constants.len()).map(ConstId)
+    }
+
+    /// The vocabulary of plain directed graphs: a single binary relation `E`.
+    pub fn graph() -> Self {
+        let mut v = Self::new();
+        v.add_relation("E", 2);
+        v
+    }
+
+    /// The vocabulary of directed graphs with `k` distinguished nodes named
+    /// `s1, …, sk` (matching the paper's Section 6 conventions).
+    pub fn graph_with_constants(k: usize) -> Self {
+        let mut v = Self::graph();
+        for i in 1..=k {
+            v.add_constant(format!("s{i}"));
+        }
+        v
+    }
+}
+
+impl fmt::Display for Vocabulary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "σ = {{")?;
+        let mut first = true;
+        for (name, arity) in &self.relations {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{name}/{arity}")?;
+        }
+        for name in &self.constants {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            write!(f, "{name}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup_relations() {
+        let mut v = Vocabulary::new();
+        let e = v.add_relation("E", 2);
+        let t = v.add_relation("T", 3);
+        assert_eq!(v.arity(e), 2);
+        assert_eq!(v.arity(t), 3);
+        assert_eq!(v.relation_by_name("E"), Some(e));
+        assert_eq!(v.relation_by_name("T"), Some(t));
+        assert_eq!(v.relation_by_name("X"), None);
+        assert_eq!(v.relation_count(), 2);
+    }
+
+    #[test]
+    fn add_and_lookup_constants() {
+        let mut v = Vocabulary::new();
+        let s = v.add_constant("s");
+        let t = v.add_constant("t");
+        assert_eq!(v.constant_by_name("s"), Some(s));
+        assert_eq!(v.constant_by_name("t"), Some(t));
+        assert_eq!(v.constant_name(s), "s");
+        assert_eq!(v.constant_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate relation")]
+    fn duplicate_relation_panics() {
+        let mut v = Vocabulary::new();
+        v.add_relation("E", 2);
+        v.add_relation("E", 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate constant")]
+    fn duplicate_constant_panics() {
+        let mut v = Vocabulary::new();
+        v.add_constant("s");
+        v.add_constant("s");
+    }
+
+    #[test]
+    fn graph_vocabulary() {
+        let v = Vocabulary::graph_with_constants(4);
+        assert_eq!(v.relation_count(), 1);
+        assert_eq!(v.constant_count(), 4);
+        assert_eq!(v.arity(RelId(0)), 2);
+        assert_eq!(v.constant_name(ConstId(2)), "s3");
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let v = Vocabulary::graph_with_constants(2);
+        assert_eq!(v.to_string(), "σ = {E/2, s1, s2}");
+    }
+}

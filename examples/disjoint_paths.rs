@@ -1,0 +1,51 @@
+//! Theorem 6.1 end-to-end: the two node-disjoint paths query solved three
+//! ways — by the generated Datalog(≠) program `Q_{2,0}`, by
+//! node-capacitated max flow (Menger), and by brute force — on a batch of
+//! random graphs.
+//!
+//! ```sh
+//! cargo run --example disjoint_paths
+//! ```
+
+use datalog_expressiveness::datalog::programs::q_kl;
+use datalog_expressiveness::datalog::Evaluator;
+use datalog_expressiveness::graphalg::disjoint::{disjoint_fan, DisjointFan};
+use datalog_expressiveness::homeo::{brute_force_homeomorphism, PatternSpec};
+use datalog_expressiveness::structures::generators::random_digraph;
+
+fn main() {
+    let program = q_kl(2, 0);
+    println!("Theorem 6.1 program Q_2,0:\n{program}");
+
+    let star = PatternSpec {
+        node_count: 3,
+        edges: vec![(0, 1), (0, 2)],
+    };
+    let mut agreements = 0usize;
+    let mut positives = 0usize;
+    for seed in 0..20 {
+        let g = random_digraph(8, 0.28, seed);
+        let s = g.to_structure();
+        let relation = Evaluator::new(&program).goal(&s);
+        let (src, t1, t2) = (0u32, 1u32, 2u32);
+
+        let by_program = relation.contains(&[src, t1, t2][..]);
+        let by_flow = matches!(disjoint_fan(&g, src, &[t1, t2], &[]), DisjointFan::Paths(_));
+        let by_brute = brute_force_homeomorphism(&star, &g, &[src, t1, t2]);
+        assert_eq!(by_program, by_flow, "seed {seed}");
+        assert_eq!(by_program, by_brute, "seed {seed}");
+        agreements += 1;
+        if by_program {
+            positives += 1;
+            if let DisjointFan::Paths(paths) = disjoint_fan(&g, src, &[t1, t2], &[]) {
+                println!(
+                    "seed {seed:>2}: disjoint paths {:?} and {:?}",
+                    paths[0], paths[1]
+                );
+            }
+        } else if let DisjointFan::Cut(cut) = disjoint_fan(&g, src, &[t1, t2], &[]) {
+            println!("seed {seed:>2}: no fan — Menger cut {cut:?}");
+        }
+    }
+    println!("\nall three methods agreed on {agreements} instances ({positives} positive) ✓");
+}

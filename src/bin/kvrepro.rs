@@ -1,0 +1,246 @@
+//! `kvrepro` — command-line front end for the Kolaitis–Vardi reproduction.
+//!
+//! ```text
+//! kvrepro run <program.dl> <graph.txt>      evaluate a Datalog(≠) program
+//! kvrepro game <a.txt> <b.txt> <k>          solve the existential k-pebble game
+//! kvrepro classify <edges>                  classify a pattern graph, e.g. "0-1,0-2"
+//! kvrepro homeo <edges> <graph.txt>         solve a homeomorphism query
+//! kvrepro gphi <cnf>                        build G_φ, e.g. "1,-2;2" = (x1∨¬x2)∧(x2)
+//! ```
+//!
+//! Graph files use the `kv-structures` edge-list format (`nodes N`, one
+//! `u v` pair per line, optional `distinguished …`). Programs use the
+//! Datalog(≠) syntax of `kv-datalog` and see the graph as `E/2` with
+//! constants `s1, …, sk` bound to the distinguished nodes.
+
+use datalog_expressiveness::datalog::{parse_program, Evaluator};
+use datalog_expressiveness::homeo::PatternSpec;
+use datalog_expressiveness::pebble::{ExistentialGame, Winner};
+use datalog_expressiveness::reduction::GPhi;
+use datalog_expressiveness::structures::{parse_digraph, Digraph, HomKind, Vocabulary};
+use datalog_expressiveness::{classify_and_report, Expressibility};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("game") => cmd_game(&args[1..]),
+        Some("classify") => cmd_classify(&args[1..]),
+        Some("homeo") => cmd_homeo(&args[1..]),
+        Some("gphi") => cmd_gphi(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: kvrepro <run|game|classify|homeo|gphi> …\n\
+                 \n  run <program.dl> <graph.txt>\
+                 \n  game <a.txt> <b.txt> <k>\
+                 \n  classify <edges e.g. 0-1,0-2>\
+                 \n  homeo <edges> <graph.txt>\
+                 \n  gphi <cnf e.g. '1,-2;2'>"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn read_graph(path: &str) -> Result<Digraph, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse_digraph(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let [program_path, graph_path] = args else {
+        return Err("run needs <program.dl> <graph.txt>".into());
+    };
+    let graph = read_graph(graph_path)?;
+    let vocab = Arc::new(Vocabulary::graph_with_constants(graph.distinguished().len()));
+    let source =
+        std::fs::read_to_string(program_path).map_err(|e| format!("{program_path}: {e}"))?;
+    let program = parse_program(&source, Arc::clone(&vocab)).map_err(|e| e.to_string())?;
+    let structure = graph.to_structure_with(vocab);
+    let result = Evaluator::new(&program).run(&structure, Default::default());
+    let goal = program.goal();
+    println!(
+        "fixpoint after {} stages; goal {} has {} tuples:",
+        result.stage_count(),
+        program.idb_name(goal),
+        result.idb[goal.0].len()
+    );
+    let mut rows: Vec<&datalog_expressiveness::structures::Tuple> =
+        result.idb[goal.0].iter().collect();
+    rows.sort();
+    for t in rows {
+        let cells: Vec<String> = t.iter().map(u32::to_string).collect();
+        println!("  ({})", cells.join(", "));
+    }
+    Ok(())
+}
+
+fn cmd_game(args: &[String]) -> Result<(), String> {
+    let [a_path, b_path, k] = args else {
+        return Err("game needs <a.txt> <b.txt> <k>".into());
+    };
+    let k: usize = k.parse().map_err(|e| format!("k: {e}"))?;
+    let ga = read_graph(a_path)?;
+    let gb = read_graph(b_path)?;
+    if ga.distinguished().len() != gb.distinguished().len() {
+        return Err("graphs must have the same number of distinguished nodes".into());
+    }
+    let vocab = Arc::new(Vocabulary::graph_with_constants(ga.distinguished().len()));
+    let a = ga.to_structure_with(Arc::clone(&vocab));
+    let b = gb.to_structure_with(vocab);
+    let game = ExistentialGame::solve(&a, &b, k, HomKind::OneToOne);
+    println!(
+        "existential {k}-pebble game on ({a_path} → {b_path}): {} wins",
+        match game.winner() {
+            Winner::Duplicator => "the Duplicator (Player II)",
+            Winner::Spoiler => "the Spoiler (Player I)",
+        }
+    );
+    println!(
+        "arena: {} configurations, surviving family: {}",
+        game.arena_size(),
+        game.family_size()
+    );
+    println!(
+        "hence A {} B  (every L^{k} sentence true in A {} true in B)",
+        if game.winner() == Winner::Duplicator { "≼ᵏ" } else { "⋠ᵏ" },
+        if game.winner() == Winner::Duplicator { "is" } else { "need not be" },
+    );
+    Ok(())
+}
+
+fn parse_pattern(spec: &str) -> Result<PatternSpec, String> {
+    let mut edges = Vec::new();
+    let mut max_node = 0usize;
+    for part in spec.split(',') {
+        let (i, j) = part
+            .split_once('-')
+            .ok_or_else(|| format!("bad edge {part:?}, expected i-j"))?;
+        let i: usize = i.trim().parse().map_err(|e| format!("{part:?}: {e}"))?;
+        let j: usize = j.trim().parse().map_err(|e| format!("{part:?}: {e}"))?;
+        max_node = max_node.max(i).max(j);
+        edges.push((i, j));
+    }
+    Ok(PatternSpec {
+        node_count: max_node + 1,
+        edges,
+    })
+}
+
+fn cmd_classify(args: &[String]) -> Result<(), String> {
+    let [spec] = args else {
+        return Err("classify needs <edges>, e.g. 0-1,0-2".into());
+    };
+    let pattern = parse_pattern(spec)?;
+    let report = classify_and_report(&pattern);
+    println!("pattern: {} nodes, edges {:?}", pattern.node_count, pattern.edges);
+    match report.verdict {
+        Expressibility::ExpressibleEverywhere(program) => {
+            println!("class C — Datalog(≠)-expressible on ALL inputs (Theorem 6.1).");
+            println!("generated program:\n{program}");
+        }
+        Expressibility::InexpressibleGeneral {
+            generator,
+            acyclic_program,
+        } => {
+            println!("class C̄ (contains {generator:?}) —");
+            println!("  • NOT expressible in L^ω on general inputs (Theorems 6.6/6.7);");
+            println!("  • expressible on ACYCLIC inputs (Theorem 6.2).");
+            println!("acyclic-input program:\n{acyclic_program}");
+        }
+        Expressibility::Degenerate => {
+            println!("degenerate pattern (outside the FHW dichotomy).");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_homeo(args: &[String]) -> Result<(), String> {
+    let [spec, graph_path] = args else {
+        return Err("homeo needs <edges> <graph.txt>".into());
+    };
+    let pattern = parse_pattern(spec)?;
+    let graph = read_graph(graph_path)?;
+    if graph.distinguished().len() != pattern.node_count {
+        return Err(format!(
+            "graph must distinguish exactly {} nodes",
+            pattern.node_count
+        ));
+    }
+    let d = graph.distinguished().to_vec();
+    let (answer, method) = datalog_expressiveness::homeo::solve(&pattern, &graph, &d);
+    println!(
+        "H-subgraph homeomorphism: {answer} (method: {method:?})"
+    );
+    Ok(())
+}
+
+fn parse_cnf(spec: &str) -> Result<datalog_expressiveness::pebble::CnfFormula, String> {
+    use datalog_expressiveness::pebble::cnf::Lit;
+    let mut clauses = Vec::new();
+    let mut max_var = 0usize;
+    for clause in spec.split(';') {
+        let mut lits = Vec::new();
+        for lit in clause.split(',') {
+            let v: i64 = lit.trim().parse().map_err(|e| format!("{lit:?}: {e}"))?;
+            if v == 0 {
+                return Err("variables are 1-based; 0 is not a literal".into());
+            }
+            let var = (v.unsigned_abs() as usize) - 1;
+            max_var = max_var.max(var);
+            lits.push(if v > 0 { Lit::pos(var) } else { Lit::neg(var) });
+        }
+        clauses.push(lits);
+    }
+    Ok(datalog_expressiveness::pebble::CnfFormula::new(
+        max_var + 1,
+        clauses,
+    ))
+}
+
+fn cmd_gphi(args: &[String]) -> Result<(), String> {
+    let [spec] = args else {
+        return Err("gphi needs <cnf>, e.g. '1,-2;2' = (x1∨¬x2)∧(x2)".into());
+    };
+    let formula = parse_cnf(spec)?;
+    let sat = formula.brute_force_sat();
+    println!("φ = {formula}");
+    println!(
+        "satisfiable: {}",
+        match &sat {
+            Some(model) => format!("yes, e.g. {model:?}"),
+            None => "no".into(),
+        }
+    );
+    let g = GPhi::build(formula);
+    println!(
+        "G_φ: {} nodes, {} edges, {} switches; s1..s4 = {}, {}, {}, {}",
+        g.graph.node_count(),
+        g.graph.edge_count(),
+        g.switch_count(),
+        g.s1,
+        g.s2,
+        g.s3,
+        g.s4
+    );
+    if let Some(model) = sat {
+        let (p1, p2) = g.witness_paths(&model).expect("model satisfies");
+        g.verify_witness(&p1, &p2).expect("witness valid");
+        println!(
+            "disjoint-path witness from the model: |s1→s2| = {}, |s3→s4| = {}",
+            p1.len(),
+            p2.len()
+        );
+    }
+    print!("{}", g.to_dot("G_phi"));
+    Ok(())
+}

@@ -1,0 +1,8 @@
+//! Root facade for the Kolaitis–Vardi (PODS 1990) reproduction.
+//!
+//! Re-exports the full public API from [`kv_core`]; see the README for a
+//! tour and `examples/` for runnable entry points.
+
+#![warn(missing_docs)]
+
+pub use kv_core::*;

@@ -1,0 +1,61 @@
+//! Cross-run determinism: the library's results must not depend on hash
+//! iteration order or any other incidental nondeterminism — a requirement
+//! for reproducible experiments.
+
+use datalog_expressiveness::datalog::programs::{avoiding_path, q_kl};
+use datalog_expressiveness::datalog::{EvalOptions, Evaluator};
+use datalog_expressiveness::homeo::{solve, PatternSpec};
+use datalog_expressiveness::pebble::{ExistentialGame, CnfGame};
+use datalog_expressiveness::pebble::cnf::CnfFormula;
+use datalog_expressiveness::reduction::GPhi;
+use datalog_expressiveness::structures::generators::{random_dag, random_digraph};
+use datalog_expressiveness::structures::HomKind;
+
+#[test]
+fn datalog_evaluation_is_deterministic() {
+    let g = random_digraph(10, 0.2, 42);
+    let s = g.to_structure();
+    for program in [avoiding_path(), q_kl(2, 0)] {
+        let a = Evaluator::new(&program).run(&s, EvalOptions::default());
+        let b = Evaluator::new(&program).run(&s, EvalOptions::default());
+        assert_eq!(a.idb, b.idb);
+        assert_eq!(a.stats, b.stats);
+    }
+}
+
+#[test]
+fn game_solving_is_deterministic() {
+    let a = random_digraph(5, 0.3, 1).to_structure();
+    let b = random_digraph(5, 0.3, 2).to_structure();
+    let g1 = ExistentialGame::solve(&a, &b, 2, HomKind::OneToOne);
+    let g2 = ExistentialGame::solve(&a, &b, 2, HomKind::OneToOne);
+    assert_eq!(g1.winner(), g2.winner());
+    assert_eq!(g1.arena_size(), g2.arena_size());
+    assert_eq!(g1.family_size(), g2.family_size());
+}
+
+#[test]
+fn cnf_game_is_deterministic() {
+    let f = CnfFormula::complete(2);
+    let g1 = CnfGame::solve(&f, 2);
+    let g2 = CnfGame::solve(&f, 2);
+    assert_eq!(g1.winner(), g2.winner());
+    assert_eq!(g1.arena_size(), g2.arena_size());
+}
+
+#[test]
+fn gphi_construction_is_deterministic() {
+    let a = GPhi::build(CnfFormula::complete(2));
+    let b = GPhi::build(CnfFormula::complete(2));
+    assert_eq!(a.graph, b.graph);
+    assert_eq!(a.clause_nodes, b.clause_nodes);
+    assert_eq!(a.var_tops, b.var_tops);
+}
+
+#[test]
+fn dispatch_solver_is_deterministic() {
+    let g = random_dag(9, 0.3, 3);
+    let p = PatternSpec::two_disjoint_edges();
+    let d = [0u32, 7, 1, 8];
+    assert_eq!(solve(&p, &g, &d), solve(&p, &g, &d));
+}

@@ -1,0 +1,275 @@
+//! Cross-crate integration tests: one test per headline claim of the
+//! paper, exercising the full stack through the facade crate.
+
+use datalog_expressiveness::datalog::programs::{
+    avoiding_path, q_kl, transitive_closure, two_disjoint_paths_acyclic,
+    two_disjoint_paths_paper_rules, two_pairs_vocabulary,
+};
+use datalog_expressiveness::datalog::{Evaluator, Program};
+use datalog_expressiveness::homeo::{acyclic_game_program, brute_force_homeomorphism, PatternSpec};
+use datalog_expressiveness::logic::stage::StageTranslation;
+use datalog_expressiveness::pebble::acyclic::AcyclicGame;
+use datalog_expressiveness::pebble::play::{play_game, RandomSpoiler};
+use datalog_expressiveness::pebble::{preceq, CnfGame, ExistentialGame, Winner};
+use datalog_expressiveness::reduction::thm66::Thm66Witness;
+use datalog_expressiveness::reduction::GPhi;
+use datalog_expressiveness::structures::generators::{
+    directed_path, random_dag, random_digraph,
+};
+use datalog_expressiveness::structures::{Digraph, HomKind};
+use datalog_expressiveness::{classify_and_report, Expressibility};
+use std::sync::Arc;
+
+/// Theorem 3.6: stage formulas define the Datalog(≠) stages with a fixed
+/// variable budget; pure Datalog yields inequality-free formulas.
+#[test]
+fn theorem_3_6_stage_translation() {
+    for program in [transitive_closure(), avoiding_path()] {
+        let mut translation = StageTranslation::new(&program);
+        let budget = translation.var_budget();
+        let goal = program.goal();
+        let s = random_digraph(5, 0.3, 99).to_structure();
+        let result = Evaluator::new(&program).run(
+            &s,
+            datalog_expressiveness::datalog::EvalOptions {
+                semi_naive: true,
+                record_stages: true,
+                max_stages: None,
+            },
+        );
+        for (n, snapshot) in result.stages.iter().enumerate() {
+            let formula = translation.stage(n + 1, goal);
+            assert!(formula.all_vars().len() <= budget);
+            assert!(formula.is_existential_positive());
+            assert_eq!(
+                formula.is_inequality_free(),
+                program.is_pure_datalog(),
+                "inequality-freeness tracks the Datalog fragment"
+            );
+            let _ = snapshot;
+        }
+    }
+}
+
+/// Theorem 4.8 / Proposition 4.2 direction: a one-to-one homomorphism
+/// gives `A ≼^k B` for every k; and `≼^k` is monotone in k (more pebbles
+/// help only the Spoiler).
+#[test]
+fn preceq_basic_laws() {
+    let a = directed_path(3);
+    let b = directed_path(6);
+    for k in 1..=3 {
+        assert!(preceq(&a, &b, k));
+    }
+    // Anti-monotonicity in k: if the Spoiler wins with k pebbles he wins
+    // with k+1.
+    let c = directed_path(6);
+    let d = directed_path(3);
+    let mut lost_at = None;
+    for k in 1..=3 {
+        if !preceq(&c, &d, k) {
+            lost_at = lost_at.or(Some(k));
+        } else {
+            assert!(lost_at.is_none(), "preceq must be antitone in k");
+        }
+    }
+    assert_eq!(lost_at, Some(2));
+}
+
+/// Proposition 5.3 (the game winner is computable) exercised with play
+/// validation on a batch of random structure pairs.
+#[test]
+fn proposition_5_3_solver_vs_play() {
+    use datalog_expressiveness::pebble::play::validate_by_play;
+    for seed in 0..6 {
+        let a = random_digraph(5, 0.3, 7000 + seed).to_structure();
+        let b = random_digraph(5, 0.3, 8000 + seed).to_structure();
+        assert!(
+            validate_by_play(&a, &b, 2, HomKind::OneToOne, 150, 0..4),
+            "solver verdict refuted by play on seed {seed}"
+        );
+    }
+}
+
+/// Theorem 6.1: the generated Q_{k,l} programs agree with max-flow and
+/// brute force (k = 2 shown here; deeper sweeps live in kv-datalog).
+#[test]
+fn theorem_6_1_positive_side() {
+    let program = q_kl(2, 1);
+    for seed in 0..4 {
+        let g = random_digraph(7, 0.3, 9000 + seed);
+        let s = g.to_structure();
+        let rel = Evaluator::new(&program).goal(&s);
+        for src in 0..3u32 {
+            for a in 3..5u32 {
+                for b in 5..7u32 {
+                    for t in 0..7u32 {
+                        if [a, b, t].contains(&src) || a == b || t == a || t == b {
+                            continue;
+                        }
+                        let expected = datalog_expressiveness::graphalg::disjoint::has_disjoint_fan(
+                            &g,
+                            src,
+                            &[a, b],
+                            &[t],
+                        );
+                        assert_eq!(
+                            rel.contains(&[src, a, b, t][..]),
+                            expected,
+                            "Q_2,1({src};{a},{b}|{t}) seed {seed}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Theorem 6.2: program ≡ two-player game ≡ brute force on random DAGs,
+/// and the extended abstract's 3-rule cooperative program over-accepts.
+#[test]
+fn theorem_6_2_acyclic_inputs() {
+    let and_or = two_disjoint_paths_acyclic();
+    let paper = two_disjoint_paths_paper_rules();
+    let vocab = Arc::new(two_pairs_vocabulary());
+    let pattern = PatternSpec::two_disjoint_edges();
+    let mut paper_overshoots = 0;
+    for seed in 0..25 {
+        let g = random_dag(9, 0.3, 10_000 + seed);
+        let d = [0u32, 7, 1, 8]; // s1, t1, s2, t2
+        let mut gg = g.clone();
+        gg.set_distinguished(vec![d[0], d[1], d[2], d[3]]);
+        let s = gg.to_structure_with(Arc::clone(&vocab));
+        // Pattern node order for H1 is (0 -> 1, 2 -> 3) = (s1, t1, s2, t2),
+        // matching the program vocabulary's constant order.
+        let by_and_or = Evaluator::new(&and_or).holds(&s, &[]);
+        let by_game = AcyclicGame::solve(pattern.clone(), &g, &d).duplicator_wins();
+        let by_brute = brute_force_homeomorphism(&pattern, &g, &d);
+        assert_eq!(by_and_or, by_game, "seed {seed}");
+        assert_eq!(by_and_or, by_brute, "seed {seed}");
+        // The cooperative program may only over-accept.
+        let by_paper = Evaluator::new(&paper)
+            .goal(&s)
+            .contains(&[d[0], d[2]][..]);
+        assert!(by_paper || !by_and_or, "cooperative under-accepts?! seed {seed}");
+        if by_paper && !by_and_or {
+            paper_overshoots += 1;
+        }
+    }
+    let _ = paper_overshoots; // the deterministic 5-node witness is tested elsewhere
+}
+
+/// The general π_H generator agrees with the game for a 3-edge pattern.
+#[test]
+fn theorem_6_2_general_pattern_program() {
+    let p = PatternSpec {
+        node_count: 4,
+        edges: vec![(0, 1), (1, 2), (3, 2)],
+    };
+    let program = acyclic_game_program(&p);
+    for seed in 0..8 {
+        let g = random_dag(8, 0.35, 11_000 + seed);
+        let d = [0u32, 3, 6, 1];
+        let by_program = datalog_expressiveness::homeo::programs::eval_on(&program, &g, &d);
+        let by_game = AcyclicGame::solve(p.clone(), &g, &d).duplicator_wins();
+        let by_brute = brute_force_homeomorphism(&p, &g, &d);
+        assert_eq!(by_program, by_game, "seed {seed}");
+        assert_eq!(by_program, by_brute, "seed {seed}");
+    }
+}
+
+/// Theorem 6.6, assembled: the game-side witness at k = 1 and k = 2.
+#[test]
+fn theorem_6_6_witness_assembled() {
+    // k = 1: every piece checkable by brute force.
+    let w = Thm66Witness::new(1);
+    let a_graph = Digraph::from_structure(&w.a);
+    assert!(brute_force_homeomorphism(
+        &PatternSpec::two_disjoint_edges(),
+        &a_graph,
+        w.a.constant_values(),
+    ));
+    assert!(!w.gphi.has_two_disjoint_paths_brute());
+    // Strategy survives adversarial play.
+    for seed in 0..8 {
+        let mut sp = RandomSpoiler::new(w.a.universe_size(), seed);
+        let mut dup = w.duplicator();
+        assert_eq!(
+            play_game(&w.a, &w.b, 1, HomKind::OneToOne, &mut sp, &mut dup, 200),
+            Winner::Duplicator
+        );
+    }
+    // k = 1 is small enough for the generic solver: it must agree that
+    // the Duplicator wins — i.e. A ≼¹ B despite the query separating them.
+    let solver = ExistentialGame::solve(&w.a, &w.b, 1, HomKind::OneToOne);
+    assert_eq!(solver.winner(), Winner::Duplicator);
+}
+
+/// The CNF game bookkeeping behind Theorem 6.6 (Definition 6.5).
+#[test]
+fn definition_6_5_cnf_games() {
+    use datalog_expressiveness::pebble::cnf::CnfFormula;
+    for k in 1..=2 {
+        let phi = CnfFormula::complete(k);
+        assert_eq!(CnfGame::solve(&phi, k).winner(), Winner::Duplicator);
+        assert_eq!(CnfGame::solve(&phi, k + 1).winner(), Winner::Spoiler);
+    }
+}
+
+/// SAT reduction (Figures 2–6): satisfiability ⟺ two disjoint paths.
+#[test]
+fn reduction_is_faithful() {
+    use datalog_expressiveness::pebble::cnf::{clause, CnfFormula, Lit};
+    let formulas = [
+        CnfFormula::new(2, vec![clause([Lit::pos(0), Lit::neg(1)])]),
+        CnfFormula::new(
+            2,
+            vec![clause([Lit::pos(0)]), clause([Lit::neg(0), Lit::pos(1)])],
+        ),
+        CnfFormula::new(1, vec![clause([Lit::pos(0)]), clause([Lit::neg(0)])]),
+    ];
+    for f in formulas {
+        let sat = f.brute_force_sat().is_some();
+        let g = GPhi::build(f);
+        assert_eq!(g.has_two_disjoint_paths_brute(), sat);
+    }
+}
+
+/// The full dichotomy pipeline classifies and equips every small pattern.
+#[test]
+fn dichotomy_pipeline_total_on_small_patterns() {
+    for n in 1..=3usize {
+        let all_edges: Vec<(usize, usize)> = (0..n)
+            .flat_map(|i| (0..n).map(move |j| (i, j)))
+            .filter(|&(i, j)| i != j)
+            .collect();
+        let m = all_edges.len();
+        for mask in 0u32..(1 << m) {
+            let edges: Vec<(usize, usize)> = (0..m)
+                .filter(|&b| mask & (1 << b) != 0)
+                .map(|b| all_edges[b])
+                .collect();
+            let p = PatternSpec {
+                node_count: n,
+                edges,
+            };
+            let report = classify_and_report(&p);
+            match report.verdict {
+                Expressibility::ExpressibleEverywhere(prog) => {
+                    check_program_wellformed(&prog);
+                }
+                Expressibility::InexpressibleGeneral {
+                    acyclic_program, ..
+                } => check_program_wellformed(&acyclic_program),
+                Expressibility::Degenerate => {
+                    assert!(p.edges.is_empty(), "loop-free degenerate must be empty");
+                }
+            }
+        }
+    }
+}
+
+fn check_program_wellformed(p: &Program) {
+    assert!(p.idb_count() >= 1);
+    assert_eq!(p.idb_arity(p.goal()), 0);
+}
