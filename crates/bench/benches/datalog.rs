@@ -1,52 +1,48 @@
 //! E1: Datalog evaluation — naive vs semi-naive, TC and Q_{2,0} across
-//! input sizes.
+//! input sizes. Run with `cargo bench --features bench` (or
+//! `cargo bench --features bench --bench datalog`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kv_bench::microbench::bench;
 use kv_core::datalog::programs::{q_kl, transitive_closure};
 use kv_core::datalog::{EvalOptions, Evaluator};
 use kv_core::structures::generators::{directed_path, random_digraph};
 
-fn bench_tc(c: &mut Criterion) {
+fn bench_tc() {
     let program = transitive_closure();
-    let mut group = c.benchmark_group("E1_transitive_closure");
     for n in [16usize, 32, 64] {
         let path = directed_path(n);
-        group.bench_with_input(BenchmarkId::new("semi_naive/path", n), &path, |b, s| {
-            b.iter(|| Evaluator::new(&program).run(s, EvalOptions::default()))
+        bench("E1_transitive_closure", &format!("semi_naive/path/{n}"), 2, 10, || {
+            Evaluator::new(&program).run(&path, EvalOptions::default())
         });
-        group.bench_with_input(BenchmarkId::new("naive/path", n), &path, |b, s| {
-            b.iter(|| {
-                Evaluator::new(&program).run(
-                    s,
-                    EvalOptions {
-                        semi_naive: false,
-                        ..EvalOptions::default()
-                    },
-                )
-            })
+        bench("E1_transitive_closure", &format!("naive/path/{n}"), 2, 10, || {
+            Evaluator::new(&program).run(
+                &path,
+                EvalOptions {
+                    semi_naive: false,
+                    ..EvalOptions::default()
+                },
+            )
         });
     }
     for n in [16usize, 24] {
         let g = random_digraph(n, 0.15, 7).to_structure();
-        group.bench_with_input(BenchmarkId::new("semi_naive/random", n), &g, |b, s| {
-            b.iter(|| Evaluator::new(&program).run(s, EvalOptions::default()))
+        bench("E1_transitive_closure", &format!("semi_naive/random/{n}"), 2, 10, || {
+            Evaluator::new(&program).run(&g, EvalOptions::default())
         });
     }
-    group.finish();
 }
 
-fn bench_q_kl(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E12_q_kl_program");
-    group.sample_size(10);
+fn bench_q_kl() {
     for n in [8usize, 12] {
         let g = random_digraph(n, 0.25, 11).to_structure();
         let program = q_kl(2, 0);
-        group.bench_with_input(BenchmarkId::new("Q_2_0", n), &g, |b, s| {
-            b.iter(|| Evaluator::new(&program).goal(s))
+        bench("E12_q_kl_program", &format!("Q_2_0/{n}"), 1, 10, || {
+            Evaluator::new(&program).goal(&g)
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_tc, bench_q_kl);
-criterion_main!(benches);
+fn main() {
+    bench_tc();
+    bench_q_kl();
+}

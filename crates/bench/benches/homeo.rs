@@ -1,45 +1,43 @@
 //! E12/E13: the case-study solvers — flow vs program vs brute force, and
-//! the acyclic-input game machinery.
+//! the acyclic-input game machinery. Run with
+//! `cargo bench --features bench --bench homeo`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kv_bench::microbench::bench;
 use kv_core::homeo::flow_solver::solve_class_c_auto;
 use kv_core::homeo::{brute_force_homeomorphism, PatternSpec};
 use kv_core::pebble::acyclic::AcyclicGame;
 use kv_core::structures::generators::{random_dag, random_digraph};
 
-fn bench_flow_vs_brute(c: &mut Criterion) {
+fn bench_flow_vs_brute() {
     let star = PatternSpec {
         node_count: 3,
         edges: vec![(0, 1), (0, 2)],
     };
-    let mut group = c.benchmark_group("E12_fan_solvers");
     for n in [10usize, 20, 40] {
         let g = random_digraph(n, 0.2, 17);
-        group.bench_with_input(BenchmarkId::new("flow", n), &g, |b, g| {
-            b.iter(|| solve_class_c_auto(&star, g, &[0, 1, 2]))
+        bench("E12_fan_solvers", &format!("flow/{n}"), 2, 20, || {
+            solve_class_c_auto(&star, &g, &[0, 1, 2])
         });
         if n <= 20 {
-            group.bench_with_input(BenchmarkId::new("brute", n), &g, |b, g| {
-                b.iter(|| brute_force_homeomorphism(&star, g, &[0, 1, 2]))
+            bench("E12_fan_solvers", &format!("brute/{n}"), 1, 10, || {
+                brute_force_homeomorphism(&star, &g, &[0, 1, 2])
             });
         }
     }
-    group.finish();
 }
 
-fn bench_acyclic_game(c: &mut Criterion) {
+fn bench_acyclic_game() {
     let pattern = PatternSpec::two_disjoint_edges();
-    let mut group = c.benchmark_group("E13_acyclic_game");
-    group.sample_size(20);
     for n in [8usize, 12, 16] {
         let g = random_dag(n, 0.3, 23);
         let d = [0u32, (n - 2) as u32, 1, (n - 1) as u32];
-        group.bench_with_input(BenchmarkId::new("two_player", n), &g, |b, g| {
-            b.iter(|| AcyclicGame::solve(pattern.clone(), g, &d).duplicator_wins())
+        bench("E13_acyclic_game", &format!("two_player/{n}"), 1, 20, || {
+            AcyclicGame::solve(pattern.clone(), &g, &d).duplicator_wins()
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_flow_vs_brute, bench_acyclic_game);
-criterion_main!(benches);
+fn main() {
+    bench_flow_vs_brute();
+    bench_acyclic_game();
+}

@@ -1,6 +1,7 @@
 //! E3/E4/E5: formula evaluation and the Theorem 3.6 stage translation.
+//! Run with `cargo bench --features bench --bench logic`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kv_bench::microbench::bench;
 use kv_core::datalog::programs::{avoiding_path, transitive_closure};
 use kv_core::logic::builders::path_formula;
 use kv_core::logic::eval::Evaluator as LogicEvaluator;
@@ -8,42 +9,36 @@ use kv_core::logic::stage::StageTranslation;
 use kv_core::structures::generators::random_digraph;
 use kv_core::structures::RelId;
 
-fn bench_path_formula_eval(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E4_path_formula_eval");
+fn bench_path_formula_eval() {
     let s = random_digraph(10, 0.3, 3).to_structure();
     for n in [4usize, 8, 16] {
         let f = path_formula(RelId(0), n);
-        group.bench_with_input(BenchmarkId::new("p_n_all_pairs", n), &f, |b, f| {
-            b.iter(|| {
-                let mut ev = LogicEvaluator::new(&s);
-                let mut hits = 0;
-                for a in 0..10u32 {
-                    for t in 0..10u32 {
-                        let mut asg = vec![Some(a), Some(t), None];
-                        if ev.eval(f, &mut asg) {
-                            hits += 1;
-                        }
+        bench("E4_path_formula_eval", &format!("p_n_all_pairs/{n}"), 2, 20, || {
+            let mut ev = LogicEvaluator::new(&s);
+            let mut hits = 0;
+            for a in 0..10u32 {
+                for t in 0..10u32 {
+                    let mut asg = vec![Some(a), Some(t), None];
+                    if ev.eval(&f, &mut asg) {
+                        hits += 1;
                     }
                 }
-                hits
-            })
+            }
+            hits
         });
     }
-    group.finish();
 }
 
-fn bench_stage_translation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E5_stage_translation");
+fn bench_stage_translation() {
     for (name, program) in [("tc", transitive_closure()), ("avoid", avoiding_path())] {
-        group.bench_function(BenchmarkId::new("build_10_stages", name), |b| {
-            b.iter(|| {
-                let mut t = StageTranslation::new(&program);
-                t.stage(10, program.goal()).dag_size()
-            })
+        bench("E5_stage_translation", &format!("build_10_stages/{name}"), 2, 20, || {
+            let mut t = StageTranslation::new(&program);
+            t.stage(10, program.goal()).dag_size()
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_path_formula_eval, bench_stage_translation);
-criterion_main!(benches);
+fn main() {
+    bench_path_formula_eval();
+    bench_stage_translation();
+}

@@ -1,7 +1,8 @@
 //! E6/E7/E8/E14: existential k-pebble game solving (Proposition 5.3
-//! scaling) and CNF formula games (Definition 6.5).
+//! scaling) and CNF formula games (Definition 6.5). Run with
+//! `cargo bench --features bench --bench pebble`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kv_bench::microbench::bench;
 use kv_core::pebble::cnf::CnfFormula;
 use kv_core::pebble::{solve_by_win_iteration, CnfGame, ExistentialGame};
 use kv_core::structures::generators::{
@@ -9,74 +10,60 @@ use kv_core::structures::generators::{
 };
 use kv_core::structures::HomKind;
 
-fn bench_path_games(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E8_solver_scaling_paths");
-    group.sample_size(10);
+fn bench_path_games() {
     for n in [8usize, 16, 24] {
         let a = directed_path(n);
         let b = directed_path(n + 2);
-        group.bench_with_input(BenchmarkId::new("k2", n), &(a, b), |bench, (a, b)| {
-            bench.iter(|| ExistentialGame::solve(a, b, 2, HomKind::OneToOne).winner())
+        bench("E8_solver_scaling_paths", &format!("k2/{n}"), 1, 10, || {
+            ExistentialGame::solve(&a, &b, 2, HomKind::OneToOne).winner()
         });
     }
     for n in [6usize, 9] {
         let a = directed_path(n);
         let b = directed_path(n + 2);
-        group.bench_with_input(BenchmarkId::new("k3", n), &(a, b), |bench, (a, b)| {
-            bench.iter(|| ExistentialGame::solve(a, b, 3, HomKind::OneToOne).winner())
+        bench("E8_solver_scaling_paths", &format!("k3/{n}"), 1, 10, || {
+            ExistentialGame::solve(&a, &b, 3, HomKind::OneToOne).winner()
         });
     }
-    group.finish();
 }
 
-fn bench_example_4_5(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E7_disjoint_vs_crossing");
-    group.sample_size(10);
+fn bench_example_4_5() {
     for n in [1usize, 2] {
         let a = two_disjoint_paths(n);
         let b = two_crossing_paths(n);
-        group.bench_with_input(BenchmarkId::new("k3", n), &(a, b), |bench, (a, b)| {
-            bench.iter(|| ExistentialGame::solve(a, b, 3, HomKind::OneToOne).winner())
+        bench("E7_disjoint_vs_crossing", &format!("k3/{n}"), 1, 10, || {
+            ExistentialGame::solve(&a, &b, 3, HomKind::OneToOne).winner()
         });
     }
-    group.finish();
 }
 
 /// Ablation: the deletion-fixpoint solver vs the paper's literal value
 /// iteration (both decide Proposition 5.3's question).
-fn bench_solver_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E8_ablation_fixpoint_vs_win_iteration");
-    group.sample_size(10);
+fn bench_solver_ablation() {
     for n in [8usize, 14] {
         let a = directed_path(n);
         let b = directed_path(n + 2);
-        group.bench_with_input(BenchmarkId::new("fixpoint", n), &(a.clone(), b.clone()), |bench, (a, b)| {
-            bench.iter(|| ExistentialGame::solve(a, b, 2, HomKind::OneToOne).winner())
+        bench("E8_ablation", &format!("fixpoint/{n}"), 1, 10, || {
+            ExistentialGame::solve(&a, &b, 2, HomKind::OneToOne).winner()
         });
-        group.bench_with_input(BenchmarkId::new("win_iteration", n), &(a, b), |bench, (a, b)| {
-            bench.iter(|| solve_by_win_iteration(a, b, 2, HomKind::OneToOne).0)
+        bench("E8_ablation", &format!("win_iteration/{n}"), 1, 10, || {
+            solve_by_win_iteration(&a, &b, 2, HomKind::OneToOne).0
         });
     }
-    group.finish();
 }
 
-fn bench_cnf_games(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E14_cnf_games");
-    group.sample_size(10);
+fn bench_cnf_games() {
     for k in [1usize, 2, 3] {
         let phi = CnfFormula::complete(k);
-        group.bench_with_input(BenchmarkId::new("phi_k_own_game", k), &phi, |b, f| {
-            b.iter(|| CnfGame::solve(f, k).winner())
+        bench("E14_cnf_games", &format!("phi_k_own_game/{k}"), 1, 10, || {
+            CnfGame::solve(&phi, k).winner()
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_path_games,
-    bench_example_4_5,
-    bench_solver_ablation,
-    bench_cnf_games
-);
-criterion_main!(benches);
+fn main() {
+    bench_path_games();
+    bench_example_4_5();
+    bench_solver_ablation();
+    bench_cnf_games();
+}

@@ -1,8 +1,8 @@
 //! E10/E11/E15/E16: the gadget machinery — switch verification, G_φ
 //! construction, the simulation strategy's response latency, and the
-//! even-path reduction.
+//! even-path reduction. Run with `cargo bench --features bench --bench reduction`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kv_bench::microbench::bench;
 use kv_core::pebble::cnf::CnfFormula;
 use kv_core::pebble::play::{play_game, RandomSpoiler};
 use kv_core::reduction::even_reduction::even_path_instance;
@@ -11,54 +11,43 @@ use kv_core::reduction::{GPhi, Switch};
 use kv_core::structures::generators::random_digraph;
 use kv_core::structures::HomKind;
 
-fn bench_switch_lemma(c: &mut Criterion) {
-    c.bench_function("E10_lemma_6_4_exhaustive", |b| {
-        b.iter(|| Switch::verify_lemma_6_4().is_ok())
+fn bench_switch_lemma() {
+    bench("E10_lemma_6_4", "exhaustive", 1, 10, || {
+        Switch::verify_lemma_6_4().is_ok()
     });
 }
 
-fn bench_gphi_build(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E11_gphi_build");
+fn bench_gphi_build() {
     for k in [1usize, 2, 3, 4] {
-        group.bench_with_input(BenchmarkId::new("phi_k", k), &k, |b, &k| {
-            b.iter(|| GPhi::build(CnfFormula::complete(k)).graph.node_count())
+        bench("E11_gphi_build", &format!("phi_k/{k}"), 1, 10, || {
+            GPhi::build(CnfFormula::complete(k)).graph.node_count()
         });
     }
-    group.finish();
 }
 
-fn bench_simulation_strategy(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E15_simulation_strategy");
-    group.sample_size(10);
+fn bench_simulation_strategy() {
     for k in [1usize, 2, 3] {
         let w = Thm66Witness::new(k);
-        group.bench_with_input(BenchmarkId::new("300_rounds", k), &w, |b, w| {
-            b.iter(|| {
-                let mut sp = RandomSpoiler::new(w.a.universe_size(), 5);
-                let mut dup = w.duplicator();
-                play_game(&w.a, &w.b, k, HomKind::OneToOne, &mut sp, &mut dup, 300)
-            })
+        bench("E15_simulation_strategy", &format!("300_rounds/{k}"), 1, 10, || {
+            let mut sp = RandomSpoiler::new(w.a.universe_size(), 5);
+            let mut dup = w.duplicator();
+            play_game(&w.a, &w.b, k, HomKind::OneToOne, &mut sp, &mut dup, 300)
         });
     }
-    group.finish();
 }
 
-fn bench_even_path_instance(c: &mut Criterion) {
-    let mut group = c.benchmark_group("E16_even_path_reduction");
+fn bench_even_path_instance() {
     for n in [10usize, 40, 160] {
         let g = random_digraph(n, 0.1, 31);
-        group.bench_with_input(BenchmarkId::new("build", n), &g, |b, g| {
-            b.iter(|| even_path_instance(g, [0, 1, 2, 3]).graph.node_count())
+        bench("E16_even_path_reduction", &format!("build/{n}"), 1, 10, || {
+            even_path_instance(&g, [0, 1, 2, 3]).graph.node_count()
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_switch_lemma,
-    bench_gphi_build,
-    bench_simulation_strategy,
-    bench_even_path_instance
-);
-criterion_main!(benches);
+fn main() {
+    bench_switch_lemma();
+    bench_gphi_build();
+    bench_simulation_strategy();
+    bench_even_path_instance();
+}

@@ -1,5 +1,7 @@
 //! Prints every experiment table (markdown) — the source of
-//! EXPERIMENTS.md's measured columns.
+//! EXPERIMENTS.md's measured columns — and writes the machine-readable
+//! solver/engine reports `BENCH_pebble.json` and `BENCH_datalog.json` to
+//! the current directory.
 
 fn main() {
     let start = std::time::Instant::now();
@@ -7,6 +9,15 @@ fn main() {
     assert!(kv_bench::experiments::smoke_validate_play(), "play smoke test");
     for table in kv_bench::all_experiments() {
         print!("{}", table.to_markdown());
+    }
+    for (path, report) in [
+        ("BENCH_pebble.json", kv_bench::report::pebble_report()),
+        ("BENCH_datalog.json", kv_bench::report::datalog_report()),
+    ] {
+        match std::fs::write(path, &report) {
+            Ok(()) => println!("\n_wrote {path}_"),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
     }
     println!("\n_total harness time: {:.2?}_", start.elapsed());
 }

@@ -1,6 +1,6 @@
 //! Experiment harness: the experiments (E1–E18) that stand in for
-//! the paper's missing measurement tables, plus shared workloads for the
-//! Criterion benches.
+//! the paper's missing measurement tables, plus a dependency-free
+//! micro-benchmark runner for the `benches/` binaries.
 //!
 //! Run the harness with:
 //!
@@ -11,6 +11,8 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod microbench;
+pub mod report;
 pub mod table;
 
 pub use experiments::all_experiments;

@@ -1,0 +1,56 @@
+//! A tiny in-tree micro-benchmark runner: warmup, repeated timed runs,
+//! median/min reporting. Replaces the external Criterion dependency so the
+//! workspace builds fully offline; statistical rigor is traded for zero
+//! dependencies.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One benchmark measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Median wall time of the timed runs.
+    pub median: Duration,
+    /// Fastest observed run.
+    pub min: Duration,
+    /// Number of timed runs.
+    pub runs: usize,
+}
+
+impl Measurement {
+    /// Median in nanoseconds (saturating).
+    pub fn median_nanos(&self) -> u128 {
+        self.median.as_nanos()
+    }
+}
+
+/// Time `f` with `warmup` untimed runs followed by `runs` timed runs.
+/// The closure's result goes through [`black_box`] so the optimizer cannot
+/// delete the work.
+pub fn time_fn<R>(warmup: usize, runs: usize, mut f: impl FnMut() -> R) -> Measurement {
+    for _ in 0..warmup {
+        black_box(f());
+    }
+    let mut samples: Vec<Duration> = (0..runs.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed()
+        })
+        .collect();
+    samples.sort_unstable();
+    Measurement {
+        median: samples[samples.len() / 2],
+        min: samples[0],
+        runs: samples.len(),
+    }
+}
+
+/// Run and print one named benchmark line: `group/name ... median  (min)`.
+pub fn bench<R>(group: &str, name: &str, warmup: usize, runs: usize, f: impl FnMut() -> R) {
+    let m = time_fn(warmup, runs, f);
+    println!(
+        "{group}/{name:<28} median {:>12?}  min {:>12?}  ({} runs)",
+        m.median, m.min, m.runs
+    );
+}

@@ -1,0 +1,151 @@
+//! Machine-readable benchmark reports (`BENCH_pebble.json`,
+//! `BENCH_datalog.json`), emitted by the harness binary.
+//!
+//! The JSON is hand-rolled (the workspace builds offline with zero
+//! external dependencies): every value is a number, a string of known-safe
+//! characters, or a flat object, so no escaping machinery is needed.
+
+use crate::microbench::time_fn;
+use kv_core::datalog::programs::{avoiding_path, q_kl, transitive_closure};
+use kv_core::datalog::{EvalOptions, Evaluator};
+use kv_core::pebble::win_iteration::solve_by_win_iteration;
+use kv_core::pebble::ExistentialGame;
+use kv_core::structures::generators::{directed_path, random_digraph};
+use kv_core::structures::par::thread_count;
+use kv_core::structures::HomKind;
+
+/// A flat JSON object: keys paired with pre-rendered JSON values.
+struct Obj(Vec<(String, String)>);
+
+impl Obj {
+    fn new() -> Self {
+        Self(Vec::new())
+    }
+    fn str(mut self, k: &str, v: &str) -> Self {
+        self.0.push((k.into(), format!("\"{v}\"")));
+        self
+    }
+    fn num(mut self, k: &str, v: impl std::fmt::Display) -> Self {
+        self.0.push((k.into(), v.to_string()));
+        self
+    }
+    fn render(&self) -> String {
+        let fields: Vec<String> = self
+            .0
+            .iter()
+            .map(|(k, v)| format!("\"{k}\": {v}"))
+            .collect();
+        format!("{{{}}}", fields.join(", "))
+    }
+}
+
+fn render_report(cases: &[Obj]) -> String {
+    let rows: Vec<String> = cases.iter().map(|c| format!("    {}", c.render())).collect();
+    format!(
+        "{{\n  \"threads\": {},\n  \"cases\": [\n{}\n  ]\n}}\n",
+        thread_count(),
+        rows.join(",\n")
+    )
+}
+
+fn ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Pebble-game solver report: arena size, propagation edge count, and the
+/// wall time of the worklist solver next to the paper's naive `Win_k`
+/// value iteration on the same instance.
+pub fn pebble_report() -> String {
+    let mut cases = Vec::new();
+    let instances: Vec<(String, _, _, usize)> = vec![
+        ("path_9_vs_8_k2".into(), directed_path(9), directed_path(8), 2),
+        ("path_7_vs_6_k3".into(), directed_path(7), directed_path(6), 3),
+        (
+            "random_7_vs_7_k2".into(),
+            random_digraph(7, 0.3, 42).to_structure(),
+            random_digraph(7, 0.3, 43).to_structure(),
+            2,
+        ),
+        (
+            "random_6_vs_6_k3".into(),
+            random_digraph(6, 0.3, 44).to_structure(),
+            random_digraph(6, 0.3, 45).to_structure(),
+            3,
+        ),
+    ];
+    for (name, a, b, k) in &instances {
+        let game = ExistentialGame::solve(a, b, *k, HomKind::OneToOne);
+        let worklist = time_fn(1, 5, || {
+            ExistentialGame::solve(a, b, *k, HomKind::OneToOne).winner()
+        });
+        let naive = time_fn(1, 5, || {
+            solve_by_win_iteration(a, b, *k, HomKind::OneToOne).0
+        });
+        cases.push(
+            Obj::new()
+                .str("name", name)
+                .num("k", k)
+                .num("arena_size", game.arena_size())
+                .num("arena_edges", game.arena_edge_count())
+                .num("worklist_ms", format!("{:.4}", ms(worklist.median)))
+                .num(
+                    "value_iteration_ms",
+                    format!("{:.4}", ms(naive.median)),
+                ),
+        );
+    }
+    render_report(&cases)
+}
+
+/// Datalog engine report: fixpoint size, stage count, and wall time with
+/// rule-variant parallelism on vs. off (both semi-naive).
+pub fn datalog_report() -> String {
+    let mut cases = Vec::new();
+    let instances: Vec<(String, _, _)> = vec![
+        ("tc_n60_p0.06".into(), transitive_closure(), random_digraph(60, 0.06, 7)),
+        ("avoiding_path_n16_p0.12".into(), avoiding_path(), random_digraph(16, 0.12, 8)),
+        ("q_2_1_n12_p0.15".into(), q_kl(2, 1), random_digraph(12, 0.15, 9)),
+    ];
+    for (name, program, graph) in &instances {
+        let s = graph.to_structure();
+        let ev = Evaluator::new(program);
+        let opts = |parallel| EvalOptions {
+            parallel,
+            ..EvalOptions::default()
+        };
+        let result = ev.run(&s, opts(true));
+        let parallel = time_fn(1, 5, || ev.run(&s, opts(true)).stats.len());
+        let sequential = time_fn(1, 5, || ev.run(&s, opts(false)).stats.len());
+        cases.push(
+            Obj::new()
+                .str("name", name)
+                .num("stages", result.stage_count())
+                .num(
+                    "tuples",
+                    result.idb.iter().map(|r| r.len()).sum::<usize>(),
+                )
+                .num("parallel_ms", format!("{:.4}", ms(parallel.median)))
+                .num("sequential_ms", format!("{:.4}", ms(sequential.median))),
+        );
+    }
+    render_report(&cases)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_are_well_formed() {
+        for report in [pebble_report(), datalog_report()] {
+            assert!(report.starts_with("{\n  \"threads\":"));
+            assert!(report.trim_end().ends_with('}'));
+            assert_eq!(
+                report.matches('{').count(),
+                report.matches('}').count(),
+                "balanced braces"
+            );
+            assert!(report.contains("\"cases\": ["));
+        }
+    }
+}

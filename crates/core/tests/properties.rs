@@ -1,65 +1,81 @@
-//! Property-based tests for the facade toolkit.
+//! Randomized tests for the facade toolkit, seed-deterministic via the
+//! in-tree [`SplitMix64`] generator.
 
+use kv_core::homeo::PatternSpec;
 use kv_core::pattern_based::PatternBasedQuery;
 use kv_core::{classify_and_report, Expressibility};
-use kv_core::homeo::PatternSpec;
+use kv_structures::rng::SplitMix64;
 use kv_structures::{Digraph, Vocabulary};
-use proptest::prelude::*;
 use std::sync::Arc;
 
-fn digraph_strategy(max_n: usize) -> impl Strategy<Value = Digraph> {
-    (3usize..=max_n).prop_flat_map(|n| {
-        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=(n * n / 3).min(12)).prop_map(
-            move |edges| {
-                let mut g = Digraph::new(n);
-                for (u, v) in edges {
-                    g.add_edge(u, v);
-                }
-                g
-            },
-        )
-    })
+fn random_case_digraph(max_n: usize, rng: &mut SplitMix64) -> Digraph {
+    let n = rng.gen_range(3usize..max_n + 1);
+    let mut g = Digraph::new(n);
+    let edges = rng.gen_range(0usize..(n * n / 3).min(12) + 1);
+    for _ in 0..edges {
+        let u = rng.gen_range(0u32..n as u32);
+        let v = rng.gen_range(0u32..n as u32);
+        g.add_edge(u, v);
+    }
+    g
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+/// A random loop-free edge list on 4 nodes, deduplicated.
+fn random_edges(max_len: usize, rng: &mut SplitMix64) -> Vec<(usize, usize)> {
+    let len = rng.gen_range(0usize..max_len + 1);
+    let mut e: Vec<(usize, usize)> = (0..len)
+        .map(|_| (rng.gen_range(0usize..4), rng.gen_range(0usize..4)))
+        .filter(|&(i, j)| i != j)
+        .collect();
+    e.sort_unstable();
+    e.dedup();
+    e
+}
 
-    /// Proposition 5.4's sound half on the even-path query: embedding
-    /// acceptance implies game acceptance, for each k.
-    #[test]
-    fn game_procedure_dominates(g in digraph_strategy(6)) {
+/// Proposition 5.4's sound half on the even-path query: embedding
+/// acceptance implies game acceptance, for each k.
+#[test]
+fn game_procedure_dominates() {
+    for seed in 0..32u64 {
+        let mut rng = SplitMix64::seed_from_u64(seed);
         let q = PatternBasedQuery::even_simple_path();
-        let mut gg = g.clone();
+        let mut gg = random_case_digraph(6, &mut rng);
         let n = gg.node_count() as u32;
         gg.set_distinguished(vec![0, n - 1]);
         let b = gg.to_structure_with(Arc::new(Vocabulary::graph_with_constants(2)));
         if q.eval_by_embedding(&b) {
-            prop_assert!(q.eval_by_games(&b, 1));
-            prop_assert!(q.eval_by_games(&b, 2));
+            assert!(q.eval_by_games(&b, 1), "seed {seed}");
+            assert!(q.eval_by_games(&b, 2), "seed {seed}");
         }
     }
+}
 
-    /// classify_and_report is total on small loop-free patterns and the
-    /// payload matches the class.
-    #[test]
-    fn report_payload_matches_class(edges in proptest::collection::vec((0usize..4, 0usize..4), 0..6)) {
-        let edges: Vec<(usize, usize)> = {
-            let mut e: Vec<_> = edges.into_iter().filter(|&(i, j)| i != j).collect();
-            e.sort_unstable();
-            e.dedup();
-            e
+/// classify_and_report is total on small loop-free patterns and the
+/// payload matches the class.
+#[test]
+fn report_payload_matches_class() {
+    for seed in 0..32u64 {
+        let mut rng = SplitMix64::seed_from_u64(1000 + seed);
+        let p = PatternSpec {
+            node_count: 4,
+            edges: random_edges(5, &mut rng),
         };
-        let p = PatternSpec { node_count: 4, edges };
         let report = classify_and_report(&p);
         match report.verdict {
             Expressibility::ExpressibleEverywhere(prog) => {
-                prop_assert_eq!(prog.idb_arity(prog.goal()), 0);
+                assert_eq!(prog.idb_arity(prog.goal()), 0, "seed {seed}");
             }
-            Expressibility::InexpressibleGeneral { acyclic_program, .. } => {
-                prop_assert_eq!(acyclic_program.idb_arity(acyclic_program.goal()), 0);
+            Expressibility::InexpressibleGeneral {
+                acyclic_program, ..
+            } => {
+                assert_eq!(
+                    acyclic_program.idb_arity(acyclic_program.goal()),
+                    0,
+                    "seed {seed}"
+                );
             }
             Expressibility::Degenerate => {
-                prop_assert!(p.edges.is_empty());
+                assert!(p.edges.is_empty(), "seed {seed}");
             }
         }
     }

@@ -11,12 +11,24 @@
 //! discovered in the previous stage; both modes produce identical stages
 //! (asserted by tests), semi-naive just avoids rediscovering old tuples.
 //!
+//! The join machinery is allocation-lean: each atom's index position is
+//! chosen **statically** at rule-compile time (the set of bound variables
+//! at each join level is determined by the atom order, not the data), every
+//! index any rule variant will probe is built **once per stage** up front,
+//! and the join recursion then walks borrowed tuple-id slices — no
+//! candidate vectors are cloned. Because the per-stage stores are immutable
+//! during joining, independent rule variants evaluate **in parallel**
+//! (driven by [`kv_structures::par`], honoring `RAYON_NUM_THREADS`) into
+//! per-worker delta buffers merged at stage end; set-union merging makes
+//! the result identical to sequential evaluation, stage by stage.
+//!
 //! Unbound variables — head or inequality variables that occur in no body
 //! atom — range over the whole universe, matching the first-order reading
 //! of the rule bodies as existential formulas over the structure.
 
 use crate::ast::{IdbId, Literal, Pred, Rule, Term, VarId};
 use crate::program::Program;
+use kv_structures::par::{par_workers, thread_count};
 use kv_structures::{Element, Structure, Tuple};
 use std::collections::{HashMap, HashSet};
 
@@ -30,6 +42,10 @@ pub struct EvalOptions {
     pub record_stages: bool,
     /// Abort after this many stages (`None` = run to fixpoint).
     pub max_stages: Option<usize>,
+    /// Evaluate independent rule variants in parallel within each stage.
+    /// Stage results are identical either way (differential-tested); set
+    /// `RAYON_NUM_THREADS=1` or turn this off for single-threaded runs.
+    pub parallel: bool,
 }
 
 impl Default for EvalOptions {
@@ -38,6 +54,7 @@ impl Default for EvalOptions {
             semi_naive: true,
             record_stages: false,
             max_stages: None,
+            parallel: true,
         }
     }
 }
@@ -92,6 +109,10 @@ struct JoinAtom {
     pred: Pred,
     access: IdbAccess,
     args: Vec<Term>,
+    /// The position to probe an index on, decided at compile time: the
+    /// first argument that is a constant or a variable bound by an earlier
+    /// atom. `None` means a full scan (no argument is bound on entry).
+    index_pos: Option<usize>,
 }
 
 /// A rule pre-processed for joining: equalities eliminated by variable
@@ -197,6 +218,7 @@ fn compile_rule(rule: &Rule, delta_at: Option<usize>) -> CompiledRule {
                     pred: *pred,
                     access,
                     args: args.iter().map(|t| apply_subst(t, &subst)).collect(),
+                    index_pos: None,
                 });
             }
             Literal::Neq(a, b) => {
@@ -209,6 +231,21 @@ fn compile_rule(rule: &Rule, delta_at: Option<usize>) -> CompiledRule {
     if let Some(pos) = atoms.iter().position(|a| a.access == IdbAccess::Delta) {
         let delta = atoms.remove(pos);
         atoms.insert(0, delta);
+    }
+    // Static index selection: which variables are bound when the join
+    // reaches each atom is fully determined by the atom order, so the
+    // probe position can be picked here instead of per candidate tuple.
+    let mut bound: HashSet<VarId> = HashSet::new();
+    for a in &mut atoms {
+        a.index_pos = a.args.iter().position(|t| match t {
+            Term::Const(_) => true,
+            Term::Var(v) => bound.contains(v),
+        });
+        for t in &a.args {
+            if let Term::Var(v) = t {
+                bound.insert(*v);
+            }
+        }
     }
     // Variables occurring in atoms.
     let mut in_atoms: HashSet<VarId> = HashSet::new();
@@ -247,7 +284,10 @@ fn compile_rule(rule: &Rule, delta_at: Option<usize>) -> CompiledRule {
     }
 }
 
-/// A tuple store with lazily built single-column indexes.
+/// A tuple store with single-column indexes, all built up front (the set
+/// of positions any rule variant probes is known statically), so the join
+/// recursion only ever reads it — which is what lets rule variants share
+/// the per-stage stores across worker threads.
 #[derive(Debug, Default, Clone)]
 struct Indexed {
     tuples: Vec<Tuple>,
@@ -264,7 +304,7 @@ impl Indexed {
         }
     }
 
-    fn ensure_index(&mut self, pos: usize) {
+    fn build_index(&mut self, pos: usize) {
         self.indexes.entry(pos).or_insert_with(|| {
             let mut m: HashMap<Element, Vec<usize>> = HashMap::new();
             for (i, t) in self.tuples.iter().enumerate() {
@@ -272,6 +312,53 @@ impl Indexed {
             }
             m
         });
+    }
+
+    /// Tuple ids with `e` at position `pos`. The index must exist.
+    fn probe(&self, pos: usize, e: Element) -> &[usize] {
+        self.indexes[&pos].get(&e).map_or(&[], |v| v.as_slice())
+    }
+}
+
+/// The index positions each relation store needs, aggregated over a set of
+/// compiled rules — computed once, applied to every per-stage snapshot.
+#[derive(Debug, Default)]
+struct IndexPlan {
+    edb: Vec<HashSet<usize>>,
+    full: Vec<HashSet<usize>>,
+    old: Vec<HashSet<usize>>,
+    delta: Vec<HashSet<usize>>,
+}
+
+impl IndexPlan {
+    fn build(rules: &[&[CompiledRule]], edb_count: usize, idb_count: usize) -> Self {
+        let mut plan = Self {
+            edb: vec![HashSet::new(); edb_count],
+            full: vec![HashSet::new(); idb_count],
+            old: vec![HashSet::new(); idb_count],
+            delta: vec![HashSet::new(); idb_count],
+        };
+        for rule in rules.iter().copied().flatten() {
+            for atom in &rule.atoms {
+                if let Some(pos) = atom.index_pos {
+                    match (atom.pred, atom.access) {
+                        (Pred::Edb(r), _) => plan.edb[r.0].insert(pos),
+                        (Pred::Idb(i), IdbAccess::Full) => plan.full[i.0].insert(pos),
+                        (Pred::Idb(i), IdbAccess::Old) => plan.old[i.0].insert(pos),
+                        (Pred::Idb(i), IdbAccess::Delta) => plan.delta[i.0].insert(pos),
+                    };
+                }
+            }
+        }
+        plan
+    }
+
+    fn apply(stores: &mut [Indexed], needed: &[HashSet<usize>]) {
+        for (store, positions) in stores.iter_mut().zip(needed) {
+            for &pos in positions {
+                store.build_index(pos);
+            }
+        }
     }
 }
 
@@ -300,19 +387,6 @@ impl<'p> Evaluator<'p> {
         let idb_count = self.program.idb_count();
         let universe = structure.universe_size();
 
-        // EDB stores, indexed once.
-        let mut edb: Vec<Indexed> = structure
-            .vocabulary()
-            .relations()
-            .map(|r| Indexed::from_iter(structure.relation(r).iter()))
-            .collect();
-
-        // IDB state.
-        let mut full: Vec<HashSet<Tuple>> = vec![HashSet::new(); idb_count];
-        let mut delta: Vec<HashSet<Tuple>> = vec![HashSet::new(); idb_count];
-        let mut stats: Vec<StageStats> = Vec::new();
-        let mut stages: Vec<Vec<HashSet<Tuple>>> = Vec::new();
-
         // Compile rule variants.
         // Stage 1 always evaluates the rules against empty IDBs (naive).
         let naive_rules: Vec<CompiledRule> = self
@@ -337,6 +411,22 @@ impl<'p> Evaluator<'p> {
             Vec::new()
         };
 
+        // EDB stores: built and indexed once, up front — the probe
+        // positions are known statically from the compiled rules.
+        let mut edb: Vec<Indexed> = structure
+            .vocabulary()
+            .relations()
+            .map(|r| Indexed::from_iter(structure.relation(r).iter()))
+            .collect();
+        let plan = IndexPlan::build(&[&naive_rules, &semi_variants], edb.len(), idb_count);
+        IndexPlan::apply(&mut edb, &plan.edb);
+
+        // IDB state.
+        let mut full: Vec<HashSet<Tuple>> = vec![HashSet::new(); idb_count];
+        let mut delta: Vec<HashSet<Tuple>> = vec![HashSet::new(); idb_count];
+        let mut stats: Vec<StageStats> = Vec::new();
+        let mut stages: Vec<Vec<HashSet<Tuple>>> = Vec::new();
+
         let mut converged = false;
         let mut stage = 0usize;
         loop {
@@ -346,10 +436,11 @@ impl<'p> Evaluator<'p> {
                 }
             }
             stage += 1;
-            let mut next_delta: Vec<HashSet<Tuple>> = vec![HashSet::new(); idb_count];
-            // Index snapshots for this stage.
+            // Per-stage snapshots, fully indexed before any rule runs, so
+            // the join phase reads them immutably (and across threads).
             let mut full_idx: Vec<Indexed> =
                 full.iter().map(|s| Indexed::from_iter(s.iter())).collect();
+            IndexPlan::apply(&mut full_idx, &plan.full);
             let mut old_idx: Vec<Indexed> = if options.semi_naive && stage > 1 {
                 full.iter()
                     .zip(&delta)
@@ -358,36 +449,56 @@ impl<'p> Evaluator<'p> {
             } else {
                 Vec::new()
             };
+            IndexPlan::apply(&mut old_idx, &plan.old);
             let mut delta_idx: Vec<Indexed> =
                 delta.iter().map(|s| Indexed::from_iter(s.iter())).collect();
+            IndexPlan::apply(&mut delta_idx, &plan.delta);
 
             let rules_this_stage: &[CompiledRule] = if stage == 1 || !options.semi_naive {
                 &naive_rules
             } else {
                 &semi_variants
             };
-            for rule in rules_this_stage {
-                // Skip variants whose delta seed is empty.
-                if let Some(first) = rule.atoms.first() {
-                    if first.access == IdbAccess::Delta {
-                        if let Pred::Idb(i) = first.pred {
-                            if delta[i.0].is_empty() {
-                                continue;
-                            }
-                        }
+            // Rule variants whose delta seed is non-empty (the rest derive
+            // nothing this stage).
+            let live_rules: Vec<&CompiledRule> = rules_this_stage
+                .iter()
+                .filter(|rule| match rule.atoms.first() {
+                    Some(first) if first.access == IdbAccess::Delta => match first.pred {
+                        Pred::Idb(i) => !delta[i.0].is_empty(),
+                        Pred::Edb(_) => true,
+                    },
+                    _ => true,
+                })
+                .collect();
+
+            // Evaluate independent variants in parallel, each worker into
+            // a private delta buffer; set-union merging afterwards makes
+            // the stage result identical to a sequential run.
+            let workers = if options.parallel {
+                thread_count().min(live_rules.len()).max(1)
+            } else {
+                1
+            };
+            let buffers: Vec<Vec<HashSet<Tuple>>> = par_workers(workers, |w| {
+                let mut local: Vec<HashSet<Tuple>> = vec![HashSet::new(); idb_count];
+                for rule in live_rules.iter().skip(w).step_by(workers) {
+                    evaluate_rule(
+                        rule, structure, universe, &edb, &full_idx, &old_idx, &delta_idx,
+                        &full, &mut local,
+                    );
+                }
+                local
+            });
+            let mut next_delta: Vec<HashSet<Tuple>> = vec![HashSet::new(); idb_count];
+            for local in buffers {
+                for (dst, src) in next_delta.iter_mut().zip(local) {
+                    if dst.is_empty() {
+                        *dst = src;
+                    } else {
+                        dst.extend(src);
                     }
                 }
-                evaluate_rule(
-                    rule,
-                    structure,
-                    universe,
-                    &mut edb,
-                    &mut full_idx,
-                    &mut old_idx,
-                    &mut delta_idx,
-                    &full,
-                    &mut next_delta,
-                );
             }
 
             // In naive mode the rules recompute everything; keep only the
@@ -423,29 +534,32 @@ impl<'p> Evaluator<'p> {
         }
     }
 
-    /// Convenience: runs with default options and returns the goal relation.
+    /// Convenience: runs with default options and returns the goal
+    /// relation (moved out of the result, not cloned).
     pub fn goal(&self, structure: &Structure) -> HashSet<Tuple> {
-        let r = self.run(structure, EvalOptions::default());
-        r.idb[self.program.goal().0].clone()
+        let mut r = self.run(structure, EvalOptions::default());
+        std::mem::take(&mut r.idb[self.program.goal().0])
     }
 
-    /// Convenience: does `tuple` belong to the goal relation?
+    /// Convenience: does `tuple` belong to the goal relation? Checks the
+    /// evaluation result in place.
     pub fn holds(&self, structure: &Structure, tuple: &[Element]) -> bool {
-        self.goal(structure).contains(tuple)
+        self.run(structure, EvalOptions::default()).idb[self.program.goal().0].contains(tuple)
     }
 }
 
 /// Evaluates one compiled rule, inserting derived head tuples into
-/// `next_delta`.
+/// `next_delta`. The tuple stores are read-only: indexes were built before
+/// the stage started, and candidates are walked as borrowed id slices.
 #[allow(clippy::too_many_arguments)]
 fn evaluate_rule(
     rule: &CompiledRule,
     structure: &Structure,
     universe: usize,
-    edb: &mut [Indexed],
-    full_idx: &mut [Indexed],
-    old_idx: &mut [Indexed],
-    delta_idx: &mut [Indexed],
+    edb: &[Indexed],
+    full_idx: &[Indexed],
+    old_idx: &[Indexed],
+    delta_idx: &[Indexed],
     full: &[HashSet<Tuple>],
     next_delta: &mut [HashSet<Tuple>],
 ) {
@@ -473,10 +587,10 @@ fn evaluate_rule(
         binding: &mut Vec<Option<Element>>,
         structure: &Structure,
         universe: usize,
-        edb: &mut [Indexed],
-        full_idx: &mut [Indexed],
-        old_idx: &mut [Indexed],
-        delta_idx: &mut [Indexed],
+        edb: &[Indexed],
+        full_idx: &[Indexed],
+        old_idx: &[Indexed],
+        delta_idx: &[Indexed],
         full: &[HashSet<Tuple>],
         next_delta: &mut [HashSet<Tuple>],
     ) {
@@ -550,61 +664,48 @@ fn evaluate_rule(
         }
 
         let atom = &rule.atoms[atom_pos];
-        let store: &mut Indexed = match (atom.pred, atom.access) {
-            (Pred::Edb(r), _) => &mut edb[r.0],
-            (Pred::Idb(i), IdbAccess::Full) => &mut full_idx[i.0],
-            (Pred::Idb(i), IdbAccess::Old) => &mut old_idx[i.0],
-            (Pred::Idb(i), IdbAccess::Delta) => &mut delta_idx[i.0],
+        let store: &Indexed = match (atom.pred, atom.access) {
+            (Pred::Edb(r), _) => &edb[r.0],
+            (Pred::Idb(i), IdbAccess::Full) => &full_idx[i.0],
+            (Pred::Idb(i), IdbAccess::Old) => &old_idx[i.0],
+            (Pred::Idb(i), IdbAccess::Delta) => &delta_idx[i.0],
         };
-        // Choose a bound position to index on, if any.
-        let mut index_pos: Option<(usize, Element)> = None;
-        for (pos, t) in atom.args.iter().enumerate() {
-            let val = match t {
-                Term::Var(v) => binding[v.0],
-                Term::Const(c) => Some(structure.constant(*c)),
-            };
-            if let Some(e) = val {
-                index_pos = Some((pos, e));
-                break;
-            }
-        }
-        let candidates: Vec<Tuple> = match index_pos {
-            Some((pos, e)) => {
-                store.ensure_index(pos);
-                match store.indexes[&pos].get(&e) {
-                    Some(ids) => ids.iter().map(|&i| store.tuples[i].clone()).collect(),
-                    None => Vec::new(),
-                }
-            }
-            None => store.tuples.clone(),
-        };
-        'cand: for tuple in candidates {
-            // Match and extend binding.
+
+        // Per-candidate matching: extend the binding, recurse, restore.
+        #[allow(clippy::too_many_arguments)]
+        fn try_tuple(
+            rule: &CompiledRule,
+            atom_pos: usize,
+            tuple: &Tuple,
+            binding: &mut Vec<Option<Element>>,
+            structure: &Structure,
+            universe: usize,
+            edb: &[Indexed],
+            full_idx: &[Indexed],
+            old_idx: &[Indexed],
+            delta_idx: &[Indexed],
+            full: &[HashSet<Tuple>],
+            next_delta: &mut [HashSet<Tuple>],
+        ) {
+            let atom = &rule.atoms[atom_pos];
             let mut newly_bound: Vec<VarId> = Vec::new();
             for (pos, t) in atom.args.iter().enumerate() {
-                match t {
-                    Term::Const(c) => {
-                        if structure.constant(*c) != tuple[pos] {
-                            for v in newly_bound.drain(..) {
-                                binding[v.0] = None;
-                            }
-                            continue 'cand;
-                        }
-                    }
+                let ok = match t {
+                    Term::Const(c) => structure.constant(*c) == tuple[pos],
                     Term::Var(v) => match binding[v.0] {
-                        Some(e) => {
-                            if e != tuple[pos] {
-                                for v in newly_bound.drain(..) {
-                                    binding[v.0] = None;
-                                }
-                                continue 'cand;
-                            }
-                        }
+                        Some(e) => e == tuple[pos],
                         None => {
                             binding[v.0] = Some(tuple[pos]);
                             newly_bound.push(*v);
+                            true
                         }
                     },
+                };
+                if !ok {
+                    for v in newly_bound.drain(..) {
+                        binding[v.0] = None;
+                    }
+                    return;
                 }
             }
             join(
@@ -622,6 +723,51 @@ fn evaluate_rule(
             );
             for v in newly_bound.drain(..) {
                 binding[v.0] = None;
+            }
+        }
+
+        match atom.index_pos {
+            Some(pos) => {
+                // The indexed argument is a constant or a variable bound
+                // by an earlier atom — always resolvable here.
+                let e = match &atom.args[pos] {
+                    Term::Var(v) => binding[v.0].expect("statically bound"),
+                    Term::Const(c) => structure.constant(*c),
+                };
+                for &i in store.probe(pos, e) {
+                    try_tuple(
+                        rule,
+                        atom_pos,
+                        &store.tuples[i],
+                        binding,
+                        structure,
+                        universe,
+                        edb,
+                        full_idx,
+                        old_idx,
+                        delta_idx,
+                        full,
+                        next_delta,
+                    );
+                }
+            }
+            None => {
+                for tuple in &store.tuples {
+                    try_tuple(
+                        rule,
+                        atom_pos,
+                        tuple,
+                        binding,
+                        structure,
+                        universe,
+                        edb,
+                        full_idx,
+                        old_idx,
+                        delta_idx,
+                        full,
+                        next_delta,
+                    );
+                }
             }
         }
     }
@@ -692,6 +838,7 @@ mod tests {
                     semi_naive: false,
                     record_stages: true,
                     max_stages: None,
+                    parallel: true,
                 },
             );
             let semi = Evaluator::new(&p).run(
@@ -700,6 +847,7 @@ mod tests {
                     semi_naive: true,
                     record_stages: true,
                     max_stages: None,
+                    parallel: true,
                 },
             );
             assert_eq!(naive.idb, semi.idb, "fixpoints differ on seed {seed}");
@@ -720,6 +868,7 @@ mod tests {
                 semi_naive: true,
                 record_stages: true,
                 max_stages: None,
+                parallel: true,
             },
         );
         assert_eq!(r.stage_count(), 5); // distances 1..=5
@@ -852,6 +1001,7 @@ mod tests {
                 semi_naive: true,
                 record_stages: false,
                 max_stages: Some(2),
+                parallel: true,
             },
         );
         assert!(!r.converged);

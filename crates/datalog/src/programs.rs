@@ -424,11 +424,10 @@ mod tests {
     #[test]
     fn path_systems_matches_direct_fixpoint() {
         use kv_structures::{RelId, Structure};
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use kv_structures::SplitMix64;
         let p = path_systems();
         for seed in 0..6u64 {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = SplitMix64::seed_from_u64(seed);
             let n = 10u32;
             let mut s = Structure::new(Arc::clone(p.vocabulary()), n as usize);
             // Random rules and axioms.

@@ -1,115 +1,132 @@
-//! Property-based tests: Menger duality, flow correctness, DAG facts.
+//! Randomized property tests: Menger duality, flow correctness, DAG facts.
+//! Seed-deterministic via the in-tree [`SplitMix64`] generator.
 
 use kv_graphalg::disjoint::{disjoint_fan, DisjointFan};
 use kv_graphalg::{is_acyclic, levels, reachable_from, topological_sort};
+use kv_structures::rng::SplitMix64;
 use kv_structures::Digraph;
-use proptest::prelude::*;
 
-fn digraph_strategy(max_n: usize) -> impl Strategy<Value = Digraph> {
-    (3usize..=max_n).prop_flat_map(|n| {
-        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=(2 * n * n / 3).min(30))
-            .prop_map(move |edges| {
-                let mut g = Digraph::new(n);
-                for (u, v) in edges {
-                    if u != v {
-                        g.add_edge(u, v);
-                    }
-                }
-                g
-            })
-    })
+/// A random loop-free digraph with `3..=max_n` nodes.
+fn random_case_digraph(max_n: usize, max_edges: usize, rng: &mut SplitMix64) -> Digraph {
+    let n = rng.gen_range(3usize..max_n + 1);
+    let mut g = Digraph::new(n);
+    let edges = rng.gen_range(0usize..max_edges + 1);
+    for _ in 0..edges {
+        let u = rng.gen_range(0u32..n as u32);
+        let v = rng.gen_range(0u32..n as u32);
+        if u != v {
+            g.add_edge(u, v);
+        }
+    }
+    g
 }
 
-proptest! {
-    /// Menger duality: either the fan exists, or the returned cut (of
-    /// fewer than k nodes) actually separates the source from some target.
-    #[test]
-    fn menger_duality(g in digraph_strategy(9)) {
+/// Menger duality: either the fan exists, or the returned cut (of fewer
+/// than k nodes) actually separates the source from some target.
+#[test]
+fn menger_duality() {
+    for seed in 0..128u64 {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let g = random_case_digraph(9, 30, &mut rng);
         let targets = [1u32, 2];
         match disjoint_fan(&g, 0, &targets, &[]) {
             DisjointFan::Paths(paths) => {
-                prop_assert_eq!(paths.len(), 2);
+                assert_eq!(paths.len(), 2);
                 // Validate edges, endpoints, and disjointness.
                 for (p, &t) in paths.iter().zip(&targets) {
-                    prop_assert_eq!(p[0], 0);
-                    prop_assert_eq!(*p.last().unwrap(), t);
+                    assert_eq!(p[0], 0);
+                    assert_eq!(*p.last().unwrap(), t);
                     for w in p.windows(2) {
-                        prop_assert!(g.has_edge(w[0], w[1]));
+                        assert!(g.has_edge(w[0], w[1]), "seed {seed}");
                     }
                 }
                 for x in &paths[0][1..] {
-                    prop_assert!(!paths[1][1..].contains(x));
+                    assert!(!paths[1][1..].contains(x), "seed {seed}");
                 }
             }
             DisjointFan::Cut(cut) => {
-                prop_assert!(cut.len() < 2);
+                assert!(cut.len() < 2);
                 let reach = reachable_from(&g, 0, &cut);
                 let all_ok = targets
                     .iter()
                     .all(|&t| !cut.contains(&t) && reach[t as usize]);
-                prop_assert!(!all_ok, "cut {:?} fails to separate", cut);
+                assert!(!all_ok, "seed {seed}: cut {cut:?} fails to separate");
             }
         }
     }
+}
 
-    /// Removing any returned fan path's interior node destroys at least
-    /// that routing (sanity of witness minimality is not required — only
-    /// validity — but interior nodes must be non-distinguished).
-    #[test]
-    fn fan_interiors_avoid_endpoints(g in digraph_strategy(8)) {
+/// Fan path interiors must avoid the distinguished endpoints.
+#[test]
+fn fan_interiors_avoid_endpoints() {
+    for seed in 0..128u64 {
+        let mut rng = SplitMix64::seed_from_u64(1000 + seed);
+        let g = random_case_digraph(8, 30, &mut rng);
         if let DisjointFan::Paths(paths) = disjoint_fan(&g, 0, &[1, 2], &[]) {
             for p in &paths {
                 for &x in &p[1..p.len() - 1] {
-                    prop_assert!(x != 0 && x != 1 && x != 2);
+                    assert!(x != 0 && x != 1 && x != 2, "seed {seed}");
                 }
             }
         }
     }
+}
 
-    /// Topological sort exists iff acyclic, and respects all edges.
-    #[test]
-    fn topo_sort_is_consistent(g in digraph_strategy(9)) {
+/// Topological sort exists iff acyclic, and respects all edges.
+#[test]
+fn topo_sort_is_consistent() {
+    for seed in 0..128u64 {
+        let mut rng = SplitMix64::seed_from_u64(2000 + seed);
+        let g = random_case_digraph(9, 30, &mut rng);
         match topological_sort(&g) {
             Some(order) => {
-                prop_assert!(is_acyclic(&g));
+                assert!(is_acyclic(&g));
                 let mut pos = vec![0usize; g.node_count()];
                 for (i, &v) in order.iter().enumerate() {
                     pos[v as usize] = i;
                 }
                 for (u, v) in g.edges() {
-                    prop_assert!(pos[u as usize] < pos[v as usize]);
+                    assert!(pos[u as usize] < pos[v as usize], "seed {seed}");
                 }
             }
-            None => prop_assert!(!is_acyclic(&g)),
+            None => assert!(!is_acyclic(&g), "seed {seed}"),
         }
     }
+}
 
-    /// On DAGs, levels strictly decrease along edges and sinks are 0.
-    #[test]
-    fn level_function_laws(g in digraph_strategy(9)) {
+/// On DAGs, levels strictly decrease along edges and sinks are 0.
+#[test]
+fn level_function_laws() {
+    for seed in 0..128u64 {
+        let mut rng = SplitMix64::seed_from_u64(3000 + seed);
+        let g = random_case_digraph(9, 30, &mut rng);
         if is_acyclic(&g) {
             let l = levels(&g);
             for (u, v) in g.edges() {
-                prop_assert!(l[u as usize] > l[v as usize]);
+                assert!(l[u as usize] > l[v as usize], "seed {seed}");
             }
             for v in g.nodes() {
                 if g.out_degree(v) == 0 {
-                    prop_assert_eq!(l[v as usize], 0);
+                    assert_eq!(l[v as usize], 0, "seed {seed}");
                 }
             }
         }
     }
+}
 
-    /// Reachability is monotone in the forbidden set.
-    #[test]
-    fn reachability_antitone_in_forbidden(g in digraph_strategy(8), f in 1u32..8) {
+/// Reachability is monotone in the forbidden set.
+#[test]
+fn reachability_antitone_in_forbidden() {
+    for seed in 0..128u64 {
+        let mut rng = SplitMix64::seed_from_u64(4000 + seed);
+        let g = random_case_digraph(8, 30, &mut rng);
         let n = g.node_count() as u32;
-        let f = f % n;
+        let f = rng.gen_range(1u32..8) % n;
         let base = reachable_from(&g, 0, &[]);
         let restricted = reachable_from(&g, 0, &[f]);
         for v in 0..n {
             if restricted[v as usize] {
-                prop_assert!(base[v as usize]);
+                assert!(base[v as usize], "seed {seed}");
             }
         }
     }

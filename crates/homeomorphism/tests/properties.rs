@@ -1,84 +1,92 @@
-//! Property-based tests: the dispatching solver always agrees with brute
-//! force; classification is total and consistent.
+//! Randomized tests: the dispatching solver always agrees with brute
+//! force; classification is total and consistent. Seed-deterministic via
+//! the in-tree [`SplitMix64`] generator.
 
 use kv_homeo::pattern::{c_bar_witness, class_c_root, classify, PatternClass};
 use kv_homeo::{brute_force_homeomorphism, solve, PatternSpec};
+use kv_structures::rng::SplitMix64;
 use kv_structures::Digraph;
-use proptest::prelude::*;
 
-fn digraph_strategy(max_n: usize) -> impl Strategy<Value = Digraph> {
-    (4usize..=max_n).prop_flat_map(|n| {
-        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=(n * n / 3).min(16)).prop_map(
-            move |edges| {
-                let mut g = Digraph::new(n);
-                for (u, v) in edges {
-                    if u != v {
-                        g.add_edge(u, v);
-                    }
-                }
-                g
-            },
-        )
-    })
+fn random_case_digraph(max_n: usize, rng: &mut SplitMix64) -> Digraph {
+    let n = rng.gen_range(4usize..max_n + 1);
+    let mut g = Digraph::new(n);
+    let edges = rng.gen_range(0usize..(n * n / 3).min(16) + 1);
+    for _ in 0..edges {
+        let u = rng.gen_range(0u32..n as u32);
+        let v = rng.gen_range(0u32..n as u32);
+        if u != v {
+            g.add_edge(u, v);
+        }
+    }
+    g
 }
 
-fn pattern_strategy() -> impl Strategy<Value = PatternSpec> {
-    prop_oneof![
-        Just(PatternSpec::two_disjoint_edges()),
-        Just(PatternSpec::path_length_two()),
-        Just(PatternSpec::two_cycle()),
-        Just(PatternSpec {
+fn pattern_pool() -> Vec<PatternSpec> {
+    vec![
+        PatternSpec::two_disjoint_edges(),
+        PatternSpec::path_length_two(),
+        PatternSpec::two_cycle(),
+        PatternSpec {
             node_count: 3,
             edges: vec![(0, 1), (0, 2)],
-        }),
-        Just(PatternSpec {
+        },
+        PatternSpec {
             node_count: 3,
             edges: vec![(1, 0), (2, 0)],
-        }),
+        },
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    /// Whatever method the dispatcher picks, the answer equals brute force
-    /// (when the distinguished nodes fit the pattern arity).
-    #[test]
-    fn solver_always_agrees_with_brute_force(
-        g in digraph_strategy(7),
-        pattern in pattern_strategy(),
-    ) {
+/// Whatever method the dispatcher picks, the answer equals brute force
+/// (when the distinguished nodes fit the pattern arity).
+#[test]
+fn solver_always_agrees_with_brute_force() {
+    let pool = pattern_pool();
+    for seed in 0..40u64 {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let g = random_case_digraph(7, &mut rng);
+        let pattern = &pool[rng.gen_range(0usize..pool.len())];
         let l = pattern.node_count;
         let distinguished: Vec<u32> = (0..l as u32).collect();
-        let (answer, _method) = solve(&pattern, &g, &distinguished);
-        prop_assert_eq!(
+        let (answer, _method) = solve(pattern, &g, &distinguished);
+        assert_eq!(
             answer,
-            brute_force_homeomorphism(&pattern, &g, &distinguished)
+            brute_force_homeomorphism(pattern, &g, &distinguished),
+            "seed {seed}"
         );
     }
+}
 
-    /// Classification is total and the two sides are mutually exclusive on
-    /// loop-free patterns.
-    #[test]
-    fn classification_is_consistent(edges in proptest::collection::vec((0usize..4, 0usize..4), 1..6)) {
-        let edges: Vec<(usize, usize)> = edges
-            .into_iter()
+/// Classification is total and the two sides are mutually exclusive on
+/// loop-free patterns.
+#[test]
+fn classification_is_consistent() {
+    for seed in 0..40u64 {
+        let mut rng = SplitMix64::seed_from_u64(1000 + seed);
+        let len = rng.gen_range(1usize..6);
+        let mut edges: Vec<(usize, usize)> = (0..len)
+            .map(|_| (rng.gen_range(0usize..4), rng.gen_range(0usize..4)))
             .filter(|&(i, j)| i != j)
             .collect();
-        let mut dedup = edges.clone();
-        dedup.sort_unstable();
-        dedup.dedup();
-        if dedup.is_empty() {
-            return Ok(());
+        edges.sort_unstable();
+        edges.dedup();
+        if edges.is_empty() {
+            continue;
         }
-        let p = PatternSpec { node_count: 4, edges: dedup };
+        let p = PatternSpec {
+            node_count: 4,
+            edges,
+        };
         let in_c = class_c_root(&p).is_some();
         let witness = c_bar_witness(&p).is_some();
-        prop_assert_eq!(in_c, !witness, "classification must partition loop-free patterns");
+        assert_eq!(
+            in_c, !witness,
+            "seed {seed}: classification must partition loop-free patterns"
+        );
         match classify(&p) {
-            PatternClass::InC(_) => prop_assert!(in_c),
-            PatternClass::InCBar(_) => prop_assert!(witness),
-            other => prop_assert!(false, "unexpected class {:?}", other),
+            PatternClass::InC(_) => assert!(in_c, "seed {seed}"),
+            PatternClass::InCBar(_) => assert!(witness, "seed {seed}"),
+            other => panic!("seed {seed}: unexpected class {other:?}"),
         }
     }
 }

@@ -218,6 +218,7 @@ mod tests {
                 semi_naive: true,
                 record_stages: true,
                 max_stages: None,
+                parallel: true,
             },
         );
         let mut translation = StageTranslation::new(program);

@@ -1,4 +1,5 @@
-//! Property-based tests for the logic layer.
+//! Randomized tests for the logic layer, seed-deterministic via the
+//! in-tree [`SplitMix64`] generator.
 
 use kv_datalog::programs::{avoiding_path, transitive_closure};
 use kv_datalog::{EvalOptions, Evaluator};
@@ -6,21 +7,19 @@ use kv_logic::builders::path_formula;
 use kv_logic::eval::{eval_with, Evaluator as LogicEvaluator};
 use kv_logic::formula::{Formula, Var};
 use kv_logic::stage::StageTranslation;
+use kv_structures::rng::SplitMix64;
 use kv_structures::{Digraph, Element, RelId};
-use proptest::prelude::*;
 
-fn digraph_strategy(max_n: usize) -> impl Strategy<Value = Digraph> {
-    (2usize..=max_n).prop_flat_map(|n| {
-        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=(n * n / 2).min(12)).prop_map(
-            move |edges| {
-                let mut g = Digraph::new(n);
-                for (u, v) in edges {
-                    g.add_edge(u, v);
-                }
-                g
-            },
-        )
-    })
+fn random_case_digraph(min_n: usize, max_n: usize, rng: &mut SplitMix64) -> Digraph {
+    let n = rng.gen_range(min_n..max_n + 1);
+    let mut g = Digraph::new(n);
+    let edges = rng.gen_range(0usize..(n * n / 2).min(12) + 1);
+    for _ in 0..edges {
+        let u = rng.gen_range(0u32..n as u32);
+        let v = rng.gen_range(0u32..n as u32);
+        g.add_edge(u, v);
+    }
+    g
 }
 
 /// Walks of length exactly n between two nodes, by dynamic programming.
@@ -41,29 +40,34 @@ fn has_walk_of_length(g: &Digraph, from: u32, to: u32, n: usize) -> bool {
     current[to as usize]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// p_n (3-variable form) agrees with the walk DP for every pair.
-    #[test]
-    fn path_formula_equals_walk_dp(g in digraph_strategy(5), n in 1usize..6) {
+/// p_n (3-variable form) agrees with the walk DP for every pair.
+#[test]
+fn path_formula_equals_walk_dp() {
+    for seed in 0..32u64 {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let g = random_case_digraph(2, 5, &mut rng);
+        let n = rng.gen_range(1usize..6);
         let s = g.to_structure();
         let f = path_formula(RelId(0), n);
-        prop_assert!(f.width() <= 3);
+        assert!(f.width() <= 3);
         for a in 0..s.universe_size() as u32 {
             for b in 0..s.universe_size() as u32 {
-                prop_assert_eq!(
+                assert_eq!(
                     eval_with(&f, &s, &[Some(a), Some(b)]),
                     has_walk_of_length(&g, a, b, n),
-                    "p_{}({}, {})", n, a, b
+                    "seed {seed}: p_{n}({a}, {b})"
                 );
             }
         }
     }
+}
 
-    /// Memoized evaluation agrees with itself across evaluator reuse.
-    #[test]
-    fn memoization_is_transparent(g in digraph_strategy(5)) {
+/// Memoized evaluation agrees with itself across evaluator reuse.
+#[test]
+fn memoization_is_transparent() {
+    for seed in 0..32u64 {
+        let mut rng = SplitMix64::seed_from_u64(1000 + seed);
+        let g = random_case_digraph(2, 5, &mut rng);
         let s = g.to_structure();
         let f = path_formula(RelId(0), 4);
         let mut shared = LogicEvaluator::new(&s);
@@ -72,20 +76,29 @@ proptest! {
                 let mut asg = vec![Some(a), Some(b), None];
                 let with_shared = shared.eval(&f, &mut asg);
                 let fresh = eval_with(&f, &s, &[Some(a), Some(b)]);
-                prop_assert_eq!(with_shared, fresh);
+                assert_eq!(with_shared, fresh, "seed {seed}: ({a}, {b})");
             }
         }
     }
+}
 
-    /// Theorem 3.6 on random graphs: stage formulas define the stages (TC,
-    /// first three stages — the deep exhaustive check lives in unit tests).
-    #[test]
-    fn stage_formula_matches_stages(g in digraph_strategy(4)) {
+/// Theorem 3.6 on random graphs: stage formulas define the stages (TC,
+/// first three stages — the deep exhaustive check lives in unit tests).
+#[test]
+fn stage_formula_matches_stages() {
+    for seed in 0..32u64 {
+        let mut rng = SplitMix64::seed_from_u64(2000 + seed);
+        let g = random_case_digraph(2, 4, &mut rng);
         let s = g.to_structure();
         for program in [transitive_closure(), avoiding_path()] {
             let result = Evaluator::new(&program).run(
                 &s,
-                EvalOptions { semi_naive: true, record_stages: true, max_stages: Some(3) },
+                EvalOptions {
+                    semi_naive: true,
+                    record_stages: true,
+                    max_stages: Some(3),
+                    ..EvalOptions::default()
+                },
             );
             let mut translation = StageTranslation::new(&program);
             let goal = program.goal();
@@ -102,10 +115,12 @@ proptest! {
                     for (q, &e) in tuple.iter().enumerate() {
                         asg[q] = Some(e);
                     }
-                    prop_assert_eq!(
+                    assert_eq!(
                         ev.eval(&formula, &mut asg),
                         snapshot[goal.0].contains(tuple.as_slice()),
-                        "stage {} tuple {:?}", idx + 1, tuple
+                        "seed {seed}: stage {} tuple {:?}",
+                        idx + 1,
+                        tuple
                     );
                     // Odometer.
                     let mut pos = 0;
@@ -124,14 +139,16 @@ proptest! {
             }
         }
     }
+}
 
-    /// Width accounting: exists_many over fresh variables adds exactly
-    /// those variables.
-    #[test]
-    fn width_accounting(extra in 1usize..5) {
+/// Width accounting: exists_many over fresh variables adds exactly
+/// those variables.
+#[test]
+fn width_accounting() {
+    for extra in 1usize..5 {
         let base = Formula::edge(RelId(0), Var(0), Var(1));
         let f = Formula::exists_many((2..2 + extra).map(Var), base);
-        prop_assert_eq!(f.width(), 2 + extra);
-        prop_assert_eq!(f.free_vars().len(), 2);
+        assert_eq!(f.width(), 2 + extra);
+        assert_eq!(f.free_vars().len(), 2);
     }
 }

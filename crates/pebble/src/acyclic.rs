@@ -14,7 +14,15 @@
 //! *cooperative* Datalog(≠) program of Theorem 6.2 capture the
 //! *adversarial* game. Both solvers live here; their agreement is
 //! experiment E13's backbone.
+//!
+//! The two-player game runs on the shared [`crate::arena`] with closure
+//! under subpositions **off**: Player I cannot undo moves, the state graph
+//! is acyclic (each move strictly decreases the pebbles' level sum), and
+//! worklist deletion therefore coincides with backward induction. The
+//! literal memoized recursion is retained as
+//! [`AcyclicGame::solve_by_recursion`] and differential-tested.
 
+use crate::arena::{Arena, Child, GameSpec};
 use crate::game::Winner;
 use kv_graphalg::is_acyclic;
 use kv_structures::Digraph;
@@ -89,125 +97,224 @@ impl PatternSpec {
 /// Sentinel for a removed pebble.
 const REMOVED: u32 = u32::MAX;
 
+/// Legal destinations for pebble `e` in `state` (empty if removed or
+/// stuck). A move to the pebble's target is encoded as [`REMOVED`].
+fn legal_moves(
+    pattern: &PatternSpec,
+    graph: &Digraph,
+    distinguished: &[u32],
+    state: &[u32],
+    e: usize,
+) -> Vec<u32> {
+    let u = state[e];
+    if u == REMOVED {
+        return Vec::new();
+    }
+    let (_, j) = pattern.edges[e];
+    let target = distinguished[j];
+    let mut out = Vec::new();
+    for &v in graph.successors(u) {
+        if v == target {
+            out.push(REMOVED);
+            continue;
+        }
+        if distinguished.contains(&v) {
+            continue;
+        }
+        if state.contains(&v) {
+            continue;
+        }
+        out.push(v);
+    }
+    out
+}
+
+/// The two-player acyclic game as a [`GameSpec`]: keys are pebble-location
+/// vectors, challenges are pebble indices, replies are destinations.
+struct AcyclicSpec<'g> {
+    pattern: PatternSpec,
+    graph: &'g Digraph,
+    distinguished: Vec<u32>,
+}
+
+impl GameSpec for AcyclicSpec<'_> {
+    type Key = Vec<u32>;
+    type Challenge = usize;
+    type Reply = u32;
+
+    fn depth(&self) -> usize {
+        // The state graph is finite and acyclic; expansion stops when the
+        // frontier drains.
+        usize::MAX
+    }
+
+    fn closure_under_subpositions(&self) -> bool {
+        // Player I cannot undo a move: pure backward induction.
+        false
+    }
+
+    fn expand(&self, state: &Vec<u32>, _level: usize) -> Vec<(usize, Vec<(u32, Child<Vec<u32>>)>)> {
+        (0..state.len())
+            .filter(|&e| state[e] != REMOVED)
+            .map(|e| {
+                let replies = legal_moves(&self.pattern, self.graph, &self.distinguished, state, e)
+                    .into_iter()
+                    .map(|v| {
+                        let mut next = state.clone();
+                        next[e] = v;
+                        (v, Child::Key(next))
+                    })
+                    .collect();
+                (e, replies)
+            })
+            .collect()
+    }
+}
+
 /// A solved two-player pebble game instance on an acyclic graph.
 #[derive(Debug)]
 pub struct AcyclicGame<'g> {
     pattern: PatternSpec,
     graph: &'g Digraph,
     distinguished: Vec<u32>,
-    memo: HashMap<Vec<u32>, bool>,
+    arena: Arena<Vec<u32>, usize, u32>,
     initial: Vec<u32>,
-    winner: Winner,
 }
 
 impl<'g> AcyclicGame<'g> {
-    /// Solves the game by backward induction.
+    fn validate_inputs(pattern: &PatternSpec, graph: &Digraph, distinguished: &[u32]) {
+        pattern.validate().expect("valid pattern");
+        assert!(is_acyclic(graph), "Theorem 6.2 requires acyclic inputs");
+        assert_eq!(
+            distinguished.len(),
+            pattern.node_count,
+            "one distinguished node per pattern node"
+        );
+        let mut uniq = distinguished.to_vec();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(
+            uniq.len(),
+            distinguished.len(),
+            "distinguished nodes must be distinct"
+        );
+    }
+
+    /// Solves the game by worklist deletion over the reachable state
+    /// arena (equivalent to backward induction: the state graph is
+    /// acyclic).
     ///
     /// # Panics
     /// Panics if the graph is cyclic, the pattern is invalid, or
     /// `distinguished` has the wrong length / duplicate nodes.
     pub fn solve(pattern: PatternSpec, graph: &'g Digraph, distinguished: &[u32]) -> Self {
-        pattern.validate().expect("valid pattern");
-        assert!(is_acyclic(graph), "Theorem 6.2 requires acyclic inputs");
-        assert_eq!(distinguished.len(), pattern.node_count, "one distinguished node per pattern node");
-        let mut uniq = distinguished.to_vec();
-        uniq.sort_unstable();
-        uniq.dedup();
-        assert_eq!(uniq.len(), distinguished.len(), "distinguished nodes must be distinct");
-
+        Self::validate_inputs(&pattern, graph, distinguished);
         let initial: Vec<u32> = pattern
             .edges
             .iter()
             .map(|&(i, _)| distinguished[i])
             .collect();
-        let mut game = Self {
+        let spec = AcyclicSpec {
             pattern,
             graph,
             distinguished: distinguished.to_vec(),
-            memo: HashMap::new(),
-            initial: initial.clone(),
-            winner: Winner::Spoiler,
         };
-        let ii_wins = game.win_ii(&initial);
-        game.winner = if ii_wins {
-            Winner::Duplicator
-        } else {
-            Winner::Spoiler
-        };
-        game
+        let arena = Arena::build_and_solve(&spec, initial.clone());
+        Self {
+            pattern: spec.pattern,
+            graph,
+            distinguished: spec.distinguished,
+            arena,
+            initial,
+        }
     }
 
-    /// Legal destinations for pebble `e` in `state` (empty if removed or
-    /// stuck). A move to the pebble's target is encoded as [`REMOVED`].
-    fn moves(&self, state: &[u32], e: usize) -> Vec<u32> {
-        let u = state[e];
-        if u == REMOVED {
-            return Vec::new();
-        }
-        let (_, j) = self.pattern.edges[e];
-        let target = self.distinguished[j];
-        let mut out = Vec::new();
-        for &v in self.graph.successors(u) {
-            if v == target {
-                out.push(REMOVED);
-                continue;
-            }
-            if self.distinguished.contains(&v) {
-                continue;
-            }
-            if state.contains(&v) {
-                continue;
-            }
-            out.push(v);
-        }
-        out
-    }
+    /// The paper's literal backward induction (memoized recursion),
+    /// retained as the differential partner for [`solve`](Self::solve).
+    /// Returns only the winner.
+    pub fn solve_by_recursion(
+        pattern: PatternSpec,
+        graph: &Digraph,
+        distinguished: &[u32],
+    ) -> Winner {
+        Self::validate_inputs(&pattern, graph, distinguished);
+        let initial: Vec<u32> = pattern
+            .edges
+            .iter()
+            .map(|&(i, _)| distinguished[i])
+            .collect();
+        let mut memo: HashMap<Vec<u32>, bool> = HashMap::new();
 
-    /// Does Player II win from `state`? (Acyclic ⇒ terminating recursion.)
-    fn win_ii(&mut self, state: &[u32]) -> bool {
-        if state.iter().all(|&p| p == REMOVED) {
-            return true; // Player I cannot point at anything.
-        }
-        if let Some(&v) = self.memo.get(state) {
-            return v;
-        }
-        // Player I picks the pebble; Player II needs an answer for all.
-        let mut result = true;
-        for e in 0..state.len() {
-            if state[e] == REMOVED {
-                continue;
+        fn win_ii(
+            pattern: &PatternSpec,
+            graph: &Digraph,
+            distinguished: &[u32],
+            memo: &mut HashMap<Vec<u32>, bool>,
+            state: &[u32],
+        ) -> bool {
+            if state.iter().all(|&p| p == REMOVED) {
+                return true; // Player I cannot point at anything.
             }
-            let mut has_good_move = false;
-            for v in self.moves(state, e) {
-                let mut next = state.to_vec();
-                next[e] = v;
-                if self.win_ii(&next) {
-                    has_good_move = true;
+            if let Some(&v) = memo.get(state) {
+                return v;
+            }
+            // Player I picks the pebble; Player II needs an answer for all.
+            let mut result = true;
+            for e in 0..state.len() {
+                if state[e] == REMOVED {
+                    continue;
+                }
+                let mut has_good_move = false;
+                for v in legal_moves(pattern, graph, distinguished, state, e) {
+                    let mut next = state.to_vec();
+                    next[e] = v;
+                    if win_ii(pattern, graph, distinguished, memo, &next) {
+                        has_good_move = true;
+                        break;
+                    }
+                }
+                if !has_good_move {
+                    result = false;
                     break;
                 }
             }
-            if !has_good_move {
-                result = false;
-                break;
-            }
+            memo.insert(state.to_vec(), result);
+            result
         }
-        self.memo.insert(state.to_vec(), result);
-        result
+
+        if win_ii(&pattern, graph, distinguished, &mut memo, &initial) {
+            Winner::Duplicator
+        } else {
+            Winner::Spoiler
+        }
     }
 
     /// The winner from the initial position.
     pub fn winner(&self) -> Winner {
-        self.winner
+        if self.arena.is_alive(0) {
+            Winner::Duplicator
+        } else {
+            Winner::Spoiler
+        }
     }
 
     /// Does Player II (the pebble mover) win?
     pub fn duplicator_wins(&self) -> bool {
-        self.winner == Winner::Duplicator
+        self.winner() == Winner::Duplicator
     }
 
-    /// Number of memoized states (benchmark metric).
+    /// Number of reachable game states (benchmark metric).
     pub fn state_count(&self) -> usize {
-        self.memo.len()
+        self.arena.len()
+    }
+
+    /// Number of move edges in the state arena (benchmark metric).
+    pub fn edge_count(&self) -> usize {
+        self.arena.edge_count()
+    }
+
+    fn moves(&self, state: &[u32], e: usize) -> Vec<u32> {
+        legal_moves(&self.pattern, self.graph, &self.distinguished, state, e)
     }
 
     /// The **unconstrained** single-player (cooperative) variant: is there
@@ -400,6 +507,29 @@ mod tests {
         }
         // The overapproximation gap is witnessed deterministically by the
         // shared-midpoint instance of `h1_with_shared_midpoint`.
+    }
+
+    /// The worklist arena and the literal backward induction agree
+    /// everywhere (differential test for the arena-based rewrite).
+    #[test]
+    fn worklist_agrees_with_recursion_on_random_dags() {
+        for seed in 0..40 {
+            let g = random_dag(8, 0.3, 1700 + seed);
+            for (pattern, distinguished) in [
+                (PatternSpec::two_disjoint_edges(), vec![0u32, 6, 1, 7]),
+                (PatternSpec::path_length_two(), vec![0u32, 6, 7]),
+            ] {
+                let game = AcyclicGame::solve(pattern.clone(), &g, &distinguished);
+                let recursive =
+                    AcyclicGame::solve_by_recursion(pattern, &g, &distinguished);
+                assert_eq!(
+                    game.winner(),
+                    recursive,
+                    "seed {}: worklist vs recursion",
+                    1700 + seed
+                );
+            }
+        }
     }
 
     #[test]

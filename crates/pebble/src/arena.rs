@@ -1,0 +1,552 @@
+//! The shared game arena: level-synchronous position enumeration with
+//! parallel frontier fan-out, and worklist-driven deletion propagation.
+//!
+//! Every solver in this crate decides an AND-OR deletion game over a
+//! space of positions: the Spoiler picks a *challenge*, the Duplicator
+//! must pick a surviving *reply*. A position dies when some challenge has
+//! no alive reply (forth failure); in games where the Spoiler may also
+//! retreat (remove a pebble), every extension of a dead position dies
+//! with it (closure under subpositions, contrapositive).
+//!
+//! [`Arena::build_and_solve`] does both steps:
+//!
+//! 1. **Generation** proceeds level by level from the root. Each frontier
+//!    is expanded *in parallel* ([`kv_structures::par::par_map`]) — the
+//!    per-position [`GameSpec::expand`] calls are pure and independent —
+//!    and the results are interned sequentially in frontier order, so node
+//!    ids are identical to a sequential build.
+//! 2. **Deletion** runs a worklist seeded with forth failures. Every
+//!    option edge carries a reverse (parent) link; when a position dies,
+//!    its extensions are killed directly (if the game closes under
+//!    subpositions) and each predecessor's alive-reply counter for the
+//!    linking challenge is decremented, dying in turn on reaching zero.
+//!    Each arena edge is thus examined O(1) times — total work O(edges) —
+//!    instead of rescanning every position each round as a naive value
+//!    iteration does ([`crate::win_iteration`], kept as the differential
+//!    partner).
+
+use kv_structures::par::par_map;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Where a reply leads, as reported by [`GameSpec::expand`].
+#[derive(Debug, Clone)]
+pub enum Child<K> {
+    /// The reply leads back to the same position (re-pebbling an existing
+    /// pair). A stutter counts as an option that can never be refuted: it
+    /// gets no reverse link, so it is never decremented — the position it
+    /// protects only dies by closure or another challenge.
+    Stutter,
+    /// The reply leads to the position with this key (interned on first
+    /// sight).
+    Key(K),
+}
+
+/// Why a position was deleted from the surviving family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Death<C> {
+    /// Forth failure: this challenge defeated every reply.
+    Forth(C),
+    /// Closure under subpositions: the subposition `parent` died, and
+    /// removing the pebble placed by `challenge` exposes it.
+    Retreat {
+        /// Id of the dead subposition.
+        parent: usize,
+        /// The challenge whose pebble the Spoiler picks up to retreat.
+        challenge: C,
+    },
+}
+
+/// A game presented to the arena builder.
+///
+/// `expand` must be **pure**: it is called from worker threads during the
+/// parallel frontier fan-out, and its output must depend only on the key
+/// (and level) so that parallel and sequential builds agree exactly.
+pub trait GameSpec: Sync {
+    /// Canonical position key (interning identity).
+    type Key: Clone + Eq + Hash + Send + Sync;
+    /// A Spoiler challenge.
+    type Challenge: Clone + PartialEq + Send;
+    /// A Duplicator reply.
+    type Reply: Clone + PartialEq + Send;
+
+    /// Number of expansion levels from the root (positions generated at
+    /// the final level are not expanded — they have no challenge entries
+    /// and stay alive unless killed by closure). Use `usize::MAX` for
+    /// games whose position space is exhausted by reachability, e.g. on
+    /// acyclic state graphs.
+    fn depth(&self) -> usize;
+
+    /// Whether extensions of a dead position die with it (the Spoiler may
+    /// retreat by removing pebbles). `false` turns the deletion into pure
+    /// backward induction, correct on acyclic position graphs.
+    fn closure_under_subpositions(&self) -> bool;
+
+    /// All challenges at `key` with, for each, every valid reply and the
+    /// position it leads to. A challenge with an empty reply list is an
+    /// immediate forth failure.
+    fn expand(&self, key: &Self::Key, level: usize) -> Expansion<Self>;
+}
+
+/// The result of expanding one position: every challenge paired with its
+/// reply options.
+pub type Expansion<S> = Vec<(
+    <S as GameSpec>::Challenge,
+    Vec<(<S as GameSpec>::Reply, Child<<S as GameSpec>::Key>)>,
+)>;
+
+/// Per-challenge bookkeeping: surviving-reply counter plus the option
+/// edges `(reply, child_id)`.
+#[derive(Debug)]
+struct ExtEntry<R> {
+    alive_options: u32,
+    options: Vec<(R, usize)>,
+}
+
+#[derive(Debug)]
+struct Node<K, C, R> {
+    key: K,
+    /// Expanded nodes participate in forth seeding; final-level nodes do
+    /// not (they carry no challenge entries).
+    expanded: bool,
+    alive: bool,
+    death: Option<Death<C>>,
+    extensions: Vec<(C, ExtEntry<R>)>,
+    /// Reverse links: `(parent_id, challenge, reply)` for every non-stutter
+    /// option edge `parent --challenge/reply--> self`.
+    parents: Vec<(usize, C, R)>,
+}
+
+/// A built and solved arena: positions, option edges, aliveness verdicts.
+#[derive(Debug)]
+pub struct Arena<K, C, R> {
+    nodes: Vec<Node<K, C, R>>,
+    by_key: HashMap<K, usize>,
+    edge_count: usize,
+}
+
+impl<K, C, R> Arena<K, C, R>
+where
+    K: Clone + Eq + Hash + Send + Sync,
+    C: Clone + PartialEq + Send,
+    R: Clone + PartialEq + Send,
+{
+    /// An arena with no positions at all (used by games whose root is
+    /// already invalid).
+    pub fn empty() -> Self {
+        Self {
+            nodes: Vec::new(),
+            by_key: HashMap::new(),
+            edge_count: 0,
+        }
+    }
+
+    /// Enumerates the position space reachable from `root` and runs the
+    /// deletion worklist. Position 0 is the root.
+    pub fn build_and_solve<S>(spec: &S, root: K) -> Self
+    where
+        S: GameSpec<Key = K, Challenge = C, Reply = R>,
+    {
+        let mut arena = Self {
+            nodes: vec![Node {
+                key: root.clone(),
+                expanded: false,
+                alive: true,
+                death: None,
+                extensions: Vec::new(),
+                parents: Vec::new(),
+            }],
+            by_key: HashMap::from([(root, 0usize)]),
+            edge_count: 0,
+        };
+
+        let mut frontier: Vec<usize> = vec![0];
+        let mut level = 0usize;
+        while !frontier.is_empty() && level < spec.depth() {
+            // Parallel fan-out: expansion is pure, so farm it out per
+            // frontier position; interning below stays sequential and in
+            // frontier order, keeping ids deterministic.
+            let keys: Vec<K> = frontier.iter().map(|&id| arena.nodes[id].key.clone()).collect();
+            let expansions = par_map(&keys, |_, key| spec.expand(key, level));
+
+            let mut next: Vec<usize> = Vec::new();
+            for (&fid, expansion) in frontier.iter().zip(expansions) {
+                arena.nodes[fid].expanded = true;
+                for (ch, opts) in expansion {
+                    let mut options: Vec<(R, usize)> = Vec::with_capacity(opts.len());
+                    for (reply, child) in opts {
+                        let child_id = match child {
+                            Child::Stutter => fid,
+                            Child::Key(key) => {
+                                let id = match arena.by_key.entry(key) {
+                                    Entry::Occupied(e) => *e.get(),
+                                    Entry::Vacant(e) => {
+                                        let id = arena.nodes.len();
+                                        arena.nodes.push(Node {
+                                            key: e.key().clone(),
+                                            expanded: false,
+                                            alive: true,
+                                            death: None,
+                                            extensions: Vec::new(),
+                                            parents: Vec::new(),
+                                        });
+                                        next.push(id);
+                                        e.insert(id);
+                                        id
+                                    }
+                                };
+                                arena.nodes[id].parents.push((fid, ch.clone(), reply.clone()));
+                                id
+                            }
+                        };
+                        options.push((reply, child_id));
+                    }
+                    arena.edge_count += options.len();
+                    arena.nodes[fid].extensions.push((
+                        ch,
+                        ExtEntry {
+                            alive_options: options.len() as u32,
+                            options,
+                        },
+                    ));
+                }
+            }
+            frontier = next;
+            level += 1;
+        }
+
+        arena.run_deletion(spec.closure_under_subpositions());
+        arena
+    }
+
+    /// The deletion worklist: seed forth failures, then propagate each
+    /// death once along its reverse links.
+    fn run_deletion(&mut self, closure: bool) {
+        let mut queue: Vec<usize> = Vec::new();
+        for id in 0..self.nodes.len() {
+            if !self.nodes[id].expanded {
+                continue;
+            }
+            let failed = self.nodes[id]
+                .extensions
+                .iter()
+                .find(|(_, e)| e.alive_options == 0)
+                .map(|(c, _)| c.clone());
+            if let Some(ch) = failed {
+                self.kill(id, Death::Forth(ch), &mut queue);
+            }
+        }
+        while let Some(dead) = queue.pop() {
+            if closure {
+                // Every extension of a dead position dies: the Spoiler
+                // retreats to `dead` by lifting the linking pebble.
+                let children: Vec<(C, usize)> = self.nodes[dead]
+                    .extensions
+                    .iter()
+                    .flat_map(|(c, e)| e.options.iter().map(|&(_, child)| (c.clone(), child)))
+                    .filter(|&(_, child)| child != dead)
+                    .collect();
+                for (ch, child) in children {
+                    if self.nodes[child].alive {
+                        self.kill(
+                            child,
+                            Death::Retreat {
+                                parent: dead,
+                                challenge: ch,
+                            },
+                            &mut queue,
+                        );
+                    }
+                }
+            }
+            // Predecessors lose one surviving reply for the linking
+            // challenge; on zero they fail forth.
+            let parents = std::mem::take(&mut self.nodes[dead].parents);
+            for &(pid, ref ch, _) in &parents {
+                if !self.nodes[pid].alive {
+                    continue;
+                }
+                let exhausted = {
+                    let entry = self.nodes[pid]
+                        .extensions
+                        .iter_mut()
+                        .find(|(c, _)| c == ch)
+                        .map(|(_, e)| e)
+                        .expect("reverse link matches an extension entry");
+                    entry.alive_options -= 1;
+                    entry.alive_options == 0
+                };
+                if exhausted {
+                    self.kill(pid, Death::Forth(ch.clone()), &mut queue);
+                }
+            }
+            self.nodes[dead].parents = parents;
+        }
+    }
+
+    fn kill(&mut self, id: usize, death: Death<C>, queue: &mut Vec<usize>) {
+        let node = &mut self.nodes[id];
+        if node.alive {
+            node.alive = false;
+            node.death = Some(death);
+            queue.push(id);
+        }
+    }
+
+    /// Number of positions.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the arena holds no positions.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Total number of option edges (the worklist's propagation budget).
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Number of surviving positions.
+    pub fn alive_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.alive).count()
+    }
+
+    /// Did position `id` survive?
+    pub fn is_alive(&self, id: usize) -> bool {
+        self.nodes[id].alive
+    }
+
+    /// Why position `id` died, if it did.
+    pub fn death(&self, id: usize) -> Option<&Death<C>> {
+        self.nodes[id].death.as_ref()
+    }
+
+    /// The key of position `id`.
+    pub fn key(&self, id: usize) -> &K {
+        &self.nodes[id].key
+    }
+
+    /// Looks a position up by key.
+    pub fn id_of(&self, key: &K) -> Option<usize> {
+        self.by_key.get(key).copied()
+    }
+
+    /// First surviving reply to `challenge` at position `id`.
+    pub fn reply(&self, id: usize, challenge: &C) -> Option<(R, usize)> {
+        self.entry(id, challenge)?
+            .options
+            .iter()
+            .find(|&&(_, child)| self.nodes[child].alive)
+            .cloned()
+    }
+
+    /// The position reached from `id` by `challenge` answered with
+    /// `reply`, dead or alive.
+    pub fn child(&self, id: usize, challenge: &C, reply: &R) -> Option<usize> {
+        self.entry(id, challenge)?
+            .options
+            .iter()
+            .find(|(r, _)| r == reply)
+            .map(|&(_, child)| child)
+    }
+
+    /// The subposition reached from `id` by removing the pebble placed by
+    /// `challenge` (any reply).
+    pub fn parent_by_challenge(&self, id: usize, challenge: &C) -> Option<usize> {
+        self.nodes[id]
+            .parents
+            .iter()
+            .find(|(_, c, _)| c == challenge)
+            .map(|&(pid, _, _)| pid)
+    }
+
+    /// The subposition reached from `id` by removing the exact pebble
+    /// `(challenge, reply)`.
+    pub fn parent_by_edge(&self, id: usize, challenge: &C, reply: &R) -> Option<usize> {
+        self.nodes[id]
+            .parents
+            .iter()
+            .find(|(_, c, r)| c == challenge && r == reply)
+            .map(|&(pid, _, _)| pid)
+    }
+
+    fn entry(&self, id: usize, challenge: &C) -> Option<&ExtEntry<R>> {
+        self.nodes[id]
+            .extensions
+            .iter()
+            .find(|(c, _)| c == challenge)
+            .map(|(_, e)| e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy game on small integers: position `n` (up to `max`) is
+    /// challenged once; replies go to `n + 1` (if `n + 1 <= max`) and,
+    /// when `n` is even, also stutter. Positions at `max` are leaves.
+    struct Count {
+        max: usize,
+        closure: bool,
+    }
+
+    impl GameSpec for Count {
+        type Key = usize;
+        type Challenge = u8;
+        type Reply = u8;
+
+        fn depth(&self) -> usize {
+            self.max
+        }
+
+        fn closure_under_subpositions(&self) -> bool {
+            self.closure
+        }
+
+        fn expand(&self, key: &usize, _level: usize) -> Vec<(u8, Vec<(u8, Child<usize>)>)> {
+            let mut replies = Vec::new();
+            if *key < self.max {
+                replies.push((0u8, Child::Key(key + 1)));
+            }
+            if key.is_multiple_of(2) {
+                replies.push((1u8, Child::Stutter));
+            }
+            vec![(0u8, replies)]
+        }
+    }
+
+    #[test]
+    fn chain_survives_when_leaf_survives() {
+        let arena = Arena::build_and_solve(&Count { max: 3, closure: true }, 0usize);
+        assert_eq!(arena.len(), 4);
+        // Leaf 3 is unexpanded, hence alive; everything upstream follows.
+        for id in 0..4 {
+            assert!(arena.is_alive(id), "position {id}");
+        }
+        // Edges: 0 -> {1, stutter}, 1 -> {2}, 2 -> {3, stutter}.
+        assert_eq!(arena.edge_count(), 5);
+    }
+
+    /// A game where a mid-chain position has zero replies: the forth seed
+    /// kills it, the worklist walks the death back to the root, and (with
+    /// closure) forward over its extensions.
+    struct Gap;
+
+    impl GameSpec for Gap {
+        type Key = usize;
+        type Challenge = u8;
+        type Reply = u8;
+
+        fn depth(&self) -> usize {
+            3
+        }
+
+        fn closure_under_subpositions(&self) -> bool {
+            true
+        }
+
+        fn expand(&self, key: &usize, _level: usize) -> Vec<(u8, Vec<(u8, Child<usize>)>)> {
+            match key {
+                0 => vec![(0u8, vec![(0u8, Child::Key(1)), (1u8, Child::Key(2))])],
+                // Position 1 extends to 3; position 2 is stuck.
+                1 => vec![(0u8, vec![(0u8, Child::Key(3))])],
+                2 => vec![(0u8, vec![])],
+                _ => vec![],
+            }
+        }
+    }
+
+    #[test]
+    fn forth_failure_propagates_both_ways() {
+        let arena = Arena::build_and_solve(&Gap, 0usize);
+        assert_eq!(arena.len(), 4);
+        // 2 dies by forth; 0 survives via reply to 1; 1 and 3 survive.
+        assert!(arena.is_alive(0));
+        assert!(arena.is_alive(1));
+        assert!(!arena.is_alive(2));
+        assert!(arena.is_alive(3));
+        assert_eq!(arena.death(2), Some(&Death::Forth(0u8)));
+        // The surviving reply from the root skips the dead child.
+        assert_eq!(arena.reply(0, &0u8), Some((0u8, 1)));
+        assert_eq!(arena.alive_count(), 3);
+    }
+
+    /// Without the stuck branch the root's only reply dies, killing the
+    /// root by forth — and with closure enabled, the root's death kills
+    /// its extensions in turn.
+    struct DeadEnd;
+
+    impl GameSpec for DeadEnd {
+        type Key = usize;
+        type Challenge = u8;
+        type Reply = u8;
+
+        fn depth(&self) -> usize {
+            3
+        }
+
+        fn closure_under_subpositions(&self) -> bool {
+            true
+        }
+
+        fn expand(&self, key: &usize, _level: usize) -> Vec<(u8, Vec<(u8, Child<usize>)>)> {
+            match key {
+                0 => vec![(0u8, vec![(0u8, Child::Key(1))])],
+                1 => vec![(0u8, vec![]), (1u8, vec![(0u8, Child::Key(2))])],
+                _ => vec![],
+            }
+        }
+    }
+
+    #[test]
+    fn closure_kills_extensions_of_the_dead() {
+        let arena = Arena::build_and_solve(&DeadEnd, 0usize);
+        assert!(!arena.is_alive(1), "stuck by challenge 0");
+        assert!(!arena.is_alive(0), "its predecessor fails forth");
+        assert!(!arena.is_alive(2), "closure kills the dead node's extension");
+        assert!(matches!(arena.death(2), Some(Death::Retreat { parent: 1, .. })));
+        assert_eq!(arena.alive_count(), 0);
+    }
+
+    #[test]
+    fn no_closure_spares_extensions() {
+        struct DeadEndOpen;
+        impl GameSpec for DeadEndOpen {
+            type Key = usize;
+            type Challenge = u8;
+            type Reply = u8;
+            fn depth(&self) -> usize {
+                3
+            }
+            fn closure_under_subpositions(&self) -> bool {
+                false
+            }
+            fn expand(&self, key: &usize, _level: usize) -> Vec<(u8, Vec<(u8, Child<usize>)>)> {
+                match key {
+                    0 => vec![(0u8, vec![(0u8, Child::Key(1))])],
+                    1 => vec![(0u8, vec![]), (1u8, vec![(0u8, Child::Key(2))])],
+                    _ => vec![],
+                }
+            }
+        }
+        let arena = Arena::build_and_solve(&DeadEndOpen, 0usize);
+        assert!(!arena.is_alive(1));
+        assert!(!arena.is_alive(0));
+        assert!(arena.is_alive(2), "backward induction leaves successors alone");
+    }
+
+    #[test]
+    fn navigation_helpers() {
+        let arena = Arena::build_and_solve(&Gap, 0usize);
+        assert_eq!(arena.id_of(&1), Some(1));
+        assert_eq!(arena.child(0, &0u8, &1u8), Some(2));
+        assert_eq!(arena.parent_by_challenge(1, &0u8), Some(0));
+        assert_eq!(arena.parent_by_edge(2, &0u8, &1u8), Some(0));
+        assert_eq!(arena.parent_by_edge(2, &0u8, &0u8), None);
+        assert_eq!(*arena.key(3), 3usize);
+    }
+}

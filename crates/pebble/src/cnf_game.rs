@@ -7,9 +7,11 @@
 //!
 //! A position is a set of at most `k` pebbled pairs; each pair commits one
 //! literal to **true** (assigning `x := false` is the same commitment as
-//! `x̄ := true`). The solver mirrors [`crate::game`]: the greatest family
-//! of *consistent* positions closed under subsets with the forth property
-//! (every challenge has a surviving response).
+//! `x̄ := true`). The solver mirrors [`crate::game`] on the shared
+//! [`crate::arena`]: the greatest family of *consistent* positions closed
+//! under subsets with the forth property (every challenge has a surviving
+//! response). Re-pebbling an existing pair is a stutter edge — an option
+//! the Spoiler can never refute.
 //!
 //! Facts reproduced in tests (all from the paper's Section 6.2 discussion):
 //! satisfiable ⇒ Duplicator wins every `k`; unsatisfiable with `k`
@@ -17,9 +19,9 @@
 //! `k`-game on the complete formula `φ_k`; Spoiler wins the 2-game on
 //! `x1 ∧ … ∧ xk ∧ (x̄1 ∨ … ∨ x̄k)`.
 
+use crate::arena::{Arena, Child, GameSpec};
 use crate::cnf::{CnfFormula, Lit};
 use crate::game::Winner;
-use std::collections::HashMap;
 
 /// A Player I challenge.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -38,25 +40,6 @@ pub type PebblePair = (Challenge, Lit);
 /// A position: sorted set of pebbled pairs.
 pub type CnfPosition = Vec<PebblePair>;
 
-#[derive(Debug)]
-struct Node {
-    position: CnfPosition,
-    alive: bool,
-    /// For each challenge: (alive responses, options).
-    extensions: HashMap<Challenge, (u32, Vec<(Lit, usize)>)>,
-    /// `(parent_id, removed pair)` subset links.
-    parents: Vec<(usize, PebblePair)>,
-}
-
-/// A solved k-pebble game on a CNF formula.
-#[derive(Debug)]
-pub struct CnfGame<'f> {
-    formula: &'f CnfFormula,
-    k: usize,
-    nodes: Vec<Node>,
-    by_position: HashMap<CnfPosition, usize>,
-}
-
 /// Is a set of true-literal commitments consistent (no complementary pair)?
 fn consistent(position: &CnfPosition) -> bool {
     for (i, &(_, l1)) in position.iter().enumerate() {
@@ -69,6 +52,75 @@ fn consistent(position: &CnfPosition) -> bool {
     true
 }
 
+/// The CNF game as a [`GameSpec`]: keys are sorted positions, challenges
+/// are literal/clause pebbles, replies are committed literals.
+struct CnfSpec<'f> {
+    formula: &'f CnfFormula,
+    challenges: Vec<Challenge>,
+    k: usize,
+}
+
+impl CnfSpec<'_> {
+    fn responses(&self, ch: Challenge) -> Vec<Lit> {
+        match ch {
+            Challenge::Literal(l) => vec![l, l.complement()],
+            Challenge::Clause(i) => self.formula.clauses()[i].clone(),
+        }
+    }
+}
+
+impl GameSpec for CnfSpec<'_> {
+    type Key = CnfPosition;
+    type Challenge = Challenge;
+    type Reply = Lit;
+
+    fn depth(&self) -> usize {
+        // One expansion level per pebble.
+        self.k
+    }
+
+    fn closure_under_subpositions(&self) -> bool {
+        // Player I may lift pebbles between rounds.
+        true
+    }
+
+    fn expand(
+        &self,
+        key: &CnfPosition,
+        _level: usize,
+    ) -> Vec<(Challenge, Vec<(Lit, Child<CnfPosition>)>)> {
+        self.challenges
+            .iter()
+            .map(|&ch| {
+                let mut options = Vec::new();
+                for resp in self.responses(ch) {
+                    let pair = (ch, resp);
+                    if key.contains(&pair) {
+                        // Re-pebbling an existing pair.
+                        options.push((resp, Child::Stutter));
+                        continue;
+                    }
+                    let mut pos = key.clone();
+                    let insert_at = pos.partition_point(|p| *p < pair);
+                    pos.insert(insert_at, pair);
+                    if consistent(&pos) {
+                        options.push((resp, Child::Key(pos)));
+                    }
+                }
+                (ch, options)
+            })
+            .collect()
+    }
+}
+
+/// A solved k-pebble game on a CNF formula.
+#[derive(Debug)]
+pub struct CnfGame<'f> {
+    formula: &'f CnfFormula,
+    k: usize,
+    arena: Arena<CnfPosition, Challenge, Lit>,
+}
+
 impl<'f> CnfGame<'f> {
     /// Builds and solves the game with `k` pebbles.
     pub fn solve(formula: &'f CnfFormula, k: usize) -> Self {
@@ -77,129 +129,18 @@ impl<'f> CnfGame<'f> {
             .flat_map(|v| [Challenge::Literal(Lit::pos(v)), Challenge::Literal(Lit::neg(v))])
             .chain((0..formula.clause_count()).map(Challenge::Clause))
             .collect();
-        let responses = |ch: Challenge| -> Vec<Lit> {
-            match ch {
-                Challenge::Literal(l) => vec![l, l.complement()],
-                Challenge::Clause(i) => formula.clauses()[i].clone(),
-            }
-        };
-
-        let mut nodes: Vec<Node> = vec![Node {
-            position: Vec::new(),
-            alive: true,
-            extensions: HashMap::new(),
-            parents: Vec::new(),
-        }];
-        let mut by_position: HashMap<CnfPosition, usize> = HashMap::new();
-        by_position.insert(Vec::new(), 0);
-        let mut frontier = vec![0usize];
-        for _level in 0..k {
-            let mut next = Vec::new();
-            for &fid in &frontier {
-                let base = nodes[fid].position.clone();
-                for &ch in &challenges {
-                    let mut options = Vec::new();
-                    for resp in responses(ch) {
-                        let pair = (ch, resp);
-                        if base.contains(&pair) {
-                            // Re-pebbling an existing pair is a stutter;
-                            // treat the node itself as the child.
-                            options.push((resp, fid));
-                            continue;
-                        }
-                        let mut pos = base.clone();
-                        let insert_at = pos.partition_point(|p| *p < pair);
-                        pos.insert(insert_at, pair);
-                        if !consistent(&pos) {
-                            continue;
-                        }
-                        let child = *by_position.entry(pos.clone()).or_insert_with(|| {
-                            nodes.push(Node {
-                                position: pos,
-                                alive: true,
-                                extensions: HashMap::new(),
-                                parents: Vec::new(),
-                            });
-                            next.push(nodes.len() - 1);
-                            nodes.len() - 1
-                        });
-                        nodes[child].parents.push((fid, pair));
-                        options.push((resp, child));
-                    }
-                    let count = options.len() as u32;
-                    nodes[fid].extensions.insert(ch, (count, options));
-                }
-            }
-            frontier = next;
-        }
-
-        let mut game = Self {
+        let spec = CnfSpec {
             formula,
+            challenges,
             k,
-            nodes,
-            by_position,
         };
-        game.run_deletion();
-        game
-    }
-
-    fn run_deletion(&mut self) {
-        let mut queue = Vec::new();
-        for id in 0..self.nodes.len() {
-            if !self.nodes[id].extensions.is_empty() {
-                let dead = self.nodes[id]
-                    .extensions
-                    .values()
-                    .any(|(count, _)| *count == 0);
-                if dead {
-                    self.kill(id, &mut queue);
-                }
-            }
-        }
-        while let Some(dead) = queue.pop() {
-            let children: Vec<usize> = self.nodes[dead]
-                .extensions
-                .values()
-                .flat_map(|(_, opts)| opts.iter().map(|&(_, c)| c))
-                .filter(|&c| c != dead)
-                .collect();
-            for child in children {
-                if self.nodes[child].alive {
-                    self.kill(child, &mut queue);
-                }
-            }
-            let parents = self.nodes[dead].parents.clone();
-            for (pid, pair) in parents {
-                if !self.nodes[pid].alive {
-                    continue;
-                }
-                let exhausted = {
-                    let entry = self.nodes[pid]
-                        .extensions
-                        .get_mut(&pair.0)
-                        .expect("extension exists");
-                    // Only decrement if this (response -> dead child) edge
-                    // was counted; stutter edges point to the node itself.
-                    entry.0 -= 1;
-                    entry.0 == 0
-                };
-                if exhausted {
-                    self.kill(pid, &mut queue);
-                }
-            }
-        }
-    }
-
-    fn kill(&mut self, id: usize, queue: &mut Vec<usize>) {
-        if self.nodes[id].alive {
-            self.nodes[id].alive = false;
-            queue.push(id);
-        }
+        let arena = Arena::build_and_solve(&spec, Vec::new());
+        Self { formula, k, arena }
     }
 
     /// The winner.
     pub fn winner(&self) -> Winner {
-        if self.nodes[0].alive {
+        if self.arena.is_alive(0) {
             Winner::Duplicator
         } else {
             Winner::Spoiler
@@ -218,38 +159,33 @@ impl<'f> CnfGame<'f> {
 
     /// Number of generated positions.
     pub fn arena_size(&self) -> usize {
-        self.nodes.len()
+        self.arena.len()
+    }
+
+    /// Total number of option edges (benchmark metric).
+    pub fn arena_edge_count(&self) -> usize {
+        self.arena.edge_count()
     }
 
     /// Looks up a position id.
     pub fn position_id(&self, position: &CnfPosition) -> Option<usize> {
-        self.by_position.get(position).copied()
+        self.arena.id_of(position)
     }
 
     /// Is the position in the surviving family?
     pub fn is_alive(&self, id: usize) -> bool {
-        self.nodes[id].alive
+        self.arena.is_alive(id)
     }
 
     /// Duplicator's reply to `challenge` from position `id`: a literal to
     /// set true whose resulting position survives.
     pub fn duplicator_reply(&self, id: usize, challenge: Challenge) -> Option<(Lit, usize)> {
-        self.nodes[id]
-            .extensions
-            .get(&challenge)?
-            .1
-            .iter()
-            .find(|&&(_, child)| self.nodes[child].alive)
-            .copied()
+        self.arena.reply(id, &challenge)
     }
 
     /// The position reached by dropping `pair` from position `id`.
     pub fn drop_pair(&self, id: usize, pair: PebblePair) -> Option<usize> {
-        self.nodes[id]
-            .parents
-            .iter()
-            .find(|&&(_, p)| p == pair)
-            .map(|&(pid, _)| pid)
+        self.arena.parent_by_edge(id, &pair.0, &pair.1)
     }
 }
 
@@ -342,5 +278,18 @@ mod tests {
         for k in 1..=3 {
             assert_eq!(CnfGame::solve(&f, k).winner(), Winner::Duplicator);
         }
+    }
+
+    /// Dropping a pebbled pair navigates back to the subposition it
+    /// extended.
+    #[test]
+    fn drop_pair_navigates_to_parent() {
+        let f = CnfFormula::complete(2);
+        let g = CnfGame::solve(&f, 2);
+        let root = g.position_id(&Vec::new()).unwrap();
+        let ch = Challenge::Literal(Lit::pos(0));
+        let (lit, child) = g.duplicator_reply(root, ch).expect("reply exists");
+        assert_ne!(child, root);
+        assert_eq!(g.drop_pair(child, (ch, lit)), Some(root));
     }
 }

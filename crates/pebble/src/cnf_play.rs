@@ -5,8 +5,7 @@
 use crate::cnf::{CnfFormula, Lit};
 use crate::cnf_game::{Challenge, CnfGame, CnfPosition, PebblePair};
 use crate::game::Winner;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use kv_structures::SplitMix64;
 
 /// A Player I move in the formula game.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -136,7 +135,7 @@ impl CnfDuplicator for AssignmentDuplicator<'_> {
 
 /// A random Player I.
 pub struct RandomCnfSpoiler {
-    rng: StdRng,
+    rng: SplitMix64,
     challenges: Vec<Challenge>,
 }
 
@@ -148,7 +147,7 @@ impl RandomCnfSpoiler {
             .chain((0..formula.clause_count()).map(Challenge::Clause))
             .collect();
         Self {
-            rng: StdRng::seed_from_u64(seed),
+            rng: SplitMix64::seed_from_u64(seed),
             challenges,
         }
     }

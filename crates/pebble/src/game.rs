@@ -18,12 +18,17 @@
 //! executable Spoiler strategy; the surviving family is an executable
 //! Duplicator strategy ([`crate::play`]).
 //!
+//! Both steps run on the shared [`crate::arena`]: the configuration space
+//! is enumerated level-synchronously with parallel frontier fan-out, and
+//! the deletion is worklist-driven — O(arena edges) total, instead of
+//! rescanning every configuration each round.
+//!
 //! For fixed `k` the arena has `O((|A|·|B|)^k)` configurations and the
 //! whole computation is polynomial — this is Proposition 5.3.
 
+use crate::arena::{Arena, Child, Death, GameSpec};
 use kv_structures::hom::{extension_ok, respects_constants, TupleIndex};
 use kv_structures::{Element, HomKind, PartialMap, Structure};
-use std::collections::HashMap;
 
 /// Who wins the game.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,21 +56,50 @@ pub enum DeathReason {
     },
 }
 
-/// Arena entry for one configuration.
-#[derive(Debug)]
-struct Config {
-    /// The partial map, including the constant pairs.
-    map: PartialMap,
-    /// Number of non-constant pairs.
-    size: usize,
-    alive: bool,
-    death: Option<DeathReason>,
-    /// For each extension element `a`: (number of alive children, list of
-    /// `(b, child_id)` options). Present only for configs of size `< k`.
-    extensions: HashMap<Element, (u32, Vec<(Element, usize)>)>,
-    /// Edges to subfunction configs: `(parent_id, a)` meaning
-    /// `self = parent ∪ {(a, self.map(a))}`.
-    parents: Vec<(usize, Element)>,
+/// The existential game as a [`GameSpec`]: keys are partial maps,
+/// challenges are elements of `A`, replies are elements of `B`.
+struct ExistentialSpec<'s> {
+    a: &'s Structure,
+    b: &'s Structure,
+    index_a: TupleIndex,
+    k: usize,
+    kind: HomKind,
+}
+
+impl GameSpec for ExistentialSpec<'_> {
+    type Key = PartialMap;
+    type Challenge = Element;
+    type Reply = Element;
+
+    fn depth(&self) -> usize {
+        self.k
+    }
+
+    fn closure_under_subpositions(&self) -> bool {
+        // The Spoiler may lift pebbles: the family must be closed under
+        // subfunctions.
+        true
+    }
+
+    fn expand(
+        &self,
+        key: &PartialMap,
+        _level: usize,
+    ) -> Vec<(Element, Vec<(Element, Child<PartialMap>)>)> {
+        self.a
+            .elements()
+            .filter(|&ax| !key.contains_domain(ax))
+            .map(|ax| {
+                let replies = self
+                    .b
+                    .elements()
+                    .filter(|&bx| extension_ok(key, ax, bx, &self.index_a, self.b, self.kind))
+                    .map(|bx| (bx, Child::Key(key.extended(ax, bx))))
+                    .collect();
+                (ax, replies)
+            })
+            .collect()
+    }
 }
 
 /// A solved existential k-pebble game on a fixed pair of structures.
@@ -75,8 +109,7 @@ pub struct ExistentialGame<'s> {
     b: &'s Structure,
     k: usize,
     kind: HomKind,
-    configs: Vec<Config>,
-    by_map: HashMap<PartialMap, usize>,
+    arena: Arena<PartialMap, Element, Element>,
     /// Root configuration id, unless the constant map is already invalid.
     root: Result<usize, DeathReason>,
 }
@@ -128,153 +161,35 @@ impl<'s> ExistentialGame<'s> {
                 b,
                 k,
                 kind,
-                configs: Vec::new(),
-                by_map: HashMap::new(),
+                arena: Arena::empty(),
                 root: Err(DeathReason::InvalidRoot),
             };
         }
         debug_assert!(respects_constants(&root_map, a, b));
-        let root_size = 0usize; // constant pairs do not count toward k
 
-        let mut configs: Vec<Config> = Vec::new();
-        let mut by_map: HashMap<PartialMap, usize> = HashMap::new();
-        configs.push(Config {
-            map: root_map.clone(),
-            size: root_size,
-            alive: true,
-            death: None,
-            extensions: HashMap::new(),
-            parents: Vec::new(),
-        });
-        by_map.insert(root_map, 0);
-
-        // Level-by-level generation of all valid configurations.
-        let mut frontier: Vec<usize> = vec![0];
-        for level in 0..k {
-            let mut next_frontier: Vec<usize> = Vec::new();
-            for &fid in &frontier {
-                let fmap = configs[fid].map.clone();
-                for ax in a.elements() {
-                    if fmap.contains_domain(ax) {
-                        continue;
-                    }
-                    let mut options: Vec<(Element, usize)> = Vec::new();
-                    for bx in b.elements() {
-                        if !extension_ok(&fmap, ax, bx, &index_a, b, kind) {
-                            continue;
-                        }
-                        let child_map = fmap.extended(ax, bx);
-                        let child_id = *by_map.entry(child_map.clone()).or_insert_with(|| {
-                            configs.push(Config {
-                                map: child_map,
-                                size: level + 1,
-                                alive: true,
-                                death: None,
-                                extensions: HashMap::new(),
-                                parents: Vec::new(),
-                            });
-                            next_frontier.push(configs.len() - 1);
-                            configs.len() - 1
-                        });
-                        configs[child_id].parents.push((fid, ax));
-                        options.push((bx, child_id));
-                    }
-                    let count = options.len() as u32;
-                    configs[fid].extensions.insert(ax, (count, options));
-                }
-            }
-            frontier = next_frontier;
-        }
-
-        let mut game = Self {
+        let spec = ExistentialSpec {
+            a,
+            b,
+            index_a,
+            k,
+            kind,
+        };
+        let arena = Arena::build_and_solve(&spec, root_map);
+        Self {
             a,
             b,
             k,
             kind,
-            configs,
-            by_map,
+            arena,
             root: Ok(0),
-        };
-        game.run_deletion();
-        game
-    }
-
-    /// The deletion fixpoint: kill forth-failures, propagate.
-    fn run_deletion(&mut self) {
-        let mut queue: Vec<usize> = Vec::new();
-        // Seed: size < k configs with an inextensible element.
-        for id in 0..self.configs.len() {
-            if self.configs[id].size < self.k {
-                let bad = self.configs[id]
-                    .extensions
-                    .iter()
-                    .find(|(_, (count, _))| *count == 0)
-                    .map(|(&a, _)| a);
-                if let Some(a) = bad {
-                    self.kill(id, DeathReason::Forth(a), &mut queue);
-                }
-            }
         }
-        while let Some(dead) = queue.pop() {
-            // Closure: every extension of a dead config dies.
-            let children: Vec<(Element, usize)> = self.configs[dead]
-                .extensions
-                .values()
-                .flat_map(|(_, opts)| opts.iter().copied())
-                .collect();
-            for (_, child) in children {
-                if self.configs[child].alive {
-                    // The child should drop the pebble it has but `dead`
-                    // lacks.
-                    let drop = self.configs[child]
-                        .parents
-                        .iter()
-                        .find(|&&(p, _)| p == dead)
-                        .map(|&(_, a)| a)
-                        .expect("child links back to parent");
-                    self.kill(
-                        child,
-                        DeathReason::Subfunction { parent: dead, drop },
-                        &mut queue,
-                    );
-                }
-            }
-            // Forth bookkeeping: parents lose one option for the element.
-            let parents = self.configs[dead].parents.clone();
-            for (pid, a) in parents {
-                if !self.configs[pid].alive {
-                    continue;
-                }
-                let exhausted = {
-                    let entry = self.configs[pid]
-                        .extensions
-                        .get_mut(&a)
-                        .expect("parent has extension entry");
-                    entry.0 -= 1;
-                    entry.0 == 0
-                };
-                if exhausted {
-                    self.kill(pid, DeathReason::Forth(a), &mut queue);
-                }
-            }
-        }
-    }
-
-    fn kill(&mut self, id: usize, reason: DeathReason, queue: &mut Vec<usize>) {
-        let c = &mut self.configs[id];
-        if !c.alive {
-            return;
-        }
-        c.alive = false;
-        c.death = Some(reason);
-        queue.push(id);
     }
 
     /// The winner (Theorem 4.8: Duplicator wins iff the family is
     /// nonempty, i.e. the root survives).
     pub fn winner(&self) -> Winner {
         match self.root {
-            Ok(root) if self.configs[root].alive => Winner::Duplicator,
+            Ok(root) if self.arena.is_alive(root) => Winner::Duplicator,
             _ => Winner::Spoiler,
         }
     }
@@ -301,35 +216,47 @@ impl<'s> ExistentialGame<'s> {
 
     /// Total number of configurations in the arena (benchmark metric).
     pub fn arena_size(&self) -> usize {
-        self.configs.len()
+        self.arena.len()
+    }
+
+    /// Total number of option edges in the arena — the budget of the
+    /// worklist deletion (benchmark metric).
+    pub fn arena_edge_count(&self) -> usize {
+        self.arena.edge_count()
     }
 
     /// Number of surviving configurations — the size of the maximal family
     /// `H` of Definition 4.7 (0 when the Spoiler wins).
     pub fn family_size(&self) -> usize {
-        self.configs.iter().filter(|c| c.alive).count()
+        self.arena.alive_count()
     }
 
     /// Looks a configuration up by its partial map (including constant
     /// pairs). Returns its id if the map is a valid configuration.
     pub fn config_id(&self, map: &PartialMap) -> Option<usize> {
-        self.by_map.get(map).copied()
+        self.arena.id_of(map)
     }
 
     /// Whether configuration `id` survived (is in the maximal family).
     pub fn is_alive(&self, id: usize) -> bool {
-        self.configs[id].alive
+        self.arena.is_alive(id)
     }
 
     /// The partial map of configuration `id`.
     pub fn config_map(&self, id: usize) -> &PartialMap {
-        &self.configs[id].map
+        self.arena.key(id)
     }
 
     /// Death reason of configuration `id`, if dead. For the root-invalid
     /// case use [`root_invalid`](Self::root_invalid).
     pub fn death(&self, id: usize) -> Option<DeathReason> {
-        self.configs[id].death
+        self.arena.death(id).map(|d| match *d {
+            Death::Forth(a) => DeathReason::Forth(a),
+            Death::Retreat { parent, challenge } => DeathReason::Subfunction {
+                parent,
+                drop: challenge,
+            },
+        })
     }
 
     /// Whether the game was lost before it began (constants do not map).
@@ -341,45 +268,28 @@ impl<'s> ExistentialGame<'s> {
     /// element `a` of `A`: some `b` whose extension survives, if any.
     /// Returns the pair `(b, child_id)`.
     pub fn duplicator_reply(&self, id: usize, a: Element) -> Option<(Element, usize)> {
-        if let Some(b) = self.configs[id].map.get(a) {
+        if let Some(b) = self.arena.key(id).get(a) {
             // Element already pebbled: the only consistent reply.
             return Some((b, id));
         }
-        self.configs[id]
-            .extensions
-            .get(&a)?
-            .1
-            .iter()
-            .find(|&&(_, child)| self.configs[child].alive)
-            .copied()
+        self.arena.reply(id, &a)
     }
 
     /// The child configuration reached by extending `id` with `(a, b)`,
     /// dead or alive; `None` if the extension is not even a partial
     /// homomorphism.
     pub fn child(&self, id: usize, a: Element, b: Element) -> Option<usize> {
-        if self.configs[id].map.get(a) == Some(b) {
+        if self.arena.key(id).get(a) == Some(b) {
             return Some(id);
         }
-        self.configs[id]
-            .extensions
-            .get(&a)?
-            .1
-            .iter()
-            .find(|&&(bb, _)| bb == b)
-            .map(|&(_, child)| child)
+        self.arena.child(id, &a, &b)
     }
 
     /// The subfunction configuration reached from `id` by removing the
     /// pebble on domain element `a` (a no-op id if `a` is a constant or
     /// unpebbled).
     pub fn drop_pebble(&self, id: usize, a: Element) -> usize {
-        for &(pid, pa) in &self.configs[id].parents {
-            if pa == a {
-                return pid;
-            }
-        }
-        id
+        self.arena.parent_by_challenge(id, &a).unwrap_or(id)
     }
 }
 
@@ -536,5 +446,25 @@ mod tests {
         let g = ExistentialGame::solve(&a, &b, 2, HomKind::OneToOne);
         assert!(g.arena_size() > 1);
         assert!(g.family_size() <= g.arena_size());
+        assert!(g.arena_edge_count() > 0);
+    }
+
+    /// The parallel frontier fan-out is transparent: solving with many
+    /// worker threads and with one produces identical arenas, verdict by
+    /// verdict. (Thread count is read from the environment at first use;
+    /// this test relies on determinism of the interning order instead of
+    /// toggling it.)
+    #[test]
+    fn arena_is_deterministic() {
+        let a = directed_path(5);
+        let b = directed_path(7);
+        let g1 = ExistentialGame::solve(&a, &b, 2, HomKind::OneToOne);
+        let g2 = ExistentialGame::solve(&a, &b, 2, HomKind::OneToOne);
+        assert_eq!(g1.arena_size(), g2.arena_size());
+        assert_eq!(g1.arena_edge_count(), g2.arena_edge_count());
+        for id in 0..g1.arena_size() {
+            assert_eq!(g1.config_map(id), g2.config_map(id));
+            assert_eq!(g1.is_alive(id), g2.is_alive(id));
+        }
     }
 }

@@ -16,10 +16,16 @@
 //! - [`acyclic`]: the two-player pebble game on an (acyclic) input graph
 //!   that characterizes fixed subgraph homeomorphism (Theorem 6.2), plus
 //!   the single-player variant of FHW's Lemma 4.
+//! - [`arena`]: the shared configuration arena behind every solver —
+//!   level-synchronous parallel generation plus predecessor-indexed
+//!   worklist deletion in `O(edges)`.
+//! - [`win_iteration`]: the paper's literal `Win_k` value iteration,
+//!   retained as the ablation/differential partner of the worklist path.
 
 #![warn(missing_docs)]
 
 pub mod acyclic;
+pub mod arena;
 pub mod cnf;
 pub mod cnf_game;
 pub mod cnf_play;
@@ -38,4 +44,4 @@ pub use play::{
     HomomorphismDuplicator, RandomSpoiler, SolverSpoiler, SpoilerMove, SpoilerStrategy,
 };
 pub use preceq::preceq;
-pub use win_iteration::solve_by_win_iteration;
+pub use win_iteration::{solve_by_win_iteration, solve_by_worklist};

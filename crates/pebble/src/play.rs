@@ -13,8 +13,7 @@
 
 use crate::game::{DeathReason, ExistentialGame, Winner};
 use kv_structures::{Element, HomKind, PartialMap, Structure};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use kv_structures::SplitMix64;
 
 /// A Spoiler move: place pebble `slot` on element `on` of `A`, or pick the
 /// pebble of `slot` up.
@@ -173,7 +172,7 @@ impl DuplicatorStrategy for FamilyDuplicator<'_, '_> {
 
 /// A Spoiler that plays uniformly random legal moves (seeded).
 pub struct RandomSpoiler {
-    rng: StdRng,
+    rng: SplitMix64,
     universe_a: usize,
 }
 
@@ -181,7 +180,7 @@ impl RandomSpoiler {
     /// Creates a random Spoiler for a structure with the given universe.
     pub fn new(universe_a: usize, seed: u64) -> Self {
         Self {
-            rng: StdRng::seed_from_u64(seed),
+            rng: SplitMix64::seed_from_u64(seed),
             universe_a,
         }
     }

@@ -19,7 +19,7 @@ use kv_structures::hom::{extension_ok, TupleIndex};
 use kv_structures::{HomKind, PartialMap, Structure};
 use std::collections::HashMap;
 
-use crate::game::Winner;
+use crate::game::{ExistentialGame, Winner};
 
 /// Decides the existential k-pebble game by the paper's bounded win
 /// recursion. Returns the winner and the number of value-iteration rounds
@@ -169,6 +169,44 @@ fn is_constant_pair(a: &Structure, ax: kv_structures::Element) -> bool {
     a.constant_values().contains(&ax)
 }
 
+/// Decides the game by **predecessor-indexed worklist propagation** on the
+/// shared [`crate::arena`] — the production path, exposed here with the
+/// same verdict-map signature as [`solve_with_verdicts`] so the two can be
+/// differential-tested configuration by configuration.
+///
+/// Why it computes the same fixpoint as the paper's bounded `Win_k`
+/// recursion: value iteration repeatedly sweeps **all** configurations,
+/// marking `c` Spoiler-won once some challenge at `c` has every reply
+/// Spoiler-won (or once a sub-configuration is); the worklist instead
+/// *starts* from the base failures (a challenge with zero valid replies)
+/// and pushes each death along reverse edges, decrementing per-challenge
+/// live-reply counters. A configuration dies under one regime iff it dies
+/// under the other — both compute the least fixpoint of the same monotone
+/// operator — but the worklist touches each arena edge O(1) times,
+/// `O(edges)` total, instead of `O(rounds × configs × moves)`.
+pub fn solve_by_worklist(
+    a: &Structure,
+    b: &Structure,
+    k: usize,
+    kind: HomKind,
+) -> (Winner, HashMap<PartialMap, bool>) {
+    let game = ExistentialGame::solve(a, b, k, kind);
+    let winner = game.winner();
+    if game.root_invalid() {
+        return (winner, HashMap::new());
+    }
+    let verdicts = (0..game.arena_size())
+        .map(|id| {
+            (
+                game.config_map(id).clone(),
+                // `true` iff the Spoiler wins = the config died.
+                !game.is_alive(id),
+            )
+        })
+        .collect();
+    (winner, verdicts)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -224,6 +262,36 @@ mod tests {
             let (winner, _) = solve_by_win_iteration(&a, &b, 2, HomKind::OneToOne);
             let fixpoint = ExistentialGame::solve(&a, &b, 2, HomKind::OneToOne).winner();
             assert_eq!(winner, fixpoint, "seed {seed}");
+        }
+    }
+
+    /// The worklist solver and the naive value iteration agree — winner
+    /// and per-configuration verdict — on random digraph pairs for
+    /// k ∈ {1, 2, 3} and both homomorphism kinds.
+    #[test]
+    fn worklist_matches_value_iteration_per_config() {
+        for k in 1..=3usize {
+            for seed in 0..6 {
+                let a = random_digraph(4, 0.35, 8000 + seed).to_structure();
+                let b = random_digraph(4, 0.3, 8100 + seed).to_structure();
+                for kind in [HomKind::OneToOne, HomKind::Homomorphism] {
+                    let (w_naive, _, naive) = solve_with_verdicts(&a, &b, k, kind);
+                    let (w_fast, fast) = solve_by_worklist(&a, &b, k, kind);
+                    assert_eq!(w_naive, w_fast, "winner, seed {seed}, k={k}, {kind:?}");
+                    assert_eq!(
+                        naive.len(),
+                        fast.len(),
+                        "arena size, seed {seed}, k={k}, {kind:?}"
+                    );
+                    for (map, spoiler_wins) in &naive {
+                        assert_eq!(
+                            fast.get(map),
+                            Some(spoiler_wins),
+                            "verdict on {map:?}, seed {seed}, k={k}, {kind:?}"
+                        );
+                    }
+                }
+            }
         }
     }
 

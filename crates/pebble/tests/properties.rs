@@ -1,141 +1,161 @@
-//! Property-based tests for the pebble-game machinery.
+//! Randomized property tests for the pebble-game machinery, driven by the
+//! in-tree [`SplitMix64`] generator.
 
 use kv_pebble::cnf::{CnfFormula, Lit};
 use kv_pebble::play::validate_by_play;
 use kv_pebble::{preceq, CnfGame, ExistentialGame, Winner};
 use kv_structures::hom::find_homomorphism;
+use kv_structures::rng::SplitMix64;
 use kv_structures::{Digraph, HomKind};
-use proptest::prelude::*;
 
-fn digraph_strategy(max_n: usize) -> impl Strategy<Value = Digraph> {
-    (2usize..=max_n).prop_flat_map(|n| {
-        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=(n * n / 2).min(14)).prop_map(
-            move |edges| {
-                let mut g = Digraph::new(n);
-                for (u, v) in edges {
-                    g.add_edge(u, v);
-                }
-                g
-            },
-        )
-    })
-}
-
-fn cnf_strategy() -> impl Strategy<Value = CnfFormula> {
-    (1usize..=3).prop_flat_map(|vars| {
-        proptest::collection::vec(
-            proptest::collection::vec((0..vars, proptest::bool::ANY), 1..=3),
-            1..=4,
-        )
-        .prop_map(move |clauses| {
-            let clauses = clauses
-                .into_iter()
-                .map(|c| {
-                    c.into_iter()
-                        .map(|(v, pos)| if pos { Lit::pos(v) } else { Lit::neg(v) })
-                        .collect()
-                })
-                .collect();
-            CnfFormula::new(vars, clauses)
-        })
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Solving is deterministic and consistent with its own strategies
-    /// under actual play.
-    #[test]
-    fn solver_verdict_survives_play(a in digraph_strategy(5), b in digraph_strategy(5)) {
-        let sa = a.to_structure();
-        let sb = b.to_structure();
-        prop_assert!(validate_by_play(&sa, &sb, 2, HomKind::OneToOne, 80, 0..2));
+fn random_case_digraph(max_n: usize, rng: &mut SplitMix64) -> Digraph {
+    let n = rng.gen_range(2usize..max_n + 1);
+    let mut g = Digraph::new(n);
+    let edges = rng.gen_range(0usize..(n * n / 2).min(14) + 1);
+    for _ in 0..edges {
+        let u = rng.gen_range(0u32..n as u32);
+        let v = rng.gen_range(0u32..n as u32);
+        g.add_edge(u, v);
     }
+    g
+}
 
-    /// A total one-to-one homomorphism implies the Duplicator wins for
-    /// every k (Proposition 5.4's easy half).
-    #[test]
-    fn embedding_implies_duplicator(a in digraph_strategy(4), b in digraph_strategy(5)) {
-        let sa = a.to_structure();
-        let sb = b.to_structure();
+fn random_cnf(rng: &mut SplitMix64) -> CnfFormula {
+    let vars = rng.gen_range(1usize..4);
+    let clause_count = rng.gen_range(1usize..5);
+    let clauses = (0..clause_count)
+        .map(|_| {
+            let len = rng.gen_range(1usize..4);
+            (0..len)
+                .map(|_| {
+                    let v = rng.gen_range(0usize..vars);
+                    if rng.gen_bool(0.5) {
+                        Lit::pos(v)
+                    } else {
+                        Lit::neg(v)
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    CnfFormula::new(vars, clauses)
+}
+
+/// Solving is deterministic and consistent with its own strategies under
+/// actual play.
+#[test]
+fn solver_verdict_survives_play() {
+    for seed in 0..32u64 {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let sa = random_case_digraph(5, &mut rng).to_structure();
+        let sb = random_case_digraph(5, &mut rng).to_structure();
+        assert!(
+            validate_by_play(&sa, &sb, 2, HomKind::OneToOne, 80, 0..2),
+            "seed {seed}"
+        );
+    }
+}
+
+/// A total one-to-one homomorphism implies the Duplicator wins for every k
+/// (Proposition 5.4's easy half).
+#[test]
+fn embedding_implies_duplicator() {
+    for seed in 0..32u64 {
+        let mut rng = SplitMix64::seed_from_u64(1000 + seed);
+        let sa = random_case_digraph(4, &mut rng).to_structure();
+        let sb = random_case_digraph(5, &mut rng).to_structure();
         if find_homomorphism(&sa, &sb, HomKind::OneToOne, false).is_some() {
             for k in 1..=2 {
-                prop_assert!(preceq(&sa, &sb, k), "embedding exists but Spoiler wins k={k}");
+                assert!(
+                    preceq(&sa, &sb, k),
+                    "seed {seed}: embedding exists but Spoiler wins k={k}"
+                );
             }
         }
     }
+}
 
-    /// ≼^k is antitone in k: more pebbles only help the Spoiler.
-    #[test]
-    fn preceq_antitone_in_k(a in digraph_strategy(4), b in digraph_strategy(4)) {
-        let sa = a.to_structure();
-        let sb = b.to_structure();
+/// ≼^k is antitone in k: more pebbles only help the Spoiler.
+#[test]
+fn preceq_antitone_in_k() {
+    for seed in 0..32u64 {
+        let mut rng = SplitMix64::seed_from_u64(2000 + seed);
+        let sa = random_case_digraph(4, &mut rng).to_structure();
+        let sb = random_case_digraph(4, &mut rng).to_structure();
         let verdicts: Vec<bool> = (1..=3).map(|k| preceq(&sa, &sb, k)).collect();
         for w in verdicts.windows(2) {
-            prop_assert!(!w[1] || w[0], "verdicts not antitone: {:?}", verdicts);
+            assert!(!w[1] || w[0], "seed {seed}: not antitone: {verdicts:?}");
         }
     }
+}
 
-    /// The plain-homomorphism game is coarser than the one-to-one game.
-    #[test]
-    fn datalog_game_coarser(a in digraph_strategy(4), b in digraph_strategy(4)) {
-        let sa = a.to_structure();
-        let sb = b.to_structure();
+/// The plain-homomorphism game is coarser than the one-to-one game.
+#[test]
+fn datalog_game_coarser() {
+    for seed in 0..32u64 {
+        let mut rng = SplitMix64::seed_from_u64(3000 + seed);
+        let sa = random_case_digraph(4, &mut rng).to_structure();
+        let sb = random_case_digraph(4, &mut rng).to_structure();
         for k in 1..=2 {
             let one = ExistentialGame::solve(&sa, &sb, k, HomKind::OneToOne).winner();
             let plain = ExistentialGame::solve(&sa, &sb, k, HomKind::Homomorphism).winner();
             if one == Winner::Duplicator {
-                prop_assert_eq!(plain, Winner::Duplicator);
+                assert_eq!(plain, Winner::Duplicator, "seed {seed}, k={k}");
             }
         }
     }
+}
 
-    /// The surviving family really has the forth property: every alive
-    /// configuration below size k answers every element.
-    #[test]
-    fn family_forth_property(a in digraph_strategy(4), b in digraph_strategy(4)) {
-        let sa = a.to_structure();
-        let sb = b.to_structure();
+/// The surviving family really has the forth property: every alive
+/// configuration below size k answers every element.
+#[test]
+fn family_forth_property() {
+    for seed in 0..32u64 {
+        let mut rng = SplitMix64::seed_from_u64(4000 + seed);
+        let sa = random_case_digraph(4, &mut rng).to_structure();
+        let sb = random_case_digraph(4, &mut rng).to_structure();
         let game = ExistentialGame::solve(&sa, &sb, 2, HomKind::OneToOne);
         if game.winner() == Winner::Duplicator {
             let root = game.config_id(&kv_structures::PartialMap::new()).unwrap();
-            prop_assert!(game.is_alive(root));
+            assert!(game.is_alive(root));
             for x in sa.elements() {
                 let (y, child) = game.duplicator_reply(root, x).expect("forth");
-                prop_assert!(game.is_alive(child));
+                assert!(game.is_alive(child), "seed {seed}");
                 // And one level deeper from that child.
                 for x2 in sa.elements() {
                     let reply = game.duplicator_reply(child, x2);
-                    prop_assert!(reply.is_some(), "forth fails at size-1 config");
+                    assert!(reply.is_some(), "seed {seed}: forth fails at size-1");
                     let _ = y;
                 }
             }
         }
     }
+}
 
-    /// CNF games: satisfiable formulas are Duplicator wins for every k,
-    /// and the k-game is antitone in k.
-    #[test]
-    fn cnf_game_laws(f in cnf_strategy()) {
+/// CNF games: satisfiable formulas are Duplicator wins for every k, and
+/// the k-game is antitone in k.
+#[test]
+fn cnf_game_laws() {
+    for seed in 0..32u64 {
+        let mut rng = SplitMix64::seed_from_u64(5000 + seed);
+        let f = random_cnf(&mut rng);
         let sat = f.brute_force_sat().is_some();
         let verdicts: Vec<Winner> = (1..=3).map(|k| CnfGame::solve(&f, k).winner()).collect();
         if sat {
             for v in &verdicts {
-                prop_assert_eq!(*v, Winner::Duplicator);
+                assert_eq!(*v, Winner::Duplicator, "seed {seed}");
             }
         }
         for w in verdicts.windows(2) {
-            prop_assert!(
+            assert!(
                 !(w[0] == Winner::Spoiler && w[1] == Winner::Duplicator),
-                "CNF game verdicts not antitone: {:?}",
-                verdicts
+                "seed {seed}: CNF game verdicts not antitone: {verdicts:?}"
             );
         }
         // Unsat with m variables: Spoiler wins with m+1 pebbles.
         if !sat {
             let km = f.var_count() + 1;
-            prop_assert_eq!(CnfGame::solve(&f, km).winner(), Winner::Spoiler);
+            assert_eq!(CnfGame::solve(&f, km).winner(), Winner::Spoiler, "seed {seed}");
         }
     }
 }

@@ -81,9 +81,9 @@ fn family_complement_on_random_pairs_both_kinds() {
 
 #[test]
 fn family_complement_with_constants() {
-    let mut ga = kv_structures::generators::random_digraph(4, 0.4, 9500);
+    let mut ga = kv_structures::generators::random_digraph(4, 0.4, 9509);
     ga.set_distinguished(vec![0, 3]);
-    let mut gb = kv_structures::generators::random_digraph(5, 0.35, 9501);
+    let mut gb = kv_structures::generators::random_digraph(5, 0.35, 9510);
     gb.set_distinguished(vec![1, 4]);
     families_complement(ga, gb, 2, HomKind::OneToOne);
 }

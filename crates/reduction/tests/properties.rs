@@ -1,94 +1,103 @@
-//! Property-based tests for the reduction machinery.
+//! Randomized tests for the reduction machinery, seed-deterministic via
+//! the in-tree [`SplitMix64`] generator.
 
 use kv_pebble::cnf::{CnfFormula, Lit};
 use kv_pebble::play::{play_game, RandomSpoiler};
 use kv_pebble::Winner;
 use kv_reduction::thm66::Thm66Witness;
 use kv_reduction::GPhi;
+use kv_structures::rng::SplitMix64;
 use kv_structures::HomKind;
-use proptest::prelude::*;
 
-fn cnf_strategy() -> impl Strategy<Value = CnfFormula> {
-    (1usize..=2).prop_flat_map(|vars| {
-        proptest::collection::vec(
-            proptest::collection::vec((0..vars, proptest::bool::ANY), 1..=2),
-            1..=3,
-        )
-        .prop_map(move |clauses| {
-            let clauses = clauses
-                .into_iter()
-                .map(|c| {
-                    c.into_iter()
-                        .map(|(v, pos)| if pos { Lit::pos(v) } else { Lit::neg(v) })
-                        .collect()
+fn random_cnf(rng: &mut SplitMix64) -> CnfFormula {
+    let vars = rng.gen_range(1usize..3);
+    let clause_count = rng.gen_range(1usize..4);
+    let clauses = (0..clause_count)
+        .map(|_| {
+            let len = rng.gen_range(1usize..3);
+            (0..len)
+                .map(|_| {
+                    let v = rng.gen_range(0usize..vars);
+                    if rng.gen_bool(0.5) {
+                        Lit::pos(v)
+                    } else {
+                        Lit::neg(v)
+                    }
                 })
-                .collect();
-            CnfFormula::new(vars, clauses)
+                .collect()
         })
-    })
+        .collect();
+    CnfFormula::new(vars, clauses)
 }
 
-/// A uniform-occurrence formula: a random subset of the complete formula's
-/// clauses padded so that every literal occurs equally often is hard to
-/// generate; instead use the complete formula on k vars with k in 1..=2.
-fn uniform_formula_strategy() -> impl Strategy<Value = CnfFormula> {
-    (1usize..=2).prop_map(CnfFormula::complete)
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// For every satisfying assignment, the constructed witness paths are
-    /// valid and node-disjoint; for non-satisfying assignments no witness
-    /// is produced.
-    #[test]
-    fn witness_paths_iff_satisfying(f in cnf_strategy()) {
+/// For every satisfying assignment, the constructed witness paths are
+/// valid and node-disjoint; for non-satisfying assignments no witness
+/// is produced.
+#[test]
+fn witness_paths_iff_satisfying() {
+    for seed in 0..24u64 {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let f = random_cnf(&mut rng);
         let vars = f.var_count();
         let g = GPhi::build(f);
         for bits in 0u32..(1 << vars) {
             let assignment: Vec<bool> = (0..vars).map(|i| bits & (1 << i) != 0).collect();
             match g.witness_paths(&assignment) {
                 Some((p1, p2)) => {
-                    prop_assert!(g.formula.eval(&assignment));
-                    prop_assert!(g.verify_witness(&p1, &p2).is_ok());
+                    assert!(g.formula.eval(&assignment), "seed {seed}");
+                    assert!(g.verify_witness(&p1, &p2).is_ok(), "seed {seed}");
                 }
-                None => prop_assert!(!g.formula.eval(&assignment)),
+                None => assert!(!g.formula.eval(&assignment), "seed {seed}"),
             }
         }
     }
+}
 
-    /// SAT ⟺ two disjoint paths, brute-forced (small formulas only).
-    #[test]
-    fn reduction_equivalence(f in cnf_strategy()) {
+/// SAT ⟺ two disjoint paths, brute-forced (small formulas only).
+#[test]
+fn reduction_equivalence() {
+    for seed in 0..24u64 {
+        let mut rng = SplitMix64::seed_from_u64(1000 + seed);
+        let f = random_cnf(&mut rng);
         if f.clause_count() * f.clauses().iter().map(Vec::len).max().unwrap_or(0) <= 4 {
             let sat = f.brute_force_sat().is_some();
             let g = GPhi::build(f);
-            prop_assert_eq!(g.has_two_disjoint_paths_brute(), sat);
+            assert_eq!(g.has_two_disjoint_paths_brute(), sat, "seed {seed}");
         }
     }
+}
 
-    /// The simulation strategy survives random Spoilers on φ_k witnesses
-    /// across seeds (k = formula vars, the paper's regime).
-    #[test]
-    fn simulation_strategy_robust(f in uniform_formula_strategy(), seed in 0u64..1000) {
-        let k = f.var_count();
+/// The simulation strategy survives random Spoilers on φ_k witnesses
+/// across seeds (k = formula vars, the paper's regime).
+#[test]
+fn simulation_strategy_robust() {
+    for seed in 0..24u64 {
+        let mut rng = SplitMix64::seed_from_u64(2000 + seed);
+        let k = rng.gen_range(1usize..3);
+        let f = CnfFormula::complete(k);
+        let spoiler_seed = rng.gen_range(0u64..1000);
         let w = Thm66Witness::from_formula(k, f);
-        let mut sp = RandomSpoiler::new(w.a.universe_size(), seed);
+        let mut sp = RandomSpoiler::new(w.a.universe_size(), spoiler_seed);
         let mut dup = w.duplicator();
         let outcome = play_game(&w.a, &w.b, k, HomKind::OneToOne, &mut sp, &mut dup, 200);
-        prop_assert_eq!(outcome, Winner::Duplicator);
+        assert_eq!(outcome, Winner::Duplicator, "seed {seed}");
     }
+}
 
-    /// Construction size is exactly linear in the number of occurrences.
-    #[test]
-    fn gphi_size_formula(f in cnf_strategy()) {
+/// Construction size is exactly linear in the number of occurrences.
+#[test]
+fn gphi_size_formula() {
+    for seed in 0..24u64 {
+        let mut rng = SplitMix64::seed_from_u64(3000 + seed);
+        let f = random_cnf(&mut rng);
         let occurrences: usize = f.clauses().iter().map(Vec::len).sum();
         let vars = f.var_count();
         let clauses = f.clause_count();
         let g = GPhi::build(f);
-        prop_assert_eq!(
+        assert_eq!(
             g.graph.node_count(),
-            4 + 32 * occurrences + 2 * vars + clauses + 1
+            4 + 32 * occurrences + 2 * vars + clauses + 1,
+            "seed {seed}"
         );
     }
 }

@@ -5,10 +5,9 @@
 //! and benchmarks are reproducible.
 
 use crate::graph::Digraph;
+use crate::rng::SplitMix64;
 use crate::structure::Structure;
 use crate::vocabulary::Vocabulary;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
 /// A directed path with `n` nodes `0 -> 1 -> … -> n-1` as a structure over
@@ -94,7 +93,7 @@ pub fn total_order(n: usize) -> Structure {
 /// A random digraph on `n` nodes where each ordered pair `(u, v)`, `u != v`,
 /// is an edge independently with probability `p` (G(n, p) for digraphs).
 pub fn random_digraph(n: usize, p: f64, seed: u64) -> Digraph {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut g = Digraph::new(n);
     for u in 0..n as u32 {
         for v in 0..n as u32 {
@@ -110,7 +109,7 @@ pub fn random_digraph(n: usize, p: f64, seed: u64) -> Digraph {
 /// present with probability `p`. Used by the Theorem 6.2 (acyclic input)
 /// experiments.
 pub fn random_dag(n: usize, p: f64, seed: u64) -> Digraph {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut g = Digraph::new(n);
     for u in 0..n as u32 {
         for v in (u + 1)..n as u32 {
@@ -126,7 +125,7 @@ pub fn random_dag(n: usize, p: f64, seed: u64) -> Digraph {
 /// each layer to the next with probability `p`. Produces graphs where
 /// disjoint-path questions are non-trivial but structured.
 pub fn layered_dag(layers: usize, width: usize, p: f64, seed: u64) -> Digraph {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut g = Digraph::new(layers * width);
     for l in 1..layers {
         for a in 0..width {

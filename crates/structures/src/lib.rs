@@ -25,6 +25,8 @@ pub mod graph;
 pub mod io;
 pub mod hom;
 pub mod ops;
+pub mod par;
+pub mod rng;
 pub mod structure;
 pub mod vocabulary;
 
@@ -32,5 +34,6 @@ pub use graph::Digraph;
 pub use io::{parse_digraph, write_digraph};
 pub use hom::{HomKind, PartialMap};
 pub use ops::{disjoint_union, induced_substructure, quotient};
+pub use rng::SplitMix64;
 pub use structure::{Element, Relation, Structure, Tuple};
 pub use vocabulary::{ConstId, RelId, Vocabulary};

@@ -1,0 +1,149 @@
+//! Minimal data-parallel helpers on top of `std::thread::scope`.
+//!
+//! The workspace builds offline with zero external dependencies, so
+//! instead of `rayon` this module provides the one primitive the hot paths
+//! need: a parallel, order-preserving map over a slice, with work handed
+//! out in interleaved strides so uneven items balance across threads.
+//!
+//! Thread count resolution honors `RAYON_NUM_THREADS` (the de-facto
+//! convention for Rust data-parallel code, so deployment guides transfer),
+//! then `KV_NUM_THREADS`, then [`std::thread::available_parallelism`].
+//! Setting the variable to `1` disables threading entirely — every helper
+//! then runs inline on the caller's thread, which keeps single-threaded
+//! differential baselines trivial to produce.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// The number of worker threads parallel helpers will use.
+pub fn thread_count() -> usize {
+    static COUNT: OnceLock<usize> = OnceLock::new();
+    *COUNT.get_or_init(|| {
+        for var in ["RAYON_NUM_THREADS", "KV_NUM_THREADS"] {
+            if let Ok(v) = std::env::var(var) {
+                if let Ok(n) = v.trim().parse::<usize>() {
+                    if n >= 1 {
+                        return n;
+                    }
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Applies `f` to every item of `items`, in parallel, returning results in
+/// input order. `f` receives the item index and a reference to the item.
+///
+/// Falls back to a plain sequential loop when the slice is small or the
+/// resolved thread count is 1, so callers never pay thread-spawn overhead
+/// on trivial inputs.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = thread_count().min(items.len());
+    if threads <= 1 || items.len() < 2 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    let cursor = AtomicUsize::new(0);
+    // Hand out items by atomic cursor: dynamic load balancing without any
+    // per-item channel traffic. Each worker writes its own disjoint slots.
+    let slots_ptr = SendPtr(slots.as_mut_ptr());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let slots_ptr = &slots_ptr;
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let r = f(i, &items[i]);
+                    // SAFETY: every index is claimed by exactly one worker
+                    // via the atomic cursor, so writes are disjoint; the
+                    // scope guarantees workers finish before `slots` is
+                    // read or dropped.
+                    unsafe { *slots_ptr.0.add(i) = Some(r) };
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every slot filled by a worker"))
+        .collect()
+}
+
+/// Runs `f` once per worker thread (passing the worker index), in
+/// parallel, and returns each worker's result. Used for reduce-style
+/// patterns where each worker accumulates a private buffer that the
+/// caller merges afterwards.
+pub fn par_workers<R, F>(workers: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = workers.max(1);
+    if workers == 1 {
+        return vec![f(0)];
+    }
+    let mut out: Vec<Option<R>> = Vec::with_capacity(workers);
+    out.resize_with(workers, || None);
+    std::thread::scope(|scope| {
+        for (w, slot) in out.iter_mut().enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                *slot = Some(f(w));
+            });
+        }
+    });
+    out.into_iter()
+        .map(|s| s.expect("worker finished"))
+        .collect()
+}
+
+/// A raw pointer wrapper that asserts cross-thread sendability for the
+/// disjoint-write pattern in [`par_map`].
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Sync for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let out = par_map(&items, |i, &x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(out, (0..257).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, |_, &x| x).is_empty());
+        assert_eq!(par_map(&[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_workers_runs_each_index() {
+        let mut ids = par_workers(4, |w| w);
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(thread_count() >= 1);
+    }
+}

@@ -1,88 +1,103 @@
-//! Property-based tests for the core data structures.
+//! Randomized property tests for the core data structures, driven by the
+//! in-tree [`SplitMix64`] generator (seed-deterministic, offline).
 
 use kv_structures::hom::{extension_ok, find_homomorphism, is_partial_hom, TupleIndex};
+use kv_structures::rng::SplitMix64;
 use kv_structures::{
     disjoint_union, induced_substructure, quotient, Digraph, Element, HomKind, PartialMap,
 };
-use proptest::prelude::*;
 
-/// Strategy: a small digraph as (node count, edge list).
-fn digraph_strategy(max_n: usize) -> impl Strategy<Value = Digraph> {
-    (2usize..=max_n).prop_flat_map(|n| {
-        proptest::collection::vec((0..n as u32, 0..n as u32), 0..=(n * n).min(24)).prop_map(
-            move |edges| {
-                let mut g = Digraph::new(n);
-                for (u, v) in edges {
-                    g.add_edge(u, v);
-                }
-                g
-            },
-        )
-    })
+/// A random digraph with `2..=max_n` nodes and a bounded edge count.
+fn random_case_digraph(max_n: usize, max_edges: usize, rng: &mut SplitMix64) -> Digraph {
+    let n = rng.gen_range(2usize..max_n + 1);
+    let mut g = Digraph::new(n);
+    let edges = rng.gen_range(0usize..max_edges + 1);
+    for _ in 0..edges {
+        let u = rng.gen_range(0u32..n as u32);
+        let v = rng.gen_range(0u32..n as u32);
+        g.add_edge(u, v);
+    }
+    g
 }
 
-/// Strategy: a partial map as a pair list (deduplicated by domain).
-fn map_strategy() -> impl Strategy<Value = Vec<(Element, Element)>> {
-    proptest::collection::vec((0u32..12, 0u32..12), 0..8).prop_map(|mut pairs| {
-        pairs.sort_by_key(|&(a, _)| a);
-        pairs.dedup_by_key(|&mut (a, _)| a);
-        pairs
-    })
+/// A random partial map as a pair list (deduplicated by domain).
+fn random_map_pairs(rng: &mut SplitMix64) -> Vec<(Element, Element)> {
+    let len = rng.gen_range(0usize..8);
+    let mut pairs: Vec<(Element, Element)> = (0..len)
+        .map(|_| (rng.gen_range(0u32..12), rng.gen_range(0u32..12)))
+        .collect();
+    pairs.sort_by_key(|&(a, _)| a);
+    pairs.dedup_by_key(|&mut (a, _)| a);
+    pairs
 }
 
-proptest! {
-    /// PartialMap: insert/get/remove behave like a map of pairs.
-    #[test]
-    fn partial_map_semantics(pairs in map_strategy()) {
+/// PartialMap: insert/get/remove behave like a map of pairs.
+#[test]
+fn partial_map_semantics() {
+    for seed in 0..64u64 {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let pairs = random_map_pairs(&mut rng);
         let map = PartialMap::from_pairs(pairs.clone());
-        prop_assert_eq!(map.len(), pairs.len());
+        assert_eq!(map.len(), pairs.len());
         for &(a, b) in &pairs {
-            prop_assert_eq!(map.get(a), Some(b));
-            prop_assert!(map.contains_domain(a));
-            prop_assert!(map.contains_range(b));
+            assert_eq!(map.get(a), Some(b));
+            assert!(map.contains_domain(a));
+            assert!(map.contains_range(b));
         }
         // Removal really removes, and only the targeted key.
         if let Some(&(a0, _)) = pairs.first() {
             let mut m2 = map.clone();
             m2.remove(a0);
-            prop_assert_eq!(m2.get(a0), None);
-            prop_assert_eq!(m2.len(), map.len() - 1);
-            prop_assert!(m2.is_subfunction_of(&map));
+            assert_eq!(m2.get(a0), None);
+            assert_eq!(m2.len(), map.len() - 1);
+            assert!(m2.is_subfunction_of(&map));
         }
     }
+}
 
-    /// Subfunction is a partial order compatible with extension.
-    #[test]
-    fn subfunction_partial_order(pairs in map_strategy(), a in 20u32..30, b in 0u32..12) {
+/// Subfunction is a partial order compatible with extension.
+#[test]
+fn subfunction_partial_order() {
+    for seed in 0..64u64 {
+        let mut rng = SplitMix64::seed_from_u64(100 + seed);
+        let pairs = random_map_pairs(&mut rng);
+        let a = rng.gen_range(20u32..30);
+        let b = rng.gen_range(0u32..12);
         let map = PartialMap::from_pairs(pairs);
         let ext = map.extended(a, b);
-        prop_assert!(map.is_subfunction_of(&ext));
-        prop_assert!(ext.is_subfunction_of(&ext));
-        prop_assert!(!ext.is_subfunction_of(&map));
-        prop_assert!(ext.without(a).is_subfunction_of(&map));
+        assert!(map.is_subfunction_of(&ext));
+        assert!(ext.is_subfunction_of(&ext));
+        assert!(!ext.is_subfunction_of(&map));
+        assert!(ext.without(a).is_subfunction_of(&map));
     }
+}
 
-    /// The identity map is always a partial homomorphism; subfunctions of
-    /// partial homomorphisms are partial homomorphisms.
-    #[test]
-    fn identity_and_subfunction_homs(g in digraph_strategy(6)) {
+/// The identity map is always a partial homomorphism; subfunctions of
+/// partial homomorphisms are partial homomorphisms.
+#[test]
+fn identity_and_subfunction_homs() {
+    for seed in 0..32u64 {
+        let mut rng = SplitMix64::seed_from_u64(200 + seed);
+        let g = random_case_digraph(6, 24, &mut rng);
         let s = g.to_structure();
         let full = PartialMap::from_pairs((0..s.universe_size() as u32).map(|i| (i, i)));
-        prop_assert!(is_partial_hom(&full, &s, &s, HomKind::OneToOne));
+        assert!(is_partial_hom(&full, &s, &s, HomKind::OneToOne));
         for drop in 0..s.universe_size() as u32 {
             let sub = full.without(drop);
-            prop_assert!(is_partial_hom(&sub, &s, &s, HomKind::OneToOne));
+            assert!(is_partial_hom(&sub, &s, &s, HomKind::OneToOne));
         }
     }
+}
 
-    /// extension_ok agrees with the full homomorphism check.
-    #[test]
-    fn incremental_matches_full_check(
-        g in digraph_strategy(5),
-        h in digraph_strategy(5),
-        x in 0u32..5,
-        y in 0u32..5,
-    ) {
+/// extension_ok agrees with the full homomorphism check.
+#[test]
+fn incremental_matches_full_check() {
+    for seed in 0..64u64 {
+        let mut rng = SplitMix64::seed_from_u64(300 + seed);
+        let g = random_case_digraph(5, 12, &mut rng);
+        let h = random_case_digraph(5, 12, &mut rng);
+        let x = rng.gen_range(0u32..5);
+        let y = rng.gen_range(0u32..5);
         let a = g.to_structure();
         let b = h.to_structure();
         if (x as usize) < a.universe_size() && (y as usize) < b.universe_size() {
@@ -95,13 +110,18 @@ proptest! {
                 &b,
                 HomKind::OneToOne,
             );
-            prop_assert_eq!(incremental, full);
+            assert_eq!(incremental, full, "seed {seed}: ({x}, {y})");
         }
     }
+}
 
-    /// A found homomorphism really is one.
-    #[test]
-    fn found_homomorphisms_verify(g in digraph_strategy(4), h in digraph_strategy(5)) {
+/// A found homomorphism really is one.
+#[test]
+fn found_homomorphisms_verify() {
+    for seed in 0..32u64 {
+        let mut rng = SplitMix64::seed_from_u64(400 + seed);
+        let g = random_case_digraph(4, 10, &mut rng);
+        let h = random_case_digraph(5, 12, &mut rng);
         let a = g.to_structure();
         let b = h.to_structure();
         for kind in [HomKind::Homomorphism, HomKind::OneToOne] {
@@ -109,22 +129,25 @@ proptest! {
                 let map = PartialMap::from_pairs(
                     hom.iter().enumerate().map(|(i, &v)| (i as u32, v)),
                 );
-                prop_assert!(is_partial_hom(&map, &a, &b, kind));
+                assert!(is_partial_hom(&map, &a, &b, kind), "seed {seed}, {kind:?}");
             }
         }
     }
+}
 
-    /// Quotients preserve tuple *images*: every original tuple maps into
-    /// the quotient.
-    #[test]
-    fn quotient_preserves_tuples(g in digraph_strategy(6), merge in (0u32..6, 0u32..6)) {
+/// Quotients preserve tuple *images*: every original tuple maps into the
+/// quotient.
+#[test]
+fn quotient_preserves_tuples() {
+    for seed in 0..32u64 {
+        let mut rng = SplitMix64::seed_from_u64(500 + seed);
+        let g = random_case_digraph(6, 24, &mut rng);
         let s = g.to_structure();
         let n = s.universe_size() as u32;
-        let (mut a, mut b) = merge;
-        a %= n;
-        b %= n;
+        let mut a = rng.gen_range(0u32..6) % n;
+        let mut b = rng.gen_range(0u32..6) % n;
         if a == b {
-            return Ok(());
+            continue;
         }
         if a > b {
             std::mem::swap(&mut a, &mut b);
@@ -136,32 +159,41 @@ proptest! {
         for rel in s.vocabulary().relations() {
             for t in s.relation(rel).iter() {
                 let image: Vec<Element> = t.iter().map(|&e| class_of[e as usize]).collect();
-                prop_assert!(q.contains(rel, &image));
+                assert!(q.contains(rel, &image), "seed {seed}");
             }
         }
-        prop_assert_eq!(q.universe_size() + 1, s.universe_size());
+        assert_eq!(q.universe_size() + 1, s.universe_size());
     }
+}
 
-    /// Disjoint unions contain both halves and nothing else.
-    #[test]
-    fn disjoint_union_counts(g in digraph_strategy(5), h in digraph_strategy(5)) {
+/// Disjoint unions contain both halves and nothing else.
+#[test]
+fn disjoint_union_counts() {
+    for seed in 0..32u64 {
+        let mut rng = SplitMix64::seed_from_u64(600 + seed);
+        let g = random_case_digraph(5, 12, &mut rng);
+        let h = random_case_digraph(5, 12, &mut rng);
         let a = g.to_structure();
         let b = h.to_structure();
         let u = disjoint_union(&a, &b);
-        prop_assert_eq!(u.universe_size(), a.universe_size() + b.universe_size());
-        prop_assert_eq!(u.tuple_count(), a.tuple_count() + b.tuple_count());
+        assert_eq!(u.universe_size(), a.universe_size() + b.universe_size());
+        assert_eq!(u.tuple_count(), a.tuple_count() + b.tuple_count());
         // The embedded copies are induced substructures isomorphic to the
         // originals (checked by direct containment).
         let left: Vec<Element> = (0..a.universe_size() as u32).collect();
         let sub = induced_substructure(&u, &left);
-        prop_assert_eq!(sub.tuple_count(), a.tuple_count());
+        assert_eq!(sub.tuple_count(), a.tuple_count());
     }
+}
 
-    /// Structure ⇄ digraph bridge is lossless.
-    #[test]
-    fn digraph_roundtrip(g in digraph_strategy(7)) {
+/// Structure ⇄ digraph bridge is lossless.
+#[test]
+fn digraph_roundtrip() {
+    for seed in 0..32u64 {
+        let mut rng = SplitMix64::seed_from_u64(700 + seed);
+        let g = random_case_digraph(7, 24, &mut rng);
         let s = g.to_structure();
         let g2 = Digraph::from_structure(&s);
-        prop_assert_eq!(g, g2);
+        assert_eq!(g, g2, "seed {seed}");
     }
 }

@@ -35,6 +35,7 @@ fn main() {
             semi_naive: true,
             record_stages: false,
             max_stages: None,
+            parallel: true,
         },
     );
     println!(

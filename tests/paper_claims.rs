@@ -35,6 +35,7 @@ fn theorem_3_6_stage_translation() {
                 semi_naive: true,
                 record_stages: true,
                 max_stages: None,
+                parallel: true,
             },
         );
         for (n, snapshot) in result.stages.iter().enumerate() {
