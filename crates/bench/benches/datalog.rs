@@ -11,24 +11,38 @@ fn bench_tc() {
     let program = transitive_closure();
     for n in [16usize, 32, 64] {
         let path = directed_path(n);
-        bench("E1_transitive_closure", &format!("semi_naive/path/{n}"), 2, 10, || {
-            Evaluator::new(&program).run(&path, EvalOptions::default())
-        });
-        bench("E1_transitive_closure", &format!("naive/path/{n}"), 2, 10, || {
-            Evaluator::new(&program).run(
-                &path,
-                EvalOptions {
-                    semi_naive: false,
-                    ..EvalOptions::default()
-                },
-            )
-        });
+        bench(
+            "E1_transitive_closure",
+            &format!("semi_naive/path/{n}"),
+            2,
+            10,
+            || Evaluator::new(&program).run(&path, EvalOptions::default()),
+        );
+        bench(
+            "E1_transitive_closure",
+            &format!("naive/path/{n}"),
+            2,
+            10,
+            || {
+                Evaluator::new(&program).run(
+                    &path,
+                    EvalOptions {
+                        semi_naive: false,
+                        ..EvalOptions::default()
+                    },
+                )
+            },
+        );
     }
     for n in [16usize, 24] {
         let g = random_digraph(n, 0.15, 7).to_structure();
-        bench("E1_transitive_closure", &format!("semi_naive/random/{n}"), 2, 10, || {
-            Evaluator::new(&program).run(&g, EvalOptions::default())
-        });
+        bench(
+            "E1_transitive_closure",
+            &format!("semi_naive/random/{n}"),
+            2,
+            10,
+            || Evaluator::new(&program).run(&g, EvalOptions::default()),
+        );
     }
 }
 

@@ -31,9 +31,13 @@ fn bench_acyclic_game() {
     for n in [8usize, 12, 16] {
         let g = random_dag(n, 0.3, 23);
         let d = [0u32, (n - 2) as u32, 1, (n - 1) as u32];
-        bench("E13_acyclic_game", &format!("two_player/{n}"), 1, 20, || {
-            AcyclicGame::solve(pattern.clone(), &g, &d).duplicator_wins()
-        });
+        bench(
+            "E13_acyclic_game",
+            &format!("two_player/{n}"),
+            1,
+            20,
+            || AcyclicGame::solve(pattern.clone(), &g, &d).duplicator_wins(),
+        );
     }
 }
 

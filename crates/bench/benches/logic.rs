@@ -13,28 +13,40 @@ fn bench_path_formula_eval() {
     let s = random_digraph(10, 0.3, 3).to_structure();
     for n in [4usize, 8, 16] {
         let f = path_formula(RelId(0), n);
-        bench("E4_path_formula_eval", &format!("p_n_all_pairs/{n}"), 2, 20, || {
-            let mut ev = LogicEvaluator::new(&s);
-            let mut hits = 0;
-            for a in 0..10u32 {
-                for t in 0..10u32 {
-                    let mut asg = vec![Some(a), Some(t), None];
-                    if ev.eval(&f, &mut asg) {
-                        hits += 1;
+        bench(
+            "E4_path_formula_eval",
+            &format!("p_n_all_pairs/{n}"),
+            2,
+            20,
+            || {
+                let mut ev = LogicEvaluator::new(&s);
+                let mut hits = 0;
+                for a in 0..10u32 {
+                    for t in 0..10u32 {
+                        let mut asg = vec![Some(a), Some(t), None];
+                        if ev.eval(&f, &mut asg) {
+                            hits += 1;
+                        }
                     }
                 }
-            }
-            hits
-        });
+                hits
+            },
+        );
     }
 }
 
 fn bench_stage_translation() {
     for (name, program) in [("tc", transitive_closure()), ("avoid", avoiding_path())] {
-        bench("E5_stage_translation", &format!("build_10_stages/{name}"), 2, 20, || {
-            let mut t = StageTranslation::new(&program);
-            t.stage(10, program.goal()).dag_size()
-        });
+        bench(
+            "E5_stage_translation",
+            &format!("build_10_stages/{name}"),
+            2,
+            20,
+            || {
+                let mut t = StageTranslation::new(&program);
+                t.stage(10, program.goal()).dag_size()
+            },
+        );
     }
 }
 

@@ -5,9 +5,7 @@
 use kv_bench::microbench::bench;
 use kv_core::pebble::cnf::CnfFormula;
 use kv_core::pebble::{solve_by_win_iteration, CnfGame, ExistentialGame};
-use kv_core::structures::generators::{
-    directed_path, two_crossing_paths, two_disjoint_paths,
-};
+use kv_core::structures::generators::{directed_path, two_crossing_paths, two_disjoint_paths};
 use kv_core::structures::HomKind;
 
 fn bench_path_games() {
@@ -55,9 +53,13 @@ fn bench_solver_ablation() {
 fn bench_cnf_games() {
     for k in [1usize, 2, 3] {
         let phi = CnfFormula::complete(k);
-        bench("E14_cnf_games", &format!("phi_k_own_game/{k}"), 1, 10, || {
-            CnfGame::solve(&phi, k).winner()
-        });
+        bench(
+            "E14_cnf_games",
+            &format!("phi_k_own_game/{k}"),
+            1,
+            10,
+            || CnfGame::solve(&phi, k).winner(),
+        );
     }
 }
 

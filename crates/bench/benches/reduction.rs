@@ -28,20 +28,30 @@ fn bench_gphi_build() {
 fn bench_simulation_strategy() {
     for k in [1usize, 2, 3] {
         let w = Thm66Witness::new(k);
-        bench("E15_simulation_strategy", &format!("300_rounds/{k}"), 1, 10, || {
-            let mut sp = RandomSpoiler::new(w.a.universe_size(), 5);
-            let mut dup = w.duplicator();
-            play_game(&w.a, &w.b, k, HomKind::OneToOne, &mut sp, &mut dup, 300)
-        });
+        bench(
+            "E15_simulation_strategy",
+            &format!("300_rounds/{k}"),
+            1,
+            10,
+            || {
+                let mut sp = RandomSpoiler::new(w.a.universe_size(), 5);
+                let mut dup = w.duplicator();
+                play_game(&w.a, &w.b, k, HomKind::OneToOne, &mut sp, &mut dup, 300)
+            },
+        );
     }
 }
 
 fn bench_even_path_instance() {
     for n in [10usize, 40, 160] {
         let g = random_digraph(n, 0.1, 31);
-        bench("E16_even_path_reduction", &format!("build/{n}"), 1, 10, || {
-            even_path_instance(&g, [0, 1, 2, 3]).graph.node_count()
-        });
+        bench(
+            "E16_even_path_reduction",
+            &format!("build/{n}"),
+            1,
+            10,
+            || even_path_instance(&g, [0, 1, 2, 3]).graph.node_count(),
+        );
     }
 }
 

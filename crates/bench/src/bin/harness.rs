@@ -6,7 +6,10 @@
 fn main() {
     let start = std::time::Instant::now();
     println!("# Experiment harness — Kolaitis & Vardi (PODS 1990) reproduction\n");
-    assert!(kv_bench::experiments::smoke_validate_play(), "play smoke test");
+    assert!(
+        kv_bench::experiments::smoke_validate_play(),
+        "play smoke test"
+    );
     for table in kv_bench::all_experiments() {
         print!("{}", table.to_markdown());
     }

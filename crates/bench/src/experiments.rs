@@ -9,9 +9,7 @@ use kv_core::datalog::programs::{
     two_disjoint_paths_paper_rules, two_pairs_vocabulary,
 };
 use kv_core::datalog::{monotone, EvalOptions, Evaluator};
-use kv_core::homeo::{
-    brute_force_homeomorphism, even_path, programs::eval_on, PatternSpec,
-};
+use kv_core::homeo::{brute_force_homeomorphism, even_path, programs::eval_on, PatternSpec};
 use kv_core::logic::builders::{exactly_formula, has_walk_mod, path_formula};
 use kv_core::logic::eval::{eval_closed, eval_with};
 use kv_core::logic::formula::{Formula, Var};
@@ -25,8 +23,7 @@ use kv_core::reduction::thm66::Thm66Witness;
 use kv_core::reduction::variants::VariantWitness;
 use kv_core::reduction::{GPhi, Switch};
 use kv_core::structures::generators::{
-    directed_path, random_dag, random_digraph, total_order, two_crossing_paths,
-    two_disjoint_paths,
+    directed_path, random_dag, random_digraph, total_order, two_crossing_paths, two_disjoint_paths,
 };
 use kv_core::structures::{Digraph, HomKind, RelId};
 use std::sync::Arc;
@@ -47,7 +44,7 @@ pub fn e01_datalog_stages() -> Table {
                 ..EvalOptions::default()
             },
         );
-        let agree = naive.idb == semi.idb && naive.stats == semi.stats;
+        let agree = naive.idb == semi.idb && naive.stats == semi.stats && naive.same_stages(&semi);
         all_agree &= agree;
         rows.push(row(&[
             &format!("path P{n}"),
@@ -67,7 +64,7 @@ pub fn e01_datalog_stages() -> Table {
                 ..EvalOptions::default()
             },
         );
-        let agree = naive.idb == semi.idb && naive.stats == semi.stats;
+        let agree = naive.idb == semi.idb && naive.stats == semi.stats && naive.same_stages(&semi);
         all_agree &= agree;
         rows.push(row(&[
             &format!("G(24, 0.12) seed {seed}"),
@@ -166,9 +163,9 @@ pub fn e04_paths() -> Table {
         let mut checked = 0;
         for a in 0..6u32 {
             for b in 0..6u32 {
-                let by_family = (2..=24usize).step_by(2).any(|n| {
-                    eval_with(&path_formula(e, n), &s, &[Some(a), Some(b)])
-                });
+                let by_family = (2..=24usize)
+                    .step_by(2)
+                    .any(|n| eval_with(&path_formula(e, n), &s, &[Some(a), Some(b)]));
                 let exact = has_walk_mod(&g, a, b, 0, 2);
                 if by_family != exact {
                     mismatches += 1;
@@ -177,21 +174,37 @@ pub fn e04_paths() -> Table {
             }
         }
         let width = path_formula(e, 24).width();
-        rows.push(row(&[&format!("seed {seed}"), &checked, &width, &mismatches]));
+        rows.push(row(&[
+            &format!("seed {seed}"),
+            &checked,
+            &width,
+            &mismatches,
+        ]));
     }
     Table {
         id: "E4",
         title: "Paths with three variables (Example 3.4)".into(),
-        claim: "p_n needs only 3 distinct variables; ⋁_{n even} p_n expresses even-length walks".into(),
-        header: vec!["graph".into(), "pairs checked".into(), "width(p_24)".into(), "cumulative mismatches".into()],
+        claim: "p_n needs only 3 distinct variables; ⋁_{n even} p_n expresses even-length walks"
+            .into(),
+        header: vec![
+            "graph".into(),
+            "pairs checked".into(),
+            "width(p_24)".into(),
+            "cumulative mismatches".into(),
+        ],
         rows,
-        verdict: if mismatches == 0 { "family ≡ product-graph semantics on every pair ✓".into() } else { format!("{mismatches} mismatches ✗") },
+        verdict: if mismatches == 0 {
+            "family ≡ product-graph semantics on every pair ✓".into()
+        } else {
+            format!("{mismatches} mismatches ✗")
+        },
     }
 }
 
 /// E5: Theorem 3.6 — stage formulas.
 pub fn e05_stage_translation() -> Table {
     let mut rows = Vec::new();
+    let mut all_identical = true;
     for (name, program) in [
         ("TC", transitive_closure()),
         ("T (w-avoiding)", avoiding_path()),
@@ -202,6 +215,11 @@ pub fn e05_stage_translation() -> Table {
         let goal = program.goal();
         let f3 = t.stage(3, goal);
         let f6 = t.stage(6, goal);
+        // Id-set identity of Θ^n and φ^n on the engine's interned store
+        // (Theorem 3.6 checked by tuple id, not by re-hashed tuples).
+        let s = random_digraph(5, 0.3, 13).to_structure();
+        let report = kv_core::logic::compare_stages_on_shared_store(&program, &s, Some(4));
+        all_identical &= report.identical;
         rows.push(row(&[
             &name,
             &budget,
@@ -210,6 +228,7 @@ pub fn e05_stage_translation() -> Table {
             &f3.dag_size(),
             &f6.dag_size(),
             &f6.is_inequality_free(),
+            &report.identical,
         ]));
     }
     Table {
@@ -224,9 +243,14 @@ pub fn e05_stage_translation() -> Table {
             "dag size φ³".into(),
             "dag size φ⁶".into(),
             "φ⁶ ineq-free".into(),
+            "Θ ≡ φ by id".into(),
         ],
         rows,
-        verdict: "widths constant across stages; DAG sizes grow linearly; only pure Datalog is inequality-free ✓".into(),
+        verdict: if all_identical {
+            "widths constant across stages; DAG sizes grow linearly; stages id-identical on the shared store ✓".into()
+        } else {
+            "stage/formula MISMATCH ✗".into()
+        },
     }
 }
 
@@ -348,11 +372,7 @@ pub fn e09_preservation() -> Table {
 pub fn e10_switch() -> Table {
     let (g, _) = Switch::standalone();
     let verified = Switch::verify_lemma_6_4().is_ok();
-    let rows = vec![row(&[
-        &g.node_count(),
-        &g.edge_count(),
-        &verified,
-    ])];
+    let rows = vec![row(&[&g.node_count(), &g.edge_count(), &verified])];
     Table {
         id: "E10",
         title: "The switch gadget (Figure 1, Lemma 6.4)".into(),
@@ -367,10 +387,32 @@ pub fn e10_switch() -> Table {
 pub fn e11_reduction() -> Table {
     use kv_core::pebble::cnf::{clause, Lit};
     let formulas: Vec<(String, CnfFormula)> = vec![
-        ("x1 ∨ x1 (Fig. 5)".into(), CnfFormula::new(1, vec![clause([Lit::pos(0), Lit::pos(0)])])),
-        ("x1 ∧ ¬x1 (Fig. 6)".into(), CnfFormula::new(1, vec![clause([Lit::pos(0)]), clause([Lit::neg(0)])])),
-        ("(x1∨x2) ∧ ¬x1".into(), CnfFormula::new(2, vec![clause([Lit::pos(0), Lit::pos(1)]), clause([Lit::neg(0)])])),
-        ("x1 ∧ (¬x1∨x2) ∧ ¬x2".into(), CnfFormula::new(2, vec![clause([Lit::pos(0)]), clause([Lit::neg(0), Lit::pos(1)]), clause([Lit::neg(1)])])),
+        (
+            "x1 ∨ x1 (Fig. 5)".into(),
+            CnfFormula::new(1, vec![clause([Lit::pos(0), Lit::pos(0)])]),
+        ),
+        (
+            "x1 ∧ ¬x1 (Fig. 6)".into(),
+            CnfFormula::new(1, vec![clause([Lit::pos(0)]), clause([Lit::neg(0)])]),
+        ),
+        (
+            "(x1∨x2) ∧ ¬x1".into(),
+            CnfFormula::new(
+                2,
+                vec![clause([Lit::pos(0), Lit::pos(1)]), clause([Lit::neg(0)])],
+            ),
+        ),
+        (
+            "x1 ∧ (¬x1∨x2) ∧ ¬x2".into(),
+            CnfFormula::new(
+                2,
+                vec![
+                    clause([Lit::pos(0)]),
+                    clause([Lit::neg(0), Lit::pos(1)]),
+                    clause([Lit::neg(1)]),
+                ],
+            ),
+        ),
         ("φ_1 (complete)".into(), CnfFormula::complete(1)),
     ];
     let mut rows = Vec::new();
@@ -392,9 +434,19 @@ pub fn e11_reduction() -> Table {
         id: "E11",
         title: "SAT → two disjoint paths (Figures 2–6)".into(),
         claim: "φ is satisfiable iff G_φ has node-disjoint s1→s2 and s3→s4 paths".into(),
-        header: vec!["formula".into(), "|G_φ|".into(), "switches".into(), "SAT".into(), "disjoint paths".into()],
+        header: vec![
+            "formula".into(),
+            "|G_φ|".into(),
+            "switches".into(),
+            "SAT".into(),
+            "disjoint paths".into(),
+        ],
         rows,
-        verdict: if all_agree { "reduction faithful on every instance ✓".into() } else { "MISMATCH ✗".into() },
+        verdict: if all_agree {
+            "reduction faithful on every instance ✓".into()
+        } else {
+            "MISMATCH ✗".into()
+        },
     }
 }
 
@@ -481,8 +533,16 @@ pub fn e13_acyclic() -> Table {
     let gap_and_or = Evaluator::new(&and_or).holds(&s, &[]);
     let gap_paper = Evaluator::new(&paper).goal(&s).contains(&[0u32, 2][..]);
     let rows = vec![
-        row(&[&format!("random DAGs ({trials})"), &format!("{agree}/{trials}"), &overshoot]),
-        row(&[&"shared-midpoint witness", &format!("AND-OR = {gap_and_or}"), &format!("3-rule = {gap_paper}")]),
+        row(&[
+            &format!("random DAGs ({trials})"),
+            &format!("{agree}/{trials}"),
+            &overshoot,
+        ]),
+        row(&[
+            &"shared-midpoint witness",
+            &format!("AND-OR = {gap_and_or}"),
+            &format!("3-rule = {gap_paper}"),
+        ]),
     ];
     Table {
         id: "E13",
@@ -634,7 +694,6 @@ pub fn e16_even_path() -> Table {
     }
 }
 
-
 /// E17 (ablation): the worklist deletion solver vs the paper's literal
 /// `Win_k` value iteration — identical verdicts (checked per configuration
 /// on the random instances), different asymptotics: worklist propagation
@@ -703,8 +762,15 @@ pub fn e18_doubled_witness() -> Table {
                 witness: &d,
                 inner: w.duplicator(),
             };
-            if play_game(&d.a, &d.b, game_k, HomKind::OneToOne, &mut sp, &mut dup, 250)
-                == Winner::Duplicator
+            if play_game(
+                &d.a,
+                &d.b,
+                game_k,
+                HomKind::OneToOne,
+                &mut sp,
+                &mut dup,
+                250,
+            ) == Winner::Duplicator
             {
                 survived += 1;
             }

@@ -40,7 +40,10 @@ impl Obj {
 }
 
 fn render_report(cases: &[Obj]) -> String {
-    let rows: Vec<String> = cases.iter().map(|c| format!("    {}", c.render())).collect();
+    let rows: Vec<String> = cases
+        .iter()
+        .map(|c| format!("    {}", c.render()))
+        .collect();
     format!(
         "{{\n  \"threads\": {},\n  \"cases\": [\n{}\n  ]\n}}\n",
         thread_count(),
@@ -58,8 +61,18 @@ fn ms(d: std::time::Duration) -> f64 {
 pub fn pebble_report() -> String {
     let mut cases = Vec::new();
     let instances: Vec<(String, _, _, usize)> = vec![
-        ("path_9_vs_8_k2".into(), directed_path(9), directed_path(8), 2),
-        ("path_7_vs_6_k3".into(), directed_path(7), directed_path(6), 3),
+        (
+            "path_9_vs_8_k2".into(),
+            directed_path(9),
+            directed_path(8),
+            2,
+        ),
+        (
+            "path_7_vs_6_k3".into(),
+            directed_path(7),
+            directed_path(6),
+            3,
+        ),
         (
             "random_7_vs_7_k2".into(),
             random_digraph(7, 0.3, 42).to_structure(),
@@ -88,23 +101,33 @@ pub fn pebble_report() -> String {
                 .num("arena_size", game.arena_size())
                 .num("arena_edges", game.arena_edge_count())
                 .num("worklist_ms", format!("{:.4}", ms(worklist.median)))
-                .num(
-                    "value_iteration_ms",
-                    format!("{:.4}", ms(naive.median)),
-                ),
+                .num("value_iteration_ms", format!("{:.4}", ms(naive.median))),
         );
     }
     render_report(&cases)
 }
 
-/// Datalog engine report: fixpoint size, stage count, and wall time with
-/// rule-variant parallelism on vs. off (both semi-naive).
+/// Datalog engine report: fixpoint size, stage count, the storage-engine
+/// counters (interned tuples, join probes, duplicate derivations), and
+/// wall time with rule-variant parallelism on vs. off (both semi-naive).
 pub fn datalog_report() -> String {
     let mut cases = Vec::new();
     let instances: Vec<(String, _, _)> = vec![
-        ("tc_n60_p0.06".into(), transitive_closure(), random_digraph(60, 0.06, 7)),
-        ("avoiding_path_n16_p0.12".into(), avoiding_path(), random_digraph(16, 0.12, 8)),
-        ("q_2_1_n12_p0.15".into(), q_kl(2, 1), random_digraph(12, 0.15, 9)),
+        (
+            "tc_n60_p0.06".into(),
+            transitive_closure(),
+            random_digraph(60, 0.06, 7),
+        ),
+        (
+            "avoiding_path_n16_p0.12".into(),
+            avoiding_path(),
+            random_digraph(16, 0.12, 8),
+        ),
+        (
+            "q_2_1_n12_p0.15".into(),
+            q_kl(2, 1),
+            random_digraph(12, 0.15, 9),
+        ),
     ];
     for (name, program, graph) in &instances {
         let s = graph.to_structure();
@@ -120,9 +143,12 @@ pub fn datalog_report() -> String {
             Obj::new()
                 .str("name", name)
                 .num("stages", result.stage_count())
+                .num("tuples", result.idb.iter().map(|r| r.len()).sum::<usize>())
+                .num("tuples_interned", result.eval_stats.tuples_interned)
+                .num("join_probes", result.eval_stats.join_probes)
                 .num(
-                    "tuples",
-                    result.idb.iter().map(|r| r.len()).sum::<usize>(),
+                    "duplicate_derivations",
+                    result.eval_stats.duplicate_derivations,
                 )
                 .num("parallel_ms", format!("{:.4}", ms(parallel.median)))
                 .num("sequential_ms", format!("{:.4}", ms(sequential.median))),

@@ -3,11 +3,11 @@
 //! machine-checkable inexpressibility witness (negative side, Theorems
 //! 6.6/6.7 via Lemma 6.3).
 
+use kv_datalog::Program;
 use kv_homeo::pattern::{classify, CBarWitness, PatternClass};
 use kv_homeo::{acyclic_game_program, class_c_program, PatternSpec};
 use kv_reduction::thm66::Thm66Witness;
 use kv_reduction::variants::{lift_witness, LiftedWitness, VariantWitness};
-use kv_datalog::Program;
 
 /// Expressibility verdict for a fixed subgraph homeomorphism query.
 #[derive(Debug)]
@@ -118,9 +118,7 @@ pub fn negative_witness(pattern: &PatternSpec, k: usize) -> NegativeWitness {
     // Base witness for the generator.
     let base = Thm66Witness::new(k);
     let lift = match &generator {
-        CBarWitness::H1(_, _) => {
-            lift_witness(&base.a, &base.b, &base_edges_relabeled, &relabeled)
-        }
+        CBarWitness::H1(_, _) => lift_witness(&base.a, &base.b, &base_edges_relabeled, &relabeled),
         CBarWitness::H2(_, _, _) => {
             let v = VariantWitness::h2(&base);
             lift_witness(&v.a, &v.b, &base_edges_relabeled, &relabeled)

@@ -54,9 +54,9 @@ impl PatternBasedQuery {
     /// existential k-pebble game from some pattern into `b`? Polynomial
     /// for fixed `k`; exact iff the query is `L^k`-expressible.
     pub fn eval_by_games(&self, b: &Structure, k: usize) -> bool {
-        self.patterns(b)
-            .iter()
-            .any(|a| ExistentialGame::solve(a, b, k, HomKind::OneToOne).winner() == Winner::Duplicator)
+        self.patterns(b).iter().any(|a| {
+            ExistentialGame::solve(a, b, k, HomKind::OneToOne).winner() == Winner::Duplicator
+        })
     }
 
     /// The even simple path query as a pattern-based query (Example

@@ -6,7 +6,7 @@
 //! programs, the flow/game solvers of the case study, and brute-force
 //! oracles are compared by the experiments.
 
-use kv_datalog::{Evaluator, Program};
+use kv_datalog::{CompiledProgram, EvalOptions, EvalStats, Program};
 use kv_structures::Structure;
 
 /// A boolean query over structures of a fixed vocabulary.
@@ -15,14 +15,26 @@ pub trait BooleanQuery {
     fn name(&self) -> &str;
     /// Evaluates the query.
     fn eval(&self, structure: &Structure) -> bool;
+    /// Evaluates the query and, when the backend supports it, reports
+    /// evaluation counters. The default forwards to [`eval`](Self::eval)
+    /// with no stats.
+    fn eval_with_stats(&self, structure: &Structure) -> (bool, Option<EvalStats>) {
+        (self.eval(structure), None)
+    }
 }
 
 /// A Datalog(≠) program used as a boolean query: true iff the goal
 /// relation contains the designated tuple (by default the empty tuple of a
 /// nullary goal).
+///
+/// The program is compiled **once, at construction** — every `eval` call
+/// reuses the same [`CompiledProgram`] (rule variants, index plan), so
+/// running one query over a family of structures pays for compilation a
+/// single time.
 pub struct ProgramQuery {
     name: String,
     program: Program,
+    compiled: CompiledProgram,
     goal_tuple: Vec<kv_structures::Element>,
 }
 
@@ -34,11 +46,7 @@ impl ProgramQuery {
             0,
             "nullary goal expected"
         );
-        Self {
-            name: name.into(),
-            program,
-            goal_tuple: Vec::new(),
-        }
+        Self::build(name.into(), program, Vec::new())
     }
 
     /// Wraps a program, reading the goal relation at a fixed tuple.
@@ -52,9 +60,15 @@ impl ProgramQuery {
             goal_tuple.len(),
             "tuple arity must match the goal"
         );
+        Self::build(name.into(), program, goal_tuple)
+    }
+
+    fn build(name: String, program: Program, goal_tuple: Vec<kv_structures::Element>) -> Self {
+        let compiled = CompiledProgram::compile(&program);
         Self {
-            name: name.into(),
+            name,
             program,
+            compiled,
             goal_tuple,
         }
     }
@@ -62,6 +76,11 @@ impl ProgramQuery {
     /// The wrapped program.
     pub fn program(&self) -> &Program {
         &self.program
+    }
+
+    /// The compiled form shared by every evaluation.
+    pub fn compiled(&self) -> &CompiledProgram {
+        &self.compiled
     }
 }
 
@@ -71,7 +90,16 @@ impl BooleanQuery for ProgramQuery {
     }
 
     fn eval(&self, structure: &Structure) -> bool {
-        Evaluator::new(&self.program).holds(structure, &self.goal_tuple)
+        self.eval_with_stats(structure).0
+    }
+
+    fn eval_with_stats(&self, structure: &Structure) -> (bool, Option<EvalStats>) {
+        let result = self
+            .compiled
+            .try_run(structure, EvalOptions::default())
+            .expect("no limits configured");
+        let holds = result.idb[self.compiled.goal().0].contains(&self.goal_tuple);
+        (holds, Some(result.eval_stats))
     }
 }
 
@@ -116,10 +144,23 @@ mod tests {
     }
 
     #[test]
+    fn program_query_reports_stats() {
+        let q = ProgramQuery::at_tuple("0 reaches 3", transitive_closure(), vec![0, 3]);
+        let (holds, stats) = q.eval_with_stats(&directed_path(4));
+        assert!(holds);
+        let stats = stats.expect("program queries report stats");
+        assert_eq!(stats.tuples_interned, 6); // TC of a 4-path
+        assert!(stats.join_probes > 0);
+        assert_eq!(stats.stages, 3);
+    }
+
+    #[test]
     fn fn_query_wraps_closures() {
         let q = FnQuery::new("nonempty", |s: &Structure| s.tuple_count() > 0);
         assert!(q.eval(&directed_path(3)));
         assert!(!q.eval(&directed_path(1)));
+        // The default stats hook reports none.
+        assert_eq!(q.eval_with_stats(&directed_path(3)), (true, None));
     }
 
     #[test]

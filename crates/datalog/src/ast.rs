@@ -79,9 +79,7 @@ impl Rule {
 
     /// Whether the rule is a plain Datalog rule (no `=`, no `≠`).
     pub fn is_pure_datalog(&self) -> bool {
-        self.body
-            .iter()
-            .all(|l| matches!(l, Literal::Atom(_, _)))
+        self.body.iter().all(|l| matches!(l, Literal::Atom(_, _)))
     }
 
     /// Whether the rule uses any inequality.
@@ -131,7 +129,10 @@ mod tests {
             head_args: vec![Term::Var(x), Term::Var(y), Term::Var(w)],
             body: vec![
                 Literal::Atom(Pred::Edb(RelId(0)), vec![Term::Var(x), Term::Var(z)]),
-                Literal::Atom(Pred::Idb(IdbId(0)), vec![Term::Var(z), Term::Var(y), Term::Var(w)]),
+                Literal::Atom(
+                    Pred::Idb(IdbId(0)),
+                    vec![Term::Var(z), Term::Var(y), Term::Var(w)],
+                ),
                 Literal::Neq(Term::Var(w), Term::Var(x)),
             ],
             var_names: vec!["x".into(), "y".into(), "z".into(), "w".into()],
@@ -152,12 +153,15 @@ mod tests {
         let bound = r.atom_bound_vars();
         assert!(bound.contains(&VarId(0)));
         assert!(bound.contains(&VarId(3))); // w occurs in the recursive atom
-        // A rule where w occurs only in inequalities:
+                                            // A rule where w occurs only in inequalities:
         let r2 = Rule {
             head: IdbId(0),
             head_args: vec![Term::Var(VarId(0)), Term::Var(VarId(1))],
             body: vec![
-                Literal::Atom(Pred::Edb(RelId(0)), vec![Term::Var(VarId(0)), Term::Var(VarId(1))]),
+                Literal::Atom(
+                    Pred::Edb(RelId(0)),
+                    vec![Term::Var(VarId(0)), Term::Var(VarId(1))],
+                ),
                 Literal::Neq(Term::Var(VarId(2)), Term::Var(VarId(0))),
             ],
             var_names: vec!["x".into(), "y".into(), "w".into()],

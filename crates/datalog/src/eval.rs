@@ -1,4 +1,5 @@
-//! Bottom-up evaluation: naive stage iteration and semi-naive evaluation.
+//! Bottom-up evaluation: naive stage iteration and semi-naive evaluation,
+//! on the shared interned store.
 //!
 //! The paper defines the semantics of a program `π` on a structure `A` as
 //! the least fixpoint of the monotone operator system `Θ_A`, reached by
@@ -11,16 +12,32 @@
 //! discovered in the previous stage; both modes produce identical stages
 //! (asserted by tests), semi-naive just avoids rediscovering old tuples.
 //!
-//! The join machinery is allocation-lean: each atom's index position is
-//! chosen **statically** at rule-compile time (the set of bound variables
-//! at each join level is determined by the atom order, not the data), every
-//! index any rule variant will probe is built **once per stage** up front,
-//! and the join recursion then walks borrowed tuple-id slices — no
-//! candidate vectors are cloned. Because the per-stage stores are immutable
-//! during joining, independent rule variants evaluate **in parallel**
-//! (driven by [`kv_structures::par`], honoring `RAYON_NUM_THREADS`) into
-//! per-worker delta buffers merged at stage end; set-union merging makes
-//! the result identical to sequential evaluation, stage by stage.
+//! Storage is the [`kv_structures::store`] engine. Every IDB predicate
+//! materializes into one append-only [`TupleStore`], so the three
+//! relation views semi-naive evaluation needs are **id ranges** of that
+//! single store — `old = [0, delta_lo)`, `delta = [delta_lo, prev_len)`,
+//! `full = [0, prev_len)` — with no per-stage snapshot clones. EDB
+//! relations are joined directly out of the structure's own stores
+//! (zero-copy). Per-position [`PosIndex`]es are built once and *extended*
+//! after each stage; range-restricted probes are `partition_point`
+//! sub-slices of their sorted posting lists. Each atom's probe position is
+//! chosen **statically** at rule-compile time.
+//!
+//! Programs are compiled **once** — [`Evaluator::new`] (or
+//! [`CompiledProgram::compile`]) performs equality elimination, delta
+//! rewriting, and index planning; `run` only joins. Because the stores are
+//! immutable during a stage, independent rule variants evaluate **in
+//! parallel** (driven by [`kv_structures::par`], honoring
+//! `RAYON_NUM_THREADS`): workers read the shared stores and intern
+//! candidate heads into private scratch arenas whose [`TupleId`]-dense
+//! contents are re-interned into the shared stores at stage end; set-union
+//! merging makes the result identical to sequential evaluation, stage by
+//! stage.
+//!
+//! Evaluation reports [`EvalStats`] (tuples interned, duplicate
+//! derivations, join probes, stages) and honors [`Limits`] budgets via
+//! [`Evaluator::try_run`], returning a graceful [`LimitExceeded`] instead
+//! of unbounded growth.
 //!
 //! Unbound variables — head or inequality variables that occur in no body
 //! atom — range over the whole universe, matching the first-order reading
@@ -29,32 +46,38 @@
 use crate::ast::{IdbId, Literal, Pred, Rule, Term, VarId};
 use crate::program::Program;
 use kv_structures::par::{par_workers, thread_count};
-use kv_structures::{Element, Structure, Tuple};
-use std::collections::{HashMap, HashSet};
+use kv_structures::store::{
+    EvalStats, IdRange, LimitExceeded, Limits, PosIndex, StoreView, TupleId, TupleStore,
+};
+use kv_structures::{Element, Relation, Structure, Vocabulary};
+use std::collections::HashSet;
+use std::sync::Arc;
 
 /// Options controlling evaluation.
 #[derive(Debug, Clone, Copy)]
 pub struct EvalOptions {
     /// Use semi-naive (delta) evaluation instead of naive recomputation.
     pub semi_naive: bool,
-    /// Record a snapshot of every stage (needed by the Theorem 3.6
-    /// stage-formula experiments; costs memory).
-    pub record_stages: bool,
-    /// Abort after this many stages (`None` = run to fixpoint).
+    /// Truncate after this many stages (`None` = run to fixpoint). This is
+    /// a *graceful* cut — the result reports `converged: false`. For a
+    /// hard budget that errors instead, use [`Limits::max_stages`].
     pub max_stages: Option<usize>,
     /// Evaluate independent rule variants in parallel within each stage.
     /// Stage results are identical either way (differential-tested); set
     /// `RAYON_NUM_THREADS=1` or turn this off for single-threaded runs.
     pub parallel: bool,
+    /// Resource budgets; exceeding one makes [`Evaluator::try_run`] return
+    /// [`LimitExceeded`].
+    pub limits: Limits,
 }
 
 impl Default for EvalOptions {
     fn default() -> Self {
         Self {
             semi_naive: true,
-            record_stages: false,
             max_stages: None,
             parallel: true,
+            limits: Limits::default(),
         }
     }
 }
@@ -67,15 +90,21 @@ pub struct StageStats {
 }
 
 /// The result of evaluating a program on a structure.
+///
+/// Stage snapshots are free: because every IDB relation is an append-only
+/// [`TupleStore`], stage `Θ^n` restricted to IDB `i` is the id-prefix
+/// `[0, stage_marks[n-1][i])` of `idb[i]` — see [`stage_view`](Self::stage_view).
 #[derive(Debug, Clone)]
 pub struct EvalResult {
     /// Final IDB relations (the least fixpoint `π^∞`), per IDB predicate.
-    pub idb: Vec<HashSet<Tuple>>,
+    pub idb: Vec<Relation>,
     /// Per-stage statistics. `stats[n]` describes stage `n + 1`.
     pub stats: Vec<StageStats>,
-    /// If requested, `stages[n][i]` is `Θ^{n+1}` restricted to IDB `i`
-    /// (cumulative snapshot after stage `n + 1`).
-    pub stages: Vec<Vec<HashSet<Tuple>>>,
+    /// Aggregate evaluation counters.
+    pub eval_stats: EvalStats,
+    /// `stage_marks[n][i]` is `|Θ^{n+1}|` restricted to IDB `i`: the store
+    /// length of `idb[i]` after stage `n + 1` committed.
+    pub stage_marks: Vec<Vec<u32>>,
     /// Whether the fixpoint was reached (false only if `max_stages` hit).
     pub converged: bool,
 }
@@ -87,8 +116,40 @@ impl EvalResult {
     }
 
     /// The goal relation of `program`.
-    pub fn goal_relation<'a>(&'a self, program: &Program) -> &'a HashSet<Tuple> {
+    pub fn goal_relation<'a>(&'a self, program: &Program) -> &'a Relation {
         &self.idb[program.goal().0]
+    }
+
+    /// Stage `Θ^stage` (1-based) restricted to IDB `idb`, as a zero-copy
+    /// prefix view of the final store.
+    ///
+    /// # Panics
+    /// Panics if `stage` is 0 or exceeds [`stage_count`](Self::stage_count).
+    pub fn stage_view(&self, stage: usize, idb: usize) -> StoreView<'_> {
+        self.idb[idb].store().view(self.stage_marks[stage - 1][idb])
+    }
+
+    /// Number of tuples in stage `Θ^stage` (1-based) of IDB `idb`.
+    pub fn stage_len(&self, stage: usize, idb: usize) -> usize {
+        self.stage_marks[stage - 1][idb] as usize
+    }
+
+    /// Whether another result has identical stages: same stage count and,
+    /// for every stage and IDB, the same tuple *set* (id order may differ).
+    pub fn same_stages(&self, other: &EvalResult) -> bool {
+        if self.stage_count() != other.stage_count() || self.idb.len() != other.idb.len() {
+            return false;
+        }
+        for n in 1..=self.stage_count() {
+            for i in 0..self.idb.len() {
+                let a = self.stage_view(n, i);
+                let b = other.stage_view(n, i);
+                if a.len() != b.len() || !a.iter().all(|t| b.contains(t)) {
+                    return false;
+                }
+            }
+        }
+        true
     }
 }
 
@@ -194,7 +255,11 @@ fn apply_subst(t: &Term, subst: &[Term]) -> Term {
 
 fn compile_rule(rule: &Rule, delta_at: Option<usize>) -> CompiledRule {
     let (subst, const_eqs) = unify_rule(rule);
-    let head_args: Vec<Term> = rule.head_args.iter().map(|t| apply_subst(t, &subst)).collect();
+    let head_args: Vec<Term> = rule
+        .head_args
+        .iter()
+        .map(|t| apply_subst(t, &subst))
+        .collect();
     let mut atoms = Vec::new();
     let mut neqs = Vec::new();
     let mut idb_occurrence = 0usize;
@@ -284,149 +349,138 @@ fn compile_rule(rule: &Rule, delta_at: Option<usize>) -> CompiledRule {
     }
 }
 
-/// A tuple store with single-column indexes, all built up front (the set
-/// of positions any rule variant probes is known statically), so the join
-/// recursion only ever reads it — which is what lets rule variants share
-/// the per-stage stores across worker threads.
-#[derive(Debug, Default, Clone)]
-struct Indexed {
-    tuples: Vec<Tuple>,
-    /// `indexes[pos]` maps an element to the tuple indices with that
-    /// element at position `pos`.
-    indexes: HashMap<usize, HashMap<Element, Vec<usize>>>,
+/// A program compiled for evaluation: rule variants with static index
+/// positions, plus the index plan (which positions of which relations any
+/// variant will ever probe). Compiled **once** — by [`Evaluator::new`] or
+/// directly — and reusable across arbitrarily many structures, which is
+/// what `kv-core`'s `ProgramQuery` relies on.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    vocabulary: Arc<Vocabulary>,
+    goal: IdbId,
+    idb_arities: Vec<usize>,
+    naive_rules: Vec<CompiledRule>,
+    semi_variants: Vec<CompiledRule>,
+    /// Index positions needed per EDB relation (sorted, deduplicated).
+    edb_positions: Vec<Vec<usize>>,
+    /// Index positions needed per IDB predicate. One index per position
+    /// serves all three access modes (full / old / delta) via id ranges.
+    idb_positions: Vec<Vec<usize>>,
 }
 
-impl Indexed {
-    fn from_iter<'a>(it: impl Iterator<Item = &'a Tuple>) -> Self {
-        Self {
-            tuples: it.cloned().collect(),
-            indexes: HashMap::new(),
-        }
-    }
-
-    fn build_index(&mut self, pos: usize) {
-        self.indexes.entry(pos).or_insert_with(|| {
-            let mut m: HashMap<Element, Vec<usize>> = HashMap::new();
-            for (i, t) in self.tuples.iter().enumerate() {
-                m.entry(t[pos]).or_default().push(i);
-            }
-            m
-        });
-    }
-
-    /// Tuple ids with `e` at position `pos`. The index must exist.
-    fn probe(&self, pos: usize, e: Element) -> &[usize] {
-        self.indexes[&pos].get(&e).map_or(&[], |v| v.as_slice())
-    }
-}
-
-/// The index positions each relation store needs, aggregated over a set of
-/// compiled rules — computed once, applied to every per-stage snapshot.
-#[derive(Debug, Default)]
-struct IndexPlan {
-    edb: Vec<HashSet<usize>>,
-    full: Vec<HashSet<usize>>,
-    old: Vec<HashSet<usize>>,
-    delta: Vec<HashSet<usize>>,
-}
-
-impl IndexPlan {
-    fn build(rules: &[&[CompiledRule]], edb_count: usize, idb_count: usize) -> Self {
-        let mut plan = Self {
-            edb: vec![HashSet::new(); edb_count],
-            full: vec![HashSet::new(); idb_count],
-            old: vec![HashSet::new(); idb_count],
-            delta: vec![HashSet::new(); idb_count],
-        };
-        for rule in rules.iter().copied().flatten() {
-            for atom in &rule.atoms {
-                if let Some(pos) = atom.index_pos {
-                    match (atom.pred, atom.access) {
-                        (Pred::Edb(r), _) => plan.edb[r.0].insert(pos),
-                        (Pred::Idb(i), IdbAccess::Full) => plan.full[i.0].insert(pos),
-                        (Pred::Idb(i), IdbAccess::Old) => plan.old[i.0].insert(pos),
-                        (Pred::Idb(i), IdbAccess::Delta) => plan.delta[i.0].insert(pos),
-                    };
-                }
-            }
-        }
-        plan
-    }
-
-    fn apply(stores: &mut [Indexed], needed: &[HashSet<usize>]) {
-        for (store, positions) in stores.iter_mut().zip(needed) {
-            for &pos in positions {
-                store.build_index(pos);
-            }
-        }
-    }
-}
-
-/// The evaluator. Holds the program and exposes [`run`](Self::run).
-#[derive(Debug)]
-pub struct Evaluator<'p> {
-    program: &'p Program,
-}
-
-impl<'p> Evaluator<'p> {
-    /// Creates an evaluator for `program`.
-    pub fn new(program: &'p Program) -> Self {
-        Self { program }
-    }
-
-    /// Evaluates the program on `structure` with the given options.
-    ///
-    /// # Panics
-    /// Panics if the structure's vocabulary differs from the program's.
-    pub fn run(&self, structure: &Structure, options: EvalOptions) -> EvalResult {
-        assert_eq!(
-            structure.vocabulary(),
-            self.program.vocabulary(),
-            "structure/program vocabulary mismatch"
-        );
-        let idb_count = self.program.idb_count();
-        let universe = structure.universe_size();
-
-        // Compile rule variants.
-        // Stage 1 always evaluates the rules against empty IDBs (naive).
-        let naive_rules: Vec<CompiledRule> = self
-            .program
+impl CompiledProgram {
+    /// Compiles `program`: equality elimination, semi-naive delta
+    /// variants, static probe positions, and the aggregate index plan.
+    pub fn compile(program: &Program) -> Self {
+        let naive_rules: Vec<CompiledRule> = program
             .rules()
             .iter()
             .map(|r| compile_rule(r, None))
             .collect();
-        let semi_variants: Vec<CompiledRule> = if options.semi_naive {
-            let mut v = Vec::new();
-            for rule in self.program.rules() {
-                let idb_atoms = rule
-                    .atoms()
-                    .filter(|(p, _)| matches!(p, Pred::Idb(_)))
-                    .count();
-                for d in 0..idb_atoms {
-                    v.push(compile_rule(rule, Some(d)));
+        let mut semi_variants = Vec::new();
+        for rule in program.rules() {
+            let idb_atoms = rule
+                .atoms()
+                .filter(|(p, _)| matches!(p, Pred::Idb(_)))
+                .count();
+            for d in 0..idb_atoms {
+                semi_variants.push(compile_rule(rule, Some(d)));
+            }
+        }
+        let edb_count = program.vocabulary().relations().count();
+        let idb_count = program.idb_count();
+        let mut edb_pos: Vec<HashSet<usize>> = vec![HashSet::new(); edb_count];
+        let mut idb_pos: Vec<HashSet<usize>> = vec![HashSet::new(); idb_count];
+        for rule in naive_rules.iter().chain(&semi_variants) {
+            for atom in &rule.atoms {
+                if let Some(pos) = atom.index_pos {
+                    match atom.pred {
+                        Pred::Edb(r) => edb_pos[r.0].insert(pos),
+                        Pred::Idb(i) => idb_pos[i.0].insert(pos),
+                    };
                 }
             }
+        }
+        let sorted = |set: HashSet<usize>| {
+            let mut v: Vec<usize> = set.into_iter().collect();
+            v.sort_unstable();
             v
-        } else {
-            Vec::new()
         };
+        CompiledProgram {
+            vocabulary: Arc::clone(program.vocabulary()),
+            goal: program.goal(),
+            idb_arities: (0..idb_count)
+                .map(|i| program.idb_arity(IdbId(i)))
+                .collect(),
+            naive_rules,
+            semi_variants,
+            edb_positions: edb_pos.into_iter().map(sorted).collect(),
+            idb_positions: idb_pos.into_iter().map(sorted).collect(),
+        }
+    }
 
-        // EDB stores: built and indexed once, up front — the probe
-        // positions are known statically from the compiled rules.
-        let mut edb: Vec<Indexed> = structure
-            .vocabulary()
+    /// The goal predicate.
+    pub fn goal(&self) -> IdbId {
+        self.goal
+    }
+
+    /// Evaluates on `structure`, honoring the budgets in
+    /// `options.limits`.
+    ///
+    /// # Panics
+    /// Panics if the structure's vocabulary differs from the program's.
+    pub fn try_run(
+        &self,
+        structure: &Structure,
+        options: EvalOptions,
+    ) -> Result<EvalResult, LimitExceeded> {
+        assert_eq!(
+            structure.vocabulary(),
+            &self.vocabulary,
+            "structure/program vocabulary mismatch"
+        );
+        let idb_count = self.idb_arities.len();
+        let universe = structure.universe_size();
+
+        // EDB stores are the structure's own relation stores (zero-copy);
+        // their indexes are built once, up front.
+        let edb_stores: Vec<&TupleStore> = self
+            .vocabulary
             .relations()
-            .map(|r| Indexed::from_iter(structure.relation(r).iter()))
+            .map(|r| structure.relation(r).store())
             .collect();
-        let plan = IndexPlan::build(&[&naive_rules, &semi_variants], edb.len(), idb_count);
-        IndexPlan::apply(&mut edb, &plan.edb);
+        let edb_idx: Vec<Vec<PosIndex>> = edb_stores
+            .iter()
+            .zip(&self.edb_positions)
+            .map(|(store, positions)| {
+                positions
+                    .iter()
+                    .map(|&p| {
+                        let mut ix = PosIndex::new(p);
+                        ix.update(store);
+                        ix
+                    })
+                    .collect()
+            })
+            .collect();
 
-        // IDB state.
-        let mut full: Vec<HashSet<Tuple>> = vec![HashSet::new(); idb_count];
-        let mut delta: Vec<HashSet<Tuple>> = vec![HashSet::new(); idb_count];
+        // IDB state: one append-only store per predicate; indexes are
+        // extended (not rebuilt) after each stage commits.
+        let mut idb_stores: Vec<TupleStore> = self
+            .idb_arities
+            .iter()
+            .map(|&a| TupleStore::new(a))
+            .collect();
+        let mut idb_idx: Vec<Vec<PosIndex>> = self
+            .idb_positions
+            .iter()
+            .map(|positions| positions.iter().map(|&p| PosIndex::new(p)).collect())
+            .collect();
+        let mut delta_lo = vec![0u32; idb_count];
+
         let mut stats: Vec<StageStats> = Vec::new();
-        let mut stages: Vec<Vec<HashSet<Tuple>>> = Vec::new();
-
+        let mut stage_marks: Vec<Vec<u32>> = Vec::new();
+        let mut eval_stats = EvalStats::default();
         let mut converged = false;
         let mut stage = 0usize;
         loop {
@@ -435,29 +489,17 @@ impl<'p> Evaluator<'p> {
                     break;
                 }
             }
+            if let Some(max) = options.limits.max_stages {
+                if stage as u64 >= max {
+                    return Err(LimitExceeded::Stages { limit: max });
+                }
+            }
             stage += 1;
-            // Per-stage snapshots, fully indexed before any rule runs, so
-            // the join phase reads them immutably (and across threads).
-            let mut full_idx: Vec<Indexed> =
-                full.iter().map(|s| Indexed::from_iter(s.iter())).collect();
-            IndexPlan::apply(&mut full_idx, &plan.full);
-            let mut old_idx: Vec<Indexed> = if options.semi_naive && stage > 1 {
-                full.iter()
-                    .zip(&delta)
-                    .map(|(f, d)| Indexed::from_iter(f.iter().filter(|t| !d.contains(*t))))
-                    .collect()
-            } else {
-                Vec::new()
-            };
-            IndexPlan::apply(&mut old_idx, &plan.old);
-            let mut delta_idx: Vec<Indexed> =
-                delta.iter().map(|s| Indexed::from_iter(s.iter())).collect();
-            IndexPlan::apply(&mut delta_idx, &plan.delta);
-
+            let prev_len: Vec<u32> = idb_stores.iter().map(|s| s.len() as u32).collect();
             let rules_this_stage: &[CompiledRule] = if stage == 1 || !options.semi_naive {
-                &naive_rules
+                &self.naive_rules
             } else {
-                &semi_variants
+                &self.semi_variants
             };
             // Rule variants whose delta seed is non-empty (the rest derive
             // nothing this stage).
@@ -465,78 +507,146 @@ impl<'p> Evaluator<'p> {
                 .iter()
                 .filter(|rule| match rule.atoms.first() {
                     Some(first) if first.access == IdbAccess::Delta => match first.pred {
-                        Pred::Idb(i) => !delta[i.0].is_empty(),
+                        Pred::Idb(i) => delta_lo[i.0] < prev_len[i.0],
                         Pred::Edb(_) => true,
                     },
                     _ => true,
                 })
                 .collect();
 
-            // Evaluate independent variants in parallel, each worker into
-            // a private delta buffer; set-union merging afterwards makes
-            // the stage result identical to a sequential run.
+            // Evaluate independent variants in parallel. Workers read the
+            // shared stores and intern candidate heads into private
+            // scratch arenas; re-interning those at merge makes the stage
+            // result identical to a sequential run (set union).
+            let ctx = JoinCtx {
+                structure,
+                universe,
+                edb: &edb_stores,
+                edb_idx: &edb_idx,
+                idb: &idb_stores,
+                idb_idx: &idb_idx,
+                prev_len: &prev_len,
+                delta_lo: &delta_lo,
+            };
             let workers = if options.parallel {
                 thread_count().min(live_rules.len()).max(1)
             } else {
                 1
             };
-            let buffers: Vec<Vec<HashSet<Tuple>>> = par_workers(workers, |w| {
-                let mut local: Vec<HashSet<Tuple>> = vec![HashSet::new(); idb_count];
+            let buffers: Vec<WorkerBuf> = par_workers(workers, |w| {
+                let mut buf = WorkerBuf::new(&self.idb_arities);
                 for rule in live_rules.iter().skip(w).step_by(workers) {
-                    evaluate_rule(
-                        rule, structure, universe, &edb, &full_idx, &old_idx, &delta_idx,
-                        &full, &mut local,
-                    );
+                    evaluate_rule(rule, &ctx, &mut buf);
                 }
-                local
+                buf
             });
-            let mut next_delta: Vec<HashSet<Tuple>> = vec![HashSet::new(); idb_count];
-            for local in buffers {
-                for (dst, src) in next_delta.iter_mut().zip(local) {
-                    if dst.is_empty() {
-                        *dst = src;
-                    } else {
-                        dst.extend(src);
+
+            // Merge: re-intern each worker's scratch arena into the shared
+            // stores. A tuple scratch-derived by several workers is fresh
+            // only once (set union).
+            let mut new_count = vec![0usize; idb_count];
+            for buf in buffers {
+                eval_stats.join_probes += buf.probes;
+                eval_stats.duplicate_derivations += buf.dups;
+                for (i, scratch) in buf.scratch.into_iter().enumerate() {
+                    for t in scratch.iter() {
+                        if idb_stores[i].intern(t).1 {
+                            new_count[i] += 1;
+                        } else {
+                            eval_stats.duplicate_derivations += 1;
+                        }
                     }
                 }
             }
 
-            // In naive mode the rules recompute everything; keep only the
-            // genuinely new tuples as the delta.
-            let mut new_count = vec![0usize; idb_count];
-            for i in 0..idb_count {
-                next_delta[i].retain(|t| !full[i].contains(t));
-                new_count[i] = next_delta[i].len();
-                for t in &next_delta[i] {
-                    full[i].insert(t.clone());
-                }
-            }
             let any_new = new_count.iter().any(|&c| c > 0);
             if any_new {
+                eval_stats.tuples_interned += new_count.iter().map(|&c| c as u64).sum::<u64>();
                 stats.push(StageStats {
                     new_tuples: new_count,
                 });
-                if options.record_stages {
-                    stages.push(full.clone());
+                stage_marks.push(idb_stores.iter().map(|s| s.len() as u32).collect());
+                // Advance delta markers and extend the indexes over the
+                // newly committed id range.
+                delta_lo.copy_from_slice(&prev_len);
+                for (store, ixs) in idb_stores.iter().zip(idb_idx.iter_mut()) {
+                    for ix in ixs {
+                        ix.update(store);
+                    }
                 }
-                delta = next_delta;
+                if let Some(max) = options.limits.max_tuples {
+                    let total: u64 = idb_stores.iter().map(|s| s.len() as u64).sum();
+                    if total > max {
+                        return Err(LimitExceeded::Tuples {
+                            limit: max,
+                            reached: total,
+                        });
+                    }
+                }
             } else {
                 converged = true;
                 break;
             }
         }
+        eval_stats.stages = stats.len() as u64;
 
-        EvalResult {
-            idb: full,
+        Ok(EvalResult {
+            idb: idb_stores.into_iter().map(Relation::from_store).collect(),
             stats,
-            stages,
+            eval_stats,
+            stage_marks,
             converged,
+        })
+    }
+}
+
+/// The evaluator: a program compiled once ([`CompiledProgram`]), reused
+/// across structures.
+#[derive(Debug)]
+pub struct Evaluator<'p> {
+    program: &'p Program,
+    compiled: CompiledProgram,
+}
+
+impl<'p> Evaluator<'p> {
+    /// Creates an evaluator for `program`, compiling it once.
+    pub fn new(program: &'p Program) -> Self {
+        Self {
+            program,
+            compiled: CompiledProgram::compile(program),
         }
+    }
+
+    /// The compiled form (shareable without the program's lifetime).
+    pub fn compiled(&self) -> &CompiledProgram {
+        &self.compiled
+    }
+
+    /// Evaluates the program on `structure` with the given options.
+    ///
+    /// # Panics
+    /// Panics if the structure's vocabulary differs from the program's, or
+    /// if a [`Limits`] budget in `options` is exceeded — use
+    /// [`try_run`](Self::try_run) to handle budgets gracefully.
+    pub fn run(&self, structure: &Structure, options: EvalOptions) -> EvalResult {
+        self.compiled
+            .try_run(structure, options)
+            .unwrap_or_else(|e| panic!("evaluation budget exceeded: {e}"))
+    }
+
+    /// Evaluates the program, returning `Err` if a budget in
+    /// `options.limits` is exceeded.
+    pub fn try_run(
+        &self,
+        structure: &Structure,
+        options: EvalOptions,
+    ) -> Result<EvalResult, LimitExceeded> {
+        self.compiled.try_run(structure, options)
     }
 
     /// Convenience: runs with default options and returns the goal
     /// relation (moved out of the result, not cloned).
-    pub fn goal(&self, structure: &Structure) -> HashSet<Tuple> {
+    pub fn goal(&self, structure: &Structure) -> Relation {
         let mut r = self.run(structure, EvalOptions::default());
         std::mem::take(&mut r.idb[self.program.goal().0])
     }
@@ -548,243 +658,239 @@ impl<'p> Evaluator<'p> {
     }
 }
 
-/// Evaluates one compiled rule, inserting derived head tuples into
-/// `next_delta`. The tuple stores are read-only: indexes were built before
-/// the stage started, and candidates are walked as borrowed id slices.
-#[allow(clippy::too_many_arguments)]
-fn evaluate_rule(
-    rule: &CompiledRule,
-    structure: &Structure,
+/// The read-only per-stage join context shared by all workers. Everything
+/// here is borrowed immutably; [`TupleStore`] and [`PosIndex`] have no
+/// interior mutability, so the context is `Sync`.
+struct JoinCtx<'a> {
+    structure: &'a Structure,
     universe: usize,
-    edb: &[Indexed],
-    full_idx: &[Indexed],
-    old_idx: &[Indexed],
-    delta_idx: &[Indexed],
-    full: &[HashSet<Tuple>],
-    next_delta: &mut [HashSet<Tuple>],
-) {
-    // Structure-dependent constant equality guards.
-    let resolve = |t: &Term, binding: &[Option<Element>]| -> Option<Element> {
-        match t {
-            Term::Var(v) => binding[v.0],
-            Term::Const(c) => Some(structure.constant(*c)),
+    edb: &'a [&'a TupleStore],
+    edb_idx: &'a [Vec<PosIndex>],
+    idb: &'a [TupleStore],
+    idb_idx: &'a [Vec<PosIndex>],
+    /// Store length of each IDB at stage start (`full` view bound).
+    prev_len: &'a [u32],
+    /// Store length of each IDB before the previous stage committed
+    /// (`old`/`delta` boundary).
+    delta_lo: &'a [u32],
+}
+
+impl<'a> JoinCtx<'a> {
+    /// Resolves an atom to its backing store, optional index, and id range.
+    fn source(&self, atom: &JoinAtom) -> (&'a TupleStore, Option<&'a PosIndex>, IdRange) {
+        match atom.pred {
+            Pred::Edb(r) => {
+                let store = self.edb[r.0];
+                let ix = atom.index_pos.map(|p| find_index(&self.edb_idx[r.0], p));
+                (store, ix, store.id_range())
+            }
+            Pred::Idb(i) => {
+                let store = &self.idb[i.0];
+                let range = match atom.access {
+                    IdbAccess::Full => IdRange {
+                        start: 0,
+                        end: self.prev_len[i.0],
+                    },
+                    IdbAccess::Old => IdRange {
+                        start: 0,
+                        end: self.delta_lo[i.0],
+                    },
+                    IdbAccess::Delta => IdRange {
+                        start: self.delta_lo[i.0],
+                        end: self.prev_len[i.0],
+                    },
+                };
+                let ix = atom.index_pos.map(|p| find_index(&self.idb_idx[i.0], p));
+                (store, ix, range)
+            }
         }
-    };
-    let empty_binding = vec![None; rule.var_count];
+    }
+}
+
+/// Finds the prepared index on position `p`. The index plan in
+/// [`CompiledProgram`] covers every statically chosen probe position, so
+/// this always succeeds.
+fn find_index(indexes: &[PosIndex], p: usize) -> &PosIndex {
+    indexes
+        .iter()
+        .find(|ix| ix.pos() == p)
+        .expect("index plan covers every statically chosen probe position")
+}
+
+/// Per-worker evaluation buffers: one scratch arena per IDB predicate plus
+/// counters. Workers never exchange boxed tuples — scratch arenas are
+/// re-interned into the shared stores at merge.
+struct WorkerBuf {
+    scratch: Vec<TupleStore>,
+    head_buf: Vec<Element>,
+    probes: u64,
+    dups: u64,
+}
+
+impl WorkerBuf {
+    fn new(idb_arities: &[usize]) -> Self {
+        Self {
+            scratch: idb_arities.iter().map(|&a| TupleStore::new(a)).collect(),
+            head_buf: Vec::new(),
+            probes: 0,
+            dups: 0,
+        }
+    }
+}
+
+/// Evaluates one compiled rule against the stage context, interning
+/// derived head tuples into the worker's scratch arenas.
+fn evaluate_rule(rule: &CompiledRule, ctx: &JoinCtx<'_>, buf: &mut WorkerBuf) {
+    // Structure-dependent constant equality guards.
     for (a, b) in &rule.const_eqs {
-        if resolve(a, &empty_binding) != resolve(b, &empty_binding) {
+        let resolve = |t: &Term| match t {
+            Term::Var(_) => None,
+            Term::Const(c) => Some(ctx.structure.constant(*c)),
+        };
+        if resolve(a) != resolve(b) {
             return;
         }
     }
+    let mut join = RuleJoin {
+        rule,
+        ctx,
+        buf,
+        binding: vec![None; rule.var_count],
+    };
+    join.join(0);
+}
 
-    let mut binding: Vec<Option<Element>> = vec![None; rule.var_count];
+/// The join recursion state for one rule: the binding under construction
+/// plus borrowed context and output buffers.
+struct RuleJoin<'a, 'b> {
+    rule: &'a CompiledRule,
+    ctx: &'a JoinCtx<'a>,
+    buf: &'b mut WorkerBuf,
+    binding: Vec<Option<Element>>,
+}
 
-    // Recursion over atoms, then free-variable enumeration, then emit.
-    #[allow(clippy::too_many_arguments)]
-    fn join(
-        rule: &CompiledRule,
-        atom_pos: usize,
-        binding: &mut Vec<Option<Element>>,
-        structure: &Structure,
-        universe: usize,
-        edb: &[Indexed],
-        full_idx: &[Indexed],
-        old_idx: &[Indexed],
-        delta_idx: &[Indexed],
-        full: &[HashSet<Tuple>],
-        next_delta: &mut [HashSet<Tuple>],
-    ) {
-        // Inequality pruning: any fully bound neq that fails kills branch.
-        for (a, b) in &rule.neqs {
-            let va = match a {
-                Term::Var(v) => binding[v.0],
-                Term::Const(c) => Some(structure.constant(*c)),
-            };
-            let vb = match b {
-                Term::Var(v) => binding[v.0],
-                Term::Const(c) => Some(structure.constant(*c)),
-            };
-            if let (Some(x), Some(y)) = (va, vb) {
+impl<'a, 'b> RuleJoin<'a, 'b> {
+    fn term_value(&self, t: &Term) -> Option<Element> {
+        match t {
+            Term::Var(v) => self.binding[v.0],
+            Term::Const(c) => Some(self.ctx.structure.constant(*c)),
+        }
+    }
+
+    /// Any fully bound inequality that fails kills the branch.
+    fn neqs_ok(&self) -> bool {
+        for (a, b) in &self.rule.neqs {
+            if let (Some(x), Some(y)) = (self.term_value(a), self.term_value(b)) {
                 if x == y {
-                    return;
+                    return false;
                 }
             }
         }
-        if atom_pos == rule.atoms.len() {
-            // Enumerate free variables, then emit the head tuple.
-            fn enumerate(
-                rule: &CompiledRule,
-                free_pos: usize,
-                binding: &mut Vec<Option<Element>>,
-                structure: &Structure,
-                universe: usize,
-                full: &[HashSet<Tuple>],
-                next_delta: &mut [HashSet<Tuple>],
-            ) {
-                for (a, b) in &rule.neqs {
-                    let va = match a {
-                        Term::Var(v) => binding[v.0],
-                        Term::Const(c) => Some(structure.constant(*c)),
-                    };
-                    let vb = match b {
-                        Term::Var(v) => binding[v.0],
-                        Term::Const(c) => Some(structure.constant(*c)),
-                    };
-                    if let (Some(x), Some(y)) = (va, vb) {
-                        if x == y {
-                            return;
-                        }
-                    }
-                }
-                if free_pos == rule.free_vars.len() {
-                    let head: Option<Vec<Element>> = rule
-                        .head_args
-                        .iter()
-                        .map(|t| match t {
-                            Term::Var(v) => binding[v.0],
-                            Term::Const(c) => Some(structure.constant(*c)),
-                        })
-                        .collect();
-                    let head = head.expect("head variables fully bound");
-                    let boxed = head.into_boxed_slice();
-                    if !full[rule.head.0].contains(&boxed) {
-                        next_delta[rule.head.0].insert(boxed);
-                    }
-                    return;
-                }
-                let v = rule.free_vars[free_pos];
-                for e in 0..universe as Element {
-                    binding[v.0] = Some(e);
-                    enumerate(rule, free_pos + 1, binding, structure, universe, full, next_delta);
-                }
-                binding[v.0] = None;
-            }
-            enumerate(rule, 0, binding, structure, universe, full, next_delta);
+        true
+    }
+
+    /// Recursion over atoms, then free-variable enumeration, then emit.
+    fn join(&mut self, atom_pos: usize) {
+        if !self.neqs_ok() {
             return;
         }
-
-        let atom = &rule.atoms[atom_pos];
-        let store: &Indexed = match (atom.pred, atom.access) {
-            (Pred::Edb(r), _) => &edb[r.0],
-            (Pred::Idb(i), IdbAccess::Full) => &full_idx[i.0],
-            (Pred::Idb(i), IdbAccess::Old) => &old_idx[i.0],
-            (Pred::Idb(i), IdbAccess::Delta) => &delta_idx[i.0],
-        };
-
-        // Per-candidate matching: extend the binding, recurse, restore.
-        #[allow(clippy::too_many_arguments)]
-        fn try_tuple(
-            rule: &CompiledRule,
-            atom_pos: usize,
-            tuple: &Tuple,
-            binding: &mut Vec<Option<Element>>,
-            structure: &Structure,
-            universe: usize,
-            edb: &[Indexed],
-            full_idx: &[Indexed],
-            old_idx: &[Indexed],
-            delta_idx: &[Indexed],
-            full: &[HashSet<Tuple>],
-            next_delta: &mut [HashSet<Tuple>],
-        ) {
-            let atom = &rule.atoms[atom_pos];
-            let mut newly_bound: Vec<VarId> = Vec::new();
-            for (pos, t) in atom.args.iter().enumerate() {
-                let ok = match t {
-                    Term::Const(c) => structure.constant(*c) == tuple[pos],
-                    Term::Var(v) => match binding[v.0] {
-                        Some(e) => e == tuple[pos],
-                        None => {
-                            binding[v.0] = Some(tuple[pos]);
-                            newly_bound.push(*v);
-                            true
-                        }
-                    },
-                };
-                if !ok {
-                    for v in newly_bound.drain(..) {
-                        binding[v.0] = None;
-                    }
-                    return;
-                }
-            }
-            join(
-                rule,
-                atom_pos + 1,
-                binding,
-                structure,
-                universe,
-                edb,
-                full_idx,
-                old_idx,
-                delta_idx,
-                full,
-                next_delta,
-            );
-            for v in newly_bound.drain(..) {
-                binding[v.0] = None;
-            }
+        let rule = self.rule;
+        if atom_pos == rule.atoms.len() {
+            self.enumerate_free(0);
+            return;
         }
-
-        match atom.index_pos {
-            Some(pos) => {
+        let ctx = self.ctx;
+        let atom = &rule.atoms[atom_pos];
+        let (store, index, range) = ctx.source(atom);
+        match index {
+            Some(ix) => {
                 // The indexed argument is a constant or a variable bound
                 // by an earlier atom — always resolvable here.
-                let e = match &atom.args[pos] {
-                    Term::Var(v) => binding[v.0].expect("statically bound"),
-                    Term::Const(c) => structure.constant(*c),
-                };
-                for &i in store.probe(pos, e) {
-                    try_tuple(
-                        rule,
-                        atom_pos,
-                        &store.tuples[i],
-                        binding,
-                        structure,
-                        universe,
-                        edb,
-                        full_idx,
-                        old_idx,
-                        delta_idx,
-                        full,
-                        next_delta,
-                    );
+                let e = self
+                    .term_value(&atom.args[ix.pos()])
+                    .expect("statically bound");
+                self.buf.probes += 1;
+                for &id in ix.probe(e, range) {
+                    self.try_tuple(atom_pos, store.get(TupleId(id)));
                 }
             }
             None => {
-                for tuple in &store.tuples {
-                    try_tuple(
-                        rule,
-                        atom_pos,
-                        tuple,
-                        binding,
-                        structure,
-                        universe,
-                        edb,
-                        full_idx,
-                        old_idx,
-                        delta_idx,
-                        full,
-                        next_delta,
-                    );
+                self.buf.probes += 1;
+                for id in range.iter() {
+                    self.try_tuple(atom_pos, store.get(id));
                 }
             }
         }
     }
 
-    join(
-        rule,
-        0,
-        &mut binding,
-        structure,
-        universe,
-        edb,
-        full_idx,
-        old_idx,
-        delta_idx,
-        full,
-        next_delta,
-    );
+    /// Per-candidate matching: extend the binding, recurse, restore.
+    fn try_tuple(&mut self, atom_pos: usize, tuple: &[Element]) {
+        let atom = &self.rule.atoms[atom_pos];
+        let mut newly_bound: Vec<VarId> = Vec::new();
+        for (pos, t) in atom.args.iter().enumerate() {
+            let ok = match t {
+                Term::Const(c) => self.ctx.structure.constant(*c) == tuple[pos],
+                Term::Var(v) => match self.binding[v.0] {
+                    Some(e) => e == tuple[pos],
+                    None => {
+                        self.binding[v.0] = Some(tuple[pos]);
+                        newly_bound.push(*v);
+                        true
+                    }
+                },
+            };
+            if !ok {
+                for v in newly_bound.drain(..) {
+                    self.binding[v.0] = None;
+                }
+                return;
+            }
+        }
+        self.join(atom_pos + 1);
+        for v in newly_bound.drain(..) {
+            self.binding[v.0] = None;
+        }
+    }
+
+    /// Enumerates universe values for variables bound by no atom, then
+    /// emits the head tuple.
+    fn enumerate_free(&mut self, free_pos: usize) {
+        if !self.neqs_ok() {
+            return;
+        }
+        let rule = self.rule;
+        if free_pos == rule.free_vars.len() {
+            self.emit();
+            return;
+        }
+        let v = rule.free_vars[free_pos];
+        for e in 0..self.ctx.universe as Element {
+            self.binding[v.0] = Some(e);
+            self.enumerate_free(free_pos + 1);
+        }
+        self.binding[v.0] = None;
+    }
+
+    /// Emits the (fully bound) head tuple: skip if already committed in
+    /// the shared store, otherwise intern into the worker's scratch arena.
+    fn emit(&mut self) {
+        let rule = self.rule;
+        let ctx = self.ctx;
+        self.buf.head_buf.clear();
+        for t in &rule.head_args {
+            let v = match t {
+                Term::Var(v) => self.binding[v.0].expect("head variables fully bound"),
+                Term::Const(c) => ctx.structure.constant(*c),
+            };
+            self.buf.head_buf.push(v);
+        }
+        let head = rule.head.0;
+        let fresh = ctx.idb[head].lookup(&self.buf.head_buf).is_none()
+            && self.buf.scratch[head].intern(&self.buf.head_buf).1;
+        if !fresh {
+            self.buf.dups += 1;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -836,23 +942,13 @@ mod tests {
                 &s,
                 EvalOptions {
                     semi_naive: false,
-                    record_stages: true,
-                    max_stages: None,
-                    parallel: true,
+                    ..EvalOptions::default()
                 },
             );
-            let semi = Evaluator::new(&p).run(
-                &s,
-                EvalOptions {
-                    semi_naive: true,
-                    record_stages: true,
-                    max_stages: None,
-                    parallel: true,
-                },
-            );
+            let semi = Evaluator::new(&p).run(&s, EvalOptions::default());
             assert_eq!(naive.idb, semi.idb, "fixpoints differ on seed {seed}");
             assert_eq!(naive.stats, semi.stats, "stage stats differ on seed {seed}");
-            assert_eq!(naive.stages, semi.stages, "stages differ on seed {seed}");
+            assert!(naive.same_stages(&semi), "stages differ on seed {seed}");
         }
     }
 
@@ -862,21 +958,17 @@ mod tests {
         // distance exactly k: Θ¹ = E, Θ² adds distance-2 pairs, etc.
         let p = tc();
         let s = directed_path(6);
-        let r = Evaluator::new(&p).run(
-            &s,
-            EvalOptions {
-                semi_naive: true,
-                record_stages: true,
-                max_stages: None,
-                parallel: true,
-            },
-        );
+        let r = Evaluator::new(&p).run(&s, EvalOptions::default());
         assert_eq!(r.stage_count(), 5); // distances 1..=5
         assert_eq!(
             r.stats.iter().map(|s| s.new_tuples[0]).collect::<Vec<_>>(),
             vec![5, 4, 3, 2, 1]
         );
         assert!(r.converged);
+        // Stage views are cumulative prefixes of the final store.
+        assert_eq!(r.stage_len(1, 0), 5);
+        assert_eq!(r.stage_len(5, 0), 15);
+        assert!(r.stage_view(1, 0).iter().all(|t| t[1] == t[0] + 1));
     }
 
     #[test]
@@ -897,7 +989,8 @@ mod tests {
                         let expected = kv_graphalg::avoiding_path(&g, x, y, &[w]);
                         let got = t.contains(&[x, y, w][..]);
                         assert_eq!(
-                            got, expected,
+                            got,
+                            expected,
                             "T({x},{y},{w}) mismatch on seed {}",
                             50 + seed
                         );
@@ -985,10 +1078,7 @@ mod tests {
         let even = Evaluator::new(&p).goal(&s);
         // Even-length (>= 2) paths on a 5-node path: dist 2 and 4.
         let pairs: HashSet<(u32, u32)> = even.iter().map(|t| (t[0], t[1])).collect();
-        assert_eq!(
-            pairs,
-            HashSet::from([(0, 2), (1, 3), (2, 4), (0, 4)])
-        );
+        assert_eq!(pairs, HashSet::from([(0, 2), (1, 3), (2, 4), (0, 4)]));
     }
 
     #[test]
@@ -998,10 +1088,8 @@ mod tests {
         let r = Evaluator::new(&p).run(
             &s,
             EvalOptions {
-                semi_naive: true,
-                record_stages: false,
                 max_stages: Some(2),
-                parallel: true,
+                ..EvalOptions::default()
             },
         );
         assert!(!r.converged);
@@ -1017,5 +1105,91 @@ mod tests {
         let r = Evaluator::new(&p).run(&s, EvalOptions::default());
         assert!(r.converged);
         assert!(r.idb.iter().all(|rel| rel.is_empty()));
+    }
+
+    #[test]
+    fn tuple_limit_is_a_graceful_error() {
+        let p = tc();
+        let s = directed_cycle(8); // fixpoint has 64 tuples
+        let ev = Evaluator::new(&p);
+        let limited = EvalOptions {
+            limits: Limits {
+                max_tuples: Some(10),
+                max_stages: None,
+            },
+            ..EvalOptions::default()
+        };
+        match ev.try_run(&s, limited) {
+            Err(LimitExceeded::Tuples { limit: 10, reached }) => assert!(reached > 10),
+            other => panic!("expected tuple limit error, got {other:?}"),
+        }
+        // A generous budget succeeds.
+        let generous = EvalOptions {
+            limits: Limits {
+                max_tuples: Some(1000),
+                max_stages: Some(100),
+            },
+            ..EvalOptions::default()
+        };
+        let r = ev.try_run(&s, generous).unwrap();
+        assert!(r.converged);
+        assert_eq!(r.idb[0].len(), 64);
+    }
+
+    #[test]
+    fn stage_limit_is_a_graceful_error() {
+        let p = tc();
+        let s = directed_path(10);
+        let opts = EvalOptions {
+            limits: Limits {
+                max_tuples: None,
+                max_stages: Some(3),
+            },
+            ..EvalOptions::default()
+        };
+        match Evaluator::new(&p).try_run(&s, opts) {
+            Err(LimitExceeded::Stages { limit: 3 }) => {}
+            other => panic!("expected stage limit error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eval_stats_are_reported() {
+        let p = tc();
+        let s = directed_path(6);
+        let r = Evaluator::new(&p).run(&s, EvalOptions::default());
+        assert_eq!(r.eval_stats.tuples_interned, 15);
+        assert_eq!(r.eval_stats.stages, 5);
+        assert!(r.eval_stats.join_probes > 0);
+        // Naive evaluation rederives earlier stages: duplicates pile up.
+        let naive = Evaluator::new(&p).run(
+            &s,
+            EvalOptions {
+                semi_naive: false,
+                ..EvalOptions::default()
+            },
+        );
+        assert_eq!(naive.eval_stats.tuples_interned, 15);
+        assert!(naive.eval_stats.duplicate_derivations > r.eval_stats.duplicate_derivations);
+    }
+
+    #[test]
+    fn parallel_and_sequential_are_stage_identical() {
+        let p = tc();
+        for seed in 0..3 {
+            let g = random_digraph(10, 0.2, 70 + seed);
+            let s = g.to_structure();
+            let par = Evaluator::new(&p).run(&s, EvalOptions::default());
+            let seq = Evaluator::new(&p).run(
+                &s,
+                EvalOptions {
+                    parallel: false,
+                    ..EvalOptions::default()
+                },
+            );
+            assert_eq!(par.idb, seq.idb);
+            assert_eq!(par.stats, seq.stats);
+            assert!(par.same_stages(&seq));
+        }
     }
 }

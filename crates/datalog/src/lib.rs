@@ -32,6 +32,7 @@ pub mod program;
 pub mod programs;
 
 pub use ast::{IdbId, Literal, Pred, Rule, Term, VarId};
-pub use eval::{EvalOptions, EvalResult, Evaluator, StageStats};
+pub use eval::{CompiledProgram, EvalOptions, EvalResult, Evaluator, StageStats};
+pub use kv_structures::{EvalStats, LimitExceeded, Limits};
 pub use parser::{parse_program, ParseError};
 pub use program::{Program, ProgramError};

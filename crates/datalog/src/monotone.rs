@@ -43,9 +43,9 @@ pub fn extension_preserved(
     assert!(is_extension(small, big), "big must extend small");
     let goal_small = Evaluator::new(program).goal(small);
     let goal_big = Evaluator::new(program).goal(big);
-    for t in goal_small {
-        if !goal_big.contains(&t) {
-            return Err(t);
+    for t in goal_small.iter() {
+        if !goal_big.contains(t) {
+            return Err(Tuple::from(t));
         }
     }
     Ok(())
@@ -62,10 +62,10 @@ pub fn identification_preserved(
     let q = quotient(s, class_of);
     let goal_s = Evaluator::new(program).goal(s);
     let goal_q = Evaluator::new(program).goal(&q);
-    for t in goal_s {
+    for t in goal_s.iter() {
         let image: Vec<Element> = t.iter().map(|&e| class_of[e as usize]).collect();
         if !goal_q.contains(image.as_slice()) {
-            return Err(t);
+            return Err(Tuple::from(t));
         }
     }
     Ok(())

@@ -63,10 +63,10 @@ enum Tok {
     RParen,
     Comma,
     Dot,
-    Arrow,  // ":-" or "<-"
-    Eq,     // "="
-    Neq,    // "!="
-    Goal,   // "?-"
+    Arrow, // ":-" or "<-"
+    Eq,    // "="
+    Neq,   // "!="
+    Goal,  // "?-"
 }
 
 fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
@@ -209,7 +209,11 @@ impl<'a> Parser<'a> {
         Ok(Pred::Idb(IdbId(self.idbs.len() - 1)))
     }
 
-    fn term(&mut self, vars: &mut Vec<String>, var_ids: &mut HashMap<String, VarId>) -> Result<Term, ParseError> {
+    fn term(
+        &mut self,
+        vars: &mut Vec<String>,
+        var_ids: &mut HashMap<String, VarId>,
+    ) -> Result<Term, ParseError> {
         let name = self.ident()?;
         if let Some(c) = self.vocab.constant_by_name(&name) {
             return Ok(Term::Const(c));
@@ -318,9 +322,7 @@ pub fn parse_program(src: &str, vocabulary: Arc<Vocabulary>) -> Result<Program, 
                                 }
                                 name
                             }
-                            Term::Const(_) => {
-                                return Err(p.err("constant used as predicate name"))
-                            }
+                            Term::Const(_) => return Err(p.err("constant used as predicate name")),
                         };
                         let line = p.line();
                         let args = p.term_list(&mut vars, &mut var_ids)?;
@@ -358,15 +360,12 @@ pub fn parse_program(src: &str, vocabulary: Arc<Vocabulary>) -> Result<Program, 
         });
     }
     let goal = match goal_name {
-        Some(name) => IdbId(
-            p.idbs
-                .iter()
-                .position(|(n, _)| *n == name)
-                .ok_or_else(|| ParseError::Syntax {
-                    line: 0,
-                    message: format!("goal predicate {name} is not an IDB of the program"),
-                })?,
-        ),
+        Some(name) => IdbId(p.idbs.iter().position(|(n, _)| *n == name).ok_or_else(|| {
+            ParseError::Syntax {
+                line: 0,
+                message: format!("goal predicate {name} is not an IDB of the program"),
+            }
+        })?),
         None => IdbId(0),
     };
     Ok(Program::new(vocabulary, p.idbs, rules, goal)?)
@@ -375,9 +374,7 @@ pub fn parse_program(src: &str, vocabulary: Arc<Vocabulary>) -> Result<Program, 
 fn body_mentions(body: &[Literal], v: VarId) -> bool {
     body.iter().any(|l| match l {
         Literal::Atom(_, args) => args.contains(&Term::Var(v)),
-        Literal::Eq(a, b) | Literal::Neq(a, b) => {
-            *a == Term::Var(v) || *b == Term::Var(v)
-        }
+        Literal::Eq(a, b) | Literal::Neq(a, b) => *a == Term::Var(v) || *b == Term::Var(v),
     })
 }
 

@@ -286,7 +286,10 @@ mod tests {
             Rule {
                 head: IdbId(0),
                 head_args: vec![Term::Var(x), Term::Var(y)],
-                body: vec![Literal::Atom(Pred::Edb(RelId(0)), vec![Term::Var(x), Term::Var(y)])],
+                body: vec![Literal::Atom(
+                    Pred::Edb(RelId(0)),
+                    vec![Term::Var(x), Term::Var(y)],
+                )],
                 var_names: vec!["x".into(), "y".into()],
             },
             Rule {

@@ -133,7 +133,11 @@ pub fn q_kl_source(k: usize, l: usize, prefix: &str, reversed: bool) -> String {
             // Recursive: extend the path by one edge.
             let mut mid = vec!["s".to_string(), "w".to_string()];
             mid.extend(avoids.iter().cloned());
-            let mut rec = format!("{prefix}1({args}) :- {prefix}1({}), {}", mid.join(", "), e("w", "s1"));
+            let mut rec = format!(
+                "{prefix}1({args}) :- {prefix}1({}), {}",
+                mid.join(", "),
+                e("w", "s1")
+            );
             for t in &avoids {
                 let _ = write!(rec, ", s1 != {t}");
             }
@@ -344,7 +348,8 @@ mod tests {
                         if src == a || src == b || a == b {
                             continue;
                         }
-                        let expected = kv_graphalg::disjoint::has_disjoint_fan(&g, src, &[a, b], &[]);
+                        let expected =
+                            kv_graphalg::disjoint::has_disjoint_fan(&g, src, &[a, b], &[]);
                         let got = rel.contains(&[src, a, b][..]);
                         assert_eq!(got, expected, "Q2({src};{a},{b}) seed {}", 20 + seed);
                     }
@@ -423,8 +428,8 @@ mod tests {
 
     #[test]
     fn path_systems_matches_direct_fixpoint() {
-        use kv_structures::{RelId, Structure};
         use kv_structures::SplitMix64;
+        use kv_structures::{RelId, Structure};
         let p = path_systems();
         for seed in 0..6u64 {
             let mut rng = SplitMix64::seed_from_u64(seed);
@@ -432,7 +437,11 @@ mod tests {
             let mut s = Structure::new(Arc::clone(p.vocabulary()), n as usize);
             // Random rules and axioms.
             for _ in 0..18 {
-                let t = [rng.gen_range(0..n), rng.gen_range(0..n), rng.gen_range(0..n)];
+                let t = [
+                    rng.gen_range(0..n),
+                    rng.gen_range(0..n),
+                    rng.gen_range(0..n),
+                ];
                 s.insert(RelId(0), &t);
             }
             for _ in 0..2 {
@@ -457,7 +466,11 @@ mod tests {
             }
             let rel = Evaluator::new(&p).goal(&s);
             for x in 0..n {
-                assert_eq!(rel.contains(&[x][..]), acc[x as usize], "Acc({x}) seed {seed}");
+                assert_eq!(
+                    rel.contains(&[x][..]),
+                    acc[x as usize],
+                    "Acc({x}) seed {seed}"
+                );
             }
         }
     }

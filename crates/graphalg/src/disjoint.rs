@@ -41,12 +41,7 @@ pub enum DisjointFan {
 /// Requirements: targets are distinct, differ from `source`, and neither
 /// `source` nor any target is forbidden — otherwise the answer is
 /// immediately a trivial cut.
-pub fn disjoint_fan(
-    g: &Digraph,
-    source: u32,
-    targets: &[u32],
-    forbidden: &[u32],
-) -> DisjointFan {
+pub fn disjoint_fan(g: &Digraph, source: u32, targets: &[u32], forbidden: &[u32]) -> DisjointFan {
     let k = targets.len() as i64;
     // Degenerate inputs: unsatisfiable by definition.
     let mut sorted = targets.to_vec();

@@ -42,18 +42,26 @@ pub fn enumerate_simple_paths(
             keep_going = visit(path) && *count < max_paths;
         } else {
             for &v in g.successors(cur) {
-                if !on_path[v as usize]
-                    && !dfs(g, v, t, on_path, path, count, max_paths, visit) {
-                        keep_going = false;
-                        break;
-                    }
+                if !on_path[v as usize] && !dfs(g, v, t, on_path, path, count, max_paths, visit) {
+                    keep_going = false;
+                    break;
+                }
             }
         }
         path.pop();
         on_path[cur as usize] = false;
         keep_going
     }
-    dfs(g, s, t, &mut on_path, &mut path, &mut count, max_paths, visit);
+    dfs(
+        g,
+        s,
+        t,
+        &mut on_path,
+        &mut path,
+        &mut count,
+        max_paths,
+        visit,
+    );
     count
 }
 

@@ -34,7 +34,11 @@ pub fn find_homeomorphism(
     let mut uniq = distinguished.to_vec();
     uniq.sort_unstable();
     uniq.dedup();
-    assert_eq!(uniq.len(), distinguished.len(), "distinguished nodes distinct");
+    assert_eq!(
+        uniq.len(),
+        distinguished.len(),
+        "distinguished nodes distinct"
+    );
 
     // `used[v]`: v is an interior node of some chosen path. Endpoints are
     // handled separately: every distinguished node may serve as an

@@ -224,9 +224,8 @@ mod tests {
     fn characterization_exhaustive_small() {
         for n in 1..=4usize {
             // All possible directed edges, self-loops included.
-            let all_edges: Vec<(usize, usize)> = (0..n)
-                .flat_map(|i| (0..n).map(move |j| (i, j)))
-                .collect();
+            let all_edges: Vec<(usize, usize)> =
+                (0..n).flat_map(|i| (0..n).map(move |j| (i, j))).collect();
             let m = all_edges.len();
             assert!(m <= 16);
             for mask in 1u32..(1 << m) {

@@ -130,11 +130,15 @@ pub fn acyclic_game_program(pattern: &PatternSpec) -> Program {
     }
     pattern.validate().expect("valid pattern");
     let m = pattern.edges.len();
-    assert!(m <= 6, "subset construction limited to patterns with <= 6 edges");
+    assert!(
+        m <= 6,
+        "subset construction limited to patterns with <= 6 edges"
+    );
     let mut src = String::new();
     // Base: the empty pebble set.
     let _ = writeln!(src, "G0().");
-    let members = |mask: usize| -> Vec<usize> { (0..m).filter(|&e| mask & (1 << e) != 0).collect() };
+    let members =
+        |mask: usize| -> Vec<usize> { (0..m).filter(|&e| mask & (1 << e) != 0).collect() };
     for mask in 1usize..(1 << m) {
         let live = members(mask);
         let head_args: Vec<String> = live.iter().map(|&e| format!("x{e}")).collect();
@@ -265,8 +269,7 @@ mod tests {
             let g = random_dag(8, 0.3, 2300 + seed);
             let distinguished = [0u32, 6, 1, 7];
             let by_program = eval_on(&program, &g, &distinguished);
-            let by_game =
-                AcyclicGame::solve(p.clone(), &g, &distinguished).duplicator_wins();
+            let by_game = AcyclicGame::solve(p.clone(), &g, &distinguished).duplicator_wins();
             let by_brute = brute_force_homeomorphism(&p, &g, &distinguished);
             assert_eq!(by_program, by_game, "game mismatch seed {}", 2300 + seed);
             assert_eq!(by_program, by_brute, "brute mismatch seed {}", 2300 + seed);

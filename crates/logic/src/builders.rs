@@ -34,10 +34,7 @@ pub fn path_formula(edge: RelId, n: usize) -> Formula {
     let mut p = Formula::edge(edge, x, y);
     for _ in 1..n {
         // p_{k+1}(x,y) = ∃z (E(x,z) ∧ ∃x (x = z ∧ p_k(x,y)))
-        let rebind = Formula::exists(
-            x,
-            Formula::and([Formula::Eq(x.into(), z.into()), p]),
-        );
+        let rebind = Formula::exists(x, Formula::and([Formula::Eq(x.into(), z.into()), p]));
         p = Formula::exists(z, Formula::and([Formula::edge(edge, x, z), rebind]));
     }
     p
@@ -183,9 +180,9 @@ mod tests {
             let bound = 2 * 6 * 6;
             for a in 0..6u32 {
                 for b in 0..6u32 {
-                    let family: bool = (2..=bound).step_by(2).any(|n| {
-                        eval_with(&path_formula(E, n), &s, &[Some(a), Some(b)])
-                    });
+                    let family: bool = (2..=bound)
+                        .step_by(2)
+                        .any(|n| eval_with(&path_formula(E, n), &s, &[Some(a), Some(b)]));
                     let exact = has_walk_mod(&g, a, b, 0, 2);
                     assert_eq!(family, exact, "even-walk({a},{b}) seed {seed}");
                 }

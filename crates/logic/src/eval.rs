@@ -223,10 +223,7 @@ mod tests {
     fn memoization_reuses_shared_nodes() {
         // A shared subformula under two conjuncts should be evaluated once
         // per assignment of its free variables.
-        let shared = std::rc::Rc::new(Formula::exists(
-            Var(1),
-            Formula::edge(E, Var(0), Var(1)),
-        ));
+        let shared = std::rc::Rc::new(Formula::exists(Var(1), Formula::edge(E, Var(0), Var(1))));
         let f = Formula::And(vec![std::rc::Rc::clone(&shared), shared]);
         let s = directed_path(5);
         let mut ev = Evaluator::new(&s);

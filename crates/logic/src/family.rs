@@ -65,7 +65,10 @@ impl FormulaFamily {
     /// The maximum variable width over the first `bound` members — the `k`
     /// for which the infinitary disjunction lies in `L^k_{∞ω}`.
     pub fn width_upto(&self, bound: usize) -> usize {
-        (1..=bound).map(|n| self.member(n).width()).max().unwrap_or(0)
+        (1..=bound)
+            .map(|n| self.member(n).width())
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -113,8 +116,7 @@ mod tests {
             let s = g.to_structure();
             for a in 0..6u32 {
                 for b in 0..6u32 {
-                    let via_family =
-                        fam.eval_disjunction(&s, &[Some(a), Some(b)], |n| n % 2 == 0);
+                    let via_family = fam.eval_disjunction(&s, &[Some(a), Some(b)], |n| n % 2 == 0);
                     let exact = has_walk_mod(&g, a, b, 0, 2);
                     assert_eq!(via_family, exact, "({a},{b}) seed {}", 70 + seed);
                 }

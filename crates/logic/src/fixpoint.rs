@@ -21,8 +21,8 @@
 
 use crate::formula::{LTerm, Var};
 use kv_datalog::{IdbId, Literal, Pred, Program, Term};
-use kv_structures::{Element, RelId, Structure, Tuple};
-use std::collections::{HashMap, HashSet};
+use kv_structures::{Element, RelId, Structure, TupleStore};
+use std::collections::HashMap;
 use std::rc::Rc;
 
 /// A second-order (relation) variable.
@@ -89,7 +89,12 @@ impl FpFormula {
                 gs.iter().all(|g| g.polarity_ok(rel, positive))
             }
             FpFormula::Exists(_, g) | FpFormula::Forall(_, g) => g.polarity_ok(rel, positive),
-            FpFormula::Lfp { rel: inner, body, args, .. } => {
+            FpFormula::Lfp {
+                rel: inner,
+                body,
+                args,
+                ..
+            } => {
                 // Args are terms (no polarity); body polarity continues
                 // unless the inner binder shadows `rel`.
                 let _ = args;
@@ -114,12 +119,14 @@ impl FpFormula {
 }
 
 /// Evaluation environment: first-order assignment plus relation bindings.
+/// Relation variables bind interned [`TupleStore`]s, so fixpoint stages
+/// live in the same storage engine as the bottom-up Datalog evaluator.
 #[derive(Debug, Default, Clone)]
 pub struct FpEnv {
     /// `vars[i]` interprets `Var(i)`.
     pub vars: Vec<Option<Element>>,
     /// Relation-variable bindings.
-    pub rels: HashMap<RelVar, HashSet<Tuple>>,
+    pub rels: HashMap<RelVar, TupleStore>,
 }
 
 /// Evaluates a fixpoint-logic formula.
@@ -179,7 +186,12 @@ pub fn fp_eval(f: &FpFormula, s: &Structure, env: &mut FpEnv) -> bool {
             env.vars[v.0] = saved;
             all
         }
-        FpFormula::Lfp { rel, vars, body, args } => {
+        FpFormula::Lfp {
+            rel,
+            vars,
+            body,
+            args,
+        } => {
             assert!(
                 body.is_positive_in(*rel),
                 "lfp body must be positive in the bound relation variable"
@@ -191,15 +203,17 @@ pub fn fp_eval(f: &FpFormula, s: &Structure, env: &mut FpEnv) -> bool {
     }
 }
 
-/// Computes the least fixpoint relation of an `lfp` binder under `env`.
+/// Computes the least fixpoint relation of an `lfp` binder under `env`,
+/// materialized as an interned [`TupleStore`]. Convergence is the store
+/// set-equality check (id order is irrelevant).
 pub fn compute_lfp(
     rel: RelVar,
     vars: &[Var],
     body: &FpFormula,
     s: &Structure,
     env: &FpEnv,
-) -> HashSet<Tuple> {
-    let mut current: HashSet<Tuple> = HashSet::new();
+) -> TupleStore {
+    let mut current = TupleStore::new(vars.len());
     loop {
         let mut inner_env = env.clone();
         let max_var = vars.iter().map(|v| v.0).max().unwrap_or(0);
@@ -207,17 +221,17 @@ pub fn compute_lfp(
             inner_env.vars.resize(max_var + 1, None);
         }
         inner_env.rels.insert(rel, current.clone());
-        let mut next: HashSet<Tuple> = HashSet::new();
+        let mut next = TupleStore::new(vars.len());
         let mut tuple = vec![0 as Element; vars.len()];
         enumerate_tuples(s.universe_size() as Element, &mut tuple, 0, &mut |t| {
             for (i, v) in vars.iter().enumerate() {
                 inner_env.vars[v.0] = Some(t[i]);
             }
             if fp_eval(body, s, &mut inner_env) {
-                next.insert(t.to_vec().into_boxed_slice());
+                next.intern(t);
             }
         });
-        if next == current {
+        if next.set_eq(&current) {
             return current;
         }
         current = next;
@@ -371,10 +385,7 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn lfp_rejects_negative_bodies() {
         // lfp[S, x](¬S(x))(x) — not monotone.
-        let body = FpFormula::Not(Rc::new(FpFormula::Rel(
-            RelVar(0),
-            vec![LTerm::Var(Var(0))],
-        )));
+        let body = FpFormula::Not(Rc::new(FpFormula::Rel(RelVar(0), vec![LTerm::Var(Var(0))])));
         let f = FpFormula::Lfp {
             rel: RelVar(0),
             vars: vec![Var(0)],

@@ -326,10 +326,7 @@ mod tests {
         let pos = Formula::exists(Var(0), Formula::edge(E, Var(0), Var(0)));
         assert!(pos.is_existential_positive());
         assert!(pos.is_inequality_free());
-        let with_neq = Formula::and([
-            pos.clone(),
-            Formula::Neq(Var(0).into(), Var(1).into()),
-        ]);
+        let with_neq = Formula::and([pos.clone(), Formula::Neq(Var(0).into(), Var(1).into())]);
         assert!(with_neq.is_existential_positive());
         assert!(!with_neq.is_inequality_free());
         let neg = Formula::Not(Rc::new(pos.clone()));

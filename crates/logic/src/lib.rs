@@ -29,6 +29,7 @@ pub mod eval;
 pub mod family;
 pub mod fixpoint;
 pub mod formula;
+pub mod materialize;
 pub mod simplify;
 pub mod stage;
 
@@ -36,5 +37,6 @@ pub use eval::{eval_closed, eval_with, Evaluator};
 pub use family::FormulaFamily;
 pub use fixpoint::{fp_eval, program_to_lfp, FpEnv, FpFormula, RelVar};
 pub use formula::{Formula, LTerm, Var};
+pub use materialize::{compare_stages_on_shared_store, StageComparison, StageIdentityReport};
 pub use simplify::{simplify, simplify_rc};
 pub use stage::{stage_formula, StageTranslation};

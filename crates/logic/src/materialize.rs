@@ -1,0 +1,159 @@
+//! Stage identity on the shared store: Theorem 3.6, operationalized.
+//!
+//! Theorem 3.6 says every Datalog(≠) stage `Θ^n_i` is defined by an `L^k`
+//! stage formula `φ^n_i`. Because the bottom-up engine materializes every
+//! IDB into one append-only [`TupleStore`](kv_structures::TupleStore), the
+//! stage `Θ^n_i` *is* the id prefix `[0, mark)` of that store — so the two
+//! sides of the theorem can be compared **by tuple id** against the same
+//! interned arena: evaluate `φ^n_i` on every candidate tuple, look the
+//! tuple up with [`Relation::id_of`](kv_structures::Relation::id_of), and
+//! check the satisfying set is exactly the id range of the stage view. No
+//! tuples are re-boxed or re-hashed into a second representation.
+//!
+//! The experiment harness (E5) and the worked-example differential tests
+//! use [`compare_stages_on_shared_store`] as the machine-checked form of
+//! the theorem on concrete structures.
+
+use crate::eval::Evaluator;
+use crate::stage::StageTranslation;
+use kv_datalog::{EvalOptions, Evaluator as DatalogEvaluator, IdbId, Program};
+use kv_structures::{Element, Structure};
+
+/// The two sides of Theorem 3.6 at one stage, per IDB predicate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageComparison {
+    /// The (1-based) stage `n`.
+    pub stage: usize,
+    /// `|Θ^n_i|` per IDB `i`: tuples in the engine's stage view.
+    pub datalog: Vec<usize>,
+    /// Number of tuples satisfying the stage formula `φ^n_i`, per IDB.
+    pub lk: Vec<usize>,
+    /// Whether every satisfying tuple's interned id lies inside the stage
+    /// view and the counts agree — id-set equality.
+    pub identical: bool,
+}
+
+/// The result of comparing all stages of a program run against the
+/// Theorem 3.6 stage formulas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageIdentityReport {
+    /// Per-stage comparisons, stage 1 first.
+    pub stages: Vec<StageComparison>,
+    /// Whether every stage matched.
+    pub identical: bool,
+    /// The translation's variable budget (`2r + l` slots).
+    pub var_budget: usize,
+}
+
+/// Runs `program` on `s`, translates each stage to its `L^k` formula, and
+/// checks id-set equality of `Θ^n_i` and `φ^n_i` on the engine's own
+/// interned store, for every stage up to the fixpoint (or `max_stages`).
+pub fn compare_stages_on_shared_store(
+    program: &Program,
+    s: &Structure,
+    max_stages: Option<usize>,
+) -> StageIdentityReport {
+    let result = DatalogEvaluator::new(program).run(
+        s,
+        EvalOptions {
+            max_stages,
+            ..EvalOptions::default()
+        },
+    );
+    let mut translation = StageTranslation::new(program);
+    let budget = translation.var_budget();
+    let n_elems = s.universe_size() as Element;
+    let mut stages = Vec::new();
+    let mut identical = true;
+    for n in 1..=result.stage_count() {
+        let mut datalog = Vec::with_capacity(program.idb_count());
+        let mut lk = Vec::with_capacity(program.idb_count());
+        let mut stage_ok = true;
+        for i in 0..program.idb_count() {
+            let formula = translation.stage(n, IdbId(i));
+            let arity = program.idb_arity(IdbId(i));
+            let view = result.stage_view(n, i);
+            let mut ev = Evaluator::new(s);
+            let mut asg = vec![None; budget.max(1)];
+            let mut satisfying = 0usize;
+            let mut all_in_view = true;
+            let mut tuple = vec![0 as Element; arity];
+            loop {
+                for (q, &e) in tuple.iter().enumerate() {
+                    asg[q] = Some(e);
+                }
+                for slot in asg.iter_mut().skip(arity) {
+                    *slot = None;
+                }
+                if ev.eval(&formula, &mut asg) {
+                    satisfying += 1;
+                    // Id-set membership: the tuple must be interned in the
+                    // final store with an id inside this stage's prefix.
+                    let in_view = match result.idb[i].id_of(&tuple) {
+                        Some(id) => view.id_range().contains(id),
+                        None => false,
+                    };
+                    all_in_view &= in_view;
+                }
+                // Odometer over the tuple space.
+                let mut pos = 0;
+                while pos < arity {
+                    tuple[pos] += 1;
+                    if tuple[pos] < n_elems {
+                        break;
+                    }
+                    tuple[pos] = 0;
+                    pos += 1;
+                }
+                if pos == arity || arity == 0 {
+                    break;
+                }
+            }
+            datalog.push(view.len());
+            lk.push(satisfying);
+            stage_ok &= all_in_view && satisfying == view.len();
+        }
+        identical &= stage_ok;
+        stages.push(StageComparison {
+            stage: n,
+            datalog,
+            lk,
+            identical: stage_ok,
+        });
+    }
+    StageIdentityReport {
+        stages,
+        identical,
+        var_budget: budget,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kv_datalog::programs::{avoiding_path, transitive_closure};
+    use kv_structures::generators::{directed_path, random_digraph};
+
+    #[test]
+    fn tc_stages_are_id_identical() {
+        let p = transitive_closure();
+        let report = compare_stages_on_shared_store(&p, &directed_path(5), None);
+        assert!(report.identical);
+        assert_eq!(report.stages.len(), 4);
+        // Per-stage counts on the path: cumulative distance-<=n pairs.
+        assert_eq!(report.stages[0].datalog, vec![4]);
+        assert_eq!(report.stages[0].lk, vec![4]);
+        assert_eq!(report.stages[3].datalog, vec![10]);
+    }
+
+    #[test]
+    fn avoiding_path_stages_are_id_identical() {
+        let p = avoiding_path();
+        let s = random_digraph(4, 0.3, 42).to_structure();
+        let report = compare_stages_on_shared_store(&p, &s, Some(3));
+        assert!(report.identical);
+        for c in &report.stages {
+            assert_eq!(c.datalog, c.lk);
+        }
+    }
+}

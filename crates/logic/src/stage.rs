@@ -123,22 +123,16 @@ impl<'p> StageTranslation<'p> {
             let mut conjuncts: Vec<Formula> = Vec::new();
             // Head bridging: w_p = head-term_p.
             for (p, t) in rule.head_args.iter().enumerate() {
-                conjuncts.push(Formula::Eq(
-                    self.w_slot(p).into(),
-                    self.term_to_lterm(t),
-                ));
+                conjuncts.push(Formula::Eq(self.w_slot(p).into(), self.term_to_lterm(t)));
             }
             // Body.
             for lit in &rule.body {
                 conjuncts.push(match lit {
-                    Literal::Atom(Pred::Edb(rel), args) => Formula::Atom(
-                        *rel,
-                        args.iter().map(|t| self.term_to_lterm(t)).collect(),
-                    ),
-                    Literal::Atom(Pred::Idb(j), args) => self.bridge(*j, args, prev),
-                    Literal::Eq(a, b) => {
-                        Formula::Eq(self.term_to_lterm(a), self.term_to_lterm(b))
+                    Literal::Atom(Pred::Edb(rel), args) => {
+                        Formula::Atom(*rel, args.iter().map(|t| self.term_to_lterm(t)).collect())
                     }
+                    Literal::Atom(Pred::Idb(j), args) => self.bridge(*j, args, prev),
+                    Literal::Eq(a, b) => Formula::Eq(self.term_to_lterm(a), self.term_to_lterm(b)),
                     Literal::Neq(a, b) => {
                         Formula::Neq(self.term_to_lterm(a), self.term_to_lterm(b))
                     }
@@ -212,19 +206,11 @@ mod tests {
     /// Checks that φ^n defines Θ^n exactly, for every stage until the
     /// fixpoint, on the given structure.
     fn assert_stages_match(program: &Program, s: &Structure) {
-        let result = DatalogEvaluator::new(program).run(
-            s,
-            EvalOptions {
-                semi_naive: true,
-                record_stages: true,
-                max_stages: None,
-                parallel: true,
-            },
-        );
+        let result = DatalogEvaluator::new(program).run(s, EvalOptions::default());
         let mut translation = StageTranslation::new(program);
         let budget = translation.var_budget();
         let n_elems = s.universe_size() as Element;
-        for (stage_idx, snapshot) in result.stages.iter().enumerate() {
+        for stage_idx in 0..result.stage_count() {
             let n = stage_idx + 1;
             #[allow(clippy::needless_range_loop)]
             for i in 0..program.idb_count() {
@@ -241,11 +227,8 @@ mod tests {
                         asg[q] = Some(e);
                     }
                     let by_formula = ev.eval(&formula, &mut asg);
-                    let by_stages = snapshot[i].contains(tuple.as_slice());
-                    assert_eq!(
-                        by_formula, by_stages,
-                        "stage {n}, IDB {i}, tuple {tuple:?}"
-                    );
+                    let by_stages = result.stage_view(n, i).contains(&tuple);
+                    assert_eq!(by_formula, by_stages, "stage {n}, IDB {i}, tuple {tuple:?}");
                 }
             }
         }

@@ -94,8 +94,6 @@ fn stage_formula_matches_stages() {
             let result = Evaluator::new(&program).run(
                 &s,
                 EvalOptions {
-                    semi_naive: true,
-                    record_stages: true,
                     max_stages: Some(3),
                     ..EvalOptions::default()
                 },
@@ -103,7 +101,7 @@ fn stage_formula_matches_stages() {
             let mut translation = StageTranslation::new(&program);
             let goal = program.goal();
             let arity = program.idb_arity(goal);
-            for (idx, snapshot) in result.stages.iter().enumerate() {
+            for idx in 0..result.stage_count() {
                 let formula = translation.stage(idx + 1, goal);
                 let mut ev = LogicEvaluator::new(&s);
                 let budget = translation.var_budget();
@@ -117,7 +115,7 @@ fn stage_formula_matches_stages() {
                     }
                     assert_eq!(
                         ev.eval(&formula, &mut asg),
-                        snapshot[goal.0].contains(tuple.as_slice()),
+                        result.stage_view(idx + 1, goal.0).contains(&tuple),
                         "seed {seed}: stage {} tuple {:?}",
                         idx + 1,
                         tuple

@@ -490,8 +490,7 @@ mod tests {
         for seed in 0..40 {
             let g = random_dag(9, 0.25, 900 + seed);
             let distinguished = [0u32, 7, 1, 8];
-            let game =
-                AcyclicGame::solve(PatternSpec::two_disjoint_edges(), &g, &distinguished);
+            let game = AcyclicGame::solve(PatternSpec::two_disjoint_edges(), &g, &distinguished);
             assert_eq!(
                 game.duplicator_wins(),
                 game.single_player_max_level(),
@@ -520,8 +519,7 @@ mod tests {
                 (PatternSpec::path_length_two(), vec![0u32, 6, 7]),
             ] {
                 let game = AcyclicGame::solve(pattern.clone(), &g, &distinguished);
-                let recursive =
-                    AcyclicGame::solve_by_recursion(pattern, &g, &distinguished);
+                let recursive = AcyclicGame::solve_by_recursion(pattern, &g, &distinguished);
                 assert_eq!(
                     game.winner(),
                     recursive,

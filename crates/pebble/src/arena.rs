@@ -167,7 +167,10 @@ where
             // Parallel fan-out: expansion is pure, so farm it out per
             // frontier position; interning below stays sequential and in
             // frontier order, keeping ids deterministic.
-            let keys: Vec<K> = frontier.iter().map(|&id| arena.nodes[id].key.clone()).collect();
+            let keys: Vec<K> = frontier
+                .iter()
+                .map(|&id| arena.nodes[id].key.clone())
+                .collect();
             let expansions = par_map(&keys, |_, key| spec.expand(key, level));
 
             let mut next: Vec<usize> = Vec::new();
@@ -196,7 +199,9 @@ where
                                         id
                                     }
                                 };
-                                arena.nodes[id].parents.push((fid, ch.clone(), reply.clone()));
+                                arena.nodes[id]
+                                    .parents
+                                    .push((fid, ch.clone(), reply.clone()));
                                 id
                             }
                         };
@@ -421,7 +426,13 @@ mod tests {
 
     #[test]
     fn chain_survives_when_leaf_survives() {
-        let arena = Arena::build_and_solve(&Count { max: 3, closure: true }, 0usize);
+        let arena = Arena::build_and_solve(
+            &Count {
+                max: 3,
+                closure: true,
+            },
+            0usize,
+        );
         assert_eq!(arena.len(), 4);
         // Leaf 3 is unexpanded, hence alive; everything upstream follows.
         for id in 0..4 {
@@ -507,8 +518,14 @@ mod tests {
         let arena = Arena::build_and_solve(&DeadEnd, 0usize);
         assert!(!arena.is_alive(1), "stuck by challenge 0");
         assert!(!arena.is_alive(0), "its predecessor fails forth");
-        assert!(!arena.is_alive(2), "closure kills the dead node's extension");
-        assert!(matches!(arena.death(2), Some(Death::Retreat { parent: 1, .. })));
+        assert!(
+            !arena.is_alive(2),
+            "closure kills the dead node's extension"
+        );
+        assert!(matches!(
+            arena.death(2),
+            Some(Death::Retreat { parent: 1, .. })
+        ));
         assert_eq!(arena.alive_count(), 0);
     }
 
@@ -536,7 +553,10 @@ mod tests {
         let arena = Arena::build_and_solve(&DeadEndOpen, 0usize);
         assert!(!arena.is_alive(1));
         assert!(!arena.is_alive(0));
-        assert!(arena.is_alive(2), "backward induction leaves successors alone");
+        assert!(
+            arena.is_alive(2),
+            "backward induction leaves successors alone"
+        );
     }
 
     #[test]

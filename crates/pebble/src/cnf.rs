@@ -115,10 +115,9 @@ impl CnfFormula {
     /// Evaluates under an assignment (`assignment[v]` = value of `x_{v+1}`).
     pub fn eval(&self, assignment: &[bool]) -> bool {
         assert_eq!(assignment.len(), self.vars);
-        self.clauses.iter().all(|c| {
-            c.iter()
-                .any(|l| assignment[l.var] == l.positive)
-        })
+        self.clauses
+            .iter()
+            .all(|c| c.iter().any(|l| assignment[l.var] == l.positive))
     }
 
     /// Brute-force satisfiability; returns a satisfying assignment if one
@@ -237,7 +236,9 @@ mod tests {
             assert!(f.brute_force_sat().is_none(), "φ_{k} must be unsatisfiable");
             // Every literal occurs in exactly half the clauses.
             let counts = f.occurrence_counts();
-            assert!(counts.iter().all(|&c| c == (1 << k) / 2 || k == 1 && c == 1));
+            assert!(counts
+                .iter()
+                .all(|&c| c == (1 << k) / 2 || k == 1 && c == 1));
         }
     }
 

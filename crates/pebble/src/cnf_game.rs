@@ -126,7 +126,12 @@ impl<'f> CnfGame<'f> {
     pub fn solve(formula: &'f CnfFormula, k: usize) -> Self {
         assert!(k >= 1);
         let challenges: Vec<Challenge> = (0..formula.var_count())
-            .flat_map(|v| [Challenge::Literal(Lit::pos(v)), Challenge::Literal(Lit::neg(v))])
+            .flat_map(|v| {
+                [
+                    Challenge::Literal(Lit::pos(v)),
+                    Challenge::Literal(Lit::neg(v)),
+                ]
+            })
             .chain((0..formula.clause_count()).map(Challenge::Clause))
             .collect();
         let spec = CnfSpec {

@@ -70,8 +70,7 @@ pub fn play_cnf_game(
                 }
                 slots[slot] = Some((challenge, lit));
                 // Consistency: no literal both true and false.
-                let commitments: Vec<Lit> =
-                    slots.iter().flatten().map(|&(_, l)| l).collect();
+                let commitments: Vec<Lit> = slots.iter().flatten().map(|&(_, l)| l).collect();
                 for (i, &a) in commitments.iter().enumerate() {
                     for &b in &commitments[i + 1..] {
                         if a == b.complement() {
@@ -143,7 +142,12 @@ impl RandomCnfSpoiler {
     /// Creates a random Spoiler for `formula`.
     pub fn new(formula: &CnfFormula, seed: u64) -> Self {
         let challenges = (0..formula.var_count())
-            .flat_map(|v| [Challenge::Literal(Lit::pos(v)), Challenge::Literal(Lit::neg(v))])
+            .flat_map(|v| {
+                [
+                    Challenge::Literal(Lit::pos(v)),
+                    Challenge::Literal(Lit::neg(v)),
+                ]
+            })
             .chain((0..formula.clause_count()).map(Challenge::Clause))
             .collect();
         Self {

@@ -296,9 +296,7 @@ impl<'s> ExistentialGame<'s> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use kv_structures::generators::{
-        directed_path, two_crossing_paths, two_disjoint_paths,
-    };
+    use kv_structures::generators::{directed_path, two_crossing_paths, two_disjoint_paths};
     use kv_structures::HomKind;
 
     /// Example 4.4: short path into long path — Duplicator wins for all k.

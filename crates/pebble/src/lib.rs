@@ -37,7 +37,10 @@ pub mod win_iteration;
 pub use acyclic::{AcyclicGame, PatternSpec};
 pub use cnf::{clause, CnfFormula, Lit};
 pub use cnf_game::CnfGame;
-pub use cnf_play::{play_cnf_game, AssignmentDuplicator, CnfDuplicator, CnfFamilyDuplicator, CnfMove, CnfSpoiler, RandomCnfSpoiler};
+pub use cnf_play::{
+    play_cnf_game, AssignmentDuplicator, CnfDuplicator, CnfFamilyDuplicator, CnfMove, CnfSpoiler,
+    RandomCnfSpoiler,
+};
 pub use game::{DeathReason, ExistentialGame, Winner};
 pub use play::{
     play_game, DuplicatorStrategy, ExhaustiveSpoiler, FamilyDuplicator, GamePosition,

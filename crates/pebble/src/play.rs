@@ -12,8 +12,8 @@
 //! exhaustive and randomized Spoilers and confirm they never lose.
 
 use crate::game::{DeathReason, ExistentialGame, Winner};
-use kv_structures::{Element, HomKind, PartialMap, Structure};
 use kv_structures::SplitMix64;
+use kv_structures::{Element, HomKind, PartialMap, Structure};
 
 /// A Spoiler move: place pebble `slot` on element `on` of `A`, or pick the
 /// pebble of `slot` up.
@@ -128,7 +128,12 @@ pub fn play_game(
 
 /// Is the position's induced map a partial homomorphism of the right kind
 /// (constants included)?
-pub fn position_valid(position: &GamePosition, a: &Structure, b: &Structure, kind: HomKind) -> bool {
+pub fn position_valid(
+    position: &GamePosition,
+    a: &Structure,
+    b: &Structure,
+    kind: HomKind,
+) -> bool {
     match position.to_map(a, b) {
         None => false,
         Some(map) => kv_structures::hom::is_partial_hom(&map, a, b, kind),
@@ -227,11 +232,7 @@ impl SpoilerStrategy for SolverSpoiler<'_, '_> {
         let a = self.game.structure_a();
         let b = self.game.structure_b();
         let fallback = SpoilerMove::Place {
-            slot: position
-                .slots
-                .iter()
-                .position(Option::is_none)
-                .unwrap_or(0),
+            slot: position.slots.iter().position(Option::is_none).unwrap_or(0),
             on: 0,
         };
         let Some(map) = position.to_map(a, b) else {
@@ -416,9 +417,7 @@ pub fn validate_by_play(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use kv_structures::generators::{
-        directed_path, two_crossing_paths, two_disjoint_paths,
-    };
+    use kv_structures::generators::{directed_path, two_crossing_paths, two_disjoint_paths};
 
     #[test]
     fn family_duplicator_survives_random_spoilers() {
@@ -447,9 +446,7 @@ mod tests {
         let a = directed_path(3);
         let b = directed_path(6);
         let mut sp = RandomSpoiler::new(3, 99);
-        let mut dup = HomomorphismDuplicator {
-            h: vec![1, 2, 3],
-        };
+        let mut dup = HomomorphismDuplicator { h: vec![1, 2, 3] };
         let w = play_game(&a, &b, 3, HomKind::OneToOne, &mut sp, &mut dup, 300);
         assert_eq!(w, Winner::Duplicator);
     }

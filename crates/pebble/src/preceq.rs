@@ -104,8 +104,7 @@ mod tests {
             let mut all_preserved = true;
             for n in 1..=6 {
                 // ∃v0 ∃v1 p_n(v0, v1): "some walk of length n exists".
-                let sentence =
-                    Formula::exists_many([Var(0), Var(1)], path_formula(E, n));
+                let sentence = Formula::exists_many([Var(0), Var(1)], path_formula(E, n));
                 assert!(sentence.width() <= 3);
                 let in_a = eval_closed(&sentence, &a);
                 let in_b = eval_closed(&sentence, &b);
@@ -158,7 +157,10 @@ mod tests {
             no: two_crossing_paths(1),
             k: 3,
         };
-        assert!(!w3.verify_game(), "Example 4.5: Spoiler wins with 3 pebbles");
+        assert!(
+            !w3.verify_game(),
+            "Example 4.5: Spoiler wins with 3 pebbles"
+        );
     }
 
     #[test]

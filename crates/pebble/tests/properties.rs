@@ -155,7 +155,11 @@ fn cnf_game_laws() {
         // Unsat with m variables: Spoiler wins with m+1 pebbles.
         if !sat {
             let km = f.var_count() + 1;
-            assert_eq!(CnfGame::solve(&f, km).winner(), Winner::Spoiler, "seed {seed}");
+            assert_eq!(
+                CnfGame::solve(&f, km).winner(),
+                Winner::Spoiler,
+                "seed {seed}"
+            );
         }
     }
 }

@@ -47,11 +47,7 @@ pub fn even_path_instance(g: &Digraph, s: [u32; 4]) -> EvenPathInstance {
 
 /// Transports a disjoint-paths witness of `G` into an even simple path of
 /// `G*` (the constructive direction).
-pub fn transport_witness(
-    instance: &EvenPathInstance,
-    p1: &[u32],
-    p2: &[u32],
-) -> Vec<u32> {
+pub fn transport_witness(instance: &EvenPathInstance, p1: &[u32], p2: &[u32]) -> Vec<u32> {
     let double = |path: &[u32], out: &mut Vec<u32>| {
         for w in path.windows(2) {
             let mid = instance
@@ -307,8 +303,7 @@ mod tests {
                     witness: &d,
                     inner: w.duplicator(),
                 };
-                let outcome =
-                    play_game(&d.a, &d.b, k, HomKind::OneToOne, &mut sp, &mut dup, 250);
+                let outcome = play_game(&d.a, &d.b, k, HomKind::OneToOne, &mut sp, &mut dup, 250);
                 assert_eq!(outcome, Winner::Duplicator, "k={k} seed {seed}");
             }
         }
@@ -331,11 +326,13 @@ mod tests {
         let mut g = Digraph::new(2);
         g.add_edge(0, 1);
         let inst = even_path_instance(&g, [0, 1, 0, 1]);
-        assert!(!inst.graph.has_edge(0, 1) || {
-            // The only direct 0 -> 1 edge allowed is the s2 -> s3 extra,
-            // which here is 1 -> 0; so 0 -> 1 must be two hops.
-            false
-        });
+        assert!(
+            !inst.graph.has_edge(0, 1) || {
+                // The only direct 0 -> 1 edge allowed is the s2 -> s3 extra,
+                // which here is 1 -> 0; so 0 -> 1 must be two hops.
+                false
+            }
+        );
         let (_, _, mid) = inst.midpoints[0];
         assert!(inst.graph.has_edge(0, mid));
         assert!(inst.graph.has_edge(mid, 1));

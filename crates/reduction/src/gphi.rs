@@ -218,7 +218,11 @@ impl GPhi {
         for v in 0..self.formula.var_count() {
             bottom.push(self.var_tops[v]);
             // Column of the false literal.
-            let false_lit = if assignment[v] { Lit::neg(v) } else { Lit::pos(v) };
+            let false_lit = if assignment[v] {
+                Lit::neg(v)
+            } else {
+                Lit::pos(v)
+            };
             for &id in &self.columns[false_lit.index()] {
                 bottom.extend(self.switches[id].switch.path_nodes(SwitchPath::QGH));
             }

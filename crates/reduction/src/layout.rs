@@ -111,7 +111,11 @@ impl GPhi {
             out.push(BottomPos::Fixed(self.var_tops[v]));
             for occ in 0..col_len {
                 for offset in 0..=6 {
-                    out.push(BottomPos::Column { var: v, occ, offset });
+                    out.push(BottomPos::Column {
+                        var: v,
+                        occ,
+                        offset,
+                    });
                 }
             }
             out.push(BottomPos::Fixed(self.var_bottoms[v]));

@@ -354,8 +354,9 @@ mod tests {
     #[test]
     fn each_family_is_internally_disjoint() {
         let (_, sw) = Switch::standalone();
-        let fam =
-            |paths: [SwitchPath; 3]| -> Vec<Vec<u32>> { paths.iter().map(|&p| sw.path_nodes(p).to_vec()).collect() };
+        let fam = |paths: [SwitchPath; 3]| -> Vec<Vec<u32>> {
+            paths.iter().map(|&p| sw.path_nodes(p).to_vec()).collect()
+        };
         for family in [
             fam([SwitchPath::PCA, SwitchPath::PBD, SwitchPath::PEF]),
             fam([SwitchPath::QCA, SwitchPath::QBD, SwitchPath::QGH]),

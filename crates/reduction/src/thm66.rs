@@ -386,18 +386,16 @@ mod tests {
     #[test]
     fn simulation_strategy_survives_exhaustive_spoiler_k1() {
         let w = Thm66Witness::new(1);
-        let loss = ExhaustiveSpoiler::refute(&w.a, &w.b, 1, HomKind::OneToOne, 4, || {
-            w.duplicator()
-        });
+        let loss =
+            ExhaustiveSpoiler::refute(&w.a, &w.b, 1, HomKind::OneToOne, 4, || w.duplicator());
         assert!(loss.is_none(), "strategy lost: {loss:?}");
     }
 
     #[test]
     fn simulation_strategy_survives_exhaustive_spoiler_k2_shallow() {
         let w = Thm66Witness::new(2);
-        let loss = ExhaustiveSpoiler::refute(&w.a, &w.b, 2, HomKind::OneToOne, 2, || {
-            w.duplicator()
-        });
+        let loss =
+            ExhaustiveSpoiler::refute(&w.a, &w.b, 2, HomKind::OneToOne, 2, || w.duplicator());
         assert!(loss.is_none(), "strategy lost: {loss:?}");
     }
 }

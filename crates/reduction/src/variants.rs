@@ -141,14 +141,8 @@ impl<'w> VariantWitness<'w> {
     pub fn h3(base: &'w Thm66Witness) -> Self {
         let ca = base.a.constant_values().to_vec();
         let cb = base.b.constant_values().to_vec();
-        let class_a = merge_classes(
-            base.a.universe_size(),
-            &[&[ca[1], ca[2]], &[ca[3], ca[0]]],
-        );
-        let class_b = merge_classes(
-            base.b.universe_size(),
-            &[&[cb[1], cb[2]], &[cb[3], cb[0]]],
-        );
+        let class_a = merge_classes(base.a.universe_size(), &[&[ca[1], ca[2]], &[ca[3], ca[0]]]);
+        let class_b = merge_classes(base.b.universe_size(), &[&[cb[1], cb[2]], &[cb[3], cb[0]]]);
         let names = ["s1", "s2"];
         let a = quotient_with_constants(&base.a, &class_a, &names, &[ca[0], ca[1]]);
         let b = quotient_with_constants(&base.b, &class_b, &names, &[cb[0], cb[1]]);
@@ -189,10 +183,7 @@ impl DuplicatorStrategy for VariantDuplicator<'_> {
         let mut lifted = GamePosition::new(position.slots.len());
         for (i, s) in position.slots.iter().enumerate() {
             if let Some((qa, qb)) = s {
-                lifted.slots[i] = Some((
-                    w.pre_a[*qa as usize],
-                    w.pre_b[*qb as usize],
-                ));
+                lifted.slots[i] = Some((w.pre_a[*qa as usize], w.pre_b[*qb as usize]));
             }
         }
         let base_a = w.pre_a[a as usize];
@@ -366,7 +357,15 @@ mod tests {
                 lift: &lift,
                 inner: base.duplicator(),
             };
-            let w = play_game(&lift.a, &lift.b, 1, HomKind::OneToOne, &mut sp, &mut dup, 200);
+            let w = play_game(
+                &lift.a,
+                &lift.b,
+                1,
+                HomKind::OneToOne,
+                &mut sp,
+                &mut dup,
+                200,
+            );
             assert_eq!(w, Winner::Duplicator, "seed {seed}");
         }
     }

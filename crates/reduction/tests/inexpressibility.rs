@@ -100,10 +100,10 @@ fn simulation_strategy_boundary_at_k_plus_1() {
     // LAST switch in chain order (the first block after s1): offsets 1..=5
     // are its c-a interior. Its literal is the second clause's literal.
     let top_interior = 2u32; // inside the first traversed switch
-    // Bottom path: the clause segments sit at the very end. The bottom
-    // layout is: s3, 2 switches * 7, T, column (7), B, then per clause:
-    // n_j + 7 nodes; total bottom_len. The first clause segment's interior
-    // starts right after n_0.
+                             // Bottom path: the clause segments sit at the very end. The bottom
+                             // layout is: s3, 2 switches * 7, T, column (7), B, then per clause:
+                             // n_j + 7 nodes; total bottom_len. The first clause segment's interior
+                             // starts right after n_0.
     let bottom_len = w.bottom_len();
     // Positions (from the end): s4 is last, n_L second-to-last, the last
     // clause's 7-node segment before that. Probe both clause segments; one
@@ -113,10 +113,19 @@ fn simulation_strategy_boundary_at_k_plus_1() {
 
     let mut spoiler = Scripted {
         moves: vec![
-            SpoilerMove::Place { slot: 0, on: 1 + top_interior },
-            SpoilerMove::Place { slot: 1, on: clause1_interior },
+            SpoilerMove::Place {
+                slot: 0,
+                on: 1 + top_interior,
+            },
+            SpoilerMove::Place {
+                slot: 1,
+                on: clause1_interior,
+            },
             SpoilerMove::Remove { slot: 1 },
-            SpoilerMove::Place { slot: 1, on: clause2_interior },
+            SpoilerMove::Place {
+                slot: 1,
+                on: clause2_interior,
+            },
         ],
         next: 0,
     };

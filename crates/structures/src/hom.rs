@@ -143,9 +143,7 @@ impl PartialMap {
 
     /// Whether `self` is a subfunction of `other` (as sets of pairs).
     pub fn is_subfunction_of(&self, other: &Self) -> bool {
-        self.pairs
-            .iter()
-            .all(|&(a, b)| other.get(a) == Some(b))
+        self.pairs.iter().all(|&(a, b)| other.get(a) == Some(b))
     }
 
     /// Applies the map to a tuple. Returns `None` if some component is
@@ -196,15 +194,14 @@ pub struct TupleIndex {
 impl TupleIndex {
     /// Builds the index for a structure.
     pub fn build(s: &Structure) -> Self {
-        let mut by_element: Vec<Vec<(RelId, Box<[Element]>)>> =
-            vec![Vec::new(); s.universe_size()];
+        let mut by_element: Vec<Vec<(RelId, Box<[Element]>)>> = vec![Vec::new(); s.universe_size()];
         for rel in s.vocabulary().relations() {
             for t in s.relation(rel).iter() {
                 let mut seen: Vec<Element> = Vec::with_capacity(t.len());
                 for &x in t.iter() {
                     if !seen.contains(&x) {
                         seen.push(x);
-                        by_element[x as usize].push((rel, t.clone()));
+                        by_element[x as usize].push((rel, Box::from(t)));
                     }
                 }
             }
@@ -389,7 +386,11 @@ pub fn find_isomorphism(a: &Structure, b: &Structure) -> Option<Vec<Element>> {
             let back_ok = index_b.incident(y).iter().all(|(rel, t)| {
                 let mut pre = Vec::with_capacity(t.len());
                 for &e in t.iter() {
-                    let p = if e == y { Some(x) } else { inverse.get(&e).copied() };
+                    let p = if e == y {
+                        Some(x)
+                    } else {
+                        inverse.get(&e).copied()
+                    };
                     match p {
                         Some(v) => pre.push(v),
                         None => return true, // not yet total; checked later

@@ -12,71 +12,148 @@
 //! `nodes` must come first; each following bare line is an edge; an
 //! optional `distinguished` line lists the distinguished nodes in order.
 //! Used by the CLI and handy for ad-hoc experiments.
+//!
+//! Parsing is total: malformed input yields a structured
+//! [`DigraphParseError`] carrying the 1-based line and column of the
+//! offending token — never a panic (property-tested on arbitrary input).
 
 use crate::graph::Digraph;
+use std::fmt;
 use std::fmt::Write as _;
 
+/// A parse failure with source position context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DigraphParseError {
+    /// 1-based line of the offending token (0 for whole-input errors).
+    pub line: usize,
+    /// 1-based column of the offending token (0 for whole-line errors).
+    pub col: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl DigraphParseError {
+    fn at(line: usize, col: usize, message: impl Into<String>) -> Self {
+        Self {
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for DigraphParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.line, self.col) {
+            (0, _) => write!(f, "{}", self.message),
+            (l, 0) => write!(f, "line {l}: {}", self.message),
+            (l, c) => write!(f, "line {l}, col {c}: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for DigraphParseError {}
+
+/// Whitespace-separated tokens of a line, each with its 1-based column.
+fn tokens(line: &str) -> impl Iterator<Item = (usize, &str)> {
+    line.split_whitespace().map(move |tok| {
+        // Safe: split_whitespace yields subslices of `line`.
+        let col = tok.as_ptr() as usize - line.as_ptr() as usize + 1;
+        (col, tok)
+    })
+}
+
+fn parse_u32(lineno: usize, col: usize, tok: &str, what: &str) -> Result<u32, DigraphParseError> {
+    tok.parse()
+        .map_err(|e| DigraphParseError::at(lineno, col, format!("invalid {what} {tok:?}: {e}")))
+}
+
 /// Parses the edge-list format.
-pub fn parse_digraph(text: &str) -> Result<Digraph, String> {
+pub fn parse_digraph(text: &str) -> Result<Digraph, DigraphParseError> {
     let mut graph: Option<Digraph> = None;
-    for (lineno, raw) in text.lines().enumerate() {
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let mut parts = line.split_whitespace();
-        let head = parts.next().expect("nonempty line");
+        let mut parts = tokens(raw);
+        let Some((head_col, head)) = parts.next() else {
+            continue; // unreachable after the trim check, but never panic
+        };
         match head {
             "nodes" => {
                 if graph.is_some() {
-                    return Err(format!("line {}: duplicate 'nodes'", lineno + 1));
+                    return Err(DigraphParseError::at(lineno, head_col, "duplicate 'nodes'"));
                 }
-                let n: usize = parts
-                    .next()
-                    .ok_or_else(|| format!("line {}: missing node count", lineno + 1))?
-                    .parse()
-                    .map_err(|e| format!("line {}: {e}", lineno + 1))?;
-                if parts.next().is_some() {
-                    return Err(format!("line {}: trailing tokens", lineno + 1));
+                let Some((col, tok)) = parts.next() else {
+                    return Err(DigraphParseError::at(lineno, 0, "missing node count"));
+                };
+                let n = parse_u32(lineno, col, tok, "node count")? as usize;
+                if let Some((col, tok)) = parts.next() {
+                    return Err(DigraphParseError::at(
+                        lineno,
+                        col,
+                        format!("trailing token {tok:?}"),
+                    ));
                 }
                 graph = Some(Digraph::new(n));
             }
             "distinguished" => {
-                let g = graph
-                    .as_mut()
-                    .ok_or_else(|| format!("line {}: 'nodes' must come first", lineno + 1))?;
-                let nodes: Result<Vec<u32>, _> = parts.map(str::parse).collect();
-                let nodes = nodes.map_err(|e| format!("line {}: {e}", lineno + 1))?;
+                let g = graph.as_mut().ok_or_else(|| {
+                    DigraphParseError::at(lineno, head_col, "'nodes' must come first")
+                })?;
                 let n = g.node_count() as u32;
-                if nodes.iter().any(|&v| v >= n) {
-                    return Err(format!("line {}: distinguished node out of range", lineno + 1));
+                let mut nodes = Vec::new();
+                for (col, tok) in parts {
+                    let v = parse_u32(lineno, col, tok, "distinguished node")?;
+                    if v >= n {
+                        return Err(DigraphParseError::at(
+                            lineno,
+                            col,
+                            format!("distinguished node {v} out of range (< {n})"),
+                        ));
+                    }
+                    nodes.push(v);
                 }
                 g.set_distinguished(nodes);
             }
-            u => {
-                let g = graph
-                    .as_mut()
-                    .ok_or_else(|| format!("line {}: 'nodes' must come first", lineno + 1))?;
-                let u: u32 = u
-                    .parse()
-                    .map_err(|e| format!("line {}: {e}", lineno + 1))?;
-                let v: u32 = parts
-                    .next()
-                    .ok_or_else(|| format!("line {}: missing edge head", lineno + 1))?
-                    .parse()
-                    .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            u_tok => {
+                let g = graph.as_mut().ok_or_else(|| {
+                    DigraphParseError::at(lineno, head_col, "'nodes' must come first")
+                })?;
                 let n = g.node_count() as u32;
-                if u >= n || v >= n {
-                    return Err(format!("line {}: edge ({u},{v}) out of range", lineno + 1));
+                let u = parse_u32(lineno, head_col, u_tok, "edge tail")?;
+                let Some((v_col, v_tok)) = parts.next() else {
+                    return Err(DigraphParseError::at(lineno, 0, "missing edge head"));
+                };
+                let v = parse_u32(lineno, v_col, v_tok, "edge head")?;
+                if u >= n {
+                    return Err(DigraphParseError::at(
+                        lineno,
+                        head_col,
+                        format!("edge ({u},{v}) out of range (< {n})"),
+                    ));
                 }
-                if parts.next().is_some() {
-                    return Err(format!("line {}: trailing tokens", lineno + 1));
+                if v >= n {
+                    return Err(DigraphParseError::at(
+                        lineno,
+                        v_col,
+                        format!("edge ({u},{v}) out of range (< {n})"),
+                    ));
+                }
+                if let Some((col, tok)) = parts.next() {
+                    return Err(DigraphParseError::at(
+                        lineno,
+                        col,
+                        format!("trailing token {tok:?}"),
+                    ));
                 }
                 g.add_edge(u, v);
             }
         }
     }
-    graph.ok_or_else(|| "missing 'nodes' line".into())
+    graph.ok_or_else(|| DigraphParseError::at(0, 0, "missing 'nodes' line"))
 }
 
 /// Serializes a digraph to the edge-list format.
@@ -128,5 +205,25 @@ mod tests {
         assert!(parse_digraph("nodes 2\nnodes 3\n").is_err());
         assert!(parse_digraph("").is_err());
         assert!(parse_digraph("nodes 2\n0 1 9\n").is_err()); // trailing token
+    }
+
+    #[test]
+    fn errors_carry_line_and_column() {
+        let e = parse_digraph("nodes 3\n0 1\n0 zap\n").unwrap_err();
+        assert_eq!((e.line, e.col), (3, 3));
+        assert!(e.to_string().contains("line 3, col 3"));
+        assert!(e.to_string().contains("zap"));
+
+        let e = parse_digraph("nodes 3\n  0 1 extra\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert_eq!(e.col, 7); // column of "extra" in the raw line
+        assert!(e.message.contains("extra"));
+
+        let e = parse_digraph("nodes 2\ndistinguished 0 9\n").unwrap_err();
+        assert_eq!((e.line, e.col), (2, 17));
+
+        let e = parse_digraph("").unwrap_err();
+        assert_eq!(e.line, 0);
+        assert!(e.to_string().contains("missing 'nodes'"));
     }
 }

@@ -11,6 +11,8 @@
 //! - [`Vocabulary`]: relation symbols with arities plus constant symbols;
 //! - [`Structure`]: a universe `{0, …, n-1}` together with an interpretation
 //!   of every symbol;
+//! - [`TupleStore`]: the shared interned-tuple storage engine backing every
+//!   relation representation in the workspace ([`store`]);
 //! - [`PartialMap`]: a partial function between two universes, with the
 //!   homomorphism checks used by the pebble games ([`hom`]);
 //! - [`Digraph`]: a thin directed-graph view used throughout the case study
@@ -22,18 +24,22 @@
 
 pub mod generators;
 pub mod graph;
-pub mod io;
 pub mod hom;
+pub mod io;
 pub mod ops;
 pub mod par;
 pub mod rng;
+pub mod store;
 pub mod structure;
 pub mod vocabulary;
 
 pub use graph::Digraph;
-pub use io::{parse_digraph, write_digraph};
 pub use hom::{HomKind, PartialMap};
+pub use io::{parse_digraph, write_digraph, DigraphParseError};
 pub use ops::{disjoint_union, induced_substructure, quotient};
 pub use rng::SplitMix64;
+pub use store::{
+    EvalStats, IdRange, LimitExceeded, Limits, PosIndex, StoreView, TupleId, TupleStore,
+};
 pub use structure::{Element, Relation, Structure, Tuple};
 pub use vocabulary::{ConstId, RelId, Vocabulary};

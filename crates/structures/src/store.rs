@@ -1,0 +1,584 @@
+//! The shared relational storage engine: interned tuples in append-only
+//! arenas.
+//!
+//! Every layer of the reproduction — [`Structure`](crate::Structure)
+//! relations, the Datalog(≠) bottom-up engine, and the `L^k` stage
+//! evaluators — stores relations in one representation: a [`TupleStore`]
+//! that interns tuples of a fixed arity into a flat, append-only arena and
+//! hands out dense [`TupleId`]s. The design exploits append-only-ness
+//! everywhere:
+//!
+//! - **Delta views are id ranges.** A semi-naive evaluator needs "the
+//!   relation as of stage `n-1`", "only the tuples discovered at stage
+//!   `n-1`", and "everything". Because ids are assigned in insertion order,
+//!   these are the ranges `[0, old)`, `[old, prev)`, `[0, prev)` of a
+//!   *single* store — no snapshot clones (see [`IdRange`] and
+//!   [`StoreView`]).
+//! - **Indexes extend instead of rebuilding.** A [`PosIndex`] (per-position
+//!   hash index) appends posting ids monotonically, so range-restricted
+//!   probes are `partition_point` sub-slices of sorted posting lists.
+//! - **Stage identity is id-set equality.** Two evaluators that
+//!   materialize into the *same* store can compare stages by comparing id
+//!   sets — the Theorem 3.6 experiments check Datalog stages against
+//!   `L^{l+r}` stage formulas this way, with no re-hashing of boxed
+//!   tuples.
+//!
+//! The interner is a bare open-addressing table over the arena (splitmix-
+//! style mixing, linear probing), so the store stays free of interior
+//! mutability and is `Sync`: parallel evaluation workers read a shared
+//! store and exchange [`TupleId`] buffers, never boxed tuples.
+//!
+//! [`EvalStats`] and [`Limits`] are the engine's observability surface:
+//! evaluators report tuples interned, duplicate derivations, join probes
+//! and stage counts, and can be given tuple/stage budgets that make them
+//! return a graceful [`LimitExceeded`] instead of growing without bound.
+
+use crate::structure::Element;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A dense identifier of an interned tuple within one [`TupleStore`].
+///
+/// Ids are assigned in insertion order starting from `0`, so they double
+/// as stage timestamps: a tuple with a smaller id was derived no later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TupleId(pub u32);
+
+/// A half-open range `[start, end)` of [`TupleId`]s.
+///
+/// Because stores are append-only, every snapshot a fixpoint computation
+/// needs (old / delta / full) is such a range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IdRange {
+    /// First id in the range.
+    pub start: u32,
+    /// One past the last id in the range.
+    pub end: u32,
+}
+
+impl IdRange {
+    /// The empty range.
+    pub const EMPTY: IdRange = IdRange { start: 0, end: 0 };
+
+    /// Number of ids in the range.
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// Whether the range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+
+    /// Whether `id` falls inside the range.
+    pub fn contains(&self, id: TupleId) -> bool {
+        self.start <= id.0 && id.0 < self.end
+    }
+
+    /// Iterates over the ids of the range.
+    pub fn iter(&self) -> impl Iterator<Item = TupleId> {
+        (self.start..self.end).map(TupleId)
+    }
+}
+
+const EMPTY_SLOT: u32 = u32::MAX;
+
+/// Splitmix-style mixing of one tuple into a table hash.
+#[inline]
+fn hash_tuple(tuple: &[Element]) -> u64 {
+    let mut h: u64 = 0x9E37_79B9_7F4A_7C15;
+    for &e in tuple {
+        h ^= u64::from(e).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 27;
+    }
+    h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^ (h >> 31)
+}
+
+/// An interning tuple store: a flat append-only arena of fixed-arity
+/// tuples plus an open-addressing hash table mapping tuple contents to
+/// dense [`TupleId`]s.
+///
+/// See the [module docs](self) for the design rationale. The store has no
+/// interior mutability: reads (`get`, `lookup`, `contains`, `iter`) take
+/// `&self` and the type is `Sync`, which is what lets parallel evaluation
+/// workers share one store per relation.
+#[derive(Debug, Clone, Default)]
+pub struct TupleStore {
+    arity: usize,
+    /// Tuple elements, arity-strided: tuple `i` is `data[i*arity..(i+1)*arity]`.
+    data: Vec<Element>,
+    /// Open-addressing table of tuple ids (`EMPTY_SLOT` = vacant).
+    table: Vec<u32>,
+    len: u32,
+}
+
+impl TupleStore {
+    /// Creates an empty store for tuples of the given arity.
+    pub fn new(arity: usize) -> Self {
+        Self {
+            arity,
+            data: Vec::new(),
+            table: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Creates an empty store with room for about `capacity` tuples.
+    pub fn with_capacity(arity: usize, capacity: usize) -> Self {
+        let mut s = Self::new(arity);
+        s.data.reserve(capacity * arity);
+        s.grow_table((capacity * 2).next_power_of_two().max(16));
+        s
+    }
+
+    /// The arity of the stored tuples.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of distinct tuples interned.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The tuple with the given id.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of bounds.
+    pub fn get(&self, id: TupleId) -> &[Element] {
+        assert!(id.0 < self.len, "tuple id {} out of bounds", id.0);
+        let a = self.arity;
+        &self.data[id.0 as usize * a..(id.0 as usize + 1) * a]
+    }
+
+    /// Interns `tuple`, returning its id and whether it was newly added.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch.
+    pub fn intern(&mut self, tuple: &[Element]) -> (TupleId, bool) {
+        assert_eq!(tuple.len(), self.arity, "tuple arity mismatch");
+        if self.table.len() * 3 < (self.len as usize + 1) * 4 {
+            self.grow_table((self.table.len() * 2).max(16));
+        }
+        let mask = self.table.len() - 1;
+        let mut slot = hash_tuple(tuple) as usize & mask;
+        loop {
+            match self.table[slot] {
+                EMPTY_SLOT => {
+                    let id = self.len;
+                    self.table[slot] = id;
+                    self.data.extend_from_slice(tuple);
+                    self.len += 1;
+                    return (TupleId(id), true);
+                }
+                id if self.slice_of(id) == tuple => return (TupleId(id), false),
+                _ => slot = (slot + 1) & mask,
+            }
+        }
+    }
+
+    /// The id of `tuple`, if interned.
+    pub fn lookup(&self, tuple: &[Element]) -> Option<TupleId> {
+        debug_assert_eq!(tuple.len(), self.arity, "tuple arity mismatch");
+        if self.table.is_empty() {
+            return None;
+        }
+        let mask = self.table.len() - 1;
+        let mut slot = hash_tuple(tuple) as usize & mask;
+        loop {
+            match self.table[slot] {
+                EMPTY_SLOT => return None,
+                id if self.slice_of(id) == tuple => return Some(TupleId(id)),
+                _ => slot = (slot + 1) & mask,
+            }
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, tuple: &[Element]) -> bool {
+        self.lookup(tuple).is_some()
+    }
+
+    /// Iterates over the tuples in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &[Element]> {
+        let a = self.arity;
+        (0..self.len as usize).map(move |i| &self.data[i * a..(i + 1) * a])
+    }
+
+    /// The full id range `[0, len)`.
+    pub fn id_range(&self) -> IdRange {
+        IdRange {
+            start: 0,
+            end: self.len,
+        }
+    }
+
+    /// A prefix view of the store covering ids `[0, upto)`.
+    ///
+    /// # Panics
+    /// Panics if `upto > len`.
+    pub fn view(&self, upto: u32) -> StoreView<'_> {
+        assert!(upto <= self.len, "view beyond store length");
+        StoreView { store: self, upto }
+    }
+
+    /// Set equality with another store (order-insensitive).
+    pub fn set_eq(&self, other: &TupleStore) -> bool {
+        self.arity == other.arity && self.len == other.len && self.iter().all(|t| other.contains(t))
+    }
+
+    fn slice_of(&self, id: u32) -> &[Element] {
+        &self.data[id as usize * self.arity..(id as usize + 1) * self.arity]
+    }
+
+    fn grow_table(&mut self, new_len: usize) {
+        debug_assert!(new_len.is_power_of_two());
+        self.table = vec![EMPTY_SLOT; new_len];
+        let mask = new_len - 1;
+        for id in 0..self.len {
+            let mut slot = hash_tuple(self.slice_of(id)) as usize & mask;
+            while self.table[slot] != EMPTY_SLOT {
+                slot = (slot + 1) & mask;
+            }
+            self.table[slot] = id;
+        }
+    }
+}
+
+impl PartialEq for TupleStore {
+    fn eq(&self, other: &Self) -> bool {
+        self.set_eq(other)
+    }
+}
+
+impl Eq for TupleStore {}
+
+/// A read-only prefix view of a [`TupleStore`]: the tuples with id `< upto`.
+///
+/// Since the store is append-only, such a prefix is exactly the store as it
+/// was when it held `upto` tuples — stage `Θ^n` of an evaluation is the
+/// view at the stage mark.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreView<'a> {
+    store: &'a TupleStore,
+    upto: u32,
+}
+
+impl<'a> StoreView<'a> {
+    /// The underlying store.
+    pub fn store(&self) -> &'a TupleStore {
+        self.store
+    }
+
+    /// Number of tuples in the view.
+    pub fn len(&self) -> usize {
+        self.upto as usize
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.upto == 0
+    }
+
+    /// Membership: the tuple is interned *and* was among the first `upto`.
+    pub fn contains(&self, tuple: &[Element]) -> bool {
+        matches!(self.store.lookup(tuple), Some(id) if id.0 < self.upto)
+    }
+
+    /// The view's id range `[0, upto)`.
+    pub fn id_range(&self) -> IdRange {
+        IdRange {
+            start: 0,
+            end: self.upto,
+        }
+    }
+
+    /// Iterates over the view's tuples in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &'a [Element]> {
+        let store = self.store;
+        (0..self.upto).map(move |i| store.get(TupleId(i)))
+    }
+
+    /// Set equality with another view.
+    pub fn set_eq(&self, other: &StoreView<'_>) -> bool {
+        self.len() == other.len() && self.iter().all(|t| other.contains(t))
+    }
+}
+
+/// A single-position hash index over a [`TupleStore`].
+///
+/// Maps an element to the (sorted) ids of the tuples carrying that element
+/// at position `pos`. Built and owned by evaluators — *outside* the store —
+/// so the store itself stays lock-free and `Sync`. Because ids are appended
+/// monotonically, [`update`](Self::update) extends the postings
+/// incrementally and [`probe`](Self::probe) restricts to any [`IdRange`]
+/// with two binary searches.
+#[derive(Debug, Clone)]
+pub struct PosIndex {
+    pos: usize,
+    upto: u32,
+    postings: HashMap<Element, Vec<u32>>,
+}
+
+impl PosIndex {
+    /// Creates an empty index on tuple position `pos`.
+    pub fn new(pos: usize) -> Self {
+        Self {
+            pos,
+            upto: 0,
+            postings: HashMap::new(),
+        }
+    }
+
+    /// The indexed position.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// How many tuples (ids `[0, upto)`) the index currently covers.
+    pub fn covered(&self) -> u32 {
+        self.upto
+    }
+
+    /// Extends the index to cover all tuples currently in `store`.
+    pub fn update(&mut self, store: &TupleStore) {
+        for id in self.upto..store.len() as u32 {
+            let e = store.get(TupleId(id))[self.pos];
+            self.postings.entry(e).or_default().push(id);
+        }
+        self.upto = store.len() as u32;
+    }
+
+    /// The ids in `range` whose tuple has `e` at the indexed position.
+    ///
+    /// `range` must lie within the covered prefix; postings are sorted, so
+    /// the result is a sub-slice located by `partition_point`.
+    pub fn probe(&self, e: Element, range: IdRange) -> &[u32] {
+        debug_assert!(range.end <= self.upto, "probe beyond indexed prefix");
+        match self.postings.get(&e) {
+            None => &[],
+            Some(ids) => {
+                let lo = ids.partition_point(|&id| id < range.start);
+                let hi = ids.partition_point(|&id| id < range.end);
+                &ids[lo..hi]
+            }
+        }
+    }
+}
+
+/// Counters reported by store-backed evaluators.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Distinct tuples interned into result stores (first derivations).
+    pub tuples_interned: u64,
+    /// Derivations of tuples that were already present.
+    pub duplicate_derivations: u64,
+    /// Index probes (and full scans, counted once per scanned candidate
+    /// source) performed while joining.
+    pub join_probes: u64,
+    /// Stages executed.
+    pub stages: u64,
+}
+
+impl EvalStats {
+    /// Accumulates another stats record into this one.
+    pub fn merge(&mut self, other: &EvalStats) {
+        self.tuples_interned += other.tuples_interned;
+        self.duplicate_derivations += other.duplicate_derivations;
+        self.join_probes += other.join_probes;
+        self.stages += other.stages;
+    }
+}
+
+/// Optional budgets for store-backed evaluators. Exceeding a budget makes
+/// the evaluator return a graceful [`LimitExceeded`] instead of growing
+/// without bound.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Limits {
+    /// Maximum number of tuples interned across all result relations.
+    pub max_tuples: Option<u64>,
+    /// Maximum number of stages.
+    pub max_stages: Option<u64>,
+}
+
+/// A budget from [`Limits`] was exceeded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LimitExceeded {
+    /// The tuple budget was exceeded.
+    Tuples {
+        /// The configured budget.
+        limit: u64,
+        /// How many tuples had been interned when evaluation stopped.
+        reached: u64,
+    },
+    /// The stage budget was exceeded.
+    Stages {
+        /// The configured budget.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for LimitExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LimitExceeded::Tuples { limit, reached } => {
+                write!(
+                    f,
+                    "tuple budget exceeded: {reached} interned, limit {limit}"
+                )
+            }
+            LimitExceeded::Stages { limit } => {
+                write!(f, "stage budget exceeded: limit {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LimitExceeded {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_assigns_dense_ids() {
+        let mut s = TupleStore::new(2);
+        assert_eq!(s.intern(&[0, 1]), (TupleId(0), true));
+        assert_eq!(s.intern(&[1, 2]), (TupleId(1), true));
+        assert_eq!(s.intern(&[0, 1]), (TupleId(0), false));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(TupleId(1)), &[1, 2]);
+        assert_eq!(s.lookup(&[1, 2]), Some(TupleId(1)));
+        assert_eq!(s.lookup(&[2, 1]), None);
+    }
+
+    #[test]
+    fn iter_is_id_ordered() {
+        let mut s = TupleStore::new(1);
+        for e in [5u32, 3, 9, 3, 5, 0] {
+            s.intern(&[e]);
+        }
+        let rows: Vec<Vec<Element>> = s.iter().map(<[Element]>::to_vec).collect();
+        assert_eq!(rows, vec![vec![5], vec![3], vec![9], vec![0]]);
+    }
+
+    #[test]
+    fn survives_table_growth() {
+        let mut s = TupleStore::new(2);
+        for i in 0..1000u32 {
+            let (id, fresh) = s.intern(&[i, i.wrapping_mul(7)]);
+            assert!(fresh);
+            assert_eq!(id.0, i);
+        }
+        for i in 0..1000u32 {
+            assert_eq!(s.lookup(&[i, i.wrapping_mul(7)]), Some(TupleId(i)));
+        }
+        assert!(!s.contains(&[1000, 1]));
+    }
+
+    #[test]
+    fn nullary_tuples() {
+        let mut s = TupleStore::new(0);
+        assert!(!s.contains(&[]));
+        assert_eq!(s.intern(&[]), (TupleId(0), true));
+        assert_eq!(s.intern(&[]), (TupleId(0), false));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(TupleId(0)), &[] as &[Element]);
+        assert_eq!(s.iter().count(), 1);
+    }
+
+    #[test]
+    fn views_are_prefixes() {
+        let mut s = TupleStore::new(1);
+        for e in 0..10u32 {
+            s.intern(&[e]);
+        }
+        let v = s.view(4);
+        assert_eq!(v.len(), 4);
+        assert!(v.contains(&[3]));
+        assert!(!v.contains(&[4])); // interned, but after the mark
+        assert!(s.contains(&[4]));
+        assert_eq!(v.iter().count(), 4);
+    }
+
+    #[test]
+    fn set_eq_ignores_order() {
+        let mut a = TupleStore::new(2);
+        let mut b = TupleStore::new(2);
+        a.intern(&[0, 1]);
+        a.intern(&[2, 3]);
+        b.intern(&[2, 3]);
+        b.intern(&[0, 1]);
+        assert!(a.set_eq(&b));
+        assert_eq!(a, b);
+        b.intern(&[4, 5]);
+        assert!(!a.set_eq(&b));
+    }
+
+    #[test]
+    fn pos_index_incremental_and_ranged() {
+        let mut s = TupleStore::new(2);
+        s.intern(&[1, 10]);
+        s.intern(&[2, 20]);
+        s.intern(&[1, 30]);
+        let mut ix = PosIndex::new(0);
+        ix.update(&s);
+        assert_eq!(ix.probe(1, s.id_range()), &[0, 2]);
+        s.intern(&[1, 40]);
+        s.intern(&[3, 50]);
+        ix.update(&s);
+        assert_eq!(ix.probe(1, s.id_range()), &[0, 2, 3]);
+        // Range restriction: only the delta [3, 5).
+        let delta = IdRange { start: 3, end: 5 };
+        assert_eq!(ix.probe(1, delta), &[3]);
+        assert_eq!(ix.probe(3, delta), &[4]);
+        assert_eq!(ix.probe(2, delta), &[] as &[u32]);
+    }
+
+    #[test]
+    fn id_range_basics() {
+        let r = IdRange { start: 2, end: 5 };
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+        assert!(r.contains(TupleId(2)));
+        assert!(!r.contains(TupleId(5)));
+        assert!(IdRange::EMPTY.is_empty());
+        assert_eq!(r.iter().count(), 3);
+    }
+
+    #[test]
+    fn limits_display() {
+        let t = LimitExceeded::Tuples {
+            limit: 10,
+            reached: 12,
+        };
+        assert!(t.to_string().contains("limit 10"));
+        let s = LimitExceeded::Stages { limit: 3 };
+        assert!(s.to_string().contains("stage"));
+    }
+
+    #[test]
+    fn stats_merge() {
+        let mut a = EvalStats {
+            tuples_interned: 1,
+            duplicate_derivations: 2,
+            join_probes: 3,
+            stages: 4,
+        };
+        a.merge(&EvalStats {
+            tuples_interned: 10,
+            duplicate_derivations: 20,
+            join_probes: 30,
+            stages: 40,
+        });
+        assert_eq!(a.tuples_interned, 11);
+        assert_eq!(a.join_probes, 33);
+    }
+}

@@ -1,80 +1,119 @@
 //! Finite structures: a universe together with interpretations of every
 //! symbol of a [`Vocabulary`].
 
+use crate::store::{TupleId, TupleStore};
 use crate::vocabulary::{ConstId, RelId, Vocabulary};
-use std::collections::HashSet;
 use std::fmt;
 use std::sync::Arc;
 
 /// An element of a structure's universe. Universes are always `{0, …, n-1}`.
 pub type Element = u32;
 
-/// A tuple of elements (one row of a relation).
+/// A tuple of elements (one row of a relation), in owned/boxed form.
+///
+/// Storage no longer boxes tuples — relations intern rows into a
+/// [`TupleStore`] arena — but the boxed form remains the convenient owned
+/// representation for sorting, error reporting, and test fixtures.
 pub type Tuple = Box<[Element]>;
 
 /// The interpretation of one relation symbol: a set of tuples of the symbol's
-/// arity.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// arity, interned in a [`TupleStore`].
+///
+/// Iteration yields borrowed `&[Element]` slices in insertion (id) order;
+/// equality is *set* equality, independent of insertion order. The
+/// underlying store is exposed ([`store`](Self::store)) so evaluators can
+/// index and join the relation without copying its tuples.
+#[derive(Debug, Clone, Default, Eq)]
 pub struct Relation {
-    arity: usize,
-    tuples: HashSet<Tuple>,
+    store: TupleStore,
 }
 
 impl Relation {
     /// Creates an empty relation of the given arity.
     pub fn new(arity: usize) -> Self {
         Self {
-            arity,
-            tuples: HashSet::new(),
+            store: TupleStore::new(arity),
         }
+    }
+
+    /// Wraps an existing store as a relation.
+    pub fn from_store(store: TupleStore) -> Self {
+        Self { store }
     }
 
     /// The arity of this relation.
     pub fn arity(&self) -> usize {
-        self.arity
+        self.store.arity()
     }
 
     /// Number of tuples.
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.store.len()
     }
 
     /// Whether the relation is empty.
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.store.is_empty()
     }
 
     /// Inserts a tuple; returns `true` if it was new.
     ///
     /// # Panics
     /// Panics if the tuple length does not match the arity.
-    pub fn insert(&mut self, tuple: impl Into<Tuple>) -> bool {
-        let tuple = tuple.into();
-        assert_eq!(tuple.len(), self.arity, "tuple arity mismatch");
-        self.tuples.insert(tuple)
+    pub fn insert(&mut self, tuple: &[Element]) -> bool {
+        self.store.intern(tuple).1
     }
 
     /// Tests membership.
     pub fn contains(&self, tuple: &[Element]) -> bool {
-        self.tuples.contains(tuple)
+        self.store.contains(tuple)
     }
 
-    /// Iterates over the tuples (unspecified order).
-    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
-        self.tuples.iter()
+    /// The dense id of a tuple within this relation's store, if present.
+    pub fn id_of(&self, tuple: &[Element]) -> Option<TupleId> {
+        self.store.lookup(tuple)
+    }
+
+    /// Iterates over the tuples in insertion (id) order.
+    pub fn iter(&self) -> impl Iterator<Item = &[Element]> {
+        self.store.iter()
+    }
+
+    /// The backing interned store.
+    pub fn store(&self) -> &TupleStore {
+        &self.store
     }
 
     /// Removes a tuple; returns `true` if it was present.
+    ///
+    /// The backing arena is append-only (that is what makes delta views id
+    /// ranges), so removal rebuilds the store without the tuple — O(n).
+    /// No hot path removes tuples; this exists for test fixtures and
+    /// ad-hoc structure surgery.
     pub fn remove(&mut self, tuple: &[Element]) -> bool {
-        self.tuples.remove(tuple)
+        if !self.store.contains(tuple) {
+            return false;
+        }
+        let mut rebuilt = TupleStore::new(self.store.arity());
+        for t in self.store.iter().filter(|t| *t != tuple) {
+            rebuilt.intern(t);
+        }
+        self.store = rebuilt;
+        true
     }
 
     /// Returns the tuples as a sorted vector (deterministic order, for
     /// display and hashing-independent comparisons).
     pub fn sorted(&self) -> Vec<Tuple> {
-        let mut v: Vec<Tuple> = self.tuples.iter().cloned().collect();
+        let mut v: Vec<Tuple> = self.store.iter().map(Box::from).collect();
         v.sort();
         v
+    }
+}
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        self.store.set_eq(&other.store)
     }
 }
 
@@ -154,7 +193,7 @@ impl Structure {
             "tuple {tuple:?} outside universe of size {}",
             self.universe
         );
-        self.relations[rel.0].insert(tuple.to_vec().into_boxed_slice())
+        self.relations[rel.0].insert(tuple)
     }
 
     /// Tests whether `tuple` is in relation `rel`.
@@ -172,7 +211,10 @@ impl Structure {
     /// # Panics
     /// Panics if `value` is outside the universe.
     pub fn set_constant(&mut self, c: ConstId, value: Element) {
-        assert!((value as usize) < self.universe, "constant outside universe");
+        assert!(
+            (value as usize) < self.universe,
+            "constant outside universe"
+        );
         self.constants[c.0] = value;
     }
 
@@ -335,9 +377,9 @@ mod tests {
     #[test]
     fn relation_sorted_is_deterministic() {
         let mut r = Relation::new(2);
-        r.insert(vec![2u32, 0].into_boxed_slice());
-        r.insert(vec![0u32, 1].into_boxed_slice());
-        r.insert(vec![1u32, 1].into_boxed_slice());
+        r.insert(&[2, 0]);
+        r.insert(&[0, 1]);
+        r.insert(&[1, 1]);
         let rows = r.sorted();
         assert_eq!(
             rows,

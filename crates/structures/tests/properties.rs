@@ -104,12 +104,7 @@ fn incremental_matches_full_check() {
             let index = TupleIndex::build(&a);
             let empty = PartialMap::new();
             let incremental = extension_ok(&empty, x, y, &index, &b, HomKind::OneToOne);
-            let full = is_partial_hom(
-                &PartialMap::from_pairs([(x, y)]),
-                &a,
-                &b,
-                HomKind::OneToOne,
-            );
+            let full = is_partial_hom(&PartialMap::from_pairs([(x, y)]), &a, &b, HomKind::OneToOne);
             assert_eq!(incremental, full, "seed {seed}: ({x}, {y})");
         }
     }
@@ -126,9 +121,8 @@ fn found_homomorphisms_verify() {
         let b = h.to_structure();
         for kind in [HomKind::Homomorphism, HomKind::OneToOne] {
             if let Some(hom) = find_homomorphism(&a, &b, kind, false) {
-                let map = PartialMap::from_pairs(
-                    hom.iter().enumerate().map(|(i, &v)| (i as u32, v)),
-                );
+                let map =
+                    PartialMap::from_pairs(hom.iter().enumerate().map(|(i, &v)| (i as u32, v)));
                 assert!(is_partial_hom(&map, &a, &b, kind), "seed {seed}, {kind:?}");
             }
         }
@@ -153,7 +147,15 @@ fn quotient_preserves_tuples() {
             std::mem::swap(&mut a, &mut b);
         }
         let class_of: Vec<Element> = (0..n)
-            .map(|e| if e == b { a } else if e > b { e - 1 } else { e })
+            .map(|e| {
+                if e == b {
+                    a
+                } else if e > b {
+                    e - 1
+                } else {
+                    e
+                }
+            })
             .collect();
         let q = quotient(&s, &class_of);
         for rel in s.vocabulary().relations() {
@@ -195,5 +197,76 @@ fn digraph_roundtrip() {
         let s = g.to_structure();
         let g2 = Digraph::from_structure(&s);
         assert_eq!(g, g2, "seed {seed}");
+    }
+}
+
+/// io: parse ∘ render is the identity on random digraphs (with and
+/// without distinguished nodes).
+#[test]
+fn io_text_roundtrip() {
+    use kv_structures::{parse_digraph, write_digraph};
+    for seed in 0..64u64 {
+        let mut rng = SplitMix64::seed_from_u64(800 + seed);
+        let mut g = random_case_digraph(9, 30, &mut rng);
+        if seed % 2 == 0 {
+            let n = g.node_count() as u32;
+            let picks = rng.gen_range(0usize..4);
+            let d: Vec<u32> = (0..picks).map(|_| rng.gen_range(0u32..n)).collect();
+            g.set_distinguished(d);
+        }
+        let text = write_digraph(&g);
+        let g2 = parse_digraph(&text).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_eq!(g, g2, "seed {seed}");
+        // Render is canonical: a second round-trip reproduces the text.
+        assert_eq!(write_digraph(&g2), text, "seed {seed}");
+    }
+}
+
+/// io: the parser is total — arbitrary garbage yields Err with position
+/// context, never a panic.
+#[test]
+fn io_parser_total_on_arbitrary_input() {
+    use kv_structures::parse_digraph;
+    for seed in 0..256u64 {
+        let mut rng = SplitMix64::seed_from_u64(900 + seed);
+        let len = rng.gen_range(0usize..120);
+        let src: String = (0..len)
+            .map(|_| match rng.gen_range(0u32..24) {
+                0 => '\n',
+                1 => '#',
+                2 => ' ',
+                3 => 'π',
+                _ => char::from(rng.gen_range(0x20u8..0x7f)),
+            })
+            .collect();
+        if let Err(e) = parse_digraph(&src) {
+            let _ = e.to_string();
+        }
+    }
+}
+
+/// io: the parser is total on token-soup from its own vocabulary.
+#[test]
+fn io_parser_total_on_token_soup() {
+    use kv_structures::parse_digraph;
+    const TOKENS: [&str; 9] = [
+        "nodes",
+        "distinguished",
+        "0",
+        "1",
+        "7",
+        "-3",
+        "#",
+        "\n",
+        "x",
+    ];
+    for seed in 0..256u64 {
+        let mut rng = SplitMix64::seed_from_u64(1000 + seed);
+        let len = rng.gen_range(0usize..16);
+        let src = (0..len)
+            .map(|_| TOKENS[rng.gen_range(0usize..TOKENS.len())])
+            .collect::<Vec<_>>()
+            .join(" ");
+        let _ = parse_digraph(&src);
     }
 }

@@ -29,19 +29,17 @@ fn main() {
         graph.edge_count()
     );
 
-    let result = Evaluator::new(&program).run(
-        &structure,
-        EvalOptions {
-            semi_naive: true,
-            record_stages: false,
-            max_stages: None,
-            parallel: true,
-        },
-    );
+    let result = Evaluator::new(&program).run(&structure, EvalOptions::default());
     println!(
         "least fixpoint reached after {} stages; |T| = {} tuples",
         result.stage_count(),
         result.idb[0].len()
+    );
+    println!(
+        "counters: {} tuples interned, {} join probes, {} duplicate derivations",
+        result.eval_stats.tuples_interned,
+        result.eval_stats.join_probes,
+        result.eval_stats.duplicate_derivations
     );
     for (i, stage) in result.stats.iter().enumerate() {
         println!("  stage {:>2}: +{} tuples", i + 1, stage.new_tuples[0]);

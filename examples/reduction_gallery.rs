@@ -73,8 +73,7 @@ fn main() {
         p1.len(),
         p2.len()
     );
-    fs::write(dir.join("figure5_x1_or_x1.dot"), g_sat.to_dot("Figure 5"))
-        .expect("write dot");
+    fs::write(dir.join("figure5_x1_or_x1.dot"), g_sat.to_dot("Figure 5")).expect("write dot");
 
     // Figure 6: G_phi for x1 ∧ x̄1 (unsatisfiable).
     let unsat = CnfFormula::new(1, vec![clause([Lit::pos(0)]), clause([Lit::neg(0)])]);

@@ -61,7 +61,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         return Err("run needs <program.dl> <graph.txt>".into());
     };
     let graph = read_graph(graph_path)?;
-    let vocab = Arc::new(Vocabulary::graph_with_constants(graph.distinguished().len()));
+    let vocab = Arc::new(Vocabulary::graph_with_constants(
+        graph.distinguished().len(),
+    ));
     let source =
         std::fs::read_to_string(program_path).map_err(|e| format!("{program_path}: {e}"))?;
     let program = parse_program(&source, Arc::clone(&vocab)).map_err(|e| e.to_string())?;
@@ -74,10 +76,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         program.idb_name(goal),
         result.idb[goal.0].len()
     );
-    let mut rows: Vec<&datalog_expressiveness::structures::Tuple> =
-        result.idb[goal.0].iter().collect();
-    rows.sort();
-    for t in rows {
+    for t in result.idb[goal.0].sorted() {
         let cells: Vec<String> = t.iter().map(u32::to_string).collect();
         println!("  ({})", cells.join(", "));
     }
@@ -112,8 +111,16 @@ fn cmd_game(args: &[String]) -> Result<(), String> {
     );
     println!(
         "hence A {} B  (every L^{k} sentence true in A {} true in B)",
-        if game.winner() == Winner::Duplicator { "≼ᵏ" } else { "⋠ᵏ" },
-        if game.winner() == Winner::Duplicator { "is" } else { "need not be" },
+        if game.winner() == Winner::Duplicator {
+            "≼ᵏ"
+        } else {
+            "⋠ᵏ"
+        },
+        if game.winner() == Winner::Duplicator {
+            "is"
+        } else {
+            "need not be"
+        },
     );
     Ok(())
 }
@@ -142,7 +149,10 @@ fn cmd_classify(args: &[String]) -> Result<(), String> {
     };
     let pattern = parse_pattern(spec)?;
     let report = classify_and_report(&pattern);
-    println!("pattern: {} nodes, edges {:?}", pattern.node_count, pattern.edges);
+    println!(
+        "pattern: {} nodes, edges {:?}",
+        pattern.node_count, pattern.edges
+    );
     match report.verdict {
         Expressibility::ExpressibleEverywhere(program) => {
             println!("class C — Datalog(≠)-expressible on ALL inputs (Theorem 6.1).");
@@ -178,9 +188,7 @@ fn cmd_homeo(args: &[String]) -> Result<(), String> {
     }
     let d = graph.distinguished().to_vec();
     let (answer, method) = datalog_expressiveness::homeo::solve(&pattern, &graph, &d);
-    println!(
-        "H-subgraph homeomorphism: {answer} (method: {method:?})"
-    );
+    println!("H-subgraph homeomorphism: {answer} (method: {method:?})");
     Ok(())
 }
 

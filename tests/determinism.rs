@@ -5,8 +5,8 @@
 use datalog_expressiveness::datalog::programs::{avoiding_path, q_kl};
 use datalog_expressiveness::datalog::{EvalOptions, Evaluator};
 use datalog_expressiveness::homeo::{solve, PatternSpec};
-use datalog_expressiveness::pebble::{ExistentialGame, CnfGame};
 use datalog_expressiveness::pebble::cnf::CnfFormula;
+use datalog_expressiveness::pebble::{CnfGame, ExistentialGame};
 use datalog_expressiveness::reduction::GPhi;
 use datalog_expressiveness::structures::generators::{random_dag, random_digraph};
 use datalog_expressiveness::structures::HomKind;
