@@ -11,8 +11,34 @@ use kv_core::datalog::{EvalOptions, Evaluator};
 use kv_core::pebble::win_iteration::solve_by_win_iteration;
 use kv_core::pebble::ExistentialGame;
 use kv_core::structures::generators::{directed_path, random_digraph};
+use kv_core::structures::govern::{Budget, CancelToken, Deadline, Governor};
 use kv_core::structures::par::thread_count;
 use kv_core::structures::HomKind;
+use std::time::Duration;
+
+/// A governor with every interrupt source armed (step budget, deadline,
+/// cancellation token) but none close to tripping: the cost it measures
+/// is pure governance accounting, not interruption handling.
+fn armed_governor() -> Governor {
+    Governor::new(
+        Budget::steps(u64::MAX / 2),
+        Deadline::within(Duration::from_secs(3600)),
+        CancelToken::new(),
+    )
+}
+
+/// Percent overhead of `governed` over `plain`, from the *minimum*
+/// observed times (the standard microbenchmark noise filter), clamped at
+/// 0 from below so residual timer noise does not render as a negative
+/// cost.
+fn overhead_pct(plain: Duration, governed: Duration) -> f64 {
+    let p = plain.as_secs_f64();
+    let g = governed.as_secs_f64();
+    if p <= 0.0 {
+        return 0.0;
+    }
+    ((g - p) / p * 100.0).max(0.0)
+}
 
 /// A flat JSON object: keys paired with pre-rendered JSON values.
 struct Obj(Vec<(String, String)>);
@@ -88,11 +114,18 @@ pub fn pebble_report() -> String {
     ];
     for (name, a, b, k) in &instances {
         let game = ExistentialGame::solve(a, b, *k, HomKind::OneToOne);
-        let worklist = time_fn(1, 5, || {
+        let worklist = time_fn(2, 15, || {
             ExistentialGame::solve(a, b, *k, HomKind::OneToOne).winner()
         });
         let naive = time_fn(1, 5, || {
             solve_by_win_iteration(a, b, *k, HomKind::OneToOne).0
+        });
+        let governed = time_fn(2, 15, || {
+            let gov = armed_governor();
+            match ExistentialGame::try_solve(a, b, *k, HomKind::OneToOne, &gov) {
+                Ok(game) => game.winner(),
+                Err(e) => unreachable!("armed-but-ample governor interrupted: {e}"),
+            }
         });
         cases.push(
             Obj::new()
@@ -101,7 +134,12 @@ pub fn pebble_report() -> String {
                 .num("arena_size", game.arena_size())
                 .num("arena_edges", game.arena_edge_count())
                 .num("worklist_ms", format!("{:.4}", ms(worklist.median)))
-                .num("value_iteration_ms", format!("{:.4}", ms(naive.median))),
+                .num("value_iteration_ms", format!("{:.4}", ms(naive.median)))
+                .num("governed_ms", format!("{:.4}", ms(governed.median)))
+                .num(
+                    "governance_overhead_pct",
+                    format!("{:.2}", overhead_pct(worklist.min, governed.min)),
+                ),
         );
     }
     render_report(&cases)
@@ -137,8 +175,15 @@ pub fn datalog_report() -> String {
             ..EvalOptions::default()
         };
         let result = ev.run(&s, opts(true));
-        let parallel = time_fn(1, 5, || ev.run(&s, opts(true)).stats.len());
+        let parallel = time_fn(2, 15, || ev.run(&s, opts(true)).stats.len());
         let sequential = time_fn(1, 5, || ev.run(&s, opts(false)).stats.len());
+        let governed = time_fn(2, 15, || {
+            let gov = armed_governor();
+            match ev.try_run_governed(&s, opts(true), &gov) {
+                Ok(result) => result.stats.len(),
+                Err(e) => unreachable!("armed-but-ample governor interrupted: {e}"),
+            }
+        });
         cases.push(
             Obj::new()
                 .str("name", name)
@@ -151,7 +196,12 @@ pub fn datalog_report() -> String {
                     result.eval_stats.duplicate_derivations,
                 )
                 .num("parallel_ms", format!("{:.4}", ms(parallel.median)))
-                .num("sequential_ms", format!("{:.4}", ms(sequential.median))),
+                .num("sequential_ms", format!("{:.4}", ms(sequential.median)))
+                .num("governed_ms", format!("{:.4}", ms(governed.median)))
+                .num(
+                    "governance_overhead_pct",
+                    format!("{:.2}", overhead_pct(parallel.min, governed.min)),
+                ),
         );
     }
     render_report(&cases)

@@ -16,6 +16,7 @@
 //! [`logic`], [`pebble`] → [`homeo`], [`reduction`] → this crate.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub use kv_datalog as datalog;
 pub use kv_graphalg as graphalg;

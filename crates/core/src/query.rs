@@ -7,7 +7,7 @@
 //! oracles are compared by the experiments.
 
 use kv_datalog::{CompiledProgram, EvalOptions, EvalStats, Program};
-use kv_structures::Structure;
+use kv_structures::{Governor, Interrupted, Structure};
 
 /// A boolean query over structures of a fixed vocabulary.
 pub trait BooleanQuery {
@@ -20,6 +20,16 @@ pub trait BooleanQuery {
     /// with no stats.
     fn eval_with_stats(&self, structure: &Structure) -> (bool, Option<EvalStats>) {
         (self.eval(structure), None)
+    }
+    /// Governed evaluation: honors the governor's budget, deadline, and
+    /// cancellation token, returning `Err(Interrupted)` instead of
+    /// looping unbounded. The default checks the governor once up front
+    /// and then runs [`eval`](Self::eval); backends with governed engines
+    /// (e.g. [`ProgramQuery`]) override this with cooperative checks
+    /// inside their hot loops.
+    fn try_eval(&self, structure: &Structure, gov: &Governor) -> Result<bool, Interrupted> {
+        gov.check()?;
+        Ok(self.eval(structure))
     }
 }
 
@@ -94,12 +104,22 @@ impl BooleanQuery for ProgramQuery {
     }
 
     fn eval_with_stats(&self, structure: &Structure) -> (bool, Option<EvalStats>) {
+        // Infallible: default options configure no limits.
+        #[allow(clippy::expect_used)]
         let result = self
             .compiled
             .try_run(structure, EvalOptions::default())
             .expect("no limits configured");
         let holds = result.idb[self.compiled.goal().0].contains(&self.goal_tuple);
         (holds, Some(result.eval_stats))
+    }
+
+    fn try_eval(&self, structure: &Structure, gov: &Governor) -> Result<bool, Interrupted> {
+        let result = self
+            .compiled
+            .try_run_governed(structure, EvalOptions::default(), gov)
+            .map_err(|e| e.reason)?;
+        Ok(result.idb[self.compiled.goal().0].contains(&self.goal_tuple))
     }
 }
 
@@ -152,6 +172,20 @@ mod tests {
         assert_eq!(stats.tuples_interned, 6); // TC of a 4-path
         assert!(stats.join_probes > 0);
         assert_eq!(stats.stages, 3);
+    }
+
+    #[test]
+    fn try_eval_honors_governor() {
+        let q = ProgramQuery::at_tuple("0 reaches 3", transitive_closure(), vec![0, 3]);
+        let s = directed_path(4);
+        assert_eq!(q.try_eval(&s, &Governor::unlimited()), Ok(true));
+        let gov = Governor::unlimited();
+        gov.cancel_token().cancel();
+        assert_eq!(q.try_eval(&s, &gov), Err(Interrupted::Cancelled));
+        // The default impl on FnQuery checks the governor up front.
+        let f = FnQuery::new("nonempty", |s: &Structure| s.tuple_count() > 0);
+        assert_eq!(f.try_eval(&s, &Governor::unlimited()), Ok(true));
+        assert_eq!(f.try_eval(&s, &gov), Err(Interrupted::Cancelled));
     }
 
     #[test]

@@ -45,12 +45,14 @@
 
 use crate::ast::{IdbId, Literal, Pred, Rule, Term, VarId};
 use crate::program::Program;
+use kv_structures::govern::{Budget, Governor, Interrupted};
 use kv_structures::par::{par_workers, thread_count};
 use kv_structures::store::{
     EvalStats, IdRange, LimitExceeded, Limits, PosIndex, StoreView, TupleId, TupleStore,
 };
 use kv_structures::{Element, Relation, Structure, Vocabulary};
 use std::collections::HashSet;
+use std::fmt;
 use std::sync::Arc;
 
 /// Options controlling evaluation.
@@ -152,6 +154,84 @@ impl EvalResult {
         true
     }
 }
+
+/// Resumable evaluation state captured at a *committed* stage boundary.
+///
+/// When a governed run is interrupted, partial per-stage work is
+/// discarded and the checkpoint holds exactly the stages that committed:
+/// the IDB stores, delta markers, per-stage statistics, and stage marks.
+/// [`CompiledProgram::resume`] continues from here and — because stage
+/// `n+1` is a pure function of the committed stage-`n` state — produces a
+/// result identical, tuple id by tuple id, to an uninterrupted run.
+#[derive(Debug, Clone)]
+pub struct EvalCheckpoint {
+    idb_stores: Vec<TupleStore>,
+    delta_lo: Vec<u32>,
+    stats: Vec<StageStats>,
+    stage_marks: Vec<Vec<u32>>,
+    eval_stats: EvalStats,
+    stage: usize,
+}
+
+impl EvalCheckpoint {
+    /// Number of stages committed before the interrupt.
+    pub fn stage_count(&self) -> usize {
+        self.stage
+    }
+
+    /// Total tuples interned across all IDB stores so far.
+    pub fn tuples(&self) -> u64 {
+        self.idb_stores.iter().map(|s| s.len() as u64).sum()
+    }
+
+    /// Evaluation counters for the committed prefix (monotone across
+    /// successive checkpoints of one logical run).
+    pub fn eval_stats(&self) -> EvalStats {
+        self.eval_stats
+    }
+
+    /// The committed prefix as a (non-converged) [`EvalResult`] — partial
+    /// progress for callers that inspect rather than resume. Clones the
+    /// stores; the checkpoint stays resumable.
+    pub fn partial_result(&self) -> EvalResult {
+        EvalResult {
+            idb: self
+                .idb_stores
+                .iter()
+                .cloned()
+                .map(Relation::from_store)
+                .collect(),
+            stats: self.stats.clone(),
+            eval_stats: self.eval_stats,
+            stage_marks: self.stage_marks.clone(),
+            converged: false,
+        }
+    }
+}
+
+/// A governed evaluation was interrupted: the reason plus a resumable
+/// [`EvalCheckpoint`] holding all committed progress.
+#[derive(Debug, Clone)]
+pub struct EvalInterrupted {
+    /// Why evaluation stopped.
+    pub reason: Interrupted,
+    /// Committed progress; pass to [`CompiledProgram::resume`].
+    pub checkpoint: EvalCheckpoint,
+}
+
+impl fmt::Display for EvalInterrupted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} after {} committed stage(s), {} tuple(s)",
+            self.reason,
+            self.checkpoint.stage_count(),
+            self.checkpoint.tuples()
+        )
+    }
+}
+
+impl std::error::Error for EvalInterrupted {}
 
 /// Access mode for an IDB atom inside a semi-naive rule variant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -425,7 +505,9 @@ impl CompiledProgram {
     }
 
     /// Evaluates on `structure`, honoring the budgets in
-    /// `options.limits`.
+    /// `options.limits`. Compatibility wrapper over
+    /// [`try_run_governed`](Self::try_run_governed) with a governor built
+    /// from `options.limits` (no deadline, no cancellation).
     ///
     /// # Panics
     /// Panics if the structure's vocabulary differs from the program's.
@@ -434,6 +516,77 @@ impl CompiledProgram {
         structure: &Structure,
         options: EvalOptions,
     ) -> Result<EvalResult, LimitExceeded> {
+        let gov = Governor::with_budget(Budget::from(options.limits));
+        self.try_run_governed(structure, options, &gov)
+            .map_err(|e| match e.reason {
+                Interrupted::Limit(l) => l,
+                // The governor above has no deadline and a private,
+                // never-cancelled token.
+                other => unreachable!("ungoverned interrupt source fired: {other}"),
+            })
+    }
+
+    /// Governed evaluation: honors the `gov`'s budget, deadline, and
+    /// cancellation token, interrupting gracefully with a resumable
+    /// [`EvalCheckpoint`] at the last committed stage. Parallel workers
+    /// poll the governor cooperatively (amortized, worker-local batching),
+    /// so cancellation and deadlines take effect mid-stage; the partial
+    /// stage is discarded and recomputed on resume.
+    ///
+    /// # Panics
+    /// Panics if the structure's vocabulary differs from the program's.
+    pub fn try_run_governed(
+        &self,
+        structure: &Structure,
+        options: EvalOptions,
+        gov: &Governor,
+    ) -> Result<EvalResult, EvalInterrupted> {
+        let idb_count = self.idb_arities.len();
+        let checkpoint = EvalCheckpoint {
+            idb_stores: self
+                .idb_arities
+                .iter()
+                .map(|&a| TupleStore::new(a))
+                .collect(),
+            delta_lo: vec![0u32; idb_count],
+            stats: Vec::new(),
+            stage_marks: Vec::new(),
+            eval_stats: EvalStats::default(),
+            stage: 0,
+        };
+        self.run_from(structure, options, gov, checkpoint)
+    }
+
+    /// Resumes an interrupted governed evaluation from its checkpoint.
+    ///
+    /// `structure` and `options` must be the ones the original run used;
+    /// the EDB and IDB indexes are rebuilt deterministically from the
+    /// checkpointed stores, so the continued run derives exactly the
+    /// stages an uninterrupted run would have. Budget counters belong to
+    /// the governor, not the checkpoint — resuming with the exhausted
+    /// governor re-trips immediately, so pass a fresh or relaxed one.
+    ///
+    /// # Panics
+    /// Panics if the structure's vocabulary differs from the program's.
+    pub fn resume(
+        &self,
+        structure: &Structure,
+        options: EvalOptions,
+        gov: &Governor,
+        checkpoint: EvalCheckpoint,
+    ) -> Result<EvalResult, EvalInterrupted> {
+        self.run_from(structure, options, gov, checkpoint)
+    }
+
+    /// The governed evaluation core: runs from `cp` (fresh or resumed) to
+    /// fixpoint, truncation, or interrupt.
+    fn run_from(
+        &self,
+        structure: &Structure,
+        options: EvalOptions,
+        gov: &Governor,
+        cp: EvalCheckpoint,
+    ) -> Result<EvalResult, EvalInterrupted> {
         assert_eq!(
             structure.vocabulary(),
             &self.vocabulary,
@@ -464,35 +617,71 @@ impl CompiledProgram {
             })
             .collect();
 
-        // IDB state: one append-only store per predicate; indexes are
-        // extended (not rebuilt) after each stage commits.
-        let mut idb_stores: Vec<TupleStore> = self
-            .idb_arities
-            .iter()
-            .map(|&a| TupleStore::new(a))
-            .collect();
+        // IDB state from the checkpoint (empty on a fresh run); indexes
+        // are rebuilt over the committed prefix and then extended (not
+        // rebuilt) after each further stage commits.
+        let EvalCheckpoint {
+            mut idb_stores,
+            mut delta_lo,
+            mut stats,
+            mut stage_marks,
+            mut eval_stats,
+            mut stage,
+        } = cp;
         let mut idb_idx: Vec<Vec<PosIndex>> = self
             .idb_positions
             .iter()
-            .map(|positions| positions.iter().map(|&p| PosIndex::new(p)).collect())
+            .zip(&idb_stores)
+            .map(|(positions, store)| {
+                positions
+                    .iter()
+                    .map(|&p| {
+                        let mut ix = PosIndex::new(p);
+                        ix.update(store);
+                        ix
+                    })
+                    .collect()
+            })
             .collect();
-        let mut delta_lo = vec![0u32; idb_count];
 
-        let mut stats: Vec<StageStats> = Vec::new();
-        let mut stage_marks: Vec<Vec<u32>> = Vec::new();
-        let mut eval_stats = EvalStats::default();
+        // Packages the committed state back up on interrupt.
+        macro_rules! interrupt {
+            ($reason:expr, $stores:expr, $delta:expr, $stats:expr, $marks:expr, $estats:expr, $stage:expr) => {{
+                let mut eval_stats = $estats;
+                eval_stats.stages = $stats.len() as u64;
+                return Err(EvalInterrupted {
+                    reason: $reason,
+                    checkpoint: EvalCheckpoint {
+                        idb_stores: $stores,
+                        delta_lo: $delta,
+                        stats: $stats,
+                        stage_marks: $marks,
+                        eval_stats,
+                        stage: $stage,
+                    },
+                });
+            }};
+        }
+
         let mut converged = false;
-        let mut stage = 0usize;
         loop {
             if let Some(max) = options.max_stages {
                 if stage >= max {
                     break;
                 }
             }
-            if let Some(max) = options.limits.max_stages {
-                if stage as u64 >= max {
-                    return Err(LimitExceeded::Stages { limit: max });
-                }
+            // Coarse boundary check (cancellation poll + deadline + all
+            // budgets), then the stage budget for the stage about to run.
+            if let Err(reason) = gov.check().and_then(|()| gov.charge_stage()) {
+                interrupt!(
+                    reason,
+                    idb_stores,
+                    delta_lo,
+                    stats,
+                    stage_marks,
+                    eval_stats,
+                    stage
+                );
             }
             stage += 1;
             let prev_len: Vec<u32> = idb_stores.iter().map(|s| s.len() as u32).collect();
@@ -527,19 +716,46 @@ impl CompiledProgram {
                 idb_idx: &idb_idx,
                 prev_len: &prev_len,
                 delta_lo: &delta_lo,
+                gov,
             };
             let workers = if options.parallel {
                 thread_count().min(live_rules.len()).max(1)
             } else {
                 1
             };
-            let buffers: Vec<WorkerBuf> = par_workers(workers, |w| {
+            let mut buffers: Vec<WorkerBuf> = par_workers(workers, |w| {
                 let mut buf = WorkerBuf::new(&self.idb_arities);
                 for rule in live_rules.iter().skip(w).step_by(workers) {
-                    evaluate_rule(rule, &ctx, &mut buf);
+                    if let Err(reason) = evaluate_rule(rule, &ctx, &mut buf) {
+                        buf.tripped = Some(reason);
+                        break;
+                    }
                 }
                 buf
             });
+            // Flush each worker's trailing step count; a flush that trips
+            // the budget aborts the stage like an in-worker trip.
+            for buf in &mut buffers {
+                if buf.tripped.is_none() && buf.pending_steps > 0 {
+                    buf.tripped = gov.step(buf.pending_steps).err();
+                    buf.pending_steps = 0;
+                }
+            }
+            // Any tripped worker aborts the whole stage: scratch arenas
+            // and counters are discarded so the checkpoint holds exactly
+            // the committed stages (stage `n+1` is recomputed on resume).
+            if let Some(reason) = buffers.iter().find_map(|b| b.tripped) {
+                stage -= 1;
+                interrupt!(
+                    reason,
+                    idb_stores,
+                    delta_lo,
+                    stats,
+                    stage_marks,
+                    eval_stats,
+                    stage
+                );
+            }
 
             // Merge: re-intern each worker's scratch arena into the shared
             // stores. A tuple scratch-derived by several workers is fresh
@@ -563,7 +779,7 @@ impl CompiledProgram {
             if any_new {
                 eval_stats.tuples_interned += new_count.iter().map(|&c| c as u64).sum::<u64>();
                 stats.push(StageStats {
-                    new_tuples: new_count,
+                    new_tuples: new_count.clone(),
                 });
                 stage_marks.push(idb_stores.iter().map(|s| s.len() as u32).collect());
                 // Advance delta markers and extend the indexes over the
@@ -574,14 +790,28 @@ impl CompiledProgram {
                         ix.update(store);
                     }
                 }
-                if let Some(max) = options.limits.max_tuples {
-                    let total: u64 = idb_stores.iter().map(|s| s.len() as u64).sum();
-                    if total > max {
-                        return Err(LimitExceeded::Tuples {
-                            limit: max,
-                            reached: total,
-                        });
-                    }
+                // Tuple/byte budgets are charged after the stage commits,
+                // so the checkpoint includes it and resume continues from
+                // the next stage.
+                let new_total: u64 = new_count.iter().map(|&c| c as u64).sum();
+                let new_bytes: u64 = new_count
+                    .iter()
+                    .zip(&self.idb_arities)
+                    .map(|(&c, &a)| c as u64 * a.max(1) as u64 * 4)
+                    .sum();
+                if let Err(reason) = gov
+                    .charge_tuples(new_total)
+                    .and_then(|()| gov.charge_bytes(new_bytes))
+                {
+                    interrupt!(
+                        reason,
+                        idb_stores,
+                        delta_lo,
+                        stats,
+                        stage_marks,
+                        eval_stats,
+                        stage
+                    );
                 }
             } else {
                 converged = true;
@@ -644,6 +874,30 @@ impl<'p> Evaluator<'p> {
         self.compiled.try_run(structure, options)
     }
 
+    /// Governed evaluation honoring a [`Governor`]'s budget, deadline,
+    /// and cancellation token; interrupts are graceful and resumable.
+    /// See [`CompiledProgram::try_run_governed`].
+    pub fn try_run_governed(
+        &self,
+        structure: &Structure,
+        options: EvalOptions,
+        gov: &Governor,
+    ) -> Result<EvalResult, EvalInterrupted> {
+        self.compiled.try_run_governed(structure, options, gov)
+    }
+
+    /// Resumes an interrupted governed evaluation. See
+    /// [`CompiledProgram::resume`].
+    pub fn resume(
+        &self,
+        structure: &Structure,
+        options: EvalOptions,
+        gov: &Governor,
+        checkpoint: EvalCheckpoint,
+    ) -> Result<EvalResult, EvalInterrupted> {
+        self.compiled.resume(structure, options, gov, checkpoint)
+    }
+
     /// Convenience: runs with default options and returns the goal
     /// relation (moved out of the result, not cloned).
     pub fn goal(&self, structure: &Structure) -> Relation {
@@ -673,6 +927,9 @@ struct JoinCtx<'a> {
     /// Store length of each IDB before the previous stage committed
     /// (`old`/`delta` boundary).
     delta_lo: &'a [u32],
+    /// The shared governor; workers poll it cooperatively through
+    /// worker-local batched counters ([`WorkerBuf::pending_steps`]).
+    gov: &'a Governor,
 }
 
 impl<'a> JoinCtx<'a> {
@@ -710,6 +967,7 @@ impl<'a> JoinCtx<'a> {
 /// Finds the prepared index on position `p`. The index plan in
 /// [`CompiledProgram`] covers every statically chosen probe position, so
 /// this always succeeds.
+#[allow(clippy::expect_used)]
 fn find_index(indexes: &[PosIndex], p: usize) -> &PosIndex {
     indexes
         .iter()
@@ -725,7 +983,16 @@ struct WorkerBuf {
     head_buf: Vec<Element>,
     probes: u64,
     dups: u64,
+    /// Steps accumulated locally since the last governor flush.
+    pending_steps: u64,
+    /// Set when this worker observed an interrupt; the stage is aborted.
+    tripped: Option<Interrupted>,
 }
+
+/// Worker-local steps between governor flushes: keeps the hot join loops
+/// at one local increment per unit of work, with no shared-atomic
+/// contention.
+const WORKER_FLUSH_STRIDE: u64 = 64;
 
 impl WorkerBuf {
     fn new(idb_arities: &[usize]) -> Self {
@@ -734,13 +1001,20 @@ impl WorkerBuf {
             head_buf: Vec::new(),
             probes: 0,
             dups: 0,
+            pending_steps: 0,
+            tripped: None,
         }
     }
 }
 
 /// Evaluates one compiled rule against the stage context, interning
-/// derived head tuples into the worker's scratch arenas.
-fn evaluate_rule(rule: &CompiledRule, ctx: &JoinCtx<'_>, buf: &mut WorkerBuf) {
+/// derived head tuples into the worker's scratch arenas. Returns `Err` if
+/// the governor interrupted the worker mid-join.
+fn evaluate_rule(
+    rule: &CompiledRule,
+    ctx: &JoinCtx<'_>,
+    buf: &mut WorkerBuf,
+) -> Result<(), Interrupted> {
     // Structure-dependent constant equality guards.
     for (a, b) in &rule.const_eqs {
         let resolve = |t: &Term| match t {
@@ -748,7 +1022,7 @@ fn evaluate_rule(rule: &CompiledRule, ctx: &JoinCtx<'_>, buf: &mut WorkerBuf) {
             Term::Const(c) => Some(ctx.structure.constant(*c)),
         };
         if resolve(a) != resolve(b) {
-            return;
+            return Ok(());
         }
     }
     let mut join = RuleJoin {
@@ -757,7 +1031,7 @@ fn evaluate_rule(rule: &CompiledRule, ctx: &JoinCtx<'_>, buf: &mut WorkerBuf) {
         buf,
         binding: vec![None; rule.var_count],
     };
-    join.join(0);
+    join.join(0)
 }
 
 /// The join recursion state for one rule: the binding under construction
@@ -777,6 +1051,19 @@ impl<'a, 'b> RuleJoin<'a, 'b> {
         }
     }
 
+    /// Charges one unit of join work, flushing the worker-local count to
+    /// the shared governor every [`WORKER_FLUSH_STRIDE`] units.
+    #[inline]
+    fn charge(&mut self) -> Result<(), Interrupted> {
+        self.buf.pending_steps += 1;
+        if self.buf.pending_steps >= WORKER_FLUSH_STRIDE {
+            let n = self.buf.pending_steps;
+            self.buf.pending_steps = 0;
+            self.ctx.gov.step(n)?;
+        }
+        Ok(())
+    }
+
     /// Any fully bound inequality that fails kills the branch.
     fn neqs_ok(&self) -> bool {
         for (a, b) in &self.rule.neqs {
@@ -790,14 +1077,13 @@ impl<'a, 'b> RuleJoin<'a, 'b> {
     }
 
     /// Recursion over atoms, then free-variable enumeration, then emit.
-    fn join(&mut self, atom_pos: usize) {
+    fn join(&mut self, atom_pos: usize) -> Result<(), Interrupted> {
         if !self.neqs_ok() {
-            return;
+            return Ok(());
         }
         let rule = self.rule;
         if atom_pos == rule.atoms.len() {
-            self.enumerate_free(0);
-            return;
+            return self.enumerate_free(0);
         }
         let ctx = self.ctx;
         let atom = &rule.atoms[atom_pos];
@@ -806,25 +1092,29 @@ impl<'a, 'b> RuleJoin<'a, 'b> {
             Some(ix) => {
                 // The indexed argument is a constant or a variable bound
                 // by an earlier atom — always resolvable here.
+                #[allow(clippy::expect_used)]
                 let e = self
                     .term_value(&atom.args[ix.pos()])
                     .expect("statically bound");
                 self.buf.probes += 1;
+                self.charge()?;
                 for &id in ix.probe(e, range) {
-                    self.try_tuple(atom_pos, store.get(TupleId(id)));
+                    self.try_tuple(atom_pos, store.get(TupleId(id)))?;
                 }
             }
             None => {
                 self.buf.probes += 1;
+                self.charge()?;
                 for id in range.iter() {
-                    self.try_tuple(atom_pos, store.get(id));
+                    self.try_tuple(atom_pos, store.get(id))?;
                 }
             }
         }
+        Ok(())
     }
 
     /// Per-candidate matching: extend the binding, recurse, restore.
-    fn try_tuple(&mut self, atom_pos: usize, tuple: &[Element]) {
+    fn try_tuple(&mut self, atom_pos: usize, tuple: &[Element]) -> Result<(), Interrupted> {
         let atom = &self.rule.atoms[atom_pos];
         let mut newly_bound: Vec<VarId> = Vec::new();
         for (pos, t) in atom.args.iter().enumerate() {
@@ -843,32 +1133,35 @@ impl<'a, 'b> RuleJoin<'a, 'b> {
                 for v in newly_bound.drain(..) {
                     self.binding[v.0] = None;
                 }
-                return;
+                return Ok(());
             }
         }
-        self.join(atom_pos + 1);
+        let r = self.join(atom_pos + 1);
         for v in newly_bound.drain(..) {
             self.binding[v.0] = None;
         }
+        r
     }
 
     /// Enumerates universe values for variables bound by no atom, then
     /// emits the head tuple.
-    fn enumerate_free(&mut self, free_pos: usize) {
+    fn enumerate_free(&mut self, free_pos: usize) -> Result<(), Interrupted> {
         if !self.neqs_ok() {
-            return;
+            return Ok(());
         }
         let rule = self.rule;
         if free_pos == rule.free_vars.len() {
             self.emit();
-            return;
+            return Ok(());
         }
         let v = rule.free_vars[free_pos];
         for e in 0..self.ctx.universe as Element {
+            self.charge()?;
             self.binding[v.0] = Some(e);
-            self.enumerate_free(free_pos + 1);
+            self.enumerate_free(free_pos + 1)?;
         }
         self.binding[v.0] = None;
+        Ok(())
     }
 
     /// Emits the (fully bound) head tuple: skip if already committed in
@@ -878,6 +1171,9 @@ impl<'a, 'b> RuleJoin<'a, 'b> {
         let ctx = self.ctx;
         self.buf.head_buf.clear();
         for t in &rule.head_args {
+            // Head variables are bound: emit runs after the last atom, and
+            // unbound head variables are enumerated by the odometer.
+            #[allow(clippy::expect_used)]
             let v = match t {
                 Term::Var(v) => self.binding[v.0].expect("head variables fully bound"),
                 Term::Const(c) => ctx.structure.constant(*c),
@@ -1171,6 +1467,74 @@ mod tests {
         );
         assert_eq!(naive.eval_stats.tuples_interned, 15);
         assert!(naive.eval_stats.duplicate_derivations > r.eval_stats.duplicate_derivations);
+    }
+
+    #[test]
+    fn governed_unlimited_matches_plain_run() {
+        let p = tc();
+        let s = directed_path(8);
+        let ev = Evaluator::new(&p);
+        let plain = ev.run(&s, EvalOptions::default());
+        let gov = Governor::unlimited();
+        let governed = ev
+            .try_run_governed(&s, EvalOptions::default(), &gov)
+            .unwrap();
+        assert_eq!(plain.idb, governed.idb);
+        assert_eq!(plain.stats, governed.stats);
+        assert_eq!(plain.eval_stats, governed.eval_stats);
+        assert!(plain.same_stages(&governed));
+    }
+
+    #[test]
+    fn interrupted_run_resumes_to_identical_fixpoint() {
+        let p = tc();
+        let s = directed_path(10);
+        let ev = Evaluator::new(&p);
+        let opts = EvalOptions {
+            parallel: false,
+            ..EvalOptions::default()
+        };
+        let baseline = ev.run(&s, opts);
+        // Trip the step budget at many different points; resuming the
+        // checkpoint with a relaxed governor must reach the identical
+        // fixpoint, stage by stage, with identical counters.
+        for max_steps in [1, 5, 17, 60, 200, 1000] {
+            let gov = kv_structures::govern::chaos::step_tripper(max_steps);
+            let result = match ev.try_run_governed(&s, opts, &gov) {
+                Ok(r) => r,
+                Err(e) => {
+                    let stats_at_interrupt = e.checkpoint.eval_stats();
+                    let r = ev
+                        .resume(&s, opts, &Governor::unlimited(), e.checkpoint)
+                        .unwrap();
+                    // Counters only grow across the interrupt boundary.
+                    assert!(r.eval_stats.tuples_interned >= stats_at_interrupt.tuples_interned);
+                    assert!(r.eval_stats.join_probes >= stats_at_interrupt.join_probes);
+                    assert!(r.eval_stats.stages >= stats_at_interrupt.stages);
+                    r
+                }
+            };
+            assert_eq!(baseline.idb, result.idb, "steps={max_steps}");
+            assert_eq!(baseline.stats, result.stats, "steps={max_steps}");
+            assert!(baseline.same_stages(&result), "steps={max_steps}");
+            assert_eq!(baseline.eval_stats, result.eval_stats, "steps={max_steps}");
+        }
+    }
+
+    #[test]
+    fn cancellation_interrupts_and_reports_partial_progress() {
+        let p = tc();
+        let s = directed_path(10);
+        let ev = Evaluator::new(&p);
+        let gov = Governor::unlimited();
+        gov.cancel_token().cancel();
+        let err = ev
+            .try_run_governed(&s, EvalOptions::default(), &gov)
+            .unwrap_err();
+        assert_eq!(err.reason, Interrupted::Cancelled);
+        assert_eq!(err.checkpoint.stage_count(), 0);
+        let partial = err.checkpoint.partial_result();
+        assert!(!partial.converged);
     }
 
     #[test]

@@ -23,6 +23,10 @@
 //! input structure, filtered by the rule's (in)equalities.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+// Interrupt errors deliberately carry the resumable checkpoint inline; they
+// are cold-path values, so the large `Err` variants are intentional.
+#![allow(clippy::result_large_err)]
 
 pub mod ast;
 pub mod eval;
@@ -32,7 +36,12 @@ pub mod program;
 pub mod programs;
 
 pub use ast::{IdbId, Literal, Pred, Rule, Term, VarId};
-pub use eval::{CompiledProgram, EvalOptions, EvalResult, Evaluator, StageStats};
-pub use kv_structures::{EvalStats, LimitExceeded, Limits};
-pub use parser::{parse_program, ParseError};
+pub use eval::{
+    CompiledProgram, EvalCheckpoint, EvalInterrupted, EvalOptions, EvalResult, Evaluator,
+    StageStats,
+};
+pub use kv_structures::{
+    Budget, CancelToken, Deadline, EvalStats, Governor, Interrupted, LimitExceeded, Limits,
+};
+pub use parser::{parse_program, parse_program_strict, ParseError};
 pub use program::{Program, ProgramError};

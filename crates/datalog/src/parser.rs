@@ -17,6 +17,15 @@
 //!   with the arity of that first use);
 //! - `?- P.` selects the goal predicate (defaults to the first IDB);
 //! - `//` starts a line comment.
+//!
+//! Parsing is total: malformed input yields a structured [`ParseError`]
+//! carrying the 1-based line and column of the offending token — never a
+//! panic. Arity mismatches (against both earlier IDB uses and the EDB
+//! vocabulary) are reported at parse time with their position instead of
+//! surfacing later as positionless [`ProgramError`]s. The default parse is
+//! *permissive* about head variables that occur in no positive body atom
+//! (they range over the whole universe, as the evaluator defines);
+//! [`parse_program_strict`] rejects them with a positioned error.
 
 use crate::ast::{IdbId, Literal, Pred, Rule, Term, VarId};
 use crate::program::{Program, ProgramError};
@@ -28,10 +37,12 @@ use std::sync::Arc;
 /// Errors produced while parsing program text.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParseError {
-    /// Lexical or syntactic error with a human-readable description.
+    /// Lexical, syntactic, or positioned semantic error.
     Syntax {
-        /// 1-based line number.
+        /// 1-based line number (0 for whole-input errors).
         line: usize,
+        /// 1-based column number (0 for whole-line errors).
+        col: usize,
         /// Description.
         message: String,
     },
@@ -39,10 +50,24 @@ pub enum ParseError {
     Invalid(ProgramError),
 }
 
+impl ParseError {
+    fn at(line: usize, col: usize, message: impl Into<String>) -> Self {
+        Self::Syntax {
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+}
+
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Self::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            Self::Syntax { line, col, message } => match (line, col) {
+                (0, _) => write!(f, "{message}"),
+                (l, 0) => write!(f, "line {l}: {message}"),
+                (l, c) => write!(f, "line {l}, col {c}: {message}"),
+            },
             Self::Invalid(e) => write!(f, "invalid program: {e}"),
         }
     }
@@ -69,9 +94,13 @@ enum Tok {
     Goal,  // "?-"
 }
 
-fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
+/// A token with its 1-based (line, col) start position.
+type Spanned = (Tok, usize, usize);
+
+fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
     let mut toks = Vec::new();
     let mut line = 1usize;
+    let mut col = 1usize;
     let bytes: Vec<char> = src.chars().collect();
     let mut i = 0;
     while i < bytes.len() {
@@ -79,64 +108,84 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
         match c {
             '\n' => {
                 line += 1;
+                col = 1;
                 i += 1;
             }
-            c if c.is_whitespace() => i += 1,
+            c if c.is_whitespace() => {
+                col += 1;
+                i += 1;
+            }
             '/' if bytes.get(i + 1) == Some(&'/') => {
                 while i < bytes.len() && bytes[i] != '\n' {
                     i += 1;
                 }
             }
             '(' => {
-                toks.push((Tok::LParen, line));
+                toks.push((Tok::LParen, line, col));
+                col += 1;
                 i += 1;
             }
             ')' => {
-                toks.push((Tok::RParen, line));
+                toks.push((Tok::RParen, line, col));
+                col += 1;
                 i += 1;
             }
             ',' => {
-                toks.push((Tok::Comma, line));
+                toks.push((Tok::Comma, line, col));
+                col += 1;
                 i += 1;
             }
             '.' => {
-                toks.push((Tok::Dot, line));
+                toks.push((Tok::Dot, line, col));
+                col += 1;
                 i += 1;
             }
             '=' => {
-                toks.push((Tok::Eq, line));
+                toks.push((Tok::Eq, line, col));
+                col += 1;
                 i += 1;
             }
             ':' if bytes.get(i + 1) == Some(&'-') => {
-                toks.push((Tok::Arrow, line));
+                toks.push((Tok::Arrow, line, col));
+                col += 2;
                 i += 2;
             }
             '<' if bytes.get(i + 1) == Some(&'-') => {
-                toks.push((Tok::Arrow, line));
+                toks.push((Tok::Arrow, line, col));
+                col += 2;
                 i += 2;
             }
             '!' if bytes.get(i + 1) == Some(&'=') => {
-                toks.push((Tok::Neq, line));
+                toks.push((Tok::Neq, line, col));
+                col += 2;
                 i += 2;
             }
             '?' if bytes.get(i + 1) == Some(&'-') => {
-                toks.push((Tok::Goal, line));
+                toks.push((Tok::Goal, line, col));
+                col += 2;
                 i += 2;
             }
             c if c.is_alphanumeric() || c == '_' => {
                 let start = i;
+                let start_col = col;
                 while i < bytes.len()
                     && (bytes[i].is_alphanumeric() || bytes[i] == '_' || bytes[i] == '\'')
                 {
                     i += 1;
+                    col += 1;
                 }
-                toks.push((Tok::Ident(bytes[start..i].iter().collect()), line));
+                toks.push((
+                    Tok::Ident(bytes[start..i].iter().collect()),
+                    line,
+                    start_col,
+                ));
             }
             other => {
-                return Err(ParseError::Syntax {
+                return Err(ParseError::at(
                     line,
-                    message: format!("unexpected character {other:?}"),
-                })
+                    col,
+                    format!("unexpected character {other:?}"),
+                ))
             }
         }
     }
@@ -144,7 +193,7 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
 }
 
 struct Parser<'a> {
-    toks: Vec<(Tok, usize)>,
+    toks: Vec<Spanned>,
     pos: usize,
     vocab: &'a Vocabulary,
     idbs: Vec<(String, usize)>,
@@ -152,56 +201,83 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn peek(&self) -> Option<&Tok> {
-        self.toks.get(self.pos).map(|(t, _)| t)
+        self.toks.get(self.pos).map(|(t, _, _)| t)
     }
 
-    fn line(&self) -> usize {
+    /// (line, col) of the current token, or of the last token at EOF.
+    fn pos_of(&self) -> (usize, usize) {
         self.toks
             .get(self.pos.min(self.toks.len().saturating_sub(1)))
-            .map_or(0, |&(_, l)| l)
+            .map_or((0, 0), |&(_, l, c)| (l, c))
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError::Syntax {
-            line: self.line(),
-            message: message.into(),
-        }
+        let (line, col) = self.pos_of();
+        ParseError::at(line, col, message)
     }
 
     fn next(&mut self) -> Option<Tok> {
-        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        let t = self.toks.get(self.pos).map(|(t, _, _)| t.clone());
         self.pos += 1;
         t
     }
 
     fn expect(&mut self, want: &Tok, what: &str) -> Result<(), ParseError> {
-        match self.next() {
-            Some(ref t) if t == want => Ok(()),
-            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        match self.peek() {
+            Some(t) if t == want => {
+                self.next();
+                Ok(())
+            }
+            other => {
+                let msg = format!("expected {what}, found {other:?}");
+                Err(self.err(msg))
+            }
         }
     }
 
     fn ident(&mut self) -> Result<String, ParseError> {
-        match self.next() {
-            Some(Tok::Ident(s)) => Ok(s),
-            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        match self.peek() {
+            Some(Tok::Ident(_)) => match self.next() {
+                Some(Tok::Ident(s)) => Ok(s),
+                _ => unreachable!("peeked an identifier"),
+            },
+            other => {
+                let msg = format!("expected identifier, found {other:?}");
+                Err(self.err(msg))
+            }
         }
     }
 
-    /// Resolves a predicate name, auto-declaring IDBs.
-    fn pred(&mut self, name: &str, arity: usize, line: usize) -> Result<Pred, ParseError> {
+    /// Resolves a predicate name, auto-declaring IDBs. Arity is checked at
+    /// parse time against both the vocabulary (EDB) and earlier uses (IDB).
+    fn pred(
+        &mut self,
+        name: &str,
+        arity: usize,
+        line: usize,
+        col: usize,
+    ) -> Result<Pred, ParseError> {
         if let Some(r) = self.vocab.relation_by_name(name) {
+            let declared = self.vocab.arity(r);
+            if declared != arity {
+                return Err(ParseError::at(
+                    line,
+                    col,
+                    format!("EDB relation {name} used with arity {arity}, declared {declared}"),
+                ));
+            }
             return Ok(Pred::Edb(r));
         }
         if let Some(i) = self.idbs.iter().position(|(n, _)| n == name) {
             if self.idbs[i].1 != arity {
-                return Err(ParseError::Syntax {
+                return Err(ParseError::at(
                     line,
-                    message: format!(
+                    col,
+                    format!(
                         "predicate {name} used with arity {arity}, previously {}",
                         self.idbs[i].1
                     ),
-                });
+                ));
             }
             return Ok(Pred::Idb(IdbId(i)));
         }
@@ -238,10 +314,18 @@ impl<'a> Parser<'a> {
         }
         loop {
             args.push(self.term(vars, var_ids)?);
-            match self.next() {
-                Some(Tok::Comma) => continue,
-                Some(Tok::RParen) => break,
-                other => return Err(self.err(format!("expected ',' or ')', found {other:?}"))),
+            match self.peek() {
+                Some(Tok::Comma) => {
+                    self.next();
+                }
+                Some(Tok::RParen) => {
+                    self.next();
+                    break;
+                }
+                other => {
+                    let msg = format!("expected ',' or ')', found {other:?}");
+                    return Err(self.err(msg));
+                }
             }
         }
         Ok(args)
@@ -249,6 +333,10 @@ impl<'a> Parser<'a> {
 }
 
 /// Parses a program from text against the given EDB vocabulary.
+///
+/// Head variables that occur in no positive body atom are accepted and
+/// range over the whole universe (the evaluator's semantics); use
+/// [`parse_program_strict`] to reject them.
 ///
 /// ```
 /// use kv_datalog::{parse_program, Evaluator};
@@ -264,6 +352,31 @@ impl<'a> Parser<'a> {
 /// # Ok::<(), kv_datalog::ParseError>(())
 /// ```
 pub fn parse_program(src: &str, vocabulary: Arc<Vocabulary>) -> Result<Program, ParseError> {
+    parse_program_impl(src, vocabulary, false)
+}
+
+/// Like [`parse_program`], but rejects rules whose head mentions a
+/// variable that occurs in no positive body atom, reporting the rule's
+/// position. Safe-range Datalog texts parse identically under both modes.
+///
+/// ```
+/// use kv_datalog::parser::parse_program_strict;
+/// use kv_structures::Vocabulary;
+/// use std::sync::Arc;
+///
+/// let err = parse_program_strict("P(x, w) :- E(x, x).", Arc::new(Vocabulary::graph()))
+///     .unwrap_err();
+/// assert!(err.to_string().contains("unbound head variable"));
+/// ```
+pub fn parse_program_strict(src: &str, vocabulary: Arc<Vocabulary>) -> Result<Program, ParseError> {
+    parse_program_impl(src, vocabulary, true)
+}
+
+fn parse_program_impl(
+    src: &str,
+    vocabulary: Arc<Vocabulary>,
+    strict: bool,
+) -> Result<Program, ParseError> {
     let toks = lex(src)?;
     let vocab_ref = Arc::clone(&vocabulary);
     let mut p = Parser {
@@ -285,16 +398,17 @@ pub fn parse_program(src: &str, vocabulary: Arc<Vocabulary>) -> Result<Program, 
         // Head.
         let mut vars: Vec<String> = Vec::new();
         let mut var_ids: HashMap<String, VarId> = HashMap::new();
+        let (head_line, head_col) = p.pos_of();
         let head_name = p.ident()?;
-        let line = p.line();
         let head_args = p.term_list(&mut vars, &mut var_ids)?;
-        let head = match p.pred(&head_name, head_args.len(), line)? {
+        let head = match p.pred(&head_name, head_args.len(), head_line, head_col)? {
             Pred::Idb(i) => i,
             Pred::Edb(_) => {
-                return Err(ParseError::Syntax {
-                    line,
-                    message: format!("rule head {head_name} is an EDB relation"),
-                })
+                return Err(ParseError::at(
+                    head_line,
+                    head_col,
+                    format!("rule head {head_name} is an EDB relation"),
+                ))
             }
         };
         // Body (optional).
@@ -303,6 +417,7 @@ pub fn parse_program(src: &str, vocabulary: Arc<Vocabulary>) -> Result<Program, 
             Some(Tok::Dot) => {}
             Some(Tok::Arrow) => loop {
                 // A literal: either ident(...) or term (= | !=) term.
+                let (lit_line, lit_col) = p.pos_of();
                 let first = p.term(&mut vars, &mut var_ids)?;
                 match p.peek() {
                     Some(Tok::LParen) => {
@@ -324,9 +439,8 @@ pub fn parse_program(src: &str, vocabulary: Arc<Vocabulary>) -> Result<Program, 
                             }
                             Term::Const(_) => return Err(p.err("constant used as predicate name")),
                         };
-                        let line = p.line();
                         let args = p.term_list(&mut vars, &mut var_ids)?;
-                        let pred = p.pred(&name, args.len(), line)?;
+                        let pred = p.pred(&name, args.len(), lit_line, lit_col)?;
                         body.push(Literal::Atom(pred, args));
                     }
                     Some(Tok::Eq) => {
@@ -344,13 +458,31 @@ pub fn parse_program(src: &str, vocabulary: Arc<Vocabulary>) -> Result<Program, 
                         return Err(p.err(msg));
                     }
                 }
-                match p.next() {
-                    Some(Tok::Comma) => continue,
-                    Some(Tok::Dot) => break,
-                    other => return Err(p.err(format!("expected ',' or '.', found {other:?}"))),
+                match p.peek() {
+                    Some(Tok::Comma) => {
+                        p.next();
+                        continue;
+                    }
+                    Some(Tok::Dot) => {
+                        p.next();
+                        break;
+                    }
+                    other => {
+                        let msg = format!("expected ',' or '.', found {other:?}");
+                        return Err(p.err(msg));
+                    }
                 }
             },
-            other => return Err(p.err(format!("expected ':-' or '.', found {other:?}"))),
+            other => {
+                return Err(ParseError::at(
+                    head_line,
+                    head_col,
+                    format!("expected ':-' or '.', found {other:?}"),
+                ))
+            }
+        }
+        if strict {
+            check_head_range(&head_name, &head_args, &body, &vars, head_line, head_col)?;
         }
         rules.push(Rule {
             head,
@@ -361,14 +493,46 @@ pub fn parse_program(src: &str, vocabulary: Arc<Vocabulary>) -> Result<Program, 
     }
     let goal = match goal_name {
         Some(name) => IdbId(p.idbs.iter().position(|(n, _)| *n == name).ok_or_else(|| {
-            ParseError::Syntax {
-                line: 0,
-                message: format!("goal predicate {name} is not an IDB of the program"),
-            }
+            ParseError::at(
+                0,
+                0,
+                format!("goal predicate {name} is not an IDB of the program"),
+            )
         })?),
         None => IdbId(0),
     };
     Ok(Program::new(vocabulary, p.idbs, rules, goal)?)
+}
+
+/// Strict-mode range check: every head variable must occur in a positive
+/// body atom (equalities and inequalities do not bind).
+fn check_head_range(
+    head_name: &str,
+    head_args: &[Term],
+    body: &[Literal],
+    vars: &[String],
+    line: usize,
+    col: usize,
+) -> Result<(), ParseError> {
+    for t in head_args {
+        let Term::Var(v) = t else { continue };
+        let bound = body.iter().any(|l| match l {
+            Literal::Atom(_, args) => args.contains(&Term::Var(*v)),
+            Literal::Eq(..) | Literal::Neq(..) => false,
+        });
+        if !bound {
+            return Err(ParseError::at(
+                line,
+                col,
+                format!(
+                    "unbound head variable {} in rule for {head_name} \
+                     (strict mode: every head variable must occur in a positive body atom)",
+                    vars[v.0]
+                ),
+            ));
+        }
+    }
+    Ok(())
 }
 
 fn body_mentions(body: &[Literal], v: VarId) -> bool {
@@ -466,7 +630,30 @@ mod tests {
             Q(x) :- P(x, x).
         ";
         let err = parse_program(src, graph_vocab()).unwrap_err();
-        assert!(matches!(err, ParseError::Syntax { .. }));
+        match err {
+            ParseError::Syntax { line, col, message } => {
+                assert_eq!(line, 3, "error should point at the offending atom");
+                assert!(col > 0);
+                assert!(message.contains("arity 2, previously 1"), "{message}");
+            }
+            other => panic!("expected positioned syntax error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_edb_arity_mismatch_at_parse_time() {
+        // E is binary in the graph vocabulary; using it unary must fail
+        // at the use site, not as a positionless program error.
+        let src = "P(x) :- E(x).";
+        let err = parse_program(src, graph_vocab()).unwrap_err();
+        match err {
+            ParseError::Syntax { line, col, message } => {
+                assert_eq!(line, 1);
+                assert_eq!(col, 9);
+                assert!(message.contains("arity 1, declared 2"), "{message}");
+            }
+            other => panic!("expected positioned syntax error, got {other:?}"),
+        }
     }
 
     #[test]
@@ -479,6 +666,98 @@ mod tests {
     fn arrow_variants_accepted() {
         let src = "P(x) <- E(x, x).";
         assert!(parse_program(src, graph_vocab()).is_ok());
+    }
+
+    #[test]
+    fn errors_carry_line_and_column() {
+        // The stray '=' sits on line 2 at column 18.
+        let src = "P(x) :- E(x, x).\nQ(y) :- E(y, y), = .";
+        let err = parse_program(src, graph_vocab()).unwrap_err();
+        match err {
+            ParseError::Syntax { line, col, .. } => {
+                assert_eq!(line, 2);
+                assert_eq!(col, 18);
+            }
+            other => panic!("expected syntax error, got {other:?}"),
+        }
+        assert!(err.to_string().starts_with("line 2, col 18:"));
+    }
+
+    #[test]
+    fn lex_error_position_is_exact() {
+        let src = "P(x) :- E(x, x).\n  @";
+        let err = parse_program(src, graph_vocab()).unwrap_err();
+        assert_eq!(
+            err,
+            ParseError::at(2, 3, "unexpected character '@'".to_string())
+        );
+    }
+
+    #[test]
+    fn malformed_rules_never_panic() {
+        // A grab-bag of malformed inputs: every one must produce an error,
+        // never a panic.
+        let bad = [
+            "P(",
+            "P(x",
+            "P(x,",
+            "P(x))",
+            ":- E(x, y).",
+            "P(x) :-",
+            "P(x) :- .",
+            "P(x) :- E(x, y),",
+            "P(x) :- E(x, y) Q(y).",
+            "?-",
+            "?- .",
+            "P(x) :- s1(x, y).",
+            "P(x) := E(x, y).",
+            "P(x) :- x != .",
+            "P(x) :- E(x, y). ?- P. ?-",
+        ];
+        let vocab = Arc::new(Vocabulary::graph_with_constants(1));
+        for src in bad {
+            let res = parse_program(src, Arc::clone(&vocab));
+            assert!(res.is_err(), "expected error for {src:?}");
+        }
+    }
+
+    #[test]
+    fn strict_mode_rejects_unbound_head_variable() {
+        let src = "P(x, w) :- E(x, x).";
+        let err = parse_program_strict(src, graph_vocab()).unwrap_err();
+        match err {
+            ParseError::Syntax { line, col, message } => {
+                assert_eq!((line, col), (1, 1));
+                assert!(message.contains("unbound head variable w"), "{message}");
+            }
+            other => panic!("expected syntax error, got {other:?}"),
+        }
+        // The permissive default accepts the same text (the variable
+        // ranges over the universe).
+        assert!(parse_program(src, graph_vocab()).is_ok());
+    }
+
+    #[test]
+    fn strict_mode_ignores_inequality_bindings() {
+        // w appears in the body, but only in an inequality — still unbound.
+        let src = "P(x, w) :- E(x, x), w != x.";
+        assert!(parse_program_strict(src, graph_vocab()).is_err());
+        // Bound through a positive atom: fine in both modes.
+        let ok = "P(x, w) :- E(x, w).";
+        assert!(parse_program_strict(ok, graph_vocab()).is_ok());
+    }
+
+    #[test]
+    fn strict_mode_accepts_safe_range_programs_identically() {
+        let src = "
+            T(x, y, w) :- E(x, y), T(y, x, w), w != x.
+            T(x, y, w) :- E(x, y), E(w, w).
+            ?- T.
+        ";
+        let p1 = parse_program(src, graph_vocab()).unwrap();
+        let p2 = parse_program_strict(src, graph_vocab()).unwrap();
+        assert_eq!(p1.rules(), p2.rules());
+        assert_eq!(p1.goal(), p2.goal());
     }
 
     #[test]

@@ -14,6 +14,10 @@
 //! every `j`) per level `j = 1, …, k`, where level `j` carries
 //! `l + (k - j)` forbidden-node arguments.
 
+// Every program in this module is fixed (or generated) text that parses
+// by construction; the `expect`s are compile-time-style assertions.
+#![allow(clippy::expect_used)]
+
 use crate::parser::parse_program;
 use crate::program::Program;
 use kv_structures::Vocabulary;

@@ -35,16 +35,24 @@ pub fn is_acyclic(g: &Digraph) -> bool {
 /// edges) of the longest path starting at that node. Sinks have level 0.
 ///
 /// # Panics
-/// Panics if the graph has a cycle.
+/// Panics if the graph has a cycle; [`try_levels`] is the total variant.
 pub fn levels(g: &Digraph) -> Vec<usize> {
-    let order = topological_sort(g).expect("levels are defined only on acyclic graphs");
+    // Input contract documented above; try_levels is the fallible form.
+    #[allow(clippy::expect_used)]
+    let out = try_levels(g).expect("levels are defined only on acyclic graphs");
+    out
+}
+
+/// Total form of [`levels`]: `None` if the graph has a cycle.
+pub fn try_levels(g: &Digraph) -> Option<Vec<usize>> {
+    let order = topological_sort(g)?;
     let mut level = vec![0usize; g.node_count()];
     for &u in order.iter().rev() {
         for &v in g.successors(u) {
             level[u as usize] = level[u as usize].max(level[v as usize] + 1);
         }
     }
-    level
+    Some(level)
 }
 
 #[cfg(test)]

@@ -7,6 +7,7 @@
 //! is `k`) and a vertex cut of fewer than `k` nodes (when it is not).
 
 use crate::flow::NodeCapNetwork;
+use kv_structures::govern::{Governor, Interrupted};
 use kv_structures::Digraph;
 
 /// The outcome of a fan computation: either a witnessing path system or a
@@ -42,6 +43,24 @@ pub enum DisjointFan {
 /// `source` nor any target is forbidden — otherwise the answer is
 /// immediately a trivial cut.
 pub fn disjoint_fan(g: &Digraph, source: u32, targets: &[u32], forbidden: &[u32]) -> DisjointFan {
+    match try_disjoint_fan(g, source, targets, forbidden, &Governor::unlimited()) {
+        Ok(fan) => fan,
+        Err(e) => unreachable!("unlimited governor interrupted: {e}"),
+    }
+}
+
+/// Governed [`disjoint_fan`]: charges one step per graph edge while
+/// building the split network and checks the governor inside the max-flow
+/// augmenting loop. The computation is pure — on interrupt, simply call
+/// again with a fresh or relaxed governor.
+pub fn try_disjoint_fan(
+    g: &Digraph,
+    source: u32,
+    targets: &[u32],
+    forbidden: &[u32],
+    gov: &Governor,
+) -> Result<DisjointFan, Interrupted> {
+    gov.check()?;
     let k = targets.len() as i64;
     // Degenerate inputs: unsatisfiable by definition.
     let mut sorted = targets.to_vec();
@@ -52,8 +71,9 @@ pub fn disjoint_fan(g: &Digraph, source: u32, targets: &[u32], forbidden: &[u32]
         || forbidden.contains(&source)
         || targets.iter().any(|t| forbidden.contains(t))
     {
-        return DisjointFan::Cut(Vec::new());
+        return Ok(DisjointFan::Cut(Vec::new()));
     }
+    gov.step(g.edge_count() as u64)?;
     // Simple paths out of `source` never revisit it, so edges *into* the
     // source are irrelevant; removing them also prevents the flow from
     // recirculating through the source's capacity-k splitter, which would
@@ -75,19 +95,21 @@ pub fn disjoint_fan(g: &Digraph, source: u32, targets: &[u32], forbidden: &[u32]
         }
     });
     let sink = net.add_unit_sink(targets);
-    let flow = net.run(source, sink);
+    let flow = net.try_run(source, sink, gov)?;
     if flow < k {
-        return DisjointFan::Cut(net.min_vertex_cut(source));
+        return Ok(DisjointFan::Cut(net.min_vertex_cut(source)));
     }
     let mut paths = net.disjoint_paths(source);
-    // Order the paths by target order.
+    // Order the paths by target order. Decomposed flow paths are nonempty
+    // and end at unit-sink predecessors, i.e. at targets.
+    #[allow(clippy::unwrap_used, clippy::expect_used)]
     paths.sort_by_key(|p| {
         targets
             .iter()
             .position(|t| t == p.last().unwrap())
             .expect("path ends at a target")
     });
-    DisjointFan::Paths(paths)
+    Ok(DisjointFan::Paths(paths))
 }
 
 /// Boolean form of [`disjoint_fan`].
@@ -108,18 +130,33 @@ pub fn disjoint_fan_into(
     target: u32,
     forbidden: &[u32],
 ) -> DisjointFan {
+    match try_disjoint_fan_into(g, sources, target, forbidden, &Governor::unlimited()) {
+        Ok(fan) => fan,
+        Err(e) => unreachable!("unlimited governor interrupted: {e}"),
+    }
+}
+
+/// Governed [`disjoint_fan_into`]; same restart-resume contract as
+/// [`try_disjoint_fan`].
+pub fn try_disjoint_fan_into(
+    g: &Digraph,
+    sources: &[u32],
+    target: u32,
+    forbidden: &[u32],
+    gov: &Governor,
+) -> Result<DisjointFan, Interrupted> {
     let mut rev = Digraph::new(g.node_count());
     for (u, v) in g.edges() {
         rev.add_edge(v, u);
     }
-    match disjoint_fan(&rev, target, sources, forbidden) {
+    match try_disjoint_fan(&rev, target, sources, forbidden, gov)? {
         DisjointFan::Paths(mut paths) => {
             for p in &mut paths {
                 p.reverse();
             }
-            DisjointFan::Paths(paths)
+            Ok(DisjointFan::Paths(paths))
         }
-        cut => cut,
+        cut => Ok(cut),
     }
 }
 
@@ -269,6 +306,46 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn governed_unlimited_agrees_with_plain() {
+        for seed in 0..10 {
+            let g = random_digraph(9, 0.3, 900 + seed);
+            let targets = [1u32, 2];
+            let plain = disjoint_fan(&g, 0, &targets, &[]);
+            let governed = try_disjoint_fan(&g, 0, &targets, &[], &Governor::unlimited())
+                .expect("unlimited governor never interrupts");
+            assert_eq!(plain, governed, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn interrupt_then_rerun_agrees_with_plain() {
+        use kv_structures::govern::Budget;
+        let g = random_digraph(10, 0.35, 4242);
+        let targets = [1u32, 2, 3];
+        let plain = disjoint_fan(&g, 0, &targets, &[]);
+        // A tiny step budget must interrupt, never panic; rerunning with a
+        // fresh unlimited governor recovers the exact answer.
+        let tight = Governor::with_budget(Budget::steps(3));
+        match try_disjoint_fan(&g, 0, &targets, &[], &tight) {
+            Err(Interrupted::Limit(_)) => {}
+            other => panic!("expected a limit interrupt, got {other:?}"),
+        }
+        let rerun = try_disjoint_fan(&g, 0, &targets, &[], &Governor::unlimited()).unwrap();
+        assert_eq!(plain, rerun);
+    }
+
+    #[test]
+    fn governed_reverse_fan_agrees_with_plain() {
+        let mut g = Digraph::new(4);
+        g.add_edge(1, 0);
+        g.add_edge(2, 3);
+        g.add_edge(3, 0);
+        let plain = disjoint_fan_into(&g, &[1, 2], 0, &[]);
+        let governed = try_disjoint_fan_into(&g, &[1, 2], 0, &[], &Governor::unlimited()).unwrap();
+        assert_eq!(plain, governed);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! the node-disjoint path system the Menger / Max-Flow Min-Cut argument
 //! guarantees.
 
+use kv_structures::govern::{Governor, Interrupted};
 use kv_structures::Digraph;
 use std::collections::VecDeque;
 
@@ -50,17 +51,34 @@ impl FlowNetwork {
     /// Runs Edmonds–Karp from `s` to `t`, mutating residual capacities.
     /// Returns the max-flow value.
     pub fn max_flow(&mut self, s: u32, t: u32) -> i64 {
+        match self.try_max_flow(s, t, &Governor::unlimited()) {
+            Ok(flow) => flow,
+            Err(e) => unreachable!("unlimited governor interrupted: {e}"),
+        }
+    }
+
+    /// Governed [`max_flow`](Self::max_flow): checks the governor between
+    /// augmenting iterations and charges one step per BFS edge scan. On
+    /// interrupt the network keeps the flow pushed so far — the residual
+    /// capacities *are* the checkpoint — so calling `try_max_flow` again
+    /// with a fresh or relaxed governor continues augmenting and returns
+    /// the **additional** flow; the final residual state is identical to
+    /// an uninterrupted run.
+    pub fn try_max_flow(&mut self, s: u32, t: u32, gov: &Governor) -> Result<i64, Interrupted> {
         assert_ne!(s, t, "source equals sink");
         let n = self.node_count();
         let mut total = 0i64;
         loop {
+            gov.check()?;
             // BFS for a shortest augmenting path.
+            let mut scanned = 0u64;
             let mut pred: Vec<Option<usize>> = vec![None; n];
             let mut seen = vec![false; n];
             seen[s as usize] = true;
             let mut queue = VecDeque::new();
             queue.push_back(s);
             'bfs: while let Some(u) = queue.pop_front() {
+                scanned += self.adj[u as usize].len() as u64;
                 for &a in &self.adj[u as usize] {
                     let (v, cap) = self.arcs[a];
                     if cap > 0 && !seen[v as usize] {
@@ -74,11 +92,16 @@ impl FlowNetwork {
                 }
             }
             if !seen[t as usize] {
-                return total;
+                return Ok(total);
             }
-            // Bottleneck.
+            // Charge before augmenting: an interrupt here discards only
+            // the (recomputable) BFS, never a half-applied augmentation.
+            gov.step(scanned)?;
+            // Bottleneck. The BFS reached `t`, so every node on the path
+            // back to `s` has a predecessor arc.
             let mut bottleneck = i64::MAX;
             let mut v = t;
+            #[allow(clippy::unwrap_used)]
             while v != s {
                 let a = pred[v as usize].unwrap();
                 bottleneck = bottleneck.min(self.arcs[a].1);
@@ -86,6 +109,7 @@ impl FlowNetwork {
             }
             // Augment.
             let mut v = t;
+            #[allow(clippy::unwrap_used)]
             while v != s {
                 let a = pred[v as usize].unwrap();
                 self.arcs[a].1 -= bottleneck;
@@ -178,6 +202,17 @@ impl NodeCapNetwork {
     /// `2 * v` for a graph node `v`'s in-node).
     pub fn run(&mut self, source: u32, sink_raw: u32) -> i64 {
         self.net.max_flow(2 * source + 1, sink_raw)
+    }
+
+    /// Governed [`run`](Self::run): see [`FlowNetwork::try_max_flow`] for
+    /// the interrupt and resume semantics.
+    pub fn try_run(
+        &mut self,
+        source: u32,
+        sink_raw: u32,
+        gov: &Governor,
+    ) -> Result<i64, Interrupted> {
+        self.net.try_max_flow(2 * source + 1, sink_raw, gov)
     }
 
     /// After [`run`](Self::run), decomposes the integral flow into

@@ -18,6 +18,7 @@
 //!   baseline for the NP-complete side.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod dag;
 pub mod disjoint;
@@ -25,8 +26,8 @@ pub mod flow;
 pub mod reach;
 pub mod simple_paths;
 
-pub use dag::{is_acyclic, levels, topological_sort};
-pub use disjoint::{disjoint_fan, DisjointFan};
+pub use dag::{is_acyclic, levels, topological_sort, try_levels};
+pub use disjoint::{disjoint_fan, try_disjoint_fan, try_disjoint_fan_into, DisjointFan};
 pub use flow::{FlowNetwork, NodeCapNetwork};
 pub use reach::{avoiding_path, reachable_from, shortest_path};
 pub use simple_paths::{enumerate_simple_paths, has_simple_path_where};

@@ -1,6 +1,7 @@
 //! Exhaustive homeomorphism testing — the exponential ground truth.
 
 use kv_pebble::PatternSpec;
+use kv_structures::govern::{Governor, Interrupted};
 use kv_structures::Digraph;
 
 /// Does `g` contain, for every edge `(i, j)` of `pattern`, a nonempty
@@ -22,6 +23,19 @@ pub fn brute_force_homeomorphism(
     find_homeomorphism(pattern, g, distinguished).is_some()
 }
 
+/// Governed [`brute_force_homeomorphism`]: the governor is charged one
+/// step per backtracking successor visit. The search carries no
+/// committed state — on interrupt, restart with a fresh or relaxed
+/// governor.
+pub fn try_brute_force_homeomorphism(
+    pattern: &PatternSpec,
+    g: &Digraph,
+    distinguished: &[u32],
+    gov: &Governor,
+) -> Result<bool, Interrupted> {
+    Ok(try_find_homeomorphism(pattern, g, distinguished, gov)?.is_some())
+}
+
 /// Like [`brute_force_homeomorphism`] but returns the path system (one
 /// node sequence per pattern edge, in pattern-edge order).
 pub fn find_homeomorphism(
@@ -29,6 +43,22 @@ pub fn find_homeomorphism(
     g: &Digraph,
     distinguished: &[u32],
 ) -> Option<Vec<Vec<u32>>> {
+    match try_find_homeomorphism(pattern, g, distinguished, &Governor::unlimited()) {
+        Ok(witness) => witness,
+        Err(e) => unreachable!("unlimited governor interrupted: {e}"),
+    }
+}
+
+/// Governed [`find_homeomorphism`]; same restart-resume contract as
+/// [`try_brute_force_homeomorphism`].
+pub fn try_find_homeomorphism(
+    pattern: &PatternSpec,
+    g: &Digraph,
+    distinguished: &[u32],
+    gov: &Governor,
+) -> Result<Option<Vec<Vec<u32>>>, Interrupted> {
+    // Documented input contract: callers must pass a validated pattern.
+    #[allow(clippy::expect_used)]
     pattern.validate_allow_self_loops().expect("valid pattern");
     assert_eq!(distinguished.len(), pattern.node_count);
     let mut uniq = distinguished.to_vec();
@@ -47,13 +77,14 @@ pub fn find_homeomorphism(
     // node is an endpoint of some path and interior to none).
     let mut used = vec![false; g.node_count()];
     let mut paths: Vec<Vec<u32>> = Vec::with_capacity(pattern.edges.len());
-    if assign(pattern, g, distinguished, 0, &mut used, &mut paths) {
-        Some(paths)
+    if assign(pattern, g, distinguished, 0, &mut used, &mut paths, gov)? {
+        Ok(Some(paths))
     } else {
-        None
+        Ok(None)
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn assign(
     pattern: &PatternSpec,
     g: &Digraph,
@@ -61,9 +92,10 @@ fn assign(
     edge_idx: usize,
     used: &mut Vec<bool>,
     paths: &mut Vec<Vec<u32>>,
-) -> bool {
+    gov: &Governor,
+) -> Result<bool, Interrupted> {
     let Some(&(i, j)) = pattern.edges.get(edge_idx) else {
-        return true;
+        return Ok(true);
     };
     let (from, to) = (distinguished[i], distinguished[j]);
     // Enumerate simple paths from `from` to `to` whose interior avoids
@@ -79,6 +111,7 @@ fn assign(
         &mut path,
         from,
         to,
+        gov,
     )
 }
 
@@ -93,15 +126,17 @@ fn extend(
     path: &mut Vec<u32>,
     current: u32,
     target: u32,
-) -> bool {
+    gov: &Governor,
+) -> Result<bool, Interrupted> {
     for &v in g.successors(current) {
+        gov.step(1)?;
         if v == target {
             // Self-loop patterns ask for a cycle: `from == to` is allowed
             // and the path from -> ... -> from is a proper cycle.
             path.push(v);
             paths.push(path.clone());
-            if assign(pattern, g, distinguished, edge_idx + 1, used, paths) {
-                return true;
+            if assign(pattern, g, distinguished, edge_idx + 1, used, paths, gov)? {
+                return Ok(true);
             }
             paths.pop();
             path.pop();
@@ -122,13 +157,14 @@ fn extend(
             path,
             v,
             target,
-        ) {
-            return true;
+            gov,
+        )? {
+            return Ok(true);
         }
         path.pop();
         used[v as usize] = false;
     }
-    false
+    Ok(false)
 }
 
 #[cfg(test)]
@@ -200,6 +236,26 @@ mod tests {
         g2.add_edge(0, 3);
         g2.add_edge(3, 1);
         assert!(!brute_force_homeomorphism(&p, &g2, &[0, 1]));
+    }
+
+    #[test]
+    fn governed_interrupt_then_rerun_agrees_with_plain() {
+        use kv_structures::govern::{Budget, Governor, Interrupted};
+        let h1 = PatternSpec::two_disjoint_edges();
+        let mut g = Digraph::new(6);
+        g.add_edge(0, 4);
+        g.add_edge(4, 1);
+        g.add_edge(2, 5);
+        g.add_edge(5, 3);
+        let d = [0u32, 1, 2, 3];
+        let plain = find_homeomorphism(&h1, &g, &d);
+        let tight = Governor::with_budget(Budget::steps(1));
+        match try_find_homeomorphism(&h1, &g, &d, &tight) {
+            Err(Interrupted::Limit(_)) => {}
+            other => panic!("expected a limit interrupt, got {other:?}"),
+        }
+        let rerun = try_find_homeomorphism(&h1, &g, &d, &Governor::unlimited()).unwrap();
+        assert_eq!(plain, rerun);
     }
 
     #[test]

@@ -3,8 +3,9 @@
 //! the self-loop case adds a cycle through the root.
 
 use crate::pattern::{ClassCRoot, Orientation};
-use kv_graphalg::disjoint::{disjoint_fan, DisjointFan};
+use kv_graphalg::disjoint::{try_disjoint_fan, DisjointFan};
 use kv_pebble::PatternSpec;
+use kv_structures::govern::{Governor, Interrupted};
 use kv_structures::Digraph;
 
 /// Solves the `H`-subgraph homeomorphism query for a pattern in class `C`.
@@ -26,7 +27,25 @@ pub fn solve_class_c(
     g: &Digraph,
     distinguished: &[u32],
 ) -> bool {
+    match try_solve_class_c(pattern, root, g, distinguished, &Governor::unlimited()) {
+        Ok(answer) => answer,
+        Err(e) => unreachable!("unlimited governor interrupted: {e}"),
+    }
+}
+
+/// Governed [`solve_class_c`]: the governor is checked inside every
+/// max-flow call and charged one step per candidate loop node in the
+/// self-loop case. The computation is pure — on interrupt, call again
+/// with a fresh or relaxed governor.
+pub fn try_solve_class_c(
+    pattern: &PatternSpec,
+    root: &ClassCRoot,
+    g: &Digraph,
+    distinguished: &[u32],
+    gov: &Governor,
+) -> Result<bool, Interrupted> {
     assert_eq!(distinguished.len(), pattern.node_count);
+    gov.check()?;
     // Work on the out-orientation; reverse the graph otherwise.
     let (graph, flipped);
     match root.orientation {
@@ -56,23 +75,26 @@ pub fn solve_class_c(
         .collect();
     debug_assert_eq!(targets.len(), root.fan);
 
-    let plain_fan = |extra: Option<u32>| -> bool {
+    let plain_fan = |extra: Option<u32>| -> Result<bool, Interrupted> {
         let mut t = targets.clone();
         if let Some(w) = extra {
             t.push(w);
         }
-        matches!(disjoint_fan(&graph, s, &t, &[]), DisjointFan::Paths(_))
+        Ok(matches!(
+            try_disjoint_fan(&graph, s, &t, &[], gov)?,
+            DisjointFan::Paths(_)
+        ))
     };
 
     if !root.self_loop {
         if targets.is_empty() {
-            return true; // pattern had only isolated nodes / nothing to do
+            return Ok(true); // pattern had only isolated nodes / nothing to do
         }
         return plain_fan(None);
     }
     // Self-loop case. Option 1: G has a literal self-loop at s.
-    if graph.has_edge(s, s) && (targets.is_empty() || plain_fan(None)) {
-        return true;
+    if graph.has_edge(s, s) && (targets.is_empty() || plain_fan(None)?) {
+        return Ok(true);
     }
     // Option 2: route the loop through some non-distinguished w with an
     // edge back to s, as a (k+1)-st fan leg.
@@ -80,16 +102,19 @@ pub fn solve_class_c(
         if w == s || distinguished.contains(&w) {
             continue;
         }
-        if graph.has_edge(w, s) && plain_fan(Some(w)) {
-            return true;
+        gov.step(1)?;
+        if graph.has_edge(w, s) && plain_fan(Some(w))? {
+            return Ok(true);
         }
     }
-    false
+    Ok(false)
 }
 
 /// Convenience wrapper: classify and solve, panicking if the pattern is
 /// not in class `C`.
 pub fn solve_class_c_auto(pattern: &PatternSpec, g: &Digraph, distinguished: &[u32]) -> bool {
+    // Documented input contract: the panic is the advertised behavior.
+    #[allow(clippy::expect_used)]
     let root = crate::pattern::class_c_root(pattern).expect("pattern must be in class C");
     solve_class_c(pattern, &root, g, distinguished)
 }
@@ -163,6 +188,27 @@ mod tests {
             let brute = brute_force_homeomorphism(&p, &g, &distinguished);
             assert_eq!(flow, brute, "seed {}", 1300 + seed);
         }
+    }
+
+    #[test]
+    fn governed_interrupt_then_rerun_agrees_with_plain() {
+        use kv_structures::govern::{Budget, Governor, Interrupted};
+        let p = PatternSpec {
+            node_count: 2,
+            edges: vec![(0, 0), (0, 1)],
+        };
+        let root = crate::pattern::class_c_root(&p).unwrap();
+        let g = random_digraph(8, 0.3, 2026);
+        let distinguished = [0u32, 1];
+        let plain = solve_class_c(&p, &root, &g, &distinguished);
+        let tight = Governor::with_budget(Budget::steps(2));
+        match try_solve_class_c(&p, &root, &g, &distinguished, &tight) {
+            Err(Interrupted::Limit(_)) => {}
+            other => panic!("expected a limit interrupt, got {other:?}"),
+        }
+        let rerun =
+            try_solve_class_c(&p, &root, &g, &distinguished, &Governor::unlimited()).unwrap();
+        assert_eq!(plain, rerun);
     }
 
     #[test]

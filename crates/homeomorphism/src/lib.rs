@@ -25,6 +25,7 @@
 //! - [`solver`]: a dispatching solver choosing the best method.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod brute;
 pub mod even_path;
@@ -34,11 +35,11 @@ pub mod pattern;
 pub mod programs;
 pub mod solver;
 
-pub use brute::brute_force_homeomorphism;
-pub use flow_solver::solve_class_c;
+pub use brute::{brute_force_homeomorphism, try_brute_force_homeomorphism};
+pub use flow_solver::{solve_class_c, try_solve_class_c};
 pub use named::{cycle_through_two, path_through_intermediate, two_disjoint_paths_query};
 pub use pattern::{classify, CBarWitness, ClassCRoot, Orientation, PatternClass};
 pub use programs::{acyclic_game_program, class_c_program};
-pub use solver::{solve, Method};
+pub use solver::{solve, try_solve, Method};
 
 pub use kv_pebble::PatternSpec;

@@ -15,6 +15,10 @@
 //! `n0, …, n{l-1}` interpreting the pattern nodes; [`pattern_vocabulary`]
 //! builds it and [`eval_on`] runs a program on a concrete `(G, s⃗)`.
 
+// The generated program text parses by construction; the `expect`s are
+// compile-time-style assertions.
+#![allow(clippy::expect_used)]
+
 use crate::pattern::{ClassCRoot, Orientation};
 use kv_datalog::programs::q_kl_source;
 use kv_datalog::{parse_program, Evaluator, Program};

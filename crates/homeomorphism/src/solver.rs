@@ -1,11 +1,12 @@
 //! A dispatching solver mirroring the FHW/KV classification.
 
-use crate::brute::brute_force_homeomorphism;
-use crate::flow_solver::solve_class_c;
+use crate::brute::try_brute_force_homeomorphism;
+use crate::flow_solver::try_solve_class_c;
 use crate::pattern::{classify, PatternClass};
 use kv_graphalg::is_acyclic;
 use kv_pebble::acyclic::AcyclicGame;
 use kv_pebble::PatternSpec;
+use kv_structures::govern::{Governor, Interrupted};
 use kv_structures::Digraph;
 
 /// Which algorithm answered the query.
@@ -39,28 +40,46 @@ pub enum Method {
 /// assert_eq!(method, Method::Flow); // class C ⇒ max-flow, any input
 /// ```
 pub fn solve(pattern: &PatternSpec, g: &Digraph, distinguished: &[u32]) -> (bool, Method) {
+    match try_solve(pattern, g, distinguished, &Governor::unlimited()) {
+        Ok(outcome) => outcome,
+        Err(e) => unreachable!("unlimited governor interrupted: {e}"),
+    }
+}
+
+/// Governed [`solve`]: dispatches exactly like `solve` and threads the
+/// governor into whichever method runs. Flow and brute-force searches are
+/// pure (restart on interrupt); the acyclic game's resumable checkpoint is
+/// dropped here — use [`AcyclicGame::try_solve`] directly to keep it.
+pub fn try_solve(
+    pattern: &PatternSpec,
+    g: &Digraph,
+    distinguished: &[u32],
+    gov: &Governor,
+) -> Result<(bool, Method), Interrupted> {
+    gov.check()?;
     if let PatternClass::InC(root) = classify(pattern) {
-        return (
-            solve_class_c(pattern, &root, g, distinguished),
+        return Ok((
+            try_solve_class_c(pattern, &root, g, distinguished, gov)?,
             Method::Flow,
-        );
+        ));
     }
     let self_loop_free = pattern.edges.iter().all(|&(i, j)| i != j);
     if self_loop_free && is_acyclic(g) {
-        return (
-            AcyclicGame::solve(pattern.clone(), g, distinguished).duplicator_wins(),
-            Method::AcyclicGame,
-        );
+        return match AcyclicGame::try_solve(pattern.clone(), g, distinguished, gov) {
+            Ok(game) => Ok((game.duplicator_wins(), Method::AcyclicGame)),
+            Err(interrupted) => Err(interrupted.reason),
+        };
     }
-    (
-        brute_force_homeomorphism(pattern, g, distinguished),
+    Ok((
+        try_brute_force_homeomorphism(pattern, g, distinguished, gov)?,
         Method::BruteForce,
-    )
+    ))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::brute::brute_force_homeomorphism;
     use kv_structures::generators::{random_dag, random_digraph};
 
     #[test]
@@ -93,6 +112,43 @@ mod tests {
         let (answer, method) = solve(&p, &g, &[0, 1, 2, 3]);
         assert_eq!(method, Method::BruteForce);
         let _ = answer;
+    }
+
+    #[test]
+    fn governed_dispatch_agrees_with_plain_on_every_method() {
+        let cases: Vec<(PatternSpec, Digraph, Vec<u32>)> = vec![
+            // Class C → Flow.
+            (
+                PatternSpec {
+                    node_count: 3,
+                    edges: vec![(0, 1), (0, 2)],
+                },
+                random_digraph(7, 0.3, 11),
+                vec![0, 1, 2],
+            ),
+            // DAG input → AcyclicGame.
+            (
+                PatternSpec::two_disjoint_edges(),
+                random_dag(8, 0.3, 12),
+                vec![0, 6, 1, 7],
+            ),
+            // Cyclic input, pattern in C̄ → BruteForce.
+            (
+                PatternSpec::two_disjoint_edges(),
+                {
+                    let mut g = random_digraph(7, 0.3, 13);
+                    g.add_edge(5, 0);
+                    g.add_edge(0, 5);
+                    g
+                },
+                vec![0, 1, 2, 3],
+            ),
+        ];
+        for (p, g, d) in &cases {
+            let plain = solve(p, g, d);
+            let governed = try_solve(p, g, d, &Governor::unlimited()).unwrap();
+            assert_eq!(plain, governed);
+        }
     }
 
     #[test]

@@ -61,6 +61,8 @@ impl<'s> Evaluator<'s> {
         }
     }
 
+    // Infallible: evaluation assigns every free variable before descending.
+    #[allow(clippy::expect_used)]
     fn term_value(&self, t: &LTerm, asg: &[Option<Element>]) -> Element {
         match t {
             LTerm::Var(v) => asg[v.0].expect("free variable left unassigned"),

@@ -21,8 +21,10 @@
 
 use crate::formula::{LTerm, Var};
 use kv_datalog::{IdbId, Literal, Pred, Program, Term};
+use kv_structures::govern::{Governor, Interrupted};
 use kv_structures::{Element, RelId, Structure, TupleStore};
 use std::collections::HashMap;
+use std::fmt;
 use std::rc::Rc;
 
 /// A second-order (relation) variable.
@@ -135,13 +137,36 @@ pub struct FpEnv {
 /// Panics on unbound first-order or relation variables, or on an `lfp`
 /// whose body is not positive in its bound relation variable.
 pub fn fp_eval(f: &FpFormula, s: &Structure, env: &mut FpEnv) -> bool {
+    match try_fp_eval(f, s, env, &Governor::unlimited()) {
+        Ok(b) => b,
+        Err(e) => unreachable!("unlimited governor interrupted: {e}"),
+    }
+}
+
+/// Governed formula evaluation: charges one step per quantifier-element
+/// iteration and per fixpoint candidate, so an adversarial formula (deep
+/// quantifier nests, large `lfp` bodies) can be bounded, timed out, or
+/// cancelled through `gov`.
+///
+/// # Panics
+/// Panics on unbound first-order or relation variables, or on an `lfp`
+/// whose body is not positive in its bound relation variable.
+pub fn try_fp_eval(
+    f: &FpFormula,
+    s: &Structure,
+    env: &mut FpEnv,
+    gov: &Governor,
+) -> Result<bool, Interrupted> {
+    // Infallible: quantifiers bind every variable before it is read, and
+    // the LFP driver seeds every relation variable in the environment.
+    #[allow(clippy::expect_used)]
     let term = |t: &LTerm, env: &FpEnv| -> Element {
         match t {
             LTerm::Var(v) => env.vars[v.0].expect("unbound variable"),
             LTerm::Const(c) => s.constant(*c),
         }
     };
-    match f {
+    Ok(match f {
         FpFormula::True => true,
         FpFormula::False => false,
         FpFormula::Edb(rel, ts) => {
@@ -150,22 +175,40 @@ pub fn fp_eval(f: &FpFormula, s: &Structure, env: &mut FpEnv) -> bool {
         }
         FpFormula::Rel(rv, ts) => {
             let tuple: Vec<Element> = ts.iter().map(|t| term(t, env)).collect();
-            env.rels
-                .get(rv)
-                .expect("unbound relation variable")
-                .contains(tuple.as_slice())
+            #[allow(clippy::expect_used)]
+            let rel = env.rels.get(rv).expect("unbound relation variable");
+            rel.contains(tuple.as_slice())
         }
         FpFormula::Eq(a, b) => term(a, env) == term(b, env),
         FpFormula::Neq(a, b) => term(a, env) != term(b, env),
-        FpFormula::Not(g) => !fp_eval(g, s, env),
-        FpFormula::And(gs) => gs.iter().all(|g| fp_eval(g, s, &mut env.clone())),
-        FpFormula::Or(gs) => gs.iter().any(|g| fp_eval(g, s, &mut env.clone())),
+        FpFormula::Not(g) => !try_fp_eval(g, s, env, gov)?,
+        FpFormula::And(gs) => {
+            let mut all = true;
+            for g in gs {
+                if !try_fp_eval(g, s, &mut env.clone(), gov)? {
+                    all = false;
+                    break;
+                }
+            }
+            all
+        }
+        FpFormula::Or(gs) => {
+            let mut any = false;
+            for g in gs {
+                if try_fp_eval(g, s, &mut env.clone(), gov)? {
+                    any = true;
+                    break;
+                }
+            }
+            any
+        }
         FpFormula::Exists(v, g) => {
             let saved = env.vars[v.0];
             let mut found = false;
             for e in s.elements() {
+                gov.step(1)?;
                 env.vars[v.0] = Some(e);
-                if fp_eval(g, s, env) {
+                if try_fp_eval(g, s, env, gov)? {
                     found = true;
                     break;
                 }
@@ -177,8 +220,9 @@ pub fn fp_eval(f: &FpFormula, s: &Structure, env: &mut FpEnv) -> bool {
             let saved = env.vars[v.0];
             let mut all = true;
             for e in s.elements() {
+                gov.step(1)?;
                 env.vars[v.0] = Some(e);
-                if !fp_eval(g, s, env) {
+                if !try_fp_eval(g, s, env, gov)? {
                     all = false;
                     break;
                 }
@@ -196,12 +240,62 @@ pub fn fp_eval(f: &FpFormula, s: &Structure, env: &mut FpEnv) -> bool {
                 body.is_positive_in(*rel),
                 "lfp body must be positive in the bound relation variable"
             );
-            let fixpoint = compute_lfp(*rel, vars, body, s, env);
+            let fixpoint = try_compute_lfp(*rel, vars, body, s, env, gov).map_err(|e| e.reason)?;
             let tuple: Vec<Element> = args.iter().map(|t| term(t, env)).collect();
             fixpoint.contains(tuple.as_slice())
         }
+    })
+}
+
+/// Resumable state of an interrupted [`try_compute_lfp`]: the last
+/// *completed* iteration's relation. The next iteration is a pure
+/// function of this store, so resuming reproduces exactly the stages an
+/// uninterrupted run would compute.
+#[derive(Debug, Clone)]
+pub struct LfpCheckpoint {
+    current: TupleStore,
+    iterations: u64,
+}
+
+impl LfpCheckpoint {
+    /// Completed fixpoint iterations.
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    /// Tuples in the last completed iteration's relation.
+    pub fn tuples(&self) -> usize {
+        self.current.len()
+    }
+
+    /// The last completed iteration's relation (partial progress).
+    pub fn relation(&self) -> &TupleStore {
+        &self.current
     }
 }
+
+/// A governed lfp computation was interrupted.
+#[derive(Debug, Clone)]
+pub struct LfpInterrupted {
+    /// Why the computation stopped.
+    pub reason: Interrupted,
+    /// Completed-iteration state; pass to [`resume_lfp`].
+    pub checkpoint: LfpCheckpoint,
+}
+
+impl fmt::Display for LfpInterrupted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} after {} lfp iteration(s), {} tuple(s)",
+            self.reason,
+            self.checkpoint.iterations(),
+            self.checkpoint.tuples()
+        )
+    }
+}
+
+impl std::error::Error for LfpInterrupted {}
 
 /// Computes the least fixpoint relation of an `lfp` binder under `env`,
 /// materialized as an interned [`TupleStore`]. Convergence is the store
@@ -213,8 +307,79 @@ pub fn compute_lfp(
     s: &Structure,
     env: &FpEnv,
 ) -> TupleStore {
-    let mut current = TupleStore::new(vars.len());
+    match try_compute_lfp(rel, vars, body, s, env, &Governor::unlimited()) {
+        Ok(store) => store,
+        Err(e) => unreachable!("unlimited governor interrupted: {e}"),
+    }
+}
+
+/// Governed lfp iteration: charges one stage per iteration, one step per
+/// candidate tuple, and the per-iteration tuple growth; interrupts
+/// gracefully at the last completed iteration with a resumable
+/// [`LfpCheckpoint`].
+pub fn try_compute_lfp(
+    rel: RelVar,
+    vars: &[Var],
+    body: &FpFormula,
+    s: &Structure,
+    env: &FpEnv,
+    gov: &Governor,
+) -> Result<TupleStore, LfpInterrupted> {
+    run_lfp_from(
+        rel,
+        vars,
+        body,
+        s,
+        env,
+        gov,
+        LfpCheckpoint {
+            current: TupleStore::new(vars.len()),
+            iterations: 0,
+        },
+    )
+}
+
+/// Resumes an interrupted governed lfp computation. `rel`, `vars`,
+/// `body`, `s`, and `env` must be those of the original call; budget
+/// counters live in the governor, so pass a fresh or relaxed one.
+pub fn resume_lfp(
+    rel: RelVar,
+    vars: &[Var],
+    body: &FpFormula,
+    s: &Structure,
+    env: &FpEnv,
+    checkpoint: LfpCheckpoint,
+    gov: &Governor,
+) -> Result<TupleStore, LfpInterrupted> {
+    run_lfp_from(rel, vars, body, s, env, gov, checkpoint)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_lfp_from(
+    rel: RelVar,
+    vars: &[Var],
+    body: &FpFormula,
+    s: &Structure,
+    env: &FpEnv,
+    gov: &Governor,
+    cp: LfpCheckpoint,
+) -> Result<TupleStore, LfpInterrupted> {
+    let LfpCheckpoint {
+        mut current,
+        mut iterations,
+    } = cp;
     loop {
+        // One full iteration is the committed unit: an interrupt anywhere
+        // inside discards `next` and checkpoints `current`.
+        if let Err(reason) = gov.check().and_then(|()| gov.charge_stage()) {
+            return Err(LfpInterrupted {
+                reason,
+                checkpoint: LfpCheckpoint {
+                    current,
+                    iterations,
+                },
+            });
+        }
         let mut inner_env = env.clone();
         let max_var = vars.iter().map(|v| v.0).max().unwrap_or(0);
         if inner_env.vars.len() <= max_var {
@@ -223,35 +388,66 @@ pub fn compute_lfp(
         inner_env.rels.insert(rel, current.clone());
         let mut next = TupleStore::new(vars.len());
         let mut tuple = vec![0 as Element; vars.len()];
-        enumerate_tuples(s.universe_size() as Element, &mut tuple, 0, &mut |t| {
-            for (i, v) in vars.iter().enumerate() {
-                inner_env.vars[v.0] = Some(t[i]);
-            }
-            if fp_eval(body, s, &mut inner_env) {
-                next.intern(t);
-            }
-        });
-        if next.set_eq(&current) {
-            return current;
+        // Immediately-invoked closure emulates a `try` block so `?` can
+        // short-circuit into the checkpoint-wrapping branch below.
+        #[allow(clippy::redundant_closure_call)]
+        let iteration = (|| -> Result<(), Interrupted> {
+            try_enumerate_tuples(s.universe_size() as Element, &mut tuple, 0, &mut |t| {
+                gov.step(1)?;
+                for (i, v) in vars.iter().enumerate() {
+                    inner_env.vars[v.0] = Some(t[i]);
+                }
+                if try_fp_eval(body, s, &mut inner_env, gov)? {
+                    next.intern(t);
+                }
+                Ok(())
+            })
+        })();
+        if let Err(reason) = iteration {
+            return Err(LfpInterrupted {
+                reason,
+                checkpoint: LfpCheckpoint {
+                    current,
+                    iterations,
+                },
+            });
         }
+        iterations += 1;
+        if next.set_eq(&current) {
+            return Ok(current);
+        }
+        // lfp iteration is monotone: the growth is the new tuple count.
+        let growth = (next.len() - current.len()) as u64;
         current = next;
+        if let Err(reason) = gov
+            .charge_tuples(growth)
+            .and_then(|()| gov.charge_bytes(growth * vars.len().max(1) as u64 * 4))
+        {
+            return Err(LfpInterrupted {
+                reason,
+                checkpoint: LfpCheckpoint {
+                    current,
+                    iterations,
+                },
+            });
+        }
     }
 }
 
-fn enumerate_tuples(
+fn try_enumerate_tuples(
     n: Element,
     tuple: &mut Vec<Element>,
     pos: usize,
-    visit: &mut impl FnMut(&[Element]),
-) {
+    visit: &mut impl FnMut(&[Element]) -> Result<(), Interrupted>,
+) -> Result<(), Interrupted> {
     if pos == tuple.len() {
-        visit(tuple);
-        return;
+        return visit(tuple);
     }
     for e in 0..n {
         tuple[pos] = e;
-        enumerate_tuples(n, tuple, pos + 1, visit);
+        try_enumerate_tuples(n, tuple, pos + 1, visit)?;
     }
+    Ok(())
 }
 
 /// The Chandra–Harel translation (Section 2): a **single-IDB** Datalog(≠)
@@ -408,6 +604,87 @@ mod tests {
         let s = directed_path(3);
         assert!(eval_at(&not_tc, &s, &[2, 0])); // no path 2 -> 0
         assert!(!eval_at(&not_tc, &s, &[0, 2]));
+    }
+
+    #[test]
+    fn governed_fp_eval_matches_plain() {
+        let program = transitive_closure();
+        let f = program_to_lfp(&program);
+        let s = random_digraph(5, 0.3, 18_000).to_structure();
+        for x in 0..5u32 {
+            for y in 0..5u32 {
+                let mut env = FpEnv {
+                    vars: vec![Some(x), Some(y)],
+                    rels: HashMap::new(),
+                };
+                env.vars.resize(16, None);
+                let plain = fp_eval(&f, &s, &mut env.clone());
+                let governed = try_fp_eval(&f, &s, &mut env, &Governor::unlimited());
+                assert_eq!(governed, Ok(plain), "TC({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn interrupted_lfp_resumes_to_identical_fixpoint() {
+        let program = transitive_closure();
+        let FpFormula::Lfp {
+            rel, vars, body, ..
+        } = program_to_lfp(&program)
+        else {
+            panic!("program_to_lfp returns an lfp binder");
+        };
+        let s = random_digraph(6, 0.3, 19_000).to_structure();
+        let mut env = FpEnv {
+            vars: Vec::new(),
+            rels: HashMap::new(),
+        };
+        env.vars.resize(16, None);
+        let baseline = compute_lfp(rel, &vars, &body, &s, &env);
+        for max_steps in [1u64, 7, 40, 300, 5_000] {
+            let gov = kv_structures::govern::chaos::step_tripper(max_steps);
+            match try_compute_lfp(rel, &vars, &body, &s, &env, &gov) {
+                Ok(store) => assert!(store.set_eq(&baseline), "budget {max_steps}"),
+                Err(e) => {
+                    assert!(matches!(e.reason, Interrupted::Limit(_)));
+                    assert!(e.checkpoint.tuples() <= baseline.len());
+                    let resumed = resume_lfp(
+                        rel,
+                        &vars,
+                        &body,
+                        &s,
+                        &env,
+                        e.checkpoint,
+                        &Governor::unlimited(),
+                    )
+                    .expect("unlimited resume completes");
+                    assert!(resumed.set_eq(&baseline), "budget {max_steps}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cancelled_lfp_reports_partial_progress() {
+        let program = transitive_closure();
+        let FpFormula::Lfp {
+            rel, vars, body, ..
+        } = program_to_lfp(&program)
+        else {
+            panic!("program_to_lfp returns an lfp binder");
+        };
+        let s = directed_path(4);
+        let mut env = FpEnv {
+            vars: Vec::new(),
+            rels: HashMap::new(),
+        };
+        env.vars.resize(16, None);
+        let gov = Governor::unlimited();
+        gov.cancel_token().cancel();
+        let err = try_compute_lfp(rel, &vars, &body, &s, &env, &gov).unwrap_err();
+        assert_eq!(err.reason, Interrupted::Cancelled);
+        assert_eq!(err.checkpoint.iterations(), 0);
+        assert_eq!(err.checkpoint.relation().len(), 0);
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //!   variable-recycling substitution so the variable count never grows.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod builders;
 pub mod eval;
@@ -35,8 +36,14 @@ pub mod stage;
 
 pub use eval::{eval_closed, eval_with, Evaluator};
 pub use family::FormulaFamily;
-pub use fixpoint::{fp_eval, program_to_lfp, FpEnv, FpFormula, RelVar};
+pub use fixpoint::{
+    compute_lfp, fp_eval, program_to_lfp, resume_lfp, try_compute_lfp, try_fp_eval, FpEnv,
+    FpFormula, LfpCheckpoint, LfpInterrupted, RelVar,
+};
 pub use formula::{Formula, LTerm, Var};
-pub use materialize::{compare_stages_on_shared_store, StageComparison, StageIdentityReport};
+pub use materialize::{
+    compare_stages_on_shared_store, resume_compare_stages, try_compare_stages_on_shared_store,
+    CompareCheckpoint, CompareInterrupted, StageComparison, StageIdentityReport,
+};
 pub use simplify::{simplify, simplify_rc};
 pub use stage::{stage_formula, StageTranslation};

@@ -17,7 +17,9 @@
 use crate::eval::Evaluator;
 use crate::stage::StageTranslation;
 use kv_datalog::{EvalOptions, Evaluator as DatalogEvaluator, IdbId, Program};
+use kv_structures::govern::{Governor, Interrupted};
 use kv_structures::{Element, Structure};
+use std::fmt;
 
 /// The two sides of Theorem 3.6 at one stage, per IDB predicate.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,6 +47,50 @@ pub struct StageIdentityReport {
     pub var_budget: usize,
 }
 
+/// Resumable state of an interrupted [`try_compare_stages_on_shared_store`]:
+/// the comparisons for every fully completed stage. A stage comparison is
+/// a pure function of the (deterministic) evaluation result, so resuming
+/// reproduces exactly what an uninterrupted run would report.
+#[derive(Debug, Clone)]
+pub struct CompareCheckpoint {
+    stages: Vec<StageComparison>,
+    identical: bool,
+}
+
+impl CompareCheckpoint {
+    /// Fully compared stages so far.
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// The completed comparisons (partial progress).
+    pub fn stages(&self) -> &[StageComparison] {
+        &self.stages
+    }
+}
+
+/// A governed stage-identity comparison was interrupted.
+#[derive(Debug, Clone)]
+pub struct CompareInterrupted {
+    /// Why the comparison stopped.
+    pub reason: Interrupted,
+    /// Completed-stage state; pass to [`resume_compare_stages`].
+    pub checkpoint: CompareCheckpoint,
+}
+
+impl fmt::Display for CompareInterrupted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} after {} compared stage(s)",
+            self.reason,
+            self.checkpoint.stage_count()
+        )
+    }
+}
+
+impl std::error::Error for CompareInterrupted {}
+
 /// Runs `program` on `s`, translates each stage to its `L^k` formula, and
 /// checks id-set equality of `Θ^n_i` and `φ^n_i` on the engine's own
 /// interned store, for every stage up to the fixpoint (or `max_stages`).
@@ -53,23 +99,122 @@ pub fn compare_stages_on_shared_store(
     s: &Structure,
     max_stages: Option<usize>,
 ) -> StageIdentityReport {
-    let result = DatalogEvaluator::new(program).run(
+    match try_compare_stages_on_shared_store(program, s, max_stages, &Governor::unlimited()) {
+        Ok(report) => report,
+        Err(e) => unreachable!("unlimited governor interrupted: {e}"),
+    }
+}
+
+/// Governed [`compare_stages_on_shared_store`]: the Datalog run itself is
+/// governed, and the formula-side sweep charges one step per candidate
+/// tuple with a full governor check per (stage, IDB) pair. Interrupts at
+/// the last fully compared stage with a resumable [`CompareCheckpoint`].
+pub fn try_compare_stages_on_shared_store(
+    program: &Program,
+    s: &Structure,
+    max_stages: Option<usize>,
+    gov: &Governor,
+) -> Result<StageIdentityReport, CompareInterrupted> {
+    run_compare_from(
+        program,
         s,
-        EvalOptions {
-            max_stages,
-            ..EvalOptions::default()
+        max_stages,
+        gov,
+        CompareCheckpoint {
+            stages: Vec::new(),
+            identical: true,
         },
-    );
+    )
+}
+
+/// Resumes an interrupted governed comparison. `program`, `s`, and
+/// `max_stages` must be those of the original call; the (deterministic)
+/// Datalog evaluation is recomputed under the new governor, then
+/// comparison picks up at the first unfinished stage.
+pub fn resume_compare_stages(
+    program: &Program,
+    s: &Structure,
+    max_stages: Option<usize>,
+    checkpoint: CompareCheckpoint,
+    gov: &Governor,
+) -> Result<StageIdentityReport, CompareInterrupted> {
+    run_compare_from(program, s, max_stages, gov, checkpoint)
+}
+
+fn run_compare_from(
+    program: &Program,
+    s: &Structure,
+    max_stages: Option<usize>,
+    gov: &Governor,
+    cp: CompareCheckpoint,
+) -> Result<StageIdentityReport, CompareInterrupted> {
+    let CompareCheckpoint {
+        mut stages,
+        mut identical,
+    } = cp;
+    let options = EvalOptions {
+        max_stages,
+        ..EvalOptions::default()
+    };
+    let result = match DatalogEvaluator::new(program).try_run_governed(s, options, gov) {
+        Ok(r) => r,
+        Err(e) => {
+            return Err(CompareInterrupted {
+                reason: e.reason,
+                checkpoint: CompareCheckpoint { stages, identical },
+            })
+        }
+    };
     let mut translation = StageTranslation::new(program);
     let budget = translation.var_budget();
     let n_elems = s.universe_size() as Element;
-    let mut stages = Vec::new();
-    let mut identical = true;
-    for n in 1..=result.stage_count() {
+    for n in (stages.len() + 1)..=result.stage_count() {
+        match compare_one_stage(
+            program,
+            s,
+            &result,
+            &mut translation,
+            budget,
+            n_elems,
+            n,
+            gov,
+        ) {
+            Ok(c) => {
+                identical &= c.identical;
+                stages.push(c);
+            }
+            Err(reason) => {
+                return Err(CompareInterrupted {
+                    reason,
+                    checkpoint: CompareCheckpoint { stages, identical },
+                })
+            }
+        }
+    }
+    Ok(StageIdentityReport {
+        stages,
+        identical,
+        var_budget: budget,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn compare_one_stage(
+    program: &Program,
+    s: &Structure,
+    result: &kv_datalog::EvalResult,
+    translation: &mut StageTranslation,
+    budget: usize,
+    n_elems: Element,
+    n: usize,
+    gov: &Governor,
+) -> Result<StageComparison, Interrupted> {
+    {
         let mut datalog = Vec::with_capacity(program.idb_count());
         let mut lk = Vec::with_capacity(program.idb_count());
         let mut stage_ok = true;
         for i in 0..program.idb_count() {
+            gov.check()?;
             let formula = translation.stage(n, IdbId(i));
             let arity = program.idb_arity(IdbId(i));
             let view = result.stage_view(n, i);
@@ -79,6 +224,7 @@ pub fn compare_stages_on_shared_store(
             let mut all_in_view = true;
             let mut tuple = vec![0 as Element; arity];
             loop {
+                gov.step(1)?;
                 for (q, &e) in tuple.iter().enumerate() {
                     asg[q] = Some(e);
                 }
@@ -113,18 +259,12 @@ pub fn compare_stages_on_shared_store(
             lk.push(satisfying);
             stage_ok &= all_in_view && satisfying == view.len();
         }
-        identical &= stage_ok;
-        stages.push(StageComparison {
+        Ok(StageComparison {
             stage: n,
             datalog,
             lk,
             identical: stage_ok,
-        });
-    }
-    StageIdentityReport {
-        stages,
-        identical,
-        var_budget: budget,
+        })
     }
 }
 
@@ -155,5 +295,47 @@ mod tests {
         for c in &report.stages {
             assert_eq!(c.datalog, c.lk);
         }
+    }
+
+    #[test]
+    fn governed_compare_matches_plain() {
+        let p = transitive_closure();
+        let s = directed_path(5);
+        let baseline = compare_stages_on_shared_store(&p, &s, None);
+        let governed = try_compare_stages_on_shared_store(&p, &s, None, &Governor::unlimited())
+            .expect("unlimited governor never interrupts");
+        assert_eq!(governed, baseline);
+    }
+
+    #[test]
+    fn interrupted_compare_resumes_identically() {
+        let p = transitive_closure();
+        let s = directed_path(5);
+        let baseline = compare_stages_on_shared_store(&p, &s, None);
+        for max_steps in [1u64, 9, 77, 500, 100_000] {
+            let gov = kv_structures::govern::chaos::step_tripper(max_steps);
+            match try_compare_stages_on_shared_store(&p, &s, None, &gov) {
+                Ok(report) => assert_eq!(report, baseline, "budget {max_steps}"),
+                Err(e) => {
+                    assert!(matches!(e.reason, Interrupted::Limit(_)));
+                    assert!(e.checkpoint.stage_count() <= baseline.stages.len());
+                    let resumed =
+                        resume_compare_stages(&p, &s, None, e.checkpoint, &Governor::unlimited())
+                            .expect("unlimited resume completes");
+                    assert_eq!(resumed, baseline, "budget {max_steps}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cancelled_compare_interrupts() {
+        let p = transitive_closure();
+        let gov = Governor::unlimited();
+        gov.cancel_token().cancel();
+        let err =
+            try_compare_stages_on_shared_store(&p, &directed_path(4), None, &gov).unwrap_err();
+        assert_eq!(err.reason, Interrupted::Cancelled);
+        assert_eq!(err.checkpoint.stage_count(), 0);
     }
 }

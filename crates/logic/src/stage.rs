@@ -97,6 +97,8 @@ impl<'p> StageTranslation<'p> {
 
     /// Computes `φ^{n+1}` from `φ^n` for every IDB.
     pub fn advance(&mut self) {
+        // Infallible: the constructor pushes stage 0.
+        #[allow(clippy::expect_used)]
         let prev = self.stages.last().expect("stage 0 exists").clone();
         let mut next = Vec::with_capacity(self.program.idb_count());
         for i in 0..self.program.idb_count() {

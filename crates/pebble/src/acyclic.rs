@@ -22,11 +22,13 @@
 //! literal memoized recursion is retained as
 //! [`AcyclicGame::solve_by_recursion`] and differential-tested.
 
-use crate::arena::{Arena, Child, GameSpec};
+use crate::arena::{Arena, ArenaCheckpoint, Child, GameSpec};
 use crate::game::Winner;
 use kv_graphalg::is_acyclic;
+use kv_structures::govern::{Governor, Interrupted};
 use kv_structures::Digraph;
 use std::collections::HashMap;
+use std::fmt;
 
 /// A pattern graph `H`: nodes `0 … node_count-1`, directed edges, no
 /// parallel edges, no isolated nodes required (isolated nodes are simply
@@ -171,6 +173,41 @@ impl GameSpec for AcyclicSpec<'_> {
     }
 }
 
+/// Resumable state of an interrupted governed acyclic-game solve.
+#[derive(Debug)]
+pub struct AcyclicCheckpoint {
+    arena: ArenaCheckpoint<Vec<u32>, usize, u32>,
+}
+
+impl AcyclicCheckpoint {
+    /// Game states interned so far (partial progress).
+    pub fn states(&self) -> usize {
+        self.arena.positions()
+    }
+}
+
+/// A governed acyclic-game solve was interrupted.
+#[derive(Debug)]
+pub struct AcyclicInterrupted {
+    /// Why the solve stopped.
+    pub reason: Interrupted,
+    /// Committed state; pass to [`AcyclicGame::resume`].
+    pub checkpoint: AcyclicCheckpoint,
+}
+
+impl fmt::Display for AcyclicInterrupted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} after {} state(s)",
+            self.reason,
+            self.checkpoint.states()
+        )
+    }
+}
+
+impl std::error::Error for AcyclicInterrupted {}
+
 /// A solved two-player pebble game instance on an acyclic graph.
 #[derive(Debug)]
 pub struct AcyclicGame<'g> {
@@ -183,6 +220,8 @@ pub struct AcyclicGame<'g> {
 
 impl<'g> AcyclicGame<'g> {
     fn validate_inputs(pattern: &PatternSpec, graph: &Digraph, distinguished: &[u32]) {
+        // Documented input contract: the panic is the advertised behavior.
+        #[allow(clippy::expect_used)]
         pattern.validate().expect("valid pattern");
         assert!(is_acyclic(graph), "Theorem 6.2 requires acyclic inputs");
         assert_eq!(
@@ -208,6 +247,25 @@ impl<'g> AcyclicGame<'g> {
     /// Panics if the graph is cyclic, the pattern is invalid, or
     /// `distinguished` has the wrong length / duplicate nodes.
     pub fn solve(pattern: PatternSpec, graph: &'g Digraph, distinguished: &[u32]) -> Self {
+        match Self::try_solve(pattern, graph, distinguished, &Governor::unlimited()) {
+            Ok(game) => game,
+            Err(e) => unreachable!("unlimited governor interrupted: {e}"),
+        }
+    }
+
+    /// Governed [`solve`](Self::solve): honors the governor's budget,
+    /// deadline, and cancellation token inside the state-space generation
+    /// and the deletion worklist, interrupting at a committed boundary
+    /// with a resumable [`AcyclicCheckpoint`].
+    ///
+    /// # Panics
+    /// Same input-validation panics as [`solve`](Self::solve).
+    pub fn try_solve(
+        pattern: PatternSpec,
+        graph: &'g Digraph,
+        distinguished: &[u32],
+        gov: &Governor,
+    ) -> Result<Self, AcyclicInterrupted> {
         Self::validate_inputs(&pattern, graph, distinguished);
         let initial: Vec<u32> = pattern
             .edges
@@ -219,13 +277,58 @@ impl<'g> AcyclicGame<'g> {
             graph,
             distinguished: distinguished.to_vec(),
         };
-        let arena = Arena::build_and_solve(&spec, initial.clone());
-        Self {
-            pattern: spec.pattern,
+        match Arena::try_build_and_solve(&spec, initial.clone(), gov) {
+            Ok(arena) => Ok(Self {
+                pattern: spec.pattern,
+                graph,
+                distinguished: spec.distinguished,
+                arena,
+                initial,
+            }),
+            Err(e) => Err(AcyclicInterrupted {
+                reason: e.reason,
+                checkpoint: AcyclicCheckpoint {
+                    arena: e.checkpoint,
+                },
+            }),
+        }
+    }
+
+    /// Resumes an interrupted governed solve. `pattern`, `graph`, and
+    /// `distinguished` must be those of the original call; pass a fresh
+    /// or relaxed governor.
+    pub fn resume(
+        pattern: PatternSpec,
+        graph: &'g Digraph,
+        distinguished: &[u32],
+        checkpoint: AcyclicCheckpoint,
+        gov: &Governor,
+    ) -> Result<Self, AcyclicInterrupted> {
+        Self::validate_inputs(&pattern, graph, distinguished);
+        let initial: Vec<u32> = pattern
+            .edges
+            .iter()
+            .map(|&(i, _)| distinguished[i])
+            .collect();
+        let spec = AcyclicSpec {
+            pattern,
             graph,
-            distinguished: spec.distinguished,
-            arena,
-            initial,
+            distinguished: distinguished.to_vec(),
+        };
+        match Arena::resume_build(&spec, checkpoint.arena, gov) {
+            Ok(arena) => Ok(Self {
+                pattern: spec.pattern,
+                graph,
+                distinguished: spec.distinguished,
+                arena,
+                initial,
+            }),
+            Err(e) => Err(AcyclicInterrupted {
+                reason: e.reason,
+                checkpoint: AcyclicCheckpoint {
+                    arena: e.checkpoint,
+                },
+            }),
         }
     }
 
@@ -367,6 +470,8 @@ impl<'g> AcyclicGame<'g> {
             if !visited.insert(state.clone()) {
                 continue;
             }
+            // Infallible: the all-REMOVED case returned above.
+            #[allow(clippy::expect_used)]
             let max_level = state
                 .iter()
                 .filter(|&&p| p != REMOVED)
@@ -526,6 +631,40 @@ mod tests {
                     "seed {}: worklist vs recursion",
                     1700 + seed
                 );
+            }
+        }
+    }
+
+    /// An interrupted governed acyclic-game solve, resumed, agrees with
+    /// the uninterrupted solve and the literal recursion.
+    #[test]
+    fn interrupted_acyclic_solve_resumes_identically() {
+        for seed in 0..8 {
+            let g = random_dag(8, 0.3, 2_600 + seed);
+            let distinguished = [0u32, 6, 1, 7];
+            let pattern = PatternSpec::two_disjoint_edges;
+            let baseline = AcyclicGame::solve(pattern(), &g, &distinguished);
+            for max_steps in [1u64, 9, 90, 2_000] {
+                let gov = kv_structures::govern::chaos::step_tripper(max_steps);
+                let game = match AcyclicGame::try_solve(pattern(), &g, &distinguished, &gov) {
+                    Ok(game) => game,
+                    Err(e) => AcyclicGame::resume(
+                        pattern(),
+                        &g,
+                        &distinguished,
+                        e.checkpoint,
+                        &Governor::unlimited(),
+                    )
+                    .expect("unlimited resume completes"),
+                };
+                assert_eq!(
+                    game.winner(),
+                    baseline.winner(),
+                    "seed {} budget {max_steps}",
+                    2_600 + seed
+                );
+                assert_eq!(game.state_count(), baseline.state_count());
+                assert_eq!(game.edge_count(), baseline.edge_count());
             }
         }
     }

@@ -25,9 +25,11 @@
 //!    iteration does ([`crate::win_iteration`], kept as the differential
 //!    partner).
 
-use kv_structures::par::par_map;
+use kv_structures::govern::{Governor, Interrupted};
+use kv_structures::par::try_par_map;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::fmt;
 use std::hash::Hash;
 
 /// Where a reply leads, as reported by [`GameSpec::expand`].
@@ -96,6 +98,10 @@ pub type Expansion<S> = Vec<(
     Vec<(<S as GameSpec>::Reply, Child<<S as GameSpec>::Key>)>,
 )>;
 
+/// [`Expansion`] spelled over bare key/challenge/reply types, for arena
+/// internals that are generic over `K, C, R` rather than a [`GameSpec`].
+type RawExpansion<K, C, R> = Vec<(C, Vec<(R, Child<K>)>)>;
+
 /// Per-challenge bookkeeping: surviving-reply counter plus the option
 /// edges `(reply, child_id)`.
 #[derive(Debug)]
@@ -126,6 +132,80 @@ pub struct Arena<K, C, R> {
     edge_count: usize,
 }
 
+/// Where an interrupted [`Arena::try_build_and_solve`] stopped.
+#[derive(Debug)]
+enum Phase {
+    /// Generating the position space: `pending` frontier positions at
+    /// `level` are not yet expanded; `next` holds the ids discovered for
+    /// the following level so far.
+    Generation {
+        pending: Vec<usize>,
+        next: Vec<usize>,
+        level: usize,
+    },
+    /// Seeding the deletion worklist: positions `< seed_pos` are scanned.
+    Seed { seed_pos: usize, queue: Vec<usize> },
+    /// Draining the deletion worklist.
+    Deletion { queue: Vec<usize> },
+}
+
+/// Resumable state of an interrupted governed arena build: the arena as
+/// committed so far plus the exact phase position. Expansion is pure and
+/// interning/deletion order is checkpointed verbatim, so resuming yields
+/// an arena identical — id by id, verdict by verdict — to an
+/// uninterrupted build.
+#[derive(Debug)]
+pub struct ArenaCheckpoint<K, C, R> {
+    arena: Arena<K, C, R>,
+    phase: Phase,
+}
+
+impl<K, C, R> ArenaCheckpoint<K, C, R> {
+    /// Positions interned so far (partial progress).
+    pub fn positions(&self) -> usize {
+        self.arena.nodes.len()
+    }
+
+    /// Option edges recorded so far.
+    pub fn edges(&self) -> usize {
+        self.arena.edge_count
+    }
+
+    /// Whether the interrupt fell in the generation phase (as opposed to
+    /// the deletion solve).
+    pub fn is_generating(&self) -> bool {
+        matches!(self.phase, Phase::Generation { .. })
+    }
+}
+
+/// A governed arena build was interrupted.
+#[derive(Debug)]
+pub struct ArenaInterrupted<K, C, R> {
+    /// Why the build stopped.
+    pub reason: Interrupted,
+    /// Committed state; pass to [`Arena::resume_build`].
+    pub checkpoint: ArenaCheckpoint<K, C, R>,
+}
+
+impl<K, C, R> fmt::Display for ArenaInterrupted<K, C, R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} after {} position(s), {} edge(s) ({})",
+            self.reason,
+            self.checkpoint.positions(),
+            self.checkpoint.edges(),
+            if self.checkpoint.is_generating() {
+                "generating"
+            } else {
+                "solving"
+            }
+        )
+    }
+}
+
+impl<K: fmt::Debug, C: fmt::Debug, R: fmt::Debug> std::error::Error for ArenaInterrupted<K, C, R> {}
+
 impl<K, C, R> Arena<K, C, R>
 where
     K: Clone + Eq + Hash + Send + Sync,
@@ -148,7 +228,27 @@ where
     where
         S: GameSpec<Key = K, Challenge = C, Reply = R>,
     {
-        let mut arena = Self {
+        match Self::try_build_and_solve(spec, root, &Governor::unlimited()) {
+            Ok(arena) => arena,
+            Err(e) => unreachable!("unlimited governor interrupted: {}", e.reason),
+        }
+    }
+
+    /// Governed [`build_and_solve`](Self::build_and_solve): charges one
+    /// position per interned node, one step per option edge and worklist
+    /// propagation, and checks the governor cooperatively inside both the
+    /// parallel frontier fan-out and the deletion worklist. Interrupts at
+    /// a committed boundary (a fully interned frontier position, a fully
+    /// propagated death) with a resumable [`ArenaCheckpoint`].
+    pub fn try_build_and_solve<S>(
+        spec: &S,
+        root: K,
+        gov: &Governor,
+    ) -> Result<Self, ArenaInterrupted<K, C, R>>
+    where
+        S: GameSpec<Key = K, Challenge = C, Reply = R>,
+    {
+        let arena = Self {
             nodes: vec![Node {
                 key: root.clone(),
                 expanded: false,
@@ -160,134 +260,290 @@ where
             by_key: HashMap::from([(root, 0usize)]),
             edge_count: 0,
         };
+        let checkpoint = ArenaCheckpoint {
+            arena,
+            phase: Phase::Generation {
+                pending: vec![0],
+                next: Vec::new(),
+                level: 0,
+            },
+        };
+        if let Err(reason) = gov.check().and_then(|()| gov.charge_positions(1)) {
+            return Err(ArenaInterrupted { reason, checkpoint });
+        }
+        Self::run_from(spec, gov, checkpoint)
+    }
 
-        let mut frontier: Vec<usize> = vec![0];
-        let mut level = 0usize;
-        while !frontier.is_empty() && level < spec.depth() {
-            // Parallel fan-out: expansion is pure, so farm it out per
-            // frontier position; interning below stays sequential and in
-            // frontier order, keeping ids deterministic.
-            let keys: Vec<K> = frontier
-                .iter()
-                .map(|&id| arena.nodes[id].key.clone())
-                .collect();
-            let expansions = par_map(&keys, |_, key| spec.expand(key, level));
+    /// Resumes an interrupted governed build. `spec` must be that of the
+    /// original call (expansion is pure, so re-expanding the pending
+    /// frontier reproduces the original options exactly); budget counters
+    /// live in the governor, so pass a fresh or relaxed one.
+    pub fn resume_build<S>(
+        spec: &S,
+        checkpoint: ArenaCheckpoint<K, C, R>,
+        gov: &Governor,
+    ) -> Result<Self, ArenaInterrupted<K, C, R>>
+    where
+        S: GameSpec<Key = K, Challenge = C, Reply = R>,
+    {
+        Self::run_from(spec, gov, checkpoint)
+    }
 
-            let mut next: Vec<usize> = Vec::new();
-            for (&fid, expansion) in frontier.iter().zip(expansions) {
-                arena.nodes[fid].expanded = true;
-                for (ch, opts) in expansion {
-                    let mut options: Vec<(R, usize)> = Vec::with_capacity(opts.len());
-                    for (reply, child) in opts {
-                        let child_id = match child {
-                            Child::Stutter => fid,
-                            Child::Key(key) => {
-                                let id = match arena.by_key.entry(key) {
-                                    Entry::Occupied(e) => *e.get(),
-                                    Entry::Vacant(e) => {
-                                        let id = arena.nodes.len();
-                                        arena.nodes.push(Node {
-                                            key: e.key().clone(),
-                                            expanded: false,
-                                            alive: true,
-                                            death: None,
-                                            extensions: Vec::new(),
-                                            parents: Vec::new(),
-                                        });
-                                        next.push(id);
-                                        e.insert(id);
-                                        id
-                                    }
-                                };
-                                arena.nodes[id]
-                                    .parents
-                                    .push((fid, ch.clone(), reply.clone()));
+    fn run_from<S>(
+        spec: &S,
+        gov: &Governor,
+        cp: ArenaCheckpoint<K, C, R>,
+    ) -> Result<Self, ArenaInterrupted<K, C, R>>
+    where
+        S: GameSpec<Key = K, Challenge = C, Reply = R>,
+    {
+        let ArenaCheckpoint {
+            mut arena,
+            mut phase,
+        } = cp;
+        loop {
+            phase = match phase {
+                Phase::Generation {
+                    mut pending,
+                    mut next,
+                    mut level,
+                } => {
+                    loop {
+                        if pending.is_empty() {
+                            if next.is_empty() {
+                                break;
+                            }
+                            pending = std::mem::take(&mut next);
+                            level += 1;
+                        }
+                        if level >= spec.depth() {
+                            break;
+                        }
+                        // Parallel fan-out: expansion is pure, so farm it
+                        // out per frontier position; interning below stays
+                        // sequential and in frontier order, keeping ids
+                        // deterministic.
+                        let keys: Vec<K> = pending
+                            .iter()
+                            .map(|&id| arena.nodes[id].key.clone())
+                            .collect();
+                        let expansions =
+                            match try_par_map(&keys, gov, |_, key| Ok(spec.expand(key, level))) {
+                                Ok(e) => e,
+                                Err(reason) => {
+                                    return Err(ArenaInterrupted {
+                                        reason,
+                                        checkpoint: ArenaCheckpoint {
+                                            arena,
+                                            phase: Phase::Generation {
+                                                pending,
+                                                next,
+                                                level,
+                                            },
+                                        },
+                                    })
+                                }
+                            };
+                        // Intern sequentially; one frontier position is
+                        // the committed unit — its charges land after its
+                        // expansion is fully recorded.
+                        let mut done = 0usize;
+                        let mut trip: Option<Interrupted> = None;
+                        for (idx, expansion) in expansions.into_iter().enumerate() {
+                            let fid = pending[idx];
+                            let (new_nodes, new_edges) =
+                                arena.intern_expansion(fid, expansion, &mut next);
+                            done = idx + 1;
+                            if let Err(reason) = gov
+                                .charge_positions(new_nodes)
+                                .and_then(|()| gov.step(new_edges))
+                            {
+                                trip = Some(reason);
+                                break;
+                            }
+                        }
+                        pending.drain(..done);
+                        if let Some(reason) = trip {
+                            return Err(ArenaInterrupted {
+                                reason,
+                                checkpoint: ArenaCheckpoint {
+                                    arena,
+                                    phase: Phase::Generation {
+                                        pending,
+                                        next,
+                                        level,
+                                    },
+                                },
+                            });
+                        }
+                    }
+                    Phase::Seed {
+                        seed_pos: 0,
+                        queue: Vec::new(),
+                    }
+                }
+                Phase::Seed {
+                    mut seed_pos,
+                    mut queue,
+                } => {
+                    while seed_pos < arena.nodes.len() {
+                        let id = seed_pos;
+                        if arena.nodes[id].expanded {
+                            let failed = arena.nodes[id]
+                                .extensions
+                                .iter()
+                                .find(|(_, e)| e.alive_options == 0)
+                                .map(|(c, _)| c.clone());
+                            if let Some(ch) = failed {
+                                arena.kill(id, Death::Forth(ch), &mut queue);
+                            }
+                        }
+                        seed_pos += 1;
+                        if let Err(reason) = gov.step(1) {
+                            return Err(ArenaInterrupted {
+                                reason,
+                                checkpoint: ArenaCheckpoint {
+                                    arena,
+                                    phase: Phase::Seed { seed_pos, queue },
+                                },
+                            });
+                        }
+                    }
+                    Phase::Deletion { queue }
+                }
+                Phase::Deletion { mut queue } => {
+                    let closure = spec.closure_under_subpositions();
+                    while let Some(dead) = queue.pop() {
+                        // One death's propagation is the committed unit:
+                        // the queue in the checkpoint already excludes it
+                        // and includes everything it killed.
+                        let work = arena.propagate_death(dead, closure, &mut queue);
+                        if let Err(reason) = gov.step(work) {
+                            return Err(ArenaInterrupted {
+                                reason,
+                                checkpoint: ArenaCheckpoint {
+                                    arena,
+                                    phase: Phase::Deletion { queue },
+                                },
+                            });
+                        }
+                    }
+                    return Ok(arena);
+                }
+            };
+        }
+    }
+
+    /// Interns one frontier position's expansion; returns the number of
+    /// newly discovered positions and recorded option edges.
+    fn intern_expansion(
+        &mut self,
+        fid: usize,
+        expansion: RawExpansion<K, C, R>,
+        next: &mut Vec<usize>,
+    ) -> (u64, u64) {
+        let mut new_nodes = 0u64;
+        let mut new_edges = 0u64;
+        self.nodes[fid].expanded = true;
+        for (ch, opts) in expansion {
+            let mut options: Vec<(R, usize)> = Vec::with_capacity(opts.len());
+            for (reply, child) in opts {
+                let child_id = match child {
+                    Child::Stutter => fid,
+                    Child::Key(key) => {
+                        let id = match self.by_key.entry(key) {
+                            Entry::Occupied(e) => *e.get(),
+                            Entry::Vacant(e) => {
+                                let id = self.nodes.len();
+                                self.nodes.push(Node {
+                                    key: e.key().clone(),
+                                    expanded: false,
+                                    alive: true,
+                                    death: None,
+                                    extensions: Vec::new(),
+                                    parents: Vec::new(),
+                                });
+                                next.push(id);
+                                e.insert(id);
+                                new_nodes += 1;
                                 id
                             }
                         };
-                        options.push((reply, child_id));
+                        self.nodes[id]
+                            .parents
+                            .push((fid, ch.clone(), reply.clone()));
+                        id
                     }
-                    arena.edge_count += options.len();
-                    arena.nodes[fid].extensions.push((
-                        ch,
-                        ExtEntry {
-                            alive_options: options.len() as u32,
-                            options,
-                        },
-                    ));
-                }
+                };
+                options.push((reply, child_id));
             }
-            frontier = next;
-            level += 1;
+            self.edge_count += options.len();
+            new_edges += options.len() as u64;
+            self.nodes[fid].extensions.push((
+                ch,
+                ExtEntry {
+                    alive_options: options.len() as u32,
+                    options,
+                },
+            ));
         }
-
-        arena.run_deletion(spec.closure_under_subpositions());
-        arena
+        (new_nodes, new_edges)
     }
 
-    /// The deletion worklist: seed forth failures, then propagate each
-    /// death once along its reverse links.
-    fn run_deletion(&mut self, closure: bool) {
-        let mut queue: Vec<usize> = Vec::new();
-        for id in 0..self.nodes.len() {
-            if !self.nodes[id].expanded {
-                continue;
-            }
-            let failed = self.nodes[id]
+    /// Propagates one death along closure and reverse links; returns the
+    /// number of edges examined (the step charge for this unit).
+    fn propagate_death(&mut self, dead: usize, closure: bool, queue: &mut Vec<usize>) -> u64 {
+        let mut work = 1u64;
+        if closure {
+            // Every extension of a dead position dies: the Spoiler
+            // retreats to `dead` by lifting the linking pebble.
+            let children: Vec<(C, usize)> = self.nodes[dead]
                 .extensions
                 .iter()
-                .find(|(_, e)| e.alive_options == 0)
-                .map(|(c, _)| c.clone());
-            if let Some(ch) = failed {
-                self.kill(id, Death::Forth(ch), &mut queue);
+                .flat_map(|(c, e)| e.options.iter().map(|&(_, child)| (c.clone(), child)))
+                .filter(|&(_, child)| child != dead)
+                .collect();
+            work += children.len() as u64;
+            for (ch, child) in children {
+                if self.nodes[child].alive {
+                    self.kill(
+                        child,
+                        Death::Retreat {
+                            parent: dead,
+                            challenge: ch,
+                        },
+                        queue,
+                    );
+                }
             }
         }
-        while let Some(dead) = queue.pop() {
-            if closure {
-                // Every extension of a dead position dies: the Spoiler
-                // retreats to `dead` by lifting the linking pebble.
-                let children: Vec<(C, usize)> = self.nodes[dead]
+        // Predecessors lose one surviving reply for the linking
+        // challenge; on zero they fail forth.
+        let parents = std::mem::take(&mut self.nodes[dead].parents);
+        work += parents.len() as u64;
+        for &(pid, ref ch, _) in &parents {
+            if !self.nodes[pid].alive {
+                continue;
+            }
+            let exhausted = {
+                // Infallible: parent links are created only when the
+                // matching extension entry is interned.
+                #[allow(clippy::expect_used)]
+                let entry = self.nodes[pid]
                     .extensions
-                    .iter()
-                    .flat_map(|(c, e)| e.options.iter().map(|&(_, child)| (c.clone(), child)))
-                    .filter(|&(_, child)| child != dead)
-                    .collect();
-                for (ch, child) in children {
-                    if self.nodes[child].alive {
-                        self.kill(
-                            child,
-                            Death::Retreat {
-                                parent: dead,
-                                challenge: ch,
-                            },
-                            &mut queue,
-                        );
-                    }
-                }
+                    .iter_mut()
+                    .find(|(c, _)| c == ch)
+                    .map(|(_, e)| e)
+                    .expect("reverse link matches an extension entry");
+                entry.alive_options -= 1;
+                entry.alive_options == 0
+            };
+            if exhausted {
+                self.kill(pid, Death::Forth(ch.clone()), queue);
             }
-            // Predecessors lose one surviving reply for the linking
-            // challenge; on zero they fail forth.
-            let parents = std::mem::take(&mut self.nodes[dead].parents);
-            for &(pid, ref ch, _) in &parents {
-                if !self.nodes[pid].alive {
-                    continue;
-                }
-                let exhausted = {
-                    let entry = self.nodes[pid]
-                        .extensions
-                        .iter_mut()
-                        .find(|(c, _)| c == ch)
-                        .map(|(_, e)| e)
-                        .expect("reverse link matches an extension entry");
-                    entry.alive_options -= 1;
-                    entry.alive_options == 0
-                };
-                if exhausted {
-                    self.kill(pid, Death::Forth(ch.clone()), &mut queue);
-                }
-            }
-            self.nodes[dead].parents = parents;
         }
+        self.nodes[dead].parents = parents;
+        work
     }
 
     fn kill(&mut self, id: usize, death: Death<C>, queue: &mut Vec<usize>) {
@@ -557,6 +813,78 @@ mod tests {
             arena.is_alive(2),
             "backward induction leaves successors alone"
         );
+    }
+
+    fn assert_same_arena(a: &Arena<usize, u8, u8>, b: &Arena<usize, u8, u8>) {
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.edge_count(), b.edge_count());
+        for id in 0..a.len() {
+            assert_eq!(a.key(id), b.key(id), "key of {id}");
+            assert_eq!(a.is_alive(id), b.is_alive(id), "aliveness of {id}");
+            assert_eq!(a.death(id), b.death(id), "death of {id}");
+        }
+    }
+
+    #[test]
+    fn governed_build_matches_plain() {
+        for spec in [
+            Count {
+                max: 3,
+                closure: true,
+            },
+            Count {
+                max: 6,
+                closure: false,
+            },
+        ] {
+            let baseline = Arena::build_and_solve(&spec, 0usize);
+            let governed = Arena::try_build_and_solve(&spec, 0usize, &Governor::unlimited())
+                .expect("unlimited governor never interrupts");
+            assert_same_arena(&baseline, &governed);
+        }
+    }
+
+    #[test]
+    fn interrupted_build_resumes_to_identical_arena() {
+        let spec = Gap;
+        let baseline = Arena::build_and_solve(&spec, 0usize);
+        for max_steps in [1u64, 2, 3, 5, 8, 13, 50] {
+            let gov = kv_structures::govern::chaos::step_tripper(max_steps);
+            match Arena::try_build_and_solve(&spec, 0usize, &gov) {
+                Ok(arena) => assert_same_arena(&baseline, &arena),
+                Err(e) => {
+                    assert!(matches!(e.reason, Interrupted::Limit(_)));
+                    assert!(e.checkpoint.positions() <= baseline.len());
+                    let resumed = Arena::resume_build(&spec, e.checkpoint, &Governor::unlimited())
+                        .expect("unlimited resume completes");
+                    assert_same_arena(&baseline, &resumed);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn position_budget_interrupts_generation() {
+        let spec = Count {
+            max: 10,
+            closure: true,
+        };
+        let gov = Governor::with_budget(kv_structures::govern::Budget::positions(3));
+        let err = Arena::try_build_and_solve(&spec, 0usize, &gov).unwrap_err();
+        assert!(matches!(err.reason, Interrupted::Limit(_)));
+        assert!(err.checkpoint.is_generating());
+        let resumed = Arena::resume_build(&spec, err.checkpoint, &Governor::unlimited())
+            .expect("relaxed resume completes");
+        assert_same_arena(&Arena::build_and_solve(&spec, 0usize), &resumed);
+    }
+
+    #[test]
+    fn cancelled_build_interrupts_immediately() {
+        let gov = Governor::unlimited();
+        gov.cancel_token().cancel();
+        let err = Arena::try_build_and_solve(&Gap, 0usize, &gov).unwrap_err();
+        assert_eq!(err.reason, Interrupted::Cancelled);
+        assert_eq!(err.checkpoint.positions(), 1, "only the root is interned");
     }
 
     #[test]

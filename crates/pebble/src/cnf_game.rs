@@ -19,9 +19,11 @@
 //! `k`-game on the complete formula `φ_k`; Spoiler wins the 2-game on
 //! `x1 ∧ … ∧ xk ∧ (x̄1 ∨ … ∨ x̄k)`.
 
-use crate::arena::{Arena, Child, GameSpec};
+use crate::arena::{Arena, ArenaCheckpoint, Child, GameSpec};
 use crate::cnf::{CnfFormula, Lit};
 use crate::game::Winner;
+use kv_structures::govern::{Governor, Interrupted};
+use std::fmt;
 
 /// A Player I challenge.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -113,6 +115,41 @@ impl GameSpec for CnfSpec<'_> {
     }
 }
 
+/// Resumable state of an interrupted governed CNF-game solve.
+#[derive(Debug)]
+pub struct CnfGameCheckpoint {
+    arena: ArenaCheckpoint<CnfPosition, Challenge, Lit>,
+}
+
+impl CnfGameCheckpoint {
+    /// Positions interned so far (partial progress).
+    pub fn positions(&self) -> usize {
+        self.arena.positions()
+    }
+}
+
+/// A governed CNF-game solve was interrupted.
+#[derive(Debug)]
+pub struct CnfGameInterrupted {
+    /// Why the solve stopped.
+    pub reason: Interrupted,
+    /// Committed state; pass to [`CnfGame::resume`].
+    pub checkpoint: CnfGameCheckpoint,
+}
+
+impl fmt::Display for CnfGameInterrupted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} after {} position(s)",
+            self.reason,
+            self.checkpoint.positions()
+        )
+    }
+}
+
+impl std::error::Error for CnfGameInterrupted {}
+
 /// A solved k-pebble game on a CNF formula.
 #[derive(Debug)]
 pub struct CnfGame<'f> {
@@ -124,7 +161,56 @@ pub struct CnfGame<'f> {
 impl<'f> CnfGame<'f> {
     /// Builds and solves the game with `k` pebbles.
     pub fn solve(formula: &'f CnfFormula, k: usize) -> Self {
+        match Self::try_solve(formula, k, &Governor::unlimited()) {
+            Ok(game) => game,
+            Err(e) => unreachable!("unlimited governor interrupted: {e}"),
+        }
+    }
+
+    /// Governed [`solve`](Self::solve): honors the governor's budget,
+    /// deadline, and cancellation token inside the arena build and the
+    /// deletion worklist, interrupting at a committed boundary with a
+    /// resumable [`CnfGameCheckpoint`].
+    pub fn try_solve(
+        formula: &'f CnfFormula,
+        k: usize,
+        gov: &Governor,
+    ) -> Result<Self, CnfGameInterrupted> {
         assert!(k >= 1);
+        let spec = Self::spec(formula, k);
+        match Arena::try_build_and_solve(&spec, Vec::new(), gov) {
+            Ok(arena) => Ok(Self { formula, k, arena }),
+            Err(e) => Err(CnfGameInterrupted {
+                reason: e.reason,
+                checkpoint: CnfGameCheckpoint {
+                    arena: e.checkpoint,
+                },
+            }),
+        }
+    }
+
+    /// Resumes an interrupted governed solve. `formula` and `k` must be
+    /// those of the original call; pass a fresh or relaxed governor.
+    pub fn resume(
+        formula: &'f CnfFormula,
+        k: usize,
+        checkpoint: CnfGameCheckpoint,
+        gov: &Governor,
+    ) -> Result<Self, CnfGameInterrupted> {
+        assert!(k >= 1);
+        let spec = Self::spec(formula, k);
+        match Arena::resume_build(&spec, checkpoint.arena, gov) {
+            Ok(arena) => Ok(Self { formula, k, arena }),
+            Err(e) => Err(CnfGameInterrupted {
+                reason: e.reason,
+                checkpoint: CnfGameCheckpoint {
+                    arena: e.checkpoint,
+                },
+            }),
+        }
+    }
+
+    fn spec(formula: &'f CnfFormula, k: usize) -> CnfSpec<'f> {
         let challenges: Vec<Challenge> = (0..formula.var_count())
             .flat_map(|v| {
                 [
@@ -134,13 +220,11 @@ impl<'f> CnfGame<'f> {
             })
             .chain((0..formula.clause_count()).map(Challenge::Clause))
             .collect();
-        let spec = CnfSpec {
+        CnfSpec {
             formula,
             challenges,
             k,
-        };
-        let arena = Arena::build_and_solve(&spec, Vec::new());
-        Self { formula, k, arena }
+        }
     }
 
     /// The winner.
@@ -282,6 +366,29 @@ mod tests {
         let f = CnfFormula::new(1, vec![]);
         for k in 1..=3 {
             assert_eq!(CnfGame::solve(&f, k).winner(), Winner::Duplicator);
+        }
+    }
+
+    /// An interrupted governed CNF-game solve, resumed, reproduces the
+    /// uninterrupted verdict and arena.
+    #[test]
+    fn interrupted_cnf_solve_resumes_identically() {
+        let f = CnfFormula::complete(2);
+        for k in [2usize, 3] {
+            let baseline = CnfGame::solve(&f, k);
+            for max_steps in [1u64, 17, 200, 4_000] {
+                let gov = kv_structures::govern::chaos::step_tripper(max_steps);
+                let game = match CnfGame::try_solve(&f, k, &gov) {
+                    Ok(game) => game,
+                    Err(e) => CnfGame::resume(&f, k, e.checkpoint, &Governor::unlimited())
+                        .expect("unlimited resume completes"),
+                };
+                assert_eq!(game.winner(), baseline.winner(), "k={k} budget {max_steps}");
+                assert_eq!(game.arena_size(), baseline.arena_size());
+                for id in 0..baseline.arena_size() {
+                    assert_eq!(game.is_alive(id), baseline.is_alive(id));
+                }
+            }
         }
     }
 

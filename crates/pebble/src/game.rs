@@ -26,9 +26,11 @@
 //! For fixed `k` the arena has `O((|A|·|B|)^k)` configurations and the
 //! whole computation is polynomial — this is Proposition 5.3.
 
-use crate::arena::{Arena, Child, Death, GameSpec};
+use crate::arena::{Arena, ArenaCheckpoint, Child, Death, GameSpec};
+use kv_structures::govern::{Governor, Interrupted};
 use kv_structures::hom::{extension_ok, respects_constants, TupleIndex};
 use kv_structures::{Element, HomKind, PartialMap, Structure};
+use std::fmt;
 
 /// Who wins the game.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,6 +104,42 @@ impl GameSpec for ExistentialSpec<'_> {
     }
 }
 
+/// Resumable state of an interrupted governed solve: the partially built
+/// and solved configuration arena.
+#[derive(Debug)]
+pub struct GameCheckpoint {
+    arena: ArenaCheckpoint<PartialMap, Element, Element>,
+}
+
+impl GameCheckpoint {
+    /// Configurations interned so far (partial progress).
+    pub fn positions(&self) -> usize {
+        self.arena.positions()
+    }
+}
+
+/// A governed existential-game solve was interrupted.
+#[derive(Debug)]
+pub struct GameInterrupted {
+    /// Why the solve stopped.
+    pub reason: Interrupted,
+    /// Committed state; pass to [`ExistentialGame::resume`].
+    pub checkpoint: GameCheckpoint,
+}
+
+impl fmt::Display for GameInterrupted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} after {} configuration(s)",
+            self.reason,
+            self.checkpoint.positions()
+        )
+    }
+}
+
+impl std::error::Error for GameInterrupted {}
+
 /// A solved existential k-pebble game on a fixed pair of structures.
 #[derive(Debug)]
 pub struct ExistentialGame<'s> {
@@ -134,37 +172,39 @@ impl<'s> ExistentialGame<'s> {
     /// # Panics
     /// Panics if the vocabularies differ or `k == 0`.
     pub fn solve(a: &'s Structure, b: &'s Structure, k: usize, kind: HomKind) -> Self {
+        match Self::try_solve(a, b, k, kind, &Governor::unlimited()) {
+            Ok(game) => game,
+            Err(e) => unreachable!("unlimited governor interrupted: {e}"),
+        }
+    }
+
+    /// Governed [`solve`](Self::solve): honors the governor's budget,
+    /// deadline, and cancellation token cooperatively inside the arena
+    /// build and deletion worklist, interrupting at a committed boundary
+    /// with a resumable [`GameCheckpoint`].
+    ///
+    /// # Panics
+    /// Panics if the vocabularies differ or `k == 0`.
+    pub fn try_solve(
+        a: &'s Structure,
+        b: &'s Structure,
+        k: usize,
+        kind: HomKind,
+        gov: &Governor,
+    ) -> Result<Self, GameInterrupted> {
         assert!(k >= 1, "at least one pebble");
         assert_eq!(a.vocabulary(), b.vocabulary(), "vocabulary mismatch");
         let index_a = TupleIndex::build(a);
-
-        // Root: the constant pairs.
-        let mut root_map = PartialMap::new();
-        let mut root_ok = true;
-        for (&ca, &cb) in a.constant_values().iter().zip(b.constant_values()) {
-            if let Some(existing) = root_map.get(ca) {
-                if existing != cb {
-                    root_ok = false;
-                    break;
-                }
-                continue;
-            }
-            if !extension_ok(&root_map, ca, cb, &index_a, b, kind) {
-                root_ok = false;
-                break;
-            }
-            root_map.insert(ca, cb);
-        }
-        if !root_ok {
-            return Self {
+        let Some(root_map) = Self::constant_root(a, b, &index_a, kind) else {
+            return Ok(Self {
                 a,
                 b,
                 k,
                 kind,
                 arena: Arena::empty(),
                 root: Err(DeathReason::InvalidRoot),
-            };
-        }
+            });
+        };
         debug_assert!(respects_constants(&root_map, a, b));
 
         let spec = ExistentialSpec {
@@ -174,15 +214,86 @@ impl<'s> ExistentialGame<'s> {
             k,
             kind,
         };
-        let arena = Arena::build_and_solve(&spec, root_map);
-        Self {
+        match Arena::try_build_and_solve(&spec, root_map, gov) {
+            Ok(arena) => Ok(Self {
+                a,
+                b,
+                k,
+                kind,
+                arena,
+                root: Ok(0),
+            }),
+            Err(e) => Err(GameInterrupted {
+                reason: e.reason,
+                checkpoint: GameCheckpoint {
+                    arena: e.checkpoint,
+                },
+            }),
+        }
+    }
+
+    /// Resumes an interrupted governed solve. `a`, `b`, `k`, and `kind`
+    /// must be those of the original call; budget counters live in the
+    /// governor, so pass a fresh or relaxed one. The resumed game is
+    /// identical — configuration by configuration — to an uninterrupted
+    /// solve.
+    pub fn resume(
+        a: &'s Structure,
+        b: &'s Structure,
+        k: usize,
+        kind: HomKind,
+        checkpoint: GameCheckpoint,
+        gov: &Governor,
+    ) -> Result<Self, GameInterrupted> {
+        assert!(k >= 1, "at least one pebble");
+        assert_eq!(a.vocabulary(), b.vocabulary(), "vocabulary mismatch");
+        let spec = ExistentialSpec {
             a,
             b,
+            index_a: TupleIndex::build(a),
             k,
             kind,
-            arena,
-            root: Ok(0),
+        };
+        match Arena::resume_build(&spec, checkpoint.arena, gov) {
+            Ok(arena) => Ok(Self {
+                a,
+                b,
+                k,
+                kind,
+                arena,
+                root: Ok(0),
+            }),
+            Err(e) => Err(GameInterrupted {
+                reason: e.reason,
+                checkpoint: GameCheckpoint {
+                    arena: e.checkpoint,
+                },
+            }),
         }
+    }
+
+    /// The root configuration — the constant pairs — or `None` when the
+    /// constants themselves are not a partial homomorphism.
+    fn constant_root(
+        a: &Structure,
+        b: &Structure,
+        index_a: &TupleIndex,
+        kind: HomKind,
+    ) -> Option<PartialMap> {
+        let mut root_map = PartialMap::new();
+        for (&ca, &cb) in a.constant_values().iter().zip(b.constant_values()) {
+            if let Some(existing) = root_map.get(ca) {
+                if existing != cb {
+                    return None;
+                }
+                continue;
+            }
+            if !extension_ok(&root_map, ca, cb, index_a, b, kind) {
+                return None;
+            }
+            root_map.insert(ca, cb);
+        }
+        Some(root_map)
     }
 
     /// The winner (Theorem 4.8: Duplicator wins iff the family is
@@ -445,6 +556,54 @@ mod tests {
         assert!(g.arena_size() > 1);
         assert!(g.family_size() <= g.arena_size());
         assert!(g.arena_edge_count() > 0);
+    }
+
+    /// An interrupted governed solve, resumed, reproduces the
+    /// uninterrupted game verdict by verdict.
+    #[test]
+    fn interrupted_solve_resumes_identically() {
+        let a = directed_path(7);
+        let b = directed_path(4);
+        let baseline = ExistentialGame::solve(&a, &b, 2, HomKind::OneToOne);
+        for max_steps in [1u64, 5, 23, 120, 900] {
+            let gov = kv_structures::govern::chaos::step_tripper(max_steps);
+            let game = match ExistentialGame::try_solve(&a, &b, 2, HomKind::OneToOne, &gov) {
+                Ok(game) => game,
+                Err(e) => {
+                    assert!(e.checkpoint.positions() <= baseline.arena_size());
+                    ExistentialGame::resume(
+                        &a,
+                        &b,
+                        2,
+                        HomKind::OneToOne,
+                        e.checkpoint,
+                        &kv_structures::Governor::unlimited(),
+                    )
+                    .expect("unlimited resume completes")
+                }
+            };
+            assert_eq!(game.winner(), baseline.winner(), "budget {max_steps}");
+            assert_eq!(game.arena_size(), baseline.arena_size());
+            assert_eq!(game.family_size(), baseline.family_size());
+            for id in 0..baseline.arena_size() {
+                assert_eq!(game.config_map(id), baseline.config_map(id));
+                assert_eq!(game.is_alive(id), baseline.is_alive(id));
+                assert_eq!(game.death(id), baseline.death(id));
+            }
+        }
+    }
+
+    /// Cancellation interrupts the solve without panicking; the invalid
+    /// root shortcut still answers without consulting the governor's
+    /// arena loops.
+    #[test]
+    fn cancellation_interrupts_solve() {
+        let a = directed_path(4);
+        let b = directed_path(5);
+        let gov = kv_structures::Governor::unlimited();
+        gov.cancel_token().cancel();
+        let err = ExistentialGame::try_solve(&a, &b, 2, HomKind::OneToOne, &gov).unwrap_err();
+        assert_eq!(err.reason, kv_structures::Interrupted::Cancelled, "{err}");
     }
 
     /// The parallel frontier fan-out is transparent: solving with many

@@ -23,6 +23,10 @@
 //!   retained as the ablation/differential partner of the worklist path.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+// Interrupt errors deliberately carry the resumable checkpoint inline; they
+// are cold-path values, so the large `Err` variants are intentional.
+#![allow(clippy::result_large_err)]
 
 pub mod acyclic;
 pub mod arena;
@@ -34,14 +38,16 @@ pub mod play;
 pub mod preceq;
 pub mod win_iteration;
 
-pub use acyclic::{AcyclicGame, PatternSpec};
+pub use acyclic::{AcyclicCheckpoint, AcyclicGame, AcyclicInterrupted, PatternSpec};
+pub use arena::{ArenaCheckpoint, ArenaInterrupted};
 pub use cnf::{clause, CnfFormula, Lit};
-pub use cnf_game::CnfGame;
+pub use cnf_game::{CnfGame, CnfGameCheckpoint, CnfGameInterrupted};
 pub use cnf_play::{
     play_cnf_game, AssignmentDuplicator, CnfDuplicator, CnfFamilyDuplicator, CnfMove, CnfSpoiler,
     RandomCnfSpoiler,
 };
-pub use game::{DeathReason, ExistentialGame, Winner};
+pub use game::{DeathReason, ExistentialGame, GameCheckpoint, GameInterrupted, Winner};
+pub use kv_structures::{Budget, CancelToken, Deadline, Governor, Interrupted};
 pub use play::{
     play_game, DuplicatorStrategy, ExhaustiveSpoiler, FamilyDuplicator, GamePosition,
     HomomorphismDuplicator, RandomSpoiler, SolverSpoiler, SpoilerMove, SpoilerStrategy,

@@ -243,6 +243,9 @@ impl SpoilerStrategy for SolverSpoiler<'_, '_> {
         };
         match self.game.death(id) {
             Some(DeathReason::Forth(ax)) => {
+                // Infallible: forth deaths are only recorded on positions
+                // of size < k, so a slot is free.
+                #[allow(clippy::expect_used)]
                 let slot = position
                     .slots
                     .iter()
@@ -251,6 +254,9 @@ impl SpoilerStrategy for SolverSpoiler<'_, '_> {
                 SpoilerMove::Place { slot, on: ax }
             }
             Some(DeathReason::Subfunction { drop, .. }) => {
+                // Infallible: the recorded drop element is pebbled in the
+                // position the death was derived from.
+                #[allow(clippy::expect_used)]
                 let slot = position
                     .slots
                     .iter()

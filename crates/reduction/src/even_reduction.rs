@@ -50,6 +50,9 @@ pub fn even_path_instance(g: &Digraph, s: [u32; 4]) -> EvenPathInstance {
 pub fn transport_witness(instance: &EvenPathInstance, p1: &[u32], p2: &[u32]) -> Vec<u32> {
     let double = |path: &[u32], out: &mut Vec<u32>| {
         for w in path.windows(2) {
+            // Infallible for genuine witnesses: every consecutive pair is
+            // an edge of the original graph, and G* carries its midpoint.
+            #[allow(clippy::expect_used)]
             let mid = instance
                 .midpoints
                 .iter()
@@ -91,7 +94,10 @@ impl DoubledWitness {
         assert_eq!(b.constant_values().len(), 4);
         let ga = Digraph::from_structure(a);
         let gb = Digraph::from_structure(b);
+        // Infallible: lengths asserted to be 4 above.
+        #[allow(clippy::unwrap_used)]
         let ca: [u32; 4] = a.constant_values().try_into().unwrap();
+        #[allow(clippy::unwrap_used)]
         let cb: [u32; 4] = b.constant_values().try_into().unwrap();
         let a_inst = even_path_instance(&ga, ca);
         let b_inst = even_path_instance(&gb, cb);

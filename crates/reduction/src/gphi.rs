@@ -17,6 +17,7 @@
 
 use crate::switch::{Switch, SwitchPath};
 use kv_pebble::cnf::{CnfFormula, Lit};
+use kv_structures::govern::{Governor, Interrupted};
 use kv_structures::Digraph;
 
 /// Metadata for one switch of the construction.
@@ -75,6 +76,19 @@ impl GPhi {
     /// assert!(!g.has_two_disjoint_paths_brute());
     /// ```
     pub fn build(formula: CnfFormula) -> Self {
+        match Self::try_build(formula, &Governor::unlimited()) {
+            Ok(gphi) => gphi,
+            Err(e) => unreachable!("unlimited governor interrupted: {e}"),
+        }
+    }
+
+    /// Governed [`build`](Self::build): charges one position per graph
+    /// node and one step per literal occurrence, variable block, and
+    /// clause segment as the reduction graph is assembled. Construction
+    /// is pure — on interrupt, call again with a fresh or relaxed
+    /// governor.
+    pub fn try_build(formula: CnfFormula, gov: &Governor) -> Result<Self, Interrupted> {
+        gov.check()?;
         let vars = formula.var_count();
         let mut graph = Digraph::new(4);
         let (s1, s2, s3, s4) = (0u32, 1u32, 2u32, 3u32);
@@ -85,7 +99,10 @@ impl GPhi {
         for (j, clause) in formula.clauses().iter().enumerate() {
             let mut ids = Vec::new();
             for &lit in clause {
+                let before = graph.node_count();
                 let switch = Switch::add_to(&mut graph);
+                gov.step(1)
+                    .and_then(|()| gov.charge_positions((graph.node_count() - before) as u64))?;
                 ids.push(switches.len());
                 switches.push(SwitchInfo {
                     switch,
@@ -111,6 +128,7 @@ impl GPhi {
             columns[info.lit.index()].push(id);
         }
         for v in 0..vars {
+            gov.step(1).and_then(|()| gov.charge_positions(2))?;
             let top = graph.add_node();
             let bottom = graph.add_node();
             var_tops.push(top);
@@ -125,6 +143,8 @@ impl GPhi {
                 for w in col.windows(2) {
                     graph.add_edge(switches[w[0]].switch.h(), switches[w[1]].switch.g());
                 }
+                // Infallible: the empty-column case continued above.
+                #[allow(clippy::unwrap_used)]
                 graph.add_edge(switches[*col.last().unwrap()].switch.h(), bottom);
             }
             if v > 0 {
@@ -134,8 +154,10 @@ impl GPhi {
 
         // 4. Clause block.
         let n_clauses = formula.clause_count();
+        gov.charge_positions(n_clauses as u64 + 1)?;
         let clause_nodes: Vec<u32> = (0..=n_clauses).map(|_| graph.add_node()).collect();
         for (j, ids) in clause_switches.iter().enumerate() {
+            gov.step(1)?;
             for &id in ids {
                 graph.add_edge(clause_nodes[j], switches[id].switch.e());
                 graph.add_edge(switches[id].switch.f(), clause_nodes[j + 1]);
@@ -157,7 +179,7 @@ impl GPhi {
         graph.add_edge(clause_nodes[n_clauses], s4);
         graph.set_distinguished(vec![s1, s2, s3, s4]);
 
-        Self {
+        Ok(Self {
             formula,
             graph,
             s1,
@@ -170,7 +192,7 @@ impl GPhi {
             clause_nodes,
             columns,
             clause_switches,
-        }
+        })
     }
 
     /// Number of switches.
@@ -234,6 +256,8 @@ impl GPhi {
             let id = self.clause_switches[j][pos];
             bottom.extend(self.switches[id].switch.path_nodes(SwitchPath::PEF));
         }
+        // Infallible: clause_nodes always holds n_clauses + 1 ≥ 1 nodes.
+        #[allow(clippy::unwrap_used)]
         bottom.push(*self.clause_nodes.last().unwrap());
         bottom.push(self.s4);
         Some((top, bottom))
@@ -417,6 +441,27 @@ mod tests {
         }
         // (x1 | ~x2) & x2 forces x2 = 1 and then x1 = 1: exactly one model.
         assert_eq!(found, 1);
+    }
+
+    #[test]
+    fn governed_interrupt_then_rerun_rebuilds_identically() {
+        use kv_structures::govern::{Budget, Governor, Interrupted};
+        let formula = CnfFormula::complete(2);
+        let plain = GPhi::build(formula.clone());
+        // Position budget smaller than the graph must interrupt cleanly.
+        let tight = Governor::with_budget(Budget::positions(10));
+        match GPhi::try_build(formula.clone(), &tight) {
+            Err(Interrupted::Limit(_)) => {}
+            other => panic!(
+                "expected a limit interrupt, got {:?}",
+                other.map(|g| g.switch_count())
+            ),
+        }
+        let rerun = GPhi::try_build(formula, &Governor::unlimited()).unwrap();
+        assert_eq!(plain.graph.node_count(), rerun.graph.node_count());
+        assert_eq!(plain.graph.edge_count(), rerun.graph.edge_count());
+        assert_eq!(plain.switch_count(), rerun.switch_count());
+        assert_eq!(plain.clause_nodes, rerun.clause_nodes);
     }
 
     #[test]

@@ -94,11 +94,22 @@ impl GPhi {
     /// The offset classification of the standard bottom path.
     ///
     /// # Panics
-    /// Panics if the column lengths are not uniform.
+    /// Panics if the column lengths are not uniform;
+    /// [`try_bottom_layout`](Self::try_bottom_layout) is the total form.
     pub fn bottom_layout(&self) -> Vec<BottomPos> {
-        let col_len = self
-            .uniform_column_len()
+        // Input contract documented above; try_bottom_layout is total.
+        #[allow(clippy::expect_used)]
+        let out = self
+            .try_bottom_layout()
             .expect("standard bottom paths need uniform column lengths");
+        out
+    }
+
+    /// Total form of [`bottom_layout`](Self::bottom_layout): `None` when
+    /// the column lengths are not uniform (the standard-path machinery is
+    /// undefined for such formulas).
+    pub fn try_bottom_layout(&self) -> Option<Vec<BottomPos>> {
+        let col_len = self.uniform_column_len()?;
         let mut out = vec![BottomPos::Fixed(self.s3)];
         for (i, info) in self.switches.iter().enumerate() {
             out.push(BottomPos::Fixed(info.switch.b()));
@@ -126,9 +137,11 @@ impl GPhi {
                 out.push(BottomPos::Clause { clause: j, offset });
             }
         }
+        // Infallible: clause_nodes always holds n_clauses + 1 ≥ 1 nodes.
+        #[allow(clippy::unwrap_used)]
         out.push(BottomPos::Fixed(*self.clause_nodes.last().unwrap()));
         out.push(BottomPos::Fixed(self.s4));
-        out
+        Some(out)
     }
 
     /// Resolves a [`TopPos`] choice: the concrete node when the switch is

@@ -17,6 +17,7 @@
 //!   Corollary 6.8 (two disjoint paths ⟶ even simple path).
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod even_reduction;
 pub mod gphi;

@@ -265,6 +265,8 @@ impl Switch {
         let qgh: Vec<u32> = sw.path_nodes(SwitchPath::QGH).to_vec();
         let mut p_case_seen = false;
         let mut q_case_seen = false;
+        // Infallible unwraps below: all_simple_paths yields nonempty paths.
+        #[allow(clippy::unwrap_used)]
         for p in &passing {
             if *p.last().unwrap() != sw.a() {
                 continue;

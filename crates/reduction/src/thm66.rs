@@ -25,6 +25,7 @@ use crate::layout::{BottomPos, TopPos};
 use crate::switch::SwitchPath;
 use kv_pebble::cnf::{CnfFormula, Lit};
 use kv_pebble::play::{DuplicatorStrategy, GamePosition};
+use kv_structures::govern::{Governor, Interrupted};
 use kv_structures::{Element, Structure, Vocabulary};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -58,14 +59,36 @@ impl Thm66Witness {
         Self::from_formula(k, CnfFormula::complete(k))
     }
 
+    /// Governed [`new`](Self::new); same restart-resume contract as
+    /// [`GPhi::try_build`].
+    pub fn try_new(k: usize, gov: &Governor) -> Result<Self, Interrupted> {
+        Self::try_from_formula(k, CnfFormula::complete(k), gov)
+    }
+
     /// Builds the witness machinery for an arbitrary formula with uniform
     /// literal-occurrence counts (`k` is the pebble budget the strategy
     /// will be asked to survive; the guarantees of Theorem 6.6 hold when
     /// the Duplicator wins the k-pebble game on the formula).
     pub fn from_formula(k: usize, formula: CnfFormula) -> Self {
-        let gphi = GPhi::build(formula);
+        match Self::try_from_formula(k, formula, &Governor::unlimited()) {
+            Ok(witness) => witness,
+            Err(e) => unreachable!("unlimited governor interrupted: {e}"),
+        }
+    }
+
+    /// Governed [`from_formula`](Self::from_formula): builds `G_φ` under
+    /// the governor, then charges one step per layout position of `A_k`.
+    /// Construction is pure — on interrupt, call again with a fresh or
+    /// relaxed governor.
+    pub fn try_from_formula(
+        k: usize,
+        formula: CnfFormula,
+        gov: &Governor,
+    ) -> Result<Self, Interrupted> {
+        let gphi = GPhi::try_build(formula, gov)?;
         let top_layout = gphi.top_layout();
         let bottom_layout = gphi.bottom_layout();
+        gov.step((top_layout.len() + bottom_layout.len()) as u64)?;
         let vocab = Arc::new(Vocabulary::graph_with_constants(4));
         // A_k: node ids 0..top_len are the first path in order, then the
         // second path.
@@ -90,14 +113,14 @@ impl Thm66Witness {
             g.set_distinguished(vec![gphi.s1, gphi.s2, gphi.s3, gphi.s4]);
             g.to_structure_with(Arc::clone(&vocab))
         };
-        Self {
+        Ok(Self {
             k,
             gphi,
             a,
             b,
             top_layout,
             bottom_layout,
-        }
+        })
     }
 
     /// Length of `A_k`'s first path (the `w1 → w2` one).

@@ -327,7 +327,10 @@ pub fn find_homomorphism(
         false
     }
     if backtrack(&order, 0, &mut map, &index, b, kind) {
-        Some((0..n as Element).map(|x| map.get(x).unwrap()).collect())
+        // Infallible: a successful backtrack assigned every element.
+        #[allow(clippy::unwrap_used)]
+        let hom = (0..n as Element).map(|x| map.get(x).unwrap()).collect();
+        Some(hom)
     } else {
         None
     }
@@ -412,7 +415,10 @@ pub fn find_isomorphism(a: &Structure, b: &Structure) -> Option<Vec<Element>> {
         false
     }
     if backtrack(n, 0, &mut map, &mut inverse, a, b, &index_a, &index_b) {
-        Some((0..n as Element).map(|x| map.get(x).unwrap()).collect())
+        // Infallible: a successful backtrack assigned every element.
+        #[allow(clippy::unwrap_used)]
+        let iso = (0..n as Element).map(|x| map.get(x).unwrap()).collect();
+        Some(iso)
     } else {
         None
     }

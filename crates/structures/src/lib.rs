@@ -18,11 +18,16 @@
 //! - [`Digraph`]: a thin directed-graph view used throughout the case study
 //!   ([`graph`]);
 //! - deterministic generators for the structure families appearing in the
-//!   paper's examples ([`generators`]).
+//!   paper's examples ([`generators`]);
+//! - the resource-governance layer shared by every solver in the
+//!   workspace — budgets, deadlines, cooperative cancellation, and the
+//!   chaos fault-injection schedules ([`govern`]).
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod generators;
+pub mod govern;
 pub mod graph;
 pub mod hom;
 pub mod io;
@@ -33,6 +38,7 @@ pub mod store;
 pub mod structure;
 pub mod vocabulary;
 
+pub use govern::{Budget, CancelToken, Deadline, Governor, GovernorUsage, Interrupted, Meter};
 pub use graph::Digraph;
 pub use hom::{HomKind, PartialMap};
 pub use io::{parse_digraph, write_digraph, DigraphParseError};

@@ -12,8 +12,9 @@
 //! then runs inline on the caller's thread, which keeps single-threaded
 //! differential baselines trivial to produce.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use crate::govern::{Governor, Interrupted};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
 
 /// The number of worker threads parallel helpers will use.
 pub fn thread_count() -> usize {
@@ -75,10 +76,91 @@ where
             });
         }
     });
-    slots
+    // Infallible: the atomic cursor hands every index to some worker, and
+    // the scope joins all workers before `slots` is read.
+    #[allow(clippy::expect_used)]
+    let out = slots
         .into_iter()
         .map(|s| s.expect("every slot filled by a worker"))
-        .collect()
+        .collect();
+    out
+}
+
+/// A governed [`par_map`]: applies the fallible `f` to every item in
+/// parallel, but checks the governor cooperatively — each worker charges
+/// one step per claimed item and stops claiming as soon as any worker
+/// observes an interrupt (cancellation, deadline, or budget).
+///
+/// On interrupt the whole map is abandoned and the first observed
+/// [`Interrupted`] is returned; completed per-item results are discarded,
+/// which is what lets callers treat the map as an atomic unit and resume
+/// it from the items list (per-item work must be pure).
+pub fn try_par_map<T, R, F>(items: &[T], gov: &Governor, f: F) -> Result<Vec<R>, Interrupted>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> Result<R, Interrupted> + Sync,
+{
+    let threads = thread_count().min(items.len());
+    if threads <= 1 || items.len() < 2 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                gov.step(1)?;
+                f(i, t)
+            })
+            .collect();
+    }
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    let cursor = AtomicUsize::new(0);
+    let aborted = AtomicBool::new(false);
+    let first_err: Mutex<Option<Interrupted>> = Mutex::new(None);
+    let slots_ptr = SendPtr(slots.as_mut_ptr());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let slots_ptr = &slots_ptr;
+                loop {
+                    if aborted.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let r = gov.step(1).and_then(|()| f(i, &items[i]));
+                    match r {
+                        Ok(r) => {
+                            // SAFETY: as in `par_map` — each index is
+                            // claimed by exactly one worker, writes are
+                            // disjoint, and the scope joins before
+                            // `slots` is read or dropped.
+                            unsafe { *slots_ptr.0.add(i) = Some(r) };
+                        }
+                        Err(e) => {
+                            aborted.store(true, Ordering::Relaxed);
+                            let mut guard = first_err.lock().unwrap_or_else(|p| p.into_inner());
+                            guard.get_or_insert(e);
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let err = first_err.into_inner().unwrap_or_else(|p| p.into_inner());
+    if let Some(e) = err {
+        return Err(e);
+    }
+    // Infallible: no worker reported an interrupt, so every slot is full.
+    #[allow(clippy::expect_used)]
+    let out = slots
+        .into_iter()
+        .map(|s| s.expect("every slot filled by a worker"))
+        .collect();
+    Ok(out)
 }
 
 /// Runs `f` once per worker thread (passing the worker index), in
@@ -104,9 +186,13 @@ where
             });
         }
     });
-    out.into_iter()
+    // Infallible: the scope joins every worker before `out` is read.
+    #[allow(clippy::expect_used)]
+    let results = out
+        .into_iter()
         .map(|s| s.expect("worker finished"))
-        .collect()
+        .collect();
+    results
 }
 
 /// A raw pointer wrapper that asserts cross-thread sendability for the
@@ -145,5 +231,38 @@ mod tests {
     #[test]
     fn thread_count_is_positive() {
         assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn try_par_map_completes_under_unlimited_governor() {
+        let gov = Governor::unlimited();
+        let items: Vec<u64> = (0..300).collect();
+        let out = try_par_map(&items, &gov, |_, &x| Ok(x + 1)).unwrap();
+        assert_eq!(out, (1..=300).collect::<Vec<_>>());
+        assert_eq!(gov.usage().steps, 300);
+    }
+
+    #[test]
+    fn try_par_map_stops_on_cancellation() {
+        let gov = Governor::unlimited();
+        gov.cancel_token().cancel();
+        let items: Vec<u64> = (0..1000).collect();
+        let err = try_par_map(&items, &gov, |_, &x| {
+            if gov.cancel_token().is_cancelled() {
+                Err(Interrupted::Cancelled)
+            } else {
+                Ok(x)
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err, Interrupted::Cancelled);
+    }
+
+    #[test]
+    fn try_par_map_propagates_step_budget() {
+        let gov = crate::govern::chaos::step_tripper(10);
+        let items: Vec<u64> = (0..1000).collect();
+        let err = try_par_map(&items, &gov, |_, &x| Ok(x)).unwrap_err();
+        assert!(matches!(err, Interrupted::Limit(_)));
     }
 }

@@ -408,7 +408,17 @@ pub struct Limits {
     pub max_stages: Option<u64>,
 }
 
-/// A budget from [`Limits`] was exceeded.
+impl Limits {
+    /// No limits at all — evaluation runs to its natural fixpoint.
+    pub const fn unlimited() -> Self {
+        Limits {
+            max_tuples: None,
+            max_stages: None,
+        }
+    }
+}
+
+/// A budget from [`Limits`] (or a [`crate::govern::Budget`]) was exceeded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LimitExceeded {
     /// The tuple budget was exceeded.
@@ -423,6 +433,25 @@ pub enum LimitExceeded {
         /// The configured budget.
         limit: u64,
     },
+    /// The abstract step budget was exceeded.
+    Steps {
+        /// The configured budget.
+        limit: u64,
+    },
+    /// The game-position budget was exceeded.
+    Positions {
+        /// The configured budget.
+        limit: u64,
+        /// How many positions had been generated when the solver stopped.
+        reached: u64,
+    },
+    /// The byte budget was exceeded.
+    Bytes {
+        /// The configured budget.
+        limit: u64,
+        /// How many bytes had been charged when the solver stopped.
+        reached: u64,
+    },
 }
 
 impl fmt::Display for LimitExceeded {
@@ -436,6 +465,18 @@ impl fmt::Display for LimitExceeded {
             }
             LimitExceeded::Stages { limit } => {
                 write!(f, "stage budget exceeded: limit {limit}")
+            }
+            LimitExceeded::Steps { limit } => {
+                write!(f, "step budget exceeded: limit {limit}")
+            }
+            LimitExceeded::Positions { limit, reached } => {
+                write!(
+                    f,
+                    "position budget exceeded: {reached} generated, limit {limit}"
+                )
+            }
+            LimitExceeded::Bytes { limit, reached } => {
+                write!(f, "byte budget exceeded: {reached} charged, limit {limit}")
             }
         }
     }
