@@ -2,9 +2,36 @@
 //! EXPERIMENTS.md's measured columns — and writes the machine-readable
 //! solver/engine reports `BENCH_pebble.json` and `BENCH_datalog.json` to
 //! the current directory.
+//!
+//! `harness --smoke` skips the tables and instead runs the demand-path
+//! cross-checks ([`kv_bench::report::smoke_check`]): magic-set answers
+//! must match full saturation without extra derivations, and the lazy
+//! pebble solver must agree with the eager one. Exits nonzero on any
+//! violation (the CI bench-smoke gate).
 
 fn main() {
     let start = std::time::Instant::now();
+    if std::env::args().any(|a| a == "--smoke") {
+        let violations = kv_bench::report::smoke_check();
+        for (path, report) in [
+            ("BENCH_pebble.json", kv_bench::report::pebble_report()),
+            ("BENCH_datalog.json", kv_bench::report::datalog_report()),
+        ] {
+            match std::fs::write(path, &report) {
+                Ok(()) => println!("wrote {path}"),
+                Err(e) => eprintln!("failed to write {path}: {e}"),
+            }
+        }
+        if violations.is_empty() {
+            println!("bench smoke: demand paths agree with eager baselines ✓");
+            println!("total harness time: {:.2?}", start.elapsed());
+            return;
+        }
+        for v in &violations {
+            eprintln!("bench smoke violation: {v}");
+        }
+        std::process::exit(1);
+    }
     println!("# Experiment harness — Kolaitis & Vardi (PODS 1990) reproduction\n");
     assert!(
         kv_bench::experiments::smoke_validate_play(),

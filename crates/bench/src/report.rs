@@ -4,16 +4,24 @@
 //! The JSON is hand-rolled (the workspace builds offline with zero
 //! external dependencies): every value is a number, a string of known-safe
 //! characters, or a flat object, so no escaping machinery is needed.
+//!
+//! Next to the eager baselines each report carries the demand-driven
+//! columns: `demand_ms`/`demand_tuples`/`magic_probes` for the magic-set
+//! rewrite of each Datalog case queried at a fixed goal tuple, and
+//! `lazy_ms`/`lazy_arena_size` for the lazy, root-directed pebble solver.
+//! [`smoke_check`] cross-validates the demand paths against the eager
+//! ones (same answers, no extra derivations) and is wired to the
+//! harness's `--smoke` flag for CI.
 
 use crate::microbench::time_fn;
 use kv_core::datalog::programs::{avoiding_path, q_kl, transitive_closure};
-use kv_core::datalog::{EvalOptions, Evaluator};
+use kv_core::datalog::{BindingPattern, EvalOptions, Evaluator, MagicProgram, Program};
 use kv_core::pebble::win_iteration::solve_by_win_iteration;
 use kv_core::pebble::ExistentialGame;
 use kv_core::structures::generators::{directed_path, random_digraph};
 use kv_core::structures::govern::{Budget, CancelToken, Deadline, Governor};
 use kv_core::structures::par::thread_count;
-use kv_core::structures::HomKind;
+use kv_core::structures::{Element, HomKind, Structure};
 use std::time::Duration;
 
 /// A governor with every interrupt source armed (step budget, deadline,
@@ -81,12 +89,11 @@ fn ms(d: std::time::Duration) -> f64 {
     d.as_secs_f64() * 1e3
 }
 
-/// Pebble-game solver report: arena size, propagation edge count, and the
-/// wall time of the worklist solver next to the paper's naive `Win_k`
-/// value iteration on the same instance.
-pub fn pebble_report() -> String {
-    let mut cases = Vec::new();
-    let instances: Vec<(String, _, _, usize)> = vec![
+/// The pebble-report workload: `(name, A, B, k)`. The Duplicator-win
+/// cases are where the lazy solver's early termination pays — it stops as
+/// soon as a forth-closed witness family around the root is complete.
+fn pebble_instances() -> Vec<(String, Structure, Structure, usize)> {
+    vec![
         (
             "path_9_vs_8_k2".into(),
             directed_path(9),
@@ -97,6 +104,18 @@ pub fn pebble_report() -> String {
             "path_7_vs_6_k3".into(),
             directed_path(7),
             directed_path(6),
+            3,
+        ),
+        (
+            "path_7_vs_9_k2".into(),
+            directed_path(7),
+            directed_path(9),
+            2,
+        ),
+        (
+            "path_6_vs_8_k3".into(),
+            directed_path(6),
+            directed_path(8),
             3,
         ),
         (
@@ -111,14 +130,52 @@ pub fn pebble_report() -> String {
             random_digraph(6, 0.3, 45).to_structure(),
             3,
         ),
-    ];
-    for (name, a, b, k) in &instances {
+    ]
+}
+
+/// The Datalog-report workload: `(name, program, input, goal tuple)`.
+/// The goal tuple is the bounded query the demand columns measure — every
+/// goal position bound, so the magic-set rewrite seeds from the full
+/// tuple.
+fn datalog_instances() -> Vec<(String, Program, Structure, Vec<Element>)> {
+    vec![
+        (
+            "tc_n60_p0.06".into(),
+            transitive_closure(),
+            random_digraph(60, 0.06, 7).to_structure(),
+            vec![0, 59],
+        ),
+        (
+            "avoiding_path_n16_p0.12".into(),
+            avoiding_path(),
+            random_digraph(16, 0.12, 8).to_structure(),
+            vec![0, 15, 7],
+        ),
+        (
+            "q_2_1_n12_p0.15".into(),
+            q_kl(2, 1),
+            random_digraph(12, 0.15, 9).to_structure(),
+            vec![0, 10, 11, 5],
+        ),
+    ]
+}
+
+/// Pebble-game solver report: arena size, propagation edge count, and the
+/// wall time of the worklist solver next to the paper's naive `Win_k`
+/// value iteration and the lazy demand-driven solver on the same instance.
+pub fn pebble_report() -> String {
+    let mut cases = Vec::new();
+    for (name, a, b, k) in &pebble_instances() {
         let game = ExistentialGame::solve(a, b, *k, HomKind::OneToOne);
+        let lazy_game = ExistentialGame::solve_lazy(a, b, *k, HomKind::OneToOne);
         let worklist = time_fn(2, 15, || {
             ExistentialGame::solve(a, b, *k, HomKind::OneToOne).winner()
         });
         let naive = time_fn(1, 5, || {
             solve_by_win_iteration(a, b, *k, HomKind::OneToOne).0
+        });
+        let lazy = time_fn(2, 15, || {
+            ExistentialGame::solve_lazy(a, b, *k, HomKind::OneToOne).winner()
         });
         let governed = time_fn(2, 15, || {
             let gov = armed_governor();
@@ -131,10 +188,13 @@ pub fn pebble_report() -> String {
             Obj::new()
                 .str("name", name)
                 .num("k", k)
+                .num("threads", thread_count())
                 .num("arena_size", game.arena_size())
                 .num("arena_edges", game.arena_edge_count())
+                .num("lazy_arena_size", lazy_game.arena_size())
                 .num("worklist_ms", format!("{:.4}", ms(worklist.median)))
                 .num("value_iteration_ms", format!("{:.4}", ms(naive.median)))
+                .num("lazy_ms", format!("{:.4}", ms(lazy.median)))
                 .num("governed_ms", format!("{:.4}", ms(governed.median)))
                 .num(
                     "governance_overhead_pct",
@@ -146,47 +206,48 @@ pub fn pebble_report() -> String {
 }
 
 /// Datalog engine report: fixpoint size, stage count, the storage-engine
-/// counters (interned tuples, join probes, duplicate derivations), and
-/// wall time with rule-variant parallelism on vs. off (both semi-naive).
+/// counters (interned tuples, join probes, duplicate derivations), wall
+/// time with rule-variant parallelism on vs. off (both semi-naive), and
+/// the magic-set demand columns for the case's bounded goal query.
 pub fn datalog_report() -> String {
     let mut cases = Vec::new();
-    let instances: Vec<(String, _, _)> = vec![
-        (
-            "tc_n60_p0.06".into(),
-            transitive_closure(),
-            random_digraph(60, 0.06, 7),
-        ),
-        (
-            "avoiding_path_n16_p0.12".into(),
-            avoiding_path(),
-            random_digraph(16, 0.12, 8),
-        ),
-        (
-            "q_2_1_n12_p0.15".into(),
-            q_kl(2, 1),
-            random_digraph(12, 0.15, 9),
-        ),
-    ];
-    for (name, program, graph) in &instances {
-        let s = graph.to_structure();
+    for (name, program, s, query) in &datalog_instances() {
         let ev = Evaluator::new(program);
         let opts = |parallel| EvalOptions {
             parallel,
             ..EvalOptions::default()
         };
-        let result = ev.run(&s, opts(true));
-        let parallel = time_fn(2, 15, || ev.run(&s, opts(true)).stats.len());
-        let sequential = time_fn(1, 5, || ev.run(&s, opts(false)).stats.len());
+        let result = ev.run(s, opts(true));
+        let parallel = time_fn(2, 15, || ev.run(s, opts(true)).stats.len());
+        let sequential = time_fn(1, 5, || ev.run(s, opts(false)).stats.len());
         let governed = time_fn(2, 15, || {
             let gov = armed_governor();
-            match ev.try_run_governed(&s, opts(true), &gov) {
+            match ev.try_run_governed(s, opts(true), &gov) {
                 Ok(result) => result.stats.len(),
                 Err(e) => unreachable!("armed-but-ample governor interrupted: {e}"),
+            }
+        });
+        let pattern = BindingPattern::new(vec![true; query.len()]);
+        // The bench programs are all rewritable; a failure here is a
+        // report bug worth surfacing loudly.
+        #[allow(clippy::expect_used)]
+        let magic = MagicProgram::rewrite(program, &pattern).expect("bench program rewrites");
+        let compiled = magic.compile();
+        let seeds = [(magic.magic_goal(), magic.seed(query))];
+        #[allow(clippy::expect_used)]
+        let demand_result = compiled
+            .try_run_seeded(s, opts(true), &seeds)
+            .expect("no limits configured");
+        let demand = time_fn(2, 15, || {
+            match compiled.try_run_seeded(s, opts(true), &seeds) {
+                Ok(r) => r.stats.len(),
+                Err(e) => unreachable!("no limits configured: {e:?}"),
             }
         });
         cases.push(
             Obj::new()
                 .str("name", name)
+                .num("threads", thread_count())
                 .num("stages", result.stage_count())
                 .num("tuples", result.idb.iter().map(|r| r.len()).sum::<usize>())
                 .num("tuples_interned", result.eval_stats.tuples_interned)
@@ -195,8 +256,11 @@ pub fn datalog_report() -> String {
                     "duplicate_derivations",
                     result.eval_stats.duplicate_derivations,
                 )
+                .num("demand_tuples", demand_result.eval_stats.tuples_interned)
+                .num("magic_probes", demand_result.eval_stats.magic_probes)
                 .num("parallel_ms", format!("{:.4}", ms(parallel.median)))
                 .num("sequential_ms", format!("{:.4}", ms(sequential.median)))
+                .num("demand_ms", format!("{:.4}", ms(demand.median)))
                 .num("governed_ms", format!("{:.4}", ms(governed.median)))
                 .num(
                     "governance_overhead_pct",
@@ -205,6 +269,73 @@ pub fn datalog_report() -> String {
         );
     }
     render_report(&cases)
+}
+
+/// CI gate over the demand paths, on the exact report workloads:
+///
+/// * every Datalog case's magic-set run must give the same answer to the
+///   bounded goal query as full saturation, without deriving more tuples;
+/// * every pebble case's lazy solver must name the same winner as the
+///   eager worklist solver, with an arena no larger.
+///
+/// Returns the list of violations (empty = pass).
+pub fn smoke_check() -> Vec<String> {
+    let mut violations = Vec::new();
+    for (name, program, s, query) in &datalog_instances() {
+        let full = Evaluator::new(program).run(s, EvalOptions::default());
+        let full_holds = full.idb[program.goal().0].contains(&query[..]);
+        let full_tuples = full.eval_stats.tuples_interned;
+        let pattern = BindingPattern::new(vec![true; query.len()]);
+        let magic = match MagicProgram::rewrite(program, &pattern) {
+            Ok(m) => m,
+            Err(e) => {
+                violations.push(format!("{name}: magic rewrite failed: {e}"));
+                continue;
+            }
+        };
+        let seeds = [(magic.magic_goal(), magic.seed(query))];
+        let demand = match magic
+            .compile()
+            .try_run_seeded(s, EvalOptions::default(), &seeds)
+        {
+            Ok(r) => r,
+            Err(e) => {
+                violations.push(format!("{name}: demand run hit a limit: {e:?}"));
+                continue;
+            }
+        };
+        let demand_holds = demand.idb[magic.goal().0].contains(&query[..]);
+        if demand_holds != full_holds {
+            violations.push(format!(
+                "{name}: demand answer {demand_holds} != full answer {full_holds}"
+            ));
+        }
+        if demand.eval_stats.tuples_interned > full_tuples {
+            violations.push(format!(
+                "{name}: demand_tuples {} > tuples {}",
+                demand.eval_stats.tuples_interned, full_tuples
+            ));
+        }
+    }
+    for (name, a, b, k) in &pebble_instances() {
+        let eager = ExistentialGame::solve(a, b, *k, HomKind::OneToOne);
+        let lazy = ExistentialGame::solve_lazy(a, b, *k, HomKind::OneToOne);
+        if lazy.winner() != eager.winner() {
+            violations.push(format!(
+                "{name}: lazy winner {:?} != eager winner {:?}",
+                lazy.winner(),
+                eager.winner()
+            ));
+        }
+        if lazy.arena_size() > eager.arena_size() {
+            violations.push(format!(
+                "{name}: lazy arena {} > eager arena {}",
+                lazy.arena_size(),
+                eager.arena_size()
+            ));
+        }
+    }
+    violations
 }
 
 #[cfg(test)]
@@ -222,6 +353,15 @@ mod tests {
                 "balanced braces"
             );
             assert!(report.contains("\"cases\": ["));
+            assert!(report.contains("\"threads\""));
         }
+        assert!(datalog_report().contains("\"demand_tuples\""));
+        assert!(pebble_report().contains("\"lazy_arena_size\""));
+    }
+
+    #[test]
+    fn smoke_check_passes_on_the_report_workloads() {
+        let violations = smoke_check();
+        assert!(violations.is_empty(), "smoke violations: {violations:?}");
     }
 }

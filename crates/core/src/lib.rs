@@ -31,5 +31,8 @@ pub mod pattern_based;
 pub mod query;
 
 pub use dichotomy::{classify_and_report, negative_witness, DichotomyReport, Expressibility};
+pub use kv_structures::{
+    CacheStats, DemandStrategy, QueryCache, QueryPlan, StructureId, StructureRegistry,
+};
 pub use pattern_based::PatternBasedQuery;
 pub use query::{BooleanQuery, ProgramQuery};

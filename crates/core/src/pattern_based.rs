@@ -59,6 +59,17 @@ impl PatternBasedQuery {
         })
     }
 
+    /// Demand-driven variant of [`eval_by_games`](Self::eval_by_games):
+    /// each game is solved lazily from the initial position, expanding
+    /// only configurations the verdict depends on and stopping as soon as
+    /// the root is decided. Same answer, typically a fraction of the
+    /// arena.
+    pub fn eval_by_games_lazy(&self, b: &Structure, k: usize) -> bool {
+        self.patterns(b).iter().any(|a| {
+            ExistentialGame::solve_lazy(a, b, k, HomKind::OneToOne).winner() == Winner::Duplicator
+        })
+    }
+
     /// The even simple path query as a pattern-based query (Example
     /// 5.2(1)): patterns are the odd-node directed paths with endpoints
     /// distinguished; inputs are graphs with two distinguished nodes.
@@ -109,6 +120,23 @@ mod tests {
                 for k in 1..=2 {
                     assert!(q.eval_by_games(&b, k), "k={k} seed {}", 4100 + seed);
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_game_procedure_matches_eager() {
+        let q = PatternBasedQuery::even_simple_path();
+        for seed in 0..6 {
+            let g = random_digraph(5, 0.35, 4200 + seed);
+            let b = with_st(&g, 0, 4);
+            for k in 1..=2 {
+                assert_eq!(
+                    q.eval_by_games_lazy(&b, k),
+                    q.eval_by_games(&b, k),
+                    "k={k} seed {}",
+                    4200 + seed
+                );
             }
         }
     }

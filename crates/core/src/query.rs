@@ -6,8 +6,9 @@
 //! programs, the flow/game solvers of the case study, and brute-force
 //! oracles are compared by the experiments.
 
-use kv_datalog::{CompiledProgram, EvalOptions, EvalStats, Program};
-use kv_structures::{Governor, Interrupted, Structure};
+use kv_datalog::{BindingPattern, CompiledProgram, EvalOptions, EvalStats, MagicProgram, Program};
+use kv_structures::{CacheStats, Governor, Interrupted, QueryCache, QueryPlan, Structure};
+use std::sync::Mutex;
 
 /// A boolean query over structures of a fixed vocabulary.
 pub trait BooleanQuery {
@@ -33,6 +34,13 @@ pub trait BooleanQuery {
     }
 }
 
+/// The compiled demand route of a [`ProgramQuery`]: the magic-set
+/// rewritten program and its compiled form.
+struct DemandPath {
+    magic: MagicProgram,
+    compiled: CompiledProgram,
+}
+
 /// A Datalog(≠) program used as a boolean query: true iff the goal
 /// relation contains the designated tuple (by default the empty tuple of a
 /// nullary goal).
@@ -41,45 +49,102 @@ pub trait BooleanQuery {
 /// reuses the same [`CompiledProgram`] (rule variants, index plan), so
 /// running one query over a family of structures pays for compilation a
 /// single time.
+///
+/// Construction also fixes a [`QueryPlan`]: fixed-tuple queries default to
+/// the all-bound demand plan, under which evaluation runs the magic-set
+/// rewrite of the program seeded with the query's bound values — deriving
+/// only goal-relevant tuples — instead of saturating the full IDB. The
+/// rewrite is prepared once at construction; if it is not applicable the
+/// query silently falls back to full saturation. Answers are additionally
+/// memoized in an engine-level [`QueryCache`] keyed by structure content
+/// fingerprint + query tuple, serving repeated-query traffic without any
+/// evaluation at all ([`cache_stats`](Self::cache_stats)).
 pub struct ProgramQuery {
     name: String,
     program: Program,
     compiled: CompiledProgram,
     goal_tuple: Vec<kv_structures::Element>,
+    plan: QueryPlan,
+    demand: Option<DemandPath>,
+    cache: Mutex<QueryCache>,
 }
 
 impl ProgramQuery {
-    /// Wraps a program with a nullary goal.
+    /// Wraps a program with a nullary goal. All-free pattern: full
+    /// saturation (demand buys nothing without bound positions).
     pub fn nullary(name: impl Into<String>, program: Program) -> Self {
         assert_eq!(
             program.idb_arity(program.goal()),
             0,
             "nullary goal expected"
         );
-        Self::build(name.into(), program, Vec::new())
+        Self::build(name.into(), program, Vec::new(), QueryPlan::full(0))
     }
 
-    /// Wraps a program, reading the goal relation at a fixed tuple.
+    /// Wraps a program, reading the goal relation at a fixed tuple. The
+    /// automatic plan binds every goal position, routing evaluation
+    /// through the magic-set demand path.
     pub fn at_tuple(
         name: impl Into<String>,
         program: Program,
         goal_tuple: Vec<kv_structures::Element>,
     ) -> Self {
-        assert_eq!(
-            program.idb_arity(program.goal()),
-            goal_tuple.len(),
-            "tuple arity must match the goal"
-        );
-        Self::build(name.into(), program, goal_tuple)
+        let arity = program.idb_arity(program.goal());
+        assert_eq!(arity, goal_tuple.len(), "tuple arity must match the goal");
+        Self::build(
+            name.into(),
+            program,
+            goal_tuple,
+            QueryPlan::auto(vec![true; arity]),
+        )
     }
 
-    fn build(name: String, program: Program, goal_tuple: Vec<kv_structures::Element>) -> Self {
+    /// Wraps a program with an explicit [`QueryPlan`]. The query still
+    /// answers "is `goal_tuple` in the goal relation"; the plan's pattern
+    /// selects which positions seed the demand rewrite (a strict subset of
+    /// the bound values is sound — the rewrite derives a superset of the
+    /// matching tuples and membership of the exact tuple is preserved).
+    pub fn with_plan(
+        name: impl Into<String>,
+        program: Program,
+        goal_tuple: Vec<kv_structures::Element>,
+        plan: QueryPlan,
+    ) -> Self {
+        let arity = program.idb_arity(program.goal());
+        assert_eq!(arity, goal_tuple.len(), "tuple arity must match the goal");
+        assert_eq!(
+            arity,
+            plan.pattern().len(),
+            "plan pattern arity must match the goal"
+        );
+        Self::build(name.into(), program, goal_tuple, plan)
+    }
+
+    fn build(
+        name: String,
+        program: Program,
+        goal_tuple: Vec<kv_structures::Element>,
+        plan: QueryPlan,
+    ) -> Self {
         let compiled = CompiledProgram::compile(&program);
+        let demand = if plan.is_demand() {
+            MagicProgram::rewrite(&program, &BindingPattern::new(plan.pattern().to_vec()))
+                .ok()
+                .map(|magic| DemandPath {
+                    compiled: magic.compile(),
+                    magic,
+                })
+        } else {
+            None
+        };
         Self {
             name,
             program,
             compiled,
             goal_tuple,
+            plan,
+            demand,
+            cache: Mutex::new(QueryCache::new()),
         }
     }
 
@@ -88,9 +153,60 @@ impl ProgramQuery {
         &self.program
     }
 
-    /// The compiled form shared by every evaluation.
+    /// The compiled form shared by every full-saturation evaluation.
     pub fn compiled(&self) -> &CompiledProgram {
         &self.compiled
+    }
+
+    /// The query plan fixed at construction.
+    pub fn plan(&self) -> &QueryPlan {
+        &self.plan
+    }
+
+    /// Whether evaluation actually takes the demand (magic-set) route —
+    /// i.e. the plan asked for it *and* the rewrite applied.
+    pub fn demand_active(&self) -> bool {
+        self.demand.is_some()
+    }
+
+    /// Hit/miss/entry counters of the engine-level answer cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.lock_cache().stats()
+    }
+
+    fn lock_cache(&self) -> std::sync::MutexGuard<'_, QueryCache> {
+        // A poisoned cache only means another thread panicked mid-insert;
+        // the map itself is still coherent.
+        self.cache.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Full-saturation evaluation with engine counters, bypassing both the
+    /// demand path and the answer cache (differential partner and
+    /// benchmark baseline for the demand route).
+    pub fn eval_full_with_stats(&self, structure: &Structure) -> (bool, EvalStats) {
+        // Infallible: default options configure no limits.
+        #[allow(clippy::expect_used)]
+        let result = self
+            .compiled
+            .try_run(structure, EvalOptions::default())
+            .expect("no limits configured");
+        let holds = result.idb[self.compiled.goal().0].contains(&self.goal_tuple);
+        (holds, result.eval_stats)
+    }
+
+    /// Demand-path evaluation with engine counters, bypassing the answer
+    /// cache. `None` when the demand route is inactive.
+    pub fn eval_demand_with_stats(&self, structure: &Structure) -> Option<(bool, EvalStats)> {
+        let path = self.demand.as_ref()?;
+        let seeds = [(path.magic.magic_goal(), path.magic.seed(&self.goal_tuple))];
+        // Infallible: default options configure no limits.
+        #[allow(clippy::expect_used)]
+        let result = path
+            .compiled
+            .try_run_seeded(structure, EvalOptions::default(), &seeds)
+            .expect("no limits configured");
+        let holds = result.idb[path.magic.goal().0].contains(&self.goal_tuple);
+        Some((holds, result.eval_stats))
     }
 }
 
@@ -99,27 +215,52 @@ impl BooleanQuery for ProgramQuery {
         &self.name
     }
 
+    /// Consults the answer cache first; on a miss, evaluates through the
+    /// demand path when active (full saturation otherwise) and memoizes
+    /// the answer.
     fn eval(&self, structure: &Structure) -> bool {
-        self.eval_with_stats(structure).0
+        if let Some(answer) = self.lock_cache().get(structure, &self.goal_tuple) {
+            return answer;
+        }
+        let holds = self.eval_with_stats(structure).0;
+        self.lock_cache().insert(structure, &self.goal_tuple, holds);
+        holds
     }
 
+    /// Always evaluates (no cache) so the counters reflect a real engine
+    /// run: the demand path when active, full saturation otherwise.
     fn eval_with_stats(&self, structure: &Structure) -> (bool, Option<EvalStats>) {
-        // Infallible: default options configure no limits.
-        #[allow(clippy::expect_used)]
-        let result = self
-            .compiled
-            .try_run(structure, EvalOptions::default())
-            .expect("no limits configured");
-        let holds = result.idb[self.compiled.goal().0].contains(&self.goal_tuple);
-        (holds, Some(result.eval_stats))
+        let (holds, stats) = match self.eval_demand_with_stats(structure) {
+            Some(pair) => pair,
+            None => self.eval_full_with_stats(structure),
+        };
+        (holds, Some(stats))
     }
 
     fn try_eval(&self, structure: &Structure, gov: &Governor) -> Result<bool, Interrupted> {
-        let result = self
-            .compiled
-            .try_run_governed(structure, EvalOptions::default(), gov)
-            .map_err(|e| e.reason)?;
-        Ok(result.idb[self.compiled.goal().0].contains(&self.goal_tuple))
+        gov.check()?;
+        if let Some(answer) = self.lock_cache().get(structure, &self.goal_tuple) {
+            return Ok(answer);
+        }
+        let holds = match self.demand.as_ref() {
+            Some(path) => {
+                let seeds = [(path.magic.magic_goal(), path.magic.seed(&self.goal_tuple))];
+                let result = path
+                    .compiled
+                    .try_run_governed_seeded(structure, EvalOptions::default(), gov, &seeds)
+                    .map_err(|e| e.reason)?;
+                result.idb[path.magic.goal().0].contains(&self.goal_tuple)
+            }
+            None => {
+                let result = self
+                    .compiled
+                    .try_run_governed(structure, EvalOptions::default(), gov)
+                    .map_err(|e| e.reason)?;
+                result.idb[self.compiled.goal().0].contains(&self.goal_tuple)
+            }
+        };
+        self.lock_cache().insert(structure, &self.goal_tuple, holds);
+        Ok(holds)
     }
 }
 
@@ -166,12 +307,55 @@ mod tests {
     #[test]
     fn program_query_reports_stats() {
         let q = ProgramQuery::at_tuple("0 reaches 3", transitive_closure(), vec![0, 3]);
+        // The full-saturation baseline has pinned counters.
+        let (holds, full) = q.eval_full_with_stats(&directed_path(4));
+        assert!(holds);
+        assert_eq!(full.tuples_interned, 6); // TC of a 4-path
+        assert!(full.join_probes > 0);
+        assert_eq!(full.stages, 3);
+        // The default stats route takes the demand path: magic probes are
+        // counted and no more tuples are derived than full saturation.
+        assert!(q.demand_active());
         let (holds, stats) = q.eval_with_stats(&directed_path(4));
         assert!(holds);
         let stats = stats.expect("program queries report stats");
-        assert_eq!(stats.tuples_interned, 6); // TC of a 4-path
-        assert!(stats.join_probes > 0);
-        assert_eq!(stats.stages, 3);
+        assert!(stats.magic_probes > 0);
+        assert!(stats.tuples_interned <= full.tuples_interned);
+    }
+
+    #[test]
+    fn demand_and_full_agree_and_cache_memoizes() {
+        let q = ProgramQuery::at_tuple("0 reaches 3", transitive_closure(), vec![0, 3]);
+        for n in 2..7 {
+            let s = directed_path(n);
+            let (full, _) = q.eval_full_with_stats(&s);
+            let (demand, _) = q
+                .eval_demand_with_stats(&s)
+                .expect("demand route is active");
+            assert_eq!(full, demand, "demand answer must match full on path({n})");
+            assert_eq!(q.eval(&s), full);
+            // Second eval of the same structure is served from the cache.
+            assert_eq!(q.eval(&s), full);
+        }
+        let stats = q.cache_stats();
+        assert_eq!(stats.entries, 5);
+        assert_eq!(stats.misses, 5);
+        assert!(stats.hits >= 5);
+    }
+
+    #[test]
+    fn explicit_plan_controls_routing() {
+        let full_plan = QueryPlan::full(2);
+        let q = ProgramQuery::with_plan("full", transitive_closure(), vec![0, 3], full_plan);
+        assert!(!q.demand_active());
+        assert!(q.eval(&directed_path(4)));
+
+        let bf = QueryPlan::auto(vec![true, false]);
+        let q = ProgramQuery::with_plan("bf", transitive_closure(), vec![0, 3], bf);
+        assert!(q.demand_active());
+        assert_eq!(q.plan().to_string(), "bf/demand");
+        assert!(q.eval(&directed_path(4)));
+        assert!(!q.eval(&directed_path(3)));
     }
 
     #[test]

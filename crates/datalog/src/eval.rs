@@ -254,6 +254,10 @@ struct JoinAtom {
     /// first argument that is a constant or a variable bound by an earlier
     /// atom. `None` means a full scan (no argument is bound on entry).
     index_pos: Option<usize>,
+    /// Whether this atom is a magic (demand) predicate; its probes are
+    /// attributed to [`EvalStats::magic_probes`] instead of
+    /// [`EvalStats::join_probes`].
+    is_magic: bool,
 }
 
 /// A rule pre-processed for joining: equalities eliminated by variable
@@ -333,7 +337,7 @@ fn apply_subst(t: &Term, subst: &[Term]) -> Term {
     }
 }
 
-fn compile_rule(rule: &Rule, delta_at: Option<usize>) -> CompiledRule {
+fn compile_rule(rule: &Rule, delta_at: Option<usize>, magic: &[bool]) -> CompiledRule {
     let (subst, const_eqs) = unify_rule(rule);
     let head_args: Vec<Term> = rule
         .head_args
@@ -364,6 +368,7 @@ fn compile_rule(rule: &Rule, delta_at: Option<usize>) -> CompiledRule {
                     access,
                     args: args.iter().map(|t| apply_subst(t, &subst)).collect(),
                     index_pos: None,
+                    is_magic: matches!(pred, Pred::Idb(i) if magic[i.0]),
                 });
             }
             Literal::Neq(a, b) => {
@@ -452,10 +457,28 @@ impl CompiledProgram {
     /// Compiles `program`: equality elimination, semi-naive delta
     /// variants, static probe positions, and the aggregate index plan.
     pub fn compile(program: &Program) -> Self {
+        Self::compile_with_magic(program, &vec![false; program.idb_count()])
+    }
+
+    /// Like [`compile`](Self::compile), but with a per-IDB flag marking
+    /// magic (demand) predicates — typically the
+    /// [`crate::magic::MagicProgram::magic_flags`] of a magic-set rewrite.
+    /// Probes against flagged predicates are counted in
+    /// [`EvalStats::magic_probes`] rather than `join_probes`, keeping the
+    /// demand path's bookkeeping overhead visible.
+    ///
+    /// # Panics
+    /// Panics if `magic.len()` differs from the program's IDB count.
+    pub fn compile_with_magic(program: &Program, magic: &[bool]) -> Self {
+        assert_eq!(
+            magic.len(),
+            program.idb_count(),
+            "one magic flag per IDB predicate"
+        );
         let naive_rules: Vec<CompiledRule> = program
             .rules()
             .iter()
-            .map(|r| compile_rule(r, None))
+            .map(|r| compile_rule(r, None, magic))
             .collect();
         let mut semi_variants = Vec::new();
         for rule in program.rules() {
@@ -464,7 +487,7 @@ impl CompiledProgram {
                 .filter(|(p, _)| matches!(p, Pred::Idb(_)))
                 .count();
             for d in 0..idb_atoms {
-                semi_variants.push(compile_rule(rule, Some(d)));
+                semi_variants.push(compile_rule(rule, Some(d), magic));
             }
         }
         let edb_count = program.vocabulary().relations().count();
@@ -548,6 +571,77 @@ impl CompiledProgram {
                 .iter()
                 .map(|&a| TupleStore::new(a))
                 .collect(),
+            delta_lo: vec![0u32; idb_count],
+            stats: Vec::new(),
+            stage_marks: Vec::new(),
+            eval_stats: EvalStats::default(),
+            stage: 0,
+        };
+        self.run_from(structure, options, gov, checkpoint)
+    }
+
+    /// Evaluates on `structure` with `seeds` pre-interned into their IDB
+    /// stores before stage 1 — the entry point of the demand path, where
+    /// the magic goal predicate is seeded with the query's bound values
+    /// (see [`crate::magic::MagicProgram::seed`]).
+    ///
+    /// Seeds behave as a committed "stage 0": stage 1 evaluates the naive
+    /// rules over the full prefix (which contains the seeds), so the
+    /// semi-naive invariant — every derivation whose premises predate a
+    /// stage is found no later than that stage — holds unchanged, and
+    /// interrupted seeded runs resume through the ordinary
+    /// [`resume`](Self::resume). Seeds are not counted in
+    /// [`EvalStats::tuples_interned`] (they are given, not derived).
+    ///
+    /// # Panics
+    /// Panics on a vocabulary mismatch, an out-of-range seed predicate, or
+    /// a seed arity mismatch.
+    pub fn try_run_seeded(
+        &self,
+        structure: &Structure,
+        options: EvalOptions,
+        seeds: &[(IdbId, Vec<Element>)],
+    ) -> Result<EvalResult, LimitExceeded> {
+        let gov = Governor::with_budget(Budget::from(options.limits));
+        self.try_run_governed_seeded(structure, options, &gov, seeds)
+            .map_err(|e| match e.reason {
+                Interrupted::Limit(l) => l,
+                other => unreachable!("ungoverned interrupt source fired: {other}"),
+            })
+    }
+
+    /// Governed variant of [`try_run_seeded`](Self::try_run_seeded); see
+    /// [`try_run_governed`](Self::try_run_governed) for governance
+    /// semantics.
+    ///
+    /// # Panics
+    /// Panics on a vocabulary mismatch, an out-of-range seed predicate, or
+    /// a seed arity mismatch.
+    pub fn try_run_governed_seeded(
+        &self,
+        structure: &Structure,
+        options: EvalOptions,
+        gov: &Governor,
+        seeds: &[(IdbId, Vec<Element>)],
+    ) -> Result<EvalResult, EvalInterrupted> {
+        let idb_count = self.idb_arities.len();
+        let mut idb_stores: Vec<TupleStore> = self
+            .idb_arities
+            .iter()
+            .map(|&a| TupleStore::new(a))
+            .collect();
+        for (idb, tuple) in seeds {
+            assert!(idb.0 < idb_count, "seed predicate out of range");
+            assert_eq!(
+                tuple.len(),
+                self.idb_arities[idb.0],
+                "seed arity mismatch for IDB #{}",
+                idb.0
+            );
+            idb_stores[idb.0].intern(tuple);
+        }
+        let checkpoint = EvalCheckpoint {
+            idb_stores,
             delta_lo: vec![0u32; idb_count],
             stats: Vec::new(),
             stage_marks: Vec::new(),
@@ -763,6 +857,7 @@ impl CompiledProgram {
             let mut new_count = vec![0usize; idb_count];
             for buf in buffers {
                 eval_stats.join_probes += buf.probes;
+                eval_stats.magic_probes += buf.magic_probes;
                 eval_stats.duplicate_derivations += buf.dups;
                 for (i, scratch) in buf.scratch.into_iter().enumerate() {
                     for t in scratch.iter() {
@@ -982,6 +1077,7 @@ struct WorkerBuf {
     scratch: Vec<TupleStore>,
     head_buf: Vec<Element>,
     probes: u64,
+    magic_probes: u64,
     dups: u64,
     /// Steps accumulated locally since the last governor flush.
     pending_steps: u64,
@@ -1000,6 +1096,7 @@ impl WorkerBuf {
             scratch: idb_arities.iter().map(|&a| TupleStore::new(a)).collect(),
             head_buf: Vec::new(),
             probes: 0,
+            magic_probes: 0,
             dups: 0,
             pending_steps: 0,
             tripped: None,
@@ -1096,14 +1193,22 @@ impl<'a, 'b> RuleJoin<'a, 'b> {
                 let e = self
                     .term_value(&atom.args[ix.pos()])
                     .expect("statically bound");
-                self.buf.probes += 1;
+                if atom.is_magic {
+                    self.buf.magic_probes += 1;
+                } else {
+                    self.buf.probes += 1;
+                }
                 self.charge()?;
                 for &id in ix.probe(e, range) {
                     self.try_tuple(atom_pos, store.get(TupleId(id)))?;
                 }
             }
             None => {
-                self.buf.probes += 1;
+                if atom.is_magic {
+                    self.buf.magic_probes += 1;
+                } else {
+                    self.buf.probes += 1;
+                }
                 self.charge()?;
                 for id in range.iter() {
                     self.try_tuple(atom_pos, store.get(id))?;

@@ -21,6 +21,13 @@
 //! A head variable that occurs in no body atom (such as `w` in the first
 //! rule of Example 2.1's program) ranges over the **entire universe** of the
 //! input structure, filtered by the rule's (in)equalities.
+//!
+//! Goal-directed queries (one distinguished tuple rather than the whole
+//! goal relation) can skip most of that fixpoint: the [`magic`] module
+//! rewrites a program for a binding pattern so that semi-naive evaluation,
+//! seeded with the query's bound values
+//! ([`CompiledProgram::try_run_seeded`]), derives only goal-relevant
+//! tuples.
 
 #![warn(missing_docs)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
@@ -30,6 +37,7 @@
 
 pub mod ast;
 pub mod eval;
+pub mod magic;
 pub mod monotone;
 pub mod parser;
 pub mod program;
@@ -43,5 +51,6 @@ pub use eval::{
 pub use kv_structures::{
     Budget, CancelToken, Deadline, EvalStats, Governor, Interrupted, LimitExceeded, Limits,
 };
+pub use magic::{BindingPattern, MagicProgram};
 pub use parser::{parse_program, parse_program_strict, ParseError};
 pub use program::{Program, ProgramError};

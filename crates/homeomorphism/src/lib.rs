@@ -40,6 +40,6 @@ pub use flow_solver::{solve_class_c, try_solve_class_c};
 pub use named::{cycle_through_two, path_through_intermediate, two_disjoint_paths_query};
 pub use pattern::{classify, CBarWitness, ClassCRoot, Orientation, PatternClass};
 pub use programs::{acyclic_game_program, class_c_program};
-pub use solver::{solve, try_solve, Method};
+pub use solver::{solve, try_solve, try_solve_with_plan, Method};
 
 pub use kv_pebble::PatternSpec;

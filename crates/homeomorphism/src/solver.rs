@@ -7,7 +7,7 @@ use kv_graphalg::is_acyclic;
 use kv_pebble::acyclic::AcyclicGame;
 use kv_pebble::PatternSpec;
 use kv_structures::govern::{Governor, Interrupted};
-use kv_structures::Digraph;
+use kv_structures::{DemandStrategy, Digraph, QueryPlan};
 
 /// Which algorithm answered the query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,6 +56,25 @@ pub fn try_solve(
     distinguished: &[u32],
     gov: &Governor,
 ) -> Result<(bool, Method), Interrupted> {
+    // A homeomorphism query fixes every distinguished node — an all-bound
+    // boolean query — so the automatic plan takes the demand route.
+    let plan = QueryPlan::auto(vec![true; distinguished.len()]);
+    try_solve_with_plan(pattern, g, distinguished, &plan, gov)
+}
+
+/// [`try_solve`] with an explicit [`QueryPlan`]: the plan's
+/// [`DemandStrategy`] picks between the lazy, demand-driven acyclic-game
+/// solver (expand configurations from the initial position only as the
+/// verdict needs them) and the eager full-arena build. Flow and
+/// brute-force dispatch are unaffected — those methods are inherently
+/// goal-directed already.
+pub fn try_solve_with_plan(
+    pattern: &PatternSpec,
+    g: &Digraph,
+    distinguished: &[u32],
+    plan: &QueryPlan,
+    gov: &Governor,
+) -> Result<(bool, Method), Interrupted> {
     gov.check()?;
     if let PatternClass::InC(root) = classify(pattern) {
         return Ok((
@@ -65,7 +84,13 @@ pub fn try_solve(
     }
     let self_loop_free = pattern.edges.iter().all(|&(i, j)| i != j);
     if self_loop_free && is_acyclic(g) {
-        return match AcyclicGame::try_solve(pattern.clone(), g, distinguished, gov) {
+        let game = match plan.strategy() {
+            DemandStrategy::Demand => {
+                AcyclicGame::try_solve_lazy(pattern.clone(), g, distinguished, gov)
+            }
+            DemandStrategy::Full => AcyclicGame::try_solve(pattern.clone(), g, distinguished, gov),
+        };
+        return match game {
             Ok(game) => Ok((game.duplicator_wins(), Method::AcyclicGame)),
             Err(interrupted) => Err(interrupted.reason),
         };
@@ -148,6 +173,21 @@ mod tests {
             let plain = solve(p, g, d);
             let governed = try_solve(p, g, d, &Governor::unlimited()).unwrap();
             assert_eq!(plain, governed);
+        }
+    }
+
+    #[test]
+    fn full_plan_agrees_with_demand_plan() {
+        let full = QueryPlan::full(4);
+        let p = PatternSpec::two_disjoint_edges();
+        for seed in 0..8 {
+            let g = random_dag(8, 0.3, 300 + seed);
+            let d = [0u32, 6, 1, 7];
+            let gov = Governor::unlimited();
+            let demand_answer = try_solve(&p, &g, &d, &gov).unwrap();
+            let full_answer = try_solve_with_plan(&p, &g, &d, &full, &gov).unwrap();
+            assert_eq!(demand_answer, full_answer, "seed {}", 300 + seed);
+            assert_eq!(demand_answer.1, Method::AcyclicGame);
         }
     }
 

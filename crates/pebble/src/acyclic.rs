@@ -294,9 +294,65 @@ impl<'g> AcyclicGame<'g> {
         }
     }
 
-    /// Resumes an interrupted governed solve. `pattern`, `graph`, and
-    /// `distinguished` must be those of the original call; pass a fresh
-    /// or relaxed governor.
+    /// Demand-driven [`solve`](Self::solve) via the lazy arena solver:
+    /// explores only the states needed to decide the initial position
+    /// (one committed move per challenge, early exit once the verdict is
+    /// known). The winner agrees exactly with the eager solve;
+    /// [`state_count`](Self::state_count) reports the (smaller) explored
+    /// subspace and is not comparable to an eager build.
+    ///
+    /// # Panics
+    /// Same input-validation panics as [`solve`](Self::solve).
+    pub fn solve_lazy(pattern: PatternSpec, graph: &'g Digraph, distinguished: &[u32]) -> Self {
+        match Self::try_solve_lazy(pattern, graph, distinguished, &Governor::unlimited()) {
+            Ok(game) => game,
+            Err(e) => unreachable!("unlimited governor interrupted: {e}"),
+        }
+    }
+
+    /// Governed [`solve_lazy`](Self::solve_lazy), interrupting at a
+    /// committed boundary with a resumable [`AcyclicCheckpoint`] (resume
+    /// with the ordinary [`resume`](Self::resume)).
+    ///
+    /// # Panics
+    /// Same input-validation panics as [`solve`](Self::solve).
+    pub fn try_solve_lazy(
+        pattern: PatternSpec,
+        graph: &'g Digraph,
+        distinguished: &[u32],
+        gov: &Governor,
+    ) -> Result<Self, AcyclicInterrupted> {
+        Self::validate_inputs(&pattern, graph, distinguished);
+        let initial: Vec<u32> = pattern
+            .edges
+            .iter()
+            .map(|&(i, _)| distinguished[i])
+            .collect();
+        let spec = AcyclicSpec {
+            pattern,
+            graph,
+            distinguished: distinguished.to_vec(),
+        };
+        match Arena::try_lazy_solve(&spec, initial.clone(), gov) {
+            Ok(arena) => Ok(Self {
+                pattern: spec.pattern,
+                graph,
+                distinguished: spec.distinguished,
+                arena,
+                initial,
+            }),
+            Err(e) => Err(AcyclicInterrupted {
+                reason: e.reason,
+                checkpoint: AcyclicCheckpoint {
+                    arena: e.checkpoint,
+                },
+            }),
+        }
+    }
+
+    /// Resumes an interrupted governed solve (eager or lazy). `pattern`,
+    /// `graph`, and `distinguished` must be those of the original call;
+    /// pass a fresh or relaxed governor.
     pub fn resume(
         pattern: PatternSpec,
         graph: &'g Digraph,
@@ -666,6 +722,62 @@ mod tests {
                 assert_eq!(game.state_count(), baseline.state_count());
                 assert_eq!(game.edge_count(), baseline.edge_count());
             }
+        }
+    }
+
+    /// The lazy solver agrees with the eager worklist and the literal
+    /// recursion on random DAGs, never exploring more states.
+    #[test]
+    fn lazy_agrees_with_eager_on_random_dags() {
+        for seed in 0..40 {
+            let g = random_dag(8, 0.3, 4_400 + seed);
+            for (pattern, distinguished) in [
+                (PatternSpec::two_disjoint_edges(), vec![0u32, 6, 1, 7]),
+                (PatternSpec::path_length_two(), vec![0u32, 6, 7]),
+            ] {
+                let eager = AcyclicGame::solve(pattern.clone(), &g, &distinguished);
+                let lazy = AcyclicGame::solve_lazy(pattern, &g, &distinguished);
+                assert_eq!(
+                    lazy.winner(),
+                    eager.winner(),
+                    "seed {}: lazy vs eager",
+                    4_400 + seed
+                );
+                assert!(
+                    lazy.state_count() <= eager.state_count(),
+                    "seed {}: lazy {} > eager {}",
+                    4_400 + seed,
+                    lazy.state_count(),
+                    eager.state_count()
+                );
+            }
+        }
+    }
+
+    /// An interrupted lazy acyclic-game solve resumes to the identical
+    /// verdict and explored subspace.
+    #[test]
+    fn interrupted_lazy_acyclic_solve_resumes_identically() {
+        let g = random_dag(8, 0.3, 2_600);
+        let distinguished = [0u32, 6, 1, 7];
+        let pattern = PatternSpec::two_disjoint_edges;
+        let baseline = AcyclicGame::solve_lazy(pattern(), &g, &distinguished);
+        for max_steps in [1u64, 9, 90, 2_000] {
+            let gov = kv_structures::govern::chaos::step_tripper(max_steps);
+            let game = match AcyclicGame::try_solve_lazy(pattern(), &g, &distinguished, &gov) {
+                Ok(game) => game,
+                Err(e) => AcyclicGame::resume(
+                    pattern(),
+                    &g,
+                    &distinguished,
+                    e.checkpoint,
+                    &Governor::unlimited(),
+                )
+                .expect("unlimited resume completes"),
+            };
+            assert_eq!(game.winner(), baseline.winner(), "budget {max_steps}");
+            assert_eq!(game.state_count(), baseline.state_count());
+            assert_eq!(game.edge_count(), baseline.edge_count());
         }
     }
 

@@ -89,6 +89,18 @@ pub trait GameSpec: Sync {
     /// position it leads to. A challenge with an empty reply list is an
     /// immediate forth failure.
     fn expand(&self, key: &Self::Key, level: usize) -> Expansion<Self>;
+
+    /// All **direct subpositions** of `key` (one pebble removed), each
+    /// with the challenge/reply of the removed pebble. Used only by the
+    /// lazy solver ([`Arena::lazy_solve`]) and only when
+    /// [`closure_under_subpositions`](Self::closure_under_subpositions)
+    /// is `true`, where it must be *honest* (return every direct
+    /// subposition): a materialized position is admitted to the witness
+    /// family only together with its subpositions, and dies when one of
+    /// them dies. Games without closure may keep the empty default.
+    fn subpositions(&self, _key: &Self::Key) -> Vec<(Self::Key, Self::Challenge, Self::Reply)> {
+        Vec::new()
+    }
 }
 
 /// The result of expanding one position: every challenge paired with its
@@ -111,30 +123,44 @@ struct ExtEntry<R> {
 }
 
 #[derive(Debug)]
-struct Node<K, C, R> {
-    key: K,
+pub(crate) struct Node<K, C, R> {
+    pub(crate) key: K,
     /// Expanded nodes participate in forth seeding; final-level nodes do
     /// not (they carry no challenge entries).
-    expanded: bool,
-    alive: bool,
-    death: Option<Death<C>>,
+    pub(crate) expanded: bool,
+    pub(crate) alive: bool,
+    pub(crate) death: Option<Death<C>>,
     extensions: Vec<(C, ExtEntry<R>)>,
     /// Reverse links: `(parent_id, challenge, reply)` for every non-stutter
     /// option edge `parent --challenge/reply--> self`.
     parents: Vec<(usize, C, R)>,
 }
 
+impl<K, C, R> Node<K, C, R> {
+    /// A freshly interned, unexpanded, alive node with no edges.
+    pub(crate) fn fresh(key: K) -> Self {
+        Self {
+            key,
+            expanded: false,
+            alive: true,
+            death: None,
+            extensions: Vec::new(),
+            parents: Vec::new(),
+        }
+    }
+}
+
 /// A built and solved arena: positions, option edges, aliveness verdicts.
 #[derive(Debug)]
 pub struct Arena<K, C, R> {
-    nodes: Vec<Node<K, C, R>>,
-    by_key: HashMap<K, usize>,
-    edge_count: usize,
+    pub(crate) nodes: Vec<Node<K, C, R>>,
+    pub(crate) by_key: HashMap<K, usize>,
+    pub(crate) edge_count: usize,
 }
 
-/// Where an interrupted [`Arena::try_build_and_solve`] stopped.
+/// Where an interrupted governed solve stopped.
 #[derive(Debug)]
-enum Phase {
+pub(crate) enum Phase<K, C, R> {
     /// Generating the position space: `pending` frontier positions at
     /// `level` are not yet expanded; `next` holds the ids discovered for
     /// the following level so far.
@@ -147,6 +173,9 @@ enum Phase {
     Seed { seed_pos: usize, queue: Vec<usize> },
     /// Draining the deletion worklist.
     Deletion { queue: Vec<usize> },
+    /// Demand-driven lazy solve ([`Arena::lazy_solve`]); the state lives
+    /// in [`crate::lazy`].
+    Lazy(crate::lazy::LazyState<K, C, R>),
 }
 
 /// Resumable state of an interrupted governed arena build: the arena as
@@ -156,8 +185,8 @@ enum Phase {
 /// uninterrupted build.
 #[derive(Debug)]
 pub struct ArenaCheckpoint<K, C, R> {
-    arena: Arena<K, C, R>,
-    phase: Phase,
+    pub(crate) arena: Arena<K, C, R>,
+    pub(crate) phase: Phase<K, C, R>,
 }
 
 impl<K, C, R> ArenaCheckpoint<K, C, R> {
@@ -249,14 +278,7 @@ where
         S: GameSpec<Key = K, Challenge = C, Reply = R>,
     {
         let arena = Self {
-            nodes: vec![Node {
-                key: root.clone(),
-                expanded: false,
-                alive: true,
-                death: None,
-                extensions: Vec::new(),
-                parents: Vec::new(),
-            }],
+            nodes: vec![Node::fresh(root.clone())],
             by_key: HashMap::from([(root, 0usize)]),
             edge_count: 0,
         };
@@ -267,6 +289,57 @@ where
                 next: Vec::new(),
                 level: 0,
             },
+        };
+        if let Err(reason) = gov.check().and_then(|()| gov.charge_positions(1)) {
+            return Err(ArenaInterrupted { reason, checkpoint });
+        }
+        Self::run_from(spec, gov, checkpoint)
+    }
+
+    /// Demand-driven solve: explores only as much of the position space as
+    /// needed to decide the **root**. Positions are expanded on demand
+    /// (one witness reply is committed per challenge; siblings stay
+    /// unexplored unless the committed child dies), subpositions are
+    /// materialized only for closure games, and the run stops as soon as
+    /// the root's verdict is known — immediately on root death, or when no
+    /// demanded position is left unexpanded.
+    ///
+    /// The verdict for position 0 agrees exactly with
+    /// [`build_and_solve`](Self::build_and_solve); the arena itself is a
+    /// *partial* subarena (unexplored positions are absent, and positions
+    /// left alive may include optimistic, never-expanded ones), so only
+    /// the root's aliveness — not [`alive_count`](Self::alive_count) or
+    /// node ids — is comparable to an eager build.
+    pub fn lazy_solve<S>(spec: &S, root: K) -> Self
+    where
+        S: GameSpec<Key = K, Challenge = C, Reply = R>,
+    {
+        match Self::try_lazy_solve(spec, root, &Governor::unlimited()) {
+            Ok(arena) => arena,
+            Err(e) => unreachable!("unlimited governor interrupted: {}", e.reason),
+        }
+    }
+
+    /// Governed [`lazy_solve`](Self::lazy_solve): charges one position per
+    /// demanded node and steps per option scanned or death propagated,
+    /// interrupting at committed boundaries (a fully recorded expansion, a
+    /// fully propagated death) with a resumable [`ArenaCheckpoint`].
+    pub fn try_lazy_solve<S>(
+        spec: &S,
+        root: K,
+        gov: &Governor,
+    ) -> Result<Self, ArenaInterrupted<K, C, R>>
+    where
+        S: GameSpec<Key = K, Challenge = C, Reply = R>,
+    {
+        let arena = Self {
+            nodes: vec![Node::fresh(root.clone())],
+            by_key: HashMap::from([(root, 0usize)]),
+            edge_count: 0,
+        };
+        let checkpoint = ArenaCheckpoint {
+            arena,
+            phase: Phase::Lazy(crate::lazy::LazyState::with_root()),
         };
         if let Err(reason) = gov.check().and_then(|()| gov.charge_positions(1)) {
             return Err(ArenaInterrupted { reason, checkpoint });
@@ -430,6 +503,7 @@ where
                     }
                     return Ok(arena);
                 }
+                Phase::Lazy(state) => return crate::lazy::run_lazy(spec, gov, arena, state),
             };
         }
     }
@@ -546,7 +620,7 @@ where
         work
     }
 
-    fn kill(&mut self, id: usize, death: Death<C>, queue: &mut Vec<usize>) {
+    pub(crate) fn kill(&mut self, id: usize, death: Death<C>, queue: &mut Vec<usize>) {
         let node = &mut self.nodes[id];
         if node.alive {
             node.alive = false;

@@ -113,6 +113,15 @@ impl GameSpec for CnfSpec<'_> {
             })
             .collect()
     }
+
+    fn subpositions(&self, key: &CnfPosition) -> Vec<(CnfPosition, Challenge, Lit)> {
+        key.iter()
+            .map(|&(ch, lit)| {
+                let sub: CnfPosition = key.iter().copied().filter(|&p| p != (ch, lit)).collect();
+                (sub, ch, lit)
+            })
+            .collect()
+    }
 }
 
 /// Resumable state of an interrupted governed CNF-game solve.
@@ -189,8 +198,43 @@ impl<'f> CnfGame<'f> {
         }
     }
 
-    /// Resumes an interrupted governed solve. `formula` and `k` must be
-    /// those of the original call; pass a fresh or relaxed governor.
+    /// Demand-driven [`solve`](Self::solve) via the lazy arena solver:
+    /// expands positions only as needed to decide the winner, with
+    /// dominance pruning and early exit on root death. The winner agrees
+    /// exactly with the eager solve; the arena is a partial subarena, so
+    /// position ids and [`arena_size`](Self::arena_size) are not
+    /// comparable to an eager build.
+    pub fn solve_lazy(formula: &'f CnfFormula, k: usize) -> Self {
+        match Self::try_solve_lazy(formula, k, &Governor::unlimited()) {
+            Ok(game) => game,
+            Err(e) => unreachable!("unlimited governor interrupted: {e}"),
+        }
+    }
+
+    /// Governed [`solve_lazy`](Self::solve_lazy), interrupting at a
+    /// committed boundary with a resumable [`CnfGameCheckpoint`] (resume
+    /// with the ordinary [`resume`](Self::resume)).
+    pub fn try_solve_lazy(
+        formula: &'f CnfFormula,
+        k: usize,
+        gov: &Governor,
+    ) -> Result<Self, CnfGameInterrupted> {
+        assert!(k >= 1);
+        let spec = Self::spec(formula, k);
+        match Arena::try_lazy_solve(&spec, Vec::new(), gov) {
+            Ok(arena) => Ok(Self { formula, k, arena }),
+            Err(e) => Err(CnfGameInterrupted {
+                reason: e.reason,
+                checkpoint: CnfGameCheckpoint {
+                    arena: e.checkpoint,
+                },
+            }),
+        }
+    }
+
+    /// Resumes an interrupted governed solve (eager or lazy). `formula`
+    /// and `k` must be those of the original call; pass a fresh or
+    /// relaxed governor.
     pub fn resume(
         formula: &'f CnfFormula,
         k: usize,
@@ -388,6 +432,52 @@ mod tests {
                 for id in 0..baseline.arena_size() {
                     assert_eq!(game.is_alive(id), baseline.is_alive(id));
                 }
+            }
+        }
+    }
+
+    /// The lazy CNF solver agrees with the eager one on every fact the
+    /// eager tests pin down, across formulas and pebble counts.
+    #[test]
+    fn lazy_winner_matches_eager_on_cnf_games() {
+        let formulas = [
+            CnfFormula::new(1, vec![clause([Lit::pos(0)]), clause([Lit::neg(0)])]),
+            CnfFormula::complete(1),
+            CnfFormula::complete(2),
+            CnfFormula::units_plus_negated_clause(3),
+            CnfFormula::new(1, vec![]),
+        ];
+        for f in &formulas {
+            for k in 1..=3usize {
+                let eager = CnfGame::solve(f, k);
+                let lazy = CnfGame::solve_lazy(f, k);
+                assert_eq!(lazy.winner(), eager.winner(), "k={k} formula {f:?}");
+                assert!(
+                    lazy.arena_size() <= eager.arena_size(),
+                    "lazy {} > eager {} (k={k})",
+                    lazy.arena_size(),
+                    eager.arena_size()
+                );
+            }
+        }
+    }
+
+    /// An interrupted lazy CNF solve resumes to the identical verdict.
+    #[test]
+    fn interrupted_lazy_cnf_solve_resumes_identically() {
+        let f = CnfFormula::complete(2);
+        let baseline = CnfGame::solve_lazy(&f, 3);
+        for max_steps in [1u64, 17, 200, 4_000] {
+            let gov = kv_structures::govern::chaos::step_tripper(max_steps);
+            let game = match CnfGame::try_solve_lazy(&f, 3, &gov) {
+                Ok(game) => game,
+                Err(e) => CnfGame::resume(&f, 3, e.checkpoint, &Governor::unlimited())
+                    .expect("unlimited resume completes"),
+            };
+            assert_eq!(game.winner(), baseline.winner(), "budget {max_steps}");
+            assert_eq!(game.arena_size(), baseline.arena_size());
+            for id in 0..baseline.arena_size() {
+                assert_eq!(game.is_alive(id), baseline.is_alive(id));
             }
         }
     }

@@ -66,6 +66,31 @@ struct ExistentialSpec<'s> {
     index_a: TupleIndex,
     k: usize,
     kind: HomKind,
+    /// Domain elements pinned by constants: never removable, so they are
+    /// skipped when enumerating subfunctions for the lazy solver.
+    constant_dom: Vec<Element>,
+}
+
+impl<'s> ExistentialSpec<'s> {
+    fn new(
+        a: &'s Structure,
+        b: &'s Structure,
+        index_a: TupleIndex,
+        k: usize,
+        kind: HomKind,
+    ) -> Self {
+        let mut constant_dom = a.constant_values().to_vec();
+        constant_dom.sort_unstable();
+        constant_dom.dedup();
+        Self {
+            a,
+            b,
+            index_a,
+            k,
+            kind,
+            constant_dom,
+        }
+    }
 }
 
 impl GameSpec for ExistentialSpec<'_> {
@@ -100,6 +125,14 @@ impl GameSpec for ExistentialSpec<'_> {
                     .collect();
                 (ax, replies)
             })
+            .collect()
+    }
+
+    fn subpositions(&self, key: &PartialMap) -> Vec<(PartialMap, Element, Element)> {
+        key.pairs()
+            .iter()
+            .filter(|(ax, _)| !self.constant_dom.contains(ax))
+            .map(|&(ax, bx)| (key.without(ax), ax, bx))
             .collect()
     }
 }
@@ -207,13 +240,7 @@ impl<'s> ExistentialGame<'s> {
         };
         debug_assert!(respects_constants(&root_map, a, b));
 
-        let spec = ExistentialSpec {
-            a,
-            b,
-            index_a,
-            k,
-            kind,
-        };
+        let spec = ExistentialSpec::new(a, b, index_a, k, kind);
         match Arena::try_build_and_solve(&spec, root_map, gov) {
             Ok(arena) => Ok(Self {
                 a,
@@ -232,11 +259,78 @@ impl<'s> ExistentialGame<'s> {
         }
     }
 
-    /// Resumes an interrupted governed solve. `a`, `b`, `k`, and `kind`
-    /// must be those of the original call; budget counters live in the
-    /// governor, so pass a fresh or relaxed one. The resumed game is
-    /// identical — configuration by configuration — to an uninterrupted
-    /// solve.
+    /// Demand-driven [`solve`](Self::solve): explores only as much of the
+    /// configuration space as needed to decide the winner, via the lazy
+    /// arena solver (one committed reply per challenge, dominance-pruned
+    /// reuse of already materialized configurations, early exit on root
+    /// death). The [`winner`](Self::winner) agrees exactly with the eager
+    /// solve; the arena is a partial subarena, so configuration ids,
+    /// [`arena_size`](Self::arena_size), and
+    /// [`family_size`](Self::family_size) are **not** comparable to an
+    /// eager build (unexplored configurations are absent, and some alive
+    /// ones are optimistic never-expanded leaves).
+    ///
+    /// # Panics
+    /// Panics if the vocabularies differ or `k == 0`.
+    pub fn solve_lazy(a: &'s Structure, b: &'s Structure, k: usize, kind: HomKind) -> Self {
+        match Self::try_solve_lazy(a, b, k, kind, &Governor::unlimited()) {
+            Ok(game) => game,
+            Err(e) => unreachable!("unlimited governor interrupted: {e}"),
+        }
+    }
+
+    /// Governed [`solve_lazy`](Self::solve_lazy), interrupting at a
+    /// committed boundary with a resumable [`GameCheckpoint`] (resume with
+    /// the ordinary [`resume`](Self::resume)).
+    ///
+    /// # Panics
+    /// Panics if the vocabularies differ or `k == 0`.
+    pub fn try_solve_lazy(
+        a: &'s Structure,
+        b: &'s Structure,
+        k: usize,
+        kind: HomKind,
+        gov: &Governor,
+    ) -> Result<Self, GameInterrupted> {
+        assert!(k >= 1, "at least one pebble");
+        assert_eq!(a.vocabulary(), b.vocabulary(), "vocabulary mismatch");
+        let index_a = TupleIndex::build(a);
+        let Some(root_map) = Self::constant_root(a, b, &index_a, kind) else {
+            return Ok(Self {
+                a,
+                b,
+                k,
+                kind,
+                arena: Arena::empty(),
+                root: Err(DeathReason::InvalidRoot),
+            });
+        };
+        debug_assert!(respects_constants(&root_map, a, b));
+
+        let spec = ExistentialSpec::new(a, b, index_a, k, kind);
+        match Arena::try_lazy_solve(&spec, root_map, gov) {
+            Ok(arena) => Ok(Self {
+                a,
+                b,
+                k,
+                kind,
+                arena,
+                root: Ok(0),
+            }),
+            Err(e) => Err(GameInterrupted {
+                reason: e.reason,
+                checkpoint: GameCheckpoint {
+                    arena: e.checkpoint,
+                },
+            }),
+        }
+    }
+
+    /// Resumes an interrupted governed solve (eager or lazy). `a`, `b`,
+    /// `k`, and `kind` must be those of the original call; budget counters
+    /// live in the governor, so pass a fresh or relaxed one. The resumed
+    /// game is identical — configuration by configuration — to an
+    /// uninterrupted solve of the same flavor.
     pub fn resume(
         a: &'s Structure,
         b: &'s Structure,
@@ -247,13 +341,7 @@ impl<'s> ExistentialGame<'s> {
     ) -> Result<Self, GameInterrupted> {
         assert!(k >= 1, "at least one pebble");
         assert_eq!(a.vocabulary(), b.vocabulary(), "vocabulary mismatch");
-        let spec = ExistentialSpec {
-            a,
-            b,
-            index_a: TupleIndex::build(a),
-            k,
-            kind,
-        };
+        let spec = ExistentialSpec::new(a, b, TupleIndex::build(a), k, kind);
         match Arena::resume_build(&spec, checkpoint.arena, gov) {
             Ok(arena) => Ok(Self {
                 a,
@@ -589,6 +677,85 @@ mod tests {
                 assert_eq!(game.config_map(id), baseline.config_map(id));
                 assert_eq!(game.is_alive(id), baseline.is_alive(id));
                 assert_eq!(game.death(id), baseline.death(id));
+            }
+        }
+    }
+
+    /// The lazy solver agrees with the eager solver on every winner, for
+    /// both homomorphism notions and k ∈ {1, 2, 3}, while never exploring
+    /// more configurations.
+    #[test]
+    fn lazy_winner_matches_eager() {
+        let pairs = [
+            (directed_path(4), directed_path(7)),
+            (directed_path(7), directed_path(4)),
+            (two_disjoint_paths(2), two_crossing_paths(2)),
+            (
+                kv_structures::generators::directed_cycle(4),
+                kv_structures::generators::directed_cycle(2),
+            ),
+        ];
+        for (a, b) in &pairs {
+            for k in 1..=3 {
+                for kind in [HomKind::OneToOne, HomKind::Homomorphism] {
+                    let eager = ExistentialGame::solve(a, b, k, kind);
+                    let lazy = ExistentialGame::solve_lazy(a, b, k, kind);
+                    assert_eq!(lazy.winner(), eager.winner(), "k={k} kind={kind:?}");
+                    assert!(
+                        lazy.arena_size() <= eager.arena_size(),
+                        "lazy {} > eager {} (k={k} kind={kind:?})",
+                        lazy.arena_size(),
+                        eager.arena_size()
+                    );
+                }
+            }
+        }
+    }
+
+    /// On a Duplicator win the lazy solver commits one reply per challenge
+    /// instead of materializing every consistent configuration.
+    #[test]
+    fn lazy_duplicator_win_is_much_smaller() {
+        let a = directed_path(4);
+        let b = directed_path(9);
+        let eager = ExistentialGame::solve(&a, &b, 2, HomKind::OneToOne);
+        let lazy = ExistentialGame::solve_lazy(&a, &b, 2, HomKind::OneToOne);
+        assert_eq!(eager.winner(), Winner::Duplicator);
+        assert_eq!(lazy.winner(), Winner::Duplicator);
+        assert!(
+            lazy.arena_size() * 2 <= eager.arena_size(),
+            "lazy {} vs eager {}",
+            lazy.arena_size(),
+            eager.arena_size()
+        );
+    }
+
+    /// An interrupted lazy solve resumes to the identical partial arena
+    /// and verdict.
+    #[test]
+    fn interrupted_lazy_solve_resumes_identically() {
+        let a = two_disjoint_paths(2);
+        let b = two_crossing_paths(2);
+        let baseline = ExistentialGame::solve_lazy(&a, &b, 2, HomKind::OneToOne);
+        for max_steps in [1u64, 5, 23, 120, 900] {
+            let gov = kv_structures::govern::chaos::step_tripper(max_steps);
+            let game = match ExistentialGame::try_solve_lazy(&a, &b, 2, HomKind::OneToOne, &gov) {
+                Ok(game) => game,
+                Err(e) => ExistentialGame::resume(
+                    &a,
+                    &b,
+                    2,
+                    HomKind::OneToOne,
+                    e.checkpoint,
+                    &kv_structures::Governor::unlimited(),
+                )
+                .expect("unlimited resume completes"),
+            };
+            assert_eq!(game.winner(), baseline.winner(), "budget {max_steps}");
+            assert_eq!(game.arena_size(), baseline.arena_size());
+            for id in 0..baseline.arena_size() {
+                assert_eq!(game.config_map(id), baseline.config_map(id));
+                assert_eq!(game.is_alive(id), baseline.is_alive(id));
             }
         }
     }

@@ -1,0 +1,690 @@
+//! Demand-driven (lazy) arena solving: local witness search with
+//! dominance pruning and early termination.
+//!
+//! The eager builder ([`Arena::build_and_solve`]) materializes the entire
+//! position space reachable from the root and then deletes refuted
+//! positions until the greatest forth-closed family remains. Deciding the
+//! *root* rarely needs all of that: by Theorem 4.8 the Duplicator wins
+//! from the root iff the root belongs to **some** forth-closed (and, for
+//! retreat games, subposition-closed) family — not necessarily the
+//! greatest one. [`Arena::lazy_solve`] searches for such a witness family
+//! directly, in the style of local (on-the-fly) fixpoint evaluation à la
+//! Liu–Smolka:
+//!
+//! - Positions are expanded only when *demanded*: the root is demanded,
+//!   and an expansion demands one **chosen** reply per challenge plus (for
+//!   closure games) every direct subposition. Sibling replies stay
+//!   unexplored unless the chosen one is refuted.
+//! - Choices prefer, in order: a stutter (never refutable), an already
+//!   materialized alive position (**dominance pruning** — re-entering the
+//!   candidate family costs nothing, so the family is reused rather than
+//!   grown), and only then a fresh position.
+//! - When a position dies, its death is propagated *backwards only along
+//!   demanded links*: supers of a dead subposition die (retreat), and
+//!   choosers of a dead child re-choose among their remaining options,
+//!   dying by forth when none survive.
+//! - The run stops the moment the root's verdict is decided: immediately
+//!   when the root dies, or when no demanded position is left unexpanded —
+//!   at that point the alive positions linked from the root are a
+//!   forth-closed, subposition-closed family containing the root, i.e. a
+//!   winning witness for the Duplicator.
+//!
+//! The resulting arena is a *partial* subarena of the eager one: only the
+//! root's verdict is comparable. Governance mirrors the eager builder —
+//! positions are charged on interning, steps per option scanned or death
+//! propagated, and interrupts land on committed boundaries (a fully
+//! recorded expansion or a fully propagated death) with the lazy state
+//! checkpointed inside the ordinary [`crate::ArenaCheckpoint`].
+
+use crate::arena::{Arena, ArenaCheckpoint, ArenaInterrupted, Child, Death, GameSpec, Node, Phase};
+use kv_structures::govern::{Governor, Interrupted};
+use std::collections::VecDeque;
+use std::hash::Hash;
+
+/// One Spoiler challenge at a demanded position, with the reply options
+/// not yet tried and the currently committed choice.
+#[derive(Debug)]
+struct PendingChallenge<K, C, R> {
+    challenge: C,
+    /// Options not yet committed. An option is consumed when chosen;
+    /// options leading to refuted positions are dropped for good.
+    untried: Vec<(R, Child<K>)>,
+    /// The committed `(reply, child_id)`, if any. `None` only transiently
+    /// during a re-choice.
+    chosen: Option<(R, usize)>,
+}
+
+/// Lazy-solver bookkeeping for one arena position.
+#[derive(Debug)]
+struct LazyNode<K, C, R> {
+    /// Challenges recorded at expansion, each with its committed choice.
+    pending: Vec<PendingChallenge<K, C, R>>,
+    /// Positions that materialized this one as a direct subposition (with
+    /// the challenge of the removed pebble); they die when this one dies.
+    supers: Vec<(usize, C)>,
+    /// `(chooser, pending_index)` links: positions whose committed choice
+    /// for that challenge is this node; they re-choose when this one dies.
+    choosers: Vec<(usize, usize)>,
+    /// Expansion level (distance from the root in forth steps), used only
+    /// against [`GameSpec::depth`].
+    level: usize,
+    /// Whether the node currently sits in the expansion queue.
+    queued: bool,
+}
+
+impl<K, C, R> LazyNode<K, C, R> {
+    fn fresh(level: usize) -> Self {
+        Self {
+            pending: Vec::new(),
+            supers: Vec::new(),
+            choosers: Vec::new(),
+            level,
+            queued: true,
+        }
+    }
+}
+
+/// Resumable state of a lazy solve, stored as [`Phase::Lazy`] inside an
+/// [`ArenaCheckpoint`]. Mirrors `Arena::nodes` index for index.
+#[derive(Debug)]
+pub(crate) struct LazyState<K, C, R> {
+    nodes: Vec<LazyNode<K, C, R>>,
+    expand_queue: VecDeque<usize>,
+    death_queue: Vec<usize>,
+}
+
+impl<K, C, R> LazyState<K, C, R> {
+    /// State for a freshly created root-only arena: the root is demanded.
+    pub(crate) fn with_root() -> Self {
+        Self {
+            nodes: vec![LazyNode::fresh(0)],
+            expand_queue: VecDeque::from([0]),
+            death_queue: Vec::new(),
+        }
+    }
+}
+
+/// Governor charges accumulated by one committed unit of work.
+#[derive(Default)]
+struct Charges {
+    positions: u64,
+    steps: u64,
+}
+
+impl Charges {
+    fn apply(&self, gov: &Governor) -> Result<(), Interrupted> {
+        gov.charge_positions(self.positions)
+            .and_then(|()| gov.step(self.steps))
+    }
+}
+
+/// The lazy main loop: alternates death propagation (preferred — it is
+/// cheap and decides the root earliest) with demanded expansions, until
+/// the root dies or no demand remains.
+pub(crate) fn run_lazy<S, K, C, R>(
+    spec: &S,
+    gov: &Governor,
+    mut arena: Arena<K, C, R>,
+    mut state: LazyState<K, C, R>,
+) -> Result<Arena<K, C, R>, ArenaInterrupted<K, C, R>>
+where
+    S: GameSpec<Key = K, Challenge = C, Reply = R>,
+    K: Clone + Eq + Hash + Send + Sync,
+    C: Clone + PartialEq + Send,
+    R: Clone + PartialEq + Send,
+{
+    loop {
+        if !arena.nodes[0].alive {
+            // Early termination: the Spoiler wins from the root; whatever
+            // is still queued cannot change that.
+            return Ok(arena);
+        }
+        if let Err(reason) = gov.check() {
+            return Err(interrupt(reason, arena, state));
+        }
+        if let Some(dead) = state.death_queue.pop() {
+            let mut charges = Charges::default();
+            propagate(&mut arena, &mut state, dead, &mut charges);
+            if let Err(reason) = charges.apply(gov) {
+                return Err(interrupt(reason, arena, state));
+            }
+            continue;
+        }
+        let Some(id) = state.expand_queue.pop_front() else {
+            // No demanded position left unexpanded and no deaths pending:
+            // the alive positions linked from the root form a forth-closed
+            // (and subposition-closed) family — the Duplicator wins.
+            return Ok(arena);
+        };
+        state.nodes[id].queued = false;
+        if !arena.nodes[id].alive || arena.nodes[id].expanded || !is_needed(&arena, &state, id) {
+            // Demand was withdrawn (every link into this node died) while
+            // it sat in the queue; it is re-queued if demanded again.
+            continue;
+        }
+        let mut charges = Charges::default();
+        expand_node(spec, &mut arena, &mut state, id, &mut charges);
+        if let Err(reason) = charges.apply(gov) {
+            return Err(interrupt(reason, arena, state));
+        }
+    }
+}
+
+fn interrupt<K, C, R>(
+    reason: Interrupted,
+    arena: Arena<K, C, R>,
+    state: LazyState<K, C, R>,
+) -> ArenaInterrupted<K, C, R> {
+    ArenaInterrupted {
+        reason,
+        checkpoint: ArenaCheckpoint {
+            arena,
+            phase: Phase::Lazy(state),
+        },
+    }
+}
+
+/// Whether expanding `id` can still matter: the root always does; other
+/// nodes only while some alive super awaits them or some alive chooser
+/// currently commits to them.
+fn is_needed<K, C, R>(arena: &Arena<K, C, R>, state: &LazyState<K, C, R>, id: usize) -> bool {
+    if id == 0 {
+        return true;
+    }
+    let node = &state.nodes[id];
+    node.supers.iter().any(|&(sup, _)| arena.nodes[sup].alive)
+        || node.choosers.iter().any(|&(m, pi)| {
+            arena.nodes[m].alive
+                && state.nodes[m].pending[pi]
+                    .chosen
+                    .as_ref()
+                    .is_some_and(|&(_, c)| c == id)
+        })
+}
+
+/// Interns `key` if absent (demanding its expansion); returns its id.
+fn intern_or_get<K, C, R>(
+    arena: &mut Arena<K, C, R>,
+    state: &mut LazyState<K, C, R>,
+    key: &K,
+    level: usize,
+    charges: &mut Charges,
+) -> usize
+where
+    K: Clone + Eq + Hash,
+{
+    if let Some(&id) = arena.by_key.get(key) {
+        return id;
+    }
+    let id = arena.nodes.len();
+    arena.by_key.insert(key.clone(), id);
+    arena.nodes.push(Node::fresh(key.clone()));
+    state.nodes.push(LazyNode::fresh(level));
+    state.expand_queue.push_back(id);
+    charges.positions += 1;
+    id
+}
+
+/// Re-queues an existing, still unexpanded node whose demand was renewed
+/// by a fresh link.
+fn ensure_queued<K, C, R>(arena: &Arena<K, C, R>, state: &mut LazyState<K, C, R>, id: usize) {
+    if arena.nodes[id].alive && !arena.nodes[id].expanded && !state.nodes[id].queued {
+        state.nodes[id].queued = true;
+        state.expand_queue.push_back(id);
+    }
+}
+
+/// Expands one demanded position: materializes its direct subpositions
+/// (closure games only — dying at once if one is already refuted), then
+/// records every challenge and commits one choice per challenge.
+fn expand_node<S, K, C, R>(
+    spec: &S,
+    arena: &mut Arena<K, C, R>,
+    state: &mut LazyState<K, C, R>,
+    id: usize,
+    charges: &mut Charges,
+) where
+    S: GameSpec<Key = K, Challenge = C, Reply = R>,
+    K: Clone + Eq + Hash + Send + Sync,
+    C: Clone + PartialEq + Send,
+    R: Clone + PartialEq + Send,
+{
+    let key = arena.nodes[id].key.clone();
+    let level = state.nodes[id].level;
+    arena.nodes[id].expanded = true;
+    charges.steps += 1;
+    if spec.closure_under_subpositions() {
+        for (sub_key, challenge, _reply) in spec.subpositions(&key) {
+            charges.steps += 1;
+            let sub = intern_or_get(arena, state, &sub_key, level.saturating_sub(1), charges);
+            state.nodes[sub].supers.push((id, challenge.clone()));
+            arena.edge_count += 1;
+            if !arena.nodes[sub].alive {
+                arena.kill(
+                    id,
+                    Death::Retreat {
+                        parent: sub,
+                        challenge,
+                    },
+                    &mut state.death_queue,
+                );
+                return;
+            }
+            ensure_queued(arena, state, sub);
+        }
+    }
+    if level >= spec.depth() {
+        return;
+    }
+    for (challenge, options) in spec.expand(&key, level) {
+        charges.steps += options.len() as u64;
+        let pi = state.nodes[id].pending.len();
+        state.nodes[id].pending.push(PendingChallenge {
+            challenge,
+            untried: options,
+            chosen: None,
+        });
+        choose(arena, state, id, pi, charges);
+        if !arena.nodes[id].alive {
+            return;
+        }
+    }
+}
+
+/// Commits one reply for challenge `pi` of node `id`, preferring (1) a
+/// stutter, (2) an already materialized alive position — the dominance
+/// rule: stay inside the candidate family instead of growing the arena —
+/// then (3) a fresh position. If every remaining option leads to a
+/// refuted position, `id` fails forth and dies.
+fn choose<K, C, R>(
+    arena: &mut Arena<K, C, R>,
+    state: &mut LazyState<K, C, R>,
+    id: usize,
+    pi: usize,
+    charges: &mut Charges,
+) where
+    K: Clone + Eq + Hash + Send + Sync,
+    C: Clone + PartialEq + Send,
+    R: Clone + PartialEq + Send,
+{
+    charges.steps += 1;
+    let stutter = state.nodes[id].pending[pi]
+        .untried
+        .iter()
+        .position(|(_, c)| matches!(c, Child::Stutter));
+    if let Some(pos) = stutter {
+        let (reply, _) = state.nodes[id].pending[pi].untried.remove(pos);
+        // A stutter stays at `id` itself and can never be refuted while
+        // `id` is alive, so no chooser link is needed.
+        state.nodes[id].pending[pi].chosen = Some((reply, id));
+        return;
+    }
+    let interned_alive = state.nodes[id].pending[pi]
+        .untried
+        .iter()
+        .position(|(_, c)| match c {
+            Child::Key(k) => arena
+                .by_key
+                .get(k)
+                .is_some_and(|&cid| arena.nodes[cid].alive),
+            Child::Stutter => false,
+        });
+    if let Some(pos) = interned_alive {
+        let (reply, child) = state.nodes[id].pending[pi].untried.remove(pos);
+        if let Child::Key(k) = child {
+            if let Some(&cid) = arena.by_key.get(&k) {
+                state.nodes[id].pending[pi].chosen = Some((reply, cid));
+                state.nodes[cid].choosers.push((id, pi));
+                arena.edge_count += 1;
+                ensure_queued(arena, state, cid);
+            }
+        }
+        return;
+    }
+    let fresh = state.nodes[id].pending[pi]
+        .untried
+        .iter()
+        .position(|(_, c)| matches!(c, Child::Key(k) if !arena.by_key.contains_key(k)));
+    if let Some(pos) = fresh {
+        let (reply, child) = state.nodes[id].pending[pi].untried.remove(pos);
+        if let Child::Key(k) = child {
+            let level = state.nodes[id].level + 1;
+            let cid = intern_or_get(arena, state, &k, level, charges);
+            state.nodes[id].pending[pi].chosen = Some((reply, cid));
+            state.nodes[cid].choosers.push((id, pi));
+            arena.edge_count += 1;
+        }
+        return;
+    }
+    // Every remaining option (and every option tried before) leads to a
+    // refuted position: forth failure.
+    charges.steps += state.nodes[id].pending[pi].untried.len() as u64;
+    state.nodes[id].pending[pi].untried.clear();
+    let challenge = state.nodes[id].pending[pi].challenge.clone();
+    arena.kill(id, Death::Forth(challenge), &mut state.death_queue);
+}
+
+/// Propagates one death backwards along demanded links: supers die by
+/// retreat, choosers re-choose (possibly dying by forth in turn).
+fn propagate<K, C, R>(
+    arena: &mut Arena<K, C, R>,
+    state: &mut LazyState<K, C, R>,
+    dead: usize,
+    charges: &mut Charges,
+) where
+    K: Clone + Eq + Hash + Send + Sync,
+    C: Clone + PartialEq + Send,
+    R: Clone + PartialEq + Send,
+{
+    charges.steps += 1;
+    let supers = std::mem::take(&mut state.nodes[dead].supers);
+    charges.steps += supers.len() as u64;
+    for (sup, challenge) in supers {
+        if arena.nodes[sup].alive {
+            arena.kill(
+                sup,
+                Death::Retreat {
+                    parent: dead,
+                    challenge,
+                },
+                &mut state.death_queue,
+            );
+        }
+    }
+    let choosers = std::mem::take(&mut state.nodes[dead].choosers);
+    charges.steps += choosers.len() as u64;
+    for (m, pi) in choosers {
+        if !arena.nodes[m].alive {
+            continue;
+        }
+        let points_here = state.nodes[m].pending[pi]
+            .chosen
+            .as_ref()
+            .is_some_and(|&(_, c)| c == dead);
+        if points_here {
+            state.nodes[m].pending[pi].chosen = None;
+            choose(arena, state, m, pi, charges);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kv_structures::govern::Budget;
+
+    /// The `Count` toy from the arena tests, without closure: position `n`
+    /// is challenged once; replies go to `n + 1` (if in range) and, at
+    /// even `n`, also stutter.
+    struct Count {
+        max: usize,
+    }
+
+    impl GameSpec for Count {
+        type Key = usize;
+        type Challenge = u8;
+        type Reply = u8;
+
+        fn depth(&self) -> usize {
+            self.max
+        }
+
+        fn closure_under_subpositions(&self) -> bool {
+            false
+        }
+
+        fn expand(&self, key: &usize, _level: usize) -> Vec<(u8, Vec<(u8, Child<usize>)>)> {
+            let mut replies = Vec::new();
+            if *key < self.max {
+                replies.push((0u8, Child::Key(key + 1)));
+            }
+            if key.is_multiple_of(2) {
+                replies.push((1u8, Child::Stutter));
+            }
+            vec![(0u8, replies)]
+        }
+    }
+
+    #[test]
+    fn stutter_preference_decides_root_in_one_expansion() {
+        let spec = Count { max: 100 };
+        let eager = Arena::build_and_solve(&spec, 0usize);
+        let lazy = Arena::lazy_solve(&spec, 0usize);
+        assert!(eager.is_alive(0));
+        assert!(lazy.is_alive(0));
+        // The root's stutter option wins immediately; the 100-position
+        // chain is never materialized.
+        assert_eq!(lazy.len(), 1);
+        assert_eq!(eager.len(), 101);
+    }
+
+    /// A dead-end chain with no closure: 0 -> 1, and 1 is stuck.
+    struct DeadEndOpen;
+
+    impl GameSpec for DeadEndOpen {
+        type Key = usize;
+        type Challenge = u8;
+        type Reply = u8;
+
+        fn depth(&self) -> usize {
+            3
+        }
+
+        fn closure_under_subpositions(&self) -> bool {
+            false
+        }
+
+        fn expand(&self, key: &usize, _level: usize) -> Vec<(u8, Vec<(u8, Child<usize>)>)> {
+            match key {
+                0 => vec![(0u8, vec![(0u8, Child::Key(1))])],
+                1 => vec![(0u8, vec![]), (1u8, vec![(0u8, Child::Key(2))])],
+                _ => vec![],
+            }
+        }
+    }
+
+    #[test]
+    fn forth_failure_reaches_the_root() {
+        let eager = Arena::build_and_solve(&DeadEndOpen, 0usize);
+        let lazy = Arena::lazy_solve(&DeadEndOpen, 0usize);
+        assert!(!eager.is_alive(0));
+        assert!(!lazy.is_alive(0));
+        assert_eq!(lazy.death(0), Some(&Death::Forth(0u8)));
+        // Early exit: node 2 (demanded by 1's second challenge before the
+        // first one killed it, or never, depending on order) does not
+        // change the verdict; only the root matters.
+    }
+
+    /// A miniature existential pebble game, with honest subpositions:
+    /// positions are partial maps (sorted pair lists) from the vertices of
+    /// digraph `ea` to those of `eb`; a reply is valid iff the extended
+    /// map stays a partial homomorphism.
+    struct MiniHom {
+        na: u8,
+        nb: u8,
+        ea: Vec<(u8, u8)>,
+        eb: Vec<(u8, u8)>,
+        k: usize,
+    }
+
+    type Map = Vec<(u8, u8)>;
+
+    impl MiniHom {
+        fn consistent(&self, map: &Map) -> bool {
+            for &(x, fx) in map {
+                for &(y, fy) in map {
+                    if self.ea.contains(&(x, y)) && !self.eb.contains(&(fx, fy)) {
+                        return false;
+                    }
+                }
+            }
+            true
+        }
+    }
+
+    impl GameSpec for MiniHom {
+        type Key = Map;
+        type Challenge = u8;
+        type Reply = u8;
+
+        fn depth(&self) -> usize {
+            self.k
+        }
+
+        fn closure_under_subpositions(&self) -> bool {
+            true
+        }
+
+        fn expand(&self, key: &Map, _level: usize) -> Vec<(u8, Vec<(u8, Child<Map>)>)> {
+            (0..self.na)
+                .filter(|p| !key.iter().any(|&(x, _)| x == *p))
+                .map(|p| {
+                    let options = (0..self.nb)
+                        .filter_map(|r| {
+                            let mut next = key.clone();
+                            next.push((p, r));
+                            next.sort_unstable();
+                            self.consistent(&next).then_some((r, Child::Key(next)))
+                        })
+                        .collect();
+                    (p, options)
+                })
+                .collect()
+        }
+
+        fn subpositions(&self, key: &Map) -> Vec<(Map, u8, u8)> {
+            key.iter()
+                .map(|&(p, r)| {
+                    let sub: Map = key.iter().copied().filter(|&(x, _)| x != p).collect();
+                    (sub, p, r)
+                })
+                .collect()
+        }
+    }
+
+    fn clique(n: u8) -> Vec<(u8, u8)> {
+        (0..n)
+            .flat_map(|i| (0..n).filter(move |&j| j != i).map(move |j| (i, j)))
+            .collect()
+    }
+
+    #[test]
+    fn mini_hom_lazy_matches_eager_verdicts() {
+        // K3 -> K2: Duplicator survives 2 pebbles, loses at 3.
+        for (k, alive) in [(1usize, true), (2, true), (3, false)] {
+            let spec = MiniHom {
+                na: 3,
+                nb: 2,
+                ea: clique(3),
+                eb: clique(2),
+                k,
+            };
+            let eager = Arena::build_and_solve(&spec, Vec::new());
+            let lazy = Arena::lazy_solve(&spec, Vec::new());
+            assert_eq!(eager.is_alive(0), alive, "eager k={k}");
+            assert_eq!(lazy.is_alive(0), alive, "lazy k={k}");
+            assert!(
+                lazy.len() <= eager.len(),
+                "lazy explored {} > eager {} at k={k}",
+                lazy.len(),
+                eager.len()
+            );
+        }
+        // K2 -> K3: a homomorphism exists, Duplicator always wins.
+        let spec = MiniHom {
+            na: 2,
+            nb: 3,
+            ea: clique(2),
+            eb: clique(3),
+            k: 2,
+        };
+        assert!(Arena::build_and_solve(&spec, Vec::new()).is_alive(0));
+        assert!(Arena::lazy_solve(&spec, Vec::new()).is_alive(0));
+    }
+
+    #[test]
+    fn lazy_duplicator_win_explores_less() {
+        // K2 -> K4 with 2 pebbles: the witness family needs one reply per
+        // challenge, while the eager arena holds every consistent map.
+        let spec = MiniHom {
+            na: 2,
+            nb: 4,
+            ea: clique(2),
+            eb: clique(4),
+            k: 2,
+        };
+        let eager = Arena::build_and_solve(&spec, Vec::new());
+        let lazy = Arena::lazy_solve(&spec, Vec::new());
+        assert!(eager.is_alive(0));
+        assert!(lazy.is_alive(0));
+        assert!(
+            lazy.len() * 2 <= eager.len(),
+            "lazy {} vs eager {}",
+            lazy.len(),
+            eager.len()
+        );
+    }
+
+    fn assert_same_arena(a: &Arena<Map, u8, u8>, b: &Arena<Map, u8, u8>) {
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.edge_count(), b.edge_count());
+        for id in 0..a.len() {
+            assert_eq!(a.key(id), b.key(id), "key of {id}");
+            assert_eq!(a.is_alive(id), b.is_alive(id), "aliveness of {id}");
+            assert_eq!(a.death(id), b.death(id), "death of {id}");
+        }
+    }
+
+    #[test]
+    fn interrupted_lazy_solve_resumes_to_identical_arena() {
+        for k in [2usize, 3] {
+            let spec = MiniHom {
+                na: 3,
+                nb: 2,
+                ea: clique(3),
+                eb: clique(2),
+                k,
+            };
+            let baseline = Arena::lazy_solve(&spec, Vec::new());
+            for max_steps in [1u64, 2, 3, 5, 8, 13, 50, 200] {
+                let gov = kv_structures::govern::chaos::step_tripper(max_steps);
+                match Arena::try_lazy_solve(&spec, Vec::new(), &gov) {
+                    Ok(arena) => assert_same_arena(&baseline, &arena),
+                    Err(e) => {
+                        assert!(matches!(e.reason, Interrupted::Limit(_)));
+                        let resumed =
+                            Arena::resume_build(&spec, e.checkpoint, &Governor::unlimited())
+                                .expect("unlimited resume completes");
+                        assert_same_arena(&baseline, &resumed);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_position_budget_interrupts_and_resumes() {
+        let spec = MiniHom {
+            na: 3,
+            nb: 3,
+            ea: clique(3),
+            eb: clique(3),
+            k: 3,
+        };
+        let gov = Governor::with_budget(Budget::positions(2));
+        let err = Arena::try_lazy_solve(&spec, Vec::new(), &gov).unwrap_err();
+        assert!(matches!(err.reason, Interrupted::Limit(_)));
+        let resumed = Arena::resume_build(&spec, err.checkpoint, &Governor::unlimited())
+            .expect("relaxed resume completes");
+        assert_same_arena(&Arena::lazy_solve(&spec, Vec::new()), &resumed);
+    }
+
+    #[test]
+    fn cancelled_lazy_solve_interrupts_immediately() {
+        let gov = Governor::unlimited();
+        gov.cancel_token().cancel();
+        let err = Arena::try_lazy_solve(&DeadEndOpen, 0usize, &gov).unwrap_err();
+        assert_eq!(err.reason, Interrupted::Cancelled);
+        assert_eq!(err.checkpoint.positions(), 1, "only the root is interned");
+    }
+}

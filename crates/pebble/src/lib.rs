@@ -18,7 +18,10 @@
 //!   the single-player variant of FHW's Lemma 4.
 //! - [`arena`]: the shared configuration arena behind every solver —
 //!   level-synchronous parallel generation plus predecessor-indexed
-//!   worklist deletion in `O(edges)`.
+//!   worklist deletion in `O(edges)`. Besides the eager build, the arena
+//!   offers a demand-driven lazy solve (`Arena::lazy_solve`) that expands
+//!   positions only as needed to decide the root, with dominance pruning
+//!   and early termination.
 //! - [`win_iteration`]: the paper's literal `Win_k` value iteration,
 //!   retained as the ablation/differential partner of the worklist path.
 
@@ -34,6 +37,7 @@ pub mod cnf;
 pub mod cnf_game;
 pub mod cnf_play;
 pub mod game;
+mod lazy;
 pub mod play;
 pub mod preceq;
 pub mod win_iteration;

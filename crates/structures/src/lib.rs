@@ -21,7 +21,9 @@
 //!   paper's examples ([`generators`]);
 //! - the resource-governance layer shared by every solver in the
 //!   workspace — budgets, deadlines, cooperative cancellation, and the
-//!   chaos fault-injection schedules ([`govern`]).
+//!   chaos fault-injection schedules ([`govern`]);
+//! - query plans and the engine-level memo cache for demand-driven
+//!   evaluation ([`plan`]).
 
 #![warn(missing_docs)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
@@ -33,6 +35,7 @@ pub mod hom;
 pub mod io;
 pub mod ops;
 pub mod par;
+pub mod plan;
 pub mod rng;
 pub mod store;
 pub mod structure;
@@ -43,6 +46,10 @@ pub use graph::Digraph;
 pub use hom::{HomKind, PartialMap};
 pub use io::{parse_digraph, write_digraph, DigraphParseError};
 pub use ops::{disjoint_union, induced_substructure, quotient};
+pub use plan::{
+    structure_fingerprint, CacheStats, DemandStrategy, QueryCache, QueryPlan, StructureId,
+    StructureRegistry,
+};
 pub use rng::SplitMix64;
 pub use store::{
     EvalStats, IdRange, LimitExceeded, Limits, PosIndex, StoreView, TupleId, TupleStore,

@@ -1,0 +1,284 @@
+//! Query plans and the engine-level memo cache for demand-driven runs.
+//!
+//! A [`QueryPlan`] records, per goal position, whether the query binds that
+//! position to a concrete element, and which [`DemandStrategy`] the engine
+//! should take for that binding pattern. Upper layers (`kv-core`'s
+//! `ProgramQuery`, `kv-homeomorphism`'s solver) consult the plan to decide
+//! between full saturation and the demand path (magic-set rewriting for
+//! Datalog, lazy arena expansion for pebble games).
+//!
+//! Repeated-query traffic is served by a [`QueryCache`]: boolean answers
+//! memoized under an interned [`StructureId`] (content fingerprint, see
+//! [`StructureRegistry`]) plus the query tuple.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::structure::{Element, Structure};
+
+/// How the engine should evaluate a query with a given binding pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DemandStrategy {
+    /// Saturate the full IDB / materialize the full arena, then look up.
+    Full,
+    /// Derive only goal-relevant facts: magic-set rewriting on the Datalog
+    /// side, lazy dominance-pruned arena expansion on the game side.
+    Demand,
+}
+
+/// A binding pattern plus the demand strategy chosen for it.
+///
+/// The pattern has one flag per goal position: `true` means the query
+/// supplies a concrete element there ("bound"), `false` means the position
+/// is left open ("free").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryPlan {
+    pattern: Vec<bool>,
+    strategy: DemandStrategy,
+}
+
+impl QueryPlan {
+    /// A plan with an explicit pattern and strategy.
+    pub fn new(pattern: Vec<bool>, strategy: DemandStrategy) -> Self {
+        Self { pattern, strategy }
+    }
+
+    /// Full saturation for an `arity`-ary goal (all positions free).
+    pub fn full(arity: usize) -> Self {
+        Self::new(vec![false; arity], DemandStrategy::Full)
+    }
+
+    /// The automatic policy: take the demand path whenever at least one
+    /// position is bound, full saturation otherwise (an all-free query
+    /// needs every answer anyway, so demand buys nothing).
+    pub fn auto(pattern: Vec<bool>) -> Self {
+        let strategy = if pattern.iter().any(|&b| b) {
+            DemandStrategy::Demand
+        } else {
+            DemandStrategy::Full
+        };
+        Self::new(pattern, strategy)
+    }
+
+    /// The binding pattern, one flag per goal position.
+    pub fn pattern(&self) -> &[bool] {
+        &self.pattern
+    }
+
+    /// The chosen strategy.
+    pub fn strategy(&self) -> DemandStrategy {
+        self.strategy
+    }
+
+    /// Whether this plan routes to the demand path.
+    pub fn is_demand(&self) -> bool {
+        self.strategy == DemandStrategy::Demand
+    }
+
+    /// Number of bound positions.
+    pub fn bound_count(&self) -> usize {
+        self.pattern.iter().filter(|&&b| b).count()
+    }
+}
+
+impl fmt::Display for QueryPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &b in &self.pattern {
+            f.write_str(if b { "b" } else { "f" })?;
+        }
+        write!(
+            f,
+            "/{}",
+            match self.strategy {
+                DemandStrategy::Full => "full",
+                DemandStrategy::Demand => "demand",
+            }
+        )
+    }
+}
+
+/// Identity of an interned structure in a [`StructureRegistry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StructureId(pub u32);
+
+/// A 64-bit content fingerprint of a structure: universe size, constants,
+/// and the (order-independent) multiset of tuples per relation.
+///
+/// Tuple contributions are combined commutatively, so two structures that
+/// interned the same relation contents in different orders fingerprint
+/// identically. Collisions only cost a spurious cache identity, so the
+/// registry additionally keeps the full fingerprint key.
+pub fn structure_fingerprint(s: &Structure) -> u64 {
+    let mut h = mix(0x9e37_79b9_7f4a_7c15 ^ s.universe_size() as u64);
+    for &c in s.constant_values() {
+        h = mix(h ^ u64::from(c).wrapping_add(0x517c_c1b7_2722_0a95));
+    }
+    for rel in s.vocabulary().relations() {
+        let store = s.relation(rel).store();
+        let mut rel_acc = 0u64;
+        for tuple in store.iter() {
+            let mut t = mix(rel.0 as u64 ^ 0xd6e8_feb8_6659_fd93);
+            for &e in tuple {
+                t = mix(t ^ u64::from(e));
+            }
+            // Commutative combine: interning order must not matter.
+            rel_acc = rel_acc.wrapping_add(t);
+        }
+        h = mix(h ^ rel_acc ^ (store.len() as u64).rotate_left(17));
+    }
+    h
+}
+
+/// SplitMix64 finalizer — cheap, well-mixed, dependency-free.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Interns structures by content fingerprint, assigning stable
+/// [`StructureId`]s for cache keys.
+#[derive(Debug, Default)]
+pub struct StructureRegistry {
+    by_fingerprint: HashMap<u64, StructureId>,
+}
+
+impl StructureRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning the id previously assigned to a structure
+    /// with the same fingerprint if one exists.
+    pub fn intern(&mut self, s: &Structure) -> StructureId {
+        let fp = structure_fingerprint(s);
+        let next = StructureId(self.by_fingerprint.len() as u32);
+        *self.by_fingerprint.entry(fp).or_insert(next)
+    }
+
+    /// Number of distinct structures interned so far.
+    pub fn len(&self) -> usize {
+        self.by_fingerprint.len()
+    }
+
+    /// Whether no structure has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.by_fingerprint.is_empty()
+    }
+}
+
+/// Hit/miss counters of a [`QueryCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to be computed.
+    pub misses: u64,
+    /// Entries currently stored.
+    pub entries: u64,
+}
+
+/// Memoized boolean query answers keyed by interned structure id + query
+/// tuple. Shared registry + map so one cache serves repeated traffic over
+/// many structures.
+#[derive(Debug, Default)]
+pub struct QueryCache {
+    registry: StructureRegistry,
+    answers: HashMap<(StructureId, Box<[Element]>), bool>,
+    hits: u64,
+    misses: u64,
+}
+
+impl QueryCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up the memoized answer for `query` on `s`, counting a hit or
+    /// a miss.
+    pub fn get(&mut self, s: &Structure, query: &[Element]) -> Option<bool> {
+        let id = self.registry.intern(s);
+        match self.answers.get(&(id, Box::from(query))) {
+            Some(&ans) => {
+                self.hits += 1;
+                Some(ans)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Records the answer for `query` on `s`.
+    pub fn insert(&mut self, s: &Structure, query: &[Element], answer: bool) {
+        let id = self.registry.intern(s);
+        self.answers.insert((id, Box::from(query)), answer);
+    }
+
+    /// Current hit/miss/entry counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            entries: self.answers.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::directed_path;
+
+    #[test]
+    fn auto_plan_picks_demand_iff_some_position_bound() {
+        assert!(QueryPlan::auto(vec![true, true]).is_demand());
+        assert!(QueryPlan::auto(vec![false, true]).is_demand());
+        assert!(!QueryPlan::auto(vec![false, false]).is_demand());
+        assert!(!QueryPlan::full(2).is_demand());
+        assert_eq!(QueryPlan::auto(vec![true, false]).to_string(), "bf/demand");
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_and_identifies() {
+        let a = directed_path(5);
+        let b = directed_path(5);
+        let c = directed_path(6);
+        assert_eq!(structure_fingerprint(&a), structure_fingerprint(&b));
+        assert_ne!(structure_fingerprint(&a), structure_fingerprint(&c));
+    }
+
+    #[test]
+    fn registry_interns_by_content() {
+        let mut reg = StructureRegistry::new();
+        let a = directed_path(5);
+        let b = directed_path(5);
+        let c = directed_path(6);
+        let ia = reg.intern(&a);
+        let ib = reg.intern(&b);
+        let ic = reg.intern(&c);
+        assert_eq!(ia, ib);
+        assert_ne!(ia, ic);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn cache_counts_hits_and_misses() {
+        let mut cache = QueryCache::new();
+        let s = directed_path(4);
+        assert_eq!(cache.get(&s, &[0, 3]), None);
+        cache.insert(&s, &[0, 3], true);
+        assert_eq!(cache.get(&s, &[0, 3]), Some(true));
+        // Same content, different instance: still a hit.
+        let t = directed_path(4);
+        assert_eq!(cache.get(&t, &[0, 3]), Some(true));
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.entries, 1);
+    }
+}

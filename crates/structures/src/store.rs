@@ -383,6 +383,10 @@ pub struct EvalStats {
     /// Index probes (and full scans, counted once per scanned candidate
     /// source) performed while joining.
     pub join_probes: u64,
+    /// Probes against magic (demand) predicates, counted separately from
+    /// [`EvalStats::join_probes`] so the bookkeeping overhead of a
+    /// magic-set rewrite stays visible.
+    pub magic_probes: u64,
     /// Stages executed.
     pub stages: u64,
 }
@@ -393,6 +397,7 @@ impl EvalStats {
         self.tuples_interned += other.tuples_interned;
         self.duplicate_derivations += other.duplicate_derivations;
         self.join_probes += other.join_probes;
+        self.magic_probes += other.magic_probes;
         self.stages += other.stages;
     }
 }
@@ -611,15 +616,18 @@ mod tests {
             tuples_interned: 1,
             duplicate_derivations: 2,
             join_probes: 3,
+            magic_probes: 5,
             stages: 4,
         };
         a.merge(&EvalStats {
             tuples_interned: 10,
             duplicate_derivations: 20,
             join_probes: 30,
+            magic_probes: 50,
             stages: 40,
         });
         assert_eq!(a.tuples_interned, 11);
         assert_eq!(a.join_probes, 33);
+        assert_eq!(a.magic_probes, 55);
     }
 }

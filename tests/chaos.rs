@@ -14,11 +14,11 @@
 //!    and `resume(interrupt(x)) ≡ run(x)` — stage by stage for Datalog,
 //!    verdict by verdict for the games.
 //!
-//! The injection-point counts below sum to 86 distinct seeded points
+//! The injection-point counts below sum to 106 distinct seeded points
 //! (24 Datalog + 12 existential game + 8 CNF game + 8 acyclic game +
-//! 8 lfp + 6 stage comparison + 8 homeomorphism + 8 reduction + 4 flow),
-//! satisfying the ≥64-point acceptance bar; every point runs in every
-//! `cargo test` invocation.
+//! 8 lfp + 6 stage comparison + 8 homeomorphism + 8 reduction + 4 flow +
+//! 12 lazy arena + 8 seeded magic evaluation), satisfying the ≥64-point
+//! acceptance bar; every point runs in every `cargo test` invocation.
 
 use datalog_expressiveness::datalog::programs::{
     avoiding_path, path_systems, q_kl, q_prime, transitive_closure, two_disjoint_paths_acyclic,
@@ -444,5 +444,76 @@ fn chaos_disjoint_fan_interrupt_restart_equals_run() {
                 .unwrap_or_else(|e| panic!("{label}: unlimited restart interrupted: {e}")),
         };
         assert_eq!(fan, baseline, "{label}");
+    }
+}
+
+#[test]
+fn chaos_lazy_arena_interrupt_resume_equals_run() {
+    // The demand-driven lazy solver checkpoints through the same
+    // `ArenaCheckpoint` as the eager build: resume must land on the
+    // eager solver's verdict no matter where the fault trips it.
+    for index in 0..12usize {
+        let seed = 5_000 + (index % 3) as u64;
+        let a = random_digraph(5, 0.3, seed).to_structure();
+        let b = random_digraph(5, 0.3, 1_000 + seed).to_structure();
+        let k = 1 + index % 3;
+        let baseline = ExistentialGame::solve(&a, &b, k, HomKind::OneToOne).winner();
+        let (label, gov) = chaos::injection(chaos_seed(), 900 + index, 60);
+        let game = match ExistentialGame::try_solve_lazy(&a, &b, k, HomKind::OneToOne, &gov) {
+            Ok(game) => game,
+            Err(interrupted) => ExistentialGame::resume(
+                &a,
+                &b,
+                k,
+                HomKind::OneToOne,
+                interrupted.checkpoint,
+                &Governor::unlimited(),
+            )
+            .unwrap_or_else(|e| panic!("{label}: unlimited resume interrupted: {e}")),
+        };
+        assert_eq!(game.winner(), baseline, "{label} (k={k}, seed={seed})");
+    }
+}
+
+#[test]
+fn chaos_seeded_magic_interrupt_resume_equals_run() {
+    // The magic-set demand path checkpoints through the ordinary
+    // `EvalCheckpoint` (seeds are interned as stage 0 before the first
+    // governed stage): resume must reproduce the uninterrupted seeded
+    // run's goal relation exactly.
+    use datalog_expressiveness::datalog::{BindingPattern, MagicProgram};
+    let programs = [transitive_closure(), avoiding_path()];
+    let queries: [&[u32]; 2] = [&[0, 6], &[0, 6, 3]];
+    for index in 0..8usize {
+        let program = &programs[index % 2];
+        let query = queries[index % 2];
+        let s = random_digraph(8, 0.3, 32_000 + (index % 4) as u64).to_structure();
+        let magic = MagicProgram::rewrite(program, &BindingPattern::all_bound(query.len()))
+            .expect("bench programs rewrite");
+        let compiled = magic.compile();
+        let seeds = vec![(magic.magic_goal(), magic.seed(query))];
+        let baseline = compiled
+            .try_run_seeded(&s, EvalOptions::default(), &seeds)
+            .expect("no limits configured");
+        let (label, gov) = chaos::injection(chaos_seed(), 1_000 + index, 60);
+        let run = match compiled.try_run_governed_seeded(&s, EvalOptions::default(), &gov, &seeds) {
+            Ok(done) => done,
+            Err(interrupted) => {
+                let cp_stats = interrupted.checkpoint.eval_stats();
+                assert!(
+                    stats_monotone(&cp_stats, &baseline.eval_stats),
+                    "{label}: checkpoint stats exceed the full seeded run"
+                );
+                compiled
+                    .resume(
+                        &s,
+                        EvalOptions::default(),
+                        &Governor::unlimited(),
+                        interrupted.checkpoint,
+                    )
+                    .unwrap_or_else(|e| panic!("{label}: unlimited resume interrupted: {e}"))
+            }
+        };
+        assert_results_identical(&baseline, &run, &label);
     }
 }
