@@ -4,15 +4,25 @@
 //! the current directory.
 //!
 //! `harness --smoke` skips the tables and instead runs the demand-path
-//! cross-checks ([`kv_bench::report::smoke_check`]): magic-set answers
-//! must match full saturation without extra derivations, and the lazy
-//! pebble solver must agree with the eager one. Exits nonzero on any
+//! and planner cross-checks ([`kv_bench::report::smoke_check`]): magic-set
+//! answers must match full saturation without extra derivations, the
+//! cost-based planner must be stage-identical to textual evaluation with
+//! no extra probes, and the lazy pebble solver must agree with the eager
+//! one. It also re-measures the engine counters against the committed
+//! `BENCH_datalog.json` ([`kv_bench::report::regression_check`]) and
+//! fails on >10% regressions of `join_probes` /
+//! `duplicate_derivations` in either planner mode. Exits nonzero on any
 //! violation (the CI bench-smoke gate).
 
 fn main() {
     let start = std::time::Instant::now();
     if std::env::args().any(|a| a == "--smoke") {
-        let violations = kv_bench::report::smoke_check();
+        let mut violations = kv_bench::report::smoke_check();
+        // Gate against the committed report *before* overwriting it.
+        match std::fs::read_to_string("BENCH_datalog.json") {
+            Ok(committed) => violations.extend(kv_bench::report::regression_check(&committed)),
+            Err(e) => println!("no committed BENCH_datalog.json ({e}); skipping regression gate"),
+        }
         for (path, report) in [
             ("BENCH_pebble.json", kv_bench::report::pebble_report()),
             ("BENCH_datalog.json", kv_bench::report::datalog_report()),
@@ -23,7 +33,7 @@ fn main() {
             }
         }
         if violations.is_empty() {
-            println!("bench smoke: demand paths agree with eager baselines ✓");
+            println!("bench smoke: demand and planned paths agree with baselines ✓");
             println!("total harness time: {:.2?}", start.elapsed());
             return;
         }

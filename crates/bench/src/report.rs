@@ -9,13 +9,27 @@
 //! columns: `demand_ms`/`demand_tuples`/`magic_probes` for the magic-set
 //! rewrite of each Datalog case queried at a fixed goal tuple, and
 //! `lazy_ms`/`lazy_arena_size` for the lazy, root-directed pebble solver.
+//! The Datalog report additionally carries the cost-based planner columns
+//! (`planned_ms`, `planned_join_probes`, `planned_duplicate_derivations`,
+//! `scc_count`, `probe_savings_pct`) and per-case thread-scaling rows at
+//! 1/2/4 workers for both planner modes.
+//!
+//! Every report header is stamped with the git revision and a UTC
+//! timestamp, and every case records the RNG seed of its input structure,
+//! so a committed JSON identifies its provenance exactly.
+//!
 //! [`smoke_check`] cross-validates the demand paths against the eager
-//! ones (same answers, no extra derivations) and is wired to the
-//! harness's `--smoke` flag for CI.
+//! ones (same answers, no extra derivations) and the cost-based planner
+//! against textual-order evaluation (stage-identical runs, no extra
+//! probes); [`regression_check`] compares freshly measured engine
+//! counters against a committed `BENCH_datalog.json` and flags >10%
+//! regressions. Both are wired to the harness's `--smoke` flag for CI.
 
 use crate::microbench::time_fn;
 use kv_core::datalog::programs::{avoiding_path, q_kl, transitive_closure};
-use kv_core::datalog::{BindingPattern, EvalOptions, Evaluator, MagicProgram, Program};
+use kv_core::datalog::{
+    BindingPattern, EvalOptions, Evaluator, MagicProgram, PlannerMode, Program,
+};
 use kv_core::pebble::win_iteration::solve_by_win_iteration;
 use kv_core::pebble::ExistentialGame;
 use kv_core::structures::generators::{directed_path, random_digraph};
@@ -63,6 +77,11 @@ impl Obj {
         self.0.push((k.into(), v.to_string()));
         self
     }
+    /// A pre-rendered JSON value (nested array/object), inserted verbatim.
+    fn raw(mut self, k: &str, v: String) -> Self {
+        self.0.push((k.into(), v));
+        self
+    }
     fn render(&self) -> String {
         let fields: Vec<String> = self
             .0
@@ -73,13 +92,62 @@ impl Obj {
     }
 }
 
+/// The current git revision (short hash, `-dirty` suffixed when the work
+/// tree has modifications), or `"unknown"` outside a git checkout.
+fn git_revision() -> String {
+    let out = |args: &[&str]| -> Option<String> {
+        let out = std::process::Command::new("git").args(args).output().ok()?;
+        out.status
+            .success()
+            .then(|| String::from_utf8_lossy(&out.stdout).trim().to_string())
+    };
+    match out(&["rev-parse", "--short", "HEAD"]) {
+        Some(rev) if !rev.is_empty() => {
+            let dirty = out(&["status", "--porcelain"]).is_some_and(|s| !s.is_empty());
+            if dirty {
+                format!("{rev}-dirty")
+            } else {
+                rev
+            }
+        }
+        _ => "unknown".into(),
+    }
+}
+
+/// The current time as `YYYY-MM-DDTHH:MM:SSZ`, derived from the system
+/// clock with the standard civil-from-days conversion (no date crate —
+/// the workspace builds offline with zero external dependencies).
+fn utc_timestamp() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let (days, rem) = (secs / 86_400, secs % 86_400);
+    let (hh, mm, ss) = (rem / 3_600, rem % 3_600 / 60, rem % 60);
+    // Civil-from-days (Howard Hinnant's algorithm), valid for the entire
+    // u64 range we can encounter.
+    let z = days as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}T{hh:02}:{mm:02}:{ss:02}Z")
+}
+
 fn render_report(cases: &[Obj]) -> String {
     let rows: Vec<String> = cases
         .iter()
         .map(|c| format!("    {}", c.render()))
         .collect();
     format!(
-        "{{\n  \"threads\": {},\n  \"cases\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"revision\": \"{}\",\n  \"generated_utc\": \"{}\",\n  \"threads\": {},\n  \"cases\": [\n{}\n  ]\n}}\n",
+        git_revision(),
+        utc_timestamp(),
         thread_count(),
         rows.join(",\n")
     )
@@ -89,73 +157,85 @@ fn ms(d: std::time::Duration) -> f64 {
     d.as_secs_f64() * 1e3
 }
 
-/// The pebble-report workload: `(name, A, B, k)`. The Duplicator-win
-/// cases are where the lazy solver's early termination pays — it stops as
-/// soon as a forth-closed witness family around the root is complete.
-fn pebble_instances() -> Vec<(String, Structure, Structure, usize)> {
+/// The pebble-report workload: `(name, A, B, k, seed)` — `seed` is the
+/// RNG seed of the case's input structures (`0` for the deterministic
+/// path families; random pairs use `seed` and `seed + 1`). The
+/// Duplicator-win cases are where the lazy solver's early termination
+/// pays — it stops as soon as a forth-closed witness family around the
+/// root is complete.
+fn pebble_instances() -> Vec<(String, Structure, Structure, usize, u64)> {
     vec![
         (
             "path_9_vs_8_k2".into(),
             directed_path(9),
             directed_path(8),
             2,
+            0,
         ),
         (
             "path_7_vs_6_k3".into(),
             directed_path(7),
             directed_path(6),
             3,
+            0,
         ),
         (
             "path_7_vs_9_k2".into(),
             directed_path(7),
             directed_path(9),
             2,
+            0,
         ),
         (
             "path_6_vs_8_k3".into(),
             directed_path(6),
             directed_path(8),
             3,
+            0,
         ),
         (
             "random_7_vs_7_k2".into(),
             random_digraph(7, 0.3, 42).to_structure(),
             random_digraph(7, 0.3, 43).to_structure(),
             2,
+            42,
         ),
         (
             "random_6_vs_6_k3".into(),
             random_digraph(6, 0.3, 44).to_structure(),
             random_digraph(6, 0.3, 45).to_structure(),
             3,
+            44,
         ),
     ]
 }
 
-/// The Datalog-report workload: `(name, program, input, goal tuple)`.
-/// The goal tuple is the bounded query the demand columns measure — every
-/// goal position bound, so the magic-set rewrite seeds from the full
-/// tuple.
-fn datalog_instances() -> Vec<(String, Program, Structure, Vec<Element>)> {
+/// The Datalog-report workload: `(name, program, input, goal tuple,
+/// seed)` — `seed` is the RNG seed of the case's input digraph. The goal
+/// tuple is the bounded query the demand columns measure — every goal
+/// position bound, so the magic-set rewrite seeds from the full tuple.
+fn datalog_instances() -> Vec<(String, Program, Structure, Vec<Element>, u64)> {
     vec![
         (
             "tc_n60_p0.06".into(),
             transitive_closure(),
             random_digraph(60, 0.06, 7).to_structure(),
             vec![0, 59],
+            7,
         ),
         (
             "avoiding_path_n16_p0.12".into(),
             avoiding_path(),
             random_digraph(16, 0.12, 8).to_structure(),
             vec![0, 15, 7],
+            8,
         ),
         (
             "q_2_1_n12_p0.15".into(),
             q_kl(2, 1),
             random_digraph(12, 0.15, 9).to_structure(),
             vec![0, 10, 11, 5],
+            9,
         ),
     ]
 }
@@ -165,7 +245,7 @@ fn datalog_instances() -> Vec<(String, Program, Structure, Vec<Element>)> {
 /// value iteration and the lazy demand-driven solver on the same instance.
 pub fn pebble_report() -> String {
     let mut cases = Vec::new();
-    for (name, a, b, k) in &pebble_instances() {
+    for (name, a, b, k, seed) in &pebble_instances() {
         let game = ExistentialGame::solve(a, b, *k, HomKind::OneToOne);
         let lazy_game = ExistentialGame::solve_lazy(a, b, *k, HomKind::OneToOne);
         let worklist = time_fn(2, 15, || {
@@ -188,6 +268,7 @@ pub fn pebble_report() -> String {
             Obj::new()
                 .str("name", name)
                 .num("k", k)
+                .num("seed", seed)
                 .num("threads", thread_count())
                 .num("arena_size", game.arena_size())
                 .num("arena_edges", game.arena_edge_count())
@@ -205,21 +286,39 @@ pub fn pebble_report() -> String {
     render_report(&cases)
 }
 
+/// Percent saved by `planned` relative to `textual` (0 when the textual
+/// count is zero or the planned count is no smaller).
+fn savings_pct(textual: u64, planned: u64) -> f64 {
+    if textual == 0 || planned >= textual {
+        return 0.0;
+    }
+    (textual - planned) as f64 / textual as f64 * 100.0
+}
+
 /// Datalog engine report: fixpoint size, stage count, the storage-engine
 /// counters (interned tuples, join probes, duplicate derivations), wall
-/// time with rule-variant parallelism on vs. off (both semi-naive), and
-/// the magic-set demand columns for the case's bounded goal query.
+/// time with rule-variant parallelism on vs. off (both semi-naive), the
+/// magic-set demand columns for the case's bounded goal query, the
+/// cost-based planner columns (`planned_*`, `scc_count`,
+/// `probe_savings_pct`), and thread-scaling rows at 1/2/4 workers for
+/// both planner modes.
 pub fn datalog_report() -> String {
     let mut cases = Vec::new();
-    for (name, program, s, query) in &datalog_instances() {
+    for (name, program, s, query, seed) in &datalog_instances() {
         let ev = Evaluator::new(program);
         let opts = |parallel| EvalOptions {
             parallel,
             ..EvalOptions::default()
         };
+        let planned_opts = |parallel| opts(parallel).with_planner(PlannerMode::CostBased);
         let result = ev.run(s, opts(true));
+        // Engine counters compare the two planner modes on identical
+        // sequential runs (deterministic counters, no scratch merging).
+        let textual_seq = ev.run(s, opts(false));
+        let planned_seq = ev.run(s, planned_opts(false));
         let parallel = time_fn(2, 15, || ev.run(s, opts(true)).stats.len());
         let sequential = time_fn(1, 5, || ev.run(s, opts(false)).stats.len());
+        let planned = time_fn(2, 15, || ev.run(s, planned_opts(true)).stats.len());
         let governed = time_fn(2, 15, || {
             let gov = armed_governor();
             match ev.try_run_governed(s, opts(true), &gov) {
@@ -227,6 +326,25 @@ pub fn datalog_report() -> String {
                 Err(e) => unreachable!("armed-but-ample governor interrupted: {e}"),
             }
         });
+        // Thread-scaling rows: pinned worker counts, both planner modes.
+        let scaling_rows: Vec<String> = [1usize, 2, 4]
+            .iter()
+            .map(|&t| {
+                let textual_t = time_fn(1, 5, || {
+                    ev.run(s, opts(true).with_threads(Some(t))).stats.len()
+                });
+                let planned_t = time_fn(1, 5, || {
+                    ev.run(s, planned_opts(true).with_threads(Some(t)))
+                        .stats
+                        .len()
+                });
+                Obj::new()
+                    .num("threads", t)
+                    .num("textual_ms", format!("{:.4}", ms(textual_t.median)))
+                    .num("planned_ms", format!("{:.4}", ms(planned_t.median)))
+                    .render()
+            })
+            .collect();
         let pattern = BindingPattern::new(vec![true; query.len()]);
         // The bench programs are all rewritable; a failure here is a
         // report bug worth surfacing loudly.
@@ -247,44 +365,93 @@ pub fn datalog_report() -> String {
         cases.push(
             Obj::new()
                 .str("name", name)
+                .num("seed", seed)
                 .num("threads", thread_count())
                 .num("stages", result.stage_count())
                 .num("tuples", result.idb.iter().map(|r| r.len()).sum::<usize>())
                 .num("tuples_interned", result.eval_stats.tuples_interned)
-                .num("join_probes", result.eval_stats.join_probes)
+                .num("join_probes", textual_seq.eval_stats.join_probes)
                 .num(
                     "duplicate_derivations",
-                    result.eval_stats.duplicate_derivations,
+                    textual_seq.eval_stats.duplicate_derivations,
+                )
+                .num("planned_join_probes", planned_seq.eval_stats.join_probes)
+                .num(
+                    "planned_duplicate_derivations",
+                    planned_seq.eval_stats.duplicate_derivations,
+                )
+                .num("scc_count", ev.compiled().scc_count())
+                .num(
+                    "probe_savings_pct",
+                    format!(
+                        "{:.2}",
+                        savings_pct(
+                            textual_seq.eval_stats.join_probes,
+                            planned_seq.eval_stats.join_probes,
+                        )
+                    ),
                 )
                 .num("demand_tuples", demand_result.eval_stats.tuples_interned)
                 .num("magic_probes", demand_result.eval_stats.magic_probes)
                 .num("parallel_ms", format!("{:.4}", ms(parallel.median)))
                 .num("sequential_ms", format!("{:.4}", ms(sequential.median)))
+                .num("planned_ms", format!("{:.4}", ms(planned.median)))
                 .num("demand_ms", format!("{:.4}", ms(demand.median)))
                 .num("governed_ms", format!("{:.4}", ms(governed.median)))
                 .num(
                     "governance_overhead_pct",
                     format!("{:.2}", overhead_pct(parallel.min, governed.min)),
-                ),
+                )
+                .raw("scaling", format!("[{}]", scaling_rows.join(", "))),
         );
     }
     render_report(&cases)
 }
 
-/// CI gate over the demand paths, on the exact report workloads:
+/// CI gate over the demand paths and the cost-based planner, on the exact
+/// report workloads:
 ///
 /// * every Datalog case's magic-set run must give the same answer to the
 ///   bounded goal query as full saturation, without deriving more tuples;
+/// * every Datalog case's cost-based run must be stage-identical to the
+///   textual run, reach the same fixpoint, and issue no more join probes
+///   or duplicate derivations;
 /// * every pebble case's lazy solver must name the same winner as the
 ///   eager worklist solver, with an arena no larger.
 ///
 /// Returns the list of violations (empty = pass).
 pub fn smoke_check() -> Vec<String> {
     let mut violations = Vec::new();
-    for (name, program, s, query) in &datalog_instances() {
-        let full = Evaluator::new(program).run(s, EvalOptions::default());
+    for (name, program, s, query, _seed) in &datalog_instances() {
+        let ev = Evaluator::new(program);
+        let full = ev.run(s, EvalOptions::default());
         let full_holds = full.idb[program.goal().0].contains(&query[..]);
         let full_tuples = full.eval_stats.tuples_interned;
+        // Planned ≡ textual differential (sequential: exact counters).
+        let seq = EvalOptions {
+            parallel: false,
+            ..EvalOptions::default()
+        };
+        let textual = ev.run(s, seq);
+        let planned = ev.run(s, seq.with_planner(PlannerMode::CostBased));
+        if !textual.same_stages(&planned) {
+            violations.push(format!("{name}: planned run is not stage-identical"));
+        }
+        if textual.idb != planned.idb {
+            violations.push(format!("{name}: planned fixpoint differs from textual"));
+        }
+        if planned.eval_stats.join_probes > textual.eval_stats.join_probes {
+            violations.push(format!(
+                "{name}: planned join_probes {} > textual {}",
+                planned.eval_stats.join_probes, textual.eval_stats.join_probes
+            ));
+        }
+        if planned.eval_stats.duplicate_derivations > textual.eval_stats.duplicate_derivations {
+            violations.push(format!(
+                "{name}: planned duplicate_derivations {} > textual {}",
+                planned.eval_stats.duplicate_derivations, textual.eval_stats.duplicate_derivations
+            ));
+        }
         let pattern = BindingPattern::new(vec![true; query.len()]);
         let magic = match MagicProgram::rewrite(program, &pattern) {
             Ok(m) => m,
@@ -317,7 +484,7 @@ pub fn smoke_check() -> Vec<String> {
             ));
         }
     }
-    for (name, a, b, k) in &pebble_instances() {
+    for (name, a, b, k, _seed) in &pebble_instances() {
         let eager = ExistentialGame::solve(a, b, *k, HomKind::OneToOne);
         let lazy = ExistentialGame::solve_lazy(a, b, *k, HomKind::OneToOne);
         if lazy.winner() != eager.winner() {
@@ -338,6 +505,65 @@ pub fn smoke_check() -> Vec<String> {
     violations
 }
 
+/// Extracts the numeric value of `key` inside the case object named
+/// `case` from a report rendered by this module (one flat object per
+/// line). Returns `None` when the case or key is absent — committed
+/// reports predating a column simply skip its gate.
+fn extract_case_num(report: &str, case: &str, key: &str) -> Option<f64> {
+    let line = report
+        .lines()
+        .find(|l| l.contains(&format!("\"name\": \"{case}\"")))?;
+    let tail = line.split(&format!("\"{key}\": ")).nth(1)?;
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+/// CI regression gate over the engine counters: re-measures every Datalog
+/// case and compares `join_probes` / `duplicate_derivations` (both
+/// planner modes) against the committed `BENCH_datalog.json` contents.
+/// A counter more than 10% above its committed value is a violation;
+/// counters are deterministic for fixed seeds, so anything beyond noise
+/// margin means an engine regression. Returns the violations (empty =
+/// pass); missing cases or columns in the committed report are skipped.
+pub fn regression_check(committed: &str) -> Vec<String> {
+    const TOLERANCE: f64 = 1.10;
+    let mut violations = Vec::new();
+    for (name, program, s, _query, _seed) in &datalog_instances() {
+        let ev = Evaluator::new(program);
+        let seq = EvalOptions {
+            parallel: false,
+            ..EvalOptions::default()
+        };
+        let textual = ev.run(s, seq);
+        let planned = ev.run(s, seq.with_planner(PlannerMode::CostBased));
+        let measured: [(&str, u64); 4] = [
+            ("join_probes", textual.eval_stats.join_probes),
+            (
+                "duplicate_derivations",
+                textual.eval_stats.duplicate_derivations,
+            ),
+            ("planned_join_probes", planned.eval_stats.join_probes),
+            (
+                "planned_duplicate_derivations",
+                planned.eval_stats.duplicate_derivations,
+            ),
+        ];
+        for (key, current) in measured {
+            let Some(baseline) = extract_case_num(committed, name, key) else {
+                continue;
+            };
+            if (current as f64) > baseline * TOLERANCE {
+                violations.push(format!(
+                    "{name}: {key} {current} regressed >10% over committed {baseline}"
+                ));
+            }
+        }
+    }
+    violations
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -345,7 +571,7 @@ mod tests {
     #[test]
     fn reports_are_well_formed() {
         for report in [pebble_report(), datalog_report()] {
-            assert!(report.starts_with("{\n  \"threads\":"));
+            assert!(report.starts_with("{\n  \"revision\":"));
             assert!(report.trim_end().ends_with('}'));
             assert_eq!(
                 report.matches('{').count(),
@@ -353,15 +579,59 @@ mod tests {
                 "balanced braces"
             );
             assert!(report.contains("\"cases\": ["));
+            assert!(report.contains("\"generated_utc\""));
             assert!(report.contains("\"threads\""));
+            assert!(report.contains("\"seed\""));
         }
-        assert!(datalog_report().contains("\"demand_tuples\""));
+        let datalog = datalog_report();
+        assert!(datalog.contains("\"demand_tuples\""));
+        assert!(datalog.contains("\"planned_ms\""));
+        assert!(datalog.contains("\"scc_count\""));
+        assert!(datalog.contains("\"probe_savings_pct\""));
+        assert!(datalog.contains("\"scaling\": [{\"threads\": 1,"));
         assert!(pebble_report().contains("\"lazy_arena_size\""));
+    }
+
+    #[test]
+    fn utc_timestamp_is_iso_shaped() {
+        let t = utc_timestamp();
+        assert_eq!(t.len(), 20, "{t}");
+        assert_eq!(&t[4..5], "-");
+        assert_eq!(&t[10..11], "T");
+        assert!(t.ends_with('Z'), "{t}");
     }
 
     #[test]
     fn smoke_check_passes_on_the_report_workloads() {
         let violations = smoke_check();
         assert!(violations.is_empty(), "smoke violations: {violations:?}");
+    }
+
+    #[test]
+    fn regression_check_accepts_current_counters_and_flags_inflated_ones() {
+        // A committed report that matches today's counters passes…
+        let committed = datalog_report();
+        let violations = regression_check(&committed);
+        assert!(violations.is_empty(), "regressions: {violations:?}");
+        // …and one whose counters are much smaller (as if the engine had
+        // since regressed >10% relative to it) fails.
+        let shrunk = committed
+            .lines()
+            .map(|l| {
+                if l.contains("\"name\":") {
+                    l.replace("\"join_probes\": ", "\"join_probes\": 0.")
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(
+            !regression_check(&shrunk).is_empty(),
+            "shrunken baseline must flag regressions"
+        );
+        // Reports missing the planner columns entirely (older baselines)
+        // are tolerated.
+        assert!(regression_check("{}").is_empty());
     }
 }

@@ -174,6 +174,12 @@ impl ProgramQuery {
         self.lock_cache().stats()
     }
 
+    /// Engine options for every evaluation this query issues: defaults
+    /// plus the [`kv_structures::PlannerMode`] fixed by the query plan.
+    fn eval_options(&self) -> EvalOptions {
+        EvalOptions::default().with_planner(self.plan.planner())
+    }
+
     fn lock_cache(&self) -> std::sync::MutexGuard<'_, QueryCache> {
         // A poisoned cache only means another thread panicked mid-insert;
         // the map itself is still coherent.
@@ -188,7 +194,7 @@ impl ProgramQuery {
         #[allow(clippy::expect_used)]
         let result = self
             .compiled
-            .try_run(structure, EvalOptions::default())
+            .try_run(structure, self.eval_options())
             .expect("no limits configured");
         let holds = result.idb[self.compiled.goal().0].contains(&self.goal_tuple);
         (holds, result.eval_stats)
@@ -203,7 +209,7 @@ impl ProgramQuery {
         #[allow(clippy::expect_used)]
         let result = path
             .compiled
-            .try_run_seeded(structure, EvalOptions::default(), &seeds)
+            .try_run_seeded(structure, self.eval_options(), &seeds)
             .expect("no limits configured");
         let holds = result.idb[path.magic.goal().0].contains(&self.goal_tuple);
         Some((holds, result.eval_stats))
@@ -247,14 +253,14 @@ impl BooleanQuery for ProgramQuery {
                 let seeds = [(path.magic.magic_goal(), path.magic.seed(&self.goal_tuple))];
                 let result = path
                     .compiled
-                    .try_run_governed_seeded(structure, EvalOptions::default(), gov, &seeds)
+                    .try_run_governed_seeded(structure, self.eval_options(), gov, &seeds)
                     .map_err(|e| e.reason)?;
                 result.idb[path.magic.goal().0].contains(&self.goal_tuple)
             }
             None => {
                 let result = self
                     .compiled
-                    .try_run_governed(structure, EvalOptions::default(), gov)
+                    .try_run_governed(structure, self.eval_options(), gov)
                     .map_err(|e| e.reason)?;
                 result.idb[self.compiled.goal().0].contains(&self.goal_tuple)
             }

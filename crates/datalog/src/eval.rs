@@ -44,13 +44,15 @@
 //! of the rule bodies as existential formulas over the structure.
 
 use crate::ast::{IdbId, Literal, Pred, Rule, Term, VarId};
+use crate::planner::{self, RunPlan, SccInfo};
 use crate::program::Program;
 use kv_structures::govern::{Budget, Governor, Interrupted};
 use kv_structures::par::{par_workers, thread_count};
 use kv_structures::store::{
-    EvalStats, IdRange, LimitExceeded, Limits, PosIndex, StoreView, TupleId, TupleStore,
+    tuple_hash, EvalStats, IdRange, LimitExceeded, Limits, PosIndex, StoreView, TupleBloom,
+    TupleId, TupleStore,
 };
-use kv_structures::{Element, Relation, Structure, Vocabulary};
+use kv_structures::{Element, PlannerMode, Relation, Structure, Vocabulary};
 use std::collections::HashSet;
 use std::fmt;
 use std::sync::Arc;
@@ -68,6 +70,19 @@ pub struct EvalOptions {
     /// Stage results are identical either way (differential-tested); set
     /// `RAYON_NUM_THREADS=1` or turn this off for single-threaded runs.
     pub parallel: bool,
+    /// Worker count override for parallel stages (`None` = derive from
+    /// `RAYON_NUM_THREADS`/`KV_NUM_THREADS`/the CPU count). Lets one
+    /// process measure thread scaling without re-exec'ing under different
+    /// environment variables.
+    pub threads: Option<usize>,
+    /// How rule bodies are joined. [`PlannerMode::Textual`] keeps the
+    /// written atom order and the generic probe loop (the engine's
+    /// historical behaviour — the default here, so baseline counters stay
+    /// byte-identical); [`PlannerMode::CostBased`] re-plans each body
+    /// against the structure's [`kv_structures::CardStats`] at run start
+    /// and selects specialized join kernels. Both derive the same tuple
+    /// set at every stage (differential-tested).
+    pub planner: PlannerMode,
     /// Resource budgets; exceeding one makes [`Evaluator::try_run`] return
     /// [`LimitExceeded`].
     pub limits: Limits,
@@ -79,8 +94,25 @@ impl Default for EvalOptions {
             semi_naive: true,
             max_stages: None,
             parallel: true,
+            threads: None,
+            planner: PlannerMode::Textual,
             limits: Limits::default(),
         }
+    }
+}
+
+impl EvalOptions {
+    /// The same options with the given [`PlannerMode`].
+    pub fn with_planner(mut self, planner: PlannerMode) -> Self {
+        self.planner = planner;
+        self
+    }
+
+    /// The same options with an explicit worker-thread count (parallel
+    /// runs only; `None` uses the engine-wide default).
+    pub fn with_threads(mut self, threads: Option<usize>) -> Self {
+        self.threads = threads;
+        self
     }
 }
 
@@ -171,12 +203,23 @@ pub struct EvalCheckpoint {
     stage_marks: Vec<Vec<u32>>,
     eval_stats: EvalStats,
     stage: usize,
+    /// SCCs of the predicate dependency graph that still had live deltas
+    /// at the last committed stage boundary — the components the SCC
+    /// scheduler would drive next. Diagnostic: resume recomputes liveness
+    /// from `delta_lo`, so this carries no extra authority.
+    active_sccs: Vec<u32>,
 }
 
 impl EvalCheckpoint {
     /// Number of stages committed before the interrupt.
     pub fn stage_count(&self) -> usize {
         self.stage
+    }
+
+    /// The SCC ids (stratum components) whose deltas were non-empty at the
+    /// last committed stage boundary — where the schedule would resume.
+    pub fn active_sccs(&self) -> &[u32] {
+        &self.active_sccs
     }
 
     /// Total tuples interned across all IDB stores so far.
@@ -235,7 +278,7 @@ impl std::error::Error for EvalInterrupted {}
 
 /// Access mode for an IDB atom inside a semi-naive rule variant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum IdbAccess {
+pub(crate) enum IdbAccess {
     /// The relation as of the *previous* stage.
     Old,
     /// Only the tuples discovered in the previous stage.
@@ -244,38 +287,91 @@ enum IdbAccess {
     Full,
 }
 
-/// A body atom with its access mode resolved.
+/// The join strategy selected for one body atom, fixed before the join
+/// loop runs. Which variables are bound when the join reaches an atom is
+/// fully determined by the atom order, so the kernel is a static property
+/// of the (possibly re-planned) rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum JoinKernel {
+    /// No argument is bound on entry: iterate the whole accessible range.
+    Scan,
+    /// One bound argument position is probed through a [`PosIndex`];
+    /// remaining arguments are filtered per candidate.
+    Probe {
+        /// The indexed argument position.
+        pos: usize,
+    },
+    /// Two bound argument positions: intersect the two sorted posting
+    /// lists, visiting only ids that match both.
+    MergedProbe {
+        /// First indexed position.
+        pos_a: usize,
+        /// Second indexed position.
+        pos_b: usize,
+    },
+    /// Every argument is bound on entry: the atom degenerates to a single
+    /// interner lookup plus a range-containment test.
+    Check,
+}
+
+impl JoinKernel {
+    /// The index positions this kernel probes (what the index plan must
+    /// provide).
+    pub(crate) fn index_positions(&self) -> impl Iterator<Item = usize> {
+        let pair: [Option<usize>; 2] = match *self {
+            JoinKernel::Scan | JoinKernel::Check => [None, None],
+            JoinKernel::Probe { pos } => [Some(pos), None],
+            JoinKernel::MergedProbe { pos_a, pos_b } => [Some(pos_a), Some(pos_b)],
+        };
+        pair.into_iter().flatten()
+    }
+}
+
+/// A body atom with its access mode and join kernel resolved.
 #[derive(Debug, Clone)]
-struct JoinAtom {
-    pred: Pred,
-    access: IdbAccess,
-    args: Vec<Term>,
-    /// The position to probe an index on, decided at compile time: the
-    /// first argument that is a constant or a variable bound by an earlier
-    /// atom. `None` means a full scan (no argument is bound on entry).
-    index_pos: Option<usize>,
+pub(crate) struct JoinAtom {
+    pub(crate) pred: Pred,
+    pub(crate) access: IdbAccess,
+    pub(crate) args: Vec<Term>,
+    /// The join strategy, decided at compile (or plan) time from which
+    /// arguments are bound when the join reaches this atom.
+    pub(crate) kernel: JoinKernel,
     /// Whether this atom is a magic (demand) predicate; its probes are
     /// attributed to [`EvalStats::magic_probes`] instead of
     /// [`EvalStats::join_probes`].
-    is_magic: bool,
+    pub(crate) is_magic: bool,
 }
 
 /// A rule pre-processed for joining: equalities eliminated by variable
 /// unification, atoms ordered, constraints collected.
 #[derive(Debug, Clone)]
-struct CompiledRule {
-    head: IdbId,
-    head_args: Vec<Term>,
-    atoms: Vec<JoinAtom>,
+pub(crate) struct CompiledRule {
+    pub(crate) head: IdbId,
+    pub(crate) head_args: Vec<Term>,
+    pub(crate) atoms: Vec<JoinAtom>,
     /// Inequality constraints on canonical terms.
-    neqs: Vec<(Term, Term)>,
+    pub(crate) neqs: Vec<(Term, Term)>,
     /// Equality constraints between constants (structure-dependent checks).
-    const_eqs: Vec<(Term, Term)>,
+    pub(crate) const_eqs: Vec<(Term, Term)>,
     /// Number of canonical variables.
-    var_count: usize,
+    pub(crate) var_count: usize,
     /// Canonical variables that occur in no atom and must be enumerated
     /// over the universe (because the head or an inequality needs them).
-    free_vars: Vec<VarId>,
+    pub(crate) free_vars: Vec<VarId>,
+    /// ≠-constraints hoisted to their earliest fully-bound point:
+    /// `neq_at[0]` holds indices into [`neqs`](Self::neqs) checkable at
+    /// rule entry (both sides constant), `neq_at[j + 1]` those whose last
+    /// variable is bound by atom `j`, and `neq_at[atoms.len() + 1 + i]`
+    /// those completed by free variable `i`. Each constraint is checked
+    /// exactly once per branch, at the same pruning point the old
+    /// re-scan-everything loop first rejected it.
+    pub(crate) neq_at: Vec<Vec<usize>>,
+    /// Cost-based early exit: once the join has bound all head arguments
+    /// (after this many atoms), a branch whose head tuple already exists
+    /// can stop — the remaining atoms only re-verify a derivation that
+    /// changes nothing. `None` disables the check (textual mode, or the
+    /// head needs free variables).
+    pub(crate) head_check_at: Option<usize>,
 }
 
 /// Union-find based equality elimination. Returns a substitution mapping
@@ -337,6 +433,64 @@ fn apply_subst(t: &Term, subst: &[Term]) -> Term {
     }
 }
 
+/// Assigns the textual-mode kernel to every atom: probe the first argument
+/// position that is a constant or a variable bound by an earlier atom, scan
+/// otherwise. This reproduces the engine's historical static index choice
+/// exactly, so textual-mode probe counters stay byte-identical.
+pub(crate) fn assign_textual_kernels(atoms: &mut [JoinAtom]) {
+    let mut bound: HashSet<VarId> = HashSet::new();
+    for a in atoms {
+        let first = a.args.iter().position(|t| match t {
+            Term::Const(_) => true,
+            Term::Var(v) => bound.contains(v),
+        });
+        a.kernel = match first {
+            Some(pos) => JoinKernel::Probe { pos },
+            None => JoinKernel::Scan,
+        };
+        for t in &a.args {
+            if let Term::Var(v) = t {
+                bound.insert(*v);
+            }
+        }
+    }
+}
+
+/// Hoists each ≠-constraint to the earliest point of the join at which both
+/// sides are bound (see [`CompiledRule::neq_at`]). A variable is first
+/// bound by the first atom mentioning it (in the chosen order), or by its
+/// slot in the free-variable odometer.
+pub(crate) fn schedule_neqs(
+    atoms: &[JoinAtom],
+    free_vars: &[VarId],
+    neqs: &[(Term, Term)],
+) -> Vec<Vec<usize>> {
+    let slots = atoms.len() + free_vars.len() + 1;
+    let mut neq_at = vec![Vec::new(); slots];
+    let slot_of = |t: &Term| -> usize {
+        match t {
+            Term::Const(_) => 0,
+            Term::Var(v) => atoms
+                .iter()
+                .position(|a| a.args.contains(&Term::Var(*v)))
+                .map(|j| j + 1)
+                .or_else(|| {
+                    free_vars
+                        .iter()
+                        .position(|f| f == v)
+                        .map(|i| atoms.len() + 1 + i)
+                })
+                // A variable in no atom and no free slot can only pass
+                // vacuously; park the check at the last slot.
+                .unwrap_or(slots - 1),
+        }
+    };
+    for (ni, (a, b)) in neqs.iter().enumerate() {
+        neq_at[slot_of(a).max(slot_of(b))].push(ni);
+    }
+    neq_at
+}
+
 fn compile_rule(rule: &Rule, delta_at: Option<usize>, magic: &[bool]) -> CompiledRule {
     let (subst, const_eqs) = unify_rule(rule);
     let head_args: Vec<Term> = rule
@@ -367,7 +521,7 @@ fn compile_rule(rule: &Rule, delta_at: Option<usize>, magic: &[bool]) -> Compile
                     pred: *pred,
                     access,
                     args: args.iter().map(|t| apply_subst(t, &subst)).collect(),
-                    index_pos: None,
+                    kernel: JoinKernel::Scan,
                     is_magic: matches!(pred, Pred::Idb(i) if magic[i.0]),
                 });
             }
@@ -382,21 +536,9 @@ fn compile_rule(rule: &Rule, delta_at: Option<usize>, magic: &[bool]) -> Compile
         let delta = atoms.remove(pos);
         atoms.insert(0, delta);
     }
-    // Static index selection: which variables are bound when the join
-    // reaches each atom is fully determined by the atom order, so the
-    // probe position can be picked here instead of per candidate tuple.
-    let mut bound: HashSet<VarId> = HashSet::new();
-    for a in &mut atoms {
-        a.index_pos = a.args.iter().position(|t| match t {
-            Term::Const(_) => true,
-            Term::Var(v) => bound.contains(v),
-        });
-        for t in &a.args {
-            if let Term::Var(v) = t {
-                bound.insert(*v);
-            }
-        }
-    }
+    // Static kernel selection for textual mode (which variables are bound
+    // at each atom is fully determined by the atom order).
+    assign_textual_kernels(&mut atoms);
     // Variables occurring in atoms.
     let mut in_atoms: HashSet<VarId> = HashSet::new();
     for a in &atoms {
@@ -423,6 +565,7 @@ fn compile_rule(rule: &Rule, delta_at: Option<usize>, magic: &[bool]) -> Compile
         need(a, &mut free_vars);
         need(b, &mut free_vars);
     }
+    let neq_at = schedule_neqs(&atoms, &free_vars, &neqs);
     CompiledRule {
         head: rule.head,
         head_args,
@@ -431,7 +574,39 @@ fn compile_rule(rule: &Rule, delta_at: Option<usize>, magic: &[bool]) -> Compile
         const_eqs,
         var_count: rule.var_count(),
         free_vars,
+        neq_at,
+        head_check_at: None,
     }
+}
+
+/// Gathers the index plan — which positions of which relations the given
+/// rules' kernels will ever probe — as sorted, deduplicated position lists.
+pub(crate) fn index_plan<'r>(
+    rules: impl Iterator<Item = &'r CompiledRule>,
+    edb_count: usize,
+    idb_count: usize,
+) -> (Vec<Vec<usize>>, Vec<Vec<usize>>) {
+    let mut edb_pos: Vec<HashSet<usize>> = vec![HashSet::new(); edb_count];
+    let mut idb_pos: Vec<HashSet<usize>> = vec![HashSet::new(); idb_count];
+    for rule in rules {
+        for atom in &rule.atoms {
+            for pos in atom.kernel.index_positions() {
+                match atom.pred {
+                    Pred::Edb(r) => edb_pos[r.0].insert(pos),
+                    Pred::Idb(i) => idb_pos[i.0].insert(pos),
+                };
+            }
+        }
+    }
+    let sorted = |set: HashSet<usize>| {
+        let mut v: Vec<usize> = set.into_iter().collect();
+        v.sort_unstable();
+        v
+    };
+    (
+        edb_pos.into_iter().map(sorted).collect(),
+        idb_pos.into_iter().map(sorted).collect(),
+    )
 }
 
 /// A program compiled for evaluation: rule variants with static index
@@ -441,16 +616,21 @@ fn compile_rule(rule: &Rule, delta_at: Option<usize>, magic: &[bool]) -> Compile
 /// what `kv-core`'s `ProgramQuery` relies on.
 #[derive(Debug, Clone)]
 pub struct CompiledProgram {
-    vocabulary: Arc<Vocabulary>,
-    goal: IdbId,
-    idb_arities: Vec<usize>,
-    naive_rules: Vec<CompiledRule>,
-    semi_variants: Vec<CompiledRule>,
+    pub(crate) vocabulary: Arc<Vocabulary>,
+    pub(crate) goal: IdbId,
+    pub(crate) idb_arities: Vec<usize>,
+    /// IDB display names, kept for `explain()` renderings.
+    pub(crate) idb_names: Vec<String>,
+    pub(crate) naive_rules: Vec<CompiledRule>,
+    pub(crate) semi_variants: Vec<CompiledRule>,
     /// Index positions needed per EDB relation (sorted, deduplicated).
-    edb_positions: Vec<Vec<usize>>,
+    pub(crate) edb_positions: Vec<Vec<usize>>,
     /// Index positions needed per IDB predicate. One index per position
     /// serves all three access modes (full / old / delta) via id ranges.
-    idb_positions: Vec<Vec<usize>>,
+    pub(crate) idb_positions: Vec<Vec<usize>>,
+    /// The predicate dependency graph's strongly connected components and
+    /// their topological stratum order (see [`crate::planner`]).
+    pub(crate) scc: SccInfo,
 }
 
 impl CompiledProgram {
@@ -492,39 +672,41 @@ impl CompiledProgram {
         }
         let edb_count = program.vocabulary().relations().count();
         let idb_count = program.idb_count();
-        let mut edb_pos: Vec<HashSet<usize>> = vec![HashSet::new(); edb_count];
-        let mut idb_pos: Vec<HashSet<usize>> = vec![HashSet::new(); idb_count];
-        for rule in naive_rules.iter().chain(&semi_variants) {
-            for atom in &rule.atoms {
-                if let Some(pos) = atom.index_pos {
-                    match atom.pred {
-                        Pred::Edb(r) => edb_pos[r.0].insert(pos),
-                        Pred::Idb(i) => idb_pos[i.0].insert(pos),
-                    };
-                }
-            }
-        }
-        let sorted = |set: HashSet<usize>| {
-            let mut v: Vec<usize> = set.into_iter().collect();
-            v.sort_unstable();
-            v
-        };
+        let (edb_positions, idb_positions) = index_plan(
+            naive_rules.iter().chain(&semi_variants),
+            edb_count,
+            idb_count,
+        );
         CompiledProgram {
             vocabulary: Arc::clone(program.vocabulary()),
             goal: program.goal(),
             idb_arities: (0..idb_count)
                 .map(|i| program.idb_arity(IdbId(i)))
                 .collect(),
+            idb_names: (0..idb_count)
+                .map(|i| program.idb_name(IdbId(i)).to_string())
+                .collect(),
             naive_rules,
             semi_variants,
-            edb_positions: edb_pos.into_iter().map(sorted).collect(),
-            idb_positions: idb_pos.into_iter().map(sorted).collect(),
+            edb_positions,
+            idb_positions,
+            scc: SccInfo::of_program(program),
         }
     }
 
     /// The goal predicate.
     pub fn goal(&self) -> IdbId {
         self.goal
+    }
+
+    /// The SCC decomposition of the predicate dependency graph.
+    pub fn scc_info(&self) -> &SccInfo {
+        &self.scc
+    }
+
+    /// Number of strongly connected components among the IDB predicates.
+    pub fn scc_count(&self) -> usize {
+        self.scc.count()
     }
 
     /// Evaluates on `structure`, honoring the budgets in
@@ -576,6 +758,7 @@ impl CompiledProgram {
             stage_marks: Vec::new(),
             eval_stats: EvalStats::default(),
             stage: 0,
+            active_sccs: Vec::new(),
         };
         self.run_from(structure, options, gov, checkpoint)
     }
@@ -647,6 +830,7 @@ impl CompiledProgram {
             stage_marks: Vec::new(),
             eval_stats: EvalStats::default(),
             stage: 0,
+            active_sccs: Vec::new(),
         };
         self.run_from(structure, options, gov, checkpoint)
     }
@@ -689,6 +873,29 @@ impl CompiledProgram {
         let idb_count = self.idb_arities.len();
         let universe = structure.universe_size();
 
+        // Cost-based mode re-plans every rule body against this structure's
+        // cardinality statistics; textual mode evaluates the compiled rules
+        // as written. The plan is a pure function of (program, structure,
+        // mode), so interrupted runs re-derive it identically on resume.
+        let planned: Option<RunPlan> = match options.planner {
+            PlannerMode::Textual => None,
+            PlannerMode::CostBased => Some(planner::plan_program(self, structure)),
+        };
+        let (naive_rules, semi_variants, edb_positions, idb_positions) = match &planned {
+            None => (
+                &self.naive_rules,
+                &self.semi_variants,
+                &self.edb_positions,
+                &self.idb_positions,
+            ),
+            Some(p) => (
+                &p.naive_rules,
+                &p.semi_variants,
+                &p.edb_positions,
+                &p.idb_positions,
+            ),
+        };
+
         // EDB stores are the structure's own relation stores (zero-copy);
         // their indexes are built once, up front.
         let edb_stores: Vec<&TupleStore> = self
@@ -698,7 +905,7 @@ impl CompiledProgram {
             .collect();
         let edb_idx: Vec<Vec<PosIndex>> = edb_stores
             .iter()
-            .zip(&self.edb_positions)
+            .zip(edb_positions)
             .map(|(store, positions)| {
                 positions
                     .iter()
@@ -721,9 +928,9 @@ impl CompiledProgram {
             mut stage_marks,
             mut eval_stats,
             mut stage,
+            active_sccs: _,
         } = cp;
-        let mut idb_idx: Vec<Vec<PosIndex>> = self
-            .idb_positions
+        let mut idb_idx: Vec<Vec<PosIndex>> = idb_positions
             .iter()
             .zip(&idb_stores)
             .map(|(positions, store)| {
@@ -738,9 +945,26 @@ impl CompiledProgram {
             })
             .collect();
 
+        // Cost-based runs keep a Bloom pre-filter over each IDB's
+        // committed tuples: a negative answer skips the interner lookup on
+        // the hot early-exit and emit paths. Rebuilt deterministically from
+        // the committed prefix, extended after each stage commit.
+        let mut blooms: Option<Vec<TupleBloom>> = planned.as_ref().map(|_| {
+            idb_stores
+                .iter()
+                .map(|store| {
+                    let mut bloom = TupleBloom::with_capacity(store.len().max(64) * 2);
+                    for t in store.iter() {
+                        bloom.insert(tuple_hash(t));
+                    }
+                    bloom
+                })
+                .collect()
+        });
+
         // Packages the committed state back up on interrupt.
         macro_rules! interrupt {
-            ($reason:expr, $stores:expr, $delta:expr, $stats:expr, $marks:expr, $estats:expr, $stage:expr) => {{
+            ($reason:expr, $stores:expr, $delta:expr, $stats:expr, $marks:expr, $estats:expr, $stage:expr, $active:expr) => {{
                 let mut eval_stats = $estats;
                 eval_stats.stages = $stats.len() as u64;
                 return Err(EvalInterrupted {
@@ -752,6 +976,7 @@ impl CompiledProgram {
                         stage_marks: $marks,
                         eval_stats,
                         stage: $stage,
+                        active_sccs: $active,
                     },
                 });
             }};
@@ -759,6 +984,10 @@ impl CompiledProgram {
 
         let mut converged = false;
         loop {
+            // The SCC stratum schedule's live set at this boundary: the
+            // components whose predicates still carry a non-empty delta
+            // (or, entering stage 1, any committed tuples — seeds).
+            let active_sccs: Vec<u32> = self.scc.active_components(&delta_lo, &idb_stores);
             if let Some(max) = options.max_stages {
                 if stage >= max {
                     break;
@@ -774,26 +1003,42 @@ impl CompiledProgram {
                     stats,
                     stage_marks,
                     eval_stats,
-                    stage
+                    stage,
+                    active_sccs
                 );
             }
             stage += 1;
             let prev_len: Vec<u32> = idb_stores.iter().map(|s| s.len() as u32).collect();
             let rules_this_stage: &[CompiledRule] = if stage == 1 || !options.semi_naive {
-                &self.naive_rules
+                naive_rules
             } else {
-                &self.semi_variants
+                semi_variants
             };
-            // Rule variants whose delta seed is non-empty (the rest derive
-            // nothing this stage).
+            // Textual mode: keep only variants whose delta seed is
+            // non-empty (the rest derive nothing this stage). Cost-based
+            // mode sharpens this with the full range check: a rule with
+            // *any* empty IDB source derives nothing either, so whole rule
+            // groups of not-yet-populated (or already-converged) SCCs are
+            // skipped before a single probe is issued — the stratum
+            // schedule's work-avoidance, with stage semantics intact.
             let live_rules: Vec<&CompiledRule> = rules_this_stage
                 .iter()
-                .filter(|rule| match rule.atoms.first() {
-                    Some(first) if first.access == IdbAccess::Delta => match first.pred {
-                        Pred::Idb(i) => delta_lo[i.0] < prev_len[i.0],
-                        Pred::Edb(_) => true,
+                .filter(|rule| match options.planner {
+                    PlannerMode::Textual => match rule.atoms.first() {
+                        Some(first) if first.access == IdbAccess::Delta => match first.pred {
+                            Pred::Idb(i) => delta_lo[i.0] < prev_len[i.0],
+                            Pred::Edb(_) => true,
+                        },
+                        _ => true,
                     },
-                    _ => true,
+                    PlannerMode::CostBased => rule.atoms.iter().all(|atom| match atom.pred {
+                        Pred::Edb(_) => true,
+                        Pred::Idb(i) => match atom.access {
+                            IdbAccess::Delta => delta_lo[i.0] < prev_len[i.0],
+                            IdbAccess::Old => delta_lo[i.0] > 0,
+                            IdbAccess::Full => prev_len[i.0] > 0,
+                        },
+                    }),
                 })
                 .collect();
 
@@ -808,12 +1053,17 @@ impl CompiledProgram {
                 edb_idx: &edb_idx,
                 idb: &idb_stores,
                 idb_idx: &idb_idx,
+                blooms: blooms.as_deref(),
                 prev_len: &prev_len,
                 delta_lo: &delta_lo,
                 gov,
             };
             let workers = if options.parallel {
-                thread_count().min(live_rules.len()).max(1)
+                options
+                    .threads
+                    .unwrap_or_else(thread_count)
+                    .min(live_rules.len())
+                    .max(1)
             } else {
                 1
             };
@@ -847,7 +1097,8 @@ impl CompiledProgram {
                     stats,
                     stage_marks,
                     eval_stats,
-                    stage
+                    stage,
+                    active_sccs
                 );
             }
 
@@ -885,6 +1136,23 @@ impl CompiledProgram {
                         ix.update(store);
                     }
                 }
+                // Extend the Bloom pre-filters over the committed delta,
+                // rebuilding any filter that grew past its useful load.
+                if let Some(blooms) = blooms.as_mut() {
+                    for (i, store) in idb_stores.iter().enumerate() {
+                        if blooms[i].should_grow() {
+                            let mut grown = TupleBloom::with_capacity(store.len() * 2);
+                            for t in store.iter() {
+                                grown.insert(tuple_hash(t));
+                            }
+                            blooms[i] = grown;
+                        } else {
+                            for id in delta_lo[i]..store.len() as u32 {
+                                blooms[i].insert(tuple_hash(store.get(TupleId(id))));
+                            }
+                        }
+                    }
+                }
                 // Tuple/byte budgets are charged after the stage commits,
                 // so the checkpoint includes it and resume continues from
                 // the next stage.
@@ -898,6 +1166,7 @@ impl CompiledProgram {
                     .charge_tuples(new_total)
                     .and_then(|()| gov.charge_bytes(new_bytes))
                 {
+                    let active = self.scc.active_components(&delta_lo, &idb_stores);
                     interrupt!(
                         reason,
                         idb_stores,
@@ -905,7 +1174,8 @@ impl CompiledProgram {
                         stats,
                         stage_marks,
                         eval_stats,
-                        stage
+                        stage,
+                        active
                     );
                 }
             } else {
@@ -1017,6 +1287,10 @@ struct JoinCtx<'a> {
     edb_idx: &'a [Vec<PosIndex>],
     idb: &'a [TupleStore],
     idb_idx: &'a [Vec<PosIndex>],
+    /// Bloom pre-filters over each IDB's committed tuples (cost-based runs
+    /// only): a negative membership answer is definitive and skips the
+    /// interner lookup.
+    blooms: Option<&'a [TupleBloom]>,
     /// Store length of each IDB at stage start (`full` view bound).
     prev_len: &'a [u32],
     /// Store length of each IDB before the previous stage committed
@@ -1028,13 +1302,13 @@ struct JoinCtx<'a> {
 }
 
 impl<'a> JoinCtx<'a> {
-    /// Resolves an atom to its backing store, optional index, and id range.
-    fn source(&self, atom: &JoinAtom) -> (&'a TupleStore, Option<&'a PosIndex>, IdRange) {
+    /// Resolves an atom to its backing store, available indexes, and id
+    /// range.
+    fn source(&self, atom: &JoinAtom) -> (&'a TupleStore, &'a [PosIndex], IdRange) {
         match atom.pred {
             Pred::Edb(r) => {
                 let store = self.edb[r.0];
-                let ix = atom.index_pos.map(|p| find_index(&self.edb_idx[r.0], p));
-                (store, ix, store.id_range())
+                (store, &self.edb_idx[r.0], store.id_range())
             }
             Pred::Idb(i) => {
                 let store = &self.idb[i.0];
@@ -1052,10 +1326,20 @@ impl<'a> JoinCtx<'a> {
                         end: self.prev_len[i.0],
                     },
                 };
-                let ix = atom.index_pos.map(|p| find_index(&self.idb_idx[i.0], p));
-                (store, ix, range)
+                (store, &self.idb_idx[i.0], range)
             }
         }
+    }
+
+    /// Whether `tuple` is already committed in IDB `head`'s shared store,
+    /// going through the Bloom pre-filter when one is maintained.
+    fn committed(&self, head: usize, tuple: &[Element]) -> bool {
+        if let Some(blooms) = self.blooms {
+            if !blooms[head].maybe_contains(tuple_hash(tuple)) {
+                return false;
+            }
+        }
+        self.idb[head].lookup(tuple).is_some()
     }
 }
 
@@ -1076,6 +1360,8 @@ fn find_index(indexes: &[PosIndex], p: usize) -> &PosIndex {
 struct WorkerBuf {
     scratch: Vec<TupleStore>,
     head_buf: Vec<Element>,
+    /// Reusable tuple buffer for [`JoinKernel::Check`] lookups.
+    check_buf: Vec<Element>,
     probes: u64,
     magic_probes: u64,
     dups: u64,
@@ -1095,6 +1381,7 @@ impl WorkerBuf {
         Self {
             scratch: idb_arities.iter().map(|&a| TupleStore::new(a)).collect(),
             head_buf: Vec::new(),
+            check_buf: Vec::new(),
             probes: 0,
             magic_probes: 0,
             dups: 0,
@@ -1128,6 +1415,10 @@ fn evaluate_rule(
         buf,
         binding: vec![None; rule.var_count],
     };
+    // Entry-slot ≠-checks: both sides already bound (constants).
+    if !join.neqs_ok_at(0) {
+        return Ok(());
+    }
     join.join(0)
 }
 
@@ -1161,9 +1452,12 @@ impl<'a, 'b> RuleJoin<'a, 'b> {
         Ok(())
     }
 
-    /// Any fully bound inequality that fails kills the branch.
-    fn neqs_ok(&self) -> bool {
-        for (a, b) in &self.rule.neqs {
+    /// Checks the ≠-constraints hoisted to `slot` (see
+    /// [`CompiledRule::neq_at`]); a failing constraint kills the branch.
+    /// Both sides are bound at their scheduled slot by construction.
+    fn neqs_ok_at(&self, slot: usize) -> bool {
+        for &ni in &self.rule.neq_at[slot] {
+            let (a, b) = &self.rule.neqs[ni];
             if let (Some(x), Some(y)) = (self.term_value(a), self.term_value(b)) {
                 if x == y {
                     return false;
@@ -1173,52 +1467,114 @@ impl<'a, 'b> RuleJoin<'a, 'b> {
         true
     }
 
+    /// Counts one kernel invocation against the right probe counter and
+    /// charges the governor.
+    #[inline]
+    fn count_probe(&mut self, is_magic: bool) -> Result<(), Interrupted> {
+        if is_magic {
+            self.buf.magic_probes += 1;
+        } else {
+            self.buf.probes += 1;
+        }
+        self.charge()
+    }
+
+    /// Whether the (fully bound) head tuple of the current branch has
+    /// already been derived — committed in the shared store or interned in
+    /// this worker's scratch arena. Only meaningful at
+    /// [`CompiledRule::head_check_at`], where the planner guarantees every
+    /// head argument is bound.
+    fn head_already_derived(&mut self) -> bool {
+        let rule = self.rule;
+        let ctx = self.ctx;
+        self.buf.head_buf.clear();
+        for t in &rule.head_args {
+            match self.term_value(t) {
+                Some(v) => self.buf.head_buf.push(v),
+                None => return false,
+            }
+        }
+        let head = rule.head.0;
+        self.buf.scratch[head].contains(&self.buf.head_buf)
+            || ctx.committed(head, &self.buf.head_buf)
+    }
+
     /// Recursion over atoms, then free-variable enumeration, then emit.
     fn join(&mut self, atom_pos: usize) -> Result<(), Interrupted> {
-        if !self.neqs_ok() {
+        let rule = self.rule;
+        // Cost-based early exit: all head arguments are bound from here
+        // on, so a branch whose head tuple is already derived can stop —
+        // the remaining atoms would only re-verify a derivation that adds
+        // nothing to the stage.
+        if rule.head_check_at == Some(atom_pos) && self.head_already_derived() {
             return Ok(());
         }
-        let rule = self.rule;
         if atom_pos == rule.atoms.len() {
             return self.enumerate_free(0);
         }
         let ctx = self.ctx;
         let atom = &rule.atoms[atom_pos];
-        let (store, index, range) = ctx.source(atom);
-        match index {
-            Some(ix) => {
-                // The indexed argument is a constant or a variable bound
-                // by an earlier atom — always resolvable here.
-                #[allow(clippy::expect_used)]
-                let e = self
-                    .term_value(&atom.args[ix.pos()])
-                    .expect("statically bound");
-                if atom.is_magic {
-                    self.buf.magic_probes += 1;
-                } else {
-                    self.buf.probes += 1;
+        let (store, indexes, range) = ctx.source(atom);
+        // Arguments chosen by a probing kernel are constants or variables
+        // bound by earlier atoms — always resolvable here.
+        #[allow(clippy::expect_used)]
+        let arg_value =
+            |join: &Self, pos: usize| join.term_value(&atom.args[pos]).expect("statically bound");
+        self.count_probe(atom.is_magic)?;
+        match atom.kernel {
+            JoinKernel::Scan => {
+                for id in range.iter() {
+                    self.try_tuple(atom_pos, store.get(id))?;
                 }
-                self.charge()?;
+            }
+            JoinKernel::Probe { pos } => {
+                let e = arg_value(self, pos);
+                let ix = find_index(indexes, pos);
                 for &id in ix.probe(e, range) {
                     self.try_tuple(atom_pos, store.get(TupleId(id)))?;
                 }
             }
-            None => {
-                if atom.is_magic {
-                    self.buf.magic_probes += 1;
-                } else {
-                    self.buf.probes += 1;
+            JoinKernel::MergedProbe { pos_a, pos_b } => {
+                let (ea, eb) = (arg_value(self, pos_a), arg_value(self, pos_b));
+                let la = find_index(indexes, pos_a).probe(ea, range);
+                let lb = find_index(indexes, pos_b).probe(eb, range);
+                // Both posting lists are id-sorted: linear merge visits
+                // only ids matching both positions.
+                let (mut i, mut j) = (0usize, 0usize);
+                while i < la.len() && j < lb.len() {
+                    match la[i].cmp(&lb[j]) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            self.try_tuple(atom_pos, store.get(TupleId(la[i])))?;
+                            i += 1;
+                            j += 1;
+                        }
+                    }
                 }
-                self.charge()?;
-                for id in range.iter() {
-                    self.try_tuple(atom_pos, store.get(id))?;
+            }
+            JoinKernel::Check => {
+                // Every argument is bound: one interner lookup decides the
+                // atom, with the range test restricting to the accessible
+                // prefix (old/delta/full).
+                self.buf.check_buf.clear();
+                for pos in 0..atom.args.len() {
+                    let e = arg_value(self, pos);
+                    self.buf.check_buf.push(e);
+                }
+                let hit =
+                    matches!(store.lookup(&self.buf.check_buf), Some(id) if range.contains(id));
+                if hit {
+                    // No new bindings: recurse directly.
+                    self.join(atom_pos + 1)?;
                 }
             }
         }
         Ok(())
     }
 
-    /// Per-candidate matching: extend the binding, recurse, restore.
+    /// Per-candidate matching: extend the binding, apply the ≠-checks
+    /// scheduled after this atom, recurse, restore.
     fn try_tuple(&mut self, atom_pos: usize, tuple: &[Element]) -> Result<(), Interrupted> {
         let atom = &self.rule.atoms[atom_pos];
         let mut newly_bound: Vec<VarId> = Vec::new();
@@ -1241,7 +1597,11 @@ impl<'a, 'b> RuleJoin<'a, 'b> {
                 return Ok(());
             }
         }
-        let r = self.join(atom_pos + 1);
+        let r = if self.neqs_ok_at(atom_pos + 1) {
+            self.join(atom_pos + 1)
+        } else {
+            Ok(())
+        };
         for v in newly_bound.drain(..) {
             self.binding[v.0] = None;
         }
@@ -1251,19 +1611,19 @@ impl<'a, 'b> RuleJoin<'a, 'b> {
     /// Enumerates universe values for variables bound by no atom, then
     /// emits the head tuple.
     fn enumerate_free(&mut self, free_pos: usize) -> Result<(), Interrupted> {
-        if !self.neqs_ok() {
-            return Ok(());
-        }
         let rule = self.rule;
         if free_pos == rule.free_vars.len() {
             self.emit();
             return Ok(());
         }
         let v = rule.free_vars[free_pos];
+        let slot = rule.atoms.len() + 1 + free_pos;
         for e in 0..self.ctx.universe as Element {
             self.charge()?;
             self.binding[v.0] = Some(e);
-            self.enumerate_free(free_pos + 1)?;
+            if self.neqs_ok_at(slot) {
+                self.enumerate_free(free_pos + 1)?;
+            }
         }
         self.binding[v.0] = None;
         Ok(())
@@ -1286,7 +1646,7 @@ impl<'a, 'b> RuleJoin<'a, 'b> {
             self.buf.head_buf.push(v);
         }
         let head = rule.head.0;
-        let fresh = ctx.idb[head].lookup(&self.buf.head_buf).is_none()
+        let fresh = !ctx.committed(head, &self.buf.head_buf)
             && self.buf.scratch[head].intern(&self.buf.head_buf).1;
         if !fresh {
             self.buf.dups += 1;

@@ -40,6 +40,7 @@ pub mod eval;
 pub mod magic;
 pub mod monotone;
 pub mod parser;
+pub mod planner;
 pub mod program;
 pub mod programs;
 
@@ -50,7 +51,9 @@ pub use eval::{
 };
 pub use kv_structures::{
     Budget, CancelToken, Deadline, EvalStats, Governor, Interrupted, LimitExceeded, Limits,
+    PlannerMode,
 };
 pub use magic::{BindingPattern, MagicProgram};
 pub use parser::{parse_program, parse_program_strict, ParseError};
+pub use planner::SccInfo;
 pub use program::{Program, ProgramError};

@@ -567,6 +567,38 @@ mod tests {
     }
 
     #[test]
+    fn seeded_run_composes_with_cost_based_planner() {
+        use kv_structures::PlannerMode;
+        // The planner reorders atoms of the *adorned* program (magic
+        // rewriting first, planning second); every stage must still match
+        // the textual order, for every binding pattern of the goal.
+        let tc = programs::transitive_closure();
+        let s = random_digraph(12, 0.18, 29).to_structure();
+        for pattern in ["bb", "bf", "fb", "ff"] {
+            let pattern = BindingPattern::parse(pattern).unwrap();
+            let magic = MagicProgram::rewrite(&tc, &pattern).unwrap();
+            let compiled = magic.compile();
+            let seeds = vec![(magic.magic_goal(), magic.seed(&[0, 11]))];
+            let textual = compiled
+                .try_run_seeded(&s, EvalOptions::default(), &seeds)
+                .unwrap();
+            let planned = compiled
+                .try_run_seeded(
+                    &s,
+                    EvalOptions::default().with_planner(PlannerMode::CostBased),
+                    &seeds,
+                )
+                .unwrap();
+            assert_eq!(textual.idb, planned.idb, "pattern {pattern}");
+            assert!(textual.same_stages(&planned), "pattern {pattern}");
+            assert!(
+                planned.eval_stats.join_probes <= textual.eval_stats.join_probes,
+                "pattern {pattern}: planned probes must not regress"
+            );
+        }
+    }
+
+    #[test]
     fn binding_pattern_basics() {
         let p = BindingPattern::parse("bfb").unwrap();
         assert_eq!(p.len(), 3);

@@ -1,0 +1,677 @@
+//! Cost-based query compilation: the predicate dependency graph, its
+//! strongly connected components, and per-rule join planning.
+//!
+//! The textual evaluator joins every rule body in the order the rule was
+//! written. This module supplies the [`kv_structures::PlannerMode::CostBased`]
+//! alternative, in three parts:
+//!
+//! - **SCC stratum schedule.** [`SccInfo`] computes the IDB dependency
+//!   graph (head depends on body predicates), its SCCs (iterative Tarjan),
+//!   and a topological stratum order. Within the engine's global stage
+//!   loop — which must be kept *exactly* as the paper defines it, because
+//!   the Theorem 3.6 experiments compare Datalog stages against `L^k`
+//!   stage formulas tuple set by tuple set — the schedule manifests as
+//!   work-avoidance: a rule with any provably-empty IDB source is skipped
+//!   before a single probe is issued, so not-yet-populated downstream
+//!   strata and already-converged upstream strata cost nothing, and deltas
+//!   only drive the variants of the components that consume them.
+//! - **Cardinality-driven join ordering.** [`plan_program`] re-plans every
+//!   compiled rule against one concrete structure: atoms are ordered
+//!   greedily by estimated selectivity (bound-position coverage ×
+//!   [`CardStats`] estimates), with the semi-naive delta atom pinned
+//!   first and ≠-constraints re-hoisted to their earliest fully-bound
+//!   point. Atom order within a body is semantics-free — the set of
+//!   satisfying assignments of a conjunction does not depend on the order
+//!   its conjuncts are enumerated — so every stage derives the same tuple
+//!   set as the textual order (property-tested via `same_stages`).
+//! - **Kernel selection.** Each planned atom gets the cheapest applicable
+//!   [`JoinKernel`]: a single interner lookup when every argument is
+//!   bound, a merged two-position posting intersection, a one-position
+//!   index probe, or the full-scan fallback. Rules whose head is fully
+//!   bound before the last atom also get an early-exit point
+//!   ([`CompiledRule::head_check_at`]): once the head tuple is known to
+//!   exist, the remaining atoms would only re-verify a derivation that
+//!   adds nothing.
+//!
+//! Plans are pure functions of `(program, structure, mode)`, so governed
+//! interrupt/resume re-derives them deterministically, and
+//! [`CompiledProgram::explain`]/[`CompiledProgram::explain_for`] render
+//! them for golden tests and review diffs.
+
+use crate::ast::{Pred, Term};
+use crate::eval::{
+    index_plan, schedule_neqs, CompiledProgram, CompiledRule, IdbAccess, JoinAtom, JoinKernel,
+};
+use crate::program::Program;
+use kv_structures::store::{CardStats, TupleStore};
+use kv_structures::Structure;
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+/// The strongly connected components of a program's IDB dependency graph,
+/// in topological stratum order.
+///
+/// There is an edge `p → q` when some rule for `p` mentions `q` in its
+/// body ("`p` depends on `q`"). Components are numbered in dependency
+/// order: every predicate a component depends on lives in a component
+/// with a smaller or equal stratum number, so evaluating strata in order
+/// `0, 1, …` is a valid schedule.
+#[derive(Debug, Clone)]
+pub struct SccInfo {
+    /// Stratum (component) id of each IDB predicate.
+    scc_of: Vec<usize>,
+    /// Member predicates of each component, in stratum order.
+    members: Vec<Vec<usize>>,
+    /// Whether each component is recursive (size > 1, or a self-loop).
+    recursive: Vec<bool>,
+}
+
+impl SccInfo {
+    /// Computes the SCC decomposition of `program`'s IDB dependency graph
+    /// with an iterative Tarjan pass.
+    pub fn of_program(program: &Program) -> Self {
+        let n = program.idb_count();
+        // Dependency adjacency: head -> body IDB predicates (deduplicated).
+        let mut deps: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for rule in program.rules() {
+            for (pred, _) in rule.atoms() {
+                if let Pred::Idb(q) = pred {
+                    if !deps[rule.head.0].contains(&q.0) {
+                        deps[rule.head.0].push(q.0);
+                    }
+                }
+            }
+        }
+        // Iterative Tarjan. Because edges point at dependencies, a
+        // component is emitted only after every component it depends on,
+        // so emission order *is* the stratum order.
+        const UNVISITED: usize = usize::MAX;
+        let mut index = vec![UNVISITED; n];
+        let mut lowlink = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        let mut members: Vec<Vec<usize>> = Vec::new();
+        let mut scc_of = vec![0usize; n];
+        // Explicit DFS frames: (node, next child position).
+        let mut frames: Vec<(usize, usize)> = Vec::new();
+        for root in 0..n {
+            if index[root] != UNVISITED {
+                continue;
+            }
+            frames.push((root, 0));
+            index[root] = next_index;
+            lowlink[root] = next_index;
+            next_index += 1;
+            stack.push(root);
+            on_stack[root] = true;
+            while let Some(&mut (v, ref mut child)) = frames.last_mut() {
+                if *child < deps[v].len() {
+                    let w = deps[v][*child];
+                    *child += 1;
+                    if index[w] == UNVISITED {
+                        frames.push((w, 0));
+                        index[w] = next_index;
+                        lowlink[w] = next_index;
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack[w] = true;
+                    } else if on_stack[w] {
+                        lowlink[v] = lowlink[v].min(index[w]);
+                    }
+                } else {
+                    frames.pop();
+                    if let Some(&(parent, _)) = frames.last() {
+                        lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                    }
+                    if lowlink[v] == index[v] {
+                        let mut component = Vec::new();
+                        loop {
+                            #[allow(clippy::expect_used)]
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w] = false;
+                            component.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        component.sort_unstable();
+                        for &w in &component {
+                            scc_of[w] = members.len();
+                        }
+                        members.push(component);
+                    }
+                }
+            }
+        }
+        let recursive: Vec<bool> = members
+            .iter()
+            .map(|component| component.len() > 1 || component.iter().any(|&p| deps[p].contains(&p)))
+            .collect();
+        SccInfo {
+            scc_of,
+            members,
+            recursive,
+        }
+    }
+
+    /// Number of components.
+    pub fn count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The stratum (component) id of IDB predicate `idb`.
+    pub fn component_of(&self, idb: usize) -> usize {
+        self.scc_of[idb]
+    }
+
+    /// The member predicates of component `scc`, sorted.
+    pub fn members(&self, scc: usize) -> &[usize] {
+        &self.members[scc]
+    }
+
+    /// Whether component `scc` is recursive (its predicates feed back into
+    /// themselves, so deltas circulate within it across stages).
+    pub fn is_recursive(&self, scc: usize) -> bool {
+        self.recursive[scc]
+    }
+
+    /// The components whose predicates carry tuples not yet consumed as a
+    /// delta — the live set of the stratum schedule at a stage boundary
+    /// (recorded into checkpoints by governed runs).
+    pub(crate) fn active_components(&self, delta_lo: &[u32], stores: &[TupleStore]) -> Vec<u32> {
+        let mut active: Vec<u32> = delta_lo
+            .iter()
+            .zip(stores)
+            .enumerate()
+            .filter(|(_, (&lo, store))| (lo as usize) < store.len())
+            .map(|(i, _)| self.scc_of[i] as u32)
+            .collect();
+        active.sort_unstable();
+        active.dedup();
+        active
+    }
+}
+
+/// A program re-planned for one concrete structure: cost-ordered rule
+/// bodies with kernels assigned, plus the index plan they need.
+#[derive(Debug, Clone)]
+pub(crate) struct RunPlan {
+    pub(crate) naive_rules: Vec<CompiledRule>,
+    pub(crate) semi_variants: Vec<CompiledRule>,
+    pub(crate) edb_positions: Vec<Vec<usize>>,
+    pub(crate) idb_positions: Vec<Vec<usize>>,
+}
+
+/// Per-structure planning context: EDB cardinality snapshots plus the
+/// fallback estimates used for IDB sources (whose final cardinality is
+/// unknowable before the fixpoint is computed).
+struct PlanCtx {
+    edb_stats: Vec<CardStats>,
+    /// Default cardinality estimate for an IDB source: the largest EDB
+    /// relation (derived relations are usually at least that dense), but
+    /// no smaller than the universe.
+    idb_len_est: f64,
+}
+
+impl PlanCtx {
+    fn new(compiled: &CompiledProgram, structure: &Structure) -> Self {
+        let edb_stats: Vec<CardStats> = compiled
+            .vocabulary
+            .relations()
+            .map(|r| structure.relation(r).store().card_stats())
+            .collect();
+        let idb_len_est = edb_stats
+            .iter()
+            .map(|s| s.len)
+            .max()
+            .unwrap_or(0)
+            .max(structure.universe_size().max(1)) as f64;
+        PlanCtx {
+            edb_stats,
+            idb_len_est,
+        }
+    }
+
+    /// Positions of `atom` whose argument is a constant or an
+    /// already-bound variable.
+    fn bound_positions(atom: &JoinAtom, bound: &HashSet<usize>) -> Vec<usize> {
+        atom.args
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| match t {
+                Term::Const(_) => true,
+                Term::Var(v) => bound.contains(&v.0),
+            })
+            .map(|(p, _)| p)
+            .collect()
+    }
+
+    /// Estimated number of candidate tuples the join must visit for
+    /// `atom` given the currently bound variables. Fully bound atoms are
+    /// membership checks and cost (effectively) nothing. EDB estimates
+    /// come from real [`CardStats`]; IDB relations do not exist yet at
+    /// plan time, so the planner deliberately does **not** credit their
+    /// bound positions — a partially bound IDB atom is assumed full-cost
+    /// (mis-crediting fuzzy IDB selectivity against precise EDB stats is
+    /// exactly how a reorder regresses). Magic predicates are the
+    /// exception: they hold seeded demand sets, which are small by
+    /// construction, so they keep their textual role as early guards.
+    fn estimate(&self, atom: &JoinAtom, bound: &HashSet<usize>) -> f64 {
+        let b = Self::bound_positions(atom, bound);
+        if b.len() == atom.args.len() {
+            return 0.0;
+        }
+        match atom.pred {
+            Pred::Edb(r) => self.edb_stats[r.0].estimate_matches(&b),
+            Pred::Idb(_) if atom.is_magic => 1.0,
+            Pred::Idb(_) => self.idb_len_est,
+        }
+    }
+
+    /// The two most selective bound positions for a merged probe: highest
+    /// distinct-value counts first (EDB); positional order for IDB
+    /// sources, whose per-position distribution is unknown at plan time.
+    fn merge_pair(&self, atom: &JoinAtom, b: &[usize]) -> (usize, usize) {
+        let mut ranked: Vec<usize> = b.to_vec();
+        if let Pred::Edb(r) = atom.pred {
+            let stats = &self.edb_stats[r.0];
+            ranked.sort_by_key(|&p| {
+                (
+                    std::cmp::Reverse(stats.distinct.get(p).copied().unwrap_or(0)),
+                    p,
+                )
+            });
+        }
+        let (pos_a, pos_b) = (ranked[0], ranked[1]);
+        (pos_a.min(pos_b), pos_a.max(pos_b))
+    }
+}
+
+/// Re-plans one compiled rule: greedy selectivity ordering (delta atom
+/// pinned first), cost-based kernels, re-hoisted ≠-constraints, and the
+/// head early-exit point.
+fn plan_rule(rule: &CompiledRule, ctx: &PlanCtx) -> CompiledRule {
+    let mut out = rule.clone();
+    let mut remaining: Vec<JoinAtom> = std::mem::take(&mut out.atoms);
+    let mut ordered: Vec<JoinAtom> = Vec::with_capacity(remaining.len());
+    let mut bound: HashSet<usize> = HashSet::new();
+    let bind = |atom: &JoinAtom, bound: &mut HashSet<usize>| {
+        for t in &atom.args {
+            if let Term::Var(v) = t {
+                bound.insert(v.0);
+            }
+        }
+    };
+    // The delta atom seeds the join: every derivation this variant is
+    // responsible for uses a delta tuple, so it stays pinned first.
+    if remaining
+        .first()
+        .is_some_and(|a| a.access == IdbAccess::Delta)
+    {
+        let delta = remaining.remove(0);
+        bind(&delta, &mut bound);
+        ordered.push(delta);
+    }
+    while !remaining.is_empty() {
+        let best = remaining
+            .iter()
+            .enumerate()
+            .min_by(|(i, a), (j, b)| {
+                ctx.estimate(a, &bound)
+                    .total_cmp(&ctx.estimate(b, &bound))
+                    .then(i.cmp(j))
+            })
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let atom = remaining.remove(best);
+        bind(&atom, &mut bound);
+        ordered.push(atom);
+    }
+    // Kernel assignment over the final order.
+    let mut bound_vars: HashSet<usize> = HashSet::new();
+    for atom in &mut ordered {
+        let b = PlanCtx::bound_positions(atom, &bound_vars);
+        atom.kernel = if b.len() == atom.args.len() {
+            JoinKernel::Check
+        } else if b.is_empty() {
+            JoinKernel::Scan
+        } else if b.len() == 1 {
+            JoinKernel::Probe { pos: b[0] }
+        } else {
+            let (pos_a, pos_b) = ctx.merge_pair(atom, &b);
+            JoinKernel::MergedProbe { pos_a, pos_b }
+        };
+        for t in &atom.args {
+            if let Term::Var(v) = t {
+                bound_vars.insert(v.0);
+            }
+        }
+    }
+    out.atoms = ordered;
+    out.neq_at = schedule_neqs(&out.atoms, &out.free_vars, &out.neqs);
+    out.head_check_at = head_check_point(&out);
+    out
+}
+
+/// The earliest atom index at which every head argument is bound, if the
+/// head needs no free-variable enumeration. From that point on, a branch
+/// whose head tuple already exists can stop early. Points at or past the
+/// last atom are dropped: `emit` already deduplicates, so a check that
+/// skips no atoms is pure overhead.
+fn head_check_point(rule: &CompiledRule) -> Option<usize> {
+    if !rule.free_vars.is_empty() {
+        return None;
+    }
+    let mut point = 0usize;
+    for t in &rule.head_args {
+        if let Term::Var(v) = t {
+            match rule
+                .atoms
+                .iter()
+                .position(|a| a.args.contains(&Term::Var(*v)))
+            {
+                Some(j) => point = point.max(j + 1),
+                None => return None,
+            }
+        }
+    }
+    if point < rule.atoms.len() {
+        Some(point)
+    } else {
+        None
+    }
+}
+
+/// Plans `compiled` against one concrete structure: every rule body is
+/// cost-ordered and kernel-assigned, and the index plan is recomputed
+/// from the chosen kernels. Pure in `(program, structure)` — governed
+/// resume re-derives the identical plan.
+pub(crate) fn plan_program(compiled: &CompiledProgram, structure: &Structure) -> RunPlan {
+    let ctx = PlanCtx::new(compiled, structure);
+    let naive_rules: Vec<CompiledRule> = compiled
+        .naive_rules
+        .iter()
+        .map(|r| plan_rule(r, &ctx))
+        .collect();
+    let semi_variants: Vec<CompiledRule> = compiled
+        .semi_variants
+        .iter()
+        .map(|r| plan_rule(r, &ctx))
+        .collect();
+    let (edb_positions, idb_positions) = index_plan(
+        naive_rules.iter().chain(&semi_variants),
+        compiled.edb_positions.len(),
+        compiled.idb_arities.len(),
+    );
+    RunPlan {
+        naive_rules,
+        semi_variants,
+        edb_positions,
+        idb_positions,
+    }
+}
+
+impl CompiledProgram {
+    fn atom_label(&self, atom: &JoinAtom) -> String {
+        let name = match atom.pred {
+            Pred::Edb(r) => self.vocabulary.relation_name(r).to_string(),
+            Pred::Idb(i) => self.idb_names[i.0].clone(),
+        };
+        let access = match atom.access {
+            IdbAccess::Delta => "Δ",
+            IdbAccess::Old => "old·",
+            IdbAccess::Full => "",
+        };
+        let kernel = match atom.kernel {
+            JoinKernel::Scan => "scan".to_string(),
+            JoinKernel::Probe { pos } => format!("probe@{pos}"),
+            JoinKernel::MergedProbe { pos_a, pos_b } => format!("merge@{pos_a},{pos_b}"),
+            JoinKernel::Check => "check".to_string(),
+        };
+        format!("{access}{name}:{kernel}")
+    }
+
+    fn render_rules(&self, out: &mut String, title: &str, prefix: &str, rules: &[CompiledRule]) {
+        let _ = writeln!(out, "{title}:");
+        for (i, rule) in rules.iter().enumerate() {
+            let atoms = rule
+                .atoms
+                .iter()
+                .map(|a| self.atom_label(a))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let body = if atoms.is_empty() { "⊤" } else { &atoms };
+            let _ = write!(
+                out,
+                "  {prefix}{i}: {} ← {body}",
+                self.idb_names[rule.head.0]
+            );
+            if !rule.neqs.is_empty() {
+                let slots: Vec<String> = rule
+                    .neq_at
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| !s.is_empty())
+                    .map(|(slot, s)| format!("{slot}×{}", s.len()))
+                    .collect();
+                let _ = write!(out, " | ≠@[{}]", slots.join(" "));
+            }
+            if let Some(k) = rule.head_check_at {
+                let _ = write!(out, " | head-check@{k}");
+            }
+            let _ = writeln!(out);
+        }
+    }
+
+    fn render_strata(&self, out: &mut String) {
+        let _ = writeln!(
+            out,
+            "strata ({} SCCs, topological order):",
+            self.scc.count()
+        );
+        for scc in 0..self.scc.count() {
+            let names: Vec<&str> = self
+                .scc
+                .members(scc)
+                .iter()
+                .map(|&p| self.idb_names[p].as_str())
+                .collect();
+            let _ = writeln!(
+                out,
+                "  s{scc}: {}{}",
+                names.join(", "),
+                if self.scc.is_recursive(scc) {
+                    " (recursive)"
+                } else {
+                    ""
+                }
+            );
+        }
+    }
+
+    /// Renders the compiled (textual-mode) plan: goal, stratum schedule,
+    /// and every rule/variant with its kernels and hoisted ≠-slots.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "plan mode: textual");
+        let _ = writeln!(
+            out,
+            "goal: {} | {} IDB(s), {} rule(s), {} semi-naive variant(s)",
+            self.idb_names[self.goal.0],
+            self.idb_names.len(),
+            self.naive_rules.len(),
+            self.semi_variants.len()
+        );
+        self.render_strata(&mut out);
+        self.render_rules(&mut out, "naive rules", "n", &self.naive_rules);
+        self.render_rules(&mut out, "semi-naive variants", "v", &self.semi_variants);
+        out
+    }
+
+    /// Renders the cost-based plan chosen for `structure`: the EDB
+    /// cardinality snapshot the planner saw, and every rule in its
+    /// planned atom order with selected kernels, hoisted ≠-slots, and
+    /// head early-exit points.
+    pub fn explain_for(&self, structure: &Structure) -> String {
+        let plan = plan_program(self, structure);
+        let ctx = PlanCtx::new(self, structure);
+        let mut out = String::new();
+        let _ = writeln!(out, "plan mode: cost-based");
+        let _ = writeln!(out, "structure: |A| = {}", structure.universe_size());
+        for (r, stats) in self.vocabulary.relations().zip(&ctx.edb_stats) {
+            let _ = writeln!(
+                out,
+                "edb {}: {} tuple(s), distinct {:?}",
+                self.vocabulary.relation_name(r),
+                stats.len,
+                stats.distinct
+            );
+        }
+        let _ = writeln!(
+            out,
+            "goal: {} | {} IDB(s), {} rule(s), {} semi-naive variant(s)",
+            self.idb_names[self.goal.0],
+            self.idb_names.len(),
+            plan.naive_rules.len(),
+            plan.semi_variants.len()
+        );
+        self.render_strata(&mut out);
+        self.render_rules(&mut out, "naive rules", "n", &plan.naive_rules);
+        self.render_rules(&mut out, "semi-naive variants", "v", &plan.semi_variants);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs;
+    use kv_structures::generators::directed_path;
+
+    #[test]
+    fn tc_has_one_recursive_scc() {
+        let p = programs::transitive_closure();
+        let scc = SccInfo::of_program(&p);
+        assert_eq!(scc.count(), 1);
+        assert!(scc.is_recursive(0));
+        assert_eq!(scc.members(0), &[0]);
+    }
+
+    #[test]
+    fn mutual_recursion_is_one_component() {
+        use crate::parser::parse_program;
+        use kv_structures::Vocabulary;
+        use std::sync::Arc;
+        let src = "
+            Odd(x, y) :- E(x, y).
+            Odd(x, y) :- Even(x, z), E(z, y).
+            Even(x, y) :- Odd(x, z), E(z, y).
+            Tail(x, y) :- Even(x, y).
+            ?- Tail.
+        ";
+        let p = parse_program(src, Arc::new(Vocabulary::graph())).unwrap();
+        let scc = SccInfo::of_program(&p);
+        assert_eq!(scc.count(), 2);
+        // Odd/Even form one recursive component; Tail depends on it, so it
+        // sits in a strictly later stratum.
+        let odd_even = scc.component_of(0);
+        assert_eq!(odd_even, scc.component_of(1));
+        assert!(scc.is_recursive(odd_even));
+        let tail = scc.component_of(2);
+        assert_ne!(odd_even, tail);
+        assert!(!scc.is_recursive(tail));
+        assert!(odd_even < tail, "dependency must precede dependent");
+    }
+
+    #[test]
+    fn q_kl_strata_order_q1_before_q2() {
+        let p = programs::q_kl(2, 1);
+        let scc = SccInfo::of_program(&p);
+        // Q1 and Q2 are each self-recursive, so they form two singleton
+        // recursive components; Q2 depends on Q1, so Q1's stratum comes
+        // first.
+        let (s1, s2) = (scc.component_of(0), scc.component_of(1));
+        assert_ne!(s1, s2);
+        assert!(s1 < s2, "Q1's stratum must precede Q2's");
+        assert!(scc.is_recursive(s1));
+        assert!(scc.is_recursive(s2));
+    }
+
+    #[test]
+    fn planned_rules_start_with_delta_and_cover_all_atoms() {
+        let p = programs::q_kl(2, 1);
+        let compiled = CompiledProgram::compile(&p);
+        let s = kv_structures::generators::random_digraph(10, 0.2, 11).to_structure();
+        let plan = plan_program(&compiled, &s);
+        assert_eq!(plan.naive_rules.len(), compiled.naive_rules.len());
+        assert_eq!(plan.semi_variants.len(), compiled.semi_variants.len());
+        for (planned, textual) in plan.semi_variants.iter().zip(&compiled.semi_variants) {
+            assert_eq!(planned.atoms.len(), textual.atoms.len());
+            // The delta atom stays pinned first.
+            if textual
+                .atoms
+                .first()
+                .is_some_and(|a| a.access == IdbAccess::Delta)
+            {
+                assert_eq!(
+                    planned.atoms[0].access,
+                    IdbAccess::Delta,
+                    "delta atom must stay pinned"
+                );
+            }
+            // Same multiset of (pred, access) pairs — reordering only.
+            let mut a: Vec<_> = planned.atoms.iter().map(|x| (x.pred, x.access)).collect();
+            let mut b: Vec<_> = textual.atoms.iter().map(|x| (x.pred, x.access)).collect();
+            a.sort_by_key(|(p, _)| format!("{p:?}"));
+            b.sort_by_key(|(p, _)| format!("{p:?}"));
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn explain_golden_for_transitive_closure() {
+        let p = programs::transitive_closure();
+        let compiled = CompiledProgram::compile(&p);
+        let textual = compiled.explain();
+        let expected_textual = "\
+plan mode: textual
+goal: S | 1 IDB(s), 2 rule(s), 1 semi-naive variant(s)
+strata (1 SCCs, topological order):
+  s0: S (recursive)
+naive rules:
+  n0: S ← E:scan
+  n1: S ← E:scan, S:probe@0
+semi-naive variants:
+  v0: S ← ΔS:scan, E:probe@1
+";
+        assert_eq!(textual, expected_textual);
+
+        let planned = compiled.explain_for(&directed_path(6));
+        let expected_planned = "\
+plan mode: cost-based
+structure: |A| = 6
+edb E: 5 tuple(s), distinct [5, 5]
+goal: S | 1 IDB(s), 2 rule(s), 1 semi-naive variant(s)
+strata (1 SCCs, topological order):
+  s0: S (recursive)
+naive rules:
+  n0: S ← E:scan
+  n1: S ← E:scan, S:probe@0
+semi-naive variants:
+  v0: S ← ΔS:scan, E:probe@1
+";
+        assert_eq!(planned, expected_planned);
+    }
+
+    #[test]
+    fn explain_renders_neq_hoists_and_checks() {
+        // Q_{2,1}'s recursive Q2 rule binds its whole head after the
+        // delta and edge atoms, leaving the inner Q1 probe skippable.
+        let p = programs::q_kl(2, 1);
+        let compiled = CompiledProgram::compile(&p);
+        let rendered = compiled.explain_for(&directed_path(5));
+        assert!(rendered.contains("≠@["), "{rendered}");
+        assert!(rendered.contains("head-check@"), "{rendered}");
+    }
+}

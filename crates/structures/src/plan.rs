@@ -26,21 +26,65 @@ pub enum DemandStrategy {
     Demand,
 }
 
+/// How a Datalog program's rule bodies are compiled into join loops.
+///
+/// `Textual` evaluates every body in the order the rule was written (the
+/// paper's presentation, and the engine's historical behaviour);
+/// `CostBased` lets the planner in `kv-datalog` reorder atoms by estimated
+/// selectivity and select specialized join kernels. Both modes derive the
+/// *same tuple set at every stage* — atom order within a body is
+/// semantics-free — so differential suites can run each side by side.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum PlannerMode {
+    /// Textual atom order, generic probe loop.
+    Textual,
+    /// Cost-based atom order with specialized join kernels (the
+    /// production default).
+    #[default]
+    CostBased,
+}
+
+impl fmt::Display for PlannerMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PlannerMode::Textual => "textual",
+            PlannerMode::CostBased => "cost-based",
+        })
+    }
+}
+
 /// A binding pattern plus the demand strategy chosen for it.
 ///
 /// The pattern has one flag per goal position: `true` means the query
 /// supplies a concrete element there ("bound"), `false` means the position
-/// is left open ("free").
+/// is left open ("free"). The plan additionally carries the
+/// [`PlannerMode`] the engine should compile rule bodies with.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QueryPlan {
     pattern: Vec<bool>,
     strategy: DemandStrategy,
+    planner: PlannerMode,
 }
 
 impl QueryPlan {
-    /// A plan with an explicit pattern and strategy.
+    /// A plan with an explicit pattern and strategy (default planner mode).
     pub fn new(pattern: Vec<bool>, strategy: DemandStrategy) -> Self {
-        Self { pattern, strategy }
+        Self {
+            pattern,
+            strategy,
+            planner: PlannerMode::default(),
+        }
+    }
+
+    /// The same plan with an explicit [`PlannerMode`].
+    pub fn with_planner(mut self, planner: PlannerMode) -> Self {
+        self.planner = planner;
+        self
+    }
+
+    /// The planner mode rule bodies are compiled with.
+    pub fn planner(&self) -> PlannerMode {
+        self.planner
     }
 
     /// Full saturation for an `arity`-ary goal (all positions free).
@@ -241,6 +285,18 @@ mod tests {
         assert!(!QueryPlan::auto(vec![false, false]).is_demand());
         assert!(!QueryPlan::full(2).is_demand());
         assert_eq!(QueryPlan::auto(vec![true, false]).to_string(), "bf/demand");
+    }
+
+    #[test]
+    fn planner_mode_defaults_cost_based_and_is_overridable() {
+        let plan = QueryPlan::auto(vec![true, false]);
+        assert_eq!(plan.planner(), PlannerMode::CostBased);
+        let textual = plan.clone().with_planner(PlannerMode::Textual);
+        assert_eq!(textual.planner(), PlannerMode::Textual);
+        // Display stays binding-pattern/strategy only (stable across modes).
+        assert_eq!(textual.to_string(), "bf/demand");
+        assert_eq!(PlannerMode::Textual.to_string(), "textual");
+        assert_eq!(PlannerMode::CostBased.to_string(), "cost-based");
     }
 
     #[test]

@@ -84,6 +84,14 @@ impl IdRange {
 const EMPTY_SLOT: u32 = u32::MAX;
 
 /// Splitmix-style mixing of one tuple into a table hash.
+///
+/// Public so callers that maintain auxiliary filters over a store (for
+/// example [`TupleBloom`]) hash tuples exactly once and reuse the digest.
+#[inline]
+pub fn tuple_hash(tuple: &[Element]) -> u64 {
+    hash_tuple(tuple)
+}
+
 #[inline]
 fn hash_tuple(tuple: &[Element]) -> u64 {
     let mut h: u64 = 0x9E37_79B9_7F4A_7C15;
@@ -112,6 +120,9 @@ pub struct TupleStore {
     /// Open-addressing table of tuple ids (`EMPTY_SLOT` = vacant).
     table: Vec<u32>,
     len: u32,
+    /// Per-position distinct-value counters, maintained on intern of fresh
+    /// tuples; snapshotted by [`card_stats`](Self::card_stats).
+    pos_distinct: Vec<ElementSet>,
 }
 
 impl TupleStore {
@@ -122,6 +133,7 @@ impl TupleStore {
             data: Vec::new(),
             table: Vec::new(),
             len: 0,
+            pos_distinct: vec![ElementSet::default(); arity],
         }
     }
 
@@ -176,6 +188,9 @@ impl TupleStore {
                     self.table[slot] = id;
                     self.data.extend_from_slice(tuple);
                     self.len += 1;
+                    for (pos, &e) in tuple.iter().enumerate() {
+                        self.pos_distinct[pos].insert(e);
+                    }
                     return (TupleId(id), true);
                 }
                 id if self.slice_of(id) == tuple => return (TupleId(id), false),
@@ -234,6 +249,18 @@ impl TupleStore {
         self.arity == other.arity && self.len == other.len && self.iter().all(|t| other.contains(t))
     }
 
+    /// A snapshot of the store's cardinality statistics.
+    ///
+    /// The per-position distinct counters are maintained incrementally on
+    /// [`intern`](Self::intern), so this is O(arity) — cheap enough to call
+    /// at every plan point.
+    pub fn card_stats(&self) -> CardStats {
+        CardStats {
+            len: self.len as usize,
+            distinct: self.pos_distinct.iter().map(ElementSet::len).collect(),
+        }
+    }
+
     fn slice_of(&self, id: u32) -> &[Element] {
         &self.data[id as usize * self.arity..(id as usize + 1) * self.arity]
     }
@@ -259,6 +286,152 @@ impl PartialEq for TupleStore {
 }
 
 impl Eq for TupleStore {}
+
+/// A compact open-addressing set of [`Element`]s used for the per-position
+/// distinct-value counters of a [`TupleStore`].
+///
+/// Slots store `element + 1` so that `0` can act as the vacancy sentinel and
+/// the full `u32` element space stays representable.
+#[derive(Debug, Clone, Default)]
+struct ElementSet {
+    slots: Vec<u64>,
+    len: usize,
+}
+
+impl ElementSet {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn insert(&mut self, e: Element) -> bool {
+        if self.slots.len() < (self.len + 1) * 2 {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let key = u64::from(e) + 1;
+        let mut slot = mix64(u64::from(e)) as usize & mask;
+        loop {
+            match self.slots[slot] {
+                0 => {
+                    self.slots[slot] = key;
+                    self.len += 1;
+                    return true;
+                }
+                k if k == key => return false,
+                _ => slot = (slot + 1) & mask,
+            }
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_len = (self.slots.len() * 2).max(16);
+        debug_assert!(new_len.is_power_of_two());
+        let old = std::mem::replace(&mut self.slots, vec![0; new_len]);
+        let mask = new_len - 1;
+        for key in old.into_iter().filter(|&k| k != 0) {
+            let mut slot = mix64(key - 1) as usize & mask;
+            while self.slots[slot] != 0 {
+                slot = (slot + 1) & mask;
+            }
+            self.slots[slot] = key;
+        }
+    }
+}
+
+/// Splitmix64 finalizer, used by [`ElementSet`] and [`TupleBloom`].
+#[inline]
+fn mix64(mut h: u64) -> u64 {
+    h = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^ (h >> 31)
+}
+
+/// Cardinality statistics snapshot of one [`TupleStore`]: total tuple count
+/// plus per-position distinct-value counts.
+///
+/// The cost-based planner scores candidate join orders with these numbers:
+/// `len / distinct[pos]` estimates the matches of a single-position probe,
+/// and the product over bound positions estimates a multi-position one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CardStats {
+    /// Number of distinct tuples in the store.
+    pub len: usize,
+    /// Distinct values seen at each tuple position (`distinct.len()` =
+    /// arity).
+    pub distinct: Vec<usize>,
+}
+
+impl CardStats {
+    /// Estimated number of tuples matching a probe that fixes the values at
+    /// `bound` positions, assuming independent uniform positions: `len / Π
+    /// distinct[pos]`, clamped below at `0`.
+    pub fn estimate_matches(&self, bound: &[usize]) -> f64 {
+        let mut est = self.len as f64;
+        for &pos in bound {
+            let d = self.distinct.get(pos).copied().unwrap_or(1).max(1);
+            est /= d as f64;
+        }
+        est
+    }
+}
+
+/// A Bloom-style existence pre-filter over tuple hashes.
+///
+/// Evaluators maintain one per result relation, keyed by
+/// [`tuple_hash`]: a *negative* answer proves the tuple has not been
+/// committed, letting hot join paths skip the interner probe that
+/// re-derivations would otherwise pay. Two bit probes are derived from the
+/// low and high halves of the 64-bit digest.
+#[derive(Debug, Clone, Default)]
+pub struct TupleBloom {
+    bits: Vec<u64>,
+    items: usize,
+}
+
+impl TupleBloom {
+    /// Creates a filter sized for about `capacity` items (~8 bits each).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let words = (capacity.max(8) * 8 / 64).next_power_of_two();
+        Self {
+            bits: vec![0; words],
+            items: 0,
+        }
+    }
+
+    /// Number of hashes inserted.
+    pub fn items(&self) -> usize {
+        self.items
+    }
+
+    /// Whether the filter is over-full and should be rebuilt at a larger
+    /// capacity to keep its false-positive rate useful.
+    pub fn should_grow(&self) -> bool {
+        self.items * 8 > self.bits.len() * 64
+    }
+
+    /// Inserts a tuple hash.
+    pub fn insert(&mut self, h: u64) {
+        if self.bits.is_empty() {
+            self.bits = vec![0; 8];
+        }
+        let mask = self.bits.len() * 64 - 1;
+        let (a, b) = (h as usize & mask, (h >> 32) as usize & mask);
+        self.bits[a / 64] |= 1 << (a % 64);
+        self.bits[b / 64] |= 1 << (b % 64);
+        self.items += 1;
+    }
+
+    /// Whether the hash *may* have been inserted. `false` is definitive.
+    pub fn maybe_contains(&self, h: u64) -> bool {
+        if self.bits.is_empty() {
+            return false;
+        }
+        let mask = self.bits.len() * 64 - 1;
+        let (a, b) = (h as usize & mask, (h >> 32) as usize & mask);
+        (self.bits[a / 64] >> (a % 64)) & 1 == 1 && (self.bits[b / 64] >> (b % 64)) & 1 == 1
+    }
+}
 
 /// A read-only prefix view of a [`TupleStore`]: the tuples with id `< upto`.
 ///
@@ -345,6 +518,12 @@ impl PosIndex {
     /// How many tuples (ids `[0, upto)`) the index currently covers.
     pub fn covered(&self) -> u32 {
         self.upto
+    }
+
+    /// Number of distinct values seen at the indexed position — the posting
+    /// count, maintained for free as the index extends.
+    pub fn distinct(&self) -> usize {
+        self.postings.len()
     }
 
     /// Extends the index to cover all tuples currently in `store`.
@@ -608,6 +787,69 @@ mod tests {
         assert!(t.to_string().contains("limit 10"));
         let s = LimitExceeded::Stages { limit: 3 };
         assert!(s.to_string().contains("stage"));
+    }
+
+    #[test]
+    fn card_stats_track_distinct_values_per_position() {
+        let mut s = TupleStore::new(2);
+        s.intern(&[1, 10]);
+        s.intern(&[1, 20]);
+        s.intern(&[2, 10]);
+        s.intern(&[1, 10]); // duplicate: must not perturb the counters
+        let stats = s.card_stats();
+        assert_eq!(stats.len, 3);
+        assert_eq!(stats.distinct, vec![2, 2]);
+        // 3 tuples / 2 distinct values at position 0 => 1.5 expected matches.
+        assert!((stats.estimate_matches(&[0]) - 1.5).abs() < 1e-9);
+        assert!((stats.estimate_matches(&[0, 1]) - 0.75).abs() < 1e-9);
+        assert!((stats.estimate_matches(&[]) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn card_stats_survive_many_inserts() {
+        let mut s = TupleStore::new(1);
+        for i in 0..500u32 {
+            s.intern(&[i % 37]);
+        }
+        assert_eq!(s.card_stats().distinct, vec![37]);
+        assert_eq!(s.card_stats().len, 37);
+    }
+
+    #[test]
+    fn pos_index_reports_distinct() {
+        let mut s = TupleStore::new(2);
+        s.intern(&[1, 10]);
+        s.intern(&[2, 10]);
+        s.intern(&[1, 30]);
+        let mut ix = PosIndex::new(1);
+        ix.update(&s);
+        assert_eq!(ix.distinct(), 2);
+    }
+
+    #[test]
+    fn bloom_has_no_false_negatives() {
+        let mut bloom = TupleBloom::with_capacity(64);
+        let hashes: Vec<u64> = (0..64u32).map(|i| tuple_hash(&[i, i + 1])).collect();
+        for &h in &hashes {
+            bloom.insert(h);
+        }
+        for &h in &hashes {
+            assert!(bloom.maybe_contains(h));
+        }
+        // Not a soundness property, but on this tiny load the filter should
+        // reject the bulk of absent probes.
+        let misses = (1000..2000u32)
+            .filter(|&i| !bloom.maybe_contains(tuple_hash(&[i, i])))
+            .count();
+        assert!(misses > 800, "bloom rejected only {misses}/1000 absentees");
+    }
+
+    #[test]
+    fn empty_bloom_rejects_everything() {
+        let bloom = TupleBloom::default();
+        assert!(!bloom.maybe_contains(tuple_hash(&[1, 2])));
+        assert_eq!(bloom.items(), 0);
+        assert!(!bloom.should_grow());
     }
 
     #[test]

@@ -14,17 +14,20 @@
 //!    and `resume(interrupt(x)) ≡ run(x)` — stage by stage for Datalog,
 //!    verdict by verdict for the games.
 //!
-//! The injection-point counts below sum to 106 distinct seeded points
+//! The injection-point counts below sum to 130 distinct seeded points
 //! (24 Datalog + 12 existential game + 8 CNF game + 8 acyclic game +
 //! 8 lfp + 6 stage comparison + 8 homeomorphism + 8 reduction + 4 flow +
-//! 12 lazy arena + 8 seeded magic evaluation), satisfying the ≥64-point
-//! acceptance bar; every point runs in every `cargo test` invocation.
+//! 12 lazy arena + 8 seeded magic evaluation + 16 cost-based sequential +
+//! 8 cost-based parallel), satisfying the ≥64-point acceptance bar; every
+//! point runs in every `cargo test` invocation. The cost-based points
+//! trip faults inside the SCC stratum scheduler (stage-boundary checks)
+//! and the planned join kernels (per-probe step charges).
 
 use datalog_expressiveness::datalog::programs::{
     avoiding_path, path_systems, q_kl, q_prime, transitive_closure, two_disjoint_paths_acyclic,
     two_disjoint_paths_paper_rules, two_pairs_vocabulary,
 };
-use datalog_expressiveness::datalog::{EvalOptions, EvalResult, Evaluator, Program};
+use datalog_expressiveness::datalog::{EvalOptions, EvalResult, Evaluator, PlannerMode, Program};
 use datalog_expressiveness::graphalg::{disjoint_fan, try_disjoint_fan};
 use datalog_expressiveness::homeo;
 use datalog_expressiveness::logic::{
@@ -472,6 +475,82 @@ fn chaos_lazy_arena_interrupt_resume_equals_run() {
             .unwrap_or_else(|e| panic!("{label}: unlimited resume interrupted: {e}")),
         };
         assert_eq!(game.winner(), baseline, "{label} (k={k}, seed={seed})");
+    }
+}
+
+#[test]
+fn chaos_planned_datalog_interrupt_resume_equals_run() {
+    // Cost-based compilation under fault injection: the step budget trips
+    // inside the planned join kernels (every probe is charged) and the
+    // cancellation/deadline checks trip at the SCC scheduler's stage
+    // boundaries. Sequential planned evaluation is deterministic, so
+    // resume must match the straight run *including* engine counters, and
+    // the checkpoint's active-SCC record must stay inside the program's
+    // component range.
+    let programs = all_programs();
+    let opts = EvalOptions {
+        parallel: false,
+        ..EvalOptions::default()
+    }
+    .with_planner(PlannerMode::CostBased);
+    for index in 0..16usize {
+        let program = &programs[index % programs.len()];
+        let s = fixture_for(program, 4_100 + (index % programs.len()) as u64);
+        let eval = Evaluator::new(program);
+        let baseline = eval.run(&s, opts);
+        let scc_count = eval.compiled().scc_count();
+        let (label, gov) = chaos::injection(chaos_seed(), 1_100 + index, 60);
+        match eval.try_run_governed(&s, opts, &gov) {
+            Ok(done) => assert_results_identical(&baseline, &done, &label),
+            Err(interrupted) => {
+                let cp_stats = interrupted.checkpoint.eval_stats();
+                assert!(
+                    stats_monotone(&cp_stats, &baseline.eval_stats),
+                    "{label}: checkpoint stats exceed the full planned run"
+                );
+                assert!(
+                    interrupted
+                        .checkpoint
+                        .active_sccs()
+                        .iter()
+                        .all(|&c| (c as usize) < scc_count),
+                    "{label}: checkpoint records an out-of-range SCC"
+                );
+                let resumed = eval
+                    .resume(&s, opts, &Governor::unlimited(), interrupted.checkpoint)
+                    .unwrap_or_else(|e| panic!("{label}: unlimited resume interrupted: {e}"));
+                assert_results_identical(&baseline, &resumed, &label);
+            }
+        }
+    }
+}
+
+#[test]
+fn chaos_planned_parallel_interrupt_resume_matches_stages() {
+    // The same contract under rule-variant parallelism. Duplicate
+    // suppression is scratch-local there, so counters may legitimately
+    // differ between runs; the guarantee is stage identity and the same
+    // fixpoint.
+    let programs = all_programs();
+    let opts = EvalOptions::default().with_planner(PlannerMode::CostBased);
+    for index in 0..8usize {
+        let program = &programs[index % programs.len()];
+        let s = fixture_for(program, 4_100 + (index % programs.len()) as u64);
+        let eval = Evaluator::new(program);
+        let baseline = eval.run(&s, opts);
+        let (label, gov) = chaos::injection(chaos_seed(), 1_200 + index, 60);
+        let run = match eval.try_run_governed(&s, opts, &gov) {
+            Ok(done) => done,
+            Err(interrupted) => eval
+                .resume(&s, opts, &Governor::unlimited(), interrupted.checkpoint)
+                .unwrap_or_else(|e| panic!("{label}: unlimited resume interrupted: {e}")),
+        };
+        assert!(run.same_stages(&baseline), "{label}: stages differ");
+        assert_eq!(run.converged, baseline.converged, "{label}");
+        for (i, (a, b)) in baseline.idb.iter().zip(&run.idb).enumerate() {
+            assert_eq!(a.len(), b.len(), "{label}: IDB {i} size");
+            assert!(a.iter().all(|t| b.contains(t)), "{label}: IDB {i} tuples");
+        }
     }
 }
 
