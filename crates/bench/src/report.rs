@@ -11,31 +11,35 @@
 //! `lazy_ms`/`lazy_arena_size` for the lazy, root-directed pebble solver.
 //! The Datalog report additionally carries the cost-based planner columns
 //! (`planned_ms`, `planned_join_probes`, `planned_duplicate_derivations`,
-//! `scc_count`, `probe_savings_pct`) and per-case thread-scaling rows at
-//! 1/2/4 workers for both planner modes.
+//! `scc_count`, `probe_savings_pct`), the batched/worst-case-optimal join
+//! columns (`planned_block_probes`, `planned_gallop_steps`,
+//! `planned_wcoj_rules`), and per-case thread-scaling rows at 1/2/4
+//! workers for both planner modes.
 //!
 //! Every report header is stamped with the git revision and a UTC
 //! timestamp, and every case records the RNG seed of its input structure,
 //! so a committed JSON identifies its provenance exactly.
 //!
 //! [`smoke_check`] cross-validates the demand paths against the eager
-//! ones (same answers, no extra derivations) and the cost-based planner
+//! ones (same answers, no extra derivations), the cost-based planner
 //! against textual-order evaluation (stage-identical runs, no extra
-//! probes); [`regression_check`] compares freshly measured engine
+//! probes), and the generic worst-case-optimal lowering against the
+//! binary kernels (stage-identical fixpoints under both forced
+//! lowerings); [`regression_check`] compares freshly measured engine
 //! counters against a committed `BENCH_datalog.json` and flags >10%
 //! regressions. Both are wired to the harness's `--smoke` flag for CI.
 
 use crate::microbench::time_fn;
-use kv_core::datalog::programs::{avoiding_path, q_kl, transitive_closure};
+use kv_core::datalog::programs::{avoiding_path, q_kl, transitive_closure, triangles};
 use kv_core::datalog::{
-    BindingPattern, EvalOptions, Evaluator, MagicProgram, PlannerMode, Program,
+    BindingPattern, EvalOptions, Evaluator, JoinLowering, MagicProgram, PlannerMode, Program,
 };
 use kv_core::pebble::win_iteration::solve_by_win_iteration;
 use kv_core::pebble::ExistentialGame;
 use kv_core::structures::generators::{directed_path, random_digraph};
 use kv_core::structures::govern::{Budget, CancelToken, Deadline, Governor};
 use kv_core::structures::par::thread_count;
-use kv_core::structures::{Element, HomKind, Structure};
+use kv_core::structures::{Digraph, Element, HomKind, Structure};
 use std::time::Duration;
 
 /// A governor with every interrupt source armed (step budget, deadline,
@@ -237,7 +241,39 @@ fn datalog_instances() -> Vec<(String, Program, Structure, Vec<Element>, u64)> {
             vec![0, 10, 11, 5],
             9,
         ),
+        // The cyclic triangle body on a skewed layered input: the case
+        // where the planner's Auto lowering flips to the worst-case-optimal
+        // generic join and the per-variable intersection prunes the m³
+        // path set a binary join must enumerate.
+        (
+            "tri_layered_m12_b3".into(),
+            triangles(),
+            layered_triangle_structure(12, 3),
+            vec![0, 12, 24],
+            0,
+        ),
     ]
+}
+
+/// A layered tripartite digraph: complete bipartite stages `L → M` and
+/// `M → R` of width `m`, plus `back` edges `R → L` closing a few
+/// triangles. This is the canonical skew case for worst-case-optimal
+/// joins: a binary plan probes every one of the `m³` `L → M → R` paths
+/// before the closing edge check fails, while the generic join's
+/// variable-at-a-time intersection dead-ends immediately on every seed
+/// edge whose source has no `R`-predecessor.
+fn layered_triangle_structure(m: u32, back: u32) -> Structure {
+    let mut g = Digraph::new(3 * m as usize);
+    for a in 0..m {
+        for b in 0..m {
+            g.add_edge(a, m + b);
+            g.add_edge(m + a, 2 * m + b);
+        }
+    }
+    for i in 0..back.min(m) {
+        g.add_edge(2 * m + i, i);
+    }
+    g.to_structure()
 }
 
 /// Pebble-game solver report: arena size, propagation edge count, and the
@@ -380,6 +416,9 @@ pub fn datalog_report() -> String {
                     "planned_duplicate_derivations",
                     planned_seq.eval_stats.duplicate_derivations,
                 )
+                .num("planned_block_probes", planned_seq.eval_stats.block_probes)
+                .num("planned_gallop_steps", planned_seq.eval_stats.gallop_steps)
+                .num("planned_wcoj_rules", planned_seq.eval_stats.wcoj_rules)
                 .num("scc_count", ev.compiled().scc_count())
                 .num(
                     "probe_savings_pct",
@@ -416,6 +455,9 @@ pub fn datalog_report() -> String {
 /// * every Datalog case's cost-based run must be stage-identical to the
 ///   textual run, reach the same fixpoint, and issue no more join probes
 ///   or duplicate derivations;
+/// * every Datalog case must reach the same fixpoint through the same
+///   stages under both forced join lowerings (`Binary` vs `Generic` —
+///   the worst-case-optimal executor is a pure execution-strategy swap);
 /// * every pebble case's lazy solver must name the same winner as the
 ///   eager worklist solver, with an arena no larger.
 ///
@@ -450,6 +492,29 @@ pub fn smoke_check() -> Vec<String> {
             violations.push(format!(
                 "{name}: planned duplicate_derivations {} > textual {}",
                 planned.eval_stats.duplicate_derivations, textual.eval_stats.duplicate_derivations
+            ));
+        }
+        // Generic ≡ binary differential: the worst-case-optimal lowering
+        // must be a pure execution-strategy swap (same fixpoint, same
+        // stage structure) on every report workload.
+        let binary = ev.run(
+            s,
+            seq.with_planner(PlannerMode::CostBased)
+                .with_lowering(JoinLowering::Binary),
+        );
+        let generic = ev.run(
+            s,
+            seq.with_planner(PlannerMode::CostBased)
+                .with_lowering(JoinLowering::Generic),
+        );
+        if binary.idb != generic.idb {
+            violations.push(format!(
+                "{name}: generic lowering fixpoint differs from binary"
+            ));
+        }
+        if !binary.same_stages(&generic) {
+            violations.push(format!(
+                "{name}: generic lowering is not stage-identical to binary"
             ));
         }
         let pattern = BindingPattern::new(vec![true; query.len()]);
@@ -538,7 +603,7 @@ pub fn regression_check(committed: &str) -> Vec<String> {
         };
         let textual = ev.run(s, seq);
         let planned = ev.run(s, seq.with_planner(PlannerMode::CostBased));
-        let measured: [(&str, u64); 4] = [
+        let measured: [(&str, u64); 6] = [
             ("join_probes", textual.eval_stats.join_probes),
             (
                 "duplicate_derivations",
@@ -549,6 +614,8 @@ pub fn regression_check(committed: &str) -> Vec<String> {
                 "planned_duplicate_derivations",
                 planned.eval_stats.duplicate_derivations,
             ),
+            ("planned_block_probes", planned.eval_stats.block_probes),
+            ("planned_gallop_steps", planned.eval_stats.gallop_steps),
         ];
         for (key, current) in measured {
             let Some(baseline) = extract_case_num(committed, name, key) else {
@@ -588,6 +655,10 @@ mod tests {
         assert!(datalog.contains("\"planned_ms\""));
         assert!(datalog.contains("\"scc_count\""));
         assert!(datalog.contains("\"probe_savings_pct\""));
+        assert!(datalog.contains("\"planned_block_probes\""));
+        assert!(datalog.contains("\"planned_gallop_steps\""));
+        assert!(datalog.contains("\"planned_wcoj_rules\""));
+        assert!(datalog.contains("\"tri_layered_m12_b3\""));
         assert!(datalog.contains("\"scaling\": [{\"threads\": 1,"));
         assert!(pebble_report().contains("\"lazy_arena_size\""));
     }

@@ -175,9 +175,12 @@ impl ProgramQuery {
     }
 
     /// Engine options for every evaluation this query issues: defaults
-    /// plus the [`kv_structures::PlannerMode`] fixed by the query plan.
+    /// plus the [`kv_structures::PlannerMode`] and
+    /// [`kv_structures::JoinLowering`] fixed by the query plan.
     fn eval_options(&self) -> EvalOptions {
-        EvalOptions::default().with_planner(self.plan.planner())
+        EvalOptions::default()
+            .with_planner(self.plan.planner())
+            .with_lowering(self.plan.lowering())
     }
 
     fn lock_cache(&self) -> std::sync::MutexGuard<'_, QueryCache> {

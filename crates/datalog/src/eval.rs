@@ -46,14 +46,15 @@
 use crate::ast::{IdbId, Literal, Pred, Rule, Term, VarId};
 use crate::planner::{self, RunPlan, SccInfo};
 use crate::program::Program;
+use crate::wcoj::{self, GenericPlan};
 use kv_structures::govern::{Budget, Governor, Interrupted};
 use kv_structures::par::{par_workers, thread_count};
 use kv_structures::store::{
-    tuple_hash, EvalStats, IdRange, LimitExceeded, Limits, PosIndex, StoreView, TupleBloom,
-    TupleId, TupleStore,
+    gallop_intersect, tuple_hash, EvalStats, IdRange, LimitExceeded, Limits, PosIndex, StoreView,
+    TupleBloom, TupleId, TupleStore,
 };
-use kv_structures::{Element, PlannerMode, Relation, Structure, Vocabulary};
-use std::collections::HashSet;
+use kv_structures::{Element, JoinLowering, PlannerMode, Relation, Structure, Vocabulary};
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 
@@ -83,6 +84,13 @@ pub struct EvalOptions {
     /// and selects specialized join kernels. Both derive the same tuple
     /// set at every stage (differential-tested).
     pub planner: PlannerMode,
+    /// How cost-based plans lower rule bodies into join loops:
+    /// [`JoinLowering::Auto`] picks the worst-case-optimal generic join
+    /// for cyclic, blow-up-prone rules and the binary kernel pipeline for
+    /// the rest; `Binary`/`Generic` force one lowering for every rule.
+    /// Ignored in textual mode. Both lowerings derive the same tuple set
+    /// at every stage (differential-tested).
+    pub lowering: JoinLowering,
     /// Resource budgets; exceeding one makes [`Evaluator::try_run`] return
     /// [`LimitExceeded`].
     pub limits: Limits,
@@ -96,6 +104,7 @@ impl Default for EvalOptions {
             parallel: true,
             threads: None,
             planner: PlannerMode::Textual,
+            lowering: JoinLowering::default(),
             limits: Limits::default(),
         }
     }
@@ -105,6 +114,13 @@ impl EvalOptions {
     /// The same options with the given [`PlannerMode`].
     pub fn with_planner(mut self, planner: PlannerMode) -> Self {
         self.planner = planner;
+        self
+    }
+
+    /// The same options with the given [`JoinLowering`] (cost-based mode
+    /// only; textual mode always runs the historical probe loop).
+    pub fn with_lowering(mut self, lowering: JoinLowering) -> Self {
+        self.lowering = lowering;
         self
     }
 
@@ -372,6 +388,13 @@ pub(crate) struct CompiledRule {
     /// changes nothing. `None` disables the check (textual mode, or the
     /// head needs free variables).
     pub(crate) head_check_at: Option<usize>,
+    /// When set, the rule body is executed by the worst-case-optimal
+    /// generic join (`crate::wcoj`) instead of the binary kernel
+    /// pipeline: the first atom seeds the join, the remaining variables
+    /// are bound one at a time by intersecting sorted postings. Assigned
+    /// only by the cost-based planner; both lowerings derive identical
+    /// stages.
+    pub(crate) generic: Option<GenericPlan>,
 }
 
 /// Union-find based equality elimination. Returns a substitution mapping
@@ -576,6 +599,7 @@ fn compile_rule(rule: &Rule, delta_at: Option<usize>, magic: &[bool]) -> Compile
         free_vars,
         neq_at,
         head_check_at: None,
+        generic: None,
     }
 }
 
@@ -589,8 +613,17 @@ pub(crate) fn index_plan<'r>(
     let mut edb_pos: Vec<HashSet<usize>> = vec![HashSet::new(); edb_count];
     let mut idb_pos: Vec<HashSet<usize>> = vec![HashSet::new(); idb_count];
     for rule in rules {
-        for atom in &rule.atoms {
-            for pos in atom.kernel.index_positions() {
+        for (ai, atom) in rule.atoms.iter().enumerate() {
+            // A generic-lowered rule refines every non-seed atom through
+            // posting intersections at arbitrary argument positions, so it
+            // needs all of them indexed; binary rules only need what their
+            // statically chosen kernels probe.
+            let positions: Vec<usize> = if rule.generic.is_some() && ai > 0 {
+                (0..atom.args.len()).collect()
+            } else {
+                atom.kernel.index_positions().collect()
+            };
+            for pos in positions {
                 match atom.pred {
                     Pred::Edb(r) => edb_pos[r.0].insert(pos),
                     Pred::Idb(i) => idb_pos[i.0].insert(pos),
@@ -879,7 +912,9 @@ impl CompiledProgram {
         // mode), so interrupted runs re-derive it identically on resume.
         let planned: Option<RunPlan> = match options.planner {
             PlannerMode::Textual => None,
-            PlannerMode::CostBased => Some(planner::plan_program(self, structure)),
+            PlannerMode::CostBased => {
+                Some(planner::plan_program(self, structure, options.lowering))
+            }
         };
         let (naive_rules, semi_variants, edb_positions, idb_positions) = match &planned {
             None => (
@@ -1056,6 +1091,7 @@ impl CompiledProgram {
                 blooms: blooms.as_deref(),
                 prev_len: &prev_len,
                 delta_lo: &delta_lo,
+                batched: planned.is_some(),
                 gov,
             };
             let workers = if options.parallel {
@@ -1109,6 +1145,9 @@ impl CompiledProgram {
             for buf in buffers {
                 eval_stats.join_probes += buf.probes;
                 eval_stats.magic_probes += buf.magic_probes;
+                eval_stats.block_probes += buf.block_probes;
+                eval_stats.gallop_steps += buf.gallop_steps;
+                eval_stats.wcoj_rules += buf.wcoj_rules;
                 eval_stats.duplicate_derivations += buf.dups;
                 for (i, scratch) in buf.scratch.into_iter().enumerate() {
                     for t in scratch.iter() {
@@ -1280,9 +1319,9 @@ impl<'p> Evaluator<'p> {
 /// The read-only per-stage join context shared by all workers. Everything
 /// here is borrowed immutably; [`TupleStore`] and [`PosIndex`] have no
 /// interior mutability, so the context is `Sync`.
-struct JoinCtx<'a> {
-    structure: &'a Structure,
-    universe: usize,
+pub(crate) struct JoinCtx<'a> {
+    pub(crate) structure: &'a Structure,
+    pub(crate) universe: usize,
     edb: &'a [&'a TupleStore],
     edb_idx: &'a [Vec<PosIndex>],
     idb: &'a [TupleStore],
@@ -1296,6 +1335,10 @@ struct JoinCtx<'a> {
     /// Store length of each IDB before the previous stage committed
     /// (`old`/`delta` boundary).
     delta_lo: &'a [u32],
+    /// Whether batched-kernel bookkeeping (probe memos, block counters) is
+    /// active — cost-based runs only, so textual counters stay
+    /// byte-identical to the historical engine.
+    pub(crate) batched: bool,
     /// The shared governor; workers poll it cooperatively through
     /// worker-local batched counters ([`WorkerBuf::pending_steps`]).
     gov: &'a Governor,
@@ -1304,7 +1347,7 @@ struct JoinCtx<'a> {
 impl<'a> JoinCtx<'a> {
     /// Resolves an atom to its backing store, available indexes, and id
     /// range.
-    fn source(&self, atom: &JoinAtom) -> (&'a TupleStore, &'a [PosIndex], IdRange) {
+    pub(crate) fn source(&self, atom: &JoinAtom) -> (&'a TupleStore, &'a [PosIndex], IdRange) {
         match atom.pred {
             Pred::Edb(r) => {
                 let store = self.edb[r.0];
@@ -1347,7 +1390,7 @@ impl<'a> JoinCtx<'a> {
 /// [`CompiledProgram`] covers every statically chosen probe position, so
 /// this always succeeds.
 #[allow(clippy::expect_used)]
-fn find_index(indexes: &[PosIndex], p: usize) -> &PosIndex {
+pub(crate) fn find_index(indexes: &[PosIndex], p: usize) -> &PosIndex {
     indexes
         .iter()
         .find(|ix| ix.pos() == p)
@@ -1357,24 +1400,42 @@ fn find_index(indexes: &[PosIndex], p: usize) -> &PosIndex {
 /// Per-worker evaluation buffers: one scratch arena per IDB predicate plus
 /// counters. Workers never exchange boxed tuples — scratch arenas are
 /// re-interned into the shared stores at merge.
-struct WorkerBuf {
-    scratch: Vec<TupleStore>,
-    head_buf: Vec<Element>,
+pub(crate) struct WorkerBuf {
+    pub(crate) scratch: Vec<TupleStore>,
+    pub(crate) head_buf: Vec<Element>,
     /// Reusable tuple buffer for [`JoinKernel::Check`] lookups.
-    check_buf: Vec<Element>,
-    probes: u64,
-    magic_probes: u64,
-    dups: u64,
+    pub(crate) check_buf: Vec<Element>,
+    pub(crate) probes: u64,
+    pub(crate) magic_probes: u64,
+    /// Probes answered from a batched kernel's memo instead of a fresh
+    /// index operation (cost-based mode only).
+    pub(crate) block_probes: u64,
+    /// Comparison steps taken by galloping sorted-intersection searches.
+    pub(crate) gallop_steps: u64,
+    /// Rule evaluations executed by the generic-join lowering.
+    pub(crate) wcoj_rules: u64,
+    pub(crate) dups: u64,
+    /// Reusable id buffer for merged-probe intersections.
+    pub(crate) merge_buf: Vec<u32>,
     /// Steps accumulated locally since the last governor flush.
-    pending_steps: u64,
+    pub(crate) pending_steps: u64,
     /// Set when this worker observed an interrupt; the stage is aborted.
-    tripped: Option<Interrupted>,
+    pub(crate) tripped: Option<Interrupted>,
 }
 
 /// Worker-local steps between governor flushes: keeps the hot join loops
 /// at one local increment per unit of work, with no shared-atomic
 /// contention.
 const WORKER_FLUSH_STRIDE: u64 = 64;
+
+/// Tuples per block in batched scan kernels: one governor charge per block
+/// keeps long scans interruptible without per-tuple accounting.
+pub(crate) const SCAN_BLOCK: usize = 64;
+
+/// Entry cap for each per-atom probe/check memo. Beyond this, batched
+/// kernels fall through to direct index operations — the memo trades a
+/// bounded amount of memory for probe coalescing, never unbounded growth.
+const MEMO_CAP: usize = 1 << 14;
 
 impl WorkerBuf {
     fn new(idb_arities: &[usize]) -> Self {
@@ -1384,7 +1445,11 @@ impl WorkerBuf {
             check_buf: Vec::new(),
             probes: 0,
             magic_probes: 0,
+            block_probes: 0,
+            gallop_steps: 0,
+            wcoj_rules: 0,
             dups: 0,
+            merge_buf: Vec::new(),
             pending_steps: 0,
             tripped: None,
         }
@@ -1409,30 +1474,49 @@ fn evaluate_rule(
             return Ok(());
         }
     }
+    // Batched (cost-based) runs keep per-atom probe memos: consecutive
+    // branches that bind the same key reuse the previous index answer.
+    let memo_len = if ctx.batched { rule.atoms.len() } else { 0 };
     let mut join = RuleJoin {
         rule,
         ctx,
         buf,
         binding: vec![None; rule.var_count],
+        probe_memo: vec![HashMap::new(); memo_len],
+        check_memo: vec![HashMap::new(); memo_len],
+        merge_memo: vec![None; memo_len],
     };
     // Entry-slot ≠-checks: both sides already bound (constants).
     if !join.neqs_ok_at(0) {
         return Ok(());
+    }
+    if let Some(plan) = &rule.generic {
+        join.buf.wcoj_rules += 1;
+        return wcoj::execute(&mut join, plan);
     }
     join.join(0)
 }
 
 /// The join recursion state for one rule: the binding under construction
 /// plus borrowed context and output buffers.
-struct RuleJoin<'a, 'b> {
-    rule: &'a CompiledRule,
-    ctx: &'a JoinCtx<'a>,
-    buf: &'b mut WorkerBuf,
-    binding: Vec<Option<Element>>,
+pub(crate) struct RuleJoin<'a, 'b> {
+    pub(crate) rule: &'a CompiledRule,
+    pub(crate) ctx: &'a JoinCtx<'a>,
+    pub(crate) buf: &'b mut WorkerBuf,
+    pub(crate) binding: Vec<Option<Element>>,
+    /// Per-atom memo of probe key → resolved posting slice. Within one
+    /// stage the indexed prefix is frozen, so a repeated key resolves to
+    /// the identical slice; hits count as [`EvalStats::block_probes`].
+    probe_memo: Vec<HashMap<Element, &'a [u32]>>,
+    /// Per-atom memo of fully-bound check tuple → verdict.
+    check_memo: Vec<HashMap<Vec<Element>, bool>>,
+    /// Per-atom memo of the last merged-probe key pair and its intersected
+    /// id list.
+    merge_memo: Vec<Option<(Element, Element, Vec<u32>)>>,
 }
 
 impl<'a, 'b> RuleJoin<'a, 'b> {
-    fn term_value(&self, t: &Term) -> Option<Element> {
+    pub(crate) fn term_value(&self, t: &Term) -> Option<Element> {
         match t {
             Term::Var(v) => self.binding[v.0],
             Term::Const(c) => Some(self.ctx.structure.constant(*c)),
@@ -1442,7 +1526,7 @@ impl<'a, 'b> RuleJoin<'a, 'b> {
     /// Charges one unit of join work, flushing the worker-local count to
     /// the shared governor every [`WORKER_FLUSH_STRIDE`] units.
     #[inline]
-    fn charge(&mut self) -> Result<(), Interrupted> {
+    pub(crate) fn charge(&mut self) -> Result<(), Interrupted> {
         self.buf.pending_steps += 1;
         if self.buf.pending_steps >= WORKER_FLUSH_STRIDE {
             let n = self.buf.pending_steps;
@@ -1455,7 +1539,7 @@ impl<'a, 'b> RuleJoin<'a, 'b> {
     /// Checks the ≠-constraints hoisted to `slot` (see
     /// [`CompiledRule::neq_at`]); a failing constraint kills the branch.
     /// Both sides are bound at their scheduled slot by construction.
-    fn neqs_ok_at(&self, slot: usize) -> bool {
+    pub(crate) fn neqs_ok_at(&self, slot: usize) -> bool {
         for &ni in &self.rule.neq_at[slot] {
             let (a, b) = &self.rule.neqs[ni];
             if let (Some(x), Some(y)) = (self.term_value(a), self.term_value(b)) {
@@ -1470,12 +1554,20 @@ impl<'a, 'b> RuleJoin<'a, 'b> {
     /// Counts one kernel invocation against the right probe counter and
     /// charges the governor.
     #[inline]
-    fn count_probe(&mut self, is_magic: bool) -> Result<(), Interrupted> {
+    pub(crate) fn count_probe(&mut self, is_magic: bool) -> Result<(), Interrupted> {
         if is_magic {
             self.buf.magic_probes += 1;
         } else {
             self.buf.probes += 1;
         }
+        self.charge()
+    }
+
+    /// Counts one memo-answered probe: the kernel reused the index answer
+    /// from an identical key on an earlier branch of the same batch.
+    #[inline]
+    fn count_block(&mut self) -> Result<(), Interrupted> {
+        self.buf.block_probes += 1;
         self.charge()
     }
 
@@ -1520,38 +1612,92 @@ impl<'a, 'b> RuleJoin<'a, 'b> {
         #[allow(clippy::expect_used)]
         let arg_value =
             |join: &Self, pos: usize| join.term_value(&atom.args[pos]).expect("statically bound");
-        self.count_probe(atom.is_magic)?;
         match atom.kernel {
             JoinKernel::Scan => {
-                for id in range.iter() {
-                    self.try_tuple(atom_pos, store.get(id))?;
+                self.count_probe(atom.is_magic)?;
+                let arity = atom.args.len();
+                if arity == 0 {
+                    for _ in range.iter() {
+                        self.try_tuple(atom_pos, &[])?;
+                    }
+                } else {
+                    // Batched columnar walk: the arity-strided arena hands
+                    // out one contiguous slice per block, keeping the inner
+                    // loop free of per-tuple id arithmetic and charging the
+                    // governor once per block instead of never mid-scan.
+                    let cols = store.range_slice(range);
+                    let mut first = true;
+                    for block in cols.chunks(SCAN_BLOCK * arity) {
+                        if !first {
+                            self.charge()?;
+                        }
+                        first = false;
+                        for tuple in block.chunks_exact(arity) {
+                            self.try_tuple(atom_pos, tuple)?;
+                        }
+                    }
                 }
             }
             JoinKernel::Probe { pos } => {
                 let e = arg_value(self, pos);
-                let ix = find_index(indexes, pos);
-                for &id in ix.probe(e, range) {
+                let list: &'a [u32] = if self.ctx.batched {
+                    if let Some(&hit) = self.probe_memo[atom_pos].get(&e) {
+                        self.count_block()?;
+                        hit
+                    } else {
+                        self.count_probe(atom.is_magic)?;
+                        let l = find_index(indexes, pos).probe(e, range);
+                        if self.probe_memo[atom_pos].len() < MEMO_CAP {
+                            self.probe_memo[atom_pos].insert(e, l);
+                        }
+                        l
+                    }
+                } else {
+                    self.count_probe(atom.is_magic)?;
+                    find_index(indexes, pos).probe(e, range)
+                };
+                for &id in list {
                     self.try_tuple(atom_pos, store.get(TupleId(id)))?;
                 }
             }
             JoinKernel::MergedProbe { pos_a, pos_b } => {
                 let (ea, eb) = (arg_value(self, pos_a), arg_value(self, pos_b));
-                let la = find_index(indexes, pos_a).probe(ea, range);
-                let lb = find_index(indexes, pos_b).probe(eb, range);
-                // Both posting lists are id-sorted: linear merge visits
-                // only ids matching both positions.
-                let (mut i, mut j) = (0usize, 0usize);
-                while i < la.len() && j < lb.len() {
-                    match la[i].cmp(&lb[j]) {
-                        std::cmp::Ordering::Less => i += 1,
-                        std::cmp::Ordering::Greater => j += 1,
-                        std::cmp::Ordering::Equal => {
-                            self.try_tuple(atom_pos, store.get(TupleId(la[i])))?;
-                            i += 1;
-                            j += 1;
-                        }
+                let hit = self.ctx.batched
+                    && matches!(&self.merge_memo[atom_pos],
+                                Some((ka, kb, _)) if *ka == ea && *kb == eb);
+                let ids: Vec<u32> = if hit {
+                    self.count_block()?;
+                    // Take the memoized list out so iterating it does not
+                    // hold a borrow across `try_tuple`; restored below.
+                    #[allow(clippy::expect_used)]
+                    let (_, _, ids) = self.merge_memo[atom_pos].take().expect("memo hit");
+                    ids
+                } else {
+                    self.count_probe(atom.is_magic)?;
+                    let la = find_index(indexes, pos_a).probe(ea, range);
+                    let lb = find_index(indexes, pos_b).probe(eb, range);
+                    // Both posting lists are id-sorted: a galloping k-way
+                    // intersection visits only ids matching both positions,
+                    // skipping runs geometrically instead of one at a time.
+                    let mut out = std::mem::take(&mut self.buf.merge_buf);
+                    let mut steps = 0u64;
+                    gallop_intersect(&[la, lb], &mut out, &mut steps);
+                    self.buf.gallop_steps += steps;
+                    out
+                };
+                let walk = |join: &mut Self| -> Result<(), Interrupted> {
+                    for &id in &ids {
+                        join.try_tuple(atom_pos, store.get(TupleId(id)))?;
                     }
+                    Ok(())
+                };
+                let r = walk(self);
+                if self.ctx.batched {
+                    self.merge_memo[atom_pos] = Some((ea, eb, ids));
+                } else {
+                    self.buf.merge_buf = ids;
                 }
+                r?;
             }
             JoinKernel::Check => {
                 // Every argument is bound: one interner lookup decides the
@@ -1562,8 +1708,25 @@ impl<'a, 'b> RuleJoin<'a, 'b> {
                     let e = arg_value(self, pos);
                     self.buf.check_buf.push(e);
                 }
-                let hit =
-                    matches!(store.lookup(&self.buf.check_buf), Some(id) if range.contains(id));
+                let hit = if self.ctx.batched {
+                    if let Some(&v) = self.check_memo[atom_pos].get(self.buf.check_buf.as_slice()) {
+                        self.count_block()?;
+                        v
+                    } else {
+                        self.count_probe(atom.is_magic)?;
+                        let v = matches!(
+                            store.lookup(&self.buf.check_buf),
+                            Some(id) if range.contains(id)
+                        );
+                        if self.check_memo[atom_pos].len() < MEMO_CAP {
+                            self.check_memo[atom_pos].insert(self.buf.check_buf.clone(), v);
+                        }
+                        v
+                    }
+                } else {
+                    self.count_probe(atom.is_magic)?;
+                    matches!(store.lookup(&self.buf.check_buf), Some(id) if range.contains(id))
+                };
                 if hit {
                     // No new bindings: recurse directly.
                     self.join(atom_pos + 1)?;
@@ -1610,7 +1773,7 @@ impl<'a, 'b> RuleJoin<'a, 'b> {
 
     /// Enumerates universe values for variables bound by no atom, then
     /// emits the head tuple.
-    fn enumerate_free(&mut self, free_pos: usize) -> Result<(), Interrupted> {
+    pub(crate) fn enumerate_free(&mut self, free_pos: usize) -> Result<(), Interrupted> {
         let rule = self.rule;
         if free_pos == rule.free_vars.len() {
             self.emit();

@@ -43,6 +43,7 @@ pub mod parser;
 pub mod planner;
 pub mod program;
 pub mod programs;
+pub(crate) mod wcoj;
 
 pub use ast::{IdbId, Literal, Pred, Rule, Term, VarId};
 pub use eval::{
@@ -50,8 +51,8 @@ pub use eval::{
     StageStats,
 };
 pub use kv_structures::{
-    Budget, CancelToken, Deadline, EvalStats, Governor, Interrupted, LimitExceeded, Limits,
-    PlannerMode,
+    Budget, CancelToken, Deadline, EvalStats, Governor, Interrupted, JoinLowering, LimitExceeded,
+    Limits, PlannerMode,
 };
 pub use magic::{BindingPattern, MagicProgram};
 pub use parser::{parse_program, parse_program_strict, ParseError};

@@ -43,10 +43,16 @@ use crate::eval::{
     index_plan, schedule_neqs, CompiledProgram, CompiledRule, IdbAccess, JoinAtom, JoinKernel,
 };
 use crate::program::Program;
+use crate::wcoj;
 use kv_structures::store::{CardStats, TupleStore};
-use kv_structures::Structure;
+use kv_structures::{JoinLowering, Structure};
 use std::collections::HashSet;
 use std::fmt::Write as _;
+
+/// How much larger than the final estimate the largest predicted binary
+/// intermediate must be before [`JoinLowering::Auto`] switches a cyclic
+/// rule to the generic join.
+const BLOWUP_FACTOR: f64 = 1.5;
 
 /// The strongly connected components of a program's IDB dependency graph,
 /// in topological stratum order.
@@ -212,6 +218,8 @@ struct PlanCtx {
     /// relation (derived relations are usually at least that dense), but
     /// no smaller than the universe.
     idb_len_est: f64,
+    /// Universe size, for fully-bound EDB check selectivities.
+    universe: f64,
 }
 
 impl PlanCtx {
@@ -230,6 +238,7 @@ impl PlanCtx {
         PlanCtx {
             edb_stats,
             idb_len_est,
+            universe: structure.universe_size().max(1) as f64,
         }
     }
 
@@ -354,6 +363,117 @@ fn plan_rule(rule: &CompiledRule, ctx: &PlanCtx) -> CompiledRule {
     out
 }
 
+/// GYO ear removal on the rule-body hypergraph (variables as vertices,
+/// atoms as hyperedges): an edge is an *ear* when the vertices it shares
+/// with the rest of the hypergraph all lie inside one single other edge
+/// (or it shares nothing). Repeatedly removing ears empties an acyclic
+/// hypergraph; a non-empty residue means the body is cyclic — the regime
+/// where every binary join order can blow up past the AGM output bound.
+fn body_is_cyclic(rule: &CompiledRule) -> bool {
+    let mut edges: Vec<HashSet<usize>> = rule
+        .atoms
+        .iter()
+        .map(|a| {
+            a.args
+                .iter()
+                .filter_map(|t| match t {
+                    Term::Var(v) => Some(v.0),
+                    Term::Const(_) => None,
+                })
+                .collect()
+        })
+        .collect();
+    edges.retain(|e: &HashSet<usize>| !e.is_empty());
+    while edges.len() > 1 {
+        let mut ear = None;
+        for i in 0..edges.len() {
+            let shared: HashSet<usize> = edges[i]
+                .iter()
+                .copied()
+                .filter(|v| {
+                    edges
+                        .iter()
+                        .enumerate()
+                        .any(|(j, e)| j != i && e.contains(v))
+                })
+                .collect();
+            let witnessed = shared.is_empty()
+                || edges
+                    .iter()
+                    .enumerate()
+                    .any(|(j, e)| j != i && shared.is_subset(e));
+            if witnessed {
+                ear = Some(i);
+                break;
+            }
+        }
+        match ear {
+            Some(i) => {
+                edges.swap_remove(i);
+            }
+            None => return true,
+        }
+    }
+    false
+}
+
+/// Ratio of the largest predicted intermediate to the final estimate when
+/// the planned binary order runs left to right. Each partially-bound atom
+/// multiplies the running estimate by its expected match count; a fully
+/// bound **EDB** atom filters by its observed density (`len / |A|^arity`),
+/// while fully bound IDB atoms get no credit — their selectivity is
+/// unknowable at plan time (the same philosophy as
+/// [`PlanCtx::estimate`]), and crediting it would flip acyclic-in-spirit
+/// recursive rules to the generic lowering on guesswork.
+fn blowup_ratio(rule: &CompiledRule, ctx: &PlanCtx) -> f64 {
+    let mut bound: HashSet<usize> = HashSet::new();
+    let mut running = 1.0f64;
+    let mut max_intermediate = 0.0f64;
+    for (i, atom) in rule.atoms.iter().enumerate() {
+        let b = PlanCtx::bound_positions(atom, &bound);
+        let mult = if b.len() == atom.args.len() {
+            match atom.pred {
+                Pred::Edb(r) => {
+                    let cells = ctx.universe.powi(atom.args.len() as i32).max(1.0);
+                    (ctx.edb_stats[r.0].len as f64 / cells).min(1.0)
+                }
+                Pred::Idb(_) => 1.0,
+            }
+        } else {
+            ctx.estimate(atom, &bound).max(1e-6)
+        };
+        running *= mult;
+        if i + 1 < rule.atoms.len() {
+            max_intermediate = max_intermediate.max(running);
+        }
+        for t in &atom.args {
+            if let Term::Var(v) = t {
+                bound.insert(v.0);
+            }
+        }
+    }
+    max_intermediate / running.max(1e-6)
+}
+
+/// Decides the join lowering for one planned rule and attaches the
+/// generic plan when chosen. `Binary` never lowers generically; `Generic`
+/// forces it for every multi-atom body; `Auto` requires a cyclic body
+/// hypergraph *and* a predicted intermediate blow-up beyond
+/// [`BLOWUP_FACTOR`] — the regime where variable-at-a-time intersection
+/// provably beats every binary order.
+fn choose_lowering(rule: &mut CompiledRule, ctx: &PlanCtx, lowering: JoinLowering) {
+    let generic = match lowering {
+        JoinLowering::Binary => false,
+        JoinLowering::Generic => rule.atoms.len() >= 2,
+        JoinLowering::Auto => {
+            rule.atoms.len() >= 2 && body_is_cyclic(rule) && blowup_ratio(rule, ctx) > BLOWUP_FACTOR
+        }
+    };
+    if generic {
+        rule.generic = wcoj::build_generic_plan(rule);
+    }
+}
+
 /// The earliest atom index at which every head argument is bound, if the
 /// head needs no free-variable enumeration. From that point on, a branch
 /// whose head tuple already exists can stop early. Points at or past the
@@ -384,21 +504,24 @@ fn head_check_point(rule: &CompiledRule) -> Option<usize> {
 }
 
 /// Plans `compiled` against one concrete structure: every rule body is
-/// cost-ordered and kernel-assigned, and the index plan is recomputed
-/// from the chosen kernels. Pure in `(program, structure)` — governed
-/// resume re-derives the identical plan.
-pub(crate) fn plan_program(compiled: &CompiledProgram, structure: &Structure) -> RunPlan {
+/// cost-ordered and kernel-assigned, each rule's join lowering (binary
+/// kernels vs. worst-case-optimal generic join) is chosen, and the index
+/// plan is recomputed from the chosen kernels. Pure in
+/// `(program, structure, lowering)` — governed resume re-derives the
+/// identical plan.
+pub(crate) fn plan_program(
+    compiled: &CompiledProgram,
+    structure: &Structure,
+    lowering: JoinLowering,
+) -> RunPlan {
     let ctx = PlanCtx::new(compiled, structure);
-    let naive_rules: Vec<CompiledRule> = compiled
-        .naive_rules
-        .iter()
-        .map(|r| plan_rule(r, &ctx))
-        .collect();
-    let semi_variants: Vec<CompiledRule> = compiled
-        .semi_variants
-        .iter()
-        .map(|r| plan_rule(r, &ctx))
-        .collect();
+    let lower = |r: &CompiledRule| {
+        let mut planned = plan_rule(r, &ctx);
+        choose_lowering(&mut planned, &ctx, lowering);
+        planned
+    };
+    let naive_rules: Vec<CompiledRule> = compiled.naive_rules.iter().map(lower).collect();
+    let semi_variants: Vec<CompiledRule> = compiled.semi_variants.iter().map(lower).collect();
     let (edb_positions, idb_positions) = index_plan(
         naive_rules.iter().chain(&semi_variants),
         compiled.edb_positions.len(),
@@ -413,7 +536,9 @@ pub(crate) fn plan_program(compiled: &CompiledProgram, structure: &Structure) ->
 }
 
 impl CompiledProgram {
-    fn atom_label(&self, atom: &JoinAtom) -> String {
+    /// Renders an atom's predicate with its semi-naive access decoration
+    /// (`Δ` / `old·`), without the kernel suffix.
+    fn pred_label(&self, atom: &JoinAtom) -> String {
         let name = match atom.pred {
             Pred::Edb(r) => self.vocabulary.relation_name(r).to_string(),
             Pred::Idb(i) => self.idb_names[i.0].clone(),
@@ -423,24 +548,64 @@ impl CompiledProgram {
             IdbAccess::Old => "old·",
             IdbAccess::Full => "",
         };
+        format!("{access}{name}")
+    }
+
+    fn atom_label(&self, atom: &JoinAtom) -> String {
         let kernel = match atom.kernel {
             JoinKernel::Scan => "scan".to_string(),
             JoinKernel::Probe { pos } => format!("probe@{pos}"),
             JoinKernel::MergedProbe { pos_a, pos_b } => format!("merge@{pos_a},{pos_b}"),
             JoinKernel::Check => "check".to_string(),
         };
-        format!("{access}{name}:{kernel}")
+        format!("{}:{kernel}", self.pred_label(atom))
+    }
+
+    /// Renders a generic-join plan: the variable binding order, and for
+    /// each variable the posting-list iterators (atom@positions) whose
+    /// intersection drives the step.
+    fn wcoj_label(&self, rule: &CompiledRule, plan: &crate::wcoj::GenericPlan) -> String {
+        let steps: Vec<String> = plan
+            .steps
+            .iter()
+            .map(|st| {
+                let iters: Vec<String> = st
+                    .occurrences
+                    .iter()
+                    .map(|(ai, positions)| {
+                        let pos: Vec<String> = positions.iter().map(ToString::to_string).collect();
+                        format!("{}@{}", self.pred_label(&rule.atoms[*ai]), pos.join(","))
+                    })
+                    .collect();
+                format!("v{}←∩({})", st.var, iters.join(" "))
+            })
+            .collect();
+        format!("wcoj[{}]", steps.join("; "))
     }
 
     fn render_rules(&self, out: &mut String, title: &str, prefix: &str, rules: &[CompiledRule]) {
         let _ = writeln!(out, "{title}:");
         for (i, rule) in rules.iter().enumerate() {
-            let atoms = rule
-                .atoms
-                .iter()
-                .map(|a| self.atom_label(a))
-                .collect::<Vec<_>>()
-                .join(", ");
+            let atoms = if rule.generic.is_some() {
+                // Generic lowering: atom 0 seeds the join, every other
+                // atom is a trie of sorted postings; the per-atom binary
+                // kernels are not executed.
+                rule.atoms
+                    .iter()
+                    .enumerate()
+                    .map(|(j, a)| {
+                        let role = if j == 0 { "seed" } else { "trie" };
+                        format!("{}:{role}", self.pred_label(a))
+                    })
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            } else {
+                rule.atoms
+                    .iter()
+                    .map(|a| self.atom_label(a))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            };
             let body = if atoms.is_empty() { "⊤" } else { &atoms };
             let _ = write!(
                 out,
@@ -457,7 +622,11 @@ impl CompiledProgram {
                     .collect();
                 let _ = write!(out, " | ≠@[{}]", slots.join(" "));
             }
-            if let Some(k) = rule.head_check_at {
+            if let Some(plan) = &rule.generic {
+                // The generic executor verifies atoms by intersection, so
+                // the binary head early-exit point is not rendered.
+                let _ = write!(out, " | {}", self.wcoj_label(rule, plan));
+            } else if let Some(k) = rule.head_check_at {
                 let _ = write!(out, " | head-check@{k}");
             }
             let _ = writeln!(out);
@@ -509,15 +678,25 @@ impl CompiledProgram {
         out
     }
 
-    /// Renders the cost-based plan chosen for `structure`: the EDB
-    /// cardinality snapshot the planner saw, and every rule in its
-    /// planned atom order with selected kernels, hoisted ≠-slots, and
-    /// head early-exit points.
+    /// Renders the cost-based plan chosen for `structure` under the
+    /// default [`JoinLowering::Auto`] selection. See
+    /// [`explain_for_lowered`](Self::explain_for_lowered).
     pub fn explain_for(&self, structure: &Structure) -> String {
-        let plan = plan_program(self, structure);
+        self.explain_for_lowered(structure, JoinLowering::Auto)
+    }
+
+    /// Renders the cost-based plan chosen for `structure` under the given
+    /// join lowering: the EDB cardinality snapshot the planner saw, and
+    /// every rule in its planned atom order with selected kernels,
+    /// hoisted ≠-slots, head early-exit points, and — for generically
+    /// lowered rules — the variable binding order with its per-variable
+    /// posting-list iterators.
+    pub fn explain_for_lowered(&self, structure: &Structure, lowering: JoinLowering) -> String {
+        let plan = plan_program(self, structure, lowering);
         let ctx = PlanCtx::new(self, structure);
         let mut out = String::new();
         let _ = writeln!(out, "plan mode: cost-based");
+        let _ = writeln!(out, "lowering: {lowering}");
         let _ = writeln!(out, "structure: |A| = {}", structure.universe_size());
         for (r, stats) in self.vocabulary.relations().zip(&ctx.edb_stats) {
             let _ = writeln!(
@@ -603,7 +782,7 @@ mod tests {
         let p = programs::q_kl(2, 1);
         let compiled = CompiledProgram::compile(&p);
         let s = kv_structures::generators::random_digraph(10, 0.2, 11).to_structure();
-        let plan = plan_program(&compiled, &s);
+        let plan = plan_program(&compiled, &s, JoinLowering::Auto);
         assert_eq!(plan.naive_rules.len(), compiled.naive_rules.len());
         assert_eq!(plan.semi_variants.len(), compiled.semi_variants.len());
         for (planned, textual) in plan.semi_variants.iter().zip(&compiled.semi_variants) {
@@ -650,6 +829,7 @@ semi-naive variants:
         let planned = compiled.explain_for(&directed_path(6));
         let expected_planned = "\
 plan mode: cost-based
+lowering: auto
 structure: |A| = 6
 edb E: 5 tuple(s), distinct [5, 5]
 goal: S | 1 IDB(s), 2 rule(s), 1 semi-naive variant(s)
@@ -662,6 +842,51 @@ semi-naive variants:
   v0: S ← ΔS:scan, E:probe@1
 ";
         assert_eq!(planned, expected_planned);
+    }
+
+    #[test]
+    fn explain_golden_for_triangles_generic_join() {
+        use kv_structures::generators::random_digraph;
+        let p = programs::triangles();
+        let compiled = CompiledProgram::compile(&p);
+        let s = random_digraph(12, 0.25, 1).to_structure();
+        // Auto flips the cyclic triangle body to the generic lowering: the
+        // first E atom seeds (x, y), one variable step binds z by
+        // intersecting the postings E@1 (of E(y, z)) and E@0 (of E(z, x)).
+        let rendered = compiled.explain_for(&s);
+        let expected = "\
+plan mode: cost-based
+lowering: auto
+structure: |A| = 12
+edb E: 32 tuple(s), distinct [11, 11]
+goal: Tri | 1 IDB(s), 1 rule(s), 0 semi-naive variant(s)
+strata (1 SCCs, topological order):
+  s0: Tri
+naive rules:
+  n0: Tri ← E:seed, E:trie, E:trie | wcoj[v2←∩(E@1 E@0)]
+semi-naive variants:
+";
+        assert_eq!(rendered, expected);
+        // Forcing generic yields the same plan; forcing binary renders
+        // ordinary kernels and no wcoj section.
+        assert_eq!(
+            compiled.explain_for_lowered(&s, JoinLowering::Generic),
+            expected.replace("lowering: auto", "lowering: generic")
+        );
+        let binary = compiled.explain_for_lowered(&s, JoinLowering::Binary);
+        assert!(!binary.contains("wcoj"), "{binary}");
+        assert!(binary.contains("E:scan"), "{binary}");
+    }
+
+    #[test]
+    fn auto_keeps_acyclic_and_recursive_bodies_binary() {
+        // TC and Q_{2,1} bodies are GYO-acyclic or blow-up-free: Auto must
+        // not flip them, so the planned bench numbers stay binary-kernel.
+        for p in [programs::transitive_closure(), programs::q_kl(2, 1)] {
+            let compiled = CompiledProgram::compile(&p);
+            let rendered = compiled.explain_for(&directed_path(6));
+            assert!(!rendered.contains("wcoj"), "{rendered}");
+        }
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! The paper's program library.
 //!
 //! - [`transitive_closure`]: Example 2.2;
+//! - [`triangles`]: the directed-triangle query, the canonical cyclic body
+//!   exercising the worst-case-optimal join lowering;
 //! - [`avoiding_path`]: Example 2.1's `T(x, y, w)`;
 //! - [`q_prime`]: the warm-up query `Q'(s, s1, s2)` of Theorem 6.1;
 //! - [`q_kl`]: the general program family `Q_{k,l}` of Theorem 6.1 —
@@ -33,6 +35,22 @@ use std::sync::Arc;
 pub fn transitive_closure() -> Program {
     parse_program(
         "S(x, y) :- E(x, y).\nS(x, y) :- E(x, z), S(z, y).\n?- S.",
+        Arc::new(Vocabulary::graph()),
+    )
+    .expect("static program parses")
+}
+
+/// The directed-triangle query: the canonical cyclic conjunctive body on
+/// which every binary join order is asymptotically worse than the AGM
+/// output bound, so the cost-based planner's worst-case-optimal generic
+/// lowering should engage under [`kv_structures::JoinLowering::Auto`].
+///
+/// ```text
+/// Tri(x, y, z) :- E(x, y), E(y, z), E(z, x).
+/// ```
+pub fn triangles() -> Program {
+    parse_program(
+        "Tri(x, y, z) :- E(x, y), E(y, z), E(z, x).\n?- Tri.",
         Arc::new(Vocabulary::graph()),
     )
     .expect("static program parses")

@@ -47,13 +47,13 @@ pub use hom::{HomKind, PartialMap};
 pub use io::{parse_digraph, write_digraph, DigraphParseError};
 pub use ops::{disjoint_union, induced_substructure, quotient};
 pub use plan::{
-    structure_fingerprint, CacheStats, DemandStrategy, PlannerMode, QueryCache, QueryPlan,
-    StructureId, StructureRegistry,
+    structure_fingerprint, CacheStats, DemandStrategy, JoinLowering, PlannerMode, QueryCache,
+    QueryPlan, StructureId, StructureRegistry,
 };
 pub use rng::SplitMix64;
 pub use store::{
-    tuple_hash, CardStats, EvalStats, IdRange, LimitExceeded, Limits, PosIndex, StoreView,
-    TupleBloom, TupleId, TupleStore,
+    gallop, gallop_intersect, tuple_hash, CardStats, EvalStats, IdRange, LimitExceeded, Limits,
+    PosIndex, StoreView, TupleBloom, TupleId, TupleStore,
 };
 pub use structure::{Element, Relation, Structure, Tuple};
 pub use vocabulary::{ConstId, RelId, Vocabulary};

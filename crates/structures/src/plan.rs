@@ -53,6 +53,37 @@ impl fmt::Display for PlannerMode {
     }
 }
 
+/// How cost-based plans lower each rule body into an executable join.
+///
+/// Binary lowering runs the planned atom order through pairwise kernels
+/// (scan/probe/merge/check); generic lowering runs a worst-case-optimal
+/// variable-at-a-time join over sorted posting intersections. Both lowerings
+/// run *inside* the global semi-naive stage loop and derive the same tuple
+/// set at every stage (the Theorem 3.6 stage-identity suites certify this),
+/// so the choice is purely a performance knob.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum JoinLowering {
+    /// Per rule: generic join for cyclic bodies whose estimated binary
+    /// intermediates blow up past the estimated output, binary otherwise.
+    #[default]
+    Auto,
+    /// Force pairwise binary kernels for every rule.
+    Binary,
+    /// Force the worst-case-optimal generic join for every rule with at
+    /// least two body atoms.
+    Generic,
+}
+
+impl fmt::Display for JoinLowering {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            JoinLowering::Auto => "auto",
+            JoinLowering::Binary => "binary",
+            JoinLowering::Generic => "generic",
+        })
+    }
+}
+
 /// A binding pattern plus the demand strategy chosen for it.
 ///
 /// The pattern has one flag per goal position: `true` means the query
@@ -64,6 +95,7 @@ pub struct QueryPlan {
     pattern: Vec<bool>,
     strategy: DemandStrategy,
     planner: PlannerMode,
+    lowering: JoinLowering,
 }
 
 impl QueryPlan {
@@ -73,6 +105,7 @@ impl QueryPlan {
             pattern,
             strategy,
             planner: PlannerMode::default(),
+            lowering: JoinLowering::default(),
         }
     }
 
@@ -85,6 +118,17 @@ impl QueryPlan {
     /// The planner mode rule bodies are compiled with.
     pub fn planner(&self) -> PlannerMode {
         self.planner
+    }
+
+    /// The same plan with an explicit [`JoinLowering`].
+    pub fn with_lowering(mut self, lowering: JoinLowering) -> Self {
+        self.lowering = lowering;
+        self
+    }
+
+    /// The join lowering cost-based plans execute rule bodies with.
+    pub fn lowering(&self) -> JoinLowering {
+        self.lowering
     }
 
     /// Full saturation for an `arity`-ary goal (all positions free).
@@ -297,6 +341,21 @@ mod tests {
         assert_eq!(textual.to_string(), "bf/demand");
         assert_eq!(PlannerMode::Textual.to_string(), "textual");
         assert_eq!(PlannerMode::CostBased.to_string(), "cost-based");
+    }
+
+    #[test]
+    fn lowering_defaults_auto_and_is_overridable() {
+        let plan = QueryPlan::full(2);
+        assert_eq!(plan.lowering(), JoinLowering::Auto);
+        let generic = plan.clone().with_lowering(JoinLowering::Generic);
+        assert_eq!(generic.lowering(), JoinLowering::Generic);
+        assert_eq!(
+            plan.with_lowering(JoinLowering::Binary).lowering(),
+            JoinLowering::Binary
+        );
+        assert_eq!(JoinLowering::Auto.to_string(), "auto");
+        assert_eq!(JoinLowering::Binary.to_string(), "binary");
+        assert_eq!(JoinLowering::Generic.to_string(), "generic");
     }
 
     #[test]

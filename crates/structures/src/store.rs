@@ -249,6 +249,20 @@ impl TupleStore {
         self.arity == other.arity && self.len == other.len && self.iter().all(|t| other.contains(t))
     }
 
+    /// The contiguous columnar slice backing the tuples of `range`:
+    /// `arity * range.len()` elements, arity-strided. Because the arena is
+    /// append-only, any id range is one contiguous block — batched kernels
+    /// iterate it with `chunks_exact(arity)` instead of per-tuple `get`
+    /// calls.
+    ///
+    /// # Panics
+    /// Panics if the range extends past the store.
+    pub fn range_slice(&self, range: IdRange) -> &[Element] {
+        assert!(range.end <= self.len, "range beyond store length");
+        let a = self.arity;
+        &self.data[range.start as usize * a..range.end as usize * a]
+    }
+
     /// A snapshot of the store's cardinality statistics.
     ///
     /// The per-position distinct counters are maintained incrementally on
@@ -493,6 +507,11 @@ impl<'a> StoreView<'a> {
 /// monotonically, [`update`](Self::update) extends the postings
 /// incrementally and [`probe`](Self::probe) restricts to any [`IdRange`]
 /// with two binary searches.
+///
+/// **Invariant:** every posting list is strictly increasing in tuple id.
+/// The batched join kernels and the generic-join lowering depend on this —
+/// a multi-position probe is the [`gallop_intersect`] of the per-position
+/// posting lists, with no hashing or re-sorting.
 #[derive(Debug, Clone)]
 pub struct PosIndex {
     pos: usize,
@@ -552,6 +571,82 @@ impl PosIndex {
     }
 }
 
+/// First index in the sorted list whose value is `>= target`, located by a
+/// galloping (exponential-then-binary) search from the front.
+///
+/// Galloping is the right search for k-way sorted intersections: when the
+/// cursor advances by `d` positions the search costs `O(log d)`, so a full
+/// intersection pass costs `O(Σ log gaps)` — linear merge when the lists
+/// interleave densely, logarithmic skips when one list is much sparser.
+/// Each comparison is added to `steps` so batched kernels can report the
+/// exact work done (see `EvalStats::gallop_steps`).
+#[inline]
+pub fn gallop(list: &[u32], target: u32, steps: &mut u64) -> usize {
+    let n = list.len();
+    if n == 0 || list[0] >= target {
+        *steps += 1;
+        return 0;
+    }
+    // Exponential phase: invariant `list[lo] < target`.
+    let mut taken = 1u64;
+    let mut lo = 0usize;
+    let mut size = 1usize;
+    while lo + size < n && list[lo + size] < target {
+        taken += 1;
+        lo += size;
+        size <<= 1;
+    }
+    // Binary phase over `(lo, hi]` with `list[lo] < target` and either
+    // `hi == n` or `list[hi] >= target`.
+    let mut hi = (lo + size).min(n);
+    while hi - lo > 1 {
+        taken += 1;
+        let mid = lo + (hi - lo) / 2;
+        if list[mid] < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    *steps += taken;
+    hi
+}
+
+/// Intersects `k` sorted, duplicate-free posting lists into `out` (cleared
+/// first), driving from the smallest list and galloping the others forward
+/// with resume cursors. Search comparisons are added to `steps`.
+///
+/// This is the batched replacement for per-tuple two-pointer merges: every
+/// [`PosIndex`] posting list is id-sorted by construction, so the k-way
+/// sorted intersection of per-position postings *is* the candidate set of a
+/// multi-position probe. Returns early as soon as any list is exhausted.
+pub fn gallop_intersect(lists: &[&[u32]], out: &mut Vec<u32>, steps: &mut u64) {
+    out.clear();
+    if lists.is_empty() || lists.iter().any(|l| l.is_empty()) {
+        return;
+    }
+    // Drive from the shortest list; the others keep monotone resume
+    // cursors, so each is traversed at most once across the whole call.
+    let mut order: Vec<usize> = (0..lists.len()).collect();
+    order.sort_by_key(|&i| lists[i].len());
+    let driver = lists[order[0]];
+    let others: Vec<&[u32]> = order[1..].iter().map(|&i| lists[i]).collect();
+    let mut cursors = vec![0usize; others.len()];
+    'driver: for &x in driver {
+        for (cur, list) in cursors.iter_mut().zip(&others) {
+            *cur += gallop(&list[*cur..], x, steps);
+            if *cur >= list.len() {
+                // This list has no values >= x: nothing further can match.
+                break 'driver;
+            }
+            if list[*cur] != x {
+                continue 'driver;
+            }
+        }
+        out.push(x);
+    }
+}
+
 /// Counters reported by store-backed evaluators.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EvalStats {
@@ -566,6 +661,17 @@ pub struct EvalStats {
     /// [`EvalStats::join_probes`] so the bookkeeping overhead of a
     /// magic-set rewrite stays visible.
     pub magic_probes: u64,
+    /// Probes answered by batched kernels from a block-local memo (the
+    /// previous delta tuple bound the same key) instead of a fresh index
+    /// operation. Batching turns `join_probes` into `block_probes`; the sum
+    /// of the two is comparable to the unbatched `join_probes`.
+    pub block_probes: u64,
+    /// Comparison steps taken by galloping sorted-intersection searches
+    /// ([`gallop`] / [`gallop_intersect`]).
+    pub gallop_steps: u64,
+    /// Rule evaluations executed by the worst-case-optimal generic join
+    /// lowering instead of the binary kernel pipeline.
+    pub wcoj_rules: u64,
     /// Stages executed.
     pub stages: u64,
 }
@@ -577,6 +683,9 @@ impl EvalStats {
         self.duplicate_derivations += other.duplicate_derivations;
         self.join_probes += other.join_probes;
         self.magic_probes += other.magic_probes;
+        self.block_probes += other.block_probes;
+        self.gallop_steps += other.gallop_steps;
+        self.wcoj_rules += other.wcoj_rules;
         self.stages += other.stages;
     }
 }
@@ -859,6 +968,9 @@ mod tests {
             duplicate_derivations: 2,
             join_probes: 3,
             magic_probes: 5,
+            block_probes: 6,
+            gallop_steps: 7,
+            wcoj_rules: 8,
             stages: 4,
         };
         a.merge(&EvalStats {
@@ -866,10 +978,117 @@ mod tests {
             duplicate_derivations: 20,
             join_probes: 30,
             magic_probes: 50,
+            block_probes: 60,
+            gallop_steps: 70,
+            wcoj_rules: 80,
             stages: 40,
         });
         assert_eq!(a.tuples_interned, 11);
         assert_eq!(a.join_probes, 33);
         assert_eq!(a.magic_probes, 55);
+        assert_eq!(a.block_probes, 66);
+        assert_eq!(a.gallop_steps, 77);
+        assert_eq!(a.wcoj_rules, 88);
+    }
+
+    #[test]
+    fn gallop_finds_first_geq() {
+        let list: Vec<u32> = vec![2, 3, 5, 8, 13, 21, 34, 55];
+        let mut steps = 0u64;
+        for target in 0..60u32 {
+            let expect = list.partition_point(|&x| x < target);
+            assert_eq!(gallop(&list, target, &mut steps), expect, "target {target}");
+        }
+        assert!(steps > 0);
+        // Degenerate inputs.
+        assert_eq!(gallop(&[], 7, &mut steps), 0);
+        assert_eq!(gallop(&[9], 7, &mut steps), 0);
+        assert_eq!(gallop(&[9], 9, &mut steps), 0);
+        assert_eq!(gallop(&[9], 10, &mut steps), 1);
+    }
+
+    /// Reference intersection via hashing, for differential testing.
+    fn naive_intersect(lists: &[&[u32]]) -> Vec<u32> {
+        use std::collections::HashSet;
+        let Some((first, rest)) = lists.split_first() else {
+            return Vec::new();
+        };
+        let mut acc: HashSet<u32> = first.iter().copied().collect();
+        for list in rest {
+            let next: HashSet<u32> = list.iter().copied().collect();
+            acc.retain(|x| next.contains(x));
+        }
+        let mut out: Vec<u32> = acc.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn gallop_intersect_edge_cases() {
+        let mut out = Vec::new();
+        let mut steps = 0u64;
+        // No lists at all.
+        gallop_intersect(&[], &mut out, &mut steps);
+        assert!(out.is_empty());
+        // Any empty list annihilates the intersection.
+        gallop_intersect(&[&[1, 2, 3], &[]], &mut out, &mut steps);
+        assert!(out.is_empty());
+        // A single list intersects to itself.
+        gallop_intersect(&[&[4, 7, 9]], &mut out, &mut steps);
+        assert_eq!(out, vec![4, 7, 9]);
+        // Singletons: hit and miss.
+        gallop_intersect(&[&[5], &[1, 5, 9]], &mut out, &mut steps);
+        assert_eq!(out, vec![5]);
+        gallop_intersect(&[&[6], &[1, 5, 9]], &mut out, &mut steps);
+        assert!(out.is_empty());
+        // Fully disjoint (interleaved) lists.
+        gallop_intersect(&[&[0, 2, 4, 6], &[1, 3, 5, 7]], &mut out, &mut steps);
+        assert!(out.is_empty());
+        // All-equal lists intersect to themselves, regardless of k.
+        let same: &[u32] = &[3, 6, 9, 12];
+        gallop_intersect(&[same, same, same, same], &mut out, &mut steps);
+        assert_eq!(out, same);
+        // `out` is cleared on every call, not accumulated into.
+        gallop_intersect(&[&[1], &[2]], &mut out, &mut steps);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn gallop_intersect_differential_vs_hashset() {
+        use crate::rng::SplitMix64;
+        let mut out = Vec::new();
+        for seed in 0..40u64 {
+            let mut rng = SplitMix64::seed_from_u64(0xC0FFEE + seed);
+            let k = rng.gen_range(1usize..5);
+            let lists: Vec<Vec<u32>> = (0..k)
+                .map(|_| {
+                    let len = rng.gen_range(0usize..40);
+                    let mut l: Vec<u32> = (0..len).map(|_| rng.gen_range(0u32..60)).collect();
+                    l.sort_unstable();
+                    l.dedup();
+                    l
+                })
+                .collect();
+            let refs: Vec<&[u32]> = lists.iter().map(Vec::as_slice).collect();
+            let mut steps = 0u64;
+            gallop_intersect(&refs, &mut out, &mut steps);
+            assert_eq!(out, naive_intersect(&refs), "seed {seed}: lists {lists:?}");
+            assert!(out.windows(2).all(|w| w[0] < w[1]), "seed {seed}: unsorted");
+        }
+    }
+
+    #[test]
+    fn range_slice_is_columnar_prefix() {
+        let mut s = TupleStore::new(2);
+        for i in 0..5u32 {
+            s.intern(&[i, 10 * i]);
+        }
+        assert_eq!(s.range_slice(IdRange { start: 1, end: 3 }), &[1, 10, 2, 20]);
+        assert_eq!(s.range_slice(IdRange::EMPTY), &[] as &[Element]);
+        assert_eq!(s.range_slice(s.id_range()).len(), 10);
+        // Batched scans chunk the slice by arity.
+        let rows: Vec<&[Element]> = s.range_slice(s.id_range()).chunks_exact(2).collect();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[4], &[4, 40]);
     }
 }

@@ -14,14 +14,16 @@
 //!    and `resume(interrupt(x)) ≡ run(x)` — stage by stage for Datalog,
 //!    verdict by verdict for the games.
 //!
-//! The injection-point counts below sum to 130 distinct seeded points
+//! The injection-point counts below sum to 150 distinct seeded points
 //! (24 Datalog + 12 existential game + 8 CNF game + 8 acyclic game +
 //! 8 lfp + 6 stage comparison + 8 homeomorphism + 8 reduction + 4 flow +
 //! 12 lazy arena + 8 seeded magic evaluation + 16 cost-based sequential +
-//! 8 cost-based parallel), satisfying the ≥64-point acceptance bar; every
-//! point runs in every `cargo test` invocation. The cost-based points
-//! trip faults inside the SCC stratum scheduler (stage-boundary checks)
-//! and the planned join kernels (per-probe step charges).
+//! 8 cost-based parallel + 12 generic-join variable loop + 8 batched
+//! block loop), satisfying the ≥64-point acceptance bar; every point runs
+//! in every `cargo test` invocation. The cost-based points trip faults
+//! inside the SCC stratum scheduler (stage-boundary checks), the planned
+//! join kernels (per-probe step charges), the batched scan's per-block
+//! charges, and the generic join's per-value variable-loop charges.
 
 use datalog_expressiveness::datalog::programs::{
     avoiding_path, path_systems, q_kl, q_prime, transitive_closure, two_disjoint_paths_acyclic,
@@ -100,6 +102,9 @@ fn stats_monotone(prefix: &EvalStats, total: &EvalStats) -> bool {
         && prefix.duplicate_derivations <= total.duplicate_derivations
         && prefix.join_probes <= total.join_probes
         && prefix.stages <= total.stages
+        && prefix.block_probes <= total.block_probes
+        && prefix.gallop_steps <= total.gallop_steps
+        && prefix.wcoj_rules <= total.wcoj_rules
 }
 
 // ---------------------------------------------------------------------
@@ -550,6 +555,82 @@ fn chaos_planned_parallel_interrupt_resume_matches_stages() {
         for (i, (a, b)) in baseline.idb.iter().zip(&run.idb).enumerate() {
             assert_eq!(a.len(), b.len(), "{label}: IDB {i} size");
             assert!(a.iter().all(|t| b.contains(t)), "{label}: IDB {i} tuples");
+        }
+    }
+}
+
+#[test]
+fn chaos_generic_join_interrupt_resume_equals_run() {
+    // Fault injection inside the generic-join variable loop: on the cyclic
+    // triangle body the Auto lowering engages wcoj, whose per-value and
+    // per-refinement charges give the governor interruption points between
+    // variable bindings. Sequential evaluation is deterministic, so resume
+    // must match the straight run including the new batched counters, and
+    // every checkpoint must stay monotone in them.
+    use datalog_expressiveness::datalog::programs::triangles;
+    let program = triangles();
+    let opts = EvalOptions {
+        parallel: false,
+        ..EvalOptions::default()
+    }
+    .with_planner(PlannerMode::CostBased);
+    for index in 0..12usize {
+        let s = random_digraph(10, 0.3, 33_000 + (index % 4) as u64).to_structure();
+        let eval = Evaluator::new(&program);
+        let baseline = eval.run(&s, opts);
+        assert!(
+            baseline.eval_stats.wcoj_rules > 0,
+            "triangles must take the generic lowering"
+        );
+        let (label, gov) = chaos::injection(chaos_seed(), 1_300 + index, 50);
+        match eval.try_run_governed(&s, opts, &gov) {
+            Ok(done) => assert_results_identical(&baseline, &done, &label),
+            Err(interrupted) => {
+                let cp_stats = interrupted.checkpoint.eval_stats();
+                assert!(
+                    stats_monotone(&cp_stats, &baseline.eval_stats),
+                    "{label}: checkpoint stats exceed the full generic run"
+                );
+                let resumed = eval
+                    .resume(&s, opts, &Governor::unlimited(), interrupted.checkpoint)
+                    .unwrap_or_else(|e| panic!("{label}: unlimited resume interrupted: {e}"));
+                assert_results_identical(&baseline, &resumed, &label);
+            }
+        }
+    }
+}
+
+#[test]
+fn chaos_batched_block_loop_interrupt_resume_equals_run() {
+    // Fault injection inside the batched block loop: a transitive closure
+    // over ~70 edges makes every scan span multiple SCAN_BLOCK-sized
+    // columnar blocks, each charging the governor, so the step budget can
+    // trip between blocks of the same scan. Resume must land on the
+    // straight run exactly (sequential planned runs are deterministic).
+    let program = transitive_closure();
+    let opts = EvalOptions {
+        parallel: false,
+        ..EvalOptions::default()
+    }
+    .with_planner(PlannerMode::CostBased);
+    for index in 0..8usize {
+        let s = random_digraph(30, 0.08, 7 + (index % 2) as u64).to_structure();
+        let eval = Evaluator::new(&program);
+        let baseline = eval.run(&s, opts);
+        let (label, gov) = chaos::injection(chaos_seed(), 1_400 + index, 70);
+        match eval.try_run_governed(&s, opts, &gov) {
+            Ok(done) => assert_results_identical(&baseline, &done, &label),
+            Err(interrupted) => {
+                let cp_stats = interrupted.checkpoint.eval_stats();
+                assert!(
+                    stats_monotone(&cp_stats, &baseline.eval_stats),
+                    "{label}: checkpoint stats exceed the full batched run"
+                );
+                let resumed = eval
+                    .resume(&s, opts, &Governor::unlimited(), interrupted.checkpoint)
+                    .unwrap_or_else(|e| panic!("{label}: unlimited resume interrupted: {e}"));
+                assert_results_identical(&baseline, &resumed, &label);
+            }
         }
     }
 }

@@ -15,11 +15,11 @@
 //! and under parallel evaluation.
 
 use datalog_expressiveness::datalog::programs::{
-    avoiding_path, path_systems, q_kl, q_prime, transitive_closure, two_disjoint_paths_acyclic,
-    two_disjoint_paths_paper_rules, two_pairs_vocabulary,
+    avoiding_path, path_systems, q_kl, q_prime, transitive_closure, triangles,
+    two_disjoint_paths_acyclic, two_disjoint_paths_paper_rules, two_pairs_vocabulary,
 };
 use datalog_expressiveness::datalog::{
-    BindingPattern, EvalOptions, Evaluator, MagicProgram, PlannerMode, Program,
+    BindingPattern, EvalOptions, Evaluator, JoinLowering, MagicProgram, PlannerMode, Program,
 };
 use datalog_expressiveness::structures::generators::{random_dag, random_digraph};
 use datalog_expressiveness::structures::{Element, Structure, Vocabulary};
@@ -58,6 +58,7 @@ fn all_programs() -> Vec<Program> {
         path_systems(),
         two_disjoint_paths_acyclic(),
         two_disjoint_paths_paper_rules(),
+        triangles(),
     ]
 }
 
@@ -162,6 +163,91 @@ fn cost_based_respects_explicit_thread_counts() {
             );
         }
     }
+}
+
+#[test]
+fn generic_lowering_matches_binary_stage_for_stage() {
+    // The worst-case-optimal generic join must be a pure execution-strategy
+    // swap: for every program and structure, forcing JoinLowering::Generic
+    // derives exactly the same stages as forcing JoinLowering::Binary (and
+    // as the textual baseline), sequential and parallel alike.
+    for (pi, program) in all_programs().iter().enumerate() {
+        for round in 0..3u64 {
+            let s = fixture_for(program, 15_000 + 17 * pi as u64 + round);
+            for parallel in [false, true] {
+                let label = format!("program {pi}, round {round}, parallel {parallel}");
+                let textual = Evaluator::new(program).run(&s, opts(PlannerMode::Textual, parallel));
+                let binary = Evaluator::new(program).run(
+                    &s,
+                    opts(PlannerMode::CostBased, parallel).with_lowering(JoinLowering::Binary),
+                );
+                let generic = Evaluator::new(program).run(
+                    &s,
+                    opts(PlannerMode::CostBased, parallel).with_lowering(JoinLowering::Generic),
+                );
+                assert_eq!(binary.idb, generic.idb, "{label}");
+                assert_eq!(textual.idb, generic.idb, "{label}");
+                assert!(binary.same_stages(&generic), "{label}");
+                assert!(textual.same_stages(&generic), "{label}");
+            }
+        }
+    }
+}
+
+#[test]
+fn generic_lowering_matches_binary_under_magic_for_every_binding_pattern() {
+    // Magic rewriting inserts guard atoms and seeds demand tuples; the
+    // generic executor must preserve stages across every goal adornment of
+    // every program, exactly as the binary kernels do.
+    for (pi, program) in all_programs().iter().enumerate() {
+        let s = fixture_for(program, 16_000 + pi as u64);
+        let arity = program.idb_arity(program.goal());
+        let query: Vec<Element> = (0..arity)
+            .map(|i| (2 * i as Element + 1) % s.universe_size() as Element)
+            .collect();
+        for pattern in all_patterns(arity) {
+            let label = format!("program {pi}, pattern {pattern}");
+            let magic = MagicProgram::rewrite(program, &pattern)
+                .unwrap_or_else(|e| panic!("{label}: rewrite failed: {e}"));
+            let compiled = magic.compile();
+            let seeds = vec![(magic.magic_goal(), magic.seed(&query))];
+            let binary = compiled
+                .try_run_seeded(
+                    &s,
+                    opts(PlannerMode::CostBased, true).with_lowering(JoinLowering::Binary),
+                    &seeds,
+                )
+                .unwrap_or_else(|e| panic!("{label}: binary run hit a limit: {e:?}"));
+            let generic = compiled
+                .try_run_seeded(
+                    &s,
+                    opts(PlannerMode::CostBased, true).with_lowering(JoinLowering::Generic),
+                    &seeds,
+                )
+                .unwrap_or_else(|e| panic!("{label}: generic run hit a limit: {e:?}"));
+            assert_eq!(binary.idb, generic.idb, "{label}");
+            assert!(binary.same_stages(&generic), "{label}");
+        }
+    }
+}
+
+#[test]
+fn generic_join_beats_binary_probes_on_triangles() {
+    // On the canonical cyclic body the generic lowering must engage under
+    // Auto and visit fewer candidate tuples than the binary plan.
+    let program = triangles();
+    let s = random_digraph(24, 0.2, 21).to_structure();
+    let auto = Evaluator::new(&program).run(
+        &s,
+        opts(PlannerMode::CostBased, false).with_lowering(JoinLowering::Auto),
+    );
+    assert!(auto.eval_stats.wcoj_rules > 0, "Auto must pick generic");
+    let binary = Evaluator::new(&program).run(
+        &s,
+        opts(PlannerMode::CostBased, false).with_lowering(JoinLowering::Binary),
+    );
+    assert_eq!(auto.idb, binary.idb);
+    assert!(auto.same_stages(&binary));
 }
 
 #[test]
