@@ -32,14 +32,15 @@
 use crate::microbench::time_fn;
 use kv_core::datalog::programs::{avoiding_path, q_kl, transitive_closure, triangles};
 use kv_core::datalog::{
-    BindingPattern, EvalOptions, Evaluator, JoinLowering, MagicProgram, PlannerMode, Program,
+    BindingPattern, EvalOptions, Evaluator, Fact, IdbId, IncrementalEngine, JoinLowering,
+    MagicProgram, PlannerMode, Program,
 };
 use kv_core::pebble::win_iteration::solve_by_win_iteration;
 use kv_core::pebble::ExistentialGame;
 use kv_core::structures::generators::{directed_path, random_digraph};
 use kv_core::structures::govern::{Budget, CancelToken, Deadline, Governor};
 use kv_core::structures::par::thread_count;
-use kv_core::structures::{Digraph, Element, HomKind, Structure};
+use kv_core::structures::{Digraph, Element, HomKind, SplitMix64, Structure};
 use std::time::Duration;
 
 /// A governor with every interrupt source armed (step budget, deadline,
@@ -322,6 +323,28 @@ pub fn pebble_report() -> String {
     render_report(&cases)
 }
 
+/// The churn set of a mutation workload: the first `k` tuples of the
+/// structure's first relation (the EDB edges every case mutates).
+fn churn_set(s: &Structure, k: usize) -> Vec<Fact> {
+    let rel = match s.vocabulary().relations().next() {
+        Some(r) => r,
+        None => return Vec::new(),
+    };
+    s.relation(rel)
+        .iter()
+        .take(k)
+        .map(|t| (rel, t.to_vec()))
+        .collect()
+}
+
+/// One steady-state maintenance round against a live engine: retract the
+/// churn set, then reinsert it (two batches). Returns the second batch's
+/// summary (the reinsertion delta).
+fn churn_round(engine: &mut IncrementalEngine, churn: &[Fact]) -> kv_core::datalog::BatchSummary {
+    engine.apply_batch(&[], churn);
+    engine.apply_batch(churn, &[])
+}
+
 /// Percent saved by `planned` relative to `textual` (0 when the textual
 /// count is zero or the planned count is no smaller).
 fn savings_pct(textual: u64, planned: u64) -> f64 {
@@ -398,6 +421,15 @@ pub fn datalog_report() -> String {
                 Err(e) => unreachable!("no limits configured: {e:?}"),
             }
         });
+        // Incremental maintenance columns: steady-state churn of a small
+        // edge set (one retract batch + one reinsert batch per round)
+        // against a live engine, vs. re-running the fixpoint from scratch
+        // after every batch.
+        let churn = churn_set(s, 4);
+        let (mut engine, _) = IncrementalEngine::from_structure(program, s, opts(true));
+        let dropped = engine.apply_batch(&[], &churn);
+        let steady = engine.apply_batch(&churn, &[]);
+        let incremental = time_fn(2, 15, || churn_round(&mut engine, &churn).epoch);
         cases.push(
             Obj::new()
                 .str("name", name)
@@ -436,6 +468,11 @@ pub fn datalog_report() -> String {
                 .num("sequential_ms", format!("{:.4}", ms(sequential.median)))
                 .num("planned_ms", format!("{:.4}", ms(planned.median)))
                 .num("demand_ms", format!("{:.4}", ms(demand.median)))
+                // Per maintenance round (one retract + one reinsert batch
+                // of the churn set) against the live engine.
+                .num("incremental_ms", format!("{:.4}", ms(incremental.median)))
+                .num("delta_tuples", steady.delta_tuples)
+                .num("rederived_tuples", dropped.rederived_tuples)
                 .num("governed_ms", format!("{:.4}", ms(governed.median)))
                 .num(
                     "governance_overhead_pct",
@@ -444,7 +481,68 @@ pub fn datalog_report() -> String {
                 .raw("scaling", format!("[{}]", scaling_rows.join(", "))),
         );
     }
+    cases.push(mutation_case());
     render_report(&cases)
+}
+
+/// A disjoint union of `blocks` random digraphs of `k` nodes each: the
+/// steady-state "live service" shape of the mutation workload, where the
+/// EDB is many independent tenants/regions and any one batch only touches
+/// one of them. Edges are sampled independently within each block with
+/// probability `p`; there are no cross-block edges, so a mutation's blast
+/// radius is bounded by its own component's closure.
+fn component_graph(blocks: usize, k: usize, p: f64, seed: u64) -> Structure {
+    let mut g = Digraph::new(blocks * k);
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    for b in 0..blocks {
+        for u in 0..k {
+            for v in 0..k {
+                if u != v && rng.gen_bool(p) {
+                    g.add_edge((b * k + u) as u32, (b * k + v) as u32);
+                }
+            }
+        }
+    }
+    g.to_structure()
+}
+
+/// The dedicated mutation workload: `transitive_closure` over a
+/// multi-tenant component graph (48 disjoint random blocks of 12 nodes),
+/// churning a 4-edge set inside one block (one retract batch + one
+/// reinsert batch per round) against a live [`IncrementalEngine`].
+/// `scratch_ms` is the cost of re-running the from-scratch fixpoint after
+/// each of the round's two batches; `speedup_x` is scratch-per-round over
+/// incremental-per-round — the steady-state advantage of maintenance.
+///
+/// The component shape is the honest setting for maintenance: deletion
+/// work is proportional to the mutated block's closure, not the whole
+/// EDB's. (A single dense SCC is the known DRed pathology — retracting a
+/// few edges overdeletes almost the entire closure before rederiving it,
+/// and no incremental algorithm beats from-scratch there; see
+/// EXPERIMENTS.md for the measured contrast.)
+fn mutation_case() -> Obj {
+    let program = transitive_closure();
+    let s = component_graph(48, 12, 0.25, 7);
+    let churn = churn_set(&s, 4);
+    let ev = Evaluator::new(&program);
+    let opts = EvalOptions::default();
+    let (mut engine, _) = IncrementalEngine::from_structure(&program, &s, opts);
+    let dropped = engine.apply_batch(&[], &churn);
+    let steady = engine.apply_batch(&churn, &[]);
+    let round = time_fn(2, 15, || churn_round(&mut engine, &churn).epoch);
+    let scratch = time_fn(2, 15, || ev.run(&s, opts).stats.len());
+    let speedup = (2.0 * scratch.median.as_secs_f64()) / round.median.as_secs_f64().max(1e-9);
+    Obj::new()
+        .str("name", "tc_mutation_tenants48x12_churn4")
+        .num("seed", 7)
+        .num("threads", thread_count())
+        .num("churn_edges", churn.len())
+        .num("incremental_ms", format!("{:.4}", ms(round.median)))
+        .num("scratch_ms", format!("{:.4}", ms(scratch.median)))
+        .num("speedup_x", format!("{:.2}", speedup))
+        .num("delta_tuples", steady.delta_tuples)
+        .num("deleted_tuples", dropped.deleted_tuples)
+        .num("rederived_tuples", dropped.rederived_tuples)
 }
 
 /// CI gate over the demand paths and the cost-based planner, on the exact
@@ -458,6 +556,9 @@ pub fn datalog_report() -> String {
 /// * every Datalog case must reach the same fixpoint through the same
 ///   stages under both forced join lowerings (`Binary` vs `Generic` —
 ///   the worst-case-optimal executor is a pure execution-strategy swap);
+/// * every Datalog case's incremental engine, after a churn batch
+///   (retract then reinsert a small edge set), must hold exactly the
+///   from-scratch fixpoint of its materialized EDB;
 /// * every pebble case's lazy solver must name the same winner as the
 ///   eager worklist solver, with an arena no larger.
 ///
@@ -467,6 +568,29 @@ pub fn smoke_check() -> Vec<String> {
     for (name, program, s, query, _seed) in &datalog_instances() {
         let ev = Evaluator::new(program);
         let full = ev.run(s, EvalOptions::default());
+        // Incremental ≡ scratch: after each batch of the churn round the
+        // maintained IDB must equal a from-scratch fixpoint over the
+        // engine's own materialized EDB.
+        let churn = churn_set(s, 4);
+        let (mut engine, _) = IncrementalEngine::from_structure(program, s, EvalOptions::default());
+        for phase in ["retract", "reinsert"] {
+            if phase == "retract" {
+                engine.apply_batch(&[], &churn);
+            } else {
+                engine.apply_batch(&churn, &[]);
+            }
+            let scratch = ev.run(&engine.edb_structure(), EvalOptions::default());
+            for i in 0..program.idb_count() {
+                let store = engine.idb_store(IdbId(i));
+                let same = store.live_len() == scratch.idb[i].len()
+                    && scratch.idb[i].iter().all(|t| store.contains_live(t));
+                if !same {
+                    violations.push(format!(
+                        "{name}: incremental IDB {i} after {phase} batch != from-scratch fixpoint"
+                    ));
+                }
+            }
+        }
         let full_holds = full.idb[program.goal().0].contains(&query[..]);
         let full_tuples = full.eval_stats.tuples_interned;
         // Planned ≡ textual differential (sequential: exact counters).
@@ -659,6 +783,11 @@ mod tests {
         assert!(datalog.contains("\"planned_gallop_steps\""));
         assert!(datalog.contains("\"planned_wcoj_rules\""));
         assert!(datalog.contains("\"tri_layered_m12_b3\""));
+        assert!(datalog.contains("\"incremental_ms\""));
+        assert!(datalog.contains("\"delta_tuples\""));
+        assert!(datalog.contains("\"rederived_tuples\""));
+        assert!(datalog.contains("\"tc_mutation_tenants48x12_churn4\""));
+        assert!(datalog.contains("\"speedup_x\""));
         assert!(datalog.contains("\"scaling\": [{\"threads\": 1,"));
         assert!(pebble_report().contains("\"lazy_arena_size\""));
     }

@@ -6,7 +6,10 @@
 //! programs, the flow/game solvers of the case study, and brute-force
 //! oracles are compared by the experiments.
 
-use kv_datalog::{BindingPattern, CompiledProgram, EvalOptions, EvalStats, MagicProgram, Program};
+use kv_datalog::{
+    BatchInterrupted, BatchSummary, BindingPattern, CompiledProgram, EvalOptions, EvalStats, Fact,
+    IncrementalEngine, MagicProgram, Program,
+};
 use kv_structures::{CacheStats, Governor, Interrupted, QueryCache, QueryPlan, Structure};
 use std::sync::Mutex;
 
@@ -67,6 +70,7 @@ pub struct ProgramQuery {
     plan: QueryPlan,
     demand: Option<DemandPath>,
     cache: Mutex<QueryCache>,
+    incremental: Mutex<Option<IncrementalEngine>>,
 }
 
 impl ProgramQuery {
@@ -145,6 +149,7 @@ impl ProgramQuery {
             plan,
             demand,
             cache: Mutex::new(QueryCache::new()),
+            incremental: Mutex::new(None),
         }
     }
 
@@ -216,6 +221,113 @@ impl ProgramQuery {
             .expect("no limits configured");
         let holds = result.idb[path.magic.goal().0].contains(&self.goal_tuple);
         Some((holds, result.eval_stats))
+    }
+
+    fn lock_engine(&self) -> std::sync::MutexGuard<'_, Option<IncrementalEngine>> {
+        // Same poisoning argument as the cache: the engine is coherent
+        // between batches, and a batch that panicked left it pending.
+        self.incremental.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Switches this query into incremental maintenance mode: builds a
+    /// [`IncrementalEngine`] whose EDB starts as `structure` (applied as
+    /// the initial batch) and keeps the goal relation live across
+    /// [`apply_batch`](Self::apply_batch) mutations. The answer cache is
+    /// epoch-bumped and the initial answer patched in at the new epoch.
+    ///
+    /// Replaces any previously attached engine.
+    pub fn enable_incremental(&self, structure: &Structure) -> BatchSummary {
+        let (engine, summary) =
+            IncrementalEngine::from_structure(&self.program, structure, self.eval_options());
+        let mut slot = self.lock_engine();
+        self.patch_cache(&engine);
+        *slot = Some(engine);
+        summary
+    }
+
+    /// Whether an incremental engine is attached.
+    pub fn incremental_active(&self) -> bool {
+        self.lock_engine().is_some()
+    }
+
+    /// The live answer maintained by the incremental engine: `None` when
+    /// incremental mode is off or a batch is pending (mid-resume the goal
+    /// relation is not at a fixpoint).
+    pub fn incremental_holds(&self) -> Option<bool> {
+        let slot = self.lock_engine();
+        let engine = slot.as_ref()?;
+        if engine.has_pending() {
+            return None;
+        }
+        Some(engine.goal_contains(&self.goal_tuple))
+    }
+
+    /// Whether an interrupted maintenance batch is waiting for
+    /// [`resume_batch`](Self::resume_batch).
+    pub fn batch_pending(&self) -> bool {
+        self.lock_engine().as_ref().is_some_and(|e| e.has_pending())
+    }
+
+    /// Applies a mutation batch to the incremental engine (ungoverned) and
+    /// reconciles the answer cache: the epoch is bumped — so every answer
+    /// cached against the pre-batch store can never be served again — and
+    /// the recomputed answer for the post-batch EDB is patched in at the
+    /// new epoch instead of dropping the cache wholesale.
+    ///
+    /// Panics if [`enable_incremental`](Self::enable_incremental) has not
+    /// been called.
+    pub fn apply_batch(&self, inserts: &[Fact], retracts: &[Fact]) -> BatchSummary {
+        let mut slot = self.lock_engine();
+        let engine = slot
+            .as_mut()
+            .unwrap_or_else(|| panic!("apply_batch requires enable_incremental"));
+        let summary = engine.apply_batch(inserts, retracts);
+        self.patch_cache(engine);
+        summary
+    }
+
+    /// Governed [`apply_batch`](Self::apply_batch): honors the governor
+    /// exactly like a governed full evaluation. On interrupt the batch
+    /// stays pending inside the engine — committed insertion stages are
+    /// kept, the cache is untouched (pre-batch answers are still correct
+    /// for pre-batch structures) — and [`resume_batch`](Self::resume_batch)
+    /// continues to a result identical to an uninterrupted run.
+    pub fn try_apply_batch_governed(
+        &self,
+        inserts: &[Fact],
+        retracts: &[Fact],
+        gov: &Governor,
+    ) -> Result<BatchSummary, BatchInterrupted> {
+        let mut slot = self.lock_engine();
+        let engine = slot
+            .as_mut()
+            .unwrap_or_else(|| panic!("try_apply_batch_governed requires enable_incremental"));
+        let summary = engine.try_apply_batch_governed(inserts, retracts, gov)?;
+        self.patch_cache(engine);
+        Ok(summary)
+    }
+
+    /// Resumes an interrupted maintenance batch under a fresh governor.
+    pub fn resume_batch(&self, gov: &Governor) -> Result<BatchSummary, BatchInterrupted> {
+        let mut slot = self.lock_engine();
+        let engine = slot
+            .as_mut()
+            .unwrap_or_else(|| panic!("resume_batch requires a pending batch"));
+        let summary = engine.resume_batch(gov)?;
+        self.patch_cache(engine);
+        Ok(summary)
+    }
+
+    /// After a committed batch: stale-out every cached answer and patch in
+    /// the one just maintained.
+    fn patch_cache(&self, engine: &IncrementalEngine) {
+        let mut cache = self.lock_cache();
+        cache.bump_epoch();
+        cache.insert(
+            &engine.edb_structure(),
+            &self.goal_tuple,
+            engine.goal_contains(&self.goal_tuple),
+        );
     }
 }
 
@@ -394,5 +506,93 @@ mod tests {
     #[should_panic(expected = "tuple arity")]
     fn arity_mismatch_panics() {
         ProgramQuery::at_tuple("bad", transitive_closure(), vec![0]);
+    }
+
+    #[test]
+    fn incremental_mode_maintains_the_answer() {
+        use kv_structures::RelId;
+        let q = ProgramQuery::at_tuple("0 reaches 3", transitive_closure(), vec![0, 3]);
+        assert!(!q.incremental_active());
+        q.enable_incremental(&directed_path(4));
+        assert!(q.incremental_active());
+        assert_eq!(q.incremental_holds(), Some(true));
+        // Cutting the middle edge breaks reachability; restoring it
+        // restores the answer.
+        let e = RelId(0);
+        q.apply_batch(&[], &[(e, vec![1, 2])]);
+        assert_eq!(q.incremental_holds(), Some(false));
+        q.apply_batch(&[(e, vec![1, 2])], &[]);
+        assert_eq!(q.incremental_holds(), Some(true));
+    }
+
+    #[test]
+    fn batches_stale_out_cached_answers() {
+        use kv_structures::RelId;
+        let q = ProgramQuery::at_tuple("0 reaches 3", transitive_closure(), vec![0, 3]);
+        let s = directed_path(4);
+        assert!(q.eval(&s)); // miss, computed, memoized
+        assert!(q.eval(&s)); // hit
+        let before = q.cache_stats();
+        assert!(before.hits >= 1);
+
+        q.enable_incremental(&s);
+        // The engine's materialized EDB has the same content fingerprint as
+        // `s`, and enable patched its answer in at the bumped epoch.
+        assert!(q.eval(&s));
+        assert_eq!(q.cache_stats().hits, before.hits + 1);
+
+        // A mutation bumps the epoch: the old entry for `s` must not be
+        // served, and the patched entry answers for the mutated store.
+        q.apply_batch(&[], &[(RelId(0), vec![1, 2])]);
+        let cut = {
+            let mut g = kv_structures::Digraph::new(4);
+            g.add_edge(0, 1);
+            g.add_edge(2, 3);
+            g.to_structure()
+        };
+        let misses = q.cache_stats().misses;
+        assert!(!q.eval(&cut)); // served from the patched entry: a hit
+        assert_eq!(q.cache_stats().misses, misses);
+        // The pre-batch structure's answer was staled out and recomputes.
+        assert!(q.eval(&s));
+        assert_eq!(q.cache_stats().misses, misses + 1);
+    }
+
+    #[test]
+    fn governed_batches_resume_on_the_query() {
+        use kv_datalog::Budget;
+        use kv_structures::RelId;
+        let q = ProgramQuery::at_tuple("0 reaches 5", transitive_closure(), vec![0, 5]);
+        q.enable_incremental(&directed_path(6));
+        let straight = {
+            let p = ProgramQuery::at_tuple("straight", transitive_closure(), vec![0, 5]);
+            p.enable_incremental(&directed_path(6));
+            p.apply_batch(&[(RelId(0), vec![5, 0])], &[(RelId(0), vec![2, 3])])
+        };
+        let mut budget = 40u64;
+        let mut res = q.try_apply_batch_governed(
+            &[(RelId(0), vec![5, 0])],
+            &[(RelId(0), vec![2, 3])],
+            &Governor::with_budget(Budget::steps(budget)),
+        );
+        let mut resumes = 0;
+        let summary = loop {
+            match res {
+                Ok(summary) => break summary,
+                Err(_) => {
+                    resumes += 1;
+                    assert!(q.batch_pending());
+                    assert_eq!(q.incremental_holds(), None);
+                    budget *= 2;
+                    res = q.resume_batch(&Governor::with_budget(Budget::steps(budget)));
+                }
+            }
+        };
+        assert!(resumes > 0, "tiny budget must interrupt");
+        assert!(!q.batch_pending());
+        assert_eq!(q.incremental_holds(), Some(false));
+        assert_eq!(summary.eval_stats, straight.eval_stats);
+        assert_eq!(summary.delta_tuples, straight.delta_tuples);
+        assert_eq!(summary.deleted_tuples, straight.deleted_tuples);
     }
 }

@@ -514,7 +514,24 @@ pub(crate) fn schedule_neqs(
     neq_at
 }
 
-fn compile_rule(rule: &Rule, delta_at: Option<usize>, magic: &[bool]) -> CompiledRule {
+/// Where a semi-naive rule variant pins its delta atom: on the `d`-th IDB
+/// occurrence (ordinary stage variants), on the `d`-th EDB occurrence
+/// (the incremental engine's EDB-insertion variants, where the delta is
+/// the batch of freshly asserted facts), or nowhere (naive rules).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum DeltaPin {
+    /// No delta: every atom reads its full relation.
+    None,
+    /// Delta on the `d`-th IDB occurrence (EDB atoms stay full).
+    Idb(usize),
+    /// Delta on the `d`-th EDB occurrence (IDB atoms stay full). The
+    /// occurrence partition — earlier EDB occurrences old, later ones
+    /// full — enumerates each new derivation exactly once, which is what
+    /// counting-based maintenance needs.
+    Edb(usize),
+}
+
+pub(crate) fn compile_rule_pinned(rule: &Rule, pin: DeltaPin, magic: &[bool]) -> CompiledRule {
     let (subst, const_eqs) = unify_rule(rule);
     let head_args: Vec<Term> = rule
         .head_args
@@ -524,21 +541,32 @@ fn compile_rule(rule: &Rule, delta_at: Option<usize>, magic: &[bool]) -> Compile
     let mut atoms = Vec::new();
     let mut neqs = Vec::new();
     let mut idb_occurrence = 0usize;
+    let mut edb_occurrence = 0usize;
+    let partition = |occ: usize, d: usize| match occ.cmp(&d) {
+        std::cmp::Ordering::Less => IdbAccess::Old,
+        std::cmp::Ordering::Equal => IdbAccess::Delta,
+        std::cmp::Ordering::Greater => IdbAccess::Full,
+    };
     for lit in &rule.body {
         match lit {
             Literal::Atom(pred, args) => {
                 let access = match pred {
                     Pred::Idb(_) => {
-                        let acc = match delta_at {
-                            None => IdbAccess::Full,
-                            Some(d) if idb_occurrence < d => IdbAccess::Old,
-                            Some(d) if idb_occurrence == d => IdbAccess::Delta,
-                            Some(_) => IdbAccess::Full,
+                        let acc = match pin {
+                            DeltaPin::Idb(d) => partition(idb_occurrence, d),
+                            DeltaPin::None | DeltaPin::Edb(_) => IdbAccess::Full,
                         };
                         idb_occurrence += 1;
                         acc
                     }
-                    Pred::Edb(_) => IdbAccess::Full,
+                    Pred::Edb(_) => {
+                        let acc = match pin {
+                            DeltaPin::Edb(d) => partition(edb_occurrence, d),
+                            DeltaPin::None | DeltaPin::Idb(_) => IdbAccess::Full,
+                        };
+                        edb_occurrence += 1;
+                        acc
+                    }
                 };
                 atoms.push(JoinAtom {
                     pred: *pred,
@@ -601,6 +629,14 @@ fn compile_rule(rule: &Rule, delta_at: Option<usize>, magic: &[bool]) -> Compile
         head_check_at: None,
         generic: None,
     }
+}
+
+fn compile_rule(rule: &Rule, delta_at: Option<usize>, magic: &[bool]) -> CompiledRule {
+    let pin = match delta_at {
+        None => DeltaPin::None,
+        Some(d) => DeltaPin::Idb(d),
+    };
+    compile_rule_pinned(rule, pin, magic)
 }
 
 /// Gathers the index plan — which positions of which relations the given
@@ -1081,16 +1117,18 @@ impl CompiledProgram {
             // shared stores and intern candidate heads into private
             // scratch arenas; re-interning those at merge makes the stage
             // result identical to a sequential run (set union).
+            let idb_refs: Vec<&TupleStore> = idb_stores.iter().collect();
             let ctx = JoinCtx {
                 structure,
                 universe,
                 edb: &edb_stores,
                 edb_idx: &edb_idx,
-                idb: &idb_stores,
+                idb: &idb_refs,
                 idb_idx: &idb_idx,
                 blooms: blooms.as_deref(),
                 prev_len: &prev_len,
                 delta_lo: &delta_lo,
+                edb_delta_lo: None,
                 batched: planned.is_some(),
                 gov,
             };
@@ -1322,26 +1360,32 @@ impl<'p> Evaluator<'p> {
 pub(crate) struct JoinCtx<'a> {
     pub(crate) structure: &'a Structure,
     pub(crate) universe: usize,
-    edb: &'a [&'a TupleStore],
-    edb_idx: &'a [Vec<PosIndex>],
-    idb: &'a [TupleStore],
-    idb_idx: &'a [Vec<PosIndex>],
+    pub(crate) edb: &'a [&'a TupleStore],
+    pub(crate) edb_idx: &'a [Vec<PosIndex>],
+    pub(crate) idb: &'a [&'a TupleStore],
+    pub(crate) idb_idx: &'a [Vec<PosIndex>],
     /// Bloom pre-filters over each IDB's committed tuples (cost-based runs
     /// only): a negative membership answer is definitive and skips the
     /// interner lookup.
-    blooms: Option<&'a [TupleBloom]>,
+    pub(crate) blooms: Option<&'a [TupleBloom]>,
     /// Store length of each IDB at stage start (`full` view bound).
-    prev_len: &'a [u32],
+    pub(crate) prev_len: &'a [u32],
     /// Store length of each IDB before the previous stage committed
     /// (`old`/`delta` boundary).
-    delta_lo: &'a [u32],
+    pub(crate) delta_lo: &'a [u32],
+    /// When set, EDB atoms get old/delta/full id windows too: tuples below
+    /// this mark predate the current maintenance batch, tuples at or above
+    /// it are the batch's insertions. `None` (every from-scratch run)
+    /// keeps the historical behaviour — EDB atoms read their whole store
+    /// regardless of access mode.
+    pub(crate) edb_delta_lo: Option<&'a [u32]>,
     /// Whether batched-kernel bookkeeping (probe memos, block counters) is
     /// active — cost-based runs only, so textual counters stay
     /// byte-identical to the historical engine.
     pub(crate) batched: bool,
     /// The shared governor; workers poll it cooperatively through
     /// worker-local batched counters ([`WorkerBuf::pending_steps`]).
-    gov: &'a Governor,
+    pub(crate) gov: &'a Governor,
 }
 
 impl<'a> JoinCtx<'a> {
@@ -1351,10 +1395,28 @@ impl<'a> JoinCtx<'a> {
         match atom.pred {
             Pred::Edb(r) => {
                 let store = self.edb[r.0];
-                (store, &self.edb_idx[r.0], store.id_range())
+                let range = match self.edb_delta_lo {
+                    None => store.id_range(),
+                    // Incremental maintenance: the EDB is append-only
+                    // within a batch, so the batch's insertions are the id
+                    // suffix above the delta mark — the same three-window
+                    // scheme the IDB stores use.
+                    Some(lo) => match atom.access {
+                        IdbAccess::Full => store.id_range(),
+                        IdbAccess::Old => IdRange {
+                            start: 0,
+                            end: lo[r.0],
+                        },
+                        IdbAccess::Delta => IdRange {
+                            start: lo[r.0],
+                            end: store.len() as u32,
+                        },
+                    },
+                };
+                (store, &self.edb_idx[r.0], range)
             }
             Pred::Idb(i) => {
-                let store = &self.idb[i.0];
+                let store = self.idb[i.0];
                 let range = match atom.access {
                     IdbAccess::Full => IdRange {
                         start: 0,
@@ -1402,6 +1464,22 @@ pub(crate) fn find_index(indexes: &[PosIndex], p: usize) -> &PosIndex {
 /// re-interned into the shared stores at merge.
 pub(crate) struct WorkerBuf {
     pub(crate) scratch: Vec<TupleStore>,
+    /// Counting mode (incremental maintenance): per-scratch-tuple
+    /// derivation counts, parallel to [`scratch`](Self::scratch). In this
+    /// mode `emit` records *every* derivation — the committed-store
+    /// shortcut is skipped, because a tuple already in the shared store
+    /// must still receive this derivation's support.
+    pub(crate) scratch_counts: Vec<Vec<u32>>,
+    /// Whether counting mode is active.
+    pub(crate) counting: bool,
+    /// Batched-emission buffer: derived head tuples accumulate here (flat,
+    /// arity-strided) and are interned in blocks of [`EMIT_BLOCK`],
+    /// charging the governor once per block instead of never. Active in
+    /// batched (cost-based) runs for rules whose join never consults the
+    /// scratch arena mid-branch (no head-check early exit, or executed by
+    /// the generic join, which has none) — deferring those interns cannot
+    /// change any kernel decision, so answers and counters stay identical.
+    pub(crate) emit_buf: Vec<Element>,
     pub(crate) head_buf: Vec<Element>,
     /// Reusable tuple buffer for [`JoinKernel::Check`] lookups.
     pub(crate) check_buf: Vec<Element>,
@@ -1437,10 +1515,17 @@ pub(crate) const SCAN_BLOCK: usize = 64;
 /// bounded amount of memory for probe coalescing, never unbounded growth.
 const MEMO_CAP: usize = 1 << 14;
 
+/// Tuples per batched-emission block: derived heads buffer up to this many
+/// tuples before one governor charge covers the whole block's interning.
+pub(crate) const EMIT_BLOCK: usize = 64;
+
 impl WorkerBuf {
-    fn new(idb_arities: &[usize]) -> Self {
+    pub(crate) fn new(idb_arities: &[usize]) -> Self {
         Self {
             scratch: idb_arities.iter().map(|&a| TupleStore::new(a)).collect(),
+            scratch_counts: vec![Vec::new(); idb_arities.len()],
+            counting: false,
+            emit_buf: Vec::new(),
             head_buf: Vec::new(),
             check_buf: Vec::new(),
             probes: 0,
@@ -1454,12 +1539,20 @@ impl WorkerBuf {
             tripped: None,
         }
     }
+
+    /// A worker buffer in counting mode: every derivation is recorded with
+    /// a per-tuple count (incremental maintenance's insertion pass).
+    pub(crate) fn new_counting(idb_arities: &[usize]) -> Self {
+        let mut buf = Self::new(idb_arities);
+        buf.counting = true;
+        buf
+    }
 }
 
 /// Evaluates one compiled rule against the stage context, interning
 /// derived head tuples into the worker's scratch arenas. Returns `Err` if
 /// the governor interrupted the worker mid-join.
-fn evaluate_rule(
+pub(crate) fn evaluate_rule(
     rule: &CompiledRule,
     ctx: &JoinCtx<'_>,
     buf: &mut WorkerBuf,
@@ -1492,9 +1585,13 @@ fn evaluate_rule(
     }
     if let Some(plan) = &rule.generic {
         join.buf.wcoj_rules += 1;
-        return wcoj::execute(&mut join, plan);
+        wcoj::execute(&mut join, plan)?;
+    } else {
+        join.join(0)?;
     }
-    join.join(0)
+    // Drain the batched-emission buffer: the rule variant is done, so any
+    // tail block (fewer than EMIT_BLOCK tuples) interns now.
+    join.flush_emits()
 }
 
 /// The join recursion state for one rule: the binding under construction
@@ -1776,8 +1873,7 @@ impl<'a, 'b> RuleJoin<'a, 'b> {
     pub(crate) fn enumerate_free(&mut self, free_pos: usize) -> Result<(), Interrupted> {
         let rule = self.rule;
         if free_pos == rule.free_vars.len() {
-            self.emit();
-            return Ok(());
+            return self.emit();
         }
         let v = rule.free_vars[free_pos];
         let slot = rule.atoms.len() + 1 + free_pos;
@@ -1792,9 +1888,21 @@ impl<'a, 'b> RuleJoin<'a, 'b> {
         Ok(())
     }
 
-    /// Emits the (fully bound) head tuple: skip if already committed in
-    /// the shared store, otherwise intern into the worker's scratch arena.
-    fn emit(&mut self) {
+    /// Whether batched emission is active for this rule: cost-based runs
+    /// only, and only when the join never consults the scratch arena
+    /// mid-branch (the head-check early exit does; the generic executor
+    /// never runs it), so deferring interns changes no kernel decision.
+    #[inline]
+    fn emits_batched(&self) -> bool {
+        self.ctx.batched && (self.rule.head_check_at.is_none() || self.rule.generic.is_some())
+    }
+
+    /// Emits the (fully bound) head tuple. Set mode: skip if already
+    /// committed in the shared store, otherwise intern into the worker's
+    /// scratch arena. Counting mode: record the derivation
+    /// unconditionally, bumping the tuple's scratch count. Batched runs
+    /// buffer tuples and intern one [`EMIT_BLOCK`] at a time.
+    fn emit(&mut self) -> Result<(), Interrupted> {
         let rule = self.rule;
         let ctx = self.ctx;
         self.buf.head_buf.clear();
@@ -1808,12 +1916,58 @@ impl<'a, 'b> RuleJoin<'a, 'b> {
             };
             self.buf.head_buf.push(v);
         }
-        let head = rule.head.0;
-        let fresh = !ctx.committed(head, &self.buf.head_buf)
+        let arity = self.buf.head_buf.len();
+        if arity > 0 && self.emits_batched() {
+            self.buf.emit_buf.extend_from_slice(&self.buf.head_buf);
+            if self.buf.emit_buf.len() >= EMIT_BLOCK * arity {
+                return self.flush_emits();
+            }
+            return Ok(());
+        }
+        self.intern_head(rule.head.0);
+        Ok(())
+    }
+
+    /// Interns the tuple currently in `head_buf` into the scratch arena
+    /// for predicate `head`, with set- or counting-mode bookkeeping.
+    fn intern_head(&mut self, head: usize) {
+        if self.buf.counting {
+            let (id, fresh) = self.buf.scratch[head].intern(&self.buf.head_buf);
+            let counts = &mut self.buf.scratch_counts[head];
+            if fresh {
+                counts.push(1);
+            } else {
+                counts[id.0 as usize] += 1;
+            }
+            return;
+        }
+        let fresh = !self.ctx.committed(head, &self.buf.head_buf)
             && self.buf.scratch[head].intern(&self.buf.head_buf).1;
         if !fresh {
             self.buf.dups += 1;
         }
+    }
+
+    /// Interns everything in the batched-emission buffer, charging the
+    /// governor once for the block. Identical per-tuple bookkeeping to the
+    /// immediate path, just amortized.
+    pub(crate) fn flush_emits(&mut self) -> Result<(), Interrupted> {
+        if self.buf.emit_buf.is_empty() {
+            return Ok(());
+        }
+        self.charge()?;
+        let head = self.rule.head.0;
+        // Nullary heads never buffer (see `emit`), so the arity is positive.
+        let arity = self.rule.head_args.len();
+        let pending = std::mem::take(&mut self.buf.emit_buf);
+        for tuple in pending.chunks_exact(arity) {
+            self.buf.head_buf.clear();
+            self.buf.head_buf.extend_from_slice(tuple);
+            self.intern_head(head);
+        }
+        self.buf.emit_buf = pending;
+        self.buf.emit_buf.clear();
+        Ok(())
     }
 }
 

@@ -37,6 +37,7 @@
 
 pub mod ast;
 pub mod eval;
+pub mod incremental;
 pub mod magic;
 pub mod monotone;
 pub mod parser;
@@ -50,6 +51,7 @@ pub use eval::{
     CompiledProgram, EvalCheckpoint, EvalInterrupted, EvalOptions, EvalResult, Evaluator,
     StageStats,
 };
+pub use incremental::{BatchInterrupted, BatchSummary, Fact, IncrementalEngine};
 pub use kv_structures::{
     Budget, CancelToken, Deadline, EvalStats, Governor, Interrupted, JoinLowering, LimitExceeded,
     Limits, PlannerMode,

@@ -229,16 +229,23 @@ impl PlanCtx {
             .relations()
             .map(|r| structure.relation(r).store().card_stats())
             .collect();
+        Self::from_stats(edb_stats, structure.universe_size())
+    }
+
+    /// Builds a planning context from raw cardinality snapshots — the
+    /// incremental engine's entry point, whose EDB lives in
+    /// [`kv_structures::MutableStore`]s rather than a [`Structure`].
+    fn from_stats(edb_stats: Vec<CardStats>, universe_size: usize) -> Self {
         let idb_len_est = edb_stats
             .iter()
             .map(|s| s.len)
             .max()
             .unwrap_or(0)
-            .max(structure.universe_size().max(1)) as f64;
+            .max(universe_size.max(1)) as f64;
         PlanCtx {
             edb_stats,
             idb_len_est,
-            universe: structure.universe_size().max(1) as f64,
+            universe: universe_size.max(1) as f64,
         }
     }
 
@@ -533,6 +540,28 @@ pub(crate) fn plan_program(
         edb_positions,
         idb_positions,
     }
+}
+
+/// Cost-plans an arbitrary rule set against raw EDB cardinality
+/// snapshots: the incremental engine's planning entry point, used for its
+/// EDB-delta variants (and re-used for the ordinary variants) against the
+/// live [`kv_structures::MutableStore`] state. Pure in its inputs, so an
+/// interrupted maintenance run re-derives the identical plan on resume.
+pub(crate) fn plan_rules_with_stats(
+    rules: &[CompiledRule],
+    edb_stats: &[CardStats],
+    universe_size: usize,
+    lowering: JoinLowering,
+) -> Vec<CompiledRule> {
+    let ctx = PlanCtx::from_stats(edb_stats.to_vec(), universe_size);
+    rules
+        .iter()
+        .map(|r| {
+            let mut planned = plan_rule(r, &ctx);
+            choose_lowering(&mut planned, &ctx, lowering);
+            planned
+        })
+        .collect()
 }
 
 impl CompiledProgram {

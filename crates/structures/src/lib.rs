@@ -33,6 +33,7 @@ pub mod govern;
 pub mod graph;
 pub mod hom;
 pub mod io;
+pub mod mutable;
 pub mod ops;
 pub mod par;
 pub mod plan;
@@ -45,6 +46,7 @@ pub use govern::{Budget, CancelToken, Deadline, Governor, GovernorUsage, Interru
 pub use graph::Digraph;
 pub use hom::{HomKind, PartialMap};
 pub use io::{parse_digraph, write_digraph, DigraphParseError};
+pub use mutable::{InsertOutcome, MutableStore, RetractOutcome};
 pub use ops::{disjoint_union, induced_substructure, quotient};
 pub use plan::{
     structure_fingerprint, CacheStats, DemandStrategy, JoinLowering, PlannerMode, QueryCache,

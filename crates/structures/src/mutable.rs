@@ -1,0 +1,462 @@
+//! Mutable relation state layered over the append-only [`TupleStore`]:
+//! per-tuple support counts, epoch marks, and compaction.
+//!
+//! The storage engine underneath every relation in the workspace is
+//! append-only — that is what makes semi-naive deltas free id ranges and
+//! stage snapshots free prefix views (see [`crate::store`]). A live
+//! service, however, ingests *retractions* as well as assertions. A
+//! [`MutableStore`] reconciles the two worlds:
+//!
+//! - **The arena stays append-only.** Tuples are interned exactly as
+//!   before; retraction never removes a tuple from the arena, it drops the
+//!   tuple's *support count* to zero. All id-range machinery (delta
+//!   views, prefix snapshots, posting-list probes) keeps working on the
+//!   arena underneath.
+//! - **Support counts carry the maintenance semantics.** For an EDB
+//!   relation the count is the assertion multiplicity (a fact inserted
+//!   twice survives one retraction); for an IDB relation the incremental
+//!   engine stores derivation counts (counting-based deletion decrements
+//!   them, zero means "no derivation left"). A count of zero marks the
+//!   tuple *dead*: still interned, no longer part of the relation.
+//! - **Epochs mark batch boundaries.** [`commit_epoch`](MutableStore::commit_epoch)
+//!   records the arena length, so `epoch_view(e)` is the relation as of
+//!   batch `e` — the same prefix-view trick stage snapshots use, now at
+//!   batch granularity.
+//! - **Compaction restores the invariant the evaluator needs.** After a
+//!   deletion batch commits, [`compact`](MutableStore::compact) rebuilds
+//!   the arena without the dead tuples (preserving the id order of the
+//!   survivors) and returns the id remapping. With no dead tuples left,
+//!   every subsequent insertion appends — deltas are contiguous id ranges
+//!   again, which is exactly what lets the incremental engine reuse the
+//!   unmodified semi-naive join machinery. Compaction starts a new
+//!   epoch-mark generation: earlier epoch views refer to pre-compaction
+//!   ids and are invalidated.
+
+use crate::store::{StoreView, TupleId, TupleStore};
+use crate::structure::Element;
+
+/// What an [`insert`](MutableStore::insert) did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The tuple was not interned before: appended with support 1.
+    Fresh(TupleId),
+    /// The tuple was interned but dead (support 0): revived in place.
+    /// After a [`compact`](MutableStore::compact) this cannot occur.
+    Revived(TupleId),
+    /// The tuple was already live: its support count was incremented.
+    Bumped(TupleId),
+}
+
+impl InsertOutcome {
+    /// The id of the affected tuple.
+    pub fn id(&self) -> TupleId {
+        match *self {
+            InsertOutcome::Fresh(id) | InsertOutcome::Revived(id) | InsertOutcome::Bumped(id) => id,
+        }
+    }
+
+    /// Whether the insert changed the live tuple *set* (fresh or revived,
+    /// as opposed to a pure multiplicity bump).
+    pub fn is_new(&self) -> bool {
+        !matches!(self, InsertOutcome::Bumped(_))
+    }
+}
+
+/// What a [`retract`](MutableStore::retract) did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetractOutcome {
+    /// Support dropped to zero: the tuple left the live set.
+    Died(TupleId),
+    /// Support decremented but still positive.
+    Decremented(TupleId),
+    /// The tuple was not live (never interned, or already dead).
+    Absent,
+}
+
+/// A [`TupleStore`] with per-tuple support counts, epoch marks, and
+/// compaction — the storage substrate of incremental view maintenance.
+///
+/// See the [module docs](self) for the design. The live relation is the
+/// set of interned tuples whose support is positive; everything else in
+/// the arena is a tombstone awaiting [`compact`](MutableStore::compact).
+#[derive(Debug, Clone)]
+pub struct MutableStore {
+    store: TupleStore,
+    /// `support[id]` is the support count of tuple `id`; 0 = dead.
+    support: Vec<u32>,
+    /// Number of committed epochs (batches).
+    epoch: u64,
+    /// Arena length at each epoch commit of the current generation (reset
+    /// by compaction).
+    epoch_marks: Vec<u32>,
+}
+
+impl MutableStore {
+    /// Creates an empty mutable store for tuples of the given arity.
+    pub fn new(arity: usize) -> Self {
+        Self {
+            store: TupleStore::new(arity),
+            support: Vec::new(),
+            epoch: 0,
+            epoch_marks: Vec::new(),
+        }
+    }
+
+    /// The append-only arena underneath. Joins and indexes read this;
+    /// callers must filter by liveness themselves when dead tuples may be
+    /// present (there are none right after a [`compact`](Self::compact)).
+    pub fn store(&self) -> &TupleStore {
+        &self.store
+    }
+
+    /// The arity of the stored tuples.
+    pub fn arity(&self) -> usize {
+        self.store.arity()
+    }
+
+    /// Number of tuples in the arena, dead ones included.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Whether the arena holds no tuples at all.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Number of *live* tuples (positive support).
+    pub fn live_len(&self) -> usize {
+        self.support.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// The support count of tuple `id` (0 = dead).
+    ///
+    /// # Panics
+    /// Panics if `id` is out of bounds.
+    pub fn support(&self, id: TupleId) -> u32 {
+        self.support[id.0 as usize]
+    }
+
+    /// Whether tuple `id` is live.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of bounds.
+    pub fn is_live(&self, id: TupleId) -> bool {
+        self.support[id.0 as usize] > 0
+    }
+
+    /// Whether `tuple` is interned *and* live.
+    pub fn contains_live(&self, tuple: &[Element]) -> bool {
+        matches!(self.store.lookup(tuple), Some(id) if self.is_live(id))
+    }
+
+    /// The id of `tuple` if it is interned (live or dead).
+    pub fn lookup(&self, tuple: &[Element]) -> Option<TupleId> {
+        self.store.lookup(tuple)
+    }
+
+    /// Iterates over the live tuples in id order.
+    pub fn live_iter(&self) -> impl Iterator<Item = &[Element]> {
+        self.store
+            .iter()
+            .zip(&self.support)
+            .filter(|(_, &c)| c > 0)
+            .map(|(t, _)| t)
+    }
+
+    /// Inserts `tuple` with `count` units of support, reporting whether it
+    /// was fresh, revived, or merely bumped.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch or `count == 0`.
+    pub fn insert_with_support(&mut self, tuple: &[Element], count: u32) -> InsertOutcome {
+        assert!(count > 0, "support increments must be positive");
+        let (id, fresh) = self.store.intern(tuple);
+        if fresh {
+            self.support.push(count);
+            InsertOutcome::Fresh(id)
+        } else if self.support[id.0 as usize] == 0 {
+            self.support[id.0 as usize] = count;
+            InsertOutcome::Revived(id)
+        } else {
+            self.support[id.0 as usize] += count;
+            InsertOutcome::Bumped(id)
+        }
+    }
+
+    /// Inserts `tuple` with one unit of support.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch.
+    pub fn insert(&mut self, tuple: &[Element]) -> InsertOutcome {
+        self.insert_with_support(tuple, 1)
+    }
+
+    /// Adds `count` units of support to tuple `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of bounds.
+    pub fn add_support(&mut self, id: TupleId, count: u32) {
+        self.support[id.0 as usize] += count;
+    }
+
+    /// Removes `count` units of support from tuple `id`, saturating at
+    /// zero; returns the remaining support.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of bounds.
+    pub fn remove_support(&mut self, id: TupleId, count: u32) -> u32 {
+        let s = &mut self.support[id.0 as usize];
+        *s = s.saturating_sub(count);
+        *s
+    }
+
+    /// Drops tuple `id` dead (support 0) regardless of its count.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of bounds.
+    pub fn kill(&mut self, id: TupleId) {
+        self.support[id.0 as usize] = 0;
+    }
+
+    /// Retracts one unit of support from `tuple`.
+    pub fn retract(&mut self, tuple: &[Element]) -> RetractOutcome {
+        match self.store.lookup(tuple) {
+            Some(id) if self.support[id.0 as usize] > 0 => {
+                self.support[id.0 as usize] -= 1;
+                if self.support[id.0 as usize] == 0 {
+                    RetractOutcome::Died(id)
+                } else {
+                    RetractOutcome::Decremented(id)
+                }
+            }
+            _ => RetractOutcome::Absent,
+        }
+    }
+
+    /// Number of committed epochs.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Commits the current arena state as the next epoch and returns its
+    /// number. Epoch `e` (1-based) is the arena prefix recorded here.
+    pub fn commit_epoch(&mut self) -> u64 {
+        self.epoch += 1;
+        self.epoch_marks.push(self.store.len() as u32);
+        self.epoch
+    }
+
+    /// The arena as of committed epoch `epoch` (1-based), as a prefix
+    /// view. Only epochs committed since the last
+    /// [`compact`](Self::compact) are available — compaction renumbers ids
+    /// and starts a fresh mark generation.
+    pub fn epoch_view(&self, epoch: u64) -> Option<StoreView<'_>> {
+        let generation_base = self.epoch - self.epoch_marks.len() as u64;
+        let idx = epoch.checked_sub(generation_base + 1)?;
+        self.epoch_marks
+            .get(idx as usize)
+            .map(|&upto| self.store.view(upto))
+    }
+
+    /// Rebuilds the arena without dead tuples, preserving the id order of
+    /// the survivors, and returns the remapping `old id -> new id` (`None`
+    /// for dropped tuples). Clears the epoch-mark generation (the epoch
+    /// *counter* keeps advancing).
+    pub fn compact(&mut self) -> Vec<Option<TupleId>> {
+        let arity = self.store.arity();
+        let mut rebuilt = TupleStore::with_capacity(arity, self.live_len());
+        let mut support = Vec::with_capacity(self.live_len());
+        let mut remap = Vec::with_capacity(self.store.len());
+        for (tuple, &c) in self.store.iter().zip(&self.support) {
+            if c > 0 {
+                let (id, fresh) = rebuilt.intern(tuple);
+                debug_assert!(fresh, "arena tuples are distinct by construction");
+                support.push(c);
+                remap.push(Some(id));
+            } else {
+                remap.push(None);
+            }
+        }
+        self.store = rebuilt;
+        self.support = support;
+        self.epoch_marks.clear();
+        remap
+    }
+
+    /// Drops every dead tuple in place by moving arena-tail tuples into
+    /// their slots ([`TupleStore::swap_remove`]) — O(dead) table and data
+    /// work instead of [`compact`](Self::compact)'s O(live) re-interning
+    /// rebuild, at the cost of not preserving survivor id order. Like
+    /// `compact`, the result has contiguous live ids and a cleared
+    /// epoch-mark generation.
+    pub fn compact_in_place(&mut self) {
+        let mut id = 0usize;
+        let mut len = self.support.len();
+        while id < len {
+            if self.support[id] > 0 {
+                id += 1;
+            } else if self.support[len - 1] == 0 {
+                // The tail tuple is dead too (this also covers id ==
+                // len - 1): pop it without filling any hole.
+                self.store.swap_remove(TupleId((len - 1) as u32));
+                self.support.pop();
+                len -= 1;
+            } else {
+                self.store.swap_remove(TupleId(id as u32));
+                self.support[id] = self.support[len - 1];
+                self.support.pop();
+                len -= 1;
+                id += 1;
+            }
+        }
+        self.epoch_marks.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_retract_lifecycle() {
+        let mut m = MutableStore::new(2);
+        let f = m.insert(&[1, 2]);
+        assert!(matches!(f, InsertOutcome::Fresh(TupleId(0))));
+        assert!(f.is_new());
+        let b = m.insert(&[1, 2]);
+        assert!(matches!(b, InsertOutcome::Bumped(TupleId(0))));
+        assert!(!b.is_new());
+        assert_eq!(m.support(TupleId(0)), 2);
+        assert_eq!(m.retract(&[1, 2]), RetractOutcome::Decremented(TupleId(0)));
+        assert!(m.contains_live(&[1, 2]));
+        assert_eq!(m.retract(&[1, 2]), RetractOutcome::Died(TupleId(0)));
+        assert!(!m.contains_live(&[1, 2]));
+        assert_eq!(m.retract(&[1, 2]), RetractOutcome::Absent);
+        assert_eq!(m.retract(&[9, 9]), RetractOutcome::Absent);
+        // The arena still holds the tombstone.
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.live_len(), 0);
+        // Re-inserting revives in place: same id, new support.
+        let r = m.insert(&[1, 2]);
+        assert!(matches!(r, InsertOutcome::Revived(TupleId(0))));
+        assert!(r.is_new());
+        assert_eq!(m.live_len(), 1);
+    }
+
+    #[test]
+    fn compact_in_place_is_swap_fill() {
+        let mut m = MutableStore::new(2);
+        for e in 0..8u32 {
+            m.insert(&[e, e + 100]);
+        }
+        m.retract(&[1, 101]);
+        m.retract(&[6, 106]);
+        m.retract(&[7, 107]);
+        m.compact_in_place();
+        assert_eq!(m.len(), 5);
+        assert_eq!(m.live_len(), 5);
+        // Survivors are exactly the live pre-state tuples (ids permuted),
+        // each still interned with its support intact.
+        for e in [0u32, 2, 3, 4, 5] {
+            let id = m.lookup(&[e, e + 100]).expect("survivor stays interned");
+            assert!(m.is_live(id));
+            assert_eq!(m.support(id), 1);
+        }
+        assert_eq!(m.lookup(&[1, 101]), None);
+        assert_eq!(m.lookup(&[6, 106]), None);
+        // Contiguous live ids: the next insert is Fresh at the end.
+        assert!(matches!(
+            m.insert(&[9, 109]),
+            InsertOutcome::Fresh(TupleId(5))
+        ));
+    }
+
+    #[test]
+    fn compact_in_place_handles_all_dead_and_all_live() {
+        let mut m = MutableStore::new(1);
+        for e in 0..4u32 {
+            m.insert(&[e]);
+        }
+        for e in 0..4u32 {
+            m.retract(&[e]);
+        }
+        m.compact_in_place();
+        assert_eq!(m.len(), 0);
+        for e in 10..13u32 {
+            m.insert(&[e]);
+        }
+        m.compact_in_place();
+        assert_eq!(m.len(), 3);
+        assert!(m.contains_live(&[11]));
+    }
+
+    #[test]
+    fn compact_drops_dead_and_remaps() {
+        let mut m = MutableStore::new(1);
+        for e in 0..5u32 {
+            m.insert(&[e]);
+        }
+        m.retract(&[1]);
+        m.retract(&[3]);
+        let remap = m.compact();
+        assert_eq!(
+            remap,
+            vec![
+                Some(TupleId(0)),
+                None,
+                Some(TupleId(1)),
+                None,
+                Some(TupleId(2)),
+            ]
+        );
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.live_len(), 3);
+        let rows: Vec<Vec<Element>> = m.live_iter().map(<[Element]>::to_vec).collect();
+        assert_eq!(rows, vec![vec![0], vec![2], vec![4]]);
+        // After compaction every insert of a new tuple is Fresh (no
+        // revivals possible), so deltas are contiguous id ranges.
+        assert!(matches!(m.insert(&[7]), InsertOutcome::Fresh(TupleId(3))));
+    }
+
+    #[test]
+    fn epochs_are_prefix_views_until_compaction() {
+        let mut m = MutableStore::new(1);
+        m.insert(&[0]);
+        assert_eq!(m.commit_epoch(), 1);
+        m.insert(&[1]);
+        m.insert(&[2]);
+        assert_eq!(m.commit_epoch(), 2);
+        let v1 = m.epoch_view(1).unwrap();
+        assert_eq!(v1.len(), 1);
+        assert!(v1.contains(&[0]));
+        assert!(!v1.contains(&[2]));
+        let v2 = m.epoch_view(2).unwrap();
+        assert_eq!(v2.len(), 3);
+        assert!(m.epoch_view(3).is_none());
+        // Compaction invalidates the old generation but keeps counting.
+        m.retract(&[1]);
+        m.compact();
+        assert!(m.epoch_view(1).is_none());
+        assert!(m.epoch_view(2).is_none());
+        assert_eq!(m.commit_epoch(), 3);
+        let v3 = m.epoch_view(3).unwrap();
+        assert_eq!(v3.len(), 2);
+    }
+
+    #[test]
+    fn support_arithmetic() {
+        let mut m = MutableStore::new(2);
+        let id = m.insert_with_support(&[4, 5], 3).id();
+        m.add_support(id, 2);
+        assert_eq!(m.support(id), 5);
+        assert_eq!(m.remove_support(id, 4), 1);
+        assert!(m.is_live(id));
+        assert_eq!(m.remove_support(id, 9), 0);
+        assert!(!m.is_live(id));
+        m.add_support(id, 1);
+        m.kill(id);
+        assert_eq!(m.support(id), 0);
+        assert_eq!(m.live_len(), 0);
+    }
+}

@@ -268,13 +268,28 @@ pub struct CacheStats {
     pub entries: u64,
 }
 
+/// Cache key: interned structure id + boxed query tuple.
+type CacheKey = (StructureId, Box<[Element]>);
+
 /// Memoized boolean query answers keyed by interned structure id + query
 /// tuple. Shared registry + map so one cache serves repeated traffic over
 /// many structures.
+///
+/// Every entry is stamped with the cache **epoch** current at insert time.
+/// Mutating backends (incremental maintenance over a changing EDB) call
+/// [`bump_epoch`](Self::bump_epoch) when the underlying store changes:
+/// entries stamped before the bump become stale and are dropped lazily the
+/// next time they are looked up. The staleness check happens *inside*
+/// [`get`](Self::get) — before any answer can be returned — so a stale hit
+/// can never be served after a mutation, regardless of how callers order
+/// their governor checks around the lookup. After a batch the maintaining
+/// backend may re-[`insert`](Self::insert) ("patch") the answers it just
+/// recomputed at the new epoch instead of rebuilding the cache wholesale.
 #[derive(Debug, Default)]
 pub struct QueryCache {
     registry: StructureRegistry,
-    answers: HashMap<(StructureId, Box<[Element]>), bool>,
+    answers: HashMap<CacheKey, (bool, u64)>,
+    epoch: u64,
     hits: u64,
     misses: u64,
 }
@@ -285,14 +300,36 @@ impl QueryCache {
         Self::default()
     }
 
+    /// The current store epoch answers are stamped with.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Marks every currently stored answer stale (the backing store
+    /// mutated) and returns the new epoch. Stale entries are evicted
+    /// lazily on lookup rather than eagerly dropped, so a batch that only
+    /// touches one structure's answers can patch them back in at the new
+    /// epoch and leave the rest to age out.
+    pub fn bump_epoch(&mut self) -> u64 {
+        self.epoch += 1;
+        self.epoch
+    }
+
     /// Looks up the memoized answer for `query` on `s`, counting a hit or
-    /// a miss.
+    /// a miss. An entry stamped before the current epoch is stale: it is
+    /// evicted and the lookup counts as a miss.
     pub fn get(&mut self, s: &Structure, query: &[Element]) -> Option<bool> {
         let id = self.registry.intern(s);
-        match self.answers.get(&(id, Box::from(query))) {
-            Some(&ans) => {
+        let key = (id, Box::from(query));
+        match self.answers.get(&key) {
+            Some(&(ans, stamp)) if stamp == self.epoch => {
                 self.hits += 1;
                 Some(ans)
+            }
+            Some(_) => {
+                self.answers.remove(&key);
+                self.misses += 1;
+                None
             }
             None => {
                 self.misses += 1;
@@ -301,13 +338,16 @@ impl QueryCache {
         }
     }
 
-    /// Records the answer for `query` on `s`.
+    /// Records the answer for `query` on `s`, stamped with the current
+    /// epoch.
     pub fn insert(&mut self, s: &Structure, query: &[Element], answer: bool) {
         let id = self.registry.intern(s);
-        self.answers.insert((id, Box::from(query)), answer);
+        self.answers
+            .insert((id, Box::from(query)), (answer, self.epoch));
     }
 
-    /// Current hit/miss/entry counters.
+    /// Current hit/miss/entry counters. `entries` counts stored entries
+    /// including stale ones not yet evicted.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits,
@@ -379,6 +419,26 @@ mod tests {
         assert_eq!(ia, ib);
         assert_ne!(ia, ic);
         assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn epoch_bump_makes_entries_stale() {
+        let mut cache = QueryCache::new();
+        let s = directed_path(4);
+        cache.insert(&s, &[0, 3], true);
+        assert_eq!(cache.get(&s, &[0, 3]), Some(true));
+        assert_eq!(cache.epoch(), 0);
+        // The store mutated: the old answer must not be served again.
+        assert_eq!(cache.bump_epoch(), 1);
+        assert_eq!(cache.get(&s, &[0, 3]), None);
+        // The stale entry was evicted, not just skipped.
+        assert_eq!(cache.stats().entries, 0);
+        // Patching the recomputed answer back in serves at the new epoch.
+        cache.insert(&s, &[0, 3], false);
+        assert_eq!(cache.get(&s, &[0, 3]), Some(false));
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 1);
     }
 
     #[test]

@@ -199,6 +199,70 @@ impl TupleStore {
         }
     }
 
+    /// Removes tuple `id`, moving the arena's last tuple into its slot
+    /// (ids stay dense; the last tuple is renumbered to `id`).
+    ///
+    /// This is the O(1) building block of in-place compaction: one
+    /// backward-shift table deletion plus one table repoint, instead of
+    /// re-interning every survivor. Per-position distinct-value counters
+    /// are *not* shrunk — after removals [`card_stats`](Self::card_stats)
+    /// over-approximates, which only mellows planner estimates.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of bounds.
+    pub fn swap_remove(&mut self, id: TupleId) {
+        assert!(id.0 < self.len, "tuple id {} out of bounds", id.0);
+        let last = self.len - 1;
+        self.table_remove(id.0);
+        if id.0 != last {
+            // Repoint the moved tuple's table entry at its new id.
+            let mask = self.table.len() - 1;
+            let mut slot = hash_tuple(self.slice_of(last)) as usize & mask;
+            while self.table[slot] != last {
+                slot = (slot + 1) & mask;
+            }
+            self.table[slot] = id.0;
+            let a = self.arity;
+            let (head, tail) = self.data.split_at_mut(last as usize * a);
+            head[id.0 as usize * a..(id.0 as usize + 1) * a].copy_from_slice(&tail[..a]);
+        }
+        self.data.truncate(last as usize * self.arity);
+        self.len = last;
+    }
+
+    /// Deletes `id`'s table entry by backward-shifting the probe chain
+    /// behind it (linear probing has no tombstones: every displaced entry
+    /// whose home slot lies at or before the hole moves back into it, so
+    /// all remaining chains stay unbroken).
+    fn table_remove(&mut self, id: u32) {
+        let mask = self.table.len() - 1;
+        let mut slot = hash_tuple(self.slice_of(id)) as usize & mask;
+        while self.table[slot] != id {
+            slot = (slot + 1) & mask;
+        }
+        let mut hole = slot;
+        loop {
+            self.table[hole] = EMPTY_SLOT;
+            let mut next = (hole + 1) & mask;
+            loop {
+                let entry = self.table[next];
+                if entry == EMPTY_SLOT {
+                    return;
+                }
+                let home = hash_tuple(self.slice_of(entry)) as usize & mask;
+                // `entry` can fill the hole iff probing from its home slot
+                // would pass through the hole — i.e. the hole is at least
+                // as far along `entry`'s probe path as `next` is.
+                if next.wrapping_sub(home) & mask >= next.wrapping_sub(hole) & mask {
+                    self.table[hole] = entry;
+                    hole = next;
+                    break;
+                }
+                next = (next + 1) & mask;
+            }
+        }
+    }
+
     /// The id of `tuple`, if interned.
     pub fn lookup(&self, tuple: &[Element]) -> Option<TupleId> {
         debug_assert_eq!(tuple.len(), self.arity, "tuple arity mismatch");
@@ -780,6 +844,33 @@ impl std::error::Error for LimitExceeded {}
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn swap_remove_keeps_probe_chains_intact() {
+        // Enough tuples to force several table growths and long collision
+        // chains; remove half in a scattered order and verify every
+        // survivor (old and relocated) still resolves by lookup.
+        let mut s = TupleStore::new(2);
+        let n: u32 = 500;
+        for e in 0..n {
+            s.intern(&[e % 17, e]);
+        }
+        let mut expect: Vec<Vec<Element>> = (0..n).map(|e| vec![e % 17, e]).collect();
+        let mut k = 0u32;
+        while s.len() > (n / 2) as usize {
+            let id = TupleId((k * 7 + 3) % s.len() as u32);
+            let gone = s.get(id).to_vec();
+            s.swap_remove(id);
+            expect.retain(|t| *t != gone);
+            assert_eq!(s.lookup(&gone), None);
+            k += 1;
+        }
+        assert_eq!(s.len(), expect.len());
+        for t in &expect {
+            let id = s.lookup(t).expect("survivor must stay interned");
+            assert_eq!(s.get(id), &t[..]);
+        }
+    }
 
     #[test]
     fn intern_assigns_dense_ids() {

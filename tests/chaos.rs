@@ -14,16 +14,21 @@
 //!    and `resume(interrupt(x)) ≡ run(x)` — stage by stage for Datalog,
 //!    verdict by verdict for the games.
 //!
-//! The injection-point counts below sum to 150 distinct seeded points
+//! The injection-point counts below sum to 174 distinct seeded points
 //! (24 Datalog + 12 existential game + 8 CNF game + 8 acyclic game +
 //! 8 lfp + 6 stage comparison + 8 homeomorphism + 8 reduction + 4 flow +
 //! 12 lazy arena + 8 seeded magic evaluation + 16 cost-based sequential +
 //! 8 cost-based parallel + 12 generic-join variable loop + 8 batched
-//! block loop), satisfying the ≥64-point acceptance bar; every point runs
-//! in every `cargo test` invocation. The cost-based points trip faults
-//! inside the SCC stratum scheduler (stage-boundary checks), the planned
-//! join kernels (per-probe step charges), the batched scan's per-block
-//! charges, and the generic join's per-value variable-loop charges.
+//! block loop + 24 incremental maintenance), satisfying the ≥64-point
+//! acceptance bar; every point runs in every `cargo test` invocation. The
+//! cost-based points trip faults inside the SCC stratum scheduler
+//! (stage-boundary checks), the planned join kernels (per-probe step
+//! charges), the batched scan's per-block charges, and the generic join's
+//! per-value variable-loop charges. The maintenance points trip faults in
+//! both phases of an incremental batch — the read-only deletion planner's
+//! per-probe charges and the insertion pass's stage-boundary and
+//! per-stage tuple/byte charges — and assert that an interrupted batch,
+//! resumed, lands counter-exactly on the uninterrupted batch.
 
 use datalog_expressiveness::datalog::programs::{
     avoiding_path, path_systems, q_kl, q_prime, transitive_closure, two_disjoint_paths_acyclic,
@@ -675,5 +680,96 @@ fn chaos_seeded_magic_interrupt_resume_equals_run() {
             }
         };
         assert_results_identical(&baseline, &run, &label);
+    }
+}
+
+#[test]
+fn chaos_incremental_maintenance_interrupt_resume_equals_batch() {
+    // Fault injection across both phases of an incremental maintenance
+    // batch. Each point builds an engine from a program fixture, then
+    // applies one mutation batch (retract a third of the EDB, insert
+    // rotated variants of a quarter of it — collisions exercise multiset
+    // support) under an injected governor. The deletion phase commits
+    // nothing when tripped; the insertion phase keeps committed stages;
+    // either way, resuming under an unlimited governor must land on the
+    // uninterrupted batch exactly — summary counters, EvalStats, and
+    // every IDB store.
+    use datalog_expressiveness::datalog::{Fact, IdbId, IncrementalEngine, JoinLowering};
+    use datalog_expressiveness::structures::Element;
+
+    fn mutation_batch(s: &Structure) -> (Vec<Fact>, Vec<Fact>) {
+        let n = s.universe_size() as u32;
+        let mut inserts = Vec::new();
+        let mut retracts = Vec::new();
+        for rel in s.vocabulary().relations() {
+            for (i, t) in s.relation(rel).iter().enumerate() {
+                if i % 3 == 0 {
+                    retracts.push((rel, t.to_vec()));
+                }
+                if i % 4 == 0 {
+                    let rotated: Vec<Element> = t.iter().map(|&e| (e + 1) % n).collect();
+                    inserts.push((rel, rotated));
+                }
+            }
+        }
+        (inserts, retracts)
+    }
+
+    let programs = all_programs();
+    let option_matrix = [
+        EvalOptions::default(),
+        EvalOptions::default().with_planner(PlannerMode::CostBased),
+        EvalOptions::default()
+            .with_planner(PlannerMode::CostBased)
+            .with_lowering(JoinLowering::Generic),
+    ];
+    for index in 0..24usize {
+        let program = &programs[index % programs.len()];
+        let opts = option_matrix[index % option_matrix.len()];
+        let s = fixture_for(program, 4_100 + (index % programs.len()) as u64);
+        let (inserts, retracts) = mutation_batch(&s);
+
+        let (mut straight, _) = IncrementalEngine::from_structure(program, &s, opts);
+        let baseline = straight.apply_batch(&inserts, &retracts);
+
+        let (mut engine, _) = IncrementalEngine::from_structure(program, &s, opts);
+        let (label, gov) = chaos::injection(chaos_seed(), 1_500 + index, 60);
+        let summary = match engine.try_apply_batch_governed(&inserts, &retracts, &gov) {
+            Ok(done) => done,
+            Err(_) => {
+                assert!(
+                    engine.has_pending(),
+                    "{label}: interrupted batch not pending"
+                );
+                engine
+                    .resume_batch(&Governor::unlimited())
+                    .unwrap_or_else(|e| panic!("{label}: unlimited resume interrupted: {e}"))
+            }
+        };
+        assert!(!engine.has_pending(), "{label}: batch left pending");
+        assert_eq!(summary.eval_stats, baseline.eval_stats, "{label}: stats");
+        assert_eq!(summary.epoch, baseline.epoch, "{label}: epoch");
+        assert_eq!(
+            summary.delta_tuples, baseline.delta_tuples,
+            "{label}: delta"
+        );
+        assert_eq!(
+            summary.deleted_tuples, baseline.deleted_tuples,
+            "{label}: deleted"
+        );
+        assert_eq!(
+            summary.rederived_tuples, baseline.rederived_tuples,
+            "{label}: rederived"
+        );
+        assert_eq!(summary.stage_new, baseline.stage_new, "{label}: stages");
+        for i in 0..program.idb_count() {
+            assert!(
+                engine
+                    .idb_store(IdbId(i))
+                    .store()
+                    .set_eq(straight.idb_store(IdbId(i)).store()),
+                "{label}: IDB {i} diverged"
+            );
+        }
     }
 }
