@@ -8,8 +8,10 @@
 //! answers must match full saturation without extra derivations, the
 //! cost-based planner must be stage-identical to textual evaluation with
 //! no extra probes, the incremental engine must hold exactly the
-//! from-scratch fixpoint after every churn batch, and the lazy pebble
-//! solver must agree with the eager
+//! from-scratch fixpoint after every churn batch, a durable engine
+//! re-opened from disk after the same batches must match the volatile
+//! engine tuple-for-tuple (the recovered ≡ clean gate), and the lazy
+//! pebble solver must agree with the eager
 //! one. It also re-measures the engine counters against the committed
 //! `BENCH_datalog.json` ([`kv_bench::report::regression_check`]) and
 //! fails on >10% regressions of `join_probes` /

@@ -13,8 +13,12 @@
 //! (`planned_ms`, `planned_join_probes`, `planned_duplicate_derivations`,
 //! `scc_count`, `probe_savings_pct`), the batched/worst-case-optimal join
 //! columns (`planned_block_probes`, `planned_gallop_steps`,
-//! `planned_wcoj_rules`), and per-case thread-scaling rows at 1/2/4
-//! workers for both planner modes.
+//! `planned_wcoj_rules`), the durability columns (`recovery_ms` — cold
+//! reopen of a WAL-backed directory at the mid-cadence point, snapshot
+//! load + WAL-tail replay; `flush_overhead_pct` — the per-round WAL tax,
+//! the directly measured cost of the round's two framed WAL appends as a
+//! percentage of the volatile maintenance round), and per-case
+//! thread-scaling rows at 1/2/4 workers for both planner modes.
 //!
 //! Every report header is stamped with the git revision and a UTC
 //! timestamp, and every case records the RNG seed of its input structure,
@@ -32,14 +36,15 @@
 use crate::microbench::time_fn;
 use kv_core::datalog::programs::{avoiding_path, q_kl, transitive_closure, triangles};
 use kv_core::datalog::{
-    BindingPattern, EvalOptions, Evaluator, Fact, IdbId, IncrementalEngine, JoinLowering,
-    MagicProgram, PlannerMode, Program,
+    BindingPattern, DurabilityOptions, DurableEngine, EvalOptions, Evaluator, Fact, IdbId,
+    IncrementalEngine, JoinLowering, MagicProgram, PlannerMode, Program,
 };
 use kv_core::pebble::win_iteration::solve_by_win_iteration;
 use kv_core::pebble::ExistentialGame;
 use kv_core::structures::generators::{directed_path, random_digraph};
 use kv_core::structures::govern::{Budget, CancelToken, Deadline, Governor};
 use kv_core::structures::par::thread_count;
+use kv_core::structures::persist::SegmentedLog;
 use kv_core::structures::{Digraph, Element, HomKind, SplitMix64, Structure};
 use std::time::Duration;
 
@@ -345,6 +350,27 @@ fn churn_round(engine: &mut IncrementalEngine, churn: &[Fact]) -> kv_core::datal
     engine.apply_batch(churn, &[])
 }
 
+/// Every EDB fact of `s`, as the seed batch that loads a fresh durable
+/// directory (epoch 1 of the WAL).
+fn edb_facts(s: &Structure) -> Vec<Fact> {
+    let mut facts = Vec::new();
+    for rel in s.vocabulary().relations() {
+        for t in s.relation(rel).iter() {
+            facts.push((rel, t.to_vec()));
+        }
+    }
+    facts
+}
+
+/// A per-case scratch directory for durable-engine measurements, namespaced
+/// by pid so concurrent harness runs do not collide. The caller removes it
+/// when done; a stale leftover from a killed run is clobbered here.
+fn durable_scratch_dir(tag: &str, case: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("kv-{tag}-{}-{case}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
 /// Percent saved by `planned` relative to `textual` (0 when the textual
 /// count is zero or the planned count is no smaller).
 fn savings_pct(textual: u64, planned: u64) -> f64 {
@@ -359,8 +385,9 @@ fn savings_pct(textual: u64, planned: u64) -> f64 {
 /// time with rule-variant parallelism on vs. off (both semi-naive), the
 /// magic-set demand columns for the case's bounded goal query, the
 /// cost-based planner columns (`planned_*`, `scc_count`,
-/// `probe_savings_pct`), and thread-scaling rows at 1/2/4 workers for
-/// both planner modes.
+/// `probe_savings_pct`), the durability columns (`flush_overhead_pct`,
+/// `recovery_ms`), and thread-scaling rows at 1/2/4 workers for both
+/// planner modes.
 pub fn datalog_report() -> String {
     let mut cases = Vec::new();
     for (name, program, s, query, seed) in &datalog_instances() {
@@ -430,6 +457,68 @@ pub fn datalog_report() -> String {
         let dropped = engine.apply_batch(&[], &churn);
         let steady = engine.apply_batch(&churn, &[]);
         let incremental = time_fn(2, 15, || churn_round(&mut engine, &churn).epoch);
+        // Durability columns. A durable round is the volatile round plus
+        // exactly two framed WAL appends (the engine work is the same
+        // code), so the flush tax is *measured directly* — time appends
+        // of the engine's own average WAL record size — rather than
+        // subtracted from two noisy end-to-end timings that cannot
+        // resolve a few microseconds. `recovery_ms` is a cold reopen at
+        // the realistic mid-cadence point: a checkpoint snapshot plus a
+        // two-round WAL tail.
+        let durable_dir = durable_scratch_dir("bench-durable", name);
+        let durability = DurabilityOptions {
+            checkpoint_every: 0, // checkpoint manually, below
+            ..DurabilityOptions::default()
+        };
+        #[allow(clippy::expect_used)]
+        let mut durable =
+            DurableEngine::open(program, s, opts(true), &durable_dir, durability.clone())
+                .expect("durable scratch dir opens");
+        #[allow(clippy::expect_used)]
+        durable
+            .apply_batch(&edb_facts(s), &[])
+            .expect("seed batch persists");
+        let before = durable.flush_stats();
+        for _ in 0..4 {
+            #[allow(clippy::expect_used)]
+            durable.apply_batch(&[], &churn).expect("retract persists");
+            #[allow(clippy::expect_used)]
+            durable.apply_batch(&churn, &[]).expect("reinsert persists");
+        }
+        let after = durable.flush_stats();
+        let record_bytes =
+            (after.wal_bytes - before.wal_bytes) / (after.wal_records - before.wal_records).max(1);
+        let payload = vec![0u8; record_bytes as usize];
+        #[allow(clippy::expect_used)]
+        let mut tax_log = SegmentedLog::create(&durable_dir, "bench-flush-tax", 1 << 20)
+            .expect("tax log creates");
+        let flush_tax = time_fn(3, 31, || {
+            #[allow(clippy::expect_used)]
+            tax_log.append(&payload).expect("tax append");
+            #[allow(clippy::expect_used)]
+            tax_log.append(&payload).expect("tax append");
+            2u64
+        });
+        drop(tax_log);
+        SegmentedLog::remove_all(&durable_dir, "bench-flush-tax");
+        #[allow(clippy::expect_used)]
+        durable.checkpoint().expect("snapshot persists");
+        for _ in 0..2 {
+            #[allow(clippy::expect_used)]
+            durable.apply_batch(&[], &churn).expect("retract persists");
+            #[allow(clippy::expect_used)]
+            durable.apply_batch(&churn, &[]).expect("reinsert persists");
+        }
+        drop(durable);
+        let recovery = time_fn(1, 5, || {
+            #[allow(clippy::expect_used)]
+            DurableEngine::open(program, s, opts(true), &durable_dir, durability.clone())
+                .expect("recovery succeeds")
+                .epoch()
+        });
+        let _ = std::fs::remove_dir_all(&durable_dir);
+        let flush_overhead =
+            flush_tax.median.as_secs_f64() / incremental.median.as_secs_f64().max(1e-12) * 100.0;
         cases.push(
             Obj::new()
                 .str("name", name)
@@ -471,6 +560,10 @@ pub fn datalog_report() -> String {
                 // Per maintenance round (one retract + one reinsert batch
                 // of the churn set) against the live engine.
                 .num("incremental_ms", format!("{:.4}", ms(incremental.median)))
+                // Durable engine: WAL tax per maintenance round, and the
+                // wall time of a cold reopen (recovery) of its directory.
+                .num("flush_overhead_pct", format!("{:.2}", flush_overhead))
+                .num("recovery_ms", format!("{:.4}", ms(recovery.median)))
                 .num("delta_tuples", steady.delta_tuples)
                 .num("rederived_tuples", dropped.rederived_tuples)
                 .num("governed_ms", format!("{:.4}", ms(governed.median)))
@@ -545,6 +638,76 @@ fn mutation_case() -> Obj {
         .num("rederived_tuples", dropped.rederived_tuples)
 }
 
+/// The `--smoke` durability gate for one case: loads `s` plus one churn
+/// round (retract then reinsert) through a [`DurableEngine`] in a scratch
+/// directory, drops the handle, recovers from disk, and compares the
+/// recovered engine against `baseline` — a volatile engine that applied
+/// the same batches. The cadence of 2 makes the run cross a checkpoint
+/// *and* leave a WAL tail, so recovery exercises both the snapshot path
+/// and replay. Every EDB relation must match live-tuple-for-live-tuple
+/// with equal support counts, and every IDB must hold exactly the same
+/// set. Returns the violations (empty = pass).
+fn durable_recovery_check(
+    name: &str,
+    program: &Program,
+    s: &Structure,
+    churn: &[Fact],
+    baseline: &IncrementalEngine,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    let dir = durable_scratch_dir("smoke-durable", name);
+    let durability = DurabilityOptions {
+        checkpoint_every: 2,
+        ..DurabilityOptions::default()
+    };
+    let opts = EvalOptions::default();
+    let written = (|| -> Result<(), kv_core::datalog::RecoveryError> {
+        let mut durable = DurableEngine::open(program, s, opts, &dir, durability.clone())?;
+        durable.apply_batch(&edb_facts(s), &[])?;
+        durable.apply_batch(&[], churn)?;
+        durable.apply_batch(churn, &[])?;
+        Ok(())
+    })();
+    if let Err(e) = written {
+        violations.push(format!("{name}: durable batches failed to persist: {e}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        return violations;
+    }
+    match DurableEngine::open(program, s, opts, &dir, durability) {
+        Err(e) => violations.push(format!("{name}: durable recovery failed: {e}")),
+        Ok(recovered) => {
+            let rec = recovered.engine();
+            for rel in s.vocabulary().relations() {
+                let base = baseline.edb_store(rel);
+                let got = rec.edb_store(rel);
+                let same = base.live_len() == got.live_len()
+                    && base.live_iter().all(|t| {
+                        let bs = base.lookup(t).map(|id| base.support(id));
+                        let gs = got.lookup(t).map(|id| got.support(id));
+                        got.contains_live(t) && bs == gs
+                    });
+                if !same {
+                    violations.push(format!(
+                        "{name}: recovered EDB relation {} != volatile engine",
+                        rel.0
+                    ));
+                }
+            }
+            for i in 0..program.idb_count() {
+                let base = baseline.idb_store(IdbId(i));
+                let got = rec.idb_store(IdbId(i));
+                let same = base.live_len() == got.live_len()
+                    && base.live_iter().all(|t| got.contains_live(t));
+                if !same {
+                    violations.push(format!("{name}: recovered IDB {i} != volatile engine"));
+                }
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    violations
+}
+
 /// CI gate over the demand paths and the cost-based planner, on the exact
 /// report workloads:
 ///
@@ -559,6 +722,9 @@ fn mutation_case() -> Obj {
 /// * every Datalog case's incremental engine, after a churn batch
 ///   (retract then reinsert a small edge set), must hold exactly the
 ///   from-scratch fixpoint of its materialized EDB;
+/// * every Datalog case's durable engine, re-opened from disk after the
+///   same batches (crossing a checkpoint and leaving a WAL tail), must
+///   match the volatile engine tuple-for-tuple with equal support counts;
 /// * every pebble case's lazy solver must name the same winner as the
 ///   eager worklist solver, with an arena no larger.
 ///
@@ -591,6 +757,10 @@ pub fn smoke_check() -> Vec<String> {
                 }
             }
         }
+        // Recovered ≡ clean: the same load and churn round through a
+        // durable engine, killed (dropped) and re-opened from disk, must
+        // reproduce this volatile engine's state tuple-for-tuple.
+        violations.extend(durable_recovery_check(name, program, s, &churn, &engine));
         let full_holds = full.idb[program.goal().0].contains(&query[..]);
         let full_tuples = full.eval_stats.tuples_interned;
         // Planned ≡ textual differential (sequential: exact counters).
@@ -784,6 +954,8 @@ mod tests {
         assert!(datalog.contains("\"planned_wcoj_rules\""));
         assert!(datalog.contains("\"tri_layered_m12_b3\""));
         assert!(datalog.contains("\"incremental_ms\""));
+        assert!(datalog.contains("\"flush_overhead_pct\""));
+        assert!(datalog.contains("\"recovery_ms\""));
         assert!(datalog.contains("\"delta_tuples\""));
         assert!(datalog.contains("\"rederived_tuples\""));
         assert!(datalog.contains("\"tc_mutation_tenants48x12_churn4\""));

@@ -31,7 +31,10 @@ pub mod pattern_based;
 pub mod query;
 
 pub use dichotomy::{classify_and_report, negative_witness, DichotomyReport, Expressibility};
-pub use kv_datalog::{BatchInterrupted, BatchSummary, Fact, IncrementalEngine};
+pub use kv_datalog::{
+    BatchInterrupted, BatchSummary, CrashPoint, DurabilityOptions, DurableBatchError,
+    DurableEngine, Fact, FlushStats, IncrementalEngine, RecoveryError, RecoveryReport,
+};
 pub use kv_structures::{
     CacheStats, DemandStrategy, QueryCache, QueryPlan, StructureId, StructureRegistry,
 };

@@ -7,10 +7,12 @@
 //! oracles are compared by the experiments.
 
 use kv_datalog::{
-    BatchInterrupted, BatchSummary, BindingPattern, CompiledProgram, EvalOptions, EvalStats, Fact,
-    IncrementalEngine, MagicProgram, Program,
+    BatchInterrupted, BatchSummary, BindingPattern, CompiledProgram, DurabilityOptions,
+    DurableBatchError, DurableEngine, EvalOptions, EvalStats, Fact, FlushStats, IncrementalEngine,
+    MagicProgram, Program, RecoveryError, RecoveryReport,
 };
 use kv_structures::{CacheStats, Governor, Interrupted, QueryCache, QueryPlan, Structure};
+use std::path::Path;
 use std::sync::Mutex;
 
 /// A boolean query over structures of a fixed vocabulary.
@@ -44,6 +46,27 @@ struct DemandPath {
     compiled: CompiledProgram,
 }
 
+/// The maintenance engine attached to a [`ProgramQuery`]: none, a
+/// volatile in-memory engine, or a durable engine whose batches survive
+/// the process (both boxed: an engine is hundreds of bytes of stores and
+/// stats, and the slot lives inside every query's mutex).
+enum EngineSlot {
+    None,
+    Memory(Box<IncrementalEngine>),
+    Durable(Box<DurableEngine>),
+}
+
+impl EngineSlot {
+    /// Read access to the wrapped engine, whichever mode is attached.
+    fn engine(&self) -> Option<&IncrementalEngine> {
+        match self {
+            EngineSlot::None => None,
+            EngineSlot::Memory(e) => Some(e),
+            EngineSlot::Durable(d) => Some(d.engine()),
+        }
+    }
+}
+
 /// A Datalog(≠) program used as a boolean query: true iff the goal
 /// relation contains the designated tuple (by default the empty tuple of a
 /// nullary goal).
@@ -70,7 +93,7 @@ pub struct ProgramQuery {
     plan: QueryPlan,
     demand: Option<DemandPath>,
     cache: Mutex<QueryCache>,
-    incremental: Mutex<Option<IncrementalEngine>>,
+    incremental: Mutex<EngineSlot>,
 }
 
 impl ProgramQuery {
@@ -149,7 +172,7 @@ impl ProgramQuery {
             plan,
             demand,
             cache: Mutex::new(QueryCache::new()),
-            incremental: Mutex::new(None),
+            incremental: Mutex::new(EngineSlot::None),
         }
     }
 
@@ -223,7 +246,7 @@ impl ProgramQuery {
         Some((holds, result.eval_stats))
     }
 
-    fn lock_engine(&self) -> std::sync::MutexGuard<'_, Option<IncrementalEngine>> {
+    fn lock_engine(&self) -> std::sync::MutexGuard<'_, EngineSlot> {
         // Same poisoning argument as the cache: the engine is coherent
         // between batches, and a batch that panicked left it pending.
         self.incremental.lock().unwrap_or_else(|e| e.into_inner())
@@ -241,13 +264,104 @@ impl ProgramQuery {
             IncrementalEngine::from_structure(&self.program, structure, self.eval_options());
         let mut slot = self.lock_engine();
         self.patch_cache(&engine);
-        *slot = Some(engine);
+        *slot = EngineSlot::Memory(Box::new(engine));
         summary
     }
 
-    /// Whether an incremental engine is attached.
+    /// Switches this query into **durable** incremental maintenance mode
+    /// backed by directory `dir`, with the default
+    /// [`DurabilityOptions`]. See
+    /// [`open_durable_with`](Self::open_durable_with).
+    pub fn open_durable(
+        &self,
+        structure: &Structure,
+        dir: &Path,
+    ) -> Result<RecoveryReport, RecoveryError> {
+        self.open_durable_with(structure, dir, DurabilityOptions::default())
+    }
+
+    /// Switches this query into durable incremental maintenance mode: a
+    /// [`DurableEngine`] in `dir` write-ahead-logs every batch and
+    /// checkpoints periodically, so the maintained state survives a
+    /// crash and is recovered by the next `open_durable` on the same
+    /// directory.
+    ///
+    /// On a **fresh** directory, `structure`'s facts are asserted as the
+    /// initial batch (epoch 1), mirroring
+    /// [`enable_incremental`](Self::enable_incremental). On an
+    /// **existing** directory, the recovered state is authoritative and
+    /// `structure` serves only as the template (vocabulary, universe,
+    /// constants) — it is validated against the directory's fingerprint
+    /// and its facts are ignored.
+    ///
+    /// The answer cache is epoch-bumped and the recovered answer patched
+    /// in. Replaces any previously attached engine.
+    pub fn open_durable_with(
+        &self,
+        structure: &Structure,
+        dir: &Path,
+        durability: DurabilityOptions,
+    ) -> Result<RecoveryReport, RecoveryError> {
+        let mut durable = DurableEngine::open(
+            &self.program,
+            structure,
+            self.eval_options(),
+            dir,
+            durability,
+        )?;
+        if durable.epoch() == 0 {
+            let mut inserts: Vec<Fact> = Vec::new();
+            for r in structure.vocabulary().relations() {
+                for t in structure.relation(r).iter() {
+                    inserts.push((r, t.to_vec()));
+                }
+            }
+            durable.apply_batch(&inserts, &[])?;
+        }
+        let report = durable.recovery().clone();
+        let mut slot = self.lock_engine();
+        self.patch_cache(durable.engine());
+        *slot = EngineSlot::Durable(Box::new(durable));
+        Ok(report)
+    }
+
+    /// Whether an incremental engine (volatile or durable) is attached.
     pub fn incremental_active(&self) -> bool {
-        self.lock_engine().is_some()
+        self.lock_engine().engine().is_some()
+    }
+
+    /// Whether the attached engine is durable.
+    pub fn durable_active(&self) -> bool {
+        matches!(&*self.lock_engine(), EngineSlot::Durable(_))
+    }
+
+    /// What recovery found when the durable engine opened (`None` when no
+    /// durable engine is attached).
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        match &*self.lock_engine() {
+            EngineSlot::Durable(d) => Some(d.recovery().clone()),
+            _ => None,
+        }
+    }
+
+    /// Flush-side counters of the durable engine (`None` when no durable
+    /// engine is attached).
+    pub fn flush_stats(&self) -> Option<FlushStats> {
+        match &*self.lock_engine() {
+            EngineSlot::Durable(d) => Some(d.flush_stats()),
+            _ => None,
+        }
+    }
+
+    /// Forces a checkpoint of the durable engine right now (snapshot, new
+    /// generation, fresh WAL). Returns the snapshot payload size.
+    ///
+    /// Panics if no durable engine is attached.
+    pub fn checkpoint_now(&self) -> Result<u64, RecoveryError> {
+        match &mut *self.lock_engine() {
+            EngineSlot::Durable(d) => d.checkpoint(),
+            _ => panic!("checkpoint_now requires open_durable"),
+        }
     }
 
     /// The live answer maintained by the incremental engine: `None` when
@@ -255,7 +369,7 @@ impl ProgramQuery {
     /// relation is not at a fixpoint).
     pub fn incremental_holds(&self) -> Option<bool> {
         let slot = self.lock_engine();
-        let engine = slot.as_ref()?;
+        let engine = slot.engine()?;
         if engine.has_pending() {
             return None;
         }
@@ -265,7 +379,7 @@ impl ProgramQuery {
     /// Whether an interrupted maintenance batch is waiting for
     /// [`resume_batch`](Self::resume_batch).
     pub fn batch_pending(&self) -> bool {
-        self.lock_engine().as_ref().is_some_and(|e| e.has_pending())
+        self.lock_engine().engine().is_some_and(|e| e.has_pending())
     }
 
     /// Applies a mutation batch to the incremental engine (ungoverned) and
@@ -275,12 +389,18 @@ impl ProgramQuery {
     /// new epoch instead of dropping the cache wholesale.
     ///
     /// Panics if [`enable_incremental`](Self::enable_incremental) has not
-    /// been called.
+    /// been called. With a durable engine attached, use
+    /// [`try_apply_batch_durable`](Self::try_apply_batch_durable), which
+    /// surfaces storage errors instead of panicking.
     pub fn apply_batch(&self, inserts: &[Fact], retracts: &[Fact]) -> BatchSummary {
         let mut slot = self.lock_engine();
-        let engine = slot
-            .as_mut()
-            .unwrap_or_else(|| panic!("apply_batch requires enable_incremental"));
+        let engine = match &mut *slot {
+            EngineSlot::Memory(e) => e,
+            EngineSlot::Durable(_) => {
+                panic!("durable engine attached: use try_apply_batch_durable")
+            }
+            EngineSlot::None => panic!("apply_batch requires enable_incremental"),
+        };
         let summary = engine.apply_batch(inserts, retracts);
         self.patch_cache(engine);
         summary
@@ -299,22 +419,72 @@ impl ProgramQuery {
         gov: &Governor,
     ) -> Result<BatchSummary, BatchInterrupted> {
         let mut slot = self.lock_engine();
-        let engine = slot
-            .as_mut()
-            .unwrap_or_else(|| panic!("try_apply_batch_governed requires enable_incremental"));
+        let engine = match &mut *slot {
+            EngineSlot::Memory(e) => e,
+            EngineSlot::Durable(_) => {
+                panic!("durable engine attached: use try_apply_batch_durable")
+            }
+            EngineSlot::None => panic!("try_apply_batch_governed requires enable_incremental"),
+        };
         let summary = engine.try_apply_batch_governed(inserts, retracts, gov)?;
         self.patch_cache(engine);
+        Ok(summary)
+    }
+
+    /// Governed durable batch: write-ahead-logs the batch, applies it,
+    /// and checkpoints when the cadence is due. Works on both engine
+    /// modes (a volatile engine simply has no logging side), so callers
+    /// can be written once against the durable API.
+    ///
+    /// Panics if no engine is attached.
+    pub fn try_apply_batch_durable(
+        &self,
+        inserts: &[Fact],
+        retracts: &[Fact],
+        gov: &Governor,
+    ) -> Result<BatchSummary, DurableBatchError> {
+        let mut slot = self.lock_engine();
+        let summary = match &mut *slot {
+            EngineSlot::Memory(e) => e
+                .try_apply_batch_governed(inserts, retracts, gov)
+                .map_err(DurableBatchError::Interrupted)?,
+            EngineSlot::Durable(d) => d.try_apply_batch_governed(inserts, retracts, gov)?,
+            EngineSlot::None => panic!("try_apply_batch_durable requires an attached engine"),
+        };
+        // Unreachable only on EngineSlot::None, which panicked above.
+        if let Some(engine) = slot.engine() {
+            self.patch_cache(engine);
+        }
         Ok(summary)
     }
 
     /// Resumes an interrupted maintenance batch under a fresh governor.
     pub fn resume_batch(&self, gov: &Governor) -> Result<BatchSummary, BatchInterrupted> {
         let mut slot = self.lock_engine();
-        let engine = slot
-            .as_mut()
-            .unwrap_or_else(|| panic!("resume_batch requires a pending batch"));
+        let engine = match &mut *slot {
+            EngineSlot::Memory(e) => e,
+            EngineSlot::Durable(_) => panic!("durable engine attached: use resume_batch_durable"),
+            EngineSlot::None => panic!("resume_batch requires a pending batch"),
+        };
         let summary = engine.resume_batch(gov)?;
         self.patch_cache(engine);
+        Ok(summary)
+    }
+
+    /// Resumes an interrupted batch through the durable API (see
+    /// [`try_apply_batch_durable`](Self::try_apply_batch_durable)).
+    pub fn resume_batch_durable(&self, gov: &Governor) -> Result<BatchSummary, DurableBatchError> {
+        let mut slot = self.lock_engine();
+        let summary = match &mut *slot {
+            EngineSlot::Memory(e) => e
+                .resume_batch(gov)
+                .map_err(DurableBatchError::Interrupted)?,
+            EngineSlot::Durable(d) => d.resume_batch(gov)?,
+            EngineSlot::None => panic!("resume_batch_durable requires a pending batch"),
+        };
+        if let Some(engine) = slot.engine() {
+            self.patch_cache(engine);
+        }
         Ok(summary)
     }
 
@@ -556,6 +726,52 @@ mod tests {
         // The pre-batch structure's answer was staled out and recomputes.
         assert!(q.eval(&s));
         assert_eq!(q.cache_stats().misses, misses + 1);
+    }
+
+    #[test]
+    fn durable_mode_survives_reattach() {
+        use kv_structures::RelId;
+        let dir = std::env::temp_dir().join(format!("kv-query-durable-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let e = RelId(0);
+        {
+            let q = ProgramQuery::at_tuple("0 reaches 3", transitive_closure(), vec![0, 3]);
+            let report = q.open_durable(&directed_path(4), &dir).expect("open fresh");
+            assert!(!report.manifest_found);
+            assert!(q.durable_active() && q.incremental_active());
+            assert_eq!(q.incremental_holds(), Some(true));
+            // Cut the middle edge; the answer flips and the batch is
+            // WAL-logged before it applies.
+            q.try_apply_batch_durable(&[], &[(e, vec![1, 2])], &Governor::unlimited())
+                .expect("durable batch");
+            assert_eq!(q.incremental_holds(), Some(false));
+            assert!(q.flush_stats().expect("durable stats").wal_records >= 1);
+            // Dropped with no shutdown hook — durability must not need one.
+        }
+        {
+            // A second query on the same directory recovers the mutated
+            // state; the template's facts are NOT re-asserted.
+            let q = ProgramQuery::at_tuple("0 reaches 3", transitive_closure(), vec![0, 3]);
+            let report = q.open_durable(&directed_path(4), &dir).expect("reopen");
+            assert!(report.manifest_found);
+            assert_eq!(report.recovered_epoch, 2);
+            assert_eq!(q.recovery_report().expect("attached").recovered_epoch, 2);
+            assert_eq!(q.incremental_holds(), Some(false));
+            // Restore the edge durably, then force a checkpoint.
+            q.try_apply_batch_durable(&[(e, vec![1, 2])], &[], &Governor::unlimited())
+                .expect("durable batch");
+            assert_eq!(q.incremental_holds(), Some(true));
+            assert!(q.checkpoint_now().expect("checkpoint") > 0);
+        }
+        let q = ProgramQuery::at_tuple("0 reaches 3", transitive_closure(), vec![0, 3]);
+        let report = q.open_durable(&directed_path(4), &dir).expect("reopen 2");
+        // The checkpoint covers everything: nothing left to replay.
+        assert_eq!(report.replayed_batches, 0);
+        assert!(report.checkpoint_epoch >= 3);
+        assert_eq!(q.incremental_holds(), Some(true));
+        // The answer cache was patched from recovered state.
+        assert!(q.eval(&directed_path(4)));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,983 @@
+//! Crash-recoverable incremental maintenance: a write-ahead log of
+//! batches plus periodic checkpoint snapshots over
+//! [`kv_structures::persist`].
+//!
+//! [`DurableEngine`] wraps an [`IncrementalEngine`] with a redo-logging
+//! protocol whose single invariant is: **a batch is logged durably before
+//! any of it is applied in memory**. Together with the engine's own
+//! determinism (a batch is a pure function of the committed pre-state),
+//! that makes recovery trivial to state and to test:
+//!
+//! - Crash mid-WAL-append → the record is torn, the loader truncates it,
+//!   the batch never happened.
+//! - Crash any time after the WAL append → replay applies the full batch
+//!   deterministically, landing on the exact state — tuple ids, support
+//!   counts, epoch marks, stage identity — a clean run would hold.
+//!
+//! Every `checkpoint_every` batches the engine state (EDB and IDB
+//! [`kv_structures::MutableStore`]s, epoch, aggregate counters) is
+//! snapshotted into a fresh *generation*: `ckpt-GGGG` is written first,
+//! then the manifest atomically repoints to generation `G`, then a fresh
+//! `wal-GGGG` log starts and stale generations are pruned. A crash
+//! between any two of those steps recovers through whichever manifest is
+//! current — both sides of the swap describe a complete, consistent
+//! world.
+//!
+//! On-disk layout of a durable directory:
+//!
+//! ```text
+//! MANIFEST                  root pointer: generation, checkpoint epoch,
+//!                           world fingerprint (atomic tmp+rename swap)
+//! ckpt-0002-000000.seg      generation 2's snapshot (one framed record)
+//! wal-0002-000000.seg       batches applied after that snapshot,
+//! wal-0002-000001.seg       one framed record per batch, segments
+//!                           rolled at a fixed size
+//! ```
+//!
+//! The [`CrashPoint`] hooks let the kill-and-restart chaos suite
+//! (`tests/recovery.rs`) abort the process deterministically *inside*
+//! the commit protocol — mid-WAL-record, between WAL and apply, mid
+//! checkpoint write, on either side of the manifest swap — which is how
+//! the recovery invariant is exercised at every seam.
+
+use crate::eval::EvalOptions;
+use crate::incremental::{BatchInterrupted, BatchSummary, Fact, IncrementalEngine};
+use crate::program::Program;
+use kv_structures::govern::Governor;
+use kv_structures::persist::{self, put_u32, put_u64, ByteReader, RecoveryError, SegmentedLog};
+use kv_structures::store::EvalStats;
+use kv_structures::{RelId, Structure, Vocabulary};
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// How a [`DurableEngine`] flushes. The defaults favor test and bench
+/// throughput: process-crash durability is unconditional (records are
+/// handed to the OS before the engine mutates), while `fsync` — needed
+/// only for whole-machine crashes — is opt-in.
+#[derive(Debug, Clone)]
+pub struct DurabilityOptions {
+    /// Snapshot the engine and start a new generation after this many
+    /// committed batches (0 = only on explicit
+    /// [`checkpoint`](DurableEngine::checkpoint) calls).
+    pub checkpoint_every: u64,
+    /// Roll WAL segment files at this size.
+    pub segment_bytes: u64,
+    /// `fsync` WAL appends, snapshots, and manifest swaps.
+    pub fsync: bool,
+    /// Deterministic crash injection for the recovery chaos suite: abort
+    /// the process at the named protocol seam.
+    pub crash: Option<CrashPoint>,
+}
+
+impl Default for DurabilityOptions {
+    fn default() -> Self {
+        Self {
+            checkpoint_every: 8,
+            segment_bytes: 64 * 1024,
+            fsync: false,
+            crash: None,
+        }
+    }
+}
+
+/// A seeded kill point inside the durable commit protocol. The recovery
+/// tests run the engine in a subprocess with one of these armed; the
+/// process [`std::process::abort`]s at the seam, the parent restarts it,
+/// and recovery must land on the clean-run state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// While appending the WAL record of the batch producing `epoch`:
+    /// only `keep` bytes of the frame reach the file — a torn write.
+    WalTorn {
+        /// The batch (by the epoch it would produce) whose record tears.
+        epoch: u64,
+        /// Frame bytes that survive.
+        keep: usize,
+    },
+    /// After the batch's WAL record is durable, before any in-memory
+    /// apply: recovery must replay the full batch.
+    AfterWal {
+        /// The batch (by the epoch it would produce) to crash after.
+        epoch: u64,
+    },
+    /// After the batch applied in memory, before any checkpoint runs:
+    /// durable state is WAL-ahead of nothing — replay is a no-op beyond
+    /// this batch.
+    AfterApply {
+        /// The batch (by the epoch it produced) to crash after.
+        epoch: u64,
+    },
+    /// Mid-checkpoint: only `keep` bytes of the snapshot record reach
+    /// the new generation's file; the manifest still names the old one.
+    CheckpointTorn {
+        /// Snapshot frame bytes that survive.
+        keep: usize,
+    },
+    /// Checkpoint written, manifest not yet swapped: recovery uses the
+    /// previous generation and replays its WAL.
+    BeforeManifest,
+    /// Manifest swapped, stale generations not yet pruned: recovery uses
+    /// the new snapshot and ignores the orphans.
+    AfterManifest,
+}
+
+impl CrashPoint {
+    /// Parses the harness's crash spec: `wal-torn:EPOCH:KEEP`,
+    /// `after-wal:EPOCH`, `after-apply:EPOCH`, `ckpt-torn:KEEP`,
+    /// `before-manifest`, `after-manifest`.
+    pub fn parse(spec: &str) -> Option<CrashPoint> {
+        let mut parts = spec.split(':');
+        let head = parts.next()?;
+        let mut num = || parts.next()?.parse::<u64>().ok();
+        match head {
+            "wal-torn" => {
+                let epoch = num()?;
+                let keep = num()? as usize;
+                Some(CrashPoint::WalTorn { epoch, keep })
+            }
+            "after-wal" => Some(CrashPoint::AfterWal { epoch: num()? }),
+            "after-apply" => Some(CrashPoint::AfterApply { epoch: num()? }),
+            "ckpt-torn" => Some(CrashPoint::CheckpointTorn {
+                keep: num()? as usize,
+            }),
+            "before-manifest" => Some(CrashPoint::BeforeManifest),
+            "after-manifest" => Some(CrashPoint::AfterManifest),
+            _ => None,
+        }
+    }
+}
+
+/// What recovery found and did while opening a durable directory.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Whether a manifest existed (false = the directory is fresh).
+    pub manifest_found: bool,
+    /// Epoch covered by the checkpoint snapshot that seeded the engine.
+    pub checkpoint_epoch: u64,
+    /// WAL batches replayed on top of the snapshot.
+    pub replayed_batches: u64,
+    /// Whether a torn record was truncated from the WAL tail.
+    pub torn_wal_truncated: bool,
+    /// The engine epoch after recovery.
+    pub recovered_epoch: u64,
+}
+
+/// Flush-side counters of a [`DurableEngine`] (the observability surface
+/// the bench's flush-overhead column reads).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FlushStats {
+    /// WAL records appended by this handle.
+    pub wal_records: u64,
+    /// Framed WAL bytes appended by this handle.
+    pub wal_bytes: u64,
+    /// Checkpoints taken by this handle.
+    pub checkpoints: u64,
+    /// Snapshot payload bytes written by checkpoints.
+    pub checkpoint_bytes: u64,
+}
+
+/// A governed durable batch failed: either the governor interrupted the
+/// evaluation (resumable, nothing lost) or the storage layer failed.
+#[derive(Debug)]
+pub enum DurableBatchError {
+    /// The governor stopped the batch; it is pending inside the engine
+    /// and [`DurableEngine::resume_batch`] continues it. Its WAL record
+    /// is already durable, so a crash while pending replays the whole
+    /// batch instead.
+    Interrupted(BatchInterrupted),
+    /// Reading or writing durable state failed.
+    Storage(RecoveryError),
+}
+
+impl fmt::Display for DurableBatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurableBatchError::Interrupted(e) => e.fmt(f),
+            DurableBatchError::Storage(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for DurableBatchError {}
+
+impl From<RecoveryError> for DurableBatchError {
+    fn from(e: RecoveryError) -> Self {
+        DurableBatchError::Storage(e)
+    }
+}
+
+fn ckpt_base(generation: u64) -> String {
+    format!("ckpt-{generation:04}")
+}
+
+fn wal_base(generation: u64) -> String {
+    format!("wal-{generation:04}")
+}
+
+/// A content fingerprint of the world a durable directory serves: the
+/// program's rules, the vocabulary shape, the universe size, and the
+/// constant interpretations. Recovery refuses (typed
+/// [`RecoveryError::Mismatch`]) to load state written for a different
+/// world instead of replaying nonsense into it.
+pub fn world_fingerprint(program: &Program, template: &Structure) -> u64 {
+    let vocab = program.vocabulary();
+    let mut desc = Vec::new();
+    put_u32(&mut desc, template.universe_size() as u32);
+    put_u32(&mut desc, vocab.relation_count() as u32);
+    for r in vocab.relations() {
+        put_u32(&mut desc, vocab.arity(r) as u32);
+    }
+    put_u32(&mut desc, vocab.constant_count() as u32);
+    for c in vocab.constants() {
+        put_u32(&mut desc, template.constant(c));
+    }
+    put_u32(&mut desc, program.idb_count() as u32);
+    for rule in program.rules() {
+        desc.extend_from_slice(format!("{rule:?};").as_bytes());
+    }
+    persist::checksum64(&desc)
+}
+
+/// An [`IncrementalEngine`] whose batches survive the process: WAL-logged
+/// before they apply, snapshotted every few batches, and replayed on
+/// [`open`](DurableEngine::open) after a crash.
+#[derive(Debug)]
+pub struct DurableEngine {
+    engine: IncrementalEngine,
+    dir: PathBuf,
+    opts: DurabilityOptions,
+    wal: SegmentedLog,
+    universe: u32,
+    generation: u64,
+    fingerprint: u64,
+    batches_since_checkpoint: u64,
+    /// Highest epoch with a durable WAL record; guards against double
+    /// logging when an interrupted governed batch resumes.
+    wal_logged_epoch: u64,
+    report: RecoveryReport,
+    stats: FlushStats,
+}
+
+impl DurableEngine {
+    /// Opens (or initializes) a durable engine in `dir`.
+    ///
+    /// Fresh directory: writes a generation-0 manifest, starts an empty
+    /// WAL, and returns an engine at epoch 0 — assert initial facts with
+    /// the first [`apply_batch`](Self::apply_batch). Existing directory:
+    /// validates the manifest fingerprint against `program`/`template`,
+    /// loads the current generation's snapshot (if any), replays its WAL
+    /// — truncating a torn tail record, erroring on corruption under
+    /// committed data — and prunes files of stale generations.
+    pub fn open(
+        program: &Program,
+        template: &Structure,
+        options: EvalOptions,
+        dir: &Path,
+        durability: DurabilityOptions,
+    ) -> Result<Self, RecoveryError> {
+        std::fs::create_dir_all(dir).map_err(|e| RecoveryError::Io {
+            path: dir.to_path_buf(),
+            op: "create durable directory",
+            source: e,
+        })?;
+        let fingerprint = world_fingerprint(program, template);
+        let vocab = Arc::clone(program.vocabulary());
+        let universe = template.universe_size() as u32;
+        let mut report = RecoveryReport::default();
+
+        let manifest = persist::read_manifest(dir)?;
+        let (generation, checkpoint_epoch) = match &manifest {
+            Some(m) => {
+                if m.fingerprint != fingerprint {
+                    return Err(RecoveryError::mismatch(
+                        &dir.join(persist::MANIFEST_NAME),
+                        format!(
+                            "directory fingerprint {:#018x} does not match this \
+                             program/structure ({fingerprint:#018x})",
+                            m.fingerprint
+                        ),
+                    ));
+                }
+                report.manifest_found = true;
+                (m.generation, m.checkpoint_epoch)
+            }
+            None => (0, 0),
+        };
+        report.checkpoint_epoch = checkpoint_epoch;
+
+        // Engine seed: the generation's snapshot, or a fresh engine.
+        let mut engine = if checkpoint_epoch > 0 {
+            let base = ckpt_base(generation);
+            let snap_path = persist::segment_path(dir, &base, 0);
+            let loaded = SegmentedLog::load(dir, &base)?;
+            if loaded.torn_tail || loaded.records.len() != 1 {
+                return Err(RecoveryError::corrupt_at(
+                    &snap_path,
+                    0,
+                    format!(
+                        "checkpoint snapshot must be one intact record, found {} (torn: {})",
+                        loaded.records.len(),
+                        loaded.torn_tail
+                    ),
+                ));
+            }
+            decode_snapshot(
+                &loaded.records[0],
+                &snap_path,
+                program,
+                template,
+                options,
+                fingerprint,
+                checkpoint_epoch,
+            )?
+        } else {
+            IncrementalEngine::new(program, template, options)
+        };
+
+        // Replay the WAL past the snapshot.
+        let wbase = wal_base(generation);
+        let loaded = SegmentedLog::load(dir, &wbase)?;
+        report.torn_wal_truncated = loaded.torn_tail;
+        for (i, record) in loaded.records.iter().enumerate() {
+            let path = persist::segment_path(dir, &wbase, 0);
+            let (epoch, inserts, retracts) = decode_batch(record, &path, &vocab, universe)?;
+            if epoch != engine.epoch() + 1 {
+                return Err(RecoveryError::corrupt_at(
+                    &path,
+                    0,
+                    format!(
+                        "WAL record {i} carries epoch {epoch}, engine is at {} \
+                         (gap or out-of-order log)",
+                        engine.epoch()
+                    ),
+                ));
+            }
+            engine.apply_batch(&inserts, &retracts);
+            report.replayed_batches += 1;
+        }
+        report.recovered_epoch = engine.epoch();
+
+        // A fresh directory gets its root pointer immediately, so a crash
+        // right after open still recovers through a manifest.
+        if manifest.is_none() {
+            persist::write_manifest(
+                dir,
+                &persist::Manifest {
+                    generation,
+                    checkpoint_epoch,
+                    fingerprint,
+                },
+                durability.fsync,
+            )?;
+        }
+        let wal = SegmentedLog::reopen(dir, &wbase, durability.segment_bytes)?;
+        prune_stale_generations(dir, generation);
+        let wal_logged_epoch = engine.epoch();
+        Ok(DurableEngine {
+            engine,
+            dir: dir.to_path_buf(),
+            opts: durability,
+            wal,
+            universe,
+            generation,
+            fingerprint,
+            batches_since_checkpoint: report.replayed_batches,
+            wal_logged_epoch,
+            report,
+            stats: FlushStats::default(),
+        })
+    }
+
+    /// The wrapped engine (read-only: mutations must go through the
+    /// durable batch API so they are logged).
+    pub fn engine(&self) -> &IncrementalEngine {
+        &self.engine
+    }
+
+    /// What recovery found and did when this handle opened.
+    pub fn recovery(&self) -> &RecoveryReport {
+        &self.report
+    }
+
+    /// Flush-side counters for this handle.
+    pub fn flush_stats(&self) -> FlushStats {
+        self.stats
+    }
+
+    /// The batches committed so far (durably: every one of them has a
+    /// WAL record or is covered by a snapshot).
+    pub fn epoch(&self) -> u64 {
+        self.engine.epoch()
+    }
+
+    /// Whether an interrupted governed batch is pending.
+    pub fn has_pending(&self) -> bool {
+        self.engine.has_pending()
+    }
+
+    fn crash(&self) -> ! {
+        // The chaos suite's seeded kill: no unwinding, no destructors —
+        // the closest in-process stand-in for SIGKILL that still lets
+        // the *parent* test control the timing deterministically.
+        std::process::abort()
+    }
+
+    /// Applies a batch durably (ungoverned). See
+    /// [`try_apply_batch_governed`](Self::try_apply_batch_governed).
+    pub fn apply_batch(
+        &mut self,
+        inserts: &[Fact],
+        retracts: &[Fact],
+    ) -> Result<BatchSummary, RecoveryError> {
+        match self.try_apply_batch_governed(inserts, retracts, &Governor::unlimited()) {
+            Ok(summary) => Ok(summary),
+            Err(DurableBatchError::Storage(e)) => Err(e),
+            Err(DurableBatchError::Interrupted(e)) => {
+                unreachable!("unlimited governor interrupted a batch: {e}")
+            }
+        }
+    }
+
+    /// Governed durable batch: logs the batch to the WAL (flushing before
+    /// anything mutates), applies it through the engine, and checkpoints
+    /// when the cadence is due and the governor still has headroom — a
+    /// due checkpoint under an exhausted governor is deferred to a later
+    /// batch, never skipped forever. Snapshot bytes are charged to the
+    /// governor like any other engine I/O.
+    ///
+    /// # Panics
+    /// Panics on an arity or universe violation, or if a batch is
+    /// already pending (resume it first) — same contract as
+    /// [`IncrementalEngine::try_apply_batch_governed`].
+    pub fn try_apply_batch_governed(
+        &mut self,
+        inserts: &[Fact],
+        retracts: &[Fact],
+        gov: &Governor,
+    ) -> Result<BatchSummary, DurableBatchError> {
+        assert!(
+            !self.engine.has_pending(),
+            "a durable batch is pending; resume it before applying another"
+        );
+        self.engine.check_facts(inserts);
+        self.engine.check_facts(retracts);
+        let epoch = self.engine.epoch() + 1;
+        if self.wal_logged_epoch < epoch {
+            let payload = encode_batch(epoch, inserts, retracts);
+            if let Some(CrashPoint::WalTorn { epoch: e, keep }) = self.opts.crash {
+                if e == epoch {
+                    let _ = self.wal.append_torn(&payload, keep);
+                    self.crash();
+                }
+            }
+            self.wal.append(&payload)?;
+            if self.opts.fsync {
+                self.wal.sync()?;
+            }
+            self.stats.wal_records += 1;
+            self.stats.wal_bytes = self.wal.appended_bytes();
+            if let Some(CrashPoint::AfterWal { epoch: e }) = self.opts.crash {
+                if e == epoch {
+                    self.crash();
+                }
+            }
+            self.wal_logged_epoch = epoch;
+        }
+        let summary = self
+            .engine
+            .try_apply_batch_governed(inserts, retracts, gov)
+            .map_err(DurableBatchError::Interrupted)?;
+        self.finish_batch(gov)?;
+        Ok(summary)
+    }
+
+    /// Resumes a pending interrupted batch. Its WAL record was logged by
+    /// the original attempt, so this only drives the in-memory engine —
+    /// and checkpoints afterwards if the cadence came due.
+    pub fn resume_batch(&mut self, gov: &Governor) -> Result<BatchSummary, DurableBatchError> {
+        let summary = self
+            .engine
+            .resume_batch(gov)
+            .map_err(DurableBatchError::Interrupted)?;
+        self.finish_batch(gov)?;
+        Ok(summary)
+    }
+
+    fn finish_batch(&mut self, gov: &Governor) -> Result<(), DurableBatchError> {
+        if let Some(CrashPoint::AfterApply { epoch }) = self.opts.crash {
+            if epoch == self.engine.epoch() {
+                self.crash();
+            }
+        }
+        self.batches_since_checkpoint += 1;
+        if self.opts.checkpoint_every > 0
+            && self.batches_since_checkpoint >= self.opts.checkpoint_every
+            && gov.check().is_ok()
+        {
+            let bytes = self.checkpoint()?;
+            // Charge the flush like any other engine I/O; the checkpoint
+            // is already durable, so an interrupt here only tells the
+            // *caller* the budget ran out — nothing needs undoing.
+            let _ = gov.charge_bytes(bytes);
+        }
+        Ok(())
+    }
+
+    /// Takes a checkpoint now: snapshots the engine into a new
+    /// generation, atomically repoints the manifest, starts a fresh WAL,
+    /// and prunes stale generations. No-op while a batch is pending
+    /// (snapshots only ever cover committed state). Returns the snapshot
+    /// payload size in bytes.
+    pub fn checkpoint(&mut self) -> Result<u64, RecoveryError> {
+        if self.engine.has_pending() {
+            return Ok(0);
+        }
+        let next_gen = self.generation + 1;
+        let payload = encode_snapshot(&self.engine, self.universe, self.fingerprint);
+        let base = ckpt_base(next_gen);
+        // A crashed earlier attempt at this generation may have left
+        // orphans; recovery keeps only the manifest's generation, so
+        // they are dead weight we can clobber.
+        SegmentedLog::remove_all(&self.dir, &base);
+        SegmentedLog::remove_all(&self.dir, &wal_base(next_gen));
+        let mut snap = SegmentedLog::create(&self.dir, &base, u64::MAX / 2)?;
+        if let Some(CrashPoint::CheckpointTorn { keep }) = self.opts.crash {
+            let _ = snap.append_torn(&payload, keep);
+            self.crash();
+        }
+        snap.append(&payload)?;
+        if self.opts.fsync {
+            snap.sync()?;
+        }
+        drop(snap);
+        if matches!(self.opts.crash, Some(CrashPoint::BeforeManifest)) {
+            self.crash();
+        }
+        persist::write_manifest(
+            &self.dir,
+            &persist::Manifest {
+                generation: next_gen,
+                checkpoint_epoch: self.engine.epoch(),
+                fingerprint: self.fingerprint,
+            },
+            self.opts.fsync,
+        )?;
+        if matches!(self.opts.crash, Some(CrashPoint::AfterManifest)) {
+            self.crash();
+        }
+        self.wal = SegmentedLog::create(&self.dir, &wal_base(next_gen), self.opts.segment_bytes)?;
+        let old_gen = self.generation;
+        self.generation = next_gen;
+        self.batches_since_checkpoint = 0;
+        self.stats.checkpoints += 1;
+        self.stats.checkpoint_bytes += payload.len() as u64;
+        prune_stale_generations(&self.dir, next_gen);
+        let _ = old_gen;
+        Ok(payload.len() as u64)
+    }
+}
+
+/// Removes checkpoint/WAL files of every generation except `keep`
+/// (best-effort: the manifest no longer references them, so a leftover
+/// orphan is harmless and will be retried next time).
+fn prune_stale_generations(dir: &Path, keep: u64) {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return,
+    };
+    let keep_ckpt = ckpt_base(keep);
+    let keep_wal = wal_base(keep);
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let stale = (name.starts_with("ckpt-") && !name.starts_with(keep_ckpt.as_str()))
+            || (name.starts_with("wal-") && !name.starts_with(keep_wal.as_str()));
+        if stale && name.ends_with(".seg") {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Payload encodings.
+// ---------------------------------------------------------------------
+
+/// WAL record: `[epoch][n_inserts][facts][n_retracts][facts]`, each fact
+/// `[rel][elements × arity(rel)]`.
+fn encode_batch(epoch: u64, inserts: &[Fact], retracts: &[Fact]) -> Vec<u8> {
+    let mut p = Vec::new();
+    put_u64(&mut p, epoch);
+    for list in [inserts, retracts] {
+        put_u32(&mut p, list.len() as u32);
+        for (rel, t) in list {
+            put_u32(&mut p, rel.0 as u32);
+            for &e in t {
+                put_u32(&mut p, e);
+            }
+        }
+    }
+    p
+}
+
+fn decode_batch(
+    payload: &[u8],
+    path: &Path,
+    vocab: &Vocabulary,
+    universe: u32,
+) -> Result<(u64, Vec<Fact>, Vec<Fact>), RecoveryError> {
+    let fail = |d: String| RecoveryError::corrupt_at(path, 0, d);
+    let mut r = ByteReader::new(payload);
+    let epoch = r.get_u64("batch epoch").map_err(fail)?;
+    let mut lists: [Vec<Fact>; 2] = [Vec::new(), Vec::new()];
+    for list in &mut lists {
+        let n = r.get_u32("fact count").map_err(fail)? as usize;
+        if n > payload.len() {
+            return Err(fail(format!("fact count {n} exceeds payload size")));
+        }
+        list.reserve(n);
+        for _ in 0..n {
+            let rel = r.get_u32("fact relation").map_err(fail)? as usize;
+            if rel >= vocab.relation_count() {
+                return Err(fail(format!(
+                    "relation id {rel} out of range ({} relation(s))",
+                    vocab.relation_count()
+                )));
+            }
+            let rel = RelId(rel);
+            let t = r
+                .get_u32s(vocab.arity(rel), "fact elements")
+                .map_err(fail)?;
+            if t.iter().any(|&e| e >= universe) {
+                return Err(fail(format!(
+                    "fact element outside universe of size {universe}: {t:?}"
+                )));
+            }
+            list.push((rel, t));
+        }
+    }
+    if !r.is_exhausted() {
+        return Err(fail("trailing bytes after batch record".to_string()));
+    }
+    let [inserts, retracts] = lists;
+    Ok((epoch, inserts, retracts))
+}
+
+/// Snapshot record: `[universe][fingerprint][epoch][total_stats]` then
+/// the EDB and IDB [`kv_structures::MutableStore`]s, counted and in id
+/// order.
+fn encode_snapshot(engine: &IncrementalEngine, universe: u32, fingerprint: u64) -> Vec<u8> {
+    let mut p = Vec::new();
+    put_u32(&mut p, universe);
+    put_u64(&mut p, fingerprint);
+    put_u64(&mut p, engine.epoch());
+    persist::encode_eval_stats(&mut p, &engine.total_stats());
+    for stores in [engine.edb_stores(), engine.idb_stores()] {
+        put_u32(&mut p, stores.len() as u32);
+        for store in stores {
+            persist::encode_mutable_store(&mut p, store);
+        }
+    }
+    p
+}
+
+#[allow(clippy::too_many_arguments)]
+fn decode_snapshot(
+    payload: &[u8],
+    path: &Path,
+    program: &Program,
+    template: &Structure,
+    options: EvalOptions,
+    fingerprint: u64,
+    expect_epoch: u64,
+) -> Result<IncrementalEngine, RecoveryError> {
+    let fail = |d: String| RecoveryError::corrupt_at(path, 0, d);
+    let mut r = ByteReader::new(payload);
+    let universe = r.get_u32("snapshot universe").map_err(fail)?;
+    if universe as usize != template.universe_size() {
+        return Err(RecoveryError::mismatch(
+            path,
+            format!(
+                "snapshot universe {universe}, template has {}",
+                template.universe_size()
+            ),
+        ));
+    }
+    let snap_fp = r.get_u64("snapshot fingerprint").map_err(fail)?;
+    if snap_fp != fingerprint {
+        return Err(RecoveryError::mismatch(
+            path,
+            format!("snapshot fingerprint {snap_fp:#018x}, expected {fingerprint:#018x}"),
+        ));
+    }
+    let epoch = r.get_u64("snapshot epoch").map_err(fail)?;
+    if epoch != expect_epoch {
+        return Err(RecoveryError::mismatch(
+            path,
+            format!("snapshot covers epoch {epoch}, manifest says {expect_epoch}"),
+        ));
+    }
+    let total_stats: EvalStats = persist::decode_eval_stats(&mut r, path)?;
+    let mut groups = Vec::with_capacity(2);
+    for _ in 0..2 {
+        let n = r.get_u32("store count").map_err(fail)? as usize;
+        if n > 10_000 {
+            return Err(fail(format!("implausible store count {n}")));
+        }
+        let mut stores = Vec::with_capacity(n);
+        for _ in 0..n {
+            stores.push(persist::decode_mutable_store(&mut r, path)?);
+        }
+        groups.push(stores);
+    }
+    if !r.is_exhausted() {
+        return Err(fail("trailing bytes after snapshot".to_string()));
+    }
+    let Some(idb) = groups.pop() else {
+        return Err(fail("missing IDB stores".to_string()));
+    };
+    let Some(edb) = groups.pop() else {
+        return Err(fail("missing EDB stores".to_string()));
+    };
+    IncrementalEngine::restore(program, template, options, edb, idb, epoch, total_stats)
+        .map_err(|d| RecoveryError::mismatch(path, d))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::programs::{avoiding_path, transitive_closure};
+    use kv_structures::generators::random_digraph;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static NONCE: AtomicU64 = AtomicU64::new(0);
+        let n = NONCE.fetch_add(1, Ordering::Relaxed);
+        let d = std::env::temp_dir().join(format!("kv-durable-{tag}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&d).expect("create temp dir");
+        d
+    }
+
+    fn edge_batches(seed: u64, n: u32, count: usize) -> Vec<(Vec<Fact>, Vec<Fact>)> {
+        use kv_structures::SplitMix64;
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let mut live: Vec<(u32, u32)> = Vec::new();
+        let mut batches = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mut inserts = Vec::new();
+            let mut retracts = Vec::new();
+            for _ in 0..4 {
+                let a = rng.gen_range(0..n);
+                let b = rng.gen_range(0..n);
+                if rng.gen_bool(0.3) && !live.is_empty() {
+                    let i = rng.gen_range(0..live.len());
+                    let (x, y) = live.swap_remove(i);
+                    retracts.push((RelId(0), vec![x, y]));
+                } else {
+                    live.push((a, b));
+                    inserts.push((RelId(0), vec![a, b]));
+                }
+            }
+            batches.push((inserts, retracts));
+        }
+        batches
+    }
+
+    fn assert_same_state(a: &IncrementalEngine, b: &IncrementalEngine, label: &str) {
+        assert_eq!(a.epoch(), b.epoch(), "{label}: epoch");
+        let s_a = a.edb_structure();
+        let s_b = b.edb_structure();
+        for r in s_a.vocabulary().relations() {
+            assert_eq!(
+                s_a.relation(r).sorted(),
+                s_b.relation(r).sorted(),
+                "{label}: EDB relation {r:?}"
+            );
+        }
+        for (i, (ma, mb)) in a.idb_stores().iter().zip(b.idb_stores()).enumerate() {
+            assert_eq!(ma.live_len(), mb.live_len(), "{label}: IDB {i} live size");
+            for t in ma.live_iter() {
+                assert!(mb.contains_live(t), "{label}: IDB {i} missing {t:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn durable_engine_survives_reopen_at_every_batch_boundary() {
+        let program = transitive_closure();
+        let template = random_digraph(9, 0.2, 11).to_structure();
+        let batches = edge_batches(42, 9, 10);
+        for stop_after in [1usize, 3, 7, 10] {
+            let dir = temp_dir("reopen");
+            let opts = DurabilityOptions {
+                checkpoint_every: 3,
+                ..DurabilityOptions::default()
+            };
+            {
+                let mut d = DurableEngine::open(
+                    &program,
+                    &template,
+                    EvalOptions::default(),
+                    &dir,
+                    opts.clone(),
+                )
+                .expect("open fresh");
+                assert!(!d.recovery().manifest_found);
+                for (ins, ret) in &batches[..stop_after] {
+                    d.apply_batch(ins, ret).expect("apply");
+                }
+                // Dropped without any shutdown hook: durability must not
+                // depend on a clean close.
+            }
+            let recovered =
+                DurableEngine::open(&program, &template, EvalOptions::default(), &dir, opts)
+                    .expect("reopen");
+            assert!(recovered.recovery().manifest_found);
+            assert_eq!(recovered.epoch(), stop_after as u64);
+            // Clean-run partner: the same batches through a volatile engine.
+            let mut clean = IncrementalEngine::new(&program, &template, EvalOptions::default());
+            for (ins, ret) in &batches[..stop_after] {
+                clean.apply_batch(ins, ret);
+            }
+            assert_same_state(
+                recovered.engine(),
+                &clean,
+                &format!("stop_after={stop_after}"),
+            );
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn checkpoints_prune_old_generations_and_replay_less() {
+        let program = avoiding_path();
+        let template = random_digraph(8, 0.25, 5).to_structure();
+        let dir = temp_dir("prune");
+        let opts = DurabilityOptions {
+            checkpoint_every: 2,
+            ..DurabilityOptions::default()
+        };
+        let mut d = DurableEngine::open(
+            &program,
+            &template,
+            EvalOptions::default(),
+            &dir,
+            opts.clone(),
+        )
+        .expect("open");
+        for (ins, ret) in edge_batches(7, 8, 9) {
+            d.apply_batch(&ins, &ret).expect("apply");
+        }
+        assert!(d.flush_stats().checkpoints >= 4);
+        drop(d);
+        // Only the live generation's files remain.
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .expect("read dir")
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        let gens: std::collections::HashSet<&str> = names
+            .iter()
+            .filter(|n| n.ends_with(".seg"))
+            .filter_map(|n| n.split('-').nth(1))
+            .collect();
+        assert_eq!(gens.len(), 1, "stale generations must be pruned: {names:?}");
+        // Reopen replays only the post-checkpoint suffix.
+        let d = DurableEngine::open(&program, &template, EvalOptions::default(), &dir, opts)
+            .expect("reopen");
+        assert_eq!(d.epoch(), 9);
+        assert!(d.recovery().checkpoint_epoch >= 8);
+        assert!(d.recovery().replayed_batches <= 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wrong_world_is_a_typed_mismatch() {
+        let program = transitive_closure();
+        let template = random_digraph(8, 0.25, 5).to_structure();
+        let dir = temp_dir("mismatch");
+        drop(
+            DurableEngine::open(
+                &program,
+                &template,
+                EvalOptions::default(),
+                &dir,
+                DurabilityOptions::default(),
+            )
+            .expect("open"),
+        );
+        // Different universe size → different world.
+        let other = random_digraph(9, 0.25, 5).to_structure();
+        let err = DurableEngine::open(
+            &program,
+            &other,
+            EvalOptions::default(),
+            &dir,
+            DurabilityOptions::default(),
+        )
+        .expect_err("fingerprint mismatch");
+        assert!(matches!(err, RecoveryError::Mismatch { .. }), "got {err}");
+        // A different program over the same vocabulary mismatches too.
+        let err = DurableEngine::open(
+            &avoiding_path(),
+            &template,
+            EvalOptions::default(),
+            &dir,
+            DurabilityOptions::default(),
+        )
+        .expect_err("program mismatch");
+        assert!(matches!(err, RecoveryError::Mismatch { .. }), "got {err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn governed_interrupts_resume_durably() {
+        use kv_structures::Budget;
+        let program = transitive_closure();
+        let template = random_digraph(10, 0.0, 1).to_structure();
+        let dir = temp_dir("governed");
+        let mut d = DurableEngine::open(
+            &program,
+            &template,
+            EvalOptions::default(),
+            &dir,
+            DurabilityOptions::default(),
+        )
+        .expect("open");
+        let chain: Vec<Fact> = (0..9).map(|i| (RelId(0), vec![i, i + 1])).collect();
+        let mut budget = 20u64;
+        let mut res =
+            d.try_apply_batch_governed(&chain, &[], &Governor::with_budget(Budget::steps(budget)));
+        let mut interrupts = 0;
+        let summary = loop {
+            match res {
+                Ok(s) => break s,
+                Err(DurableBatchError::Interrupted(_)) => {
+                    interrupts += 1;
+                    assert!(d.has_pending());
+                    budget *= 2;
+                    res = d.resume_batch(&Governor::with_budget(Budget::steps(budget)));
+                }
+                Err(DurableBatchError::Storage(e)) => panic!("storage error: {e}"),
+            }
+        };
+        assert!(interrupts > 0, "tiny budget must interrupt");
+        assert_eq!(summary.epoch, 1);
+        // Exactly one WAL record despite the retries.
+        assert_eq!(d.flush_stats().wal_records, 1);
+        drop(d);
+        let recovered = DurableEngine::open(
+            &program,
+            &template,
+            EvalOptions::default(),
+            &dir,
+            DurabilityOptions::default(),
+        )
+        .expect("reopen");
+        assert_eq!(recovered.epoch(), 1);
+        let mut clean = IncrementalEngine::new(&program, &template, EvalOptions::default());
+        clean.apply_batch(&chain, &[]);
+        assert_same_state(recovered.engine(), &clean, "governed");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

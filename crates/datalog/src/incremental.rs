@@ -93,6 +93,11 @@ pub struct BatchSummary {
     /// initial batch this matches the from-scratch stage sequence
     /// tuple-for-tuple (Theorem 3.6 stage identity).
     pub stage_new: Vec<Vec<usize>>,
+    /// Matching insert/retract pairs of the same tuple cancelled before
+    /// planning (plus retracts of facts that were not live, dropped as
+    /// no-ops). Coalescing is a pure optimization: the maintained
+    /// fixpoint and EDB support counts are identical either way.
+    pub coalesced_pairs: u64,
     /// Aggregate counters for the whole batch (both phases).
     pub eval_stats: EvalStats,
 }
@@ -154,6 +159,9 @@ enum Phase {
 struct PendingBatch {
     inserts: Vec<Fact>,
     retracts: Vec<Fact>,
+    /// Insert/retract pairs (and no-op retracts) dropped by coalescing
+    /// before the lists above were frozen.
+    coalesced: u64,
     phase: Phase,
 }
 
@@ -278,6 +286,78 @@ impl IncrementalEngine {
         (engine, summary)
     }
 
+    /// Reassembles an engine from recovered durable state: the compiled
+    /// program machinery is rebuilt from `program` (it is a pure function
+    /// of the rules), while the EDB/IDB stores, epoch counter, and
+    /// aggregate counters come from the snapshot. Validation is
+    /// structural (store counts and arities); semantic integrity — the
+    /// IDB being the program's fixpoint of the EDB — is the snapshot
+    /// writer's invariant, upheld because snapshots are only taken
+    /// between committed batches.
+    pub(crate) fn restore(
+        program: &Program,
+        template: &Structure,
+        options: EvalOptions,
+        edb: Vec<MutableStore>,
+        idb: Vec<MutableStore>,
+        epoch: u64,
+        total_stats: EvalStats,
+    ) -> Result<Self, String> {
+        let mut engine = Self::new(program, template, options);
+        if edb.len() != engine.edb.len() || idb.len() != engine.idb.len() {
+            return Err(format!(
+                "snapshot has {}/{} EDB/IDB store(s), program needs {}/{}",
+                edb.len(),
+                idb.len(),
+                engine.edb.len(),
+                engine.idb.len()
+            ));
+        }
+        for (got, want) in edb.iter().zip(&engine.edb) {
+            if got.arity() != want.arity() {
+                return Err(format!(
+                    "EDB store arity {} where the vocabulary says {}",
+                    got.arity(),
+                    want.arity()
+                ));
+            }
+        }
+        for (got, want) in idb.iter().zip(&engine.idb) {
+            if got.arity() != want.arity() {
+                return Err(format!(
+                    "IDB store arity {} where the program says {}",
+                    got.arity(),
+                    want.arity()
+                ));
+            }
+        }
+        let universe = template.universe_size() as Element;
+        for store in edb.iter().chain(&idb) {
+            for t in store.store().iter() {
+                if t.iter().any(|&e| e >= universe) {
+                    return Err(format!(
+                        "snapshot tuple {t:?} outside universe of size {universe}"
+                    ));
+                }
+            }
+        }
+        engine.edb = edb;
+        engine.idb = idb;
+        engine.epoch = epoch;
+        engine.total_stats = total_stats;
+        Ok(engine)
+    }
+
+    /// The live EDB stores, indexed by [`RelId`] (durable snapshots).
+    pub(crate) fn edb_stores(&self) -> &[MutableStore] {
+        &self.edb
+    }
+
+    /// The live IDB stores, indexed by [`IdbId`] (durable snapshots).
+    pub(crate) fn idb_stores(&self) -> &[MutableStore] {
+        &self.idb
+    }
+
     /// The batches committed so far.
     pub fn epoch(&self) -> u64 {
         self.epoch
@@ -371,9 +451,11 @@ impl IncrementalEngine {
         );
         self.validate(inserts);
         self.validate(retracts);
+        let (inserts, retracts, coalesced) = self.coalesce(inserts, retracts);
         self.pending = Some(PendingBatch {
-            inserts: inserts.to_vec(),
-            retracts: retracts.to_vec(),
+            inserts,
+            retracts,
+            coalesced,
             phase: Phase::Deletion,
         });
         self.drive(gov)
@@ -388,6 +470,13 @@ impl IncrementalEngine {
         self.drive(gov)
     }
 
+    /// Validates facts with the same panics `apply_batch` would raise,
+    /// so the durable layer can reject a malformed batch *before*
+    /// logging it to the write-ahead log.
+    pub(crate) fn check_facts(&self, facts: &[Fact]) {
+        self.validate(facts);
+    }
+
     fn validate(&self, facts: &[Fact]) {
         let vocab = self.template.vocabulary();
         let universe = self.template.universe_size() as Element;
@@ -398,6 +487,95 @@ impl IncrementalEngine {
                 "fact element outside the universe"
             );
         }
+    }
+
+    /// Cancels matching insert/retract pairs of the same fact before any
+    /// planning, so a write-heavy stream that churns the same tuples pays
+    /// for its *net* effect only. The cancellation rule is exact under
+    /// the engine's retract-then-insert multiset semantics: with `i`
+    /// inserts and `r` retracts of a fact whose pre-batch live support is
+    /// `s`, the batch's net effect on its support is `-min(r, s) + i` —
+    /// so retracts beyond `s` are no-ops and can be dropped (`r' =
+    /// min(r, s)`), and `c = min(i, r')` insert/retract pairs cancel,
+    /// leaving `i - c` inserts and `r' - c` retracts with the same final
+    /// support in every case. Same final EDB multiset ⇒ same fixpoint
+    /// (maintenance is differential-tested against from-scratch runs on
+    /// the final EDB). A tuple that would die and revive within one
+    /// batch is indistinguishable from one that never died, because
+    /// batches are atomic.
+    ///
+    /// Returns the surviving lists in original order plus the number of
+    /// dropped operations.
+    fn coalesce(&self, inserts: &[Fact], retracts: &[Fact]) -> (Vec<Fact>, Vec<Fact>, u64) {
+        if retracts.is_empty() {
+            return (inserts.to_vec(), retracts.to_vec(), 0);
+        }
+        // Per-fact counts. Facts are keyed by (relation, tuple); batches
+        // are small relative to the EDB, so a transient hash map is fine.
+        let mut counts: HashMap<(RelId, &[Element]), (u32, u32)> = HashMap::new();
+        for (rel, t) in inserts {
+            counts.entry((*rel, t)).or_default().0 += 1;
+        }
+        for (rel, t) in retracts {
+            counts.entry((*rel, t)).or_default().1 += 1;
+        }
+        // Per fact: keep i - c inserts and r' - c retracts.
+        let mut keep: HashMap<(RelId, &[Element]), (u32, u32)> =
+            HashMap::with_capacity(counts.len());
+        let mut coalesced = 0u64;
+        for (&(rel, t), &(i, r)) in &counts {
+            let live = match self.edb[rel.0].lookup(t) {
+                Some(id) => self.edb[rel.0].support(id),
+                None => 0,
+            };
+            let r_eff = r.min(live);
+            let c = i.min(r_eff);
+            // One unit per cancelled insert/retract pair, one per
+            // phantom retract (a retract beyond the live support).
+            coalesced += (c + (r - r_eff)) as u64;
+            keep.insert((rel, t), (i - c, r_eff - c));
+        }
+        // Walk each list in order, spending the fact's keep-quota on its
+        // earliest occurrences (which occurrences survive is arbitrary —
+        // the batch is a multiset — but a deterministic choice keeps
+        // resumed batches byte-identical).
+        fn take<'f>(
+            keep: &mut HashMap<(RelId, &'f [Element]), (u32, u32)>,
+            rel: RelId,
+            t: &'f [Element],
+            retract: bool,
+        ) -> bool {
+            match keep.get_mut(&(rel, t)) {
+                Some(quotas) => {
+                    let q = if retract {
+                        &mut quotas.1
+                    } else {
+                        &mut quotas.0
+                    };
+                    if *q > 0 {
+                        *q -= 1;
+                        true
+                    } else {
+                        false
+                    }
+                }
+                None => false,
+            }
+        }
+        let kept_inserts: Vec<Fact> = inserts
+            .iter()
+            .filter(|(rel, t)| take(&mut keep, *rel, t, false))
+            .cloned()
+            .collect();
+        let kept_retracts: Vec<Fact> = retracts
+            .iter()
+            .filter(|(rel, t)| take(&mut keep, *rel, t, true))
+            .cloned()
+            .collect();
+        // Every cancelled pair and every phantom drops exactly one
+        // retract, so the unit count must equal the dropped retracts.
+        debug_assert_eq!(coalesced, (retracts.len() - kept_retracts.len()) as u64);
+        (kept_inserts, kept_retracts, coalesced)
     }
 
     /// Runs the pending batch to completion or interrupt.
@@ -444,6 +622,7 @@ impl IncrementalEngine {
             rederived_tuples: state.rederived_tuples,
             overdeleted_tuples: state.overdeleted_tuples,
             stage_new: state.stage_new,
+            coalesced_pairs: batch.coalesced,
             eval_stats,
         })
     }
@@ -1901,5 +2080,112 @@ mod tests {
         assert_matches_scratch(&engine, &program);
         let after = engine.total_stats();
         assert!(after.join_probes - before.join_probes < 200);
+    }
+
+    /// Coalescing differential: a churny combined batch must land on the
+    /// same EDB support counts and IDB fixpoint as applying the same
+    /// inserts and retracts *uncoalesced* — as two separate batches,
+    /// which never enter the pair-cancellation path.
+    #[test]
+    fn coalesced_batches_match_uncoalesced_split() {
+        let program = programs::transitive_closure();
+        let e = RelId(0);
+        let g = random_digraph(9, 0.3, 23);
+        let s = g.to_structure();
+        let edges: Vec<Vec<Element>> = g.edges().map(|(u, v)| vec![u, v]).collect();
+        // A churny batch: retract the first four edges, re-insert two of
+        // them, double-insert a fresh edge and retract it once, and
+        // retract a fact that is not live at all.
+        let inserts: Vec<Fact> = vec![
+            (e, edges[0].clone()),
+            (e, edges[1].clone()),
+            (e, vec![8, 0]),
+            (e, vec![8, 0]),
+        ];
+        let retracts: Vec<Fact> = edges
+            .iter()
+            .take(4)
+            .map(|t| (e, t.clone()))
+            .chain([(e, vec![8, 0]), (e, vec![7, 7])])
+            .collect();
+
+        let (mut combined, _) =
+            IncrementalEngine::from_structure(&program, &s, EvalOptions::default());
+        let summary = combined.apply_batch(&inserts, &retracts);
+        assert!(summary.coalesced_pairs > 0, "churn must cancel pairs");
+
+        let (mut split, _) =
+            IncrementalEngine::from_structure(&program, &s, EvalOptions::default());
+        split.apply_batch(&[], &retracts);
+        split.apply_batch(&inserts, &[]);
+
+        // Identical live EDB with identical multiset support counts.
+        for (mc, ms) in combined.edb_stores().iter().zip(split.edb_stores()) {
+            assert_eq!(mc.live_len(), ms.live_len());
+            for t in mc.live_iter() {
+                let sup_c = mc.support(mc.lookup(t).expect("live tuple"));
+                let sup_s = ms.support(ms.lookup(t).expect("coalesced-only tuple"));
+                assert_eq!(sup_c, sup_s, "support of {t:?} diverged");
+            }
+        }
+        // Identical IDB fixpoint, and both match scratch.
+        for i in 0..program.idb_count() {
+            let a: HashSet<Vec<Element>> = combined
+                .idb_store(IdbId(i))
+                .live_iter()
+                .map(|t| t.to_vec())
+                .collect();
+            let b: HashSet<Vec<Element>> = split
+                .idb_store(IdbId(i))
+                .live_iter()
+                .map(|t| t.to_vec())
+                .collect();
+            assert_eq!(a, b, "IDB {i} diverged");
+        }
+        assert_matches_scratch(&combined, &program);
+    }
+
+    /// A batch whose inserts and retracts fully cancel must not touch
+    /// the IDB at all: no deletions planned, no delta derived.
+    #[test]
+    fn fully_cancelling_batch_is_a_no_op() {
+        let program = programs::transitive_closure();
+        let s = directed_path(6);
+        let (mut engine, _) =
+            IncrementalEngine::from_structure(&program, &s, EvalOptions::default());
+        let e = RelId(0);
+        let before = engine.total_stats();
+        let summary = engine.apply_batch(
+            &[(e, vec![2, 3]), (e, vec![4, 5])],
+            &[(e, vec![2, 3]), (e, vec![4, 5])],
+        );
+        assert_eq!(summary.coalesced_pairs, 2);
+        assert_eq!(summary.edb_inserted, 0);
+        assert_eq!(summary.edb_retracted, 0);
+        assert_eq!(summary.delta_tuples, 0);
+        assert_eq!(summary.deleted_tuples, 0);
+        let after = engine.total_stats();
+        assert_eq!(
+            after.join_probes, before.join_probes,
+            "a cancelled batch must not plan any joins"
+        );
+        assert_matches_scratch(&engine, &program);
+    }
+
+    /// Retracts of facts that are not live are dropped by the `r' =
+    /// min(r, s)` rule; the insert in the same batch must still land.
+    #[test]
+    fn phantom_retracts_are_dropped_not_paired() {
+        let program = programs::transitive_closure();
+        let template = Structure::new(Arc::new(kv_structures::Vocabulary::graph()), 4);
+        let mut engine = IncrementalEngine::new(&program, &template, EvalOptions::default());
+        let e = RelId(0);
+        // (0,1) is not live: its retract is a no-op, NOT a cancellation
+        // of the insert — support must end at 1, not 0.
+        let summary = engine.apply_batch(&[(e, vec![0, 1])], &[(e, vec![0, 1])]);
+        assert_eq!(summary.coalesced_pairs, 1, "the phantom retract is dropped");
+        assert_eq!(summary.edb_inserted, 1);
+        assert!(engine.goal_contains(&[0, 1]));
+        assert_matches_scratch(&engine, &program);
     }
 }

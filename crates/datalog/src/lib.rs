@@ -36,6 +36,7 @@
 #![allow(clippy::result_large_err)]
 
 pub mod ast;
+pub mod durable;
 pub mod eval;
 pub mod incremental;
 pub mod magic;
@@ -47,11 +48,15 @@ pub mod programs;
 pub(crate) mod wcoj;
 
 pub use ast::{IdbId, Literal, Pred, Rule, Term, VarId};
+pub use durable::{
+    CrashPoint, DurabilityOptions, DurableBatchError, DurableEngine, FlushStats, RecoveryReport,
+};
 pub use eval::{
     CompiledProgram, EvalCheckpoint, EvalInterrupted, EvalOptions, EvalResult, Evaluator,
     StageStats,
 };
 pub use incremental::{BatchInterrupted, BatchSummary, Fact, IncrementalEngine};
+pub use kv_structures::RecoveryError;
 pub use kv_structures::{
     Budget, CancelToken, Deadline, EvalStats, Governor, Interrupted, JoinLowering, LimitExceeded,
     Limits, PlannerMode,

@@ -36,6 +36,7 @@ pub mod io;
 pub mod mutable;
 pub mod ops;
 pub mod par;
+pub mod persist;
 pub mod plan;
 pub mod rng;
 pub mod store;
@@ -48,6 +49,7 @@ pub use hom::{HomKind, PartialMap};
 pub use io::{parse_digraph, write_digraph, DigraphParseError};
 pub use mutable::{InsertOutcome, MutableStore, RetractOutcome};
 pub use ops::{disjoint_union, induced_substructure, quotient};
+pub use persist::{LoadedLog, Manifest, RecoveryError, SegmentedLog};
 pub use plan::{
     structure_fingerprint, CacheStats, DemandStrategy, JoinLowering, PlannerMode, QueryCache,
     QueryPlan, StructureId, StructureRegistry,

@@ -239,6 +239,61 @@ impl MutableStore {
         self.epoch
     }
 
+    /// The arena lengths recorded at each epoch commit of the current
+    /// mark generation (cleared by compaction). Exposed so snapshots
+    /// ([`crate::persist`]) can serialize epoch state with the segments.
+    pub fn epoch_marks(&self) -> &[u32] {
+        &self.epoch_marks
+    }
+
+    /// The per-tuple support counts, indexed by [`TupleId`] (0 = dead).
+    pub fn support_counts(&self) -> &[u32] {
+        &self.support
+    }
+
+    /// Reassembles a store from snapshot parts, validating the invariants
+    /// the accessors above rely on: one support count per arena tuple,
+    /// at most `epoch` marks, and marks that are non-decreasing arena
+    /// prefixes. Returns a description of the violation on bad input —
+    /// this is the deserialization path, where malformed bytes must
+    /// surface as errors, never panics.
+    pub fn from_parts(
+        store: TupleStore,
+        support: Vec<u32>,
+        epoch: u64,
+        epoch_marks: Vec<u32>,
+    ) -> Result<Self, String> {
+        if support.len() != store.len() {
+            return Err(format!(
+                "{} support count(s) for {} arena tuple(s)",
+                support.len(),
+                store.len()
+            ));
+        }
+        if epoch_marks.len() as u64 > epoch {
+            return Err(format!(
+                "{} epoch mark(s) exceed epoch counter {epoch}",
+                epoch_marks.len()
+            ));
+        }
+        let mut prev = 0u32;
+        for &m in &epoch_marks {
+            if m < prev || m as usize > store.len() {
+                return Err(format!(
+                    "epoch mark {m} is not a non-decreasing prefix of the {}-tuple arena",
+                    store.len()
+                ));
+            }
+            prev = m;
+        }
+        Ok(Self {
+            store,
+            support,
+            epoch,
+            epoch_marks,
+        })
+    }
+
     /// Commits the current arena state as the next epoch and returns its
     /// number. Epoch `e` (1-based) is the arena prefix recorded here.
     pub fn commit_epoch(&mut self) -> u64 {

@@ -1,0 +1,339 @@
+//! Subprocess harness for the kill-and-restart recovery suite
+//! (`tests/recovery.rs`).
+//!
+//! The parent test spawns this binary to run a deterministic batch
+//! stream against a [`DurableEngine`] directory, optionally arming a
+//! seeded [`CrashPoint`] that aborts the process inside the commit
+//! protocol (or sleeping between batches so the parent can SIGKILL it at
+//! an arbitrary wall-clock moment). After the kill, the parent re-spawns
+//! the harness in `dump` mode — which *recovers* the directory — and in
+//! `clean` mode — which replays the same batch prefix through a fresh
+//! in-memory engine — and asserts the two states are identical, tuple by
+//! tuple and support count by support count.
+//!
+//! Everything the harness derives (fixture structure, batch stream) is a
+//! pure function of `(program, seed)`, so parent and child never need to
+//! exchange anything beyond this binary's CLI:
+//!
+//! ```text
+//! recovery_harness run   --program tc --seed 7 --dir D --batches 8 \
+//!     --checkpoint-every 3 --lowering generic [--crash after-wal:4] \
+//!     [--sleep-ms 25] [--fresh]
+//! recovery_harness dump  --program tc --seed 7 --dir D --lowering generic
+//! recovery_harness clean --program tc --seed 7 --upto 5 --lowering generic
+//! ```
+//!
+//! `run` continues from the recovered epoch, so re-running after a crash
+//! is the "carry on after recovery" path. State dumps are canonical
+//! (sorted) and end with `state-ok`, letting the parent distinguish a
+//! clean dump from a crash mid-print.
+
+use datalog_expressiveness::datalog::programs::{
+    avoiding_path, path_systems, q_kl, q_prime, transitive_closure, two_disjoint_paths_acyclic,
+    two_disjoint_paths_paper_rules, two_pairs_vocabulary,
+};
+use datalog_expressiveness::datalog::{EvalOptions, Program};
+use datalog_expressiveness::structures::generators::{random_dag, random_digraph};
+use datalog_expressiveness::structures::{
+    JoinLowering, PlannerMode, SplitMix64, Structure, Vocabulary,
+};
+use datalog_expressiveness::{
+    CrashPoint, DurabilityOptions, DurableEngine, Fact, IncrementalEngine,
+};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn program_by_name(name: &str) -> Option<Program> {
+    Some(match name {
+        "tc" => transitive_closure(),
+        "avoiding" => avoiding_path(),
+        "q_prime" => q_prime(),
+        "q_kl" => q_kl(2, 1),
+        "path_systems" => path_systems(),
+        "tdp_acyclic" => two_disjoint_paths_acyclic(),
+        "tdp_paper" => two_disjoint_paths_paper_rules(),
+        _ => return None,
+    })
+}
+
+/// One structure appropriate for each program's vocabulary (mirrors the
+/// fixture in `tests/chaos.rs`).
+fn fixture_for(program: &Program, seed: u64) -> Structure {
+    let vocab = program.vocabulary();
+    if vocab.constant_count() == 4 {
+        let mut g = random_dag(8, 0.35, seed);
+        g.set_distinguished(vec![0, 6, 1, 7]);
+        g.to_structure_with(Arc::new(two_pairs_vocabulary()))
+    } else if vocab.relation_count() == 2 {
+        let mut v = Vocabulary::new();
+        let r = v.add_relation("R", 3);
+        let a = v.add_relation("A", 1);
+        let mut s = Structure::new(Arc::new(v), 7);
+        s.insert(a, &[0]);
+        s.insert(a, &[1]);
+        for &(x, y, z) in &[(2, 0, 1), (3, 2, 0), (4, 3, 2), (5, 6, 6), (6, 4, 5)] {
+            s.insert(r, &[x, y, z]);
+        }
+        s
+    } else {
+        random_digraph(7, 0.3, seed).to_structure()
+    }
+}
+
+/// The deterministic batch stream: batch 1 asserts the fixture's facts,
+/// later batches mix inserts of random tuples, retracts of live facts,
+/// and the occasional phantom retract. A pure function of
+/// `(program, seed, count)` — the run/dump/clean modes all derive the
+/// identical stream.
+fn batch_stream(
+    program: &Program,
+    template: &Structure,
+    seed: u64,
+    count: usize,
+) -> Vec<(Vec<Fact>, Vec<Fact>)> {
+    let vocab = program.vocabulary();
+    let universe = template.universe_size() as u32;
+    let rels: Vec<_> = vocab.relations().collect();
+    let mut batches = Vec::with_capacity(count);
+    let mut initial: Vec<Fact> = Vec::new();
+    for &r in &rels {
+        for t in template.relation(r).iter() {
+            initial.push((r, t.to_vec()));
+        }
+    }
+    // The generator mirrors the engine's multiset semantics locally so
+    // retract targets are (usually) live without consulting the engine.
+    let mut live: Vec<Fact> = initial.clone();
+    batches.push((initial, Vec::new()));
+    let mut rng = SplitMix64::seed_from_u64(seed ^ 0xD1FF_0000);
+    while batches.len() < count {
+        let mut inserts = Vec::new();
+        let mut retracts = Vec::new();
+        for _ in 0..4 {
+            let roll = rng.next_u64() % 10;
+            if roll < 6 || live.is_empty() {
+                let r = rels[rng.gen_range(0..rels.len())];
+                let t: Vec<u32> = (0..vocab.arity(r))
+                    .map(|_| rng.gen_range(0..universe))
+                    .collect();
+                live.push((r, t.clone()));
+                inserts.push((r, t));
+            } else if roll < 9 {
+                let i = rng.gen_range(0..live.len());
+                retracts.push(live.swap_remove(i));
+            } else {
+                // Phantom retract: likely not live — the engine must
+                // treat it as a no-op.
+                let r = rels[rng.gen_range(0..rels.len())];
+                let t: Vec<u32> = (0..vocab.arity(r))
+                    .map(|_| rng.gen_range(0..universe))
+                    .collect();
+                retracts.push((r, t));
+            }
+        }
+        batches.push((inserts, retracts));
+    }
+    batches
+}
+
+/// Canonical state dump: epoch, sorted live EDB facts with support
+/// counts, sorted live IDB facts. Recovered ≡ clean is asserted as
+/// string equality of this output.
+fn dump_state(engine: &IncrementalEngine, program: &Program) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "epoch {}", engine.epoch());
+    let vocab = program.vocabulary();
+    for r in vocab.relations() {
+        let store = engine.edb_store(r);
+        let mut rows: Vec<(Vec<u32>, u32)> = store
+            .live_iter()
+            .map(|t| {
+                let sup = store.lookup(t).map(|id| store.support(id)).unwrap_or(0);
+                (t.to_vec(), sup)
+            })
+            .collect();
+        rows.sort();
+        for (t, sup) in rows {
+            let _ = writeln!(out, "edb {} {t:?} x{sup}", vocab.relation_name(r));
+        }
+    }
+    for i in 0..program.idb_count() {
+        let store = engine.idb_store(datalog_expressiveness::datalog::IdbId(i));
+        let mut rows: Vec<Vec<u32>> = store.live_iter().map(|t| t.to_vec()).collect();
+        rows.sort();
+        for t in rows {
+            let _ = writeln!(
+                out,
+                "idb {} {t:?}",
+                program.idb_name(datalog_expressiveness::datalog::IdbId(i))
+            );
+        }
+    }
+    out.push_str("state-ok\n");
+    out
+}
+
+struct Args {
+    mode: String,
+    program: String,
+    seed: u64,
+    dir: PathBuf,
+    batches: usize,
+    checkpoint_every: u64,
+    lowering: JoinLowering,
+    crash: Option<CrashPoint>,
+    sleep_ms: u64,
+    upto: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    let mode = argv.next().ok_or("missing mode (run|dump|clean)")?;
+    let mut args = Args {
+        mode,
+        program: "tc".to_string(),
+        seed: 1,
+        dir: PathBuf::from("."),
+        batches: 8,
+        checkpoint_every: 3,
+        lowering: JoinLowering::Auto,
+        crash: None,
+        sleep_ms: 0,
+        upto: 0,
+    };
+    while let Some(flag) = argv.next() {
+        let mut value = || argv.next().ok_or_else(|| format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--program" => args.program = value()?,
+            "--seed" => args.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--dir" => args.dir = PathBuf::from(value()?),
+            "--batches" => {
+                args.batches = value()?.parse().map_err(|e| format!("--batches: {e}"))?
+            }
+            "--checkpoint-every" => {
+                args.checkpoint_every = value()?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-every: {e}"))?
+            }
+            "--lowering" => {
+                args.lowering = match value()?.as_str() {
+                    "auto" => JoinLowering::Auto,
+                    "binary" => JoinLowering::Binary,
+                    "generic" => JoinLowering::Generic,
+                    other => return Err(format!("unknown lowering {other}")),
+                }
+            }
+            "--crash" => {
+                let spec = value()?;
+                args.crash =
+                    Some(CrashPoint::parse(&spec).ok_or_else(|| format!("bad crash spec {spec}"))?)
+            }
+            "--sleep-ms" => {
+                args.sleep_ms = value()?.parse().map_err(|e| format!("--sleep-ms: {e}"))?
+            }
+            "--upto" => args.upto = value()?.parse().map_err(|e| format!("--upto: {e}"))?,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn eval_options(lowering: JoinLowering) -> EvalOptions {
+    // The cost-based planner is required for non-default lowerings (the
+    // textual planner ignores them), mirroring the chaos suite.
+    match lowering {
+        JoinLowering::Auto => EvalOptions::default(),
+        other => EvalOptions::default()
+            .with_planner(PlannerMode::CostBased)
+            .with_lowering(other),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("recovery_harness: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(program) = program_by_name(&args.program) else {
+        eprintln!("recovery_harness: unknown program {}", args.program);
+        return ExitCode::from(2);
+    };
+    let template = fixture_for(&program, args.seed);
+    let options = eval_options(args.lowering);
+    let batches = batch_stream(&program, &template, args.seed, args.batches + 1);
+
+    match args.mode.as_str() {
+        "run" => {
+            let durability = DurabilityOptions {
+                checkpoint_every: args.checkpoint_every,
+                crash: args.crash,
+                ..DurabilityOptions::default()
+            };
+            let mut engine =
+                match DurableEngine::open(&program, &template, options, &args.dir, durability) {
+                    Ok(e) => e,
+                    Err(e) => {
+                        eprintln!("recovery_harness: open failed: {e}");
+                        return ExitCode::from(3);
+                    }
+                };
+            println!("recovered-epoch {}", engine.epoch());
+            while engine.epoch() < args.batches as u64 {
+                let (ins, ret) = &batches[engine.epoch() as usize];
+                if args.sleep_ms > 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(args.sleep_ms));
+                }
+                if let Err(e) = engine.apply_batch(ins, ret) {
+                    eprintln!("recovery_harness: batch failed: {e}");
+                    return ExitCode::from(3);
+                }
+            }
+            println!("final-epoch {}", engine.epoch());
+            ExitCode::SUCCESS
+        }
+        "dump" => {
+            let t0 = std::time::Instant::now();
+            let engine = match DurableEngine::open(
+                &program,
+                &template,
+                options,
+                &args.dir,
+                DurabilityOptions {
+                    checkpoint_every: 0, // recovery only: do not rewrite anything
+                    ..DurabilityOptions::default()
+                },
+            ) {
+                Ok(e) => e,
+                Err(e) => {
+                    eprintln!("recovery_harness: recovery failed: {e}");
+                    return ExitCode::from(3);
+                }
+            };
+            let recovery_us = t0.elapsed().as_micros();
+            let r = engine.recovery();
+            println!(
+                "recovery manifest={} ckpt_epoch={} replayed={} torn={} us={recovery_us}",
+                r.manifest_found, r.checkpoint_epoch, r.replayed_batches, r.torn_wal_truncated
+            );
+            print!("{}", dump_state(engine.engine(), &program));
+            ExitCode::SUCCESS
+        }
+        "clean" => {
+            let mut engine = IncrementalEngine::new(&program, &template, options);
+            for (ins, ret) in batches.iter().take(args.upto as usize) {
+                engine.apply_batch(ins, ret);
+            }
+            print!("{}", dump_state(&engine, &program));
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("recovery_harness: unknown mode {other}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,443 @@
+//! Kill-and-restart chaos for the durable storage layer.
+//!
+//! Each case spawns the `recovery_harness` subprocess against a fresh
+//! durable directory with a seeded [`CrashPoint`] armed — the process
+//! `abort()`s *inside* the commit protocol (mid-WAL-record, between WAL
+//! and apply, after apply, mid-checkpoint write, on either side of the
+//! manifest swap) — then restarts it and asserts, for every program in
+//! the paper suite under all three join lowerings:
+//!
+//! 1. **Recovered ≡ clean**: the recovered state (EDB facts with
+//!    support counts, IDB fixpoint, epoch) is string-identical to a
+//!    fresh in-memory engine replaying the same deterministic batch
+//!    prefix.
+//! 2. **Epoch discipline**: a batch whose WAL record tore never
+//!    happened; a batch whose record landed always happened — there is
+//!    no third state.
+//! 3. **Carry on**: the recovered directory accepts the remaining
+//!    batches and converges to the clean full-stream state.
+//!
+//! A separate case kills the harness from the *outside*
+//! ([`std::process::Child::kill`] — SIGKILL on Unix) at a wall-clock
+//! moment, covering kills that land anywhere, not just at protocol
+//! seams. The per-case recovery timings observed along the way are
+//! written to `target/recovery-times.json` for the CI artifact.
+//!
+//! Seeded via `KV_CHAOS_SEED` (CI runs a small matrix of seeds).
+
+use std::path::PathBuf;
+use std::process::{Command, Output, Stdio};
+
+const PROGRAMS: &[&str] = &[
+    "tc",
+    "avoiding",
+    "q_prime",
+    "q_kl",
+    "path_systems",
+    "tdp_acyclic",
+    "tdp_paper",
+];
+
+const LOWERINGS: &[&str] = &["auto", "binary", "generic"];
+
+/// The seeded kill points: ≥8 distinct seams, including mid-batch-commit
+/// (`wal-torn` tears the record of a committing batch; `after-wal`
+/// crashes between its WAL append and its in-memory apply). With
+/// `--batches 8 --checkpoint-every 3`, the checkpoint seams fire while
+/// committing epoch 3.
+const KILL_POINTS: &[(&str, Option<u64>)] = &[
+    // (crash spec, expected recovered epoch if deterministic)
+    ("wal-torn:2:1", Some(1)),
+    ("wal-torn:5:40", Some(4)),
+    ("after-wal:2", Some(2)),
+    ("after-wal:6", Some(6)),
+    ("after-apply:4", Some(4)),
+    ("ckpt-torn:1", Some(3)),
+    ("ckpt-torn:25", Some(3)),
+    ("before-manifest", Some(3)),
+    ("after-manifest", Some(3)),
+];
+
+const BATCHES: u64 = 8;
+
+fn seed() -> u64 {
+    std::env::var("KV_CHAOS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1263933840)
+}
+
+fn harness() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_recovery_harness"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("kv-recovery-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn run_harness(args: &[&str]) -> Output {
+    harness()
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .output()
+        .expect("spawn recovery_harness")
+}
+
+fn stdout_of(out: &Output, ctx: &str) -> String {
+    assert!(
+        out.status.success(),
+        "{ctx}: harness failed\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// The canonical state block of a dump (from the `epoch` line through
+/// `state-ok`), stripped of the recovery-report preamble.
+fn state_block(dump: &str, ctx: &str) -> String {
+    let start = dump
+        .find("epoch ")
+        .unwrap_or_else(|| panic!("{ctx}: no state in dump:\n{dump}"));
+    let block = &dump[start..];
+    assert!(
+        block.ends_with("state-ok\n"),
+        "{ctx}: dump is not terminated:\n{dump}"
+    );
+    block.to_string()
+}
+
+fn recovered_epoch(dump: &str, ctx: &str) -> u64 {
+    dump.lines()
+        .find_map(|l| l.strip_prefix("epoch "))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("{ctx}: no epoch in dump:\n{dump}"))
+}
+
+/// Recovery timing parsed from the dump preamble, for the CI artifact.
+fn recovery_us(dump: &str) -> Option<u64> {
+    dump.lines()
+        .find(|l| l.starts_with("recovery "))?
+        .split_whitespace()
+        .find_map(|f| f.strip_prefix("us="))?
+        .parse()
+        .ok()
+}
+
+struct Timing {
+    label: String,
+    us: u64,
+}
+
+fn write_timings(timings: &[Timing]) {
+    // Best-effort artifact; concurrent test binaries may race on the
+    // file, which is fine — CI uploads whatever the last writer left.
+    let mut json = String::from("[\n");
+    for (i, t) in timings.iter().enumerate() {
+        json.push_str(&format!(
+            "  {{\"case\": \"{}\", \"recovery_us\": {}}}{}\n",
+            t.label,
+            t.us,
+            if i + 1 < timings.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("]\n");
+    std::fs::create_dir_all("target").ok();
+    std::fs::write("target/recovery-times.json", json).ok();
+}
+
+/// Crash at the seam, recover, and require the recovered state to be
+/// string-identical to the clean replay — then carry on to the full
+/// stream and require that to match too. Returns the recovery timing.
+fn crash_recover_and_verify(
+    program: &str,
+    lowering: &str,
+    crash: &str,
+    expect_epoch: Option<u64>,
+) -> Timing {
+    let seed = seed().to_string();
+    let batches = BATCHES.to_string();
+    let dir = temp_dir(&format!("{program}-{lowering}-{}", crash.replace(':', "_")));
+    let dir_s = dir.to_str().expect("utf-8 temp dir");
+    let ctx = format!("{program}/{lowering}/{crash}");
+
+    // 1. Run with the crash armed: the process must die (abort), not exit.
+    let out = run_harness(&[
+        "run",
+        "--program",
+        program,
+        "--seed",
+        &seed,
+        "--dir",
+        dir_s,
+        "--batches",
+        &batches,
+        "--checkpoint-every",
+        "3",
+        "--lowering",
+        lowering,
+        "--crash",
+        crash,
+    ]);
+    assert!(
+        !out.status.success(),
+        "{ctx}: armed run must crash\nstdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    // 2. Recover and dump.
+    let dump = stdout_of(
+        &run_harness(&[
+            "dump",
+            "--program",
+            program,
+            "--seed",
+            &seed,
+            "--dir",
+            dir_s,
+            "--lowering",
+            lowering,
+        ]),
+        &ctx,
+    );
+    let epoch = recovered_epoch(&dump, &ctx);
+    if let Some(expect) = expect_epoch {
+        assert_eq!(epoch, expect, "{ctx}: recovered epoch");
+    }
+
+    // 3. Clean replay of the same prefix must match exactly.
+    let clean = stdout_of(
+        &run_harness(&[
+            "clean",
+            "--program",
+            program,
+            "--seed",
+            &seed,
+            "--upto",
+            &epoch.to_string(),
+            "--lowering",
+            lowering,
+        ]),
+        &ctx,
+    );
+    assert_eq!(
+        state_block(&dump, &ctx),
+        state_block(&clean, &ctx),
+        "{ctx}: recovered state diverged from clean replay"
+    );
+
+    // 4. Carry on: the recovered directory finishes the stream...
+    let out = run_harness(&[
+        "run",
+        "--program",
+        program,
+        "--seed",
+        &seed,
+        "--dir",
+        dir_s,
+        "--batches",
+        &batches,
+        "--checkpoint-every",
+        "3",
+        "--lowering",
+        lowering,
+    ]);
+    let resumed = stdout_of(&out, &ctx);
+    assert!(
+        resumed.contains(&format!("final-epoch {BATCHES}")),
+        "{ctx}: continuation did not reach the full stream:\n{resumed}"
+    );
+    // ...and lands on the clean full-stream state.
+    let final_dump = stdout_of(
+        &run_harness(&[
+            "dump",
+            "--program",
+            program,
+            "--seed",
+            &seed,
+            "--dir",
+            dir_s,
+            "--lowering",
+            lowering,
+        ]),
+        &ctx,
+    );
+    let final_clean = stdout_of(
+        &run_harness(&[
+            "clean",
+            "--program",
+            program,
+            "--seed",
+            &seed,
+            "--upto",
+            &BATCHES.to_string(),
+            "--lowering",
+            lowering,
+        ]),
+        &ctx,
+    );
+    assert_eq!(
+        state_block(&final_dump, &ctx),
+        state_block(&final_clean, &ctx),
+        "{ctx}: post-recovery continuation diverged"
+    );
+
+    let us = recovery_us(&dump).unwrap_or(0);
+    std::fs::remove_dir_all(&dir).ok();
+    Timing { label: ctx, us }
+}
+
+/// The full seeded matrix: every program × every lowering × every kill
+/// point. ~189 crash-recover-verify cycles.
+#[test]
+fn killed_mid_protocol_recovers_to_clean_state_everywhere() {
+    let mut timings = Vec::new();
+    for program in PROGRAMS {
+        for lowering in LOWERINGS {
+            for (crash, expect) in KILL_POINTS {
+                timings.push(crash_recover_and_verify(program, lowering, crash, *expect));
+            }
+        }
+    }
+    write_timings(&timings);
+}
+
+/// Wall-clock SIGKILL from the parent: no cooperation from the victim at
+/// all. The recovered epoch is whatever it is — but the state must be
+/// exactly the clean replay of that many batches.
+#[test]
+fn sigkilled_at_arbitrary_moments_recovers_to_clean_state() {
+    let seed_v = seed();
+    for (i, program) in PROGRAMS.iter().enumerate() {
+        let dir = temp_dir(&format!("sigkill-{program}"));
+        let dir_s = dir.to_str().expect("utf-8 temp dir");
+        let ctx = format!("{program}/sigkill");
+        let seed_s = seed_v.to_string();
+        let mut child = harness()
+            .args([
+                "run",
+                "--program",
+                program,
+                "--seed",
+                &seed_s,
+                "--dir",
+                dir_s,
+                "--batches",
+                &BATCHES.to_string(),
+                "--checkpoint-every",
+                "2",
+                "--sleep-ms",
+                "15",
+            ])
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn harness");
+        // A seeded, per-program delay so the kill lands at varied points
+        // of the batch stream (including possibly mid-batch).
+        let delay = 20 + (seed_v.wrapping_add(i as u64 * 37) % 90);
+        std::thread::sleep(std::time::Duration::from_millis(delay));
+        child.kill().expect("kill harness");
+        child.wait().expect("reap harness");
+
+        let dump = stdout_of(
+            &run_harness(&[
+                "dump",
+                "--program",
+                program,
+                "--seed",
+                &seed_s,
+                "--dir",
+                dir_s,
+            ]),
+            &ctx,
+        );
+        let epoch = recovered_epoch(&dump, &ctx);
+        assert!(epoch <= BATCHES, "{ctx}: impossible epoch {epoch}");
+        let clean = stdout_of(
+            &run_harness(&[
+                "clean",
+                "--program",
+                program,
+                "--seed",
+                &seed_s,
+                "--upto",
+                &epoch.to_string(),
+            ]),
+            &ctx,
+        );
+        assert_eq!(
+            state_block(&dump, &ctx),
+            state_block(&clean, &ctx),
+            "{ctx}: recovered state diverged after SIGKILL at {delay}ms"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Corrupting durable files by hand must surface as a typed error from
+/// the harness (exit code 3 with a diagnostic), never a panic or a
+/// silent wrong answer.
+#[test]
+fn corrupted_directories_fail_typed_not_panicked() {
+    let seed_s = seed().to_string();
+    let dir = temp_dir("corrupt");
+    let dir_s = dir.to_str().expect("utf-8 temp dir");
+    // Build a healthy directory first.
+    stdout_of(
+        &run_harness(&[
+            "run",
+            "--program",
+            "tc",
+            "--seed",
+            &seed_s,
+            "--dir",
+            dir_s,
+            "--batches",
+            "6",
+            "--checkpoint-every",
+            "3",
+        ]),
+        "corrupt/setup",
+    );
+    // Flip a byte in the middle of every durable file (manifest, WAL,
+    // checkpoint). Recovery must either succeed (the flip hit slack the
+    // format tolerates, e.g. the truncatable WAL tail) or fail with the
+    // typed storage error path — exit code 3, diagnostic on stderr,
+    // never a crash signal.
+    for entry in std::fs::read_dir(&dir).expect("read dir") {
+        let path = entry.expect("entry").path();
+        let mut bytes = std::fs::read(&path).expect("read file");
+        if bytes.is_empty() {
+            continue;
+        }
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).expect("write corrupted");
+        let out = run_harness(&["dump", "--program", "tc", "--seed", &seed_s, "--dir", dir_s]);
+        let code = out.status.code();
+        assert!(
+            code == Some(0) || code == Some(3),
+            "corrupt {}: expected typed failure or tolerated flip, got {:?}\nstderr: {}",
+            path.display(),
+            out.status,
+            String::from_utf8_lossy(&out.stderr)
+        );
+        if code == Some(3) {
+            let stderr = String::from_utf8_lossy(&out.stderr);
+            assert!(
+                stderr.contains("recovery failed"),
+                "corrupt {}: missing diagnostic: {stderr}",
+                path.display()
+            );
+        }
+        // Restore for the next file's turn.
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).expect("restore file");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
