@@ -7,7 +7,9 @@
 //! and planner cross-checks ([`kv_bench::report::smoke_check`]): magic-set
 //! answers must match full saturation without extra derivations, the
 //! cost-based planner must be stage-identical to textual evaluation with
-//! no extra probes, the incremental engine must hold exactly the
+//! no extra probes, the sharded evaluator (W ∈ {1, 4} hash-partitioned
+//! shards with delta exchange) must be stage-identical to the unsharded
+//! run, the incremental engine must hold exactly the
 //! from-scratch fixpoint after every churn batch, a durable engine
 //! re-opened from disk after the same batches must match the volatile
 //! engine tuple-for-tuple (the recovered ≡ clean gate), and the lazy

@@ -17,8 +17,12 @@
 //! reopen of a WAL-backed directory at the mid-cadence point, snapshot
 //! load + WAL-tail replay; `flush_overhead_pct` — the per-round WAL tax,
 //! the directly measured cost of the round's two framed WAL appends as a
-//! percentage of the volatile maintenance round), and per-case
-//! thread-scaling rows at 1/2/4 workers for both planner modes.
+//! percentage of the volatile maintenance round), the sharded-evaluation
+//! columns (`sharded_ms` at W = 4, `exchanged_tuples`, `shard_skew_pct`,
+//! and `shard_scaling` rows at 1/2/4/8 shards whose `work_balance_x` is
+//! the machine-independent load-balance ceiling — wall clock is bounded
+//! by the header's `host_cpus`), and per-case thread-scaling rows at
+//! 1/2/4 workers for both planner modes.
 //!
 //! Every report header is stamped with the git revision and a UTC
 //! timestamp, and every case records the RNG seed of its input structure,
@@ -149,16 +153,27 @@ fn utc_timestamp() -> String {
     format!("{y:04}-{m:02}-{d:02}T{hh:02}:{mm:02}:{ss:02}Z")
 }
 
+/// Physical CPUs of the measuring host — provenance for every wall-clock
+/// column. Sharded wall times cannot beat this bound no matter how well
+/// the partition balances; the machine-independent `work_balance_x`
+/// column is the signal to read on small hosts.
+fn host_cpus() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 fn render_report(cases: &[Obj]) -> String {
     let rows: Vec<String> = cases
         .iter()
         .map(|c| format!("    {}", c.render()))
         .collect();
     format!(
-        "{{\n  \"revision\": \"{}\",\n  \"generated_utc\": \"{}\",\n  \"threads\": {},\n  \"cases\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"revision\": \"{}\",\n  \"generated_utc\": \"{}\",\n  \"threads\": {},\n  \"host_cpus\": {},\n  \"cases\": [\n{}\n  ]\n}}\n",
         git_revision(),
         utc_timestamp(),
         thread_count(),
+        host_cpus(),
         rows.join(",\n")
     )
 }
@@ -412,6 +427,55 @@ pub fn datalog_report() -> String {
                 Err(e) => unreachable!("armed-but-ample governor interrupted: {e}"),
             }
         });
+        // Sharded-evaluation columns: W = 4 hash-partitioned shards with
+        // inter-worker delta exchange. Wall clock is honest for *this*
+        // host (see the report's `host_cpus`); `shard_skew_pct` and the
+        // scaling rows' `work_balance_x` are the machine-independent
+        // signals — how evenly the planner's shard keys split the
+        // derivation work.
+        let sharded_result = ev.run(s, opts(true).with_shards(Some(4)));
+        let sharded = time_fn(2, 15, || {
+            ev.run(s, opts(true).with_shards(Some(4))).stats.len()
+        });
+        let (exchanged, skew) = sharded_result
+            .shard
+            .as_ref()
+            .map(|ss| (ss.exchanged_tuples, ss.skew_pct()))
+            .unwrap_or((0, 0.0));
+        // Shard-scaling rows: W ∈ {1, 2, 4, 8}. `work_balance_x` is
+        // total owned delta work over the most loaded worker's share —
+        // the load-balance ceiling on parallel speedup, independent of
+        // how many CPUs this host has.
+        let shard_rows: Vec<String> = [1usize, 2, 4, 8]
+            .iter()
+            .map(|&w| {
+                let r = ev.run(s, opts(true).with_shards(Some(w)));
+                let t = time_fn(1, 5, || {
+                    ev.run(s, opts(true).with_shards(Some(w))).stats.len()
+                });
+                let (exch, skew, balance) = r
+                    .shard
+                    .as_ref()
+                    .map(|ss| {
+                        let total: u64 = ss.owned.iter().sum();
+                        let max = ss.owned.iter().copied().max().unwrap_or(0);
+                        let balance = if max == 0 {
+                            1.0
+                        } else {
+                            total as f64 / max as f64
+                        };
+                        (ss.exchanged_tuples, ss.skew_pct(), balance)
+                    })
+                    .unwrap_or((0, 0.0, 1.0));
+                Obj::new()
+                    .num("shards", w)
+                    .num("sharded_ms", format!("{:.4}", ms(t.median)))
+                    .num("exchanged_tuples", exch)
+                    .num("shard_skew_pct", format!("{:.2}", skew))
+                    .num("work_balance_x", format!("{:.2}", balance))
+                    .render()
+            })
+            .collect();
         // Thread-scaling rows: pinned worker counts, both planner modes.
         let scaling_rows: Vec<String> = [1usize, 2, 4]
             .iter()
@@ -556,6 +620,9 @@ pub fn datalog_report() -> String {
                 .num("parallel_ms", format!("{:.4}", ms(parallel.median)))
                 .num("sequential_ms", format!("{:.4}", ms(sequential.median)))
                 .num("planned_ms", format!("{:.4}", ms(planned.median)))
+                .num("sharded_ms", format!("{:.4}", ms(sharded.median)))
+                .num("exchanged_tuples", exchanged)
+                .num("shard_skew_pct", format!("{:.2}", skew))
                 .num("demand_ms", format!("{:.4}", ms(demand.median)))
                 // Per maintenance round (one retract + one reinsert batch
                 // of the churn set) against the live engine.
@@ -571,7 +638,8 @@ pub fn datalog_report() -> String {
                     "governance_overhead_pct",
                     format!("{:.2}", overhead_pct(parallel.min, governed.min)),
                 )
-                .raw("scaling", format!("[{}]", scaling_rows.join(", "))),
+                .raw("scaling", format!("[{}]", scaling_rows.join(", ")))
+                .raw("shard_scaling", format!("[{}]", shard_rows.join(", "))),
         );
     }
     cases.push(mutation_case());
@@ -625,6 +693,26 @@ fn mutation_case() -> Obj {
     let round = time_fn(2, 15, || churn_round(&mut engine, &churn).epoch);
     let scratch = time_fn(2, 15, || ev.run(&s, opts).stats.len());
     let speedup = (2.0 * scratch.median.as_secs_f64()) / round.median.as_secs_f64().max(1e-9);
+    // Shard-scaling rows for maintenance: the same churn round through
+    // engines pinned at W ∈ {1, 2, 4, 8} shards. Batch routing is
+    // exercised end to end (owner-sorted appends, per-stage exchange);
+    // `exchanged_tuples` counts the reinsert batch's cross-worker
+    // traffic. Wall clock is bounded by the report's `host_cpus`.
+    let shard_rows: Vec<String> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&w| {
+            let w_opts = opts.with_shards(Some(w));
+            let (mut sharded_engine, _) = IncrementalEngine::from_structure(&program, &s, w_opts);
+            sharded_engine.apply_batch(&[], &churn);
+            let summary = sharded_engine.apply_batch(&churn, &[]);
+            let t = time_fn(1, 9, || churn_round(&mut sharded_engine, &churn).epoch);
+            Obj::new()
+                .num("shards", w)
+                .num("incremental_ms", format!("{:.4}", ms(t.median)))
+                .num("exchanged_tuples", summary.exchanged_tuples)
+                .render()
+        })
+        .collect();
     Obj::new()
         .str("name", "tc_mutation_tenants48x12_churn4")
         .num("seed", 7)
@@ -636,6 +724,7 @@ fn mutation_case() -> Obj {
         .num("delta_tuples", steady.delta_tuples)
         .num("deleted_tuples", dropped.deleted_tuples)
         .num("rederived_tuples", dropped.rederived_tuples)
+        .raw("shard_scaling", format!("[{}]", shard_rows.join(", ")))
 }
 
 /// The `--smoke` durability gate for one case: loads `s` plus one churn
@@ -719,6 +808,10 @@ fn durable_recovery_check(
 /// * every Datalog case must reach the same fixpoint through the same
 ///   stages under both forced join lowerings (`Binary` vs `Generic` —
 ///   the worst-case-optimal executor is a pure execution-strategy swap);
+/// * every Datalog case's sharded run (W ∈ {1, 4} hash-partitioned
+///   shards with delta exchange) must be stage-identical to the
+///   unsharded run with the same fixpoint, and a single shard must
+///   exchange nothing;
 /// * every Datalog case's incremental engine, after a churn batch
 ///   (retract then reinsert a small edge set), must hold exactly the
 ///   from-scratch fixpoint of its materialized EDB;
@@ -787,6 +880,31 @@ pub fn smoke_check() -> Vec<String> {
                 "{name}: planned duplicate_derivations {} > textual {}",
                 planned.eval_stats.duplicate_derivations, textual.eval_stats.duplicate_derivations
             ));
+        }
+        // Sharded ≡ unsharded: hash-partitioned evaluation is a pure
+        // work-partitioning swap — stage identity and the fixpoint are
+        // shard-count-free, and a single shard exchanges nothing.
+        for w in [1usize, 4] {
+            let sharded = ev.run(s, EvalOptions::default().with_shards(Some(w)));
+            if !sharded.same_stages(&full) {
+                violations.push(format!(
+                    "{name}: sharded (W={w}) run is not stage-identical to unsharded"
+                ));
+            }
+            for (i, (a, b)) in full.idb.iter().zip(&sharded.idb).enumerate() {
+                let same = a.len() == b.len() && a.iter().all(|t| b.contains(t));
+                if !same {
+                    violations.push(format!(
+                        "{name}: sharded (W={w}) IDB {i} differs from unsharded fixpoint"
+                    ));
+                }
+            }
+            let exchanged = sharded.shard.as_ref().map_or(0, |ss| ss.exchanged_tuples);
+            if w == 1 && exchanged != 0 {
+                violations.push(format!(
+                    "{name}: single-shard run exchanged {exchanged} tuple(s)"
+                ));
+            }
         }
         // Generic ≡ binary differential: the worst-case-optimal lowering
         // must be a pure execution-strategy swap (same fixpoint, same
@@ -961,6 +1079,12 @@ mod tests {
         assert!(datalog.contains("\"tc_mutation_tenants48x12_churn4\""));
         assert!(datalog.contains("\"speedup_x\""));
         assert!(datalog.contains("\"scaling\": [{\"threads\": 1,"));
+        assert!(datalog.contains("\"host_cpus\""));
+        assert!(datalog.contains("\"sharded_ms\""));
+        assert!(datalog.contains("\"exchanged_tuples\""));
+        assert!(datalog.contains("\"shard_skew_pct\""));
+        assert!(datalog.contains("\"work_balance_x\""));
+        assert!(datalog.contains("\"shard_scaling\": [{\"shards\": 1,"));
         assert!(pebble_report().contains("\"lazy_arena_size\""));
     }
 

@@ -92,6 +92,10 @@ pub struct ProgramQuery {
     goal_tuple: Vec<kv_structures::Element>,
     plan: QueryPlan,
     demand: Option<DemandPath>,
+    /// Worker count for sharded evaluation (`None` = unsharded); applies
+    /// to every evaluation route this query issues, the incremental
+    /// engine included.
+    shards: Option<usize>,
     cache: Mutex<QueryCache>,
     incremental: Mutex<EngineSlot>,
 }
@@ -171,9 +175,21 @@ impl ProgramQuery {
             goal_tuple,
             plan,
             demand,
+            shards: None,
             cache: Mutex::new(QueryCache::new()),
             incremental: Mutex::new(EngineSlot::None),
         }
+    }
+
+    /// Routes every evaluation this query issues through sharded
+    /// execution at the given worker count: hash-partitioned deltas with
+    /// inter-worker exchange at stage barriers. Answers are identical for
+    /// every worker count (differential-tested); set before the first
+    /// evaluation so cached answers and the incremental engine agree on
+    /// the configuration.
+    pub fn with_shards(mut self, shards: Option<usize>) -> Self {
+        self.shards = shards;
+        self
     }
 
     /// The wrapped program.
@@ -209,6 +225,7 @@ impl ProgramQuery {
         EvalOptions::default()
             .with_planner(self.plan.planner())
             .with_lowering(self.plan.lowering())
+            .with_shards(self.shards)
     }
 
     fn lock_cache(&self) -> std::sync::MutexGuard<'_, QueryCache> {
@@ -647,6 +664,28 @@ mod tests {
         assert_eq!(q.plan().to_string(), "bf/demand");
         assert!(q.eval(&directed_path(4)));
         assert!(!q.eval(&directed_path(3)));
+    }
+
+    #[test]
+    fn sharded_query_agrees_on_every_route() {
+        // with_shards must not change any answer: full saturation, the
+        // demand path, and the incremental engine all route through the
+        // sharded stage loop and land on the same tuples.
+        for w in [1usize, 4] {
+            let q = ProgramQuery::at_tuple("0 reaches 3", transitive_closure(), vec![0, 3])
+                .with_shards(Some(w));
+            let s = directed_path(4);
+            let (full, _) = q.eval_full_with_stats(&s);
+            assert!(full, "W={w}");
+            let (demand, _) = q.eval_demand_with_stats(&s).expect("demand active");
+            assert_eq!(full, demand, "W={w}");
+            let summary = q.enable_incremental(&s);
+            assert_eq!(q.incremental_holds(), Some(true), "W={w}");
+            if w == 1 {
+                assert_eq!(summary.exchanged_tuples, 0, "W=1 exchanges nothing");
+            }
+            assert!(!q.with_shards(Some(w)).eval(&directed_path(3)), "W={w}");
+        }
     }
 
     #[test]

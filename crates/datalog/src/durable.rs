@@ -28,11 +28,23 @@
 //! ```text
 //! MANIFEST                  root pointer: generation, checkpoint epoch,
 //!                           world fingerprint (atomic tmp+rename swap)
-//! ckpt-0002-000000.seg      generation 2's snapshot (one framed record)
+//! ckpt-0002-000000.seg      generation 2's snapshot: a header record,
+//!                           one record per store (EDB relations, then
+//!                           IDB predicates), and a closing per-store
+//!                           manifest record with tuple counts and
+//!                           checksums
 //! wal-0002-000000.seg       batches applied after that snapshot,
 //! wal-0002-000001.seg       one framed record per batch, segments
 //!                           rolled at a fixed size
 //! ```
+//!
+//! Because every store (each EDB relation and IDB predicate — the unit
+//! the sharded evaluator partitions by) has its own snapshot record,
+//! recovery can account for exactly which stores the replayed WAL tail
+//! touched: the relations named by the replayed batches plus the IDB
+//! predicates reachable from them through the program's rules. The rest
+//! are recovered verbatim from their individually checksummed records —
+//! see [`RecoveryReport::stores_skipped`].
 //!
 //! The [`CrashPoint`] hooks let the kill-and-restart chaos suite
 //! (`tests/recovery.rs`) abort the process deterministically *inside*
@@ -161,6 +173,18 @@ pub struct RecoveryReport {
     pub torn_wal_truncated: bool,
     /// The engine epoch after recovery.
     pub recovered_epoch: u64,
+    /// Per-store snapshot records the checkpoint contributed (one per EDB
+    /// relation and per IDB predicate; 0 for a fresh directory).
+    pub snapshot_stores: u64,
+    /// Stores the replayed WAL tail touched: the EDB relations named by
+    /// any replayed batch plus the IDB predicates transitively derivable
+    /// from them through the program's rules. Only these stores' contents
+    /// can differ from their snapshot records.
+    pub stores_replayed: u64,
+    /// Stores the WAL tail provably did not touch: recovered verbatim
+    /// from their individually checksummed snapshot records, with no
+    /// replay work applied to them.
+    pub stores_skipped: u64,
 }
 
 /// Flush-side counters of a [`DurableEngine`] (the observability surface
@@ -311,31 +335,36 @@ impl DurableEngine {
             let base = ckpt_base(generation);
             let snap_path = persist::segment_path(dir, &base, 0);
             let loaded = SegmentedLog::load(dir, &base)?;
-            if loaded.torn_tail || loaded.records.len() != 1 {
+            if loaded.torn_tail || loaded.records.is_empty() {
                 return Err(RecoveryError::corrupt_at(
                     &snap_path,
                     0,
                     format!(
-                        "checkpoint snapshot must be one intact record, found {} (torn: {})",
+                        "checkpoint snapshot is incomplete: {} record(s), torn: {}",
                         loaded.records.len(),
                         loaded.torn_tail
                     ),
                 ));
             }
-            decode_snapshot(
-                &loaded.records[0],
+            let (engine, stores) = decode_snapshot_records(
+                &loaded.records,
                 &snap_path,
                 program,
                 template,
                 options,
                 fingerprint,
                 checkpoint_epoch,
-            )?
+            )?;
+            report.snapshot_stores = stores;
+            engine
         } else {
             IncrementalEngine::new(program, template, options)
         };
 
-        // Replay the WAL past the snapshot.
+        // Replay the WAL past the snapshot, recording which EDB
+        // relations the tail touches so the report can say which stores'
+        // snapshot records were final (`stores_skipped`).
+        let mut touched_edb = vec![false; vocab.relation_count()];
         let wbase = wal_base(generation);
         let loaded = SegmentedLog::load(dir, &wbase)?;
         report.torn_wal_truncated = loaded.torn_tail;
@@ -353,10 +382,18 @@ impl DurableEngine {
                     ),
                 ));
             }
+            for (rel, _) in inserts.iter().chain(retracts.iter()) {
+                touched_edb[rel.0] = true;
+            }
             engine.apply_batch(&inserts, &retracts);
             report.replayed_batches += 1;
         }
         report.recovered_epoch = engine.epoch();
+        let total_stores = (vocab.relation_count() + program.idb_count()) as u64;
+        if report.replayed_batches > 0 {
+            report.stores_replayed = touched_store_count(program, &touched_edb);
+        }
+        report.stores_skipped = total_stores - report.stores_replayed;
 
         // A fresh directory gets its root pointer immediately, so a crash
         // right after open still recovers through a manifest.
@@ -534,7 +571,8 @@ impl DurableEngine {
             return Ok(0);
         }
         let next_gen = self.generation + 1;
-        let payload = encode_snapshot(&self.engine, self.universe, self.fingerprint);
+        let records = encode_snapshot_records(&self.engine, self.universe, self.fingerprint);
+        let payload_bytes: u64 = records.iter().map(|r| r.len() as u64).sum();
         let base = ckpt_base(next_gen);
         // A crashed earlier attempt at this generation may have left
         // orphans; recovery keeps only the manifest's generation, so
@@ -543,10 +581,14 @@ impl DurableEngine {
         SegmentedLog::remove_all(&self.dir, &wal_base(next_gen));
         let mut snap = SegmentedLog::create(&self.dir, &base, u64::MAX / 2)?;
         if let Some(CrashPoint::CheckpointTorn { keep }) = self.opts.crash {
-            let _ = snap.append_torn(&payload, keep);
+            // Crash partway through the snapshot write: the header
+            // record tears and none of the store records follow.
+            let _ = snap.append_torn(&records[0], keep);
             self.crash();
         }
-        snap.append(&payload)?;
+        for record in &records {
+            snap.append(record)?;
+        }
         if self.opts.fsync {
             snap.sync()?;
         }
@@ -571,10 +613,10 @@ impl DurableEngine {
         self.generation = next_gen;
         self.batches_since_checkpoint = 0;
         self.stats.checkpoints += 1;
-        self.stats.checkpoint_bytes += payload.len() as u64;
+        self.stats.checkpoint_bytes += payload_bytes;
         prune_stale_generations(&self.dir, next_gen);
         let _ = old_gen;
-        Ok(payload.len() as u64)
+        Ok(payload_bytes)
     }
 }
 
@@ -663,36 +705,67 @@ fn decode_batch(
     Ok((epoch, inserts, retracts))
 }
 
-/// Snapshot record: `[universe][fingerprint][epoch][total_stats]` then
-/// the EDB and IDB [`kv_structures::MutableStore`]s, counted and in id
-/// order.
-fn encode_snapshot(engine: &IncrementalEngine, universe: u32, fingerprint: u64) -> Vec<u8> {
-    let mut p = Vec::new();
-    put_u32(&mut p, universe);
-    put_u64(&mut p, fingerprint);
-    put_u64(&mut p, engine.epoch());
-    persist::encode_eval_stats(&mut p, &engine.total_stats());
-    for stores in [engine.edb_stores(), engine.idb_stores()] {
-        put_u32(&mut p, stores.len() as u32);
-        for store in stores {
+/// Snapshot encoding, one framed record per concern:
+///
+/// - header: `[universe][fingerprint][epoch][total_stats][edb_count][idb_count]`
+/// - one record per store, EDB relations then IDB predicates in id
+///   order: `[kind][index][mutable_store]` (kind 0 = EDB, 1 = IDB)
+/// - per-store manifest: `[count]` then per store
+///   `[kind][index][live_tuples][checksum64 of that store's record]`
+///
+/// The per-store records are the shard-granular recovery unit the
+/// incremental WAL replays against; the closing manifest binds them
+/// together so a substituted or reordered record is caught even though
+/// each frame already carries its own checksum.
+fn encode_snapshot_records(
+    engine: &IncrementalEngine,
+    universe: u32,
+    fingerprint: u64,
+) -> Vec<Vec<u8>> {
+    let edb = engine.edb_stores();
+    let idb = engine.idb_stores();
+    let mut header = Vec::new();
+    put_u32(&mut header, universe);
+    put_u64(&mut header, fingerprint);
+    put_u64(&mut header, engine.epoch());
+    persist::encode_eval_stats(&mut header, &engine.total_stats());
+    put_u32(&mut header, edb.len() as u32);
+    put_u32(&mut header, idb.len() as u32);
+    let mut records = vec![header];
+    let mut manifest = Vec::new();
+    put_u32(&mut manifest, (edb.len() + idb.len()) as u32);
+    for (kind, stores) in [(0u32, edb), (1u32, idb)] {
+        for (index, store) in stores.iter().enumerate() {
+            let mut p = Vec::new();
+            put_u32(&mut p, kind);
+            put_u32(&mut p, index as u32);
             persist::encode_mutable_store(&mut p, store);
+            put_u32(&mut manifest, kind);
+            put_u32(&mut manifest, index as u32);
+            put_u64(&mut manifest, store.live_len() as u64);
+            put_u64(&mut manifest, persist::checksum64(&p));
+            records.push(p);
         }
     }
-    p
+    records.push(manifest);
+    records
 }
 
+/// Decodes a multi-record snapshot (see [`encode_snapshot_records`]),
+/// returning the restored engine and the number of per-store records
+/// validated.
 #[allow(clippy::too_many_arguments)]
-fn decode_snapshot(
-    payload: &[u8],
+fn decode_snapshot_records(
+    records: &[Vec<u8>],
     path: &Path,
     program: &Program,
     template: &Structure,
     options: EvalOptions,
     fingerprint: u64,
     expect_epoch: u64,
-) -> Result<IncrementalEngine, RecoveryError> {
+) -> Result<(IncrementalEngine, u64), RecoveryError> {
     let fail = |d: String| RecoveryError::corrupt_at(path, 0, d);
-    let mut r = ByteReader::new(payload);
+    let mut r = ByteReader::new(&records[0]);
     let universe = r.get_u32("snapshot universe").map_err(fail)?;
     if universe as usize != template.universe_size() {
         return Err(RecoveryError::mismatch(
@@ -718,29 +791,122 @@ fn decode_snapshot(
         ));
     }
     let total_stats: EvalStats = persist::decode_eval_stats(&mut r, path)?;
-    let mut groups = Vec::with_capacity(2);
-    for _ in 0..2 {
-        let n = r.get_u32("store count").map_err(fail)? as usize;
-        if n > 10_000 {
-            return Err(fail(format!("implausible store count {n}")));
-        }
-        let mut stores = Vec::with_capacity(n);
-        for _ in 0..n {
-            stores.push(persist::decode_mutable_store(&mut r, path)?);
-        }
-        groups.push(stores);
-    }
+    let n_edb = r.get_u32("EDB store count").map_err(fail)? as usize;
+    let n_idb = r.get_u32("IDB store count").map_err(fail)? as usize;
     if !r.is_exhausted() {
-        return Err(fail("trailing bytes after snapshot".to_string()));
+        return Err(fail("trailing bytes after snapshot header".to_string()));
     }
-    let Some(idb) = groups.pop() else {
-        return Err(fail("missing IDB stores".to_string()));
-    };
-    let Some(edb) = groups.pop() else {
-        return Err(fail("missing EDB stores".to_string()));
-    };
-    IncrementalEngine::restore(program, template, options, edb, idb, epoch, total_stats)
-        .map_err(|d| RecoveryError::mismatch(path, d))
+    let n_stores = n_edb + n_idb;
+    if n_stores > 10_000 {
+        return Err(fail(format!("implausible store count {n_stores}")));
+    }
+    if records.len() != n_stores + 2 {
+        return Err(fail(format!(
+            "snapshot should hold {} records (header + {n_stores} stores + manifest), found {}",
+            n_stores + 2,
+            records.len()
+        )));
+    }
+    // Per-store manifest: tuple counts and checksums, one entry per
+    // store record in order.
+    let manifest = &records[n_stores + 1];
+    let mut m = ByteReader::new(manifest);
+    let m_count = m.get_u32("manifest store count").map_err(fail)? as usize;
+    if m_count != n_stores {
+        return Err(fail(format!(
+            "store manifest lists {m_count} store(s), header says {n_stores}"
+        )));
+    }
+    let mut edb = Vec::with_capacity(n_edb);
+    let mut idb = Vec::with_capacity(n_idb);
+    for (slot, record) in records[1..=n_stores].iter().enumerate() {
+        let (want_kind, want_index) = if slot < n_edb {
+            (0u32, slot as u32)
+        } else {
+            (1u32, (slot - n_edb) as u32)
+        };
+        let m_kind = m.get_u32("manifest store kind").map_err(fail)?;
+        let m_index = m.get_u32("manifest store index").map_err(fail)?;
+        let m_tuples = m.get_u64("manifest store tuples").map_err(fail)?;
+        let m_check = m.get_u64("manifest store checksum").map_err(fail)?;
+        if (m_kind, m_index) != (want_kind, want_index) {
+            return Err(fail(format!(
+                "store manifest entry {slot} names (kind {m_kind}, index {m_index}), \
+                 expected (kind {want_kind}, index {want_index})"
+            )));
+        }
+        if persist::checksum64(record) != m_check {
+            return Err(fail(format!(
+                "store record {slot} (kind {m_kind}, index {m_index}) does not match \
+                 its manifest checksum"
+            )));
+        }
+        let mut sr = ByteReader::new(record);
+        let r_kind = sr.get_u32("store record kind").map_err(fail)?;
+        let r_index = sr.get_u32("store record index").map_err(fail)?;
+        if (r_kind, r_index) != (want_kind, want_index) {
+            return Err(fail(format!(
+                "store record {slot} labels itself (kind {r_kind}, index {r_index}), \
+                 expected (kind {want_kind}, index {want_index})"
+            )));
+        }
+        let store = persist::decode_mutable_store(&mut sr, path)?;
+        if !sr.is_exhausted() {
+            return Err(fail(format!("trailing bytes after store record {slot}")));
+        }
+        if store.live_len() as u64 != m_tuples {
+            return Err(fail(format!(
+                "store record {slot} holds {} live tuple(s), manifest says {m_tuples}",
+                store.live_len()
+            )));
+        }
+        if slot < n_edb { &mut edb } else { &mut idb }.push(store);
+    }
+    if !m.is_exhausted() {
+        return Err(fail("trailing bytes after store manifest".to_string()));
+    }
+    let engine =
+        IncrementalEngine::restore(program, template, options, edb, idb, epoch, total_stats)
+            .map_err(|d| RecoveryError::mismatch(path, d))?;
+    Ok((engine, n_stores as u64))
+}
+
+/// How many stores a WAL tail touching `touched_edb` can have changed:
+/// the touched EDB relations plus the IDB predicates transitively
+/// derivable from them through the program's rules (a rule's head is
+/// affected if any body atom is a touched relation or an affected
+/// predicate; body-less fact rules are counted conservatively, since a
+/// replayed seed batch re-fires them).
+fn touched_store_count(program: &Program, touched_edb: &[bool]) -> u64 {
+    use crate::ast::Pred;
+    let mut touched_idb = vec![false; program.idb_count()];
+    loop {
+        let mut changed = false;
+        for rule in program.rules() {
+            if touched_idb[rule.head.0] {
+                continue;
+            }
+            let mut affected = false;
+            let mut has_atoms = false;
+            for (pred, _) in rule.atoms() {
+                has_atoms = true;
+                affected |= match *pred {
+                    Pred::Edb(rel) => touched_edb[rel.0],
+                    Pred::Idb(i) => touched_idb[i.0],
+                };
+            }
+            if affected || !has_atoms {
+                touched_idb[rule.head.0] = true;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let e = touched_edb.iter().filter(|&&t| t).count();
+    let i = touched_idb.iter().filter(|&&t| t).count();
+    (e + i) as u64
 }
 
 #[cfg(test)]
@@ -834,6 +1000,21 @@ mod tests {
                     .expect("reopen");
             assert!(recovered.recovery().manifest_found);
             assert_eq!(recovered.epoch(), stop_after as u64);
+            // Store accounting: transitive closure has one EDB relation
+            // and one IDB predicate; any replayed batch touches the EDB
+            // relation and (through the rules) the IDB predicate.
+            let rep = recovered.recovery();
+            assert_eq!(rep.stores_replayed + rep.stores_skipped, 2);
+            if rep.checkpoint_epoch > 0 {
+                assert_eq!(rep.snapshot_stores, 2, "one record per store");
+            } else {
+                assert_eq!(rep.snapshot_stores, 0);
+            }
+            if rep.replayed_batches > 0 {
+                assert_eq!(rep.stores_replayed, 2);
+            } else {
+                assert_eq!(rep.stores_replayed, 0);
+            }
             // Clean-run partner: the same batches through a volatile engine.
             let mut clean = IncrementalEngine::new(&program, &template, EvalOptions::default());
             for (ins, ret) in &batches[..stop_after] {
@@ -888,6 +1069,76 @@ mod tests {
         assert_eq!(d.epoch(), 9);
         assert!(d.recovery().checkpoint_epoch >= 8);
         assert!(d.recovery().replayed_batches <= 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recovery_skips_stores_the_wal_tail_never_touched() {
+        use crate::programs::path_systems;
+        // Path systems: EDB relations R/3 (rel 0) and A/1 (rel 1), one
+        // IDB predicate Acc. Seed both relations before the checkpoint,
+        // then let the WAL tail touch only A — recovery must report R's
+        // store as skipped (its snapshot record was final) and A + Acc
+        // as replayed.
+        let program = path_systems();
+        let template = Structure::new(Arc::clone(program.vocabulary()), 6);
+        let dir = temp_dir("skip");
+        let opts = DurabilityOptions {
+            checkpoint_every: 0,
+            ..DurabilityOptions::default()
+        };
+        let mut d = DurableEngine::open(
+            &program,
+            &template,
+            EvalOptions::default(),
+            &dir,
+            opts.clone(),
+        )
+        .expect("open");
+        d.apply_batch(
+            &[
+                (RelId(0), vec![0, 1, 2]),
+                (RelId(0), vec![3, 1, 2]),
+                (RelId(1), vec![1]),
+            ],
+            &[],
+        )
+        .expect("seed batch");
+        d.apply_batch(&[(RelId(1), vec![2])], &[]).expect("batch 2");
+        d.checkpoint().expect("checkpoint at epoch 2");
+        // Checkpoint covered epochs 1-2; these two form the WAL tail.
+        d.apply_batch(&[(RelId(1), vec![4])], &[]).expect("batch 3");
+        d.apply_batch(&[], &[(RelId(1), vec![4])]).expect("batch 4");
+        drop(d);
+        let recovered = DurableEngine::open(
+            &program,
+            &template,
+            EvalOptions::default(),
+            &dir,
+            opts.clone(),
+        )
+        .expect("reopen");
+        let rep = recovered.recovery();
+        assert_eq!(rep.checkpoint_epoch, 2);
+        assert_eq!(rep.replayed_batches, 2);
+        assert_eq!(rep.snapshot_stores, 3, "R, A, Acc each get a record");
+        assert_eq!(rep.stores_replayed, 2, "A and the Acc closure");
+        assert_eq!(rep.stores_skipped, 1, "R untouched by the tail");
+        // The accounting is a report, not a shortcut that may diverge:
+        // the recovered state still equals a clean run.
+        let mut clean = IncrementalEngine::new(&program, &template, EvalOptions::default());
+        clean.apply_batch(
+            &[
+                (RelId(0), vec![0, 1, 2]),
+                (RelId(0), vec![3, 1, 2]),
+                (RelId(1), vec![1]),
+            ],
+            &[],
+        );
+        clean.apply_batch(&[(RelId(1), vec![2])], &[]);
+        clean.apply_batch(&[(RelId(1), vec![4])], &[]);
+        clean.apply_batch(&[], &[(RelId(1), vec![4])]);
+        assert_same_state(recovered.engine(), &clean, "skip accounting");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -46,6 +46,7 @@
 use crate::ast::{IdbId, Literal, Pred, Rule, Term, VarId};
 use crate::planner::{self, RunPlan, SccInfo};
 use crate::program::Program;
+use crate::sharded;
 use crate::wcoj::{self, GenericPlan};
 use kv_structures::govern::{Budget, Governor, Interrupted};
 use kv_structures::par::{par_workers, thread_count};
@@ -94,6 +95,14 @@ pub struct EvalOptions {
     /// Resource budgets; exceeding one makes [`Evaluator::try_run`] return
     /// [`LimitExceeded`].
     pub limits: Limits,
+    /// Sharded execution: hash-partition each stage's delta across this
+    /// many workers by tuple ownership (planner-chosen key positions) and
+    /// exchange cross-owner derivations at the stage barrier. `None` (the
+    /// default) keeps the rule-partitioned parallel stages. Stage *sets*
+    /// are identical for every worker count (differential-tested for
+    /// W ∈ {1, 2, 4, 8}); counters such as `join_probes` may differ
+    /// because every worker walks the full rule list over its sub-delta.
+    pub shards: Option<usize>,
 }
 
 impl Default for EvalOptions {
@@ -106,6 +115,7 @@ impl Default for EvalOptions {
             planner: PlannerMode::Textual,
             lowering: JoinLowering::default(),
             limits: Limits::default(),
+            shards: None,
         }
     }
 }
@@ -128,6 +138,14 @@ impl EvalOptions {
     /// runs only; `None` uses the engine-wide default).
     pub fn with_threads(mut self, threads: Option<usize>) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// The same options with sharded (hash-partitioned, owner-computes)
+    /// stage execution across `shards` workers; `None` disables sharding.
+    /// See [`EvalOptions::shards`].
+    pub fn with_shards(mut self, shards: Option<usize>) -> Self {
+        self.shards = shards;
         self
     }
 }
@@ -157,6 +175,9 @@ pub struct EvalResult {
     pub stage_marks: Vec<Vec<u32>>,
     /// Whether the fixpoint was reached (false only if `max_stages` hit).
     pub converged: bool,
+    /// Sharded-run statistics (worker loads, exchange traffic, key
+    /// choices); `None` unless the run used [`EvalOptions::shards`].
+    pub shard: Option<crate::sharded::ShardStats>,
 }
 
 impl EvalResult {
@@ -413,6 +434,7 @@ impl EvalCheckpoint {
             eval_stats: self.eval_stats,
             stage_marks: self.stage_marks.clone(),
             converged: false,
+            shard: None,
         }
     }
 }
@@ -1182,6 +1204,35 @@ impl CompiledProgram {
                 .collect()
         });
 
+        // Sharded execution state: shard keys are a pure function of the
+        // compiled variants and the EDB statistics (resumed runs re-derive
+        // them identically), and the per-worker delta sub-ranges are
+        // recomputed from the committed checkpoint by scanning owners —
+        // interrupts discard partial stages whole, so a checkpoint never
+        // holds in-flight exchange tuples.
+        let mut shard_state: Option<sharded::ShardState> = options.shards.map(|w| {
+            let workers = w.max(1);
+            let edb_stats: Vec<kv_structures::CardStats> =
+                edb_stores.iter().map(|s| s.card_stats()).collect();
+            let edb_arities: Vec<usize> = edb_stores.iter().map(|s| s.arity()).collect();
+            let plan = sharded::choose_plan(
+                semi_variants,
+                &[],
+                &self.idb_arities,
+                &edb_arities,
+                &edb_stats,
+            );
+            let idb_refs: Vec<&TupleStore> = idb_stores.iter().collect();
+            let ranges = sharded::delta_ranges(&idb_refs, &delta_lo, &plan.idb_keys, workers);
+            sharded::ShardState {
+                workers,
+                plan,
+                ranges,
+                owned: vec![0; workers],
+                exchanged: 0,
+            }
+        });
+
         // Packages the committed state back up on interrupt.
         macro_rules! interrupt {
             ($reason:expr, $stores:expr, $delta:expr, $stats:expr, $marks:expr, $estats:expr, $stage:expr, $active:expr) => {{
@@ -1267,81 +1318,172 @@ impl CompiledProgram {
             // scratch arenas; re-interning those at merge makes the stage
             // result identical to a sequential run (set union).
             let idb_refs: Vec<&TupleStore> = idb_stores.iter().collect();
-            let ctx = JoinCtx {
-                structure,
-                universe,
-                edb: &edb_stores,
-                edb_idx: &edb_idx,
-                idb: &idb_refs,
-                idb_idx: &idb_idx,
-                blooms: blooms.as_deref(),
-                prev_len: &prev_len,
-                delta_lo: &delta_lo,
-                edb_delta_lo: None,
-                batched: planned.is_some(),
-                gov,
-            };
-            let workers = if options.parallel {
-                options
-                    .threads
-                    .unwrap_or_else(thread_count)
-                    .min(live_rules.len())
-                    .max(1)
-            } else {
-                1
-            };
-            let mut buffers: Vec<WorkerBuf> = par_workers(workers, |w| {
-                let mut buf = WorkerBuf::new(&self.idb_arities);
-                for rule in live_rules.iter().skip(w).step_by(workers) {
-                    if let Err(reason) = evaluate_rule(rule, &ctx, &mut buf) {
-                        buf.tripped = Some(reason);
-                        break;
+            let mut new_count = vec![0usize; idb_count];
+            if let Some(state) = shard_state.as_mut() {
+                // Sharded stage: every worker runs the *full* live-rule
+                // set over its owner slice of each delta window (stage one
+                // and naive stages have no delta, so they partition rules
+                // instead), then routes derivations by the owner of the
+                // derived tuple. The per-worker derivation sets partition
+                // the stage's derivations, and the stage barrier below is
+                // the only synchronization point.
+                let w_count = state.workers;
+                let use_sub = options.semi_naive && stage > 1;
+                let sub_ranges = &state.ranges;
+                let keys = &state.plan.idb_keys;
+                let mut results: Vec<(WorkerBuf, sharded::RoutedDelta)> =
+                    par_workers(w_count, |w| {
+                        let ctx = JoinCtx {
+                            structure,
+                            universe,
+                            edb: &edb_stores,
+                            edb_idx: &edb_idx,
+                            idb: &idb_refs,
+                            idb_idx: &idb_idx,
+                            blooms: blooms.as_deref(),
+                            prev_len: &prev_len,
+                            delta_lo: &delta_lo,
+                            edb_delta_lo: None,
+                            idb_delta_sub: if use_sub { Some(&sub_ranges[w]) } else { None },
+                            edb_delta_sub: None,
+                            batched: planned.is_some(),
+                            gov,
+                        };
+                        let mut buf = WorkerBuf::new(&self.idb_arities);
+                        let (skip, step) = if use_sub { (0, 1) } else { (w, w_count) };
+                        for rule in live_rules.iter().skip(skip).step_by(step) {
+                            if let Err(reason) = evaluate_rule(rule, &ctx, &mut buf) {
+                                buf.tripped = Some(reason);
+                                break;
+                            }
+                        }
+                        let routed = sharded::route_worker(&buf, keys, w_count);
+                        (buf, routed)
+                    });
+                for (buf, _) in &mut results {
+                    if buf.tripped.is_none() && buf.pending_steps > 0 {
+                        buf.tripped = gov.step(buf.pending_steps).err();
+                        buf.pending_steps = 0;
                     }
                 }
-                buf
-            });
-            // Flush each worker's trailing step count; a flush that trips
-            // the budget aborts the stage like an in-worker trip.
-            for buf in &mut buffers {
-                if buf.tripped.is_none() && buf.pending_steps > 0 {
-                    buf.tripped = gov.step(buf.pending_steps).err();
-                    buf.pending_steps = 0;
+                // A tripped worker aborts the stage whole: scratch arenas
+                // *and* routed outboxes are discarded, so a checkpoint
+                // never carries in-flight exchange tuples — the per-shard
+                // frontier is exactly the committed delta, recomputed by
+                // owner scan on resume.
+                if let Some(reason) = results.iter().find_map(|(b, _)| b.tripped) {
+                    stage -= 1;
+                    interrupt!(
+                        reason,
+                        idb_stores,
+                        delta_lo,
+                        stats,
+                        stage_marks,
+                        eval_stats,
+                        stage,
+                        active_sccs
+                    );
                 }
-            }
-            // Any tripped worker aborts the whole stage: scratch arenas
-            // and counters are discarded so the checkpoint holds exactly
-            // the committed stages (stage `n+1` is recomputed on resume).
-            if let Some(reason) = buffers.iter().find_map(|b| b.tripped) {
-                stage -= 1;
-                interrupt!(
-                    reason,
-                    idb_stores,
-                    delta_lo,
-                    stats,
-                    stage_marks,
-                    eval_stats,
-                    stage,
-                    active_sccs
+                let mut routed = Vec::with_capacity(w_count);
+                for (buf, r) in results {
+                    eval_stats.join_probes += buf.probes;
+                    eval_stats.magic_probes += buf.magic_probes;
+                    eval_stats.block_probes += buf.block_probes;
+                    eval_stats.gallop_steps += buf.gallop_steps;
+                    eval_stats.wcoj_rules += buf.wcoj_rules;
+                    eval_stats.duplicate_derivations += buf.dups;
+                    routed.push(r);
+                }
+                // Owner-ordered merge through the delta exchange: the
+                // committed delta is owner-contiguous, giving the next
+                // stage its per-worker sub-ranges for free.
+                let next = sharded::merge_set(
+                    &mut idb_stores,
+                    routed,
+                    w_count,
+                    &mut new_count,
+                    &mut eval_stats.duplicate_derivations,
+                    &mut state.exchanged,
                 );
-            }
+                state.commit_stage(next);
+            } else {
+                let ctx = JoinCtx {
+                    structure,
+                    universe,
+                    edb: &edb_stores,
+                    edb_idx: &edb_idx,
+                    idb: &idb_refs,
+                    idb_idx: &idb_idx,
+                    blooms: blooms.as_deref(),
+                    prev_len: &prev_len,
+                    delta_lo: &delta_lo,
+                    edb_delta_lo: None,
+                    idb_delta_sub: None,
+                    edb_delta_sub: None,
+                    batched: planned.is_some(),
+                    gov,
+                };
+                let workers = if options.parallel {
+                    options
+                        .threads
+                        .unwrap_or_else(thread_count)
+                        .min(live_rules.len())
+                        .max(1)
+                } else {
+                    1
+                };
+                let mut buffers: Vec<WorkerBuf> = par_workers(workers, |w| {
+                    let mut buf = WorkerBuf::new(&self.idb_arities);
+                    for rule in live_rules.iter().skip(w).step_by(workers) {
+                        if let Err(reason) = evaluate_rule(rule, &ctx, &mut buf) {
+                            buf.tripped = Some(reason);
+                            break;
+                        }
+                    }
+                    buf
+                });
+                // Flush each worker's trailing step count; a flush that trips
+                // the budget aborts the stage like an in-worker trip.
+                for buf in &mut buffers {
+                    if buf.tripped.is_none() && buf.pending_steps > 0 {
+                        buf.tripped = gov.step(buf.pending_steps).err();
+                        buf.pending_steps = 0;
+                    }
+                }
+                // Any tripped worker aborts the whole stage: scratch arenas
+                // and counters are discarded so the checkpoint holds exactly
+                // the committed stages (stage `n+1` is recomputed on resume).
+                if let Some(reason) = buffers.iter().find_map(|b| b.tripped) {
+                    stage -= 1;
+                    interrupt!(
+                        reason,
+                        idb_stores,
+                        delta_lo,
+                        stats,
+                        stage_marks,
+                        eval_stats,
+                        stage,
+                        active_sccs
+                    );
+                }
 
-            // Merge: re-intern each worker's scratch arena into the shared
-            // stores. A tuple scratch-derived by several workers is fresh
-            // only once (set union).
-            let mut new_count = vec![0usize; idb_count];
-            for buf in buffers {
-                eval_stats.join_probes += buf.probes;
-                eval_stats.magic_probes += buf.magic_probes;
-                eval_stats.block_probes += buf.block_probes;
-                eval_stats.gallop_steps += buf.gallop_steps;
-                eval_stats.wcoj_rules += buf.wcoj_rules;
-                eval_stats.duplicate_derivations += buf.dups;
-                for (i, scratch) in buf.scratch.into_iter().enumerate() {
-                    for t in scratch.iter() {
-                        if idb_stores[i].intern(t).1 {
-                            new_count[i] += 1;
-                        } else {
-                            eval_stats.duplicate_derivations += 1;
+                // Merge: re-intern each worker's scratch arena into the shared
+                // stores. A tuple scratch-derived by several workers is fresh
+                // only once (set union).
+                for buf in buffers {
+                    eval_stats.join_probes += buf.probes;
+                    eval_stats.magic_probes += buf.magic_probes;
+                    eval_stats.block_probes += buf.block_probes;
+                    eval_stats.gallop_steps += buf.gallop_steps;
+                    eval_stats.wcoj_rules += buf.wcoj_rules;
+                    eval_stats.duplicate_derivations += buf.dups;
+                    for (i, scratch) in buf.scratch.into_iter().enumerate() {
+                        for t in scratch.iter() {
+                            if idb_stores[i].intern(t).1 {
+                                new_count[i] += 1;
+                            } else {
+                                eval_stats.duplicate_derivations += 1;
+                            }
                         }
                     }
                 }
@@ -1417,6 +1559,7 @@ impl CompiledProgram {
             eval_stats,
             stage_marks,
             converged,
+            shard: shard_state.map(|s| s.stats()),
         })
     }
 }
@@ -1528,6 +1671,14 @@ pub(crate) struct JoinCtx<'a> {
     /// keeps the historical behaviour — EDB atoms read their whole store
     /// regardless of access mode.
     pub(crate) edb_delta_lo: Option<&'a [u32]>,
+    /// Sharded semi-naive stages: this worker's owner sub-range of each
+    /// IDB delta window. Every variant pins exactly one delta atom, so
+    /// narrowing its `Delta` window partitions the variant's derivations
+    /// across workers without touching `Old`/`Full` reads.
+    pub(crate) idb_delta_sub: Option<&'a [IdRange]>,
+    /// Sharded incremental stage 0: this worker's owner sub-range of each
+    /// EDB delta window (meaningful only with `edb_delta_lo` set).
+    pub(crate) edb_delta_sub: Option<&'a [IdRange]>,
     /// Whether batched-kernel bookkeeping (probe memos, block counters) is
     /// active — cost-based runs only, so textual counters stay
     /// byte-identical to the historical engine.
@@ -1556,9 +1707,14 @@ impl<'a> JoinCtx<'a> {
                             start: 0,
                             end: lo[r.0],
                         },
-                        IdbAccess::Delta => IdRange {
-                            start: lo[r.0],
-                            end: store.len() as u32,
+                        IdbAccess::Delta => match self.edb_delta_sub {
+                            // Sharded stage 0: this worker's owner slice
+                            // of the batch's insertions.
+                            Some(sub) => sub[r.0],
+                            None => IdRange {
+                                start: lo[r.0],
+                                end: store.len() as u32,
+                            },
                         },
                     },
                 };
@@ -1575,9 +1731,14 @@ impl<'a> JoinCtx<'a> {
                         start: 0,
                         end: self.delta_lo[i.0],
                     },
-                    IdbAccess::Delta => IdRange {
-                        start: self.delta_lo[i.0],
-                        end: self.prev_len[i.0],
+                    IdbAccess::Delta => match self.idb_delta_sub {
+                        // Sharded semi-naive stage: this worker's owner
+                        // slice of the delta window.
+                        Some(sub) => sub[i.0],
+                        None => IdRange {
+                            start: self.delta_lo[i.0],
+                            end: self.prev_len[i.0],
+                        },
                     },
                 };
                 (store, &self.idb_idx[i.0], range)
@@ -1630,6 +1791,10 @@ pub(crate) struct WorkerBuf {
     /// change any kernel decision, so answers and counters stay identical.
     pub(crate) emit_buf: Vec<Element>,
     pub(crate) head_buf: Vec<Element>,
+    /// Reusable survivor block for batched flushes: tuples that pass the
+    /// committed-store pre-filter, interned via
+    /// [`TupleStore::extend_block`] in one shot.
+    pub(crate) block_buf: Vec<Element>,
     /// Reusable tuple buffer for [`JoinKernel::Check`] lookups.
     pub(crate) check_buf: Vec<Element>,
     pub(crate) probes: u64,
@@ -1676,6 +1841,7 @@ impl WorkerBuf {
             counting: false,
             emit_buf: Vec::new(),
             head_buf: Vec::new(),
+            block_buf: Vec::new(),
             check_buf: Vec::new(),
             probes: 0,
             magic_probes: 0,
@@ -2099,7 +2265,10 @@ impl<'a, 'b> RuleJoin<'a, 'b> {
 
     /// Interns everything in the batched-emission buffer, charging the
     /// governor once for the block. Identical per-tuple bookkeeping to the
-    /// immediate path, just amortized.
+    /// immediate path — set mode pre-filters committed tuples one by one,
+    /// then interns the survivors as a single
+    /// [`TupleStore::extend_block`], so the scratch arena pays one
+    /// capacity check per block instead of one per tuple.
     pub(crate) fn flush_emits(&mut self) -> Result<(), Interrupted> {
         if self.buf.emit_buf.is_empty() {
             return Ok(());
@@ -2109,10 +2278,30 @@ impl<'a, 'b> RuleJoin<'a, 'b> {
         // Nullary heads never buffer (see `emit`), so the arity is positive.
         let arity = self.rule.head_args.len();
         let pending = std::mem::take(&mut self.buf.emit_buf);
-        for tuple in pending.chunks_exact(arity) {
-            self.buf.head_buf.clear();
-            self.buf.head_buf.extend_from_slice(tuple);
-            self.intern_head(head);
+        if self.buf.counting {
+            for tuple in pending.chunks_exact(arity) {
+                let (id, fresh) = self.buf.scratch[head].intern(tuple);
+                let counts = &mut self.buf.scratch_counts[head];
+                if fresh {
+                    counts.push(1);
+                } else {
+                    counts[id.0 as usize] += 1;
+                }
+            }
+        } else {
+            let mut block = std::mem::take(&mut self.buf.block_buf);
+            block.clear();
+            for tuple in pending.chunks_exact(arity) {
+                if self.ctx.committed(head, tuple) {
+                    self.buf.dups += 1;
+                } else {
+                    block.extend_from_slice(tuple);
+                }
+            }
+            let survivors = block.len() / arity;
+            let fresh = self.buf.scratch[head].extend_block(&block);
+            self.buf.dups += (survivors - fresh) as u64;
+            self.buf.block_buf = block;
         }
         self.buf.emit_buf = pending;
         self.buf.emit_buf.clear();

@@ -59,6 +59,7 @@ use crate::eval::{
 };
 use crate::planner::plan_rules_with_stats;
 use crate::program::Program;
+use crate::sharded;
 use kv_structures::govern::{Governor, Interrupted};
 use kv_structures::par::{par_workers, thread_count};
 use kv_structures::store::{CardStats, EvalStats, PosIndex, TupleId, TupleStore};
@@ -93,6 +94,10 @@ pub struct BatchSummary {
     /// initial batch this matches the from-scratch stage sequence
     /// tuple-for-tuple (Theorem 3.6 stage identity).
     pub stage_new: Vec<Vec<usize>>,
+    /// Tuples that crossed a shard boundary during the insertion pass
+    /// (zero unless [`EvalOptions::shards`] is set, and always zero at
+    /// `W = 1` — everything is local then).
+    pub exchanged_tuples: u64,
     /// Matching insert/retract pairs of the same tuple cancelled before
     /// planning (plus retracts of facts that were not live, dropped as
     /// no-ops). Coalescing is a pure optimization: the maintained
@@ -144,6 +149,13 @@ struct InsertionState {
     deleted_tuples: u64,
     rederived_tuples: u64,
     overdeleted_tuples: u64,
+    /// Shard-key assignment when the engine runs sharded (`None`
+    /// otherwise). Chosen once per batch from the committed post-deletion
+    /// EDB — a pure function of frozen state, so resumed batches re-use
+    /// the identical keys and the owner-sorted insert appends stay valid.
+    shard: Option<crate::sharded::ShardPlan>,
+    /// Tuples that crossed a shard boundary in committed stages.
+    exchanged: u64,
 }
 
 /// Where a pending batch stands.
@@ -152,7 +164,8 @@ enum Phase {
     /// Nothing committed yet; the deletion plan is recomputed on resume.
     Deletion,
     /// Deletion committed and inserts appended; stages commit one by one.
-    Insertion(InsertionState),
+    /// Boxed: the state is ~264 bytes against the dataless `Deletion`.
+    Insertion(Box<InsertionState>),
 }
 
 #[derive(Debug, Clone)]
@@ -591,7 +604,7 @@ impl IncrementalEngine {
                 }
             };
             let state = self.commit_deletions(plan, &batch.inserts, &batch.retracts);
-            batch.phase = Phase::Insertion(state);
+            batch.phase = Phase::Insertion(Box::new(state));
         }
         let Phase::Insertion(ref mut state) = batch.phase else {
             unreachable!("deletion phase handled above")
@@ -622,6 +635,7 @@ impl IncrementalEngine {
             rederived_tuples: state.rederived_tuples,
             overdeleted_tuples: state.overdeleted_tuples,
             stage_new: state.stage_new,
+            exchanged_tuples: state.exchanged,
             coalesced_pairs: batch.coalesced,
             eval_stats,
         })
@@ -672,8 +686,35 @@ impl IncrementalEngine {
             }
         }
         let edb_delta_lo: Vec<u32> = self.edb.iter().map(|m| m.len() as u32).collect();
+        // Shard keys are chosen against the committed post-deletion EDB —
+        // frozen state for the rest of the batch, so an interrupted batch
+        // re-derives the identical assignment on resume.
+        let workers = self.options.shards.map(|w| w.max(1));
+        let shard = workers.map(|_| {
+            let stats: Vec<CardStats> = self.edb.iter().map(|m| m.store().card_stats()).collect();
+            let edb_arities: Vec<usize> = self.edb.iter().map(|m| m.store().arity()).collect();
+            crate::sharded::choose_plan(
+                &self.compiled.semi_variants,
+                &self.edb_variants,
+                &self.compiled.idb_arities,
+                &edb_arities,
+                &stats,
+            )
+        });
+        // Route the batch to its owning shards: appending each relation's
+        // inserts in owner order makes the EDB delta owner-contiguous, so
+        // stage 0 of the insertion pass hands every worker a contiguous
+        // sub-range instead of falling back to worker 0.
+        let mut order: Vec<usize> = (0..inserts.len()).collect();
+        if let (Some(w), Some(plan)) = (workers, shard.as_ref()) {
+            order.sort_by_key(|&i| {
+                let (r, t) = &inserts[i];
+                kv_structures::shard_of(t, plan.edb_keys[r.0], w)
+            });
+        }
         let mut edb_inserted = 0u64;
-        for (r, t) in inserts {
+        for &i in &order {
+            let (r, t) = &inserts[i];
             match self.edb[r.0].insert(t) {
                 InsertOutcome::Fresh(_) => edb_inserted += 1,
                 InsertOutcome::Bumped(_) => {}
@@ -693,6 +734,8 @@ impl IncrementalEngine {
             deleted_tuples,
             rederived_tuples: plan.rederived,
             overdeleted_tuples: plan.overdeleted,
+            shard,
+            exchanged: 0,
         }
     }
 
@@ -803,7 +846,87 @@ impl IncrementalEngine {
                     .collect()
             };
             let mut new_count = vec![0usize; idb_count];
-            {
+            let shard_w = options.shards.map(|w| w.max(1));
+            if let (Some(w_count), Some(splan)) = (shard_w, st.shard.as_ref()) {
+                // Sharded stage: every worker runs every live delta-pinned
+                // variant over its own owner sub-ranges of the delta
+                // windows (IDB deltas from the previous committed stage,
+                // the EDB delta from the owner-sorted batch appends), so
+                // each derivation is produced — and its support counted —
+                // by exactly one worker. Fact rules have no delta window
+                // to narrow and are partitioned round-robin instead.
+                let idb_refs: Vec<&TupleStore> = idb.iter().map(|m| m.store()).collect();
+                let idb_ranges =
+                    sharded::delta_ranges(&idb_refs, &st.delta_lo, &splan.idb_keys, w_count);
+                let edb_ranges =
+                    sharded::delta_ranges(&edb_stores, &st.edb_delta_lo, &splan.edb_keys, w_count);
+                let mut results: Vec<(WorkerBuf, sharded::RoutedDelta)> =
+                    par_workers(w_count, |w| {
+                        let ctx = JoinCtx {
+                            structure: template,
+                            universe,
+                            edb: &edb_stores,
+                            edb_idx: &edb_idx,
+                            idb: &idb_refs,
+                            idb_idx: &idb_idx,
+                            blooms: None,
+                            prev_len: &prev_len,
+                            delta_lo: &st.delta_lo,
+                            edb_delta_lo: Some(&st.edb_delta_lo),
+                            idb_delta_sub: Some(&idb_ranges[w]),
+                            edb_delta_sub: Some(&edb_ranges[w]),
+                            batched: !textual,
+                            gov,
+                        };
+                        let mut buf = WorkerBuf::new_counting(&compiled.idb_arities);
+                        for (ri, rule) in live_rules.iter().enumerate() {
+                            if rule.atoms.is_empty() && ri % w_count != w {
+                                continue;
+                            }
+                            if let Err(reason) = evaluate_rule(rule, &ctx, &mut buf) {
+                                buf.tripped = Some(reason);
+                                break;
+                            }
+                        }
+                        // Routing runs inside the worker, before the stage
+                        // barrier; the scratch arena already deduplicated
+                        // this worker's derivations into per-tuple counts.
+                        let routed = sharded::route_worker(&buf, &splan.idb_keys, w_count);
+                        (buf, routed)
+                    });
+                for (buf, _) in &mut results {
+                    if buf.tripped.is_none() && buf.pending_steps > 0 {
+                        buf.tripped = gov.step(buf.pending_steps).err();
+                        buf.pending_steps = 0;
+                    }
+                }
+                if let Some(reason) = results.iter().find_map(|(b, _)| b.tripped) {
+                    return Err(reason);
+                }
+                let mut routed = Vec::with_capacity(w_count);
+                for (buf, r) in results {
+                    st.stats.join_probes += buf.probes;
+                    st.stats.magic_probes += buf.magic_probes;
+                    st.stats.block_probes += buf.block_probes;
+                    st.stats.gallop_steps += buf.gallop_steps;
+                    st.stats.wcoj_rules += buf.wcoj_rules;
+                    st.stats.duplicate_derivations += buf.dups;
+                    routed.push(r);
+                }
+                // Owner-ordered merge: the committed delta comes out
+                // owner-contiguous, so the next stage's `delta_ranges`
+                // scan recovers each worker's sub-range for free.
+                let mut dups = 0u64;
+                sharded::merge_counting(
+                    idb,
+                    routed,
+                    w_count,
+                    &mut new_count,
+                    &mut dups,
+                    &mut st.exchanged,
+                );
+                st.stats.duplicate_derivations += dups;
+            } else {
                 let idb_refs: Vec<&TupleStore> = idb.iter().map(|m| m.store()).collect();
                 let ctx = JoinCtx {
                     structure: template,
@@ -816,6 +939,8 @@ impl IncrementalEngine {
                     prev_len: &prev_len,
                     delta_lo: &st.delta_lo,
                     edb_delta_lo: Some(&st.edb_delta_lo),
+                    idb_delta_sub: None,
+                    edb_delta_sub: None,
                     batched: !textual,
                     gov,
                 };

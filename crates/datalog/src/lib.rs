@@ -45,6 +45,7 @@ pub mod parser;
 pub mod planner;
 pub mod program;
 pub mod programs;
+pub mod sharded;
 pub(crate) mod wcoj;
 
 pub use ast::{IdbId, Literal, Pred, Rule, Term, VarId};
@@ -65,3 +66,4 @@ pub use magic::{BindingPattern, MagicProgram};
 pub use parser::{parse_program, parse_program_strict, ParseError};
 pub use planner::SccInfo;
 pub use program::{Program, ProgramError};
+pub use sharded::ShardStats;

@@ -39,6 +39,7 @@ pub mod par;
 pub mod persist;
 pub mod plan;
 pub mod rng;
+pub mod shard;
 pub mod store;
 pub mod structure;
 pub mod vocabulary;
@@ -55,9 +56,10 @@ pub use plan::{
     QueryPlan, StructureId, StructureRegistry,
 };
 pub use rng::SplitMix64;
+pub use shard::{shard_of, DeltaExchange, ShardKey, ShardedStore};
 pub use store::{
-    gallop, gallop_intersect, tuple_hash, CardStats, EvalStats, IdRange, LimitExceeded, Limits,
-    PosIndex, StoreView, TupleBloom, TupleId, TupleStore,
+    gallop, gallop_intersect, gallop_scalar, tuple_hash, CardStats, EvalStats, IdRange,
+    LimitExceeded, Limits, PosIndex, StoreView, TupleBloom, TupleId, TupleStore,
 };
 pub use structure::{Element, Relation, Structure, Tuple};
 pub use vocabulary::{ConstId, RelId, Vocabulary};

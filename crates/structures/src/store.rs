@@ -199,6 +199,43 @@ impl TupleStore {
         }
     }
 
+    /// Interns every arity-strided tuple in `block` (a flat
+    /// `tuples × arity` slice) in order, returning how many were fresh.
+    /// Identical per-tuple semantics to [`intern`](Self::intern) — ids are
+    /// assigned in block order, duplicates are detected the same way — but
+    /// one table-capacity check and one arena reservation cover the whole
+    /// block, so batched emitters pay the growth bookkeeping once per
+    /// block instead of once per tuple.
+    ///
+    /// # Panics
+    /// Panics if the store is nullary or `block.len()` is not a multiple
+    /// of the arity.
+    pub fn extend_block(&mut self, block: &[Element]) -> usize {
+        assert!(self.arity > 0, "extend_block on a nullary store");
+        assert_eq!(
+            block.len() % self.arity,
+            0,
+            "block length/arity misalignment"
+        );
+        let tuples = block.len() / self.arity;
+        // Grow once for the worst case (every tuple fresh): the per-call
+        // check inside `intern` then never fires for this block.
+        let needed = ((self.len as usize + tuples + 1) * 4 / 3 + 1)
+            .next_power_of_two()
+            .max(16);
+        if self.table.len() < needed {
+            self.grow_table(needed);
+        }
+        self.data.reserve(block.len());
+        let mut fresh = 0;
+        for tuple in block.chunks_exact(self.arity) {
+            if self.intern(tuple).1 {
+                fresh += 1;
+            }
+        }
+        fresh
+    }
+
     /// Removes tuple `id`, moving the arena's last tuple into its slot
     /// (ids stay dense; the last tuple is renumbered to `id`).
     ///
@@ -416,9 +453,10 @@ impl ElementSet {
     }
 }
 
-/// Splitmix64 finalizer, used by [`ElementSet`] and [`TupleBloom`].
+/// Splitmix64 finalizer, used by [`ElementSet`], [`TupleBloom`], and the
+/// shard-routing hash (`crate::shard`).
 #[inline]
-fn mix64(mut h: u64) -> u64 {
+pub(crate) fn mix64(mut h: u64) -> u64 {
     h = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
     h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -644,6 +682,14 @@ impl PosIndex {
 /// interleave densely, logarithmic skips when one list is much sparser.
 /// Each comparison is added to `steps` so batched kernels can report the
 /// exact work done (see `EvalStats::gallop_steps`).
+///
+/// The exponential phase is unrolled 4-wide: each round issues up to four
+/// successive stride probes (`size`, `2·size`, `4·size`, `8·size` from the
+/// current cursor) before looping back, so short gallops — the common case
+/// in densely interleaving intersections — resolve within one
+/// branch-predictable round. The probe *sequence*, and therefore the
+/// counted steps, is identical to the scalar doubling loop
+/// (differential-tested against [`gallop_scalar`]).
 #[inline]
 pub fn gallop(list: &[u32], target: u32, steps: &mut u64) -> usize {
     let n = list.len();
@@ -651,7 +697,46 @@ pub fn gallop(list: &[u32], target: u32, steps: &mut u64) -> usize {
         *steps += 1;
         return 0;
     }
-    // Exponential phase: invariant `list[lo] < target`.
+    // Exponential phase, 4-wide unrolled: invariant `list[lo] < target`.
+    let mut taken = 1u64;
+    let mut lo = 0usize;
+    let mut size = 1usize;
+    'expo: loop {
+        for _ in 0..4 {
+            if lo + size < n && list[lo + size] < target {
+                taken += 1;
+                lo += size;
+                size <<= 1;
+            } else {
+                break 'expo;
+            }
+        }
+    }
+    // Binary phase over `(lo, hi]` with `list[lo] < target` and either
+    // `hi == n` or `list[hi] >= target`.
+    let mut hi = (lo + size).min(n);
+    while hi - lo > 1 {
+        taken += 1;
+        let mid = lo + (hi - lo) / 2;
+        if list[mid] < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    *steps += taken;
+    hi
+}
+
+/// The scalar doubling gallop that [`gallop`] unrolls: kept as the
+/// reference implementation the hot path is differential-tested against
+/// (identical results *and* identical step counts on random inputs).
+pub fn gallop_scalar(list: &[u32], target: u32, steps: &mut u64) -> usize {
+    let n = list.len();
+    if n == 0 || list[0] >= target {
+        *steps += 1;
+        return 0;
+    }
     let mut taken = 1u64;
     let mut lo = 0usize;
     let mut size = 1usize;
@@ -660,8 +745,6 @@ pub fn gallop(list: &[u32], target: u32, steps: &mut u64) -> usize {
         lo += size;
         size <<= 1;
     }
-    // Binary phase over `(lo, hi]` with `list[lo] < target` and either
-    // `hi == n` or `list[hi] >= target`.
     let mut hi = (lo + size).min(n);
     while hi - lo > 1 {
         taken += 1;
@@ -1096,6 +1179,58 @@ mod tests {
         assert_eq!(gallop(&[9], 7, &mut steps), 0);
         assert_eq!(gallop(&[9], 9, &mut steps), 0);
         assert_eq!(gallop(&[9], 10, &mut steps), 1);
+    }
+
+    #[test]
+    fn gallop_unrolled_matches_scalar_differential() {
+        use crate::rng::SplitMix64;
+        for seed in 0..8u64 {
+            let mut rng = SplitMix64::seed_from_u64(0x0BAD_C0DE + seed);
+            for _ in 0..500 {
+                let n = (rng.next_u64() % 256) as usize;
+                let mut list: Vec<u32> = (0..n).map(|_| (rng.next_u64() % 1024) as u32).collect();
+                list.sort_unstable();
+                list.dedup();
+                let target = (rng.next_u64() % 1100) as u32;
+                let (mut unrolled_steps, mut scalar_steps) = (0u64, 0u64);
+                let got = gallop(&list, target, &mut unrolled_steps);
+                let want = gallop_scalar(&list, target, &mut scalar_steps);
+                assert_eq!(got, want, "result diverged on {list:?} / {target}");
+                assert_eq!(
+                    unrolled_steps, scalar_steps,
+                    "step count diverged on {list:?} / {target}"
+                );
+                assert_eq!(got, list.partition_point(|&x| x < target));
+            }
+        }
+    }
+
+    #[test]
+    fn extend_block_matches_per_tuple_intern() {
+        use crate::rng::SplitMix64;
+        let mut rng = SplitMix64::seed_from_u64(0x1DEA);
+        for arity in [1usize, 2, 3] {
+            let mut blocked = TupleStore::new(arity);
+            let mut scalar = TupleStore::new(arity);
+            for _ in 0..20 {
+                let tuples = (rng.next_u64() % 100) as usize;
+                let block: Vec<Element> = (0..tuples * arity)
+                    .map(|_| (rng.next_u64() % 12) as Element)
+                    .collect();
+                let mut want_fresh = 0usize;
+                for t in block.chunks_exact(arity) {
+                    if scalar.intern(t).1 {
+                        want_fresh += 1;
+                    }
+                }
+                assert_eq!(blocked.extend_block(&block), want_fresh);
+                assert_eq!(blocked.len(), scalar.len());
+            }
+            // Identical id assignment, not just set equality.
+            for id in 0..blocked.len() as u32 {
+                assert_eq!(blocked.get(TupleId(id)), scalar.get(TupleId(id)));
+            }
+        }
     }
 
     /// Reference intersection via hashing, for differential testing.

@@ -121,9 +121,9 @@ fn datalog_unlimited_governor_matches_plain_on_every_program() {
     for (pi, program) in all_programs().iter().enumerate() {
         let s = fixture_for(program, 4_100 + pi as u64);
         let eval = Evaluator::new(program);
-        let plain = eval.run(&s, EvalOptions::default());
+        let plain = eval.run(&s, chaos_options());
         let governed = eval
-            .try_run_governed(&s, EvalOptions::default(), &Governor::unlimited())
+            .try_run_governed(&s, chaos_options(), &Governor::unlimited())
             .unwrap_or_else(|e| panic!("program {pi}: unlimited interrupt: {e}"));
         assert_results_identical(&plain, &governed, &format!("program {pi}"));
     }
@@ -202,6 +202,22 @@ fn chaos_seed() -> u64 {
         .unwrap_or(0x4b56_1990)
 }
 
+/// Worker-count axis for the sharded evaluator. CI re-runs the Datalog
+/// chaos points with `KV_CHAOS_SHARDS` set (W ∈ {1, 4}) so interrupts
+/// and resumes are driven through the hash-partition exchange seams
+/// too; unset keeps the single-store path. Stage identity is
+/// shard-count-free, so every assertion below holds unchanged.
+fn chaos_shards() -> Option<usize> {
+    std::env::var("KV_CHAOS_SHARDS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+}
+
+/// Default options with the chaos shards axis applied.
+fn chaos_options() -> EvalOptions {
+    EvalOptions::default().with_shards(chaos_shards())
+}
+
 #[test]
 fn chaos_datalog_interrupt_resume_equals_run() {
     let programs = all_programs();
@@ -209,9 +225,9 @@ fn chaos_datalog_interrupt_resume_equals_run() {
         let program = &programs[index % programs.len()];
         let s = fixture_for(program, 4_100 + (index % programs.len()) as u64);
         let eval = Evaluator::new(program);
-        let baseline = eval.run(&s, EvalOptions::default());
+        let baseline = eval.run(&s, chaos_options());
         let (label, gov) = chaos::injection(chaos_seed(), index, 60);
-        match eval.try_run_governed(&s, EvalOptions::default(), &gov) {
+        match eval.try_run_governed(&s, chaos_options(), &gov) {
             Ok(done) => assert_results_identical(&baseline, &done, &label),
             Err(interrupted) => {
                 let cp_stats = interrupted.checkpoint.eval_stats();
@@ -222,7 +238,7 @@ fn chaos_datalog_interrupt_resume_equals_run() {
                 let resumed = eval
                     .resume(
                         &s,
-                        EvalOptions::default(),
+                        chaos_options(),
                         &Governor::unlimited(),
                         interrupted.checkpoint,
                     )
@@ -542,7 +558,7 @@ fn chaos_planned_parallel_interrupt_resume_matches_stages() {
     // differ between runs; the guarantee is stage identity and the same
     // fixpoint.
     let programs = all_programs();
-    let opts = EvalOptions::default().with_planner(PlannerMode::CostBased);
+    let opts = chaos_options().with_planner(PlannerMode::CostBased);
     for index in 0..8usize {
         let program = &programs[index % programs.len()];
         let s = fixture_for(program, 4_100 + (index % programs.len()) as u64);
@@ -658,10 +674,10 @@ fn chaos_seeded_magic_interrupt_resume_equals_run() {
         let compiled = magic.compile();
         let seeds = vec![(magic.magic_goal(), magic.seed(query))];
         let baseline = compiled
-            .try_run_seeded(&s, EvalOptions::default(), &seeds)
+            .try_run_seeded(&s, chaos_options(), &seeds)
             .expect("no limits configured");
         let (label, gov) = chaos::injection(chaos_seed(), 1_000 + index, 60);
-        let run = match compiled.try_run_governed_seeded(&s, EvalOptions::default(), &gov, &seeds) {
+        let run = match compiled.try_run_governed_seeded(&s, chaos_options(), &gov, &seeds) {
             Ok(done) => done,
             Err(interrupted) => {
                 let cp_stats = interrupted.checkpoint.eval_stats();
@@ -672,7 +688,7 @@ fn chaos_seeded_magic_interrupt_resume_equals_run() {
                 compiled
                     .resume(
                         &s,
-                        EvalOptions::default(),
+                        chaos_options(),
                         &Governor::unlimited(),
                         interrupted.checkpoint,
                     )
@@ -717,9 +733,9 @@ fn chaos_incremental_maintenance_interrupt_resume_equals_batch() {
 
     let programs = all_programs();
     let option_matrix = [
-        EvalOptions::default(),
-        EvalOptions::default().with_planner(PlannerMode::CostBased),
-        EvalOptions::default()
+        chaos_options(),
+        chaos_options().with_planner(PlannerMode::CostBased),
+        chaos_options()
             .with_planner(PlannerMode::CostBased)
             .with_lowering(JoinLowering::Generic),
     ];
