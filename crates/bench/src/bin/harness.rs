@@ -19,9 +19,48 @@
 //! fails on >10% regressions of `join_probes` /
 //! `duplicate_derivations` in either planner mode. Exits nonzero on any
 //! violation (the CI bench-smoke gate).
+//!
+//! `harness --service` runs the full multi-tenant service load
+//! generator (open-loop clients over snapshot-isolated reads with a
+//! concurrent churn writer) and writes `BENCH_service.json`;
+//! `harness --service-smoke` runs the small fixed-seed configuration and
+//! additionally enforces the machine-independent gates — popular-tenant
+//! cache hit rate above 50% and deterministic rejection of the
+//! over-budget tenant — exiting nonzero on violation (the CI
+//! bench-service gate).
 
 fn main() {
     let start = std::time::Instant::now();
+    if std::env::args().any(|a| a == "--service") {
+        // Full-size multi-tenant service load run: the committed
+        // BENCH_service.json (open-loop clients, concurrent writer).
+        let report = kv_bench::service::service_report();
+        match std::fs::write("BENCH_service.json", &report) {
+            Ok(()) => println!("wrote BENCH_service.json"),
+            Err(e) => eprintln!("failed to write BENCH_service.json: {e}"),
+        }
+        println!("total harness time: {:.2?}", start.elapsed());
+        return;
+    }
+    if std::env::args().any(|a| a == "--service-smoke") {
+        // CI gate: small fixed-seed run; machine-independent invariants
+        // (repeat-query hit rate floor, deterministic starved-tenant
+        // rejection) must hold or the job fails.
+        let (report, violations) = kv_bench::service::service_smoke();
+        match std::fs::write("BENCH_service.json", &report) {
+            Ok(()) => println!("wrote BENCH_service.json (smoke config)"),
+            Err(e) => eprintln!("failed to write BENCH_service.json: {e}"),
+        }
+        if violations.is_empty() {
+            println!("service smoke: cache and admission gates hold ✓");
+            println!("total harness time: {:.2?}", start.elapsed());
+            return;
+        }
+        for v in &violations {
+            eprintln!("service smoke violation: {v}");
+        }
+        std::process::exit(1);
+    }
     if std::env::args().any(|a| a == "--smoke") {
         let mut violations = kv_bench::report::smoke_check();
         // Gate against the committed report *before* overwriting it.

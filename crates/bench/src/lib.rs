@@ -13,6 +13,7 @@
 pub mod experiments;
 pub mod microbench;
 pub mod report;
+pub mod service;
 pub mod table;
 
 pub use experiments::all_experiments;

@@ -77,26 +77,26 @@ fn overhead_pct(plain: Duration, governed: Duration) -> f64 {
 }
 
 /// A flat JSON object: keys paired with pre-rendered JSON values.
-struct Obj(Vec<(String, String)>);
+pub(crate) struct Obj(pub(crate) Vec<(String, String)>);
 
 impl Obj {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Self(Vec::new())
     }
-    fn str(mut self, k: &str, v: &str) -> Self {
+    pub(crate) fn str(mut self, k: &str, v: &str) -> Self {
         self.0.push((k.into(), format!("\"{v}\"")));
         self
     }
-    fn num(mut self, k: &str, v: impl std::fmt::Display) -> Self {
+    pub(crate) fn num(mut self, k: &str, v: impl std::fmt::Display) -> Self {
         self.0.push((k.into(), v.to_string()));
         self
     }
     /// A pre-rendered JSON value (nested array/object), inserted verbatim.
-    fn raw(mut self, k: &str, v: String) -> Self {
+    pub(crate) fn raw(mut self, k: &str, v: String) -> Self {
         self.0.push((k.into(), v));
         self
     }
-    fn render(&self) -> String {
+    pub(crate) fn render(&self) -> String {
         let fields: Vec<String> = self
             .0
             .iter()
@@ -108,7 +108,7 @@ impl Obj {
 
 /// The current git revision (short hash, `-dirty` suffixed when the work
 /// tree has modifications), or `"unknown"` outside a git checkout.
-fn git_revision() -> String {
+pub(crate) fn git_revision() -> String {
     let out = |args: &[&str]| -> Option<String> {
         let out = std::process::Command::new("git").args(args).output().ok()?;
         out.status
@@ -131,7 +131,7 @@ fn git_revision() -> String {
 /// The current time as `YYYY-MM-DDTHH:MM:SSZ`, derived from the system
 /// clock with the standard civil-from-days conversion (no date crate —
 /// the workspace builds offline with zero external dependencies).
-fn utc_timestamp() -> String {
+pub(crate) fn utc_timestamp() -> String {
     let secs = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
@@ -157,13 +157,13 @@ fn utc_timestamp() -> String {
 /// column. Sharded wall times cannot beat this bound no matter how well
 /// the partition balances; the machine-independent `work_balance_x`
 /// column is the signal to read on small hosts.
-fn host_cpus() -> usize {
+pub(crate) fn host_cpus() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
 }
 
-fn render_report(cases: &[Obj]) -> String {
+pub(crate) fn render_report(cases: &[Obj]) -> String {
     let rows: Vec<String> = cases
         .iter()
         .map(|c| format!("    {}", c.render()))
@@ -178,7 +178,7 @@ fn render_report(cases: &[Obj]) -> String {
     )
 }
 
-fn ms(d: std::time::Duration) -> f64 {
+pub(crate) fn ms(d: std::time::Duration) -> f64 {
     d.as_secs_f64() * 1e3
 }
 
@@ -345,7 +345,7 @@ pub fn pebble_report() -> String {
 
 /// The churn set of a mutation workload: the first `k` tuples of the
 /// structure's first relation (the EDB edges every case mutates).
-fn churn_set(s: &Structure, k: usize) -> Vec<Fact> {
+pub(crate) fn churn_set(s: &Structure, k: usize) -> Vec<Fact> {
     let rel = match s.vocabulary().relations().next() {
         Some(r) => r,
         None => return Vec::new(),
@@ -652,7 +652,7 @@ pub fn datalog_report() -> String {
 /// one of them. Edges are sampled independently within each block with
 /// probability `p`; there are no cross-block edges, so a mutation's blast
 /// radius is bounded by its own component's closure.
-fn component_graph(blocks: usize, k: usize, p: f64, seed: u64) -> Structure {
+pub(crate) fn component_graph(blocks: usize, k: usize, p: f64, seed: u64) -> Structure {
     let mut g = Digraph::new(blocks * k);
     let mut rng = SplitMix64::seed_from_u64(seed);
     for b in 0..blocks {

@@ -505,6 +505,61 @@ impl ProgramQuery {
         Ok(summary)
     }
 
+    /// Governed evaluation at a caller-supplied goal tuple, bypassing the
+    /// per-query answer cache entirely — the serving layer's read path.
+    ///
+    /// A query service runs **many concurrent readers** against immutable
+    /// snapshot structures and memoizes in its own *shared*, epoch-keyed
+    /// cache (O(1) lookups — no per-request structure fingerprinting), so
+    /// this path must neither consult nor populate the per-query cache.
+    /// The demand (magic-set) route is taken when active: the rewrite is
+    /// re-seeded with `tuple`, so one compiled query serves every goal
+    /// tuple of its binding pattern. Requires `&self` only — the compiled
+    /// program and rewrite are immutable after construction, so any number
+    /// of reader threads evaluate concurrently with no shared lock.
+    ///
+    /// # Panics
+    /// Panics if `tuple`'s arity differs from the goal's.
+    pub fn try_eval_at_uncached(
+        &self,
+        structure: &Structure,
+        tuple: &[kv_structures::Element],
+        gov: &Governor,
+    ) -> Result<bool, Interrupted> {
+        assert_eq!(
+            tuple.len(),
+            self.program.idb_arity(self.program.goal()),
+            "tuple arity must match the goal"
+        );
+        match self.demand.as_ref() {
+            Some(path) => {
+                let seeds = [(path.magic.magic_goal(), path.magic.seed(tuple))];
+                let result = path
+                    .compiled
+                    .try_run_governed_seeded(structure, self.eval_options(), gov, &seeds)
+                    .map_err(|e| e.reason)?;
+                Ok(result.idb[path.magic.goal().0].contains(tuple))
+            }
+            None => {
+                let result = self
+                    .compiled
+                    .try_run_governed(structure, self.eval_options(), gov)
+                    .map_err(|e| e.reason)?;
+                Ok(result.idb[self.compiled.goal().0].contains(tuple))
+            }
+        }
+    }
+
+    /// Governed, cache-bypassing evaluation at the query's own goal tuple
+    /// (see [`try_eval_at_uncached`](Self::try_eval_at_uncached)).
+    pub fn try_eval_uncached(
+        &self,
+        structure: &Structure,
+        gov: &Governor,
+    ) -> Result<bool, Interrupted> {
+        self.try_eval_at_uncached(structure, &self.goal_tuple, gov)
+    }
+
     /// After a committed batch: stale-out every cached answer and patch in
     /// the one just maintained.
     fn patch_cache(&self, engine: &IncrementalEngine) {
@@ -526,12 +581,20 @@ impl BooleanQuery for ProgramQuery {
     /// Consults the answer cache first; on a miss, evaluates through the
     /// demand path when active (full saturation otherwise) and memoizes
     /// the answer.
+    ///
+    /// The epoch observed at lookup time travels with the computation:
+    /// if a maintenance batch commits while the answer is being evaluated
+    /// (the cache lock is *not* held across evaluation), the insert is
+    /// rejected rather than stamping a pre-batch answer at the post-batch
+    /// epoch.
     fn eval(&self, structure: &Structure) -> bool {
-        if let Some(answer) = self.lock_cache().get(structure, &self.goal_tuple) {
+        let (cached, observed_epoch) = self.lock_cache().get_keyed(structure, &self.goal_tuple);
+        if let Some(answer) = cached {
             return answer;
         }
         let holds = self.eval_with_stats(structure).0;
-        self.lock_cache().insert(structure, &self.goal_tuple, holds);
+        self.lock_cache()
+            .insert_if_epoch(structure, &self.goal_tuple, holds, observed_epoch);
         holds
     }
 
@@ -547,27 +610,13 @@ impl BooleanQuery for ProgramQuery {
 
     fn try_eval(&self, structure: &Structure, gov: &Governor) -> Result<bool, Interrupted> {
         gov.check()?;
-        if let Some(answer) = self.lock_cache().get(structure, &self.goal_tuple) {
+        let (cached, observed_epoch) = self.lock_cache().get_keyed(structure, &self.goal_tuple);
+        if let Some(answer) = cached {
             return Ok(answer);
         }
-        let holds = match self.demand.as_ref() {
-            Some(path) => {
-                let seeds = [(path.magic.magic_goal(), path.magic.seed(&self.goal_tuple))];
-                let result = path
-                    .compiled
-                    .try_run_governed_seeded(structure, self.eval_options(), gov, &seeds)
-                    .map_err(|e| e.reason)?;
-                result.idb[path.magic.goal().0].contains(&self.goal_tuple)
-            }
-            None => {
-                let result = self
-                    .compiled
-                    .try_run_governed(structure, self.eval_options(), gov)
-                    .map_err(|e| e.reason)?;
-                result.idb[self.compiled.goal().0].contains(&self.goal_tuple)
-            }
-        };
-        self.lock_cache().insert(structure, &self.goal_tuple, holds);
+        let holds = self.try_eval_uncached(structure, gov)?;
+        self.lock_cache()
+            .insert_if_epoch(structure, &self.goal_tuple, holds, observed_epoch);
         Ok(holds)
     }
 }
@@ -811,6 +860,58 @@ mod tests {
         // The answer cache was patched from recovered state.
         assert!(q.eval(&directed_path(4)));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn racing_insert_is_rejected_after_batch_commit() {
+        use kv_structures::RelId;
+        // Regression for the epoch check-and-insert race: a reader that
+        // started evaluating before a batch committed must not publish
+        // its answer at the post-batch epoch. We reproduce the interleave
+        // deterministically: capture the lookup epoch (the reader's
+        // snapshot point), let a batch commit, then attempt the insert
+        // exactly as `eval` would.
+        let q = ProgramQuery::at_tuple("0 reaches 3", transitive_closure(), vec![0, 3]);
+        q.enable_incremental(&directed_path(4));
+        // Reader side: miss + epoch capture on a structure nobody has
+        // patched, then "evaluation" happens outside the lock.
+        let s = directed_path(5);
+        let (cached, observed_epoch) = q.lock_cache().get_keyed(&s, &[0, 3]);
+        assert_eq!(cached, None);
+        // The answer computed against the pre-batch store.
+        let stale_answer = true;
+        // Writer side: a batch commits mid-evaluation and bumps the epoch.
+        q.apply_batch(&[], &[(RelId(0), vec![1, 2])]);
+        // Reader side resumes: the racy insert must be rejected...
+        let stored = q
+            .lock_cache()
+            .insert_if_epoch(&s, &[0, 3], stale_answer, observed_epoch);
+        assert!(!stored, "insert raced a committed batch");
+        // ...so a fresh eval recomputes rather than serving the answer
+        // the interrupted reader computed for the pre-batch world.
+        let misses = q.cache_stats().misses;
+        assert!(q.eval(&s));
+        assert_eq!(q.cache_stats().misses, misses + 1, "recomputed, not served");
+    }
+
+    #[test]
+    fn uncached_eval_serves_any_goal_tuple() {
+        let q = ProgramQuery::at_tuple("0 reaches 3", transitive_closure(), vec![0, 3]);
+        let s = directed_path(5);
+        let gov = Governor::unlimited();
+        // One compiled query answers every tuple of its binding pattern,
+        // without touching the per-query cache.
+        assert_eq!(q.try_eval_at_uncached(&s, &[0, 4], &gov), Ok(true));
+        assert_eq!(q.try_eval_at_uncached(&s, &[4, 0], &gov), Ok(false));
+        assert_eq!(q.try_eval_uncached(&s, &gov), Ok(true));
+        assert_eq!(q.cache_stats().entries, 0, "cache stays untouched");
+        // Governance still applies.
+        let cancelled = Governor::unlimited();
+        cancelled.cancel_token().cancel();
+        assert_eq!(
+            q.try_eval_uncached(&s, &cancelled),
+            Err(Interrupted::Cancelled)
+        );
     }
 
     #[test]

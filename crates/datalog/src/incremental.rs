@@ -464,7 +464,8 @@ impl IncrementalEngine {
         );
         self.validate(inserts);
         self.validate(retracts);
-        let (inserts, retracts, coalesced) = self.coalesce(inserts, retracts);
+        let (mut inserts, mut retracts, coalesced) = self.coalesce(inserts, retracts);
+        Self::canonicalize(&mut inserts, &mut retracts);
         self.pending = Some(PendingBatch {
             inserts,
             retracts,
@@ -589,6 +590,21 @@ impl IncrementalEngine {
         // retract, so the unit count must equal the dropped retracts.
         debug_assert_eq!(coalesced, (retracts.len() - kept_retracts.len()) as u64);
         (kept_inserts, kept_retracts, coalesced)
+    }
+
+    /// Canonicalizes a coalesced batch for write-heavy streams: each list
+    /// is stable-sorted by predicate, so every predicate's retracts land
+    /// contiguously ahead of the engine's single retract-then-insert pass
+    /// and its DRed overdeletion runs once per batch over one contiguous
+    /// dying-id range per relation instead of revisiting interleaved
+    /// groups. A batch is a multiset — reordering within it cannot change
+    /// the committed EDB, so `reordered ≡ unreordered` holds by the same
+    /// argument as coalescing (pinned in `tests/incremental.rs`). The
+    /// stable sort keeps arrival order within a predicate, which keeps
+    /// resumed batches and WAL replays byte-identical.
+    fn canonicalize(inserts: &mut [Fact], retracts: &mut [Fact]) {
+        retracts.sort_by_key(|(rel, _)| rel.0);
+        inserts.sort_by_key(|(rel, _)| rel.0);
     }
 
     /// Runs the pending batch to completion or interrupt.

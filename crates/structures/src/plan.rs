@@ -257,7 +257,8 @@ impl StructureRegistry {
     }
 }
 
-/// Hit/miss counters of a [`QueryCache`].
+/// Hit/miss/eviction counters of a [`QueryCache`] (or any cache built on
+/// [`ClockCache`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups answered from the cache.
@@ -266,14 +267,223 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries currently stored.
     pub entries: u64,
+    /// Entries dropped by capacity pressure (clock eviction). Stale
+    /// entries aged out by an epoch bump are not counted here.
+    pub evictions: u64,
+}
+
+/// One resident entry of a [`ClockCache`].
+#[derive(Debug)]
+struct ClockSlot<K> {
+    key: K,
+    answer: bool,
+    /// Epoch the answer was computed against.
+    stamp: u64,
+    /// Second-chance bit: set on every hit, cleared by the sweeping hand.
+    referenced: bool,
+}
+
+/// A capacity-bounded boolean-answer cache with **clock** (second-chance)
+/// eviction over **epoch-stamped** entries, generic in the key.
+///
+/// This is the shared engine under both the structure-fingerprint-keyed
+/// [`QueryCache`] and the serving layer's epoch-keyed result cache:
+///
+/// - Every entry carries the epoch it was computed at. A
+///   [`bump_epoch`](Self::bump_epoch) (the backing store mutated) makes
+///   older entries stale; a stale entry can never be served — the check
+///   happens inside [`get`](Self::get), before any answer is returned —
+///   and is dropped lazily on lookup or swept by the clock hand.
+/// - [`insert_if_epoch`](Self::insert_if_epoch) is the **race-free**
+///   check-and-insert: the caller captures the epoch when it takes its
+///   snapshot (at [`get`](Self::get) time, under the same lock) and the
+///   insert is rejected if a writer bumped the epoch while the answer was
+///   being computed. Without the check, a slow reader could publish an
+///   answer computed against the pre-batch store stamped as post-batch.
+/// - At capacity, insertion evicts by the classic clock sweep: the hand
+///   clears second-chance bits until it lands on an unreferenced slot
+///   (stale slots are immediate victims regardless of their bit).
+#[derive(Debug)]
+pub struct ClockCache<K> {
+    index: HashMap<K, usize>,
+    slots: Vec<ClockSlot<K>>,
+    hand: usize,
+    capacity: Option<usize>,
+    epoch: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl<K> Default for ClockCache<K> {
+    fn default() -> Self {
+        Self {
+            index: HashMap::new(),
+            slots: Vec::new(),
+            hand: 0,
+            capacity: None,
+            epoch: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+}
+
+impl<K: std::hash::Hash + Eq + Clone> ClockCache<K> {
+    /// An unbounded cache (entries only leave by going stale).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A cache that holds at most `capacity` entries, evicting by clock
+    /// sweep when full. A capacity of zero caches nothing.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            capacity: Some(capacity),
+            ..Self::default()
+        }
+    }
+
+    /// The configured capacity (`None` = unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// The current store epoch answers are stamped with.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Marks every currently stored answer stale (the backing store
+    /// mutated) and returns the new epoch. Stale entries are evicted
+    /// lazily on lookup or by the clock sweep rather than eagerly
+    /// dropped, so a batch that only touches one key's answers can patch
+    /// them back in at the new epoch and leave the rest to age out.
+    pub fn bump_epoch(&mut self) -> u64 {
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// Drops the slot at `i`, keeping the ring dense (swap-remove) and the
+    /// index and hand consistent.
+    fn drop_slot(&mut self, i: usize) {
+        let slot = self.slots.swap_remove(i);
+        self.index.remove(&slot.key);
+        if i < self.slots.len() {
+            // The former tail moved into `i`: repoint its index entry.
+            *self
+                .index
+                .get_mut(&self.slots[i].key)
+                .unwrap_or_else(|| unreachable!("moved slot key is indexed")) = i;
+        }
+        if self.hand >= self.slots.len() {
+            self.hand = 0;
+        }
+    }
+
+    /// Looks up the memoized answer for `key`, counting a hit or a miss.
+    /// An entry stamped before the current epoch is stale: it is evicted
+    /// and the lookup counts as a miss.
+    pub fn get(&mut self, key: &K) -> Option<bool> {
+        match self.index.get(key).copied() {
+            Some(i) if self.slots[i].stamp == self.epoch => {
+                self.slots[i].referenced = true;
+                self.hits += 1;
+                Some(self.slots[i].answer)
+            }
+            Some(i) => {
+                self.drop_slot(i);
+                self.misses += 1;
+                None
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Records `answer` for `key`, stamped with the current epoch,
+    /// evicting by clock sweep if the cache is at capacity.
+    pub fn insert(&mut self, key: K, answer: bool) {
+        if self.capacity == Some(0) {
+            return;
+        }
+        if let Some(&i) = self.index.get(&key) {
+            let slot = &mut self.slots[i];
+            slot.answer = answer;
+            slot.stamp = self.epoch;
+            slot.referenced = true;
+            return;
+        }
+        if let Some(cap) = self.capacity {
+            while self.slots.len() >= cap {
+                self.evict_one();
+            }
+        }
+        self.index.insert(key.clone(), self.slots.len());
+        self.slots.push(ClockSlot {
+            key,
+            answer,
+            stamp: self.epoch,
+            referenced: false,
+        });
+    }
+
+    /// Race-free check-and-insert: records `answer` only if the cache is
+    /// still at `observed_epoch` — the epoch the caller captured when it
+    /// took the snapshot its answer was computed against. Returns whether
+    /// the entry was stored. A writer that committed a batch (and bumped
+    /// the epoch) between the caller's snapshot and this insert makes the
+    /// answer stale-on-arrival; storing it would stamp a pre-batch answer
+    /// as post-batch, exactly the staleness the epoch discipline exists
+    /// to rule out.
+    pub fn insert_if_epoch(&mut self, key: K, answer: bool, observed_epoch: u64) -> bool {
+        if observed_epoch != self.epoch {
+            return false;
+        }
+        self.insert(key, answer);
+        true
+    }
+
+    /// One clock-sweep eviction. Stale slots are taken on sight;
+    /// fresh referenced slots get their second chance (bit cleared, hand
+    /// moves on). Terminates: after one full lap every bit is clear.
+    fn evict_one(&mut self) {
+        debug_assert!(!self.slots.is_empty(), "evict from a non-empty ring");
+        loop {
+            let slot = &mut self.slots[self.hand];
+            if slot.stamp == self.epoch && slot.referenced {
+                slot.referenced = false;
+                self.hand = (self.hand + 1) % self.slots.len();
+            } else {
+                let victim = self.hand;
+                self.drop_slot(victim);
+                self.evictions += 1;
+                return;
+            }
+        }
+    }
+
+    /// Current hit/miss/entry/eviction counters. `entries` counts stored
+    /// entries including stale ones not yet dropped.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            entries: self.slots.len() as u64,
+            evictions: self.evictions,
+        }
+    }
 }
 
 /// Cache key: interned structure id + boxed query tuple.
 type CacheKey = (StructureId, Box<[Element]>);
 
 /// Memoized boolean query answers keyed by interned structure id + query
-/// tuple. Shared registry + map so one cache serves repeated traffic over
-/// many structures.
+/// tuple. Shared registry + [`ClockCache`] so one cache serves repeated
+/// traffic over many structures.
 ///
 /// Every entry is stamped with the cache **epoch** current at insert time.
 /// Mutating backends (incremental maintenance over a changing EDB) call
@@ -285,75 +495,86 @@ type CacheKey = (StructureId, Box<[Element]>);
 /// their governor checks around the lookup. After a batch the maintaining
 /// backend may re-[`insert`](Self::insert) ("patch") the answers it just
 /// recomputed at the new epoch instead of rebuilding the cache wholesale.
+///
+/// Concurrent readers that compute answers outside the cache lock must use
+/// the [`get_keyed`](Self::get_keyed) / [`insert_if_epoch`](Self::insert_if_epoch)
+/// pair so an insert that raced a writer's epoch bump is rejected instead
+/// of stamping a pre-batch answer at the post-batch epoch.
 #[derive(Debug, Default)]
 pub struct QueryCache {
     registry: StructureRegistry,
-    answers: HashMap<CacheKey, (bool, u64)>,
-    epoch: u64,
-    hits: u64,
-    misses: u64,
+    answers: ClockCache<CacheKey>,
 }
 
 impl QueryCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// An empty cache bounded at `capacity` entries (clock eviction).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            registry: StructureRegistry::new(),
+            answers: ClockCache::with_capacity(capacity),
+        }
+    }
+
     /// The current store epoch answers are stamped with.
     pub fn epoch(&self) -> u64 {
-        self.epoch
+        self.answers.epoch()
     }
 
     /// Marks every currently stored answer stale (the backing store
-    /// mutated) and returns the new epoch. Stale entries are evicted
-    /// lazily on lookup rather than eagerly dropped, so a batch that only
-    /// touches one structure's answers can patch them back in at the new
-    /// epoch and leave the rest to age out.
+    /// mutated) and returns the new epoch; see [`ClockCache::bump_epoch`].
     pub fn bump_epoch(&mut self) -> u64 {
-        self.epoch += 1;
-        self.epoch
+        self.answers.bump_epoch()
     }
 
     /// Looks up the memoized answer for `query` on `s`, counting a hit or
     /// a miss. An entry stamped before the current epoch is stale: it is
     /// evicted and the lookup counts as a miss.
     pub fn get(&mut self, s: &Structure, query: &[Element]) -> Option<bool> {
+        self.get_keyed(s, query).0
+    }
+
+    /// Like [`get`](Self::get), additionally returning the epoch observed
+    /// at lookup time — the token [`insert_if_epoch`](Self::insert_if_epoch)
+    /// validates after the caller has computed the answer outside the
+    /// lock.
+    pub fn get_keyed(&mut self, s: &Structure, query: &[Element]) -> (Option<bool>, u64) {
         let id = self.registry.intern(s);
         let key = (id, Box::from(query));
-        match self.answers.get(&key) {
-            Some(&(ans, stamp)) if stamp == self.epoch => {
-                self.hits += 1;
-                Some(ans)
-            }
-            Some(_) => {
-                self.answers.remove(&key);
-                self.misses += 1;
-                None
-            }
-            None => {
-                self.misses += 1;
-                None
-            }
-        }
+        (self.answers.get(&key), self.answers.epoch())
     }
 
     /// Records the answer for `query` on `s`, stamped with the current
     /// epoch.
     pub fn insert(&mut self, s: &Structure, query: &[Element], answer: bool) {
         let id = self.registry.intern(s);
-        self.answers
-            .insert((id, Box::from(query)), (answer, self.epoch));
+        self.answers.insert((id, Box::from(query)), answer);
     }
 
-    /// Current hit/miss/entry counters. `entries` counts stored entries
-    /// including stale ones not yet evicted.
+    /// Race-free check-and-insert: records the answer only if the epoch
+    /// observed at [`get_keyed`](Self::get_keyed) time is still current
+    /// (no batch committed while the answer was computed). Returns whether
+    /// the entry was stored.
+    pub fn insert_if_epoch(
+        &mut self,
+        s: &Structure,
+        query: &[Element],
+        answer: bool,
+        observed_epoch: u64,
+    ) -> bool {
+        let id = self.registry.intern(s);
+        self.answers
+            .insert_if_epoch((id, Box::from(query)), answer, observed_epoch)
+    }
+
+    /// Current hit/miss/entry/eviction counters. `entries` counts stored
+    /// entries including stale ones not yet evicted.
     pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits,
-            misses: self.misses,
-            entries: self.answers.len() as u64,
-        }
+        self.answers.stats()
     }
 }
 
@@ -439,6 +660,84 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.hits, 2);
         assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn clock_cache_evicts_at_capacity_with_second_chance() {
+        let mut cache: ClockCache<u32> = ClockCache::with_capacity(3);
+        assert_eq!(cache.capacity(), Some(3));
+        cache.insert(1, true);
+        cache.insert(2, false);
+        cache.insert(3, true);
+        // Touch 1 and 3 so they carry second-chance bits; 2 is the victim.
+        assert_eq!(cache.get(&1), Some(true));
+        assert_eq!(cache.get(&3), Some(true));
+        cache.insert(4, true);
+        assert_eq!(cache.stats().entries, 3);
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.get(&2), None, "unreferenced entry was evicted");
+        assert_eq!(cache.get(&1), Some(true));
+        assert_eq!(cache.get(&3), Some(true));
+        assert_eq!(cache.get(&4), Some(true));
+        // Re-inserting an existing key never evicts.
+        cache.insert(4, false);
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.get(&4), Some(false));
+    }
+
+    #[test]
+    fn clock_cache_prefers_stale_victims() {
+        let mut cache: ClockCache<u32> = ClockCache::with_capacity(2);
+        cache.insert(1, true);
+        cache.bump_epoch();
+        cache.insert(2, true);
+        // 1 is stale, 2 fresh: the sweep takes 1 even though the hand
+        // may pass a referenced fresh slot.
+        assert_eq!(cache.get(&2), Some(true));
+        cache.insert(3, true);
+        assert_eq!(cache.get(&1), None);
+        assert_eq!(cache.get(&2), Some(true));
+        assert_eq!(cache.get(&3), Some(true));
+    }
+
+    #[test]
+    fn clock_cache_zero_capacity_stores_nothing() {
+        let mut cache: ClockCache<u32> = ClockCache::with_capacity(0);
+        cache.insert(1, true);
+        assert_eq!(cache.get(&1), None);
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn insert_if_epoch_rejects_racing_writers() {
+        // The regression shape: a reader captures the epoch with its
+        // snapshot, computes outside the lock, and a writer's batch
+        // commits in between. The insert must be rejected — storing it
+        // would stamp a pre-batch answer at the post-batch epoch.
+        let mut cache = QueryCache::new();
+        let s = directed_path(4);
+        let (miss, observed) = cache.get_keyed(&s, &[0, 3]);
+        assert_eq!(miss, None);
+        // Writer commits while the reader evaluates.
+        cache.bump_epoch();
+        assert!(!cache.insert_if_epoch(&s, &[0, 3], true, observed));
+        assert_eq!(cache.get(&s, &[0, 3]), None, "stale answer not served");
+        // Without interference the insert lands.
+        let (_, observed) = cache.get_keyed(&s, &[0, 3]);
+        assert!(cache.insert_if_epoch(&s, &[0, 3], false, observed));
+        assert_eq!(cache.get(&s, &[0, 3]), Some(false));
+    }
+
+    #[test]
+    fn query_cache_capacity_bounds_entries() {
+        let mut cache = QueryCache::with_capacity(2);
+        let structures: Vec<Structure> = (3..7).map(directed_path).collect();
+        for (i, s) in structures.iter().enumerate() {
+            cache.insert(s, &[0, 1], i % 2 == 0);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 2);
     }
 
     #[test]

@@ -179,3 +179,81 @@ fn drain_and_refill_round_trips() {
         assert_matches_scratch(&engine, program, &format!("program {pi} refilled"));
     }
 }
+
+/// Deterministic in-place Fisher–Yates shuffle.
+fn shuffle<T>(items: &mut [T], rng: &mut SplitMix64) {
+    for i in (1..items.len()).rev() {
+        let j = rng.gen_range(0..(i as u32 + 1)) as usize;
+        items.swap(i, j);
+    }
+}
+
+#[test]
+fn reordered_batches_are_equivalent_to_unreordered() {
+    // The engine canonicalizes every coalesced batch to retracts-before-
+    // inserts, grouped by predicate, so the *presentation order* of a
+    // batch is semantically inert: any permutation of the inserts and any
+    // permutation of the retracts must commit the identical engine state
+    // and the identical summary counters. This is what makes replayed
+    // (WAL) and resumed batches reproducible regardless of how callers
+    // assembled them.
+    for (pi, program) in all_programs().iter().enumerate() {
+        let s = fixture_for(program, 4_300 + pi as u64);
+        let opts = EvalOptions::default();
+        let (mut plain, _) = IncrementalEngine::from_structure(program, &s, opts);
+        let (mut shuffled, _) = IncrementalEngine::from_structure(program, &s, opts);
+        let mut rng = SplitMix64::seed_from_u64(0x0de4 + pi as u64);
+        for batch in 0..3u32 {
+            let (inserts, retracts) = random_batch(&plain, &mut rng);
+            let mut inserts_perm = inserts.clone();
+            let mut retracts_perm = retracts.clone();
+            shuffle(&mut inserts_perm, &mut rng);
+            shuffle(&mut retracts_perm, &mut rng);
+            let a = plain.apply_batch(&inserts, &retracts);
+            let b = shuffled.apply_batch(&inserts_perm, &retracts_perm);
+            let label = format!("program {pi} batch {batch}");
+            assert_eq!(
+                (a.edb_inserted, a.edb_retracted, a.delta_tuples),
+                (b.edb_inserted, b.edb_retracted, b.delta_tuples),
+                "{label}: insertion counters diverged under reordering"
+            );
+            assert_eq!(
+                (a.deleted_tuples, a.rederived_tuples, a.overdeleted_tuples),
+                (b.deleted_tuples, b.rederived_tuples, b.overdeleted_tuples),
+                "{label}: deletion counters diverged under reordering"
+            );
+            for rel in s.vocabulary().relations() {
+                let ea = plain.edb_store(rel);
+                let eb = shuffled.edb_store(rel);
+                assert_eq!(ea.live_len(), eb.live_len(), "{label}: EDB {rel:?} size");
+                for t in ea.live_iter() {
+                    let sa = ea.lookup(t).map(|id| ea.support(id));
+                    let sb = eb.lookup(t).map(|id| eb.support(id));
+                    assert!(
+                        eb.contains_live(t) && sa == sb,
+                        "{label}: EDB {rel:?} tuple {t:?} support diverged"
+                    );
+                }
+            }
+            for i in 0..program.idb_count() {
+                let la: HashSet<Vec<Element>> = plain
+                    .idb_store(IdbId(i))
+                    .live_iter()
+                    .map(|t| t.to_vec())
+                    .collect();
+                let lb: HashSet<Vec<Element>> = shuffled
+                    .idb_store(IdbId(i))
+                    .live_iter()
+                    .map(|t| t.to_vec())
+                    .collect();
+                assert_eq!(
+                    la,
+                    lb,
+                    "{label}: IDB {} diverged",
+                    program.idb_name(IdbId(i))
+                );
+            }
+            assert_matches_scratch(&shuffled, program, &format!("{label} reordered"));
+        }
+    }
+}

@@ -208,12 +208,7 @@ fn sharded_interrupt_resume_equals_straight_run() {
             ),
             Err(interrupted) => {
                 let resumed = eval
-                    .resume(
-                        &s,
-                        options,
-                        &Governor::unlimited(),
-                        interrupted.checkpoint,
-                    )
+                    .resume(&s, options, &Governor::unlimited(), interrupted.checkpoint)
                     .unwrap_or_else(|e| panic!("{label}: unlimited resume interrupted: {e}"));
                 assert!(
                     baseline.same_stages(&resumed),
